@@ -1,0 +1,18 @@
+"""Bench: the headline-claims table (paper vs measured).
+
+The paper has no numbered tables; its quantitative claims (abstract, §V,
+§VII) are regenerated here as a table. Every claim must at least *hold in
+direction and rough magnitude* on the simulated substrate.
+"""
+
+from repro.experiments import claims
+
+
+def test_headline_claims(benchmark, capsys):
+    results = benchmark.pedantic(claims.run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(claims.render(results))
+    for claim in results:
+        benchmark.extra_info[claim.claim] = claim.measured
+        assert claim.holds, f"claim failed: {claim.claim} ({claim.measured})"

@@ -1,0 +1,20 @@
+"""Bench: regenerate Figure 3 (dispatch policies, x86 / disk).
+
+Prints latency curves for TXT/BMP/PDF under non-spec / balanced /
+aggressive / conservative plus the run-times panel (Fig. 3d), and asserts
+the paper's qualitative findings hold on this build.
+"""
+
+from repro.experiments import fig3
+
+
+def test_fig3_policy_sweep_x86(figure_bench):
+    result = figure_bench(fig3)
+    # Paper findings (§V-B): speculation wins on TXT; aggressive suffers
+    # most from rollbacks; conservative stays close to non-spec with
+    # rollbacks (PDF).
+    txt = {p: r for (panel, p), r in result.reports.items() if panel.startswith("txt")}
+    pdf = {p: r for (panel, p), r in result.reports.items() if panel.startswith("pdf")}
+    assert txt["balanced"].avg_latency < txt["nonspec"].avg_latency
+    assert txt["aggressive"].avg_latency < txt["nonspec"].avg_latency
+    assert pdf["aggressive"].avg_latency > pdf["conservative"].avg_latency

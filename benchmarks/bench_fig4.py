@@ -1,0 +1,18 @@
+"""Bench: regenerate Figure 4 (dispatch policies, Cell / disk).
+
+Same sweep as Fig. 3 on the Cell model; asserts the Cell-specific finding
+that conservative dispatch performs poorly (multiple buffering starves
+speculation).
+"""
+
+from repro.experiments import fig4
+
+
+def test_fig4_policy_sweep_cell(figure_bench):
+    result = figure_bench(fig4)
+    txt = {p: r for (panel, p), r in result.reports.items() if panel.startswith("txt")}
+    # conservative is the worst speculative policy on Cell ...
+    assert txt["conservative"].avg_latency > txt["balanced"].avg_latency
+    assert txt["conservative"].avg_latency > txt["aggressive"].avg_latency
+    # ... while speculation still beats non-spec under balanced/aggressive
+    assert txt["aggressive"].avg_latency < txt["nonspec"].avg_latency

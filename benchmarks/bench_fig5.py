@@ -1,0 +1,28 @@
+"""Bench: regenerate Figure 5 (average latency vs speculation step size).
+
+Asserts the paper's step-size findings: TXT prefers the earliest possible
+speculation; BMP/PDF show a rollback-free threshold beyond which average
+latency drops well below non-spec.
+"""
+
+import numpy as np
+
+from repro.experiments import fig5
+
+
+def test_fig5_step_size_sweep(figure_bench):
+    result = figure_bench(fig5)
+
+    def series(wl):
+        return result.series[f"{wl} avg latency vs step"]
+
+    txt = series("txt")
+    # TXT: latency rises as speculation starts later (first vs last step).
+    assert txt["balanced"][0] < txt["balanced"][-1]
+    # BMP/PDF: the best step beats non-spec noticeably; the worst step does
+    # not (it is within ~15% of non-spec: rollback territory).
+    for wl in ("bmp", "pdf"):
+        s = series(wl)
+        nonspec = s["nonspec"][0]
+        assert s["balanced"].min() < 0.85 * nonspec
+        assert s["balanced"].max() > 0.8 * nonspec

@@ -1,0 +1,19 @@
+"""Bench: regenerate Figure 6 (verification frequency policies).
+
+Asserts: checks are cheap (optimistic vs full differ little without
+rollbacks); optimism is catastrophic when the guess is wrong (PDF).
+"""
+
+from repro.experiments import fig6
+
+
+def test_fig6_verification_sweep(figure_bench):
+    result = figure_bench(fig6)
+    txt = {m: r for (panel, m), r in result.reports.items() if panel.startswith("txt")}
+    pdf = {m: r for (panel, m), r in result.reports.items() if panel.startswith("pdf")}
+    # low check overhead: full vs optimistic within 10% on TXT
+    assert abs(txt["full"].avg_latency - txt["optimistic"].avg_latency) \
+        < 0.10 * txt["optimistic"].avg_latency
+    # optimistic pays dearly on PDF (single final check, full restart)
+    assert pdf["optimistic"].avg_latency > pdf["balanced"].avg_latency
+    assert pdf["optimistic"].result.outcome == "recompute"

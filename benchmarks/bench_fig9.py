@@ -1,0 +1,21 @@
+"""Bench: regenerate Figure 9 (tolerance margins 1% / 2% / 5%).
+
+Asserts the counter-intuitive ordering on PDF: 2% (late detection) is the
+worst, 5% (no rollbacks) the best, with a slightly worse compression ratio
+for the committed early tree; TXT is tolerance-insensitive.
+"""
+
+from repro.experiments import fig9
+
+
+def test_fig9_tolerance_margins(figure_bench):
+    result = figure_bench(fig9)
+    pdf = {t: r for (panel, t), r in result.reports.items()
+           if panel.startswith("pdf")}
+    assert pdf["5%"].avg_latency < pdf["1%"].avg_latency < pdf["2%"].avg_latency
+    assert pdf["5%"].result.spec_stats["rollbacks"] == 0
+    assert pdf["1%"].result.spec_stats["rollbacks"] >= 1
+    assert pdf["5%"].result.compression_ratio < pdf["1%"].result.compression_ratio
+    txt = {t: r for (panel, t), r in result.reports.items()
+           if panel.startswith("txt")}
+    assert txt["1%"].avg_latency == txt["2%"].avg_latency == txt["5%"].avg_latency

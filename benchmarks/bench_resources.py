@@ -1,0 +1,22 @@
+"""Bench: §II-B resource-management knobs (ratio & throttle sweeps).
+
+The paper lists these options without evaluating them; this bench fills in
+the design space on the reproduction substrate.
+"""
+
+from repro.experiments import resources
+
+
+def test_resource_knob_sweeps(figure_bench):
+    result = figure_bench(resources)
+    txt_ratio = [result.reports[("txt ratio", f"{s}")].avg_latency
+                 for s in resources.RATIO_STEPS]
+    # on rollback-free TXT, more speculation never hurts: latency is
+    # non-increasing in the speculative dispatch share (small tolerance)
+    assert txt_ratio[-1] <= txt_ratio[0] * 1.02
+    caps = list(resources.THROTTLE_STEPS)
+    txt_throttle = [result.reports[("txt throttle", f"{c}")].avg_latency
+                    for c in caps]
+    # strangling speculation costs latency monotonically
+    for tight, loose in zip(txt_throttle, txt_throttle[1:]):
+        assert loose <= tight * 1.02

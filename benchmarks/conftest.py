@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Every figure of the paper has one bench that regenerates it at the active
+scale (quarter scale by default; ``REPRO_SCALE=paper`` for full size) and
+prints the same rows/series the paper plots. pytest-benchmark measures one
+round — these are experiment regenerations, not microbenchmarks; the micro
+suite (bench_micro.py) uses normal multi-round timing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """benchmark.pedantic with a single round, returning fn's result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def figure_bench(benchmark, capsys):
+    """Run a figure module's run(), render it to stdout, stash key numbers."""
+
+    def go(module, **kwargs):
+        result = run_once(benchmark, module.run, **kwargs)
+        with capsys.disabled():
+            print()
+            print(result.render(charts=True))
+        benchmark.extra_info["figure"] = result.figure
+        for note in result.notes:
+            benchmark.extra_info.setdefault("notes", []).append(note)
+        return result
+
+    return go

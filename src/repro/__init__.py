@@ -1,0 +1,57 @@
+"""repro — Tolerant Value Speculation in Coarse-Grain Streaming Computations.
+
+A from-scratch Python reproduction of Azuelos, Keidar & Zaks (IPPS 2011):
+a streaming runtime (SRE) with coarse-grain, tolerance-based value
+speculation, evaluated on a parallel speculative Huffman encoder.
+
+Quickstart::
+
+    from repro import run_huffman
+
+    report = run_huffman(workload="txt", policy="balanced", n_blocks=256)
+    print(report.summary.avg_latency_us)
+
+See DESIGN.md for the system map and EXPERIMENTS.md for the
+paper-vs-measured record of every figure.
+"""
+
+from repro.core import (
+    EveryK,
+    FullVerification,
+    Optimistic,
+    RelativeTolerance,
+    SpeculationManager,
+    SpeculationSpec,
+    WaitBuffer,
+)
+from repro.huffman import HuffmanConfig, HuffmanPipeline
+from repro.platforms import CellPlatform, X86Platform, get_platform
+from repro.iomodels import DiskModel, SocketModel
+from repro.sre import Runtime, SimulatedExecutor, Task, ThreadedExecutor
+from repro.experiments.runner import RunReport, run_huffman
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EveryK",
+    "FullVerification",
+    "Optimistic",
+    "RelativeTolerance",
+    "SpeculationManager",
+    "SpeculationSpec",
+    "WaitBuffer",
+    "HuffmanConfig",
+    "HuffmanPipeline",
+    "X86Platform",
+    "CellPlatform",
+    "get_platform",
+    "DiskModel",
+    "SocketModel",
+    "Runtime",
+    "SimulatedExecutor",
+    "ThreadedExecutor",
+    "Task",
+    "RunReport",
+    "run_huffman",
+    "__version__",
+]

@@ -1,0 +1,229 @@
+"""Command-line interface: ``python -m repro`` / the ``repro`` script.
+
+Subcommands::
+
+    repro run --workload txt --policy balanced --blocks 256 [--gantt]
+    repro fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9   # regenerate a figure
+    repro claims                                            # headline table
+    repro filter | kmeans                                   # Fig. 1 / §II-A apps
+    repro compress FILE [-o OUT] / repro decompress FILE    # container codec
+    repro list                                              # what's available
+
+Set ``REPRO_SCALE=paper`` for full paper-scale geometry (slower).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.experiments import claims as claims_mod
+from repro.experiments import fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, resources
+from repro.experiments.runner import run_huffman
+
+__all__ = ["main"]
+
+_FIGURES = {
+    "fig2": fig2, "fig3": fig3, "fig4": fig4, "fig5": fig5, "fig6": fig6,
+    "fig7": fig7, "fig8": fig8, "fig9": fig9, "resources": resources,
+}
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    want_trace = args.gantt or args.trace_out is not None
+    report = run_huffman(
+        workload=args.workload,
+        n_blocks=args.blocks,
+        platform=args.platform,
+        io=args.io,
+        policy=args.policy,
+        speculative=not args.nonspec,
+        step=args.step,
+        verification=args.verification,
+        verify_k=args.verify_k,
+        tolerance=args.tolerance,
+        seed=args.seed,
+        trace=want_trace,
+    )
+    s = report.summary
+    print(f"run        : {report.label}")
+    print(f"outcome    : {report.result.outcome}")
+    print(f"avg latency: {s.avg_latency_us:,.0f} µs")
+    print(f"max latency: {s.max_latency_us:,.0f} µs")
+    print(f"runtime    : {s.completion_time_us:,.0f} µs")
+    print(f"compression: {s.compression_ratio:.3f}x")
+    print(f"rollbacks  : {s.rollbacks}   wasted encodes: {s.wasted_encodes}")
+    print(f"utilisation: {report.utilisation:.1%}")
+    print(f"round-trip : {'ok' if report.roundtrip_ok else 'FAILED'}")
+    if args.gantt:
+        from repro.metrics.traceview import ascii_gantt
+        print()
+        print(ascii_gantt(report.trace))
+    if args.trace_out is not None:
+        from repro.metrics.traceview import to_chrome_trace
+        pathlib.Path(args.trace_out).write_text(to_chrome_trace(report.trace))
+        print(f"chrome trace written to {args.trace_out}")
+    return 0
+
+
+def _cmd_filter(args: argparse.Namespace) -> int:
+    from repro.filterapp.runner import run_filter_experiment
+    report = run_filter_experiment(
+        n_blocks=args.blocks,
+        speculative=not args.nonspec,
+        step=args.step,
+        tolerance=args.tolerance,
+        seed=args.seed,
+    )
+    print(f"outcome       : {report.outcome}")
+    print(f"avg latency   : {report.avg_latency:,.0f} µs")
+    print(f"runtime       : {report.completion_time:,.0f} µs")
+    print(f"rollbacks     : {report.rollbacks}")
+    print(f"response error: {report.response_error:.4f}")
+    print(f"output        : {'ok' if report.output_ok else 'FAILED'}")
+    return 0
+
+
+def _cmd_kmeans(args: argparse.Namespace) -> int:
+    from repro.kmeansapp import run_kmeans_experiment
+    report = run_kmeans_experiment(
+        n_blocks=args.blocks,
+        speculative=not args.nonspec,
+        step=args.step,
+        tolerance=args.tolerance,
+        drift_blocks=args.drift,
+        seed=args.seed,
+    )
+    print(f"outcome     : {report.outcome}")
+    print(f"avg latency : {report.avg_latency:,.0f} µs")
+    print(f"runtime     : {report.completion_time:,.0f} µs")
+    print(f"rollbacks   : {report.rollbacks}")
+    print(f"inertia     : {report.inertia:.4f}")
+    print(f"labels      : {'ok' if report.labels_ok else 'FAILED'}")
+    return 0
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    from repro.huffman.container import compress
+    data = pathlib.Path(args.file).read_bytes()
+    blob = compress(data)
+    out = args.output or args.file + ".rhuf"
+    pathlib.Path(out).write_bytes(blob)
+    ratio = len(data) / len(blob) if blob else float("inf")
+    print(f"{args.file}: {len(data):,} B -> {out}: {len(blob):,} B ({ratio:.3f}x)")
+    return 0
+
+
+def _cmd_decompress(args: argparse.Namespace) -> int:
+    from repro.huffman.container import decompress
+    blob = pathlib.Path(args.file).read_bytes()
+    data = decompress(blob)
+    out = args.output or (args.file[:-5] if args.file.endswith(".rhuf")
+                          else args.file + ".out")
+    pathlib.Path(out).write_bytes(data)
+    print(f"{args.file}: {len(blob):,} B -> {out}: {len(data):,} B")
+    return 0
+
+
+def _cmd_figure(name: str, args: argparse.Namespace) -> int:
+    module = _FIGURES[name]
+    result = module.run(seed=args.seed)
+    print(result.render(charts=not args.no_charts))
+    return 0
+
+
+def _cmd_claims(args: argparse.Namespace) -> int:
+    print(claims_mod.render(claims_mod.run(seed=args.seed)))
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("figures :", ", ".join(sorted(_FIGURES)))
+    print("workloads: txt, bmp, pdf, markov")
+    print("platforms: x86, cell")
+    print("policies : nonspec, conservative, aggressive, balanced, fcfs, "
+          "ratio, throttled")
+    print("verification: every_k, optimistic, full")
+    print("apps     : filter (Fig. 1), kmeans (§II-A)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Tolerant value speculation in coarse-grain streaming "
+                    "computations (IPPS 2011 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one Huffman experiment")
+    p_run.add_argument("--workload", default="txt",
+                       choices=["txt", "bmp", "pdf", "markov"])
+    p_run.add_argument("--blocks", type=int, default=256)
+    p_run.add_argument("--platform", default="x86", choices=["x86", "cell"])
+    p_run.add_argument("--io", default="disk", choices=["disk", "socket"])
+    p_run.add_argument("--policy", default="balanced",
+                       choices=["nonspec", "conservative", "aggressive",
+                                "balanced", "fcfs"])
+    p_run.add_argument("--nonspec", action="store_true",
+                       help="disable speculation entirely")
+    p_run.add_argument("--step", type=int, default=1)
+    p_run.add_argument("--verification", default="every_k",
+                       choices=["every_k", "optimistic", "full"])
+    p_run.add_argument("--verify-k", type=int, default=8, dest="verify_k")
+    p_run.add_argument("--tolerance", type=float, default=0.01)
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--gantt", action="store_true",
+                       help="print an ASCII gantt of the run")
+    p_run.add_argument("--trace-out", default=None, dest="trace_out",
+                       help="write a chrome://tracing JSON to this path")
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_filter = sub.add_parser("filter", help="run the Fig. 1 filter application")
+    p_filter.add_argument("--blocks", type=int, default=48)
+    p_filter.add_argument("--nonspec", action="store_true")
+    p_filter.add_argument("--step", type=int, default=2)
+    p_filter.add_argument("--tolerance", type=float, default=0.02)
+    p_filter.add_argument("--seed", type=int, default=0)
+    p_filter.set_defaults(fn=_cmd_filter)
+
+    p_km = sub.add_parser("kmeans", help="run the speculative k-means application")
+    p_km.add_argument("--blocks", type=int, default=48)
+    p_km.add_argument("--nonspec", action="store_true")
+    p_km.add_argument("--step", type=int, default=2)
+    p_km.add_argument("--tolerance", type=float, default=0.05)
+    p_km.add_argument("--drift", type=int, default=0,
+                      help="blocks of early cluster drift (provokes rollbacks)")
+    p_km.add_argument("--seed", type=int, default=0)
+    p_km.set_defaults(fn=_cmd_kmeans)
+
+    p_comp = sub.add_parser("compress", help="compress a file to a .rhuf container")
+    p_comp.add_argument("file")
+    p_comp.add_argument("-o", "--output", default=None)
+    p_comp.set_defaults(fn=_cmd_compress)
+
+    p_dec = sub.add_parser("decompress", help="decompress a .rhuf container")
+    p_dec.add_argument("file")
+    p_dec.add_argument("-o", "--output", default=None)
+    p_dec.set_defaults(fn=_cmd_decompress)
+
+    for name in sorted(_FIGURES):
+        p = sub.add_parser(name, help=f"regenerate {name}")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--no-charts", action="store_true")
+        p.set_defaults(fn=lambda a, n=name: _cmd_figure(n, a))
+
+    p_claims = sub.add_parser("claims", help="headline paper-vs-measured table")
+    p_claims.add_argument("--seed", type=int, default=0)
+    p_claims.set_defaults(fn=_cmd_claims)
+
+    p_list = sub.add_parser("list", help="list figures and options")
+    p_list.set_defaults(fn=_cmd_list)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

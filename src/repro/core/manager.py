@@ -1,0 +1,258 @@
+"""The speculation manager — drives predict / check / commit / rollback.
+
+The manager consumes a stream of *updates*: successive refinements of the
+value being speculated (in the Huffman benchmark, each reduce output is an
+update carrying the prefix histogram so far; the last reduce output is the
+*final* update carrying the global histogram).
+
+Protocol per update (non-final), mirroring §III-B:
+
+* **No active speculation** and the update index is a speculation
+  opportunity (step-size rule) → build a prediction task; when it completes,
+  the client's ``launch`` callback constructs the speculative subgraph.
+* **Active speculation** and the verification policy fires at this index →
+  build a *candidate* prediction from the fresh update plus a check task
+  comparing old vs new under the tolerance rule. A passing check changes
+  nothing — the candidate "will not trigger anything new and will simply be
+  destroyed". A failing check rolls the version back; re-speculation starts
+  immediately (full-verification policy, or whenever the index is itself an
+  opportunity) reusing the already-computed candidate as the new prediction.
+
+The **final** update always triggers building the true value (the paper's
+final tree is needed by the check itself — the serial bottleneck was ever
+only the *wait* for complete input, not the build) and a final tolerance
+check: pass → commit the wait buffer; fail → roll back and launch the
+non-speculative recompute path.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.rollback import RollbackEngine
+from repro.core.spec import SpecVersion, SpeculationSpec
+from repro.core.stats import SpeculationStats
+from repro.errors import SpeculationError
+from repro.sre.runtime import Runtime
+from repro.sre.task import Task
+
+__all__ = ["SpeculationManager"]
+
+
+class SpeculationManager:
+    """Orchestrates one speculation domain over a runtime."""
+
+    def __init__(self, runtime: Runtime, spec: SpeculationSpec) -> None:
+        self.runtime = runtime
+        self.spec = spec
+        self.engine = RollbackEngine(runtime, spec.barrier)
+        self.stats = SpeculationStats()
+        self.versions: list[SpecVersion] = []
+        self.active_version: SpecVersion | None = None
+        self.final_value: Any = None
+        #: "commit" or "recompute" once the final decision is made.
+        self.outcome: str | None = None
+        self.finalized = False
+        self._had_rollback = False
+        self._vid = 0
+        self._final_seen = False
+
+    # ------------------------------------------------------------------
+    # update stream
+    # ------------------------------------------------------------------
+    def offer_update(self, index: int, value: Any, is_final: bool = False) -> None:
+        """Feed one source update (e.g. a reduce output) to the manager."""
+        if is_final:
+            if self._final_seen:
+                raise SpeculationError("final update offered twice")
+            self._final_seen = True
+            self._handle_final(value)
+            return
+        if self._final_seen:
+            raise SpeculationError("update offered after the final update")
+        if self.finalized:  # pragma: no cover - defensive; implies final seen
+            return
+        version = self.active_version
+        if version is None or not version.active:
+            if self.spec.interval.is_opportunity(index, self._had_rollback):
+                self._speculate(index, value)
+        elif (
+            version.value is not None
+            and index > version.created_index
+            and self.spec.verification.check_at(index)
+        ):
+            self._launch_check(version, index, value)
+
+    # ------------------------------------------------------------------
+    # speculation
+    # ------------------------------------------------------------------
+    def _next_vid(self) -> int:
+        self._vid += 1
+        return self._vid
+
+    def _speculate(self, index: int, update_value: Any, predicted: Any = None) -> None:
+        version = SpecVersion(self._next_vid(), index, self.runtime.now)
+        self.versions.append(version)
+        self.active_version = version
+        self.stats.speculations += 1
+        self.runtime.trace.record(
+            self.runtime.now, "speculate", f"version:{version.vid}", index=index,
+            reused_candidate=predicted is not None,
+        )
+        if predicted is not None:
+            # Re-speculation after a failed check: the candidate value was
+            # already computed by the check's candidate task — reuse it.
+            version.value = predicted
+            self.spec.launch(version)
+            return
+        ptask = self.spec.predictor(update_value, f"{self.spec.name}:predict:v{version.vid}")
+        ptask.control = True
+        version.prediction_task = version.register(ptask)
+        ptask.on_complete.append(
+            lambda _task, outs, v=version: self._prediction_ready(v, outs)
+        )
+        self.runtime.add_task(ptask)
+
+    def _prediction_ready(self, version: SpecVersion, outputs: dict[str, Any]) -> None:
+        if not version.active or self.finalized:
+            return
+        if "out" not in outputs:
+            raise SpeculationError(
+                f"predictor task for v{version.vid} produced no 'out' port"
+            )
+        version.value = outputs["out"]
+        self.spec.launch(version)
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+    def _launch_check(self, version: SpecVersion, index: int, ref_value: Any) -> None:
+        candidate = self.spec.predictor(
+            ref_value, f"{self.spec.name}:candidate:u{index}:v{version.vid}"
+        )
+        candidate.control = True
+
+        def check_fn(candidate: Any, _v=version, _ref=ref_value) -> dict[str, Any]:
+            error = self.spec.validator(_v.value, candidate, _ref)
+            return {"error": float(error), "candidate": candidate}
+
+        check = Task(
+            f"{self.spec.name}:check:u{index}:v{version.vid}",
+            check_fn,
+            inputs=("candidate",),
+            kind="check",
+            control=True,
+            cost_hint=self.spec.check_cost_hint,
+        )
+        check.on_complete.append(
+            lambda _task, outs, v=version, i=index, r=ref_value: self._on_verdict(v, i, r, outs)
+        )
+        self.runtime.add_task(candidate)
+        self.runtime.add_task(check)
+        self.runtime.connect(candidate, "out", check, "candidate")
+
+    def _on_verdict(
+        self, version: SpecVersion, index: int, ref_value: Any, outs: dict[str, Any]
+    ) -> None:
+        error = outs["error"]
+        self.stats.checks += 1
+        self.stats.check_errors.append(error)
+        if version is not self.active_version or not version.active or self.finalized:
+            self.stats.stale_verdicts += 1
+            return
+        if self.spec.tolerance.accepts(error):
+            self.stats.checks_passed += 1
+            self.runtime.trace.record(
+                self.runtime.now, "check_pass", f"version:{version.vid}",
+                index=index, error=error,
+            )
+            return
+        self.stats.checks_failed += 1
+        self.runtime.trace.record(
+            self.runtime.now, "check_fail", f"version:{version.vid}",
+            index=index, error=error,
+        )
+        self._rollback(version)
+        if self.spec.verification.respeculate_on_failure or self.spec.interval.is_opportunity(
+            index, had_rollback=True
+        ):
+            self._speculate(index, ref_value, predicted=outs["candidate"])
+
+    def _rollback(self, version: SpecVersion) -> None:
+        self.engine.rollback(version)
+        self.stats.rollbacks += 1
+        self._had_rollback = True
+        if self.active_version is version:
+            self.active_version = None
+
+    # ------------------------------------------------------------------
+    # final decision
+    # ------------------------------------------------------------------
+    def _handle_final(self, value: Any) -> None:
+        ftask = self.spec.predictor(value, f"{self.spec.name}:final")
+        ftask.control = True
+        ftask.on_complete.append(
+            lambda _task, outs, v=value: self._final_ready(v, outs)
+        )
+        self.runtime.add_task(ftask)
+
+    def _final_ready(self, ref_value: Any, outs: dict[str, Any]) -> None:
+        self.final_value = outs.get("out")
+        version = self.active_version
+        if version is None or not version.active or version.value is None:
+            # Nothing validatable in flight: destroy any half-born attempt
+            # and take the normal path.
+            if version is not None and version.active:
+                self._rollback(version)
+            self._recompute()
+            return
+
+        def final_check_fn(_v=version, _ref=ref_value) -> dict[str, Any]:
+            error = self.spec.validator(_v.value, self.final_value, _ref)
+            return {"error": float(error)}
+
+        check = Task(
+            f"{self.spec.name}:check:final:v{version.vid}",
+            final_check_fn,
+            kind="check",
+            control=True,
+            cost_hint=self.spec.check_cost_hint,
+        )
+        check.on_complete.append(
+            lambda _task, c_outs, v=version: self._final_verdict(v, c_outs)
+        )
+        self.runtime.add_task(check)
+
+    def _final_verdict(self, version: SpecVersion, outs: dict[str, Any]) -> None:
+        error = outs["error"]
+        self.stats.checks += 1
+        self.stats.check_errors.append(error)
+        if self.finalized:
+            self.stats.stale_verdicts += 1
+            return
+        if version.active and self.spec.tolerance.accepts(error):
+            self.stats.checks_passed += 1
+            self._commit(version)
+            return
+        self.stats.checks_failed += 1
+        if version.active:
+            self._rollback(version)
+        self._recompute()
+
+    def _commit(self, version: SpecVersion) -> None:
+        version.committed = True
+        self.finalized = True
+        self.outcome = "commit"
+        self.stats.commits += 1
+        if self.spec.barrier is not None:
+            self.spec.barrier.commit(version.vid, self.runtime.now)
+        self.runtime.trace.record(
+            self.runtime.now, "commit", f"version:{version.vid}",
+        )
+
+    def _recompute(self) -> None:
+        self.finalized = True
+        self.outcome = "recompute"
+        self.stats.recomputes += 1
+        self.runtime.trace.record(self.runtime.now, "recompute", self.spec.name)
+        self.spec.recompute(self.final_value)

@@ -1,0 +1,61 @@
+"""Rollback: destroy-signal propagation over a speculation version.
+
+When speculation fails (§III-B): all data produced from the speculation
+point onward is discarded; ready tasks are deleted along with their result
+memory; launched tasks are abort-flagged and reclaimed with their content
+when they complete. Side-effect freedom guarantees the dependence structure
+is stable, so exactly the right tasks are destroyed.
+
+The engine starts from the version's registered tasks and propagates through
+the DFG's dependents — both mechanisms the paper describes (explicit task
+bookkeeping *and* dependence-chain traversal) act together, so dynamically
+added consumers of speculative data are destroyed even if the client forgot
+to register them.
+"""
+
+from __future__ import annotations
+
+from repro.core.spec import SpecVersion
+from repro.core.wait import WaitBuffer
+from repro.errors import RollbackError
+from repro.sre.runtime import Runtime
+from repro.sre.task import Task
+
+__all__ = ["RollbackEngine"]
+
+
+class RollbackEngine:
+    """Destroys the footprint of a failed speculation version."""
+
+    def __init__(self, runtime: Runtime, barrier: WaitBuffer | None = None) -> None:
+        self.runtime = runtime
+        self.barrier = barrier
+        self.rollbacks = 0
+        self.tasks_destroyed = 0
+        self.buffer_entries_discarded = 0
+
+    def rollback(self, version: SpecVersion) -> list[Task]:
+        """Deactivate ``version`` and destroy its tasks and buffered data.
+
+        Returns the aborted footprint in propagation order. Idempotent per
+        version; committing a rolled-back version is impossible because the
+        manager checks ``version.active``.
+        """
+        if version.committed:
+            raise RollbackError(f"cannot roll back committed version v{version.vid}")
+        if not version.active:
+            return []
+        version.active = False
+        footprint = self.runtime.abort_dependents(version.tasks, include_roots=True)
+        self.rollbacks += 1
+        self.tasks_destroyed += len(footprint)
+        if self.barrier is not None:
+            self.buffer_entries_discarded += self.barrier.discard(version.vid)
+        self.runtime.trace.record(
+            self.runtime.now,
+            "rollback",
+            f"version:{version.vid}",
+            tasks_destroyed=len(footprint),
+            created_index=version.created_index,
+        )
+        return footprint

@@ -1,0 +1,39 @@
+"""Counters describing one speculation domain's behaviour during a run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SpeculationStats"]
+
+
+@dataclass
+class SpeculationStats:
+    """Aggregated speculation behaviour (reported by every experiment)."""
+
+    speculations: int = 0
+    checks: int = 0
+    checks_passed: int = 0
+    checks_failed: int = 0
+    rollbacks: int = 0
+    commits: int = 0
+    recomputes: int = 0
+    stale_verdicts: int = 0
+    #: error measured by each completed check, in order (for tolerance plots).
+    check_errors: list[float] = field(default_factory=list)
+
+    def as_dict(self) -> dict[str, float]:
+        out = {
+            "speculations": self.speculations,
+            "checks": self.checks,
+            "checks_passed": self.checks_passed,
+            "checks_failed": self.checks_failed,
+            "rollbacks": self.rollbacks,
+            "commits": self.commits,
+            "recomputes": self.recomputes,
+            "stale_verdicts": self.stale_verdicts,
+        }
+        if self.check_errors:
+            out["max_check_error"] = max(self.check_errors)
+            out["last_check_error"] = self.check_errors[-1]
+        return out

@@ -1,0 +1,125 @@
+"""Tolerance rules — programmer-defined slack in value prediction.
+
+The paper's central relaxation (§II-A): a prediction need not be exact, only
+"accurate enough" for the application. A tolerance rule converts a raw error
+measure into an accept/reject verdict. Validators produce a *relative error*
+(dimensionless); rules decide whether that error is tolerable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ToleranceError
+
+__all__ = [
+    "ToleranceRule",
+    "RelativeTolerance",
+    "AbsoluteTolerance",
+    "ExactTolerance",
+    "CallableTolerance",
+    "AdaptiveTolerance",
+]
+
+
+class ToleranceRule:
+    """Base class: decides whether a measured error is acceptable."""
+
+    def accepts(self, error: float) -> bool:
+        raise NotImplementedError
+
+    def __call__(self, error: float) -> bool:
+        return self.accepts(error)
+
+
+@dataclass(frozen=True)
+class RelativeTolerance(ToleranceRule):
+    """Accept when ``error <= margin`` (error already relative).
+
+    The Huffman benchmark's baseline uses a 1 % margin on the difference in
+    compressed size (§V-A).
+    """
+
+    margin: float
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.margin):
+            raise ToleranceError(f"margin must be non-negative, got {self.margin}")
+
+    def accepts(self, error: float) -> bool:
+        return error <= self.margin
+
+
+@dataclass(frozen=True)
+class AbsoluteTolerance(ToleranceRule):
+    """Accept when ``abs(error) <= bound`` for validators reporting absolute error."""
+
+    bound: float
+
+    def __post_init__(self) -> None:
+        if self.bound < 0:
+            raise ToleranceError(f"bound must be non-negative, got {self.bound}")
+
+    def accepts(self, error: float) -> bool:
+        return abs(error) <= self.bound
+
+
+class ExactTolerance(ToleranceRule):
+    """Zero-slack speculation: only a perfect prediction survives.
+
+    Equivalent to classical (non-tolerant) value prediction; used by the
+    ablation comparing tolerant against exact speculation.
+    """
+
+    def accepts(self, error: float) -> bool:
+        return error == 0.0
+
+
+class CallableTolerance(ToleranceRule):
+    """Adapter for a user-supplied ``error -> bool`` predicate."""
+
+    def __init__(self, fn: Callable[[float], bool]):
+        self._fn = fn
+
+    def accepts(self, error: float) -> bool:
+        return bool(self._fn(error))
+
+
+class AdaptiveTolerance(ToleranceRule):
+    """A margin that tightens as the run progresses.
+
+    The paper's related-work discussion (§VI) criticises accuracy measures
+    that "remain fixed at compile-time and do not take into account
+    properties of the dataset". This rule addresses the simplest dynamic
+    variant: early checks, made against small unrepresentative prefixes,
+    are judged leniently; later checks, against near-complete data, are
+    judged strictly — the margin decays geometrically per check from
+    ``initial`` towards ``floor``.
+
+    Explored as an extension (not in the paper's evaluation); the ablation
+    bench compares it against the fixed margins of Fig. 9.
+    """
+
+    def __init__(self, initial: float, floor: float, decay: float = 0.7):
+        if initial < floor or floor < 0:
+            raise ToleranceError("need initial >= floor >= 0")
+        if not (0.0 < decay <= 1.0):
+            raise ToleranceError("decay must be in (0, 1]")
+        self.initial = initial
+        self.floor = floor
+        self.decay = decay
+        self._checks_seen = 0
+
+    @property
+    def current_margin(self) -> float:
+        return max(self.floor, self.initial * self.decay ** self._checks_seen)
+
+    def accepts(self, error: float) -> bool:
+        margin = self.current_margin
+        self._checks_seen += 1
+        return error <= margin
+
+    def reset(self) -> None:
+        """Restart the schedule (for reusing the rule across runs)."""
+        self._checks_seen = 0

@@ -1,0 +1,85 @@
+"""The side-effect barrier: wait buffers for speculative results.
+
+Speculative data arriving at a state-modifying boundary (disk, network) is
+buffered until the speculation is validated (§II-A, the hexagon node in the
+paper's figures). :class:`WaitBuffer` stores results keyed by speculation
+version; a commit flushes one version's entries to the real sink in
+deterministic key order, a rollback discards them.
+
+After a commit, the committed version's remaining in-flight results flush
+straight through as they arrive — speculative tasks that were still queued
+or running at commit time simply continue, their outputs now authoritative.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import SpeculationError
+
+__all__ = ["WaitBuffer"]
+
+CommitSink = Callable[[Any, Any, float], None]
+
+
+class WaitBuffer:
+    """Versioned holding area for speculative outputs.
+
+    Args:
+        sink: callable ``(key, value, commit_time)`` invoked when an entry
+            becomes authoritative (at commit, or on deposit after commit).
+    """
+
+    def __init__(self, sink: CommitSink | None = None) -> None:
+        self._sink = sink
+        self._entries: dict[int, dict[Any, tuple[Any, float]]] = {}
+        self._committed_version: int | None = None
+        self.deposits = 0
+        self.flushed = 0
+        self.discarded = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def committed_version(self) -> int | None:
+        return self._committed_version
+
+    def pending(self, version: int) -> int:
+        """Number of buffered entries for a version."""
+        return len(self._entries.get(version, ()))
+
+    def deposit(self, version: int, key: Any, value: Any, now: float) -> None:
+        """Hold a speculative result (or flush it if its version committed)."""
+        self.deposits += 1
+        if version == self._committed_version:
+            self._emit(key, value, now)
+            return
+        self._entries.setdefault(version, {})[key] = (value, now)
+
+    def commit(self, version: int, now: float) -> int:
+        """Declare a version valid; flush its entries in key order.
+
+        Returns the number of entries flushed. Only one version may ever
+        commit (the paper's single final decision per speculation domain).
+        """
+        if self._committed_version is not None:
+            raise SpeculationError(
+                f"version {self._committed_version} already committed"
+            )
+        self._committed_version = version
+        held = self._entries.pop(version, {})
+        for key in sorted(held, key=repr):
+            value, _deposit_time = held[key]
+            self._emit(key, value, now)
+        return len(held)
+
+    def discard(self, version: int) -> int:
+        """Drop a rolled-back version's entries; returns how many."""
+        held = self._entries.pop(version, None)
+        n = len(held) if held else 0
+        self.discarded += n
+        return n
+
+    def _emit(self, key: Any, value: Any, now: float) -> None:
+        self.flushed += 1
+        if self._sink is not None:
+            self._sink(key, value, now)

@@ -1,0 +1,70 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications embedding the runtime can catch a single base class. Subsystems
+define narrower classes so tests can assert on precise failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SimulationError(ReproError):
+    """Raised for misuse of the discrete-event simulation kernel."""
+
+
+class SchedulingError(ReproError):
+    """Raised when the SRE scheduler is driven into an invalid state."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed data-flow graphs (unknown ports, cycles, ...)."""
+
+
+class TaskStateError(ReproError):
+    """Raised on illegal task life-cycle transitions."""
+
+
+class TaskExecutionError(ReproError):
+    """A task function raised; wraps the original exception with context.
+
+    Attributes:
+        task_name: the failing task.
+        original: the exception the task function raised.
+    """
+
+    def __init__(self, task_name: str, original: BaseException):
+        super().__init__(f"task {task_name!r} failed: {original!r}")
+        self.task_name = task_name
+        self.original = original
+
+
+class SpeculationError(ReproError):
+    """Raised for misconfigured speculation specs or manager misuse."""
+
+
+class RollbackError(SpeculationError):
+    """Raised when a rollback cannot be carried out consistently."""
+
+
+class ToleranceError(SpeculationError):
+    """Raised for invalid tolerance comparator configuration."""
+
+
+class PlatformError(ReproError):
+    """Raised for invalid platform/cost-model configuration."""
+
+
+class WorkloadError(ReproError):
+    """Raised for invalid workload generator parameters."""
+
+
+class CodecError(ReproError):
+    """Raised by the Huffman codec on invalid inputs or corrupt streams."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the experiment harness for unknown or invalid configs."""

@@ -1,0 +1,13 @@
+"""Experiment harness — one module per paper figure plus the claims table.
+
+Every figure of the paper's evaluation (§V) has a module here whose ``run()``
+regenerates its series/rows on the simulated substrate (fig2 regenerates the
+DFG diagrams; ``resources`` sweeps the §II-B knobs the paper lists without
+evaluating); ``benchmarks/`` wraps each in a pytest-benchmark target. See
+DESIGN.md §4 for the index and EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from repro.experiments.runner import RunReport, run_huffman
+from repro.experiments.config import ExperimentScale, QUICK, PAPER
+
+__all__ = ["RunReport", "run_huffman", "ExperimentScale", "QUICK", "PAPER"]

@@ -1,0 +1,54 @@
+"""Experiment scale configuration.
+
+The paper encodes 4 MB of TXT/PDF and 2 MB of BMP in 4 KB blocks (1024 /
+1024 / 512 blocks). Running every figure at that scale takes minutes; the
+benchmark suite defaults to a quarter-scale geometry that preserves every
+qualitative feature (update counts scale with the file, so step-size and
+tolerance thresholds are expressed in *update* units and stay put). Set
+``REPRO_SCALE=paper`` in the environment (or pass ``scale=PAPER``) for
+full-size runs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["ExperimentScale", "QUICK", "PAPER", "active_scale"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Geometry of one experiment campaign."""
+
+    name: str
+    #: blocks per workload (paper: TXT/PDF 1024, BMP 512).
+    blocks: dict[str, int]
+    block_size: int = 4096
+    reduce_ratio: int = 16
+    offset_fanout: int = 64
+    #: ratios for the socket configuration (paper drops both to 8:1).
+    socket_reduce_ratio: int = 8
+    socket_offset_fanout: int = 8
+
+    def n_blocks(self, workload: str) -> int:
+        return self.blocks[workload]
+
+
+PAPER = ExperimentScale(
+    name="paper",
+    blocks={"txt": 1024, "bmp": 512, "pdf": 1024},
+)
+
+#: Quarter scale: same block size, same ratios, same *per-update* geometry —
+#: 16 updates for BMP, 16 for TXT/PDF... scaled runs keep enough updates for
+#: every step size {1..32} used by Fig. 5 to remain meaningful on txt/pdf.
+QUICK = ExperimentScale(
+    name="quick",
+    blocks={"txt": 512, "bmp": 256, "pdf": 512},
+)
+
+
+def active_scale() -> ExperimentScale:
+    """Scale selected by the ``REPRO_SCALE`` environment variable."""
+    return PAPER if os.environ.get("REPRO_SCALE", "").lower() == "paper" else QUICK

@@ -1,0 +1,54 @@
+"""Figure 4 — dispatch policies on the Cell platform.
+
+Same sweep as Fig. 3 but on the Cell model. The Cell-specific finding: the
+conservative policy performs poorly because multiple buffering keeps a deep
+per-worker dispatch queue that always offers some non-speculative task, so
+little speculation happens overall.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.figures import FigureResult, policy_sweep
+
+__all__ = ["run"]
+
+
+def run(scale: ExperimentScale | None = None, seed: int = 0) -> FigureResult:
+    result = policy_sweep(
+        figure="fig4",
+        title="Latency and runtime per dispatch policy, Cell / disk",
+        platform="cell",
+        scale=scale,
+        seed=seed,
+        run_kwargs={"trace": True},
+    )
+    txt_panel = "txt (cell)"
+    cons = result.reports[(txt_panel, "conservative")]
+    bal = result.reports[(txt_panel, "balanced")]
+    result.notes.append(
+        "conservative vs balanced avg latency on TXT: "
+        f"{cons.avg_latency:,.0f} vs {bal.avg_latency:,.0f} µs "
+        "(paper: conservative collapses on Cell due to multiple buffering)"
+    )
+    def first_spec_start(report):
+        starts = [r for r in report.trace.of_kind("task_start")
+                  if r.detail.get("speculative")
+                  and r.detail.get("task_kind") == "encode"]
+        return starts[0].time if starts else float("nan")
+
+    result.notes.append(
+        "first speculative encode dispatched at: "
+        f"conservative {first_spec_start(cons):,.0f} µs vs "
+        f"balanced {first_spec_start(bal):,.0f} µs — multiple buffering "
+        "keeps conservative workers saturated with natural work"
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI glue
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

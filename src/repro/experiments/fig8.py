@@ -1,0 +1,71 @@
+"""Figure 8 — CPU scaling under large communication delays.
+
+"Even with large communication delays, latencies are still reduced
+significantly with an increased number of CPUs": with few workers the
+encode stage cannot keep pace with arrivals and a backlog builds; adding
+CPUs drains it. The socket rate here is tuned so 2 CPUs are borderline
+saturated (the paper's premise that slow I/O does *not* make multicore
+pointless).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentScale, active_scale
+from repro.experiments.figures import FigureResult
+from repro.experiments.runner import run_huffman
+from repro.iomodels import SocketModel
+
+__all__ = ["run", "CPU_COUNTS"]
+
+CPU_COUNTS = (2, 4, 8)
+
+#: Inter-arrival tuned near the 2-CPU service rate (count+encode ≈ 460 µs
+#: of work per block).
+PER_BLOCK_US = 300.0
+
+
+def run(
+    scale: ExperimentScale | None = None,
+    seed: int = 0,
+    workload: str = "txt",
+    cpus: tuple[int, ...] = CPU_COUNTS,
+) -> FigureResult:
+    scale = scale or active_scale()
+    result = FigureResult(
+        figure="fig8",
+        title=f"Latency vs element for 2/4/8 CPUs, slow I/O ({workload})",
+    )
+    panel = f"{workload}, socket {PER_BLOCK_US:.0f} µs/block"
+    result.series[panel] = {}
+    result.table_header = ["cpus", "avg lat (µs)", "max lat (µs)", "runtime (µs)"]
+    for n in cpus:
+        report = run_huffman(
+            workload=workload,
+            n_blocks=scale.n_blocks(workload),
+            block_size=scale.block_size,
+            reduce_ratio=scale.socket_reduce_ratio,
+            offset_fanout=scale.socket_offset_fanout,
+            io=SocketModel(per_block_us=PER_BLOCK_US, jitter=0.05),
+            policy="balanced",
+            step=1,
+            workers=n,
+            seed=seed,
+            label=f"fig8/{workload}/{n}cpu",
+        )
+        result.series[panel][f"{n} cpu"] = report.latencies
+        result.reports[(panel, f"{n} cpu")] = report
+        result.table_rows.append([
+            str(n),
+            f"{report.avg_latency:,.0f}",
+            f"{report.result.latencies.max():,.0f}",
+            f"{report.completion_time:,.0f}",
+        ])
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI glue
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

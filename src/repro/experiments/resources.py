@@ -1,0 +1,93 @@
+"""Resource-management exploration (paper §II-B, beyond its evaluation).
+
+§II-B lists four ways to set speculative/natural preferences: priorities
+(the conservative/aggressive/balanced policies of Fig. 3), bounding
+concurrent speculative tasks, fixing a speculative:natural dispatch ratio,
+and idle-only speculation. The paper evaluates only the first; this module
+sweeps the other knobs on the same workloads, filling in the design space:
+
+* ratio sweep — speculative dispatch share from 0 (conservative-like) to
+  1 (aggressive-like);
+* throttle sweep — cap on in-flight speculative tasks from 0 (speculation
+  disabled in practice) to the worker count (unthrottled).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentScale, active_scale
+from repro.experiments.figures import FigureResult
+from repro.experiments.runner import run_huffman
+from repro.sre.policies import BalancedPolicy, RatioPolicy, ThrottledPolicy
+
+__all__ = ["run", "RATIO_STEPS", "THROTTLE_STEPS"]
+
+RATIO_STEPS = (0.0, 0.25, 0.5, 0.75, 1.0)
+THROTTLE_STEPS = (1, 2, 4, 8, 16)
+
+
+def run(
+    scale: ExperimentScale | None = None,
+    seed: int = 0,
+    workloads: tuple[str, ...] = ("txt", "pdf"),
+) -> FigureResult:
+    scale = scale or active_scale()
+    result = FigureResult(
+        figure="resources",
+        title="§II-B resource knobs: dispatch ratio and speculation throttle",
+    )
+    result.table_header = ["file", "knob", "value", "avg lat (µs)", "rollbacks"]
+    import numpy as np
+
+    for wl in workloads:
+        n_blocks = scale.n_blocks(wl)
+        common = dict(
+            workload=wl, n_blocks=n_blocks, block_size=scale.block_size,
+            reduce_ratio=scale.reduce_ratio, offset_fanout=scale.offset_fanout,
+            step=1, seed=seed,
+        )
+        ratio_lat = []
+        for share in RATIO_STEPS:
+            report = run_huffman(policy=RatioPolicy(share),
+                                 label=f"resources/{wl}/ratio{share}", **common)
+            ratio_lat.append(report.avg_latency)
+            result.reports[(f"{wl} ratio", f"{share}")] = report
+            result.table_rows.append([
+                wl, "spec share", f"{share:.2f}",
+                f"{report.avg_latency:,.0f}",
+                str(report.result.spec_stats.get("rollbacks", 0)),
+            ])
+        result.series[f"{wl} avg latency vs spec share"] = {
+            "ratio": np.asarray(ratio_lat),
+        }
+
+        throttle_lat = []
+        for cap in THROTTLE_STEPS:
+            report = run_huffman(
+                policy=ThrottledPolicy(BalancedPolicy(), max_speculative=cap),
+                label=f"resources/{wl}/cap{cap}", **common,
+            )
+            throttle_lat.append(report.avg_latency)
+            result.reports[(f"{wl} throttle", f"{cap}")] = report
+            result.table_rows.append([
+                wl, "max spec inflight", str(cap),
+                f"{report.avg_latency:,.0f}",
+                str(report.result.spec_stats.get("rollbacks", 0)),
+            ])
+        result.series[f"{wl} avg latency vs speculation cap"] = {
+            "throttle": np.asarray(throttle_lat),
+        }
+    result.notes.append(
+        "ratio 0.0 ≈ conservative, 1.0 ≈ aggressive; the throttle sweep "
+        "starts at 1 — a cap of 0 would leave committed speculative work "
+        "stranded in the ready queue (speculation must be able to run to "
+        "ever commit)."
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI glue
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

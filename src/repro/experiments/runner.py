@@ -1,0 +1,192 @@
+"""One-call experiment runner: workload → pipeline → simulated run → report.
+
+:func:`run_huffman` is the public entry point used by the examples, the
+figure modules and the benchmark harness. It wires a workload, an I/O
+arrival model, a platform and a pipeline configuration onto the simulated
+executor, runs to quiescence, verifies the compressed output round-trips,
+and returns a :class:`RunReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.huffman.pipeline import HuffmanConfig, HuffmanPipeline, PipelineResult
+from repro.iomodels import ArrivalModel, DiskModel, SocketModel
+from repro.metrics.summary import RunSummary, summarize_run
+from repro.platforms import Platform, get_platform
+from repro.sim.rng import make_rng
+from repro.sim.trace import TraceRecorder
+from repro.sre.executor_sim import SimulatedExecutor
+from repro.sre.runtime import Runtime
+from repro.workloads import get_workload
+
+__all__ = ["RunReport", "run_huffman", "split_blocks"]
+
+
+def split_blocks(data: bytes, block_size: int) -> list[bytes]:
+    """Break input data into 4 KB-style blocks (last may be partial)."""
+    if block_size < 1:
+        raise ExperimentError("block_size must be >= 1")
+    if not data:
+        raise ExperimentError("empty input data")
+    return [data[i : i + block_size] for i in range(0, len(data), block_size)]
+
+
+@dataclass
+class RunReport:
+    """Everything one experiment run produces."""
+
+    label: str
+    result: PipelineResult
+    summary: RunSummary
+    utilisation: float
+    roundtrip_ok: bool | None
+    config: HuffmanConfig
+    platform_name: str
+    policy: str
+    workers: int
+    #: populated when run_huffman(..., trace=True): the full runtime trace.
+    trace: object | None = None
+
+    @property
+    def latencies(self) -> np.ndarray:
+        """Per-element latency series (the paper's main y-axis)."""
+        return self.result.latencies
+
+    @property
+    def arrivals(self) -> np.ndarray:
+        return self.result.arrivals
+
+    @property
+    def avg_latency(self) -> float:
+        return self.result.avg_latency
+
+    @property
+    def completion_time(self) -> float:
+        return self.result.completion_time
+
+
+def _resolve_io(io: str | ArrivalModel) -> ArrivalModel:
+    if isinstance(io, ArrivalModel):
+        return io
+    name = io.lower()
+    if name == "disk":
+        return DiskModel()
+    if name == "socket":
+        return SocketModel()
+    raise ExperimentError(f"unknown io model {io!r}; choose 'disk' or 'socket'")
+
+
+def run_huffman(
+    *,
+    workload: str | bytes = "txt",
+    n_blocks: int | None = None,
+    block_size: int = 4096,
+    platform: str | Platform = "x86",
+    workers: int | None = None,
+    io: str | ArrivalModel = "disk",
+    policy: str = "balanced",
+    speculative: bool = True,
+    step: int = 1,
+    verification: str = "every_k",
+    verify_k: int = 8,
+    tolerance: float = 0.01,
+    reduce_ratio: int = 16,
+    offset_fanout: int = 64,
+    seed: int = 0,
+    verify_roundtrip: bool = True,
+    trace: bool = False,
+    label: str | None = None,
+    depth_first: bool = True,
+    control_first: bool = True,
+) -> RunReport:
+    """Run one Huffman encoding experiment on the simulated executor.
+
+    Args:
+        workload: a workload name ("txt" / "bmp" / "pdf") or raw bytes.
+        n_blocks: number of blocks (with a named workload, generates
+            ``n_blocks * block_size`` bytes; required in that case).
+        platform: "x86" / "cell" or a Platform instance.
+        io: "disk" / "socket" or an ArrivalModel.
+        policy: dispatch policy — conservative / aggressive / balanced /
+            fcfs. With ``speculative=False`` the policy is irrelevant
+            (there is never speculative work) but still applied.
+        speculative, step, verification, verify_k, tolerance: the
+            speculation knobs (see HuffmanConfig).
+        seed: drives both workload generation and I/O jitter.
+        verify_roundtrip: decode the committed stream and compare with the
+            input (cheap insurance that speculation never corrupts data).
+
+    Returns a :class:`RunReport`.
+    """
+    if policy == "nonspec":
+        # Shorthand used throughout the figures: the paper's baseline run.
+        speculative = False
+        policy = "conservative"
+    rng = make_rng(seed)
+    if isinstance(workload, str):
+        if n_blocks is None:
+            raise ExperimentError("n_blocks is required with a named workload")
+        data = get_workload(workload).generate(n_blocks * block_size, rng)
+        workload_name = workload
+    else:
+        data = bytes(workload)
+        workload_name = "custom"
+    blocks = split_blocks(data, block_size)
+    if n_blocks is not None and len(blocks) != n_blocks:
+        raise ExperimentError(f"data yields {len(blocks)} blocks, expected {n_blocks}")
+
+    plat = get_platform(platform) if isinstance(platform, str) else platform
+    io_model = _resolve_io(io)
+    config = HuffmanConfig(
+        block_size=block_size,
+        reduce_ratio=reduce_ratio,
+        offset_fanout=offset_fanout,
+        speculative=speculative,
+        step=step,
+        verification=verification,
+        verify_k=verify_k,
+        tolerance=tolerance,
+    )
+
+    runtime = Runtime(
+        trace=TraceRecorder(enabled=trace),
+        depth_first=depth_first,
+        control_first=control_first,
+    )
+    executor = SimulatedExecutor(runtime, plat, policy=policy, workers=workers)
+    pipeline = HuffmanPipeline(runtime, config, len(blocks))
+
+    arrivals = io_model.arrival_times(len(blocks), rng)
+    for index, (when, block) in enumerate(zip(arrivals, blocks)):
+        executor.sim.schedule_at(
+            float(when),
+            lambda i=index, b=block: pipeline.feed_block(i, b),
+        )
+    end = executor.run()
+    result = pipeline.result(end)
+    ok: bool | None = None
+    if verify_roundtrip:
+        ok = pipeline.verify_roundtrip(data)
+        if not ok:
+            raise ExperimentError("round-trip verification failed: corrupt output")
+
+    run_label = label or (
+        f"{workload_name}/{plat.name}/{policy}"
+        + ("" if speculative else "/nonspec")
+    )
+    return RunReport(
+        label=run_label,
+        result=result,
+        summary=summarize_run(run_label, result),
+        utilisation=executor.utilisation(),
+        roundtrip_ok=ok,
+        config=config,
+        platform_name=plat.name,
+        policy=policy,
+        workers=workers if workers is not None else plat.default_workers,
+        trace=runtime.trace if trace else None,
+    )

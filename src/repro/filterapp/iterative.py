@@ -1,0 +1,108 @@
+"""Iterative FIR filter design — the serial refinement chain of Fig. 1.
+
+The solver designs an ``n_taps``-coefficient FIR low-pass filter by
+projected gradient descent on the squared frequency-response error against
+an ideal brick-wall target. Each step is cheap; the *chain* is serial — the
+exact shape value speculation exploits: early iterates are already close to
+the final coefficients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+__all__ = ["FilterDesignProblem", "frequency_response"]
+
+
+def frequency_response(coeffs: np.ndarray, n_points: int = 256) -> np.ndarray:
+    """Magnitude response of an FIR filter on ``n_points`` frequencies."""
+    return np.abs(np.fft.rfft(coeffs, n=2 * n_points))[:n_points]
+
+
+@dataclass
+class FilterDesignProblem:
+    """Gradient-descent design of a low-pass FIR filter.
+
+    Attributes:
+        n_taps: filter length.
+        cutoff: normalised cutoff frequency in (0, 0.5).
+        iterations: total refinement steps (the serial bottleneck's length).
+        learning_rate: gradient step size.
+    """
+
+    n_taps: int = 33
+    cutoff: float = 0.2
+    iterations: int = 24
+    learning_rate: float = 0.25
+    n_freq: int = 128
+    _target: np.ndarray = field(init=False, repr=False, default=None)
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.cutoff < 0.5):
+            raise ExperimentError("cutoff must be in (0, 0.5)")
+        if self.n_taps < 3 or self.iterations < 1:
+            raise ExperimentError("need n_taps >= 3 and iterations >= 1")
+        freqs = np.linspace(0.0, 0.5, self.n_freq)
+        self._target = (freqs <= self.cutoff).astype(np.float64)
+
+    @property
+    def target(self) -> np.ndarray:
+        return self._target
+
+    def initial_coefficients(self) -> np.ndarray:
+        """Crude starting point: a boxcar (moving average)."""
+        return np.full(self.n_taps, 1.0 / self.n_taps)
+
+    def refine(self, coeffs: np.ndarray) -> np.ndarray:
+        """One gradient step on the squared response error.
+
+        The response is linear in the coefficients, so the gradient is a
+        plain least-squares residual back-projection.
+        """
+        n = self.n_freq
+        taps = np.arange(self.n_taps)
+        freqs = np.linspace(0.0, 0.5, n)
+        # Real design matrix: response(f) = sum_k c_k cos(2*pi*f*(k - mid))
+        mid = (self.n_taps - 1) / 2.0
+        design = np.cos(2.0 * np.pi * np.outer(freqs, taps - mid))
+        residual = design @ coeffs - self._target
+        grad = design.T @ residual / n
+        return coeffs - self.learning_rate * grad
+
+    def response_error(self, coeffs: np.ndarray) -> float:
+        """Relative L2 error of the response against the ideal target."""
+        n = self.n_freq
+        taps = np.arange(self.n_taps)
+        freqs = np.linspace(0.0, 0.5, n)
+        mid = (self.n_taps - 1) / 2.0
+        design = np.cos(2.0 * np.pi * np.outer(freqs, taps - mid))
+        resp = design @ coeffs
+        return float(np.linalg.norm(resp - self._target) / np.linalg.norm(self._target))
+
+    def solve(self) -> list[np.ndarray]:
+        """All iterates, ``iterations + 1`` entries including the start."""
+        coeffs = self.initial_coefficients()
+        out = [coeffs]
+        for _ in range(self.iterations):
+            coeffs = self.refine(coeffs)
+            out.append(coeffs)
+        return out
+
+    @staticmethod
+    def coefficient_error(predicted: np.ndarray, candidate: np.ndarray,
+                          _reference=None) -> float:
+        """Validator: relative response-space distance between two iterates.
+
+        Used as the speculation spec's validator — the programmer-defined
+        comparison criterion of §II-A point (4).
+        """
+        a = frequency_response(predicted)
+        b = frequency_response(candidate)
+        denom = float(np.linalg.norm(b))
+        if denom == 0.0:
+            return 0.0
+        return float(np.linalg.norm(a - b) / denom)

@@ -1,0 +1,58 @@
+"""The Huffman encoder benchmark (paper §IV).
+
+A complete, correct Huffman codec plus the streaming pipeline that the paper
+evaluates:
+
+* first pass — per-block ``count`` histograms merged by a cascade of
+  ``reduce`` tasks into prefix histograms and finally the global histogram;
+* the serial ``tree`` build (the Amdahl bottleneck speculation bypasses);
+* second pass — the serial ``offset`` chain (variable-length output needs
+  each block's bit position) feeding data-parallel ``encode`` tasks;
+* the tolerance check comparing compressed size under the speculative vs the
+  fresh tree (§IV-B).
+
+Design note: trees always assign a code to *all 256 symbols* (zero
+frequencies are clamped to one for the tree build). A speculative tree built
+from a prefix would otherwise be unable to encode symbols that first appear
+later in the stream; clamping costs a fraction of a percent of compression
+and makes every speculative tree total. Recorded in DESIGN.md / EXPERIMENTS.md.
+"""
+
+from repro.huffman.histogram import byte_histogram, merge_histograms, zero_histogram
+from repro.huffman.tree import HuffmanTree, code_lengths
+from repro.huffman.codec import (
+    assemble_stream,
+    decode_stream,
+    encode_block,
+    encoded_size_bits,
+)
+from repro.huffman.offsets import block_bits, group_offsets
+from repro.huffman.checkers import compression_size_error
+from repro.huffman.container import compress, decompress
+from repro.huffman.lengthlimit import limited_code_lengths, limited_tree
+from repro.huffman.reference import reference_compress, reference_decompress
+from repro.huffman.pipeline import HuffmanConfig, HuffmanPipeline, PipelineResult
+
+__all__ = [
+    "byte_histogram",
+    "merge_histograms",
+    "zero_histogram",
+    "HuffmanTree",
+    "code_lengths",
+    "encode_block",
+    "decode_stream",
+    "assemble_stream",
+    "encoded_size_bits",
+    "block_bits",
+    "group_offsets",
+    "compression_size_error",
+    "compress",
+    "decompress",
+    "limited_code_lengths",
+    "limited_tree",
+    "reference_compress",
+    "reference_decompress",
+    "HuffmanConfig",
+    "HuffmanPipeline",
+    "PipelineResult",
+]

@@ -1,0 +1,40 @@
+"""The Huffman tolerance check (§IV-B).
+
+"Our check task checks if the difference in compression size is within a
+certain percentage of the compressed file. It does so by using the current
+global histogram to sum the product of the frequency of each character with
+the number of bits associated to it by each tree."
+
+The error is *relative to the size under the fresh (candidate) tree* — the
+"new compression rate" in the paper — so the same number compares cleanly
+against the tolerance margins (1 %, 2 %, 5 %) of Fig. 9.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ToleranceError
+from repro.huffman.tree import HuffmanTree
+
+__all__ = ["compression_size_error"]
+
+
+def compression_size_error(
+    predicted: HuffmanTree, candidate: HuffmanTree, hist: np.ndarray
+) -> float:
+    """Relative compressed-size excess of ``predicted`` vs ``candidate``.
+
+    Both trees are priced on the same reference histogram (the prefix
+    histogram current at check time). Returns
+    ``|size_pred - size_cand| / size_cand`` — 0.0 means the speculative tree
+    compresses exactly as well as a tree built from everything seen so far.
+    """
+    if predicted is None or candidate is None:
+        raise ToleranceError("check requires both a predicted and a candidate tree")
+    size_pred = predicted.encoded_bits(hist)
+    size_cand = candidate.encoded_bits(hist)
+    if size_cand <= 0:
+        # Empty reference prefix: nothing to disagree about.
+        return 0.0
+    return abs(size_pred - size_cand) / size_cand

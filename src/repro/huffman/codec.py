@@ -1,0 +1,190 @@
+"""Bit-level Huffman encoding and decoding.
+
+Encoding is fully vectorised (HPC guide idiom: replace the per-byte Python
+loop with a handful of NumPy passes): symbol code words and lengths are
+gathered through lookup tables, destination bit positions come from a prefix
+sum, and one vectorised pass per code-bit position scatters the bits. The
+cost is O(max_code_length) vector operations instead of O(n) Python
+iterations.
+
+Decoding is canonical-Huffman table decoding: a flat lookup table indexed by
+the next ``PEEK_BITS`` bits resolves short codes in one step; rarer long
+codes fall back to per-bit canonical walking. Decoding exists to *verify*
+encodes (differential and property tests, experiment self-checks) — it is
+not on the benchmark's measured path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import CodecError
+from repro.huffman.histogram import ALPHABET
+from repro.huffman.tree import HuffmanTree
+
+__all__ = [
+    "encode_block",
+    "encoded_size_bits",
+    "assemble_stream",
+    "decode_stream",
+]
+
+#: Width of the fast decode table. Codes no longer than this decode in one
+#: table hit; longer codes take the canonical slow path.
+PEEK_BITS = 16
+
+
+def encoded_size_bits(hist: np.ndarray, tree: HuffmanTree) -> int:
+    """Exact compressed size (bits) of data with histogram ``hist``."""
+    return tree.encoded_bits(hist)
+
+
+def encode_block(data: bytes | np.ndarray, tree: HuffmanTree) -> tuple[np.ndarray, int]:
+    """Encode one block; returns (packed bytes as uint8 array, bit count).
+
+    The packed array is MSB-first (``np.packbits`` convention), padded with
+    zero bits to a byte boundary.
+    """
+    syms = data if isinstance(data, np.ndarray) else np.frombuffer(data, dtype=np.uint8)
+    if syms.dtype != np.uint8:
+        raise CodecError(f"encode input must be uint8, got {syms.dtype}")
+    if syms.size == 0:
+        return np.zeros(0, dtype=np.uint8), 0
+    lens = tree.lengths[syms].astype(np.int64)
+    codes = tree.codes[syms]
+    total = int(lens.sum())
+    starts = np.zeros(syms.size, dtype=np.int64)
+    np.cumsum(lens[:-1], out=starts[1:])
+    bits = np.zeros(total, dtype=np.uint8)
+    max_len = int(lens.max())
+    for b in range(max_len):
+        mask = lens > b
+        shift = (lens[mask] - 1 - b).astype(np.uint64)
+        bits[starts[mask] + b] = ((codes[mask] >> shift) & np.uint64(1)).astype(np.uint8)
+    return np.packbits(bits), total
+
+
+def assemble_stream(
+    pieces: Iterable[tuple[int, np.ndarray, int]], total_bits: int
+) -> np.ndarray:
+    """Place encoded pieces at their bit offsets in one contiguous stream.
+
+    Args:
+        pieces: iterables of ``(bit_offset, packed_bytes, nbits)``.
+        total_bits: length of the assembled stream in bits.
+
+    Returns the packed stream (uint8, MSB-first). Overlapping or
+    out-of-range pieces raise — offsets come from the offset chain and must
+    tile the stream exactly.
+    """
+    stream = np.zeros(total_bits, dtype=np.uint8)
+    filled = np.zeros(total_bits, dtype=bool)
+    for offset, packed, nbits in pieces:
+        if offset < 0 or offset + nbits > total_bits:
+            raise CodecError(
+                f"piece [{offset}, {offset + nbits}) outside stream of {total_bits} bits"
+            )
+        if nbits == 0:
+            continue
+        piece_bits = np.unpackbits(packed)[:nbits]
+        if piece_bits.size != nbits:
+            raise CodecError(f"piece claims {nbits} bits but has {piece_bits.size}")
+        if filled[offset : offset + nbits].any():
+            raise CodecError(f"piece at offset {offset} overlaps assembled data")
+        stream[offset : offset + nbits] = piece_bits
+        filled[offset : offset + nbits] = True
+    if not filled.all():
+        raise CodecError("assembled stream has gaps")
+    return np.packbits(stream)
+
+
+def _build_decode_tables(tree: HuffmanTree):
+    """Canonical decode tables: fast LUT + per-length first-code tables."""
+    lengths = tree.lengths.astype(np.int64)
+    max_len = int(lengths.max())
+    order = np.lexsort((np.arange(ALPHABET), lengths))
+    sorted_syms = order
+    sorted_lens = lengths[order]
+    # first_code[l], first_rank[l]: canonical decode bookkeeping.
+    counts = np.bincount(sorted_lens, minlength=max_len + 1)
+    first_code = np.zeros(max_len + 2, dtype=np.int64)
+    first_rank = np.zeros(max_len + 2, dtype=np.int64)
+    code = 0
+    rank = 0
+    for l in range(1, max_len + 1):
+        first_code[l] = code
+        first_rank[l] = rank
+        code = (code + int(counts[l])) << 1
+        rank += int(counts[l])
+    # Fast table: for every PEEK_BITS window, the decoded symbol and its
+    # length (0 length = code longer than PEEK_BITS, take slow path).
+    peek = min(PEEK_BITS, max_len)
+    table_syms = np.zeros(1 << peek, dtype=np.uint16)
+    table_lens = np.zeros(1 << peek, dtype=np.uint8)
+    for sym in range(ALPHABET):
+        l = int(lengths[sym])
+        if l > peek:
+            continue
+        prefix = int(tree.codes[sym]) << (peek - l)
+        span = 1 << (peek - l)
+        table_syms[prefix : prefix + span] = sym
+        table_lens[prefix : prefix + span] = l
+    return peek, table_syms, table_lens, first_code, first_rank, sorted_syms, counts, max_len
+
+
+def decode_stream(packed: np.ndarray, nbits: int, tree: HuffmanTree) -> bytes:
+    """Decode ``nbits`` of a packed canonical-Huffman stream back to bytes.
+
+    Strategy: vectorise everything position-independent up front — for
+    *every* bit position, precompute which symbol a code starting there
+    would decode to and how long it is (a ``PEEK_BITS``-wide sliding-window
+    table lookup). The remaining sequential part is a tight chain walk
+    ``pos -> pos + len[pos]`` (two array reads per symbol). Codes longer
+    than the peek window take a per-bit canonical fallback.
+    """
+    if nbits == 0:
+        return b""
+    bits = np.unpackbits(packed)
+    if bits.size < nbits:
+        raise CodecError(f"stream holds {bits.size} bits, {nbits} claimed")
+    bits = bits[:nbits]
+    (peek, table_syms, table_lens, first_code, first_rank,
+     sorted_syms, counts, max_len) = _build_decode_tables(tree)
+
+    # peek_vals[i] = the `peek` bits starting at i (zero-padded at the end).
+    padded = np.concatenate([bits, np.zeros(peek, dtype=np.uint8)])
+    peek_vals = np.zeros(nbits, dtype=np.uint32)
+    for k in range(peek):
+        peek_vals |= padded[k : k + nbits].astype(np.uint32) << (peek - 1 - k)
+    sym_at = table_syms[peek_vals]
+    len_at = table_lens[peek_vals].astype(np.int64)
+
+    out = bytearray()
+    append = out.append
+    pos = 0
+    total = nbits
+    while pos < total:
+        l = len_at[pos]
+        if l > 0:
+            if pos + l > total:
+                raise CodecError(f"corrupt stream: code at bit {pos} overruns the end")
+            append(sym_at[pos])
+            pos += l
+            continue
+        # Slow path: code longer than the peek window — canonical walk.
+        code = 0
+        l = 0
+        found = False
+        while pos + l < total and l < max_len:
+            code = (code << 1) | int(bits[pos + l])
+            l += 1
+            if counts[l] and first_code[l] <= code < first_code[l] + int(counts[l]):
+                append(int(sorted_syms[first_rank[l] + code - first_code[l]]))
+                pos += l
+                found = True
+                break
+        if not found:
+            raise CodecError(f"corrupt stream: no code boundary at bit {pos}")
+    return bytes(out)

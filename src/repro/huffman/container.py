@@ -1,0 +1,85 @@
+"""A self-contained compressed container format.
+
+The pipelines produce a raw bit stream plus a tree held in memory; a real
+compressor must ship the tree with the data. This module defines the small
+container the examples and CLI use:
+
+```
+magic   4 B   b"RHUF"
+version 1 B   0x01
+nbits   8 B   big-endian payload length in bits
+lengths 256 B canonical code length per byte value
+payload ⌈nbits/8⌉ B
+```
+
+Canonical codes mean the 256 lengths fully determine the codebook — the
+standard trick (DEFLATE does the same). Container round-trip works for any
+tree the runtime can commit, including speculative (non-optimal) trees.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CodecError
+from repro.huffman.codec import decode_stream, encode_block
+from repro.huffman.histogram import byte_histogram
+from repro.huffman.tree import HuffmanTree
+
+__all__ = ["pack_container", "unpack_container", "compress", "decompress"]
+
+MAGIC = b"RHUF"
+VERSION = 1
+HEADER_LEN = 4 + 1 + 8 + 256
+
+
+def pack_container(payload: np.ndarray, nbits: int, tree: HuffmanTree) -> bytes:
+    """Assemble a container from an encoded stream and its tree."""
+    if nbits < 0:
+        raise CodecError("negative bit count")
+    need = (nbits + 7) // 8
+    if payload.size < need:
+        raise CodecError(f"payload holds {payload.size} B, {need} needed")
+    out = bytearray()
+    out += MAGIC
+    out.append(VERSION)
+    out += nbits.to_bytes(8, "big")
+    out += tree.lengths.tobytes()
+    out += payload.tobytes()[:need]
+    return bytes(out)
+
+
+def unpack_container(blob: bytes) -> tuple[np.ndarray, int, HuffmanTree]:
+    """Split a container into (payload, nbits, tree); validates the header."""
+    if len(blob) < HEADER_LEN:
+        raise CodecError("container too short")
+    if blob[:4] != MAGIC:
+        raise CodecError("bad magic: not a repro-huffman container")
+    if blob[4] != VERSION:
+        raise CodecError(f"unsupported container version {blob[4]}")
+    nbits = int.from_bytes(blob[5:13], "big")
+    lengths = np.frombuffer(blob[13:269], dtype=np.uint8)
+    tree = HuffmanTree(lengths=lengths.copy())
+    payload = np.frombuffer(blob[269:], dtype=np.uint8)
+    if payload.size < (nbits + 7) // 8:
+        raise CodecError("container truncated: payload shorter than nbits")
+    return payload, nbits, tree
+
+
+def compress(data: bytes, tree: HuffmanTree | None = None) -> bytes:
+    """One-shot compress to a self-contained container.
+
+    ``tree`` defaults to the optimal tree for ``data``; passing another
+    (e.g. a committed speculative tree) produces a valid, slightly larger
+    container.
+    """
+    if tree is None:
+        tree = HuffmanTree.from_histogram(byte_histogram(data))
+    payload, nbits = encode_block(data, tree)
+    return pack_container(payload, nbits, tree)
+
+
+def decompress(blob: bytes) -> bytes:
+    """Inverse of :func:`compress`."""
+    payload, nbits, tree = unpack_container(blob)
+    return decode_stream(payload, nbits, tree)

@@ -1,0 +1,52 @@
+"""The offset chain — serialised bit positions for parallel encoding.
+
+Huffman output is variable-length, so a block's position in the output is
+known only once every previous block's encoded size is known (§IV-A). The
+paper parallelises the second pass by adding an offset phase: per-group
+offset tasks consume the group's block histograms, the tree, and the end
+offset of the previous group — a cheap serial chain (prefix sum) that then
+feeds many encode tasks at once.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import CodecError
+from repro.huffman.tree import HuffmanTree
+
+__all__ = ["block_bits", "group_offsets"]
+
+
+def block_bits(hist: np.ndarray, tree: HuffmanTree) -> int:
+    """Encoded size of one block (bits), from its histogram alone."""
+    return tree.encoded_bits(hist)
+
+
+def group_offsets(
+    hists: Sequence[np.ndarray], tree: HuffmanTree, start: int
+) -> tuple[np.ndarray, int]:
+    """Bit offsets for a group of consecutive blocks.
+
+    Args:
+        hists: per-block histograms, in block order.
+        tree: the encoding tree (speculative or final).
+        start: end offset of the previous group (0 for the first).
+
+    Returns ``(offsets, end)``: each block's start bit position and the
+    group's end position (the next group's ``start``).
+    """
+    if start < 0:
+        raise CodecError(f"negative start offset {start}")
+    sizes = np.array([block_bits(h, tree) for h in hists], dtype=np.int64)
+    offsets = np.empty(len(hists), dtype=np.int64)
+    if len(hists):
+        offsets[0] = start
+        np.cumsum(sizes[:-1], out=offsets[1:])
+        offsets[1:] += start
+        end = int(start + sizes.sum())
+    else:
+        end = start
+    return offsets, end

@@ -1,0 +1,464 @@
+"""The streaming Huffman pipeline — speculative and non-speculative.
+
+Orchestrates the paper's Fig. 2 data-flow graphs over the SRE runtime:
+
+* blocks arrive (``feed_block``) → ``count`` tasks;
+* complete reduce-groups spawn the running ``reduce`` chain; each reduce is
+  flagged as a *speculation base*, so its completion bubbles through the
+  SuperTask hierarchy (§III-B) and is offered to the
+  :class:`~repro.core.manager.SpeculationManager` as an update;
+* the manager builds speculative trees from prefix histograms, launches
+  speculative second passes (offset chain → encodes → wait buffer), checks
+  them against fresh prefixes under the tolerance margin, and rolls back or
+  commits;
+* the non-speculative path (or the recompute path after a failed final
+  check) runs the same second pass with the true tree, emitting directly.
+
+Everything here is executor-agnostic: the same pipeline runs under the
+simulated executor (paper figures) and the threaded executor (live demo).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.frequency import (
+    SpeculationInterval,
+    VerificationPolicy,
+    get_verification,
+)
+from repro.core.manager import SpeculationManager
+from repro.core.spec import SpecVersion, SpeculationSpec
+from repro.core.tolerance import RelativeTolerance
+from repro.core.wait import WaitBuffer
+from repro.errors import ExperimentError
+from repro.huffman.checkers import compression_size_error
+from repro.huffman.codec import assemble_stream, decode_stream
+from repro.huffman.histogram import zero_histogram
+from repro.huffman.tasks import (
+    make_count_task,
+    make_encode_task,
+    make_offset_task,
+    make_reduce_task,
+    make_tree_task,
+)
+from repro.huffman.tree import HuffmanTree
+from repro.metrics.latency import LatencyCollector
+from repro.sre.runtime import Runtime
+from repro.sre.task import Task
+
+__all__ = ["HuffmanConfig", "HuffmanPipeline", "PipelineResult"]
+
+
+@dataclass
+class HuffmanConfig:
+    """Pipeline parameters (paper §V-A "Parametrization").
+
+    Defaults follow the x86 disk configuration: 4 KB blocks, 16:1 reduce
+    ratio, 64-wide offset fan-out, verification every 8th reduce, 1 %
+    tolerance. The socket configuration drops both ratios to 8:1.
+    """
+
+    block_size: int = 4096
+    reduce_ratio: int = 16
+    offset_fanout: int = 64
+    speculative: bool = True
+    #: speculation step size (0 = speculate on the first count histogram).
+    step: int = 1
+    #: "every_k" / "optimistic" / "full", or a VerificationPolicy instance.
+    verification: VerificationPolicy | str = "every_k"
+    verify_k: int = 8
+    tolerance: float = 0.01
+    #: build length-limited (package-merge) trees instead of plain Huffman;
+    #: bounds decoder table size at a tiny compression cost.
+    max_code_length: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.block_size < 1 or self.reduce_ratio < 1 or self.offset_fanout < 1:
+            raise ExperimentError("block_size, reduce_ratio, offset_fanout must be >= 1")
+        if self.step < 0:
+            raise ExperimentError("step must be >= 0")
+        if not (0.0 <= self.tolerance):
+            raise ExperimentError("tolerance must be non-negative")
+        if self.max_code_length is not None and not (8 <= self.max_code_length <= 63):
+            raise ExperimentError("max_code_length must be in [8, 63]")
+
+    def resolve_verification(self) -> VerificationPolicy:
+        if isinstance(self.verification, VerificationPolicy):
+            return self.verification
+        return get_verification(self.verification, k=self.verify_k)
+
+
+@dataclass
+class PipelineResult:
+    """Everything an experiment reports about one run."""
+
+    n_blocks: int
+    outcome: str  # "non_speculative" | "commit" | "recompute"
+    arrivals: np.ndarray
+    completions: np.ndarray
+    latencies: np.ndarray
+    commit_latencies: np.ndarray
+    completion_time: float
+    compressed_bits: int
+    input_bytes: int
+    wasted_encodes: int
+    spec_stats: dict[str, float] = field(default_factory=dict)
+    runtime_stats: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def avg_latency(self) -> float:
+        return float(self.latencies.mean())
+
+    @property
+    def max_latency(self) -> float:
+        return float(self.latencies.max())
+
+    @property
+    def compression_ratio(self) -> float:
+        """Input size over output size (larger = better compression)."""
+        if self.compressed_bits == 0:
+            return float("inf")
+        return 8.0 * self.input_bytes / self.compressed_bits
+
+
+class HuffmanPipeline:
+    """Drives one Huffman encoding run over a runtime."""
+
+    def __init__(self, runtime: Runtime, config: HuffmanConfig, n_blocks: int) -> None:
+        if n_blocks < 1:
+            raise ExperimentError("need at least one block")
+        self.runtime = runtime
+        self.config = config
+        self.n_blocks = n_blocks
+        self.n_groups = math.ceil(n_blocks / config.reduce_ratio)
+
+        root = runtime.root.subgroup("huffman")
+        self.st_first = root.subgroup("first_pass")
+        self.st_second = root.subgroup("second_pass")
+        self.st_spec = root.subgroup("speculation")
+
+        self.collector = LatencyCollector()
+        self.blocks: dict[int, np.ndarray] = {}
+        self.block_hists: dict[int, np.ndarray] = {}
+        self._reduce_tasks: dict[int, Task] = {}
+        self._reduce_group_have: dict[int, int] = defaultdict(int)
+        self._builders: list[_SecondPassBuilder] = []
+        self._fed = 0
+        self._assembled: dict[int, tuple[int, np.ndarray, int]] = {}
+        self._valid_tree: HuffmanTree | None = None
+        self._natural_launched = False
+
+        self.barrier: WaitBuffer | None = None
+        self.manager: SpeculationManager | None = None
+        if config.speculative:
+            self.barrier = WaitBuffer(sink=self._commit_sink)
+            spec = SpeculationSpec(
+                name="huffman",
+                predictor=self._make_tree_task,
+                validator=compression_size_error,
+                launch=self._launch_speculative,
+                recompute=self._launch_recompute,
+                barrier=self.barrier,
+                tolerance=RelativeTolerance(config.tolerance),
+                interval=SpeculationInterval(config.step),
+                verification=config.resolve_verification(),
+            )
+            self.manager = SpeculationManager(runtime, spec)
+
+        # Reduce completions reach us through the SuperTask spec-base
+        # notification chain — the paper's flagged-task mechanism (§III-B).
+        self.st_first.on_speculation_base(self._on_spec_base)
+
+    # ------------------------------------------------------------------
+    # input
+    # ------------------------------------------------------------------
+    def feed_block(self, index: int, data: bytes | np.ndarray) -> None:
+        """A data block arrived (called by the I/O model at arrival time)."""
+        if not (0 <= index < self.n_blocks):
+            raise ExperimentError(f"block index {index} out of range")
+        if index in self.blocks:
+            raise ExperimentError(f"block {index} fed twice")
+        arr = data if isinstance(data, np.ndarray) else np.frombuffer(data, dtype=np.uint8)
+        self.blocks[index] = arr
+        self._fed += 1
+        self.collector.record_arrival(index, self.runtime.now)
+        task = make_count_task(index, arr)
+        task.on_complete.append(self._count_done)
+        self.runtime.add_task(task, self.st_first)
+
+    def _make_tree_task(self, hist: np.ndarray, name: str) -> Task:
+        return make_tree_task(hist, name, self.config.max_code_length)
+
+    # ------------------------------------------------------------------
+    # first pass
+    # ------------------------------------------------------------------
+    def _count_done(self, task: Task, outs: dict[str, Any]) -> None:
+        index = task.tags["block"]
+        hist = outs["out"]
+        self.block_hists[index] = hist
+        # Step size 0: speculate on the very first partial value available —
+        # the first block's count histogram, before any reduce completes.
+        if (
+            self.manager is not None
+            and self.config.step == 0
+            and index == 0
+            and not self.manager.versions
+        ):
+            self.manager.offer_update(0, hist)
+        for builder in list(self._builders):
+            builder.on_block_hist(index)
+        group = index // self.config.reduce_ratio
+        self._reduce_group_have[group] += 1
+        if self._reduce_group_have[group] == self._reduce_group_len(group):
+            self._make_reduce(group)
+
+    def _reduce_group_len(self, group: int) -> int:
+        start = group * self.config.reduce_ratio
+        end = min(start + self.config.reduce_ratio, self.n_blocks)
+        return end - start
+
+    def _make_reduce(self, group: int) -> None:
+        start = group * self.config.reduce_ratio
+        end = start + self._reduce_group_len(group)
+        task = make_reduce_task(group, [self.block_hists[i] for i in range(start, end)])
+        self._reduce_tasks[group] = task
+        self.runtime.add_task(task, self.st_first)
+        if group == 0:
+            self.runtime.deliver_external(task, "prev", zero_histogram())
+        elif group - 1 in self._reduce_tasks:
+            self.runtime.connect(self._reduce_tasks[group - 1], "out", task, "prev")
+        if group + 1 in self._reduce_tasks:
+            self.runtime.connect(task, "out", self._reduce_tasks[group + 1], "prev")
+
+    def _on_spec_base(self, task: Task, outs: dict[str, Any]) -> None:
+        group = task.tags.get("reduce_index")
+        if group is None:
+            return
+        prefix_hist = outs["out"]
+        is_final = group == self.n_groups - 1
+        if self.manager is not None:
+            self.manager.offer_update(group + 1, prefix_hist, is_final=is_final)
+        elif is_final:
+            self._start_natural_tree(prefix_hist)
+
+    # ------------------------------------------------------------------
+    # second pass (natural and speculative)
+    # ------------------------------------------------------------------
+    def _start_natural_tree(self, hist: np.ndarray) -> None:
+        task = self._make_tree_task(hist, "tree:natural")
+        task.on_complete.append(lambda _t, outs: self._launch_recompute(outs["out"]))
+        self.runtime.add_task(task, self.st_second)
+
+    def _launch_recompute(self, tree: HuffmanTree) -> None:
+        """Build the authoritative second pass with the true tree."""
+        if self._natural_launched:
+            raise ExperimentError("natural second pass launched twice")
+        self._natural_launched = True
+        self._valid_tree = tree
+        builder = _SecondPassBuilder(self, tree, version=None)
+        self._builders.append(builder)
+        builder.bootstrap()
+
+    def _launch_speculative(self, version: SpecVersion) -> None:
+        """Speculation manager callback: build a speculative second pass."""
+        builder = _SecondPassBuilder(self, version.value, version=version)
+        self._builders.append(builder)
+        builder.bootstrap()
+
+    def _encode_done(self, version: SpecVersion | None, outs: dict[str, Any]) -> None:
+        block = outs["block"]
+        now = self.runtime.now
+        entry = (outs["offset"], outs["payload"], outs["nbits"])
+        if version is None:
+            self.collector.record_encode(block, now, None)
+            self._commit_sink(block, entry, now)
+        else:
+            self.collector.record_encode(block, now, version.vid)
+            assert self.barrier is not None
+            self.barrier.deposit(version.vid, block, entry, now)
+
+    def _commit_sink(self, block: int, entry: tuple[int, np.ndarray, int], now: float) -> None:
+        """A block's encoding became authoritative (the Store node)."""
+        self.collector.record_commit(block, now)
+        self._assembled[block] = entry
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def valid_versions(self) -> set[int | None]:
+        """Speculation versions whose encodes are authoritative."""
+        if self.manager is None:
+            return {None}
+        if self.manager.outcome == "commit":
+            committed = [v for v in self.manager.versions if v.committed]
+            return {committed[0].vid}
+        if self.manager.outcome == "recompute":
+            return {None}
+        raise ExperimentError("run not finished: no commit/recompute decision yet")
+
+    @property
+    def committed_tree(self) -> HuffmanTree:
+        """The tree the authoritative output was encoded with."""
+        if self.manager is not None and self.manager.outcome == "commit":
+            return next(v for v in self.manager.versions if v.committed).value
+        if self._valid_tree is None:
+            raise ExperimentError("run not finished: no authoritative tree")
+        return self._valid_tree
+
+    def outcome(self) -> str:
+        if self.manager is None:
+            return "non_speculative"
+        if self.manager.outcome is None:
+            raise ExperimentError("run not finished")
+        return self.manager.outcome
+
+    def result(self, completion_time: float | None = None) -> PipelineResult:
+        """Collect the run's metrics (after the executor drained)."""
+        if self._fed != self.n_blocks:
+            raise ExperimentError(
+                f"only {self._fed}/{self.n_blocks} blocks were fed"
+            )
+        valid = self.valid_versions()
+        latencies = self.collector.latencies(valid)
+        completions = self.collector.completions(valid)
+        spec_stats: dict[str, float] = {}
+        if self.manager is not None:
+            spec_stats = self.manager.stats.as_dict()
+        compressed_bits = sum(nbits for (_, _, nbits) in self._assembled.values())
+        end = completion_time if completion_time is not None else float(completions.max())
+        return PipelineResult(
+            n_blocks=self.n_blocks,
+            outcome=self.outcome(),
+            arrivals=self.collector.arrivals(),
+            completions=completions,
+            latencies=latencies,
+            commit_latencies=self.collector.commit_latencies(),
+            completion_time=end,
+            compressed_bits=compressed_bits,
+            input_bytes=sum(b.size for b in self.blocks.values()),
+            wasted_encodes=self.collector.wasted_encodes(valid),
+            spec_stats=spec_stats,
+            runtime_stats=self.runtime.stats(),
+        )
+
+    def assemble(self) -> tuple[np.ndarray, int]:
+        """Concatenate the authoritative encodes into one packed stream."""
+        if len(self._assembled) != self.n_blocks:
+            raise ExperimentError(
+                f"assembly has {len(self._assembled)}/{self.n_blocks} blocks"
+            )
+        pieces = [self._assembled[b] for b in sorted(self._assembled)]
+        total_bits = max(off + nbits for (off, _, nbits) in pieces)
+        packed = assemble_stream(
+            ((off, payload, nbits) for (off, payload, nbits) in pieces), total_bits
+        )
+        return packed, total_bits
+
+    def verify_roundtrip(self, original: bytes) -> bool:
+        """Decode the assembled stream and compare with the original input."""
+        packed, total_bits = self.assemble()
+        return decode_stream(packed, total_bits, self.committed_tree) == bytes(original)
+
+
+class _SecondPassBuilder:
+    """Builds one second pass (offset chain + encodes) for one tree.
+
+    ``version=None`` builds the natural/authoritative pass; otherwise all
+    tasks are speculative, registered with the version (rollback footprint)
+    and their results pause at the wait buffer.
+    """
+
+    def __init__(
+        self,
+        pipeline: HuffmanPipeline,
+        tree: HuffmanTree,
+        version: SpecVersion | None,
+    ) -> None:
+        self.pipeline = pipeline
+        self.tree = tree
+        self.version = version
+        self.label = f"v{version.vid}" if version is not None else "nat"
+        fanout = pipeline.config.offset_fanout
+        self.fanout = fanout
+        self.n_enc_groups = math.ceil(pipeline.n_blocks / fanout)
+        self._group_have: dict[int, int] = defaultdict(int)
+        self._offset_tasks: dict[int, Task] = {}
+        self._bootstrapped = False
+
+    @property
+    def dead(self) -> bool:
+        return self.version is not None and not self.version.active
+
+    def _group_span(self, group: int) -> tuple[int, int]:
+        start = group * self.fanout
+        return start, min(start + self.fanout, self.pipeline.n_blocks)
+
+    def bootstrap(self) -> None:
+        """Absorb every block histogram that existed before this builder."""
+        if self._bootstrapped:
+            raise ExperimentError("builder bootstrapped twice")
+        self._bootstrapped = True
+        for index in sorted(self.pipeline.block_hists):
+            self.on_block_hist(index)
+
+    def on_block_hist(self, index: int) -> None:
+        """A block's count finished; build its group's offset when complete."""
+        if self.dead:
+            return
+        group = index // self.fanout
+        self._group_have[group] += 1
+        start, end = self._group_span(group)
+        if self._group_have[group] == end - start:
+            self._make_offset(group)
+
+    def _make_offset(self, group: int) -> None:
+        start, end = self._group_span(group)
+        pipeline = self.pipeline
+        hists = [pipeline.block_hists[i] for i in range(start, end)]
+        task = make_offset_task(
+            f"offset:{self.label}:g{group}",
+            hists,
+            self.tree,
+            speculative=self.version is not None,
+        )
+        if self.version is not None:
+            self.version.register(task)
+        task.on_complete.append(lambda _t, outs, g=group: self._offset_done(g, outs))
+        self._offset_tasks[group] = task
+        st = pipeline.st_spec if self.version is not None else pipeline.st_second
+        pipeline.runtime.add_task(task, st)
+        if group == 0:
+            pipeline.runtime.deliver_external(task, "prev", 0)
+        elif group - 1 in self._offset_tasks:
+            pipeline.runtime.connect(self._offset_tasks[group - 1], "cum", task, "prev")
+        if group + 1 in self._offset_tasks:
+            pipeline.runtime.connect(task, "cum", self._offset_tasks[group + 1], "prev")
+
+    def _offset_done(self, group: int, outs: dict[str, Any]) -> None:
+        if self.dead:
+            return
+        offsets = outs["offsets"]
+        start, end = self._group_span(group)
+        pipeline = self.pipeline
+        st = pipeline.st_spec if self.version is not None else pipeline.st_second
+        for k, index in enumerate(range(start, end)):
+            task = make_encode_task(
+                f"encode:{self.label}:{index}",
+                index,
+                pipeline.blocks[index],
+                self.tree,
+                int(offsets[k]),
+                speculative=self.version is not None,
+            )
+            if self.version is not None:
+                self.version.register(task)
+            task.on_complete.append(
+                lambda _t, e_outs, v=self.version: pipeline._encode_done(v, e_outs)
+            )
+            pipeline.runtime.add_task(task, st)

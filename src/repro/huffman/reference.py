@@ -1,0 +1,30 @@
+"""Sequential reference Huffman codec — the differential-testing oracle.
+
+A straight-line implementation with no runtime, no blocks, no speculation:
+histogram → tree → encode → (decode). Every pipeline configuration, however
+exotic its schedule, rollbacks included, must produce a stream that decodes
+to the original bytes; and a run committed on the *final* tree must match
+this reference bit for bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.huffman.codec import decode_stream, encode_block
+from repro.huffman.histogram import byte_histogram
+from repro.huffman.tree import HuffmanTree
+
+__all__ = ["reference_compress", "reference_decompress"]
+
+
+def reference_compress(data: bytes) -> tuple[np.ndarray, int, HuffmanTree]:
+    """Compress ``data`` in one shot; returns (packed, nbits, tree)."""
+    tree = HuffmanTree.from_histogram(byte_histogram(data))
+    packed, nbits = encode_block(data, tree)
+    return packed, nbits, tree
+
+
+def reference_decompress(packed: np.ndarray, nbits: int, tree: HuffmanTree) -> bytes:
+    """Inverse of :func:`reference_compress`."""
+    return decode_stream(packed, nbits, tree)

@@ -1,0 +1,159 @@
+"""Task factories for the Huffman pipeline.
+
+Each factory builds a :class:`~repro.sre.task.Task` with the right kind,
+pipeline depth, cost hints (consumed by the platform cost models) and a pure
+function over its inputs. Values known at creation time (block bytes, the
+tree of an already-decided speculation version) are closure-captured; values
+whose *timing* matters (the previous reduce/offset in a chain) flow through
+ports.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.huffman.codec import encode_block
+from repro.huffman.histogram import ALPHABET, byte_histogram, merge_histograms
+from repro.huffman.offsets import group_offsets
+from repro.huffman.tree import HuffmanTree
+from repro.sre.task import Task
+
+__all__ = [
+    "make_count_task",
+    "make_reduce_task",
+    "make_tree_task",
+    "make_offset_task",
+    "make_encode_task",
+    "DEPTH_COUNT",
+    "DEPTH_REDUCE",
+    "DEPTH_TREE",
+    "DEPTH_OFFSET",
+    "DEPTH_ENCODE",
+]
+
+# Pipeline depths (deeper dispatches first under the depth-favouring policy).
+DEPTH_COUNT = 0
+DEPTH_REDUCE = 1
+DEPTH_TREE = 2
+DEPTH_OFFSET = 3
+DEPTH_ENCODE = 4
+
+
+def make_count_task(block_id: int, data: np.ndarray) -> Task:
+    """First-pass histogram of one input block."""
+    return Task(
+        f"count:{block_id}",
+        lambda d=data: {"out": byte_histogram(d)},
+        kind="count",
+        depth=DEPTH_COUNT,
+        cost_hint={"bytes": float(data.size)},
+        tags={"block": block_id},
+    )
+
+
+def make_reduce_task(index: int, group_hists: Sequence[np.ndarray]) -> Task:
+    """Running reduction: previous prefix histogram + this group's counts.
+
+    Input port ``prev`` carries the cumulative histogram of all earlier
+    groups; the group's own histograms are closure-captured (they exist when
+    the task is created — group completion is its creation trigger).
+    """
+    hists = list(group_hists)
+
+    def fn(prev: np.ndarray) -> dict[str, np.ndarray]:
+        return {"out": prev + merge_histograms(hists)}
+
+    return Task(
+        f"reduce:{index}",
+        fn,
+        inputs=("prev",),
+        kind="reduce",
+        depth=DEPTH_REDUCE,
+        cost_hint={"entries": float(ALPHABET * (len(hists) + 1))},
+        tags={"reduce_index": index, "spec_base": True},
+    )
+
+
+def make_tree_task(hist: np.ndarray, name: str,
+                   max_code_length: int | None = None) -> Task:
+    """Huffman-tree build from a histogram (serial bottleneck / predictor).
+
+    Used three ways: the natural pipeline's final tree, speculative
+    predictions from prefix histograms, and check candidates — same kind,
+    same cost. ``max_code_length`` switches to the package-merge
+    length-limited construction (every code fits the decoder's fast table).
+    """
+    if max_code_length is None:
+        build = lambda h: HuffmanTree.from_histogram(h)
+    else:
+        from repro.huffman.lengthlimit import limited_tree
+        build = lambda h: limited_tree(h, max_code_length)
+    return Task(
+        name,
+        lambda h=hist, b=build: {"out": b(h)},
+        kind="tree",
+        depth=DEPTH_TREE,
+        cost_hint={"entries": float(ALPHABET)},
+    )
+
+
+def make_offset_task(
+    name: str,
+    group_hists: Sequence[np.ndarray],
+    tree: HuffmanTree,
+    *,
+    speculative: bool,
+) -> Task:
+    """Offset-chain link: bit positions for one encode group.
+
+    Port ``prev`` carries the previous group's end offset; outputs the
+    per-block ``offsets`` array and the chain continuation ``cum``.
+    """
+    hists = list(group_hists)
+
+    def fn(prev: int) -> dict[str, object]:
+        offsets, end = group_offsets(hists, tree, int(prev))
+        return {"offsets": offsets, "cum": end}
+
+    return Task(
+        name,
+        fn,
+        inputs=("prev",),
+        kind="offset",
+        depth=DEPTH_OFFSET,
+        speculative=speculative,
+        cost_hint={"units": float(len(hists))},
+    )
+
+
+def make_encode_task(
+    name: str,
+    block_id: int,
+    data: np.ndarray,
+    tree: HuffmanTree,
+    offset: int,
+    *,
+    speculative: bool,
+) -> Task:
+    """Second-pass encode of one block at a known bit offset."""
+
+    def fn() -> dict[str, object]:
+        payload, nbits = encode_block(data, tree)
+        return {
+            "payload": payload,
+            "nbits": nbits,
+            "block": block_id,
+            "offset": int(offset),
+        }
+
+    return Task(
+        name,
+        fn,
+        kind="encode",
+        depth=DEPTH_ENCODE,
+        speculative=speculative,
+        cost_hint={"bytes": float(data.size)},
+        tags={"block": block_id},
+    )

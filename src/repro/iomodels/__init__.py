@@ -1,0 +1,14 @@
+"""I/O arrival models.
+
+The paper tests two input modes (§V-A): reading from a hard-disk cache
+(very low latency — blocks are available almost back-to-back) and streaming
+over a tunnelled SSH socket connection between distant servers (very slow,
+arrival-dominated). To the runtime, an input mode is nothing but the block
+arrival process; these models generate arrival timestamps.
+"""
+
+from repro.iomodels.base import ArrivalModel, TraceArrivals
+from repro.iomodels.disk import DiskModel
+from repro.iomodels.socket import SocketModel
+
+__all__ = ["ArrivalModel", "TraceArrivals", "DiskModel", "SocketModel"]

@@ -1,0 +1,64 @@
+"""Arrival-model interface and the explicit-trace model."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.sim.rng import make_rng
+
+__all__ = ["ArrivalModel", "TraceArrivals"]
+
+
+class ArrivalModel:
+    """Generates block arrival times for one run.
+
+    Subclasses implement :meth:`arrival_times`; callers schedule
+    ``pipeline.feed_block`` at those instants (simulated executor) or sleep
+    until them (threaded executor).
+    """
+
+    def arrival_times(self, n_blocks: int, rng=None) -> np.ndarray:
+        """Arrival timestamp (µs) per block, non-decreasing, length ``n_blocks``."""
+        raise NotImplementedError
+
+    def _finalize(self, times: np.ndarray) -> np.ndarray:
+        """Clamp, sort-check and freeze a generated schedule."""
+        times = np.asarray(times, dtype=np.float64)
+        if times.size and times[0] < 0:
+            raise ExperimentError("arrival times must be non-negative")
+        if np.any(np.diff(times) < 0):
+            raise ExperimentError("arrival times must be non-decreasing")
+        return times
+
+
+class TraceArrivals(ArrivalModel):
+    """Replay an explicit list of arrival timestamps (tests, recorded runs)."""
+
+    def __init__(self, times) -> None:
+        self._times = self._finalize(np.asarray(times, dtype=np.float64))
+
+    def arrival_times(self, n_blocks: int, rng=None) -> np.ndarray:
+        if n_blocks != self._times.size:
+            raise ExperimentError(
+                f"trace has {self._times.size} arrivals, {n_blocks} blocks requested"
+            )
+        return self._times.copy()
+
+
+def jittered_schedule(
+    n_blocks: int, start: float, per_block: float, jitter: float, rng
+) -> np.ndarray:
+    """Common helper: ``start + i·per_block`` with multiplicative jitter.
+
+    ``jitter`` is the coefficient of variation of each inter-arrival gap;
+    0 gives a perfectly regular (deterministic) stream.
+    """
+    if per_block < 0 or start < 0 or jitter < 0:
+        raise ExperimentError("start, per_block and jitter must be non-negative")
+    if jitter == 0:
+        return start + per_block * np.arange(n_blocks, dtype=np.float64)
+    gen = make_rng(rng)
+    gaps = per_block * np.maximum(0.0, gen.normal(1.0, jitter, size=n_blocks))
+    times = start + np.cumsum(gaps) - gaps[0]
+    return times

@@ -1,0 +1,36 @@
+"""Socket arrival model.
+
+"Data is streamed via a tunnelled SSH socket connection over a long
+distance" (§V-A): arrival time dominates everything (Fig. 7 shows ~6 s of
+transfer for a 4 MB file — thousands of µs per 4 KB block), making the
+encoder latency essentially free *if* speculation keeps up with arrivals —
+and making rollbacks brutally visible, since re-encoding has to wait for no
+one while fresh blocks trickle in.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.iomodels.base import ArrivalModel, jittered_schedule
+
+__all__ = ["SocketModel"]
+
+
+class SocketModel(ArrivalModel):
+    """Slow, jittered block arrivals (long-distance tunnelled stream)."""
+
+    def __init__(
+        self,
+        per_block_us: float = 5500.0,
+        start_us: float = 2000.0,
+        jitter: float = 0.15,
+    ) -> None:
+        self.per_block_us = per_block_us
+        self.start_us = start_us
+        self.jitter = jitter
+
+    def arrival_times(self, n_blocks: int, rng=None) -> np.ndarray:
+        return self._finalize(
+            jittered_schedule(n_blocks, self.start_us, self.per_block_us, self.jitter, rng)
+        )

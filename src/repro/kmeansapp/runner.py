@@ -1,0 +1,96 @@
+"""One-call runner for the k-means application experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.iomodels import ArrivalModel, DiskModel
+from repro.kmeansapp.kmeans import KMeansModel, gaussian_mixture_stream
+from repro.kmeansapp.pipeline import KMeansConfig, KMeansPipeline
+from repro.platforms import Platform, get_platform
+from repro.sim.rng import make_rng
+from repro.sre.executor_sim import SimulatedExecutor
+from repro.sre.runtime import Runtime
+
+__all__ = ["KMeansRunReport", "run_kmeans_experiment"]
+
+
+@dataclass
+class KMeansRunReport:
+    """Metrics from one speculative clustering run."""
+
+    outcome: str
+    avg_latency: float
+    completion_time: float
+    latencies: np.ndarray
+    inertia: float
+    rollbacks: int
+    speculations: int
+    labels_ok: bool
+
+
+def run_kmeans_experiment(
+    *,
+    n_blocks: int = 48,
+    block_points: int = 512,
+    n_clusters: int = 8,
+    dim: int = 4,
+    drift_blocks: int = 0,
+    speculative: bool = True,
+    step: int = 2,
+    verification: str = "every_k",
+    verify_k: int = 4,
+    tolerance: float = 0.05,
+    policy: str = "balanced",
+    platform: str | Platform = "x86",
+    workers: int | None = None,
+    io: ArrivalModel | None = None,
+    seed: int = 0,
+) -> KMeansRunReport:
+    """Run streaming k-means with centroid speculation.
+
+    ``drift_blocks > 0`` shifts the mixture's means over the first blocks
+    (an early transient): speculation before the drift settles rolls back.
+    """
+    rng = make_rng(seed)
+    model = KMeansModel(n_clusters=n_clusters, dim=dim)
+    config = KMeansConfig(
+        speculative=speculative, step=step, verification=verification,
+        verify_k=verify_k, tolerance=tolerance,
+    )
+    plat = get_platform(platform) if isinstance(platform, str) else platform
+    io_model = io if io is not None else DiskModel(per_block_us=60.0)
+    stream = gaussian_mixture_stream(
+        n_blocks, block_points, n_clusters=n_clusters, dim=dim,
+        drift_blocks=drift_blocks, seed=rng,
+    )
+
+    runtime = Runtime()
+    executor = SimulatedExecutor(runtime, plat, policy=policy, workers=workers)
+    pipeline = KMeansPipeline(runtime, model, config, n_blocks)
+    arrivals = io_model.arrival_times(n_blocks, rng)
+    for index, when in enumerate(arrivals):
+        executor.sim.schedule_at(
+            float(when), lambda i=index: pipeline.feed_block(i, stream[i]))
+    end = executor.run()
+
+    valid = pipeline.valid_versions()
+    latencies = pipeline.collector.latencies(valid)
+    ok = pipeline.verify_labels()
+    if not ok:
+        raise ExperimentError("k-means labels failed verification")
+    stats = pipeline.manager.stats if pipeline.manager else None
+    return KMeansRunReport(
+        outcome=("non_speculative" if pipeline.manager is None
+                 else pipeline.manager.outcome),
+        avg_latency=float(latencies.mean()),
+        completion_time=float(end),
+        latencies=latencies,
+        inertia=pipeline.inertia(),
+        rollbacks=stats.rollbacks if stats else 0,
+        speculations=stats.speculations if stats else 0,
+        labels_ok=ok,
+    )

@@ -1,0 +1,106 @@
+"""Per-block latency collection.
+
+Latency of block *i* = (completion of *i*'s authoritative encode) − (arrival
+of *i*). A speculative encode is authoritative only if its version was
+eventually committed; rolled-back encodes are real work that happened, but
+the block's processing is complete only once a *valid* encoding exists —
+this is how the paper's rollback plateaus (Fig. 7b) appear in the curves.
+
+Commit latency (completion measured when the result clears the side-effect
+barrier) is collected alongside for the buffering ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+__all__ = ["LatencyCollector"]
+
+
+class LatencyCollector:
+    """Arrival / encode / commit records for one run."""
+
+    def __init__(self) -> None:
+        self._arrivals: dict[int, float] = {}
+        self._encodes: dict[int, list[tuple[float, int | None]]] = {}
+        self._commits: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record_arrival(self, block: int, time: float) -> None:
+        if block in self._arrivals:
+            raise ExperimentError(f"block {block} arrived twice")
+        self._arrivals[block] = time
+
+    def record_encode(self, block: int, time: float, version: int | None) -> None:
+        """An encode of ``block`` completed under speculation ``version``
+        (None = the natural, always-valid path)."""
+        self._encodes.setdefault(block, []).append((time, version))
+
+    def record_commit(self, block: int, time: float) -> None:
+        """Block ``block``'s result cleared the side-effect barrier."""
+        self._commits[block] = time
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def n_blocks(self) -> int:
+        return len(self._arrivals)
+
+    def arrivals(self) -> np.ndarray:
+        """Arrival times indexed by block id (dense, block order)."""
+        return self._series(self._arrivals)
+
+    def encode_attempts(self, block: int) -> list[tuple[float, int | None]]:
+        """All encodes of one block, valid or not (rollback diagnostics)."""
+        return list(self._encodes.get(block, ()))
+
+    def wasted_encodes(self, valid_versions: Iterable[int | None]) -> int:
+        """Number of encode completions that were later rolled back."""
+        valid = set(valid_versions)
+        return sum(
+            1
+            for attempts in self._encodes.values()
+            for (_, v) in attempts
+            if v not in valid
+        )
+
+    def completions(self, valid_versions: Iterable[int | None]) -> np.ndarray:
+        """Authoritative completion time per block (block order).
+
+        Each block must have exactly one valid encode — more means two
+        authoritative paths raced (a bug), none means the run lost a block.
+        """
+        valid = set(valid_versions)
+        out = np.empty(len(self._arrivals), dtype=np.float64)
+        for i, block in enumerate(sorted(self._arrivals)):
+            hits = [t for (t, v) in self._encodes.get(block, ()) if v in valid]
+            if len(hits) != 1:
+                raise ExperimentError(
+                    f"block {block} has {len(hits)} valid encodes (want exactly 1)"
+                )
+            out[i] = hits[0]
+        return out
+
+    def latencies(self, valid_versions: Iterable[int | None]) -> np.ndarray:
+        """Per-block latency, in block order (the paper's y-axis)."""
+        return self.completions(valid_versions) - self.arrivals()
+
+    def commit_latencies(self) -> np.ndarray:
+        """Latency to the commit point (barrier clearance), block order."""
+        arr = self.arrivals()
+        out = np.empty_like(arr)
+        for i, block in enumerate(sorted(self._arrivals)):
+            if block not in self._commits:
+                raise ExperimentError(f"block {block} never committed")
+            out[i] = self._commits[block]
+        return out - arr
+
+    def _series(self, mapping: dict[int, float]) -> np.ndarray:
+        return np.array([mapping[b] for b in sorted(mapping)], dtype=np.float64)

@@ -1,0 +1,76 @@
+"""Plain-text rendering: tables and ASCII charts for experiment output.
+
+The benchmark harness prints the same rows/series the paper plots; these
+helpers keep that output readable in a terminal and diff-able in CI logs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["render_table", "ascii_chart"]
+
+
+def render_table(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Monospace table with a header rule."""
+    cols = len(header)
+    for r in rows:
+        if len(r) != cols:
+            raise ValueError(f"row {r!r} has {len(r)} cells, expected {cols}")
+    widths = [
+        max(len(str(header[c])), *(len(str(r[c])) for r in rows)) if rows else len(str(header[c]))
+        for c in range(cols)
+    ]
+    def fmt(cells):
+        return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+    lines = [fmt(header), fmt("-" * w for w in widths)]
+    lines.extend(fmt(r) for r in rows)
+    return "\n".join(lines)
+
+
+def ascii_chart(
+    series: dict[str, np.ndarray],
+    *,
+    width: int = 72,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "element",
+    y_label: str = "latency (µs)",
+) -> str:
+    """Down-sampled multi-series line chart in ASCII.
+
+    Each series is plotted over its index (the paper's "Element" axis);
+    series are marked with distinct glyphs. Good enough to eyeball curve
+    shapes — who is above whom, where plateaus sit — in a terminal log.
+    """
+    if not series:
+        return "(no data)"
+    glyphs = "*o+x#@%&"
+    y_max = max(float(np.max(v)) for v in series.values() if len(v))
+    y_min = min(0.0, min(float(np.min(v)) for v in series.values() if len(v)))
+    if y_max <= y_min:
+        y_max = y_min + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, values) in enumerate(series.items()):
+        v = np.asarray(values, dtype=np.float64)
+        if v.size == 0:
+            continue
+        g = glyphs[si % len(glyphs)]
+        xs = np.linspace(0, v.size - 1, num=width).astype(np.int64)
+        for col, idx in enumerate(xs):
+            frac = (v[idx] - y_min) / (y_max - y_min)
+            row = height - 1 - int(round(frac * (height - 1)))
+            grid[row][col] = g
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_max:,.0f} {y_label}")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width + f"> {x_label}")
+    legend = "   ".join(
+        f"{glyphs[i % len(glyphs)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)

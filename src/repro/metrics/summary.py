@@ -1,0 +1,71 @@
+"""Run summaries — the numbers every experiment table reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["RunSummary", "summarize_run"]
+
+
+@dataclass
+class RunSummary:
+    """Scalar digest of one pipeline run."""
+
+    label: str
+    n_blocks: int
+    outcome: str
+    avg_latency_us: float
+    max_latency_us: float
+    p95_latency_us: float
+    completion_time_us: float
+    compression_ratio: float
+    rollbacks: int
+    wasted_encodes: int
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def row(self) -> list[str]:
+        """Formatted cells for table rendering."""
+        return [
+            self.label,
+            str(self.n_blocks),
+            self.outcome,
+            f"{self.avg_latency_us:,.0f}",
+            f"{self.max_latency_us:,.0f}",
+            f"{self.completion_time_us:,.0f}",
+            f"{self.compression_ratio:.3f}",
+            str(self.rollbacks),
+            str(self.wasted_encodes),
+        ]
+
+    HEADER = [
+        "run",
+        "blocks",
+        "outcome",
+        "avg lat (µs)",
+        "max lat (µs)",
+        "runtime (µs)",
+        "ratio",
+        "rollbacks",
+        "wasted",
+    ]
+
+
+def summarize_run(label: str, result) -> RunSummary:
+    """Digest a :class:`~repro.huffman.pipeline.PipelineResult`."""
+    latencies = result.latencies
+    return RunSummary(
+        label=label,
+        n_blocks=result.n_blocks,
+        outcome=result.outcome,
+        avg_latency_us=float(latencies.mean()),
+        max_latency_us=float(latencies.max()),
+        p95_latency_us=float(np.percentile(latencies, 95)),
+        completion_time_us=float(result.completion_time),
+        compression_ratio=result.compression_ratio,
+        rollbacks=int(result.spec_stats.get("rollbacks", 0)),
+        wasted_encodes=result.wasted_encodes,
+        extra=dict(result.spec_stats),
+    )

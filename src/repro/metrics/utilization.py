@@ -1,0 +1,92 @@
+"""Worker-time and queue-depth analysis from run traces.
+
+Answers the resource-management questions of §II-B quantitatively: where
+did worker time go (per task kind, split natural vs speculative, useful vs
+wasted), and how deep did the ready queues run — directly from the trace,
+for simulated and threaded runs alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metrics.traceview import _task_spans
+from repro.sim.trace import TraceRecorder
+
+__all__ = ["KindUsage", "worker_time_breakdown", "ready_depth_series"]
+
+
+@dataclass
+class KindUsage:
+    """Busy time attributed to one task kind."""
+
+    kind: str
+    busy_us: float = 0.0
+    speculative_us: float = 0.0
+    wasted_us: float = 0.0  # spans ending in an abort
+    tasks: int = 0
+
+    def row(self) -> list[str]:
+        return [
+            self.kind,
+            str(self.tasks),
+            f"{self.busy_us:,.0f}",
+            f"{self.speculative_us:,.0f}",
+            f"{self.wasted_us:,.0f}",
+        ]
+
+    HEADER = ["kind", "tasks", "busy (µs)", "speculative (µs)", "wasted (µs)"]
+
+
+def worker_time_breakdown(trace: TraceRecorder) -> dict[str, KindUsage]:
+    """Aggregate executed spans per kind.
+
+    "Wasted" counts spans whose task ended aborted — worker time burnt on
+    results that were later destroyed (the cost side of speculation).
+    """
+    usage: dict[str, KindUsage] = {}
+    for _name, kind, spec, t0, t1, aborted in _task_spans(trace):
+        u = usage.setdefault(kind, KindUsage(kind))
+        span = max(t1 - t0, 0.0)
+        u.busy_us += span
+        u.tasks += 1
+        if spec:
+            u.speculative_us += span
+        if aborted:
+            u.wasted_us += span
+    return usage
+
+
+def ready_depth_series(
+    trace: TraceRecorder, speculative: bool | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Ready-queue depth over time as step series ``(times, depths)``.
+
+    ``speculative`` filters to one queue class; None aggregates both.
+    Depth increases on ``task_ready`` and decreases on ``task_start``
+    (dispatch) or on an abort of a task that never started.
+    """
+    started: set[str] = set()
+    for rec in trace:
+        if rec.kind == "task_start":
+            started.add(rec.subject)
+    deltas: list[tuple[float, int]] = []
+    for rec in trace:
+        if speculative is not None and rec.detail.get("speculative") != speculative:
+            if rec.kind in ("task_ready", "task_start", "task_abort"):
+                continue
+        if rec.kind == "task_ready":
+            deltas.append((rec.time, +1))
+        elif rec.kind == "task_start":
+            deltas.append((rec.time, -1))
+        elif rec.kind == "task_abort" and rec.subject not in started:
+            # reaped straight out of the queue
+            deltas.append((rec.time, -1))
+    if not deltas:
+        return np.zeros(0), np.zeros(0)
+    deltas.sort(key=lambda d: d[0])
+    times = np.array([t for t, _ in deltas])
+    depths = np.cumsum([d for _, d in deltas])
+    return times, depths

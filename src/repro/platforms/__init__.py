@@ -1,0 +1,37 @@
+"""Platform models — analytic cost models standing in for real hardware.
+
+The paper evaluates on an 8×quad-core Opteron x86 system and a Cell BE
+blade. We cannot run on those (nor would wall-clock Python timings transfer),
+so each platform is an analytic model: per-task-kind service times, data
+transfer (DMA) latency, and the dispatch structure that matters to the
+paper's findings — the Cell's 4-deep multiple buffering and 32 KB task
+memory cap (§III-A). See DESIGN.md §2 for the substitution rationale.
+"""
+
+from repro.platforms.base import Platform
+from repro.platforms.costmodel import CostModel, KindCost
+from repro.platforms.localstore import LocalStore
+from repro.platforms.x86 import X86Platform
+from repro.platforms.cell import CellPlatform
+
+__all__ = [
+    "Platform",
+    "CostModel",
+    "KindCost",
+    "LocalStore",
+    "X86Platform",
+    "CellPlatform",
+    "get_platform",
+]
+
+
+def get_platform(name: str, **overrides) -> Platform:
+    """Instantiate a platform by name (``"x86"`` or ``"cell"``)."""
+    name = name.lower()
+    if name == "x86":
+        return X86Platform(**overrides)
+    if name == "cell":
+        return CellPlatform(**overrides)
+    from repro.errors import PlatformError
+
+    raise PlatformError(f"unknown platform {name!r}; choose 'x86' or 'cell'")

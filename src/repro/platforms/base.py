@@ -1,0 +1,69 @@
+"""Platform interface consumed by the simulated executor."""
+
+from __future__ import annotations
+
+from repro.errors import PlatformError
+from repro.platforms.costmodel import CostModel
+from repro.sre.task import Task
+
+__all__ = ["Platform"]
+
+
+class Platform:
+    """Execution platform model.
+
+    Attributes:
+        name: platform identifier.
+        cost_model: per-kind service-time model.
+        default_workers: worker-thread count the paper used (16 on both).
+        prefetch_depth: tasks buffered per worker. 1 means dispatch happens
+            only when a worker goes idle (x86); the Cell overlays four
+            tasks' worth of transfers per local store (§III-A), so its
+            dispatcher assigns work several tasks ahead.
+        max_task_bytes: task memory cap (None = unlimited). The Cell's
+            multiple buffering limits task memory to 32 KB; pipeline
+            configurations validate their block sizes against this.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        cost_model: CostModel,
+        *,
+        default_workers: int = 16,
+        prefetch_depth: int = 1,
+        max_task_bytes: int | None = None,
+    ) -> None:
+        if prefetch_depth < 1:
+            raise PlatformError("prefetch_depth must be >= 1")
+        if default_workers < 1:
+            raise PlatformError("default_workers must be >= 1")
+        self.name = name
+        self.cost_model = cost_model
+        self.default_workers = default_workers
+        self.prefetch_depth = prefetch_depth
+        self.max_task_bytes = max_task_bytes
+
+    def service_time(self, task: Task) -> float:
+        """Computation time of ``task`` on one worker, in µs."""
+        return self.cost_model.service_time(task)
+
+    def transfer_time(self, task: Task) -> float:
+        """Input-transfer (DMA) latency before ``task`` may start, in µs.
+
+        Zero on shared-memory platforms; the Cell overrides this.
+        """
+        return 0.0
+
+    def validate_task(self, task: Task) -> None:
+        """Reject tasks whose working set exceeds the platform's cap."""
+        if self.max_task_bytes is not None:
+            nbytes = task.cost_hint.get("bytes", 0)
+            if nbytes > self.max_task_bytes:
+                raise PlatformError(
+                    f"task {task.name!r} needs {nbytes} B but {self.name} "
+                    f"limits task memory to {self.max_task_bytes} B"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Platform {self.name} workers={self.default_workers} depth={self.prefetch_depth}>"

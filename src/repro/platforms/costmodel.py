@@ -1,0 +1,67 @@
+"""Linear per-kind cost models.
+
+Each task kind has an affine cost in its cost hints:
+
+    service = (base + per_byte·bytes + per_entry·entries + per_unit·units) · speed
+
+Hints are set by the application when it creates tasks (e.g. a ``count``
+task carries ``{"bytes": 4096}``; a ``reduce`` carries
+``{"entries": 256 * fan_in}``). The constants are *calibrated to reproduce
+the paper's curve shapes and magnitudes*, not measured on the original
+hardware — see EXPERIMENTS.md for the calibration notes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import PlatformError
+from repro.sre.task import Task
+
+__all__ = ["KindCost", "CostModel"]
+
+
+@dataclass(frozen=True)
+class KindCost:
+    """Affine cost coefficients for one task kind (times in µs)."""
+
+    base: float = 0.0
+    per_byte: float = 0.0
+    per_entry: float = 0.0
+    per_unit: float = 0.0
+
+    def evaluate(self, hints: Mapping[str, float]) -> float:
+        return (
+            self.base
+            + self.per_byte * hints.get("bytes", 0.0)
+            + self.per_entry * hints.get("entries", 0.0)
+            + self.per_unit * hints.get("units", 0.0)
+        )
+
+
+@dataclass
+class CostModel:
+    """A per-kind cost table with a global speed multiplier.
+
+    Unknown kinds fall back to ``default`` — deliberately non-raising so
+    user-defined task kinds work out of the box, but tests pin the known
+    kinds so regressions in hint wiring are caught.
+    """
+
+    kinds: dict[str, KindCost] = field(default_factory=dict)
+    default: KindCost = field(default_factory=lambda: KindCost(base=10.0))
+    speed: float = 1.0
+
+    def service_time(self, task: Task) -> float:
+        cost = self.kinds.get(task.kind, self.default)
+        value = cost.evaluate(task.cost_hint) * self.speed
+        if value < 0:
+            raise PlatformError(
+                f"negative service time for task {task.name!r} ({value})"
+            )
+        return value
+
+    def with_speed(self, speed: float) -> "CostModel":
+        """A copy of this model scaled by ``speed`` (>1 = slower)."""
+        return CostModel(kinds=dict(self.kinds), default=self.default, speed=speed)

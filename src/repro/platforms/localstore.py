@@ -1,0 +1,72 @@
+"""Cell SPE local-store model.
+
+Each Cell synergistic processing element owns a 256 KB software-managed
+local store rather than a cache (§III-A). The runtime technique of multiple
+buffering overlays several tasks' worth of transfers per store; with four
+slots, each task's working set is limited to 32 KB.
+
+:class:`LocalStore` is a small allocator used by the Cell platform and its
+tests to *validate* that a task mix actually fits — it does not move bytes
+(the simulation carries real data in host memory), it enforces the paper's
+capacity discipline.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PlatformError
+
+__all__ = ["LocalStore"]
+
+
+class LocalStore:
+    """A fixed-capacity slot allocator for one SPE.
+
+    Args:
+        capacity: total bytes (256 KB on the Cell BE).
+        slots: multiple-buffering depth; each slot may hold one task's
+            working set of at most ``capacity // (slots * 2)`` bytes — half
+            the slot budget is reserved for code+stack+output, matching the
+            paper's 32 KB task-memory figure for a 256 KB store with four
+            task buffers.
+    """
+
+    def __init__(self, capacity: int = 256 * 1024, slots: int = 4) -> None:
+        if capacity <= 0 or slots <= 0:
+            raise PlatformError("local store capacity and slots must be positive")
+        self.capacity = capacity
+        self.slots = slots
+        self.max_task_bytes = capacity // (slots * 2)
+        self._held: dict[str, int] = {}
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(self._held.values())
+
+    @property
+    def free_slots(self) -> int:
+        return self.slots - len(self._held)
+
+    def reserve(self, owner: str, nbytes: int) -> None:
+        """Claim a slot for a task's working set.
+
+        Raises:
+            PlatformError: when the task exceeds the per-task cap or no
+                slot is free — both conditions are configuration errors in
+                the pipeline, not recoverable runtime states.
+        """
+        if nbytes > self.max_task_bytes:
+            raise PlatformError(
+                f"task {owner!r}: {nbytes} B exceeds per-task cap "
+                f"{self.max_task_bytes} B"
+            )
+        if owner in self._held:
+            raise PlatformError(f"task {owner!r} already holds a slot")
+        if self.free_slots == 0:
+            raise PlatformError("no free local-store slot")
+        self._held[owner] = nbytes
+
+    def release(self, owner: str) -> None:
+        """Free a task's slot."""
+        if owner not in self._held:
+            raise PlatformError(f"task {owner!r} holds no slot")
+        del self._held[owner]

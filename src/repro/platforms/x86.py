@@ -1,0 +1,59 @@
+"""x86 shared-memory CMP platform model.
+
+Models the paper's 8×Quad-Core Opteron 8356 testbed: one polling worker
+thread per CPU, shared memory (no transfer latency), dispatch when a worker
+goes idle (prefetch depth 1). The cost table is calibrated so a
+1024-block × 4 KB run lands in the paper's tens-of-milliseconds regime with
+encode dominating — Huffman's parallel second pass is the bulk of the work
+and the serial tree build is the bottleneck the paper speculates past.
+"""
+
+from __future__ import annotations
+
+from repro.platforms.base import Platform
+from repro.platforms.costmodel import CostModel, KindCost
+
+__all__ = ["X86Platform", "X86_COSTS"]
+
+#: Calibrated per-kind costs (µs). See EXPERIMENTS.md "Calibration".
+X86_COSTS = CostModel(
+    kinds={
+        # First pass: histogram of a data block (~38 µs / 4 KB block).
+        "count": KindCost(base=5.0, per_byte=0.008),
+        # Histogram merge; entries = 256 × (fan-in + 1).
+        "reduce": KindCost(base=4.0, per_entry=0.004),
+        # Serial Huffman-tree build over the 256-entry histogram.
+        "tree": KindCost(base=40.0, per_entry=0.2),
+        # Offset chain link; units = encode fan-out it feeds.
+        "offset": KindCost(base=3.0, per_unit=0.5),
+        # Second pass: variable-length encode (~420 µs / 4 KB block).
+        "encode": KindCost(base=10.0, per_byte=0.1),
+        # Tolerance check: 256 multiply-accumulates ("simple, very quick").
+        "check": KindCost(base=4.0, per_entry=0.004),
+        # Graph plumbing.
+        "source": KindCost(base=0.5),
+        "store": KindCost(base=1.0),
+        "wait": KindCost(base=0.5),
+        # Filter application (Fig. 1): serial refinement steps, parallel
+        # per-block FIR filtering, cheap coefficient hand-off.
+        "iterate": KindCost(base=120.0, per_entry=0.01),
+        "filter": KindCost(base=10.0, per_unit=0.1),
+        "predict": KindCost(base=15.0),
+        # k-means application: nearest-centroid assignment per block.
+        "assign": KindCost(base=10.0, per_unit=0.12),
+    },
+    default=KindCost(base=10.0),
+)
+
+
+class X86Platform(Platform):
+    """The Opteron CMP model (16 worker threads by default, as in §V-A)."""
+
+    def __init__(self, *, workers: int = 16, speed: float = 1.0) -> None:
+        super().__init__(
+            name="x86",
+            cost_model=X86_COSTS.with_speed(speed),
+            default_workers=workers,
+            prefetch_depth=1,
+            max_task_bytes=None,
+        )

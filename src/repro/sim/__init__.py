@@ -1,0 +1,29 @@
+"""Discrete-event simulation (DES) kernel.
+
+The kernel is deliberately small: a time-ordered event heap
+(:mod:`repro.sim.events`), a simulator clock and run loop
+(:mod:`repro.sim.kernel`), counted resources (:mod:`repro.sim.resources`),
+and structured trace recording (:mod:`repro.sim.trace`).
+
+The SRE's simulated executor (:mod:`repro.sre.executor_sim`) is built on this
+kernel; everything above it (tasks, speculation, Huffman) is agnostic to
+whether time is simulated or wall-clock.
+"""
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.kernel import Simulator
+from repro.sim.resources import Resource, ResourceRequest
+from repro.sim.rng import make_rng, spawn_rngs
+from repro.sim.trace import TraceRecord, TraceRecorder
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "Resource",
+    "ResourceRequest",
+    "TraceRecord",
+    "TraceRecorder",
+    "make_rng",
+    "spawn_rngs",
+]

@@ -1,0 +1,114 @@
+"""Event objects and the time-ordered event queue.
+
+Events are ordered by ``(time, priority, seq)``. The monotonically increasing
+sequence number makes ordering total and deterministic: two events scheduled
+for the same instant fire in scheduling order, which is what makes whole
+simulation runs bit-for-bit reproducible.
+
+Cancellation is lazy: :meth:`EventQueue.cancel` only flags the event, and the
+heap discards cancelled entries as they surface. This is O(1) per cancel and
+keeps the heap invariant intact, at the cost of dead entries lingering until
+popped — an explicitly accepted trade-off (cancellations are rare relative to
+event volume in our workloads).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterator
+
+from repro.errors import SimulationError
+
+__all__ = ["Event", "EventQueue"]
+
+
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: simulated time at which the event fires.
+        priority: tie-break within an instant; lower fires first.
+        seq: global scheduling sequence number (final tie-break).
+        fn: zero-argument callable invoked when the event fires.
+    """
+
+    __slots__ = ("time", "priority", "seq", "fn", "cancelled")
+
+    def __init__(self, time: float, priority: int, seq: int, fn: Callable[[], Any]):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.fn = fn
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark this event so the queue skips it when it surfaces."""
+        self.cancelled = True
+
+    def sort_key(self) -> tuple[float, int, int]:
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time:.6g} prio={self.priority} seq={self.seq}{state}>"
+
+
+class EventQueue:
+    """Deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, time: float, fn: Callable[[], Any], priority: int = 0) -> Event:
+        """Schedule ``fn`` at absolute ``time`` and return its event handle."""
+        if time != time:  # NaN guard
+            raise SimulationError("event time may not be NaN")
+        ev = Event(time, priority, self._seq, fn)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        self._live += 1
+        return ev
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event (no-op if it already fired or was cancelled)."""
+        if not event.cancelled:
+            event.cancelled = True
+            self._live -= 1
+
+    def peek_time(self) -> float | None:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        self._drop_cancelled()
+        return self._heap[0].time if self._heap else None
+
+    def pop(self) -> Event:
+        """Remove and return the next live event.
+
+        Raises:
+            SimulationError: if the queue holds no live events.
+        """
+        self._drop_cancelled()
+        if not self._heap:
+            raise SimulationError("pop from empty event queue")
+        ev = heapq.heappop(self._heap)
+        self._live -= 1
+        return ev
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def drain(self) -> Iterator[Event]:
+        """Yield remaining live events in order, consuming the queue."""
+        while self:
+            yield self.pop()

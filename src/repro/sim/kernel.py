@@ -1,0 +1,117 @@
+"""The simulator clock and run loop.
+
+:class:`Simulator` advances virtual time by firing events in deterministic
+order. Callbacks may schedule further events (including at the current
+instant); time never moves backwards.
+
+The kernel is callback-based rather than coroutine-based. The SRE layers
+above it are naturally event-driven (task ready, worker free, block arrived),
+so a process abstraction would add machinery without adding clarity — see
+DESIGN.md §3.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, EventQueue
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Time is a float in *microseconds* by convention throughout this project
+    (matching the paper's latency plots), though the kernel itself is
+    unit-agnostic.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue = EventQueue()
+        self._events_fired = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events executed so far (for tests and diagnostics)."""
+        return self._events_fired
+
+    @property
+    def pending(self) -> int:
+        """Number of live events still scheduled."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[[], Any], priority: int = 0) -> Event:
+        """Schedule ``fn`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self._queue.push(self._now + delay, fn, priority)
+
+    def schedule_at(self, time: float, fn: Callable[[], Any], priority: int = 0) -> Event:
+        """Schedule ``fn`` at absolute ``time`` (must not be in the past)."""
+        if time < self._now:
+            raise SimulationError(f"cannot schedule at {time!r}, now is {self._now!r}")
+        return self._queue.push(time, fn, priority)
+
+    def call_soon(self, fn: Callable[[], Any], priority: int = 0) -> Event:
+        """Schedule ``fn`` at the current instant, after already-queued events."""
+        return self._queue.push(self._now, fn, priority)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event."""
+        self._queue.cancel(event)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the next event. Returns False when no events remain."""
+        if not self._queue:
+            return False
+        ev = self._queue.pop()
+        if ev.time < self._now:  # pragma: no cover - queue invariant
+            raise SimulationError("event queue returned an event from the past")
+        self._now = ev.time
+        self._events_fired += 1
+        ev.fn()
+        return True
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Run until the queue drains, ``until`` is reached, or ``max_events`` fire.
+
+        Returns the simulated time when the loop stopped. ``until`` is
+        inclusive: events scheduled exactly at ``until`` do fire.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while True:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                if max_events is not None and fired >= max_events:
+                    break
+                self.step()
+                fired += 1
+        finally:
+            self._running = False
+        return self._now

@@ -1,0 +1,90 @@
+"""Counted resources for the DES kernel.
+
+A :class:`Resource` models a pool of interchangeable units (e.g. CPU cores)
+with a FIFO wait queue. The SRE's simulated executor uses its own
+worker-level dispatch (it needs policy-driven, non-FIFO selection), but the
+generic resource is used by I/O models and is handy in tests and examples.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator
+
+__all__ = ["Resource", "ResourceRequest"]
+
+
+class ResourceRequest:
+    """A pending or granted claim on a :class:`Resource`."""
+
+    __slots__ = ("resource", "fn", "granted", "cancelled")
+
+    def __init__(self, resource: "Resource", fn: Callable[[], Any]):
+        self.resource = resource
+        self.fn = fn
+        self.granted = False
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Withdraw an un-granted request (no-op once granted)."""
+        if not self.granted:
+            self.cancelled = True
+
+
+class Resource:
+    """A counted resource with FIFO granting semantics.
+
+    ``acquire`` either grants immediately (scheduling the callback at the
+    current instant, preserving event ordering) or queues the request.
+    ``release`` hands the freed unit to the oldest live waiter.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "resource"):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: deque[ResourceRequest] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self._in_use
+
+    @property
+    def queued(self) -> int:
+        return sum(1 for w in self._waiters if not w.cancelled)
+
+    def acquire(self, fn: Callable[[], Any]) -> ResourceRequest:
+        """Request a unit; ``fn`` runs (as an event) when one is granted."""
+        req = ResourceRequest(self, fn)
+        if self._in_use < self.capacity:
+            self._grant(req)
+        else:
+            self._waiters.append(req)
+        return req
+
+    def release(self) -> None:
+        """Return one unit to the pool, waking the next waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        self._in_use -= 1
+        while self._waiters:
+            req = self._waiters.popleft()
+            if req.cancelled:
+                continue
+            self._grant(req)
+            break
+
+    def _grant(self, req: ResourceRequest) -> None:
+        self._in_use += 1
+        req.granted = True
+        self.sim.call_soon(req.fn)

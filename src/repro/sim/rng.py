@@ -1,0 +1,31 @@
+"""Seeded random-number helpers.
+
+Every stochastic component (workload generators, jittered arrival processes)
+takes an explicit ``numpy.random.Generator``. These helpers centralise
+construction so a single experiment seed deterministically fans out to
+independent streams per component — re-running any experiment with the same
+seed reproduces it exactly, including every rollback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["make_rng", "spawn_rngs"]
+
+
+def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a Generator from a seed, pass through an existing Generator.
+
+    ``None`` yields a fresh OS-seeded generator; experiments always pass an
+    int so results are reproducible.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent generators from one experiment seed."""
+    ss = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in ss.spawn(n)]

@@ -1,0 +1,81 @@
+"""Structured trace recording for simulation runs.
+
+Traces are the raw material for every metric the experiment harness reports:
+per-block latency, rollback counts, worker utilisation. Records are plain
+tuples (cheap to append in the hot path) exposed through typed accessors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator
+
+__all__ = ["TraceRecord", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry.
+
+    Attributes:
+        time: simulated time of the event.
+        kind: event category, e.g. ``"task_start"``, ``"rollback"``.
+        subject: identifier of the entity involved (task name, block id...).
+        detail: free-form payload mapping.
+    """
+
+    time: float
+    kind: str
+    subject: str
+    detail: dict[str, Any]
+
+
+class TraceRecorder:
+    """Append-only, filterable event trace.
+
+    Recording can be disabled wholesale (``enabled=False``) or narrowed to a
+    set of kinds, so full experiment sweeps don't pay for traces they never
+    read.
+    """
+
+    def __init__(self, enabled: bool = True, kinds: Iterable[str] | None = None):
+        self.enabled = enabled
+        self._kinds = frozenset(kinds) if kinds is not None else None
+        self._records: list[TraceRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def record(self, time: float, kind: str, subject: str, **detail: Any) -> None:
+        """Append a record (no-op when disabled or kind filtered out)."""
+        if not self.enabled:
+            return
+        if self._kinds is not None and kind not in self._kinds:
+            return
+        self._records.append(TraceRecord(time, kind, subject, detail))
+
+    def of_kind(self, kind: str) -> list[TraceRecord]:
+        """All records of one kind, in time order."""
+        return [r for r in self._records if r.kind == kind]
+
+    def kinds(self) -> set[str]:
+        """Set of kinds present in the trace."""
+        return {r.kind for r in self._records}
+
+    def count(self, kind: str) -> int:
+        """Number of records of one kind."""
+        return sum(1 for r in self._records if r.kind == kind)
+
+    def clear(self) -> None:
+        """Drop all records."""
+        self._records.clear()
+
+    def last(self, kind: str) -> TraceRecord | None:
+        """Most recent record of a kind, or None."""
+        for rec in reversed(self._records):
+            if rec.kind == kind:
+                return rec
+        return None

@@ -1,0 +1,54 @@
+"""SRE — the Streaming Runtime Environment substrate.
+
+Re-implementation (in Python) of the runtime the paper builds on [Azuelos,
+MSc thesis 2009]: computations are side-effect-free :class:`~repro.sre.task.Task`
+objects grouped under :class:`~repro.sre.supertask.SuperTask` routers, wired
+into a dynamic data-flow graph. A priority-based scheduler favouring pipeline
+depth (FCFS tie-break) dispatches ready tasks onto workers.
+
+Two executors share all of this machinery:
+
+* :class:`~repro.sre.executor_sim.SimulatedExecutor` — runs the *actual* task
+  functions on real data while time advances on a discrete-event clock using
+  per-platform cost models. This is the primary substrate for reproducing the
+  paper's latency figures (deterministic, hardware-independent).
+* :class:`~repro.sre.executor_threads.ThreadedExecutor` — a real thread pool
+  for live wall-clock runs (GIL-bound for pure-Python work; NumPy kernels
+  release the GIL).
+"""
+
+from repro.sre.graph import DFG, Edge
+from repro.sre.memory import MemoryLedger
+from repro.sre.policies import (
+    AggressivePolicy,
+    BalancedPolicy,
+    ConservativePolicy,
+    DispatchPolicy,
+    FCFSPolicy,
+    get_policy,
+)
+from repro.sre.queues import ReadyQueue
+from repro.sre.runtime import Runtime
+from repro.sre.supertask import SuperTask
+from repro.sre.task import Task, TaskState
+from repro.sre.executor_sim import SimulatedExecutor
+from repro.sre.executor_threads import ThreadedExecutor
+
+__all__ = [
+    "DFG",
+    "Edge",
+    "MemoryLedger",
+    "DispatchPolicy",
+    "ConservativePolicy",
+    "AggressivePolicy",
+    "BalancedPolicy",
+    "FCFSPolicy",
+    "get_policy",
+    "ReadyQueue",
+    "Runtime",
+    "SuperTask",
+    "Task",
+    "TaskState",
+    "SimulatedExecutor",
+    "ThreadedExecutor",
+]

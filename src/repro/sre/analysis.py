@@ -1,0 +1,134 @@
+"""Advisory side-effect detection for task functions.
+
+The paper (§II-A): "A compiler can also assist in analyzing tasks to detect
+potential side-effects, recommending they should not run speculatively."
+Python has no compiler pass to hook, but its bytecode is inspectable: this
+module walks a task function's code objects (including nested closures) and
+flags operations that can leak effects out of the task — global stores,
+mutation of closed-over state, attribute/subscript stores on non-local
+objects, and calls to well-known impure builtins (I/O, randomness).
+
+The analysis is *advisory and conservative*: it can neither prove purity
+(arbitrary calls may do anything) nor track data flow precisely. Findings
+are ranked ``definite`` (certainly an effect outside the task) and
+``possible`` (mutation whose target may be task-local). The helper
+:func:`recommend` turns a report into the paper's recommendation: may this
+task run speculatively without an undo routine?
+"""
+
+from __future__ import annotations
+
+import dis
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.sre.task import Task
+
+__all__ = ["SideEffectFinding", "SideEffectReport", "analyze_side_effects", "recommend"]
+
+#: Builtin / stdlib names whose call is a definite effect.
+IMPURE_CALLS = frozenset({
+    "print", "open", "input", "exec", "eval",
+    "write", "writelines", "flush", "send", "sendall", "recv",
+    "remove", "unlink", "mkdir", "rmdir", "rename",
+    "seed", "shuffle",
+})
+
+#: Opcodes that definitely write state outside the frame.
+_DEFINITE_OPS = {"STORE_GLOBAL", "DELETE_GLOBAL", "STORE_DEREF", "DELETE_DEREF"}
+#: Opcodes that *may* mutate shared state (no data-flow tracking).
+_POSSIBLE_OPS = {"STORE_ATTR", "STORE_SUBSCR", "DELETE_ATTR", "DELETE_SUBSCR"}
+#: In-place operators feeding a STORE_* are covered by the store itself.
+
+
+@dataclass(frozen=True)
+class SideEffectFinding:
+    """One suspicious operation in a task function."""
+
+    severity: str  # "definite" | "possible"
+    operation: str
+    detail: str
+    line: int | None
+
+
+@dataclass
+class SideEffectReport:
+    """Outcome of analysing one callable."""
+
+    target: str
+    findings: list[SideEffectFinding] = field(default_factory=list)
+    #: analysis could not inspect the callable (C function, builtin, ...).
+    opaque: bool = False
+
+    @property
+    def definite(self) -> list[SideEffectFinding]:
+        return [f for f in self.findings if f.severity == "definite"]
+
+    @property
+    def possible(self) -> list[SideEffectFinding]:
+        return [f for f in self.findings if f.severity == "possible"]
+
+    @property
+    def clean(self) -> bool:
+        """No findings at all, and the code was actually inspectable."""
+        return not self.findings and not self.opaque
+
+
+def _walk_code(code, findings: list[SideEffectFinding]) -> None:
+    last_line = None
+    for instr in dis.get_instructions(code):
+        if instr.starts_line is not None:
+            last_line = instr.starts_line
+        name = instr.opname
+        if name in _DEFINITE_OPS:
+            findings.append(SideEffectFinding(
+                "definite", name, f"writes non-local name {instr.argval!r}", last_line,
+            ))
+        elif name in _POSSIBLE_OPS:
+            findings.append(SideEffectFinding(
+                "possible", name, f"mutates {instr.argval!r} (target may be shared)",
+                last_line,
+            ))
+        elif name in ("LOAD_GLOBAL", "LOAD_NAME", "LOAD_METHOD", "LOAD_ATTR"):
+            target = instr.argval
+            if isinstance(target, str) and target in IMPURE_CALLS:
+                findings.append(SideEffectFinding(
+                    "definite", name, f"references impure callable {target!r}",
+                    last_line,
+                ))
+    for const in code.co_consts:
+        if hasattr(const, "co_code"):  # nested function / comprehension
+            _walk_code(const, findings)
+
+
+def analyze_side_effects(fn: Callable[..., Any] | None) -> SideEffectReport:
+    """Inspect a callable's bytecode for potential side effects."""
+    if fn is None:
+        return SideEffectReport(target="<none>")
+    name = getattr(fn, "__qualname__", repr(fn))
+    code = getattr(fn, "__code__", None)
+    if code is None:
+        # functools.partial, bound methods, C functions...
+        inner = getattr(fn, "func", None) or getattr(fn, "__func__", None)
+        if inner is not None:
+            report = analyze_side_effects(inner)
+            return SideEffectReport(target=name, findings=report.findings,
+                                    opaque=report.opaque)
+        return SideEffectReport(target=name, opaque=True)
+    findings: list[SideEffectFinding] = []
+    _walk_code(code, findings)
+    return SideEffectReport(target=name, findings=findings)
+
+
+def recommend(task: Task) -> tuple[bool, SideEffectReport]:
+    """The paper's compiler recommendation for one task.
+
+    Returns ``(may_speculate, report)``: True when the task either analyses
+    clean or carries an undo routine; False means it should be kept on the
+    non-speculative path (or given an undo).
+    """
+    report = analyze_side_effects(task.fn)
+    if task.undo is not None:
+        return True, report
+    may = report.clean or (not report.definite and not report.opaque)
+    return may, report

@@ -1,0 +1,219 @@
+"""The dynamic data-flow graph (DFG).
+
+Following the paper (§II-A), the DFG is "a snapshot of the application's
+dynamic execution, rather than a static description of the code": tasks and
+edges are added while the program runs (speculation spawns new subgraphs,
+rollback destroys them and re-execution adds replacements).
+
+The graph's central service beyond routing is *dependent traversal*: rollback
+propagates a destroy signal down the chain of dependences (§III-B), which is
+a forward reachability query answered here.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.errors import GraphError
+from repro.sre.task import Task
+
+__all__ = ["Edge", "DFG"]
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed dataflow edge ``src.src_port -> dst.dst_port``."""
+
+    src: Task
+    src_port: str
+    dst: Task
+    dst_port: str
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Edge {self.src.name}.{self.src_port} -> {self.dst.name}.{self.dst_port}>"
+
+
+class DFG:
+    """Mutable task graph with sink callbacks and reachability queries.
+
+    Outputs may feed ordinary edges (task→task) or *sinks* — plain callables
+    invoked with the produced value. Sinks model the boundary where data
+    leaves the side-effect-free world (the Store node, wait buffers, metric
+    probes) without paying a scheduled task per delivery.
+    """
+
+    def __init__(self) -> None:
+        self._tasks: dict[str, Task] = {}
+        self._out_edges: dict[Task, list[Edge]] = {}
+        self._in_edges: dict[Task, list[Edge]] = {}
+        self._sinks: dict[tuple[Task, str], list[Callable[[Any], None]]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_task(self, task: Task) -> Task:
+        """Register a task; names must be unique within one graph."""
+        if task.name in self._tasks:
+            raise GraphError(f"duplicate task name {task.name!r}")
+        self._tasks[task.name] = task
+        self._out_edges.setdefault(task, [])
+        self._in_edges.setdefault(task, [])
+        return task
+
+    def remove_task(self, task: Task) -> None:
+        """Remove a task and all its edges and sinks (used after abort GC)."""
+        if task.name not in self._tasks:
+            return
+        for edge in list(self._out_edges.get(task, ())):
+            self._in_edges[edge.dst].remove(edge)
+        for edge in list(self._in_edges.get(task, ())):
+            self._out_edges[edge.src].remove(edge)
+        self._out_edges.pop(task, None)
+        self._in_edges.pop(task, None)
+        for key in [k for k in self._sinks if k[0] is task]:
+            del self._sinks[key]
+        del self._tasks[task.name]
+
+    def connect(self, src: Task, src_port: str, dst: Task, dst_port: str) -> Edge:
+        """Add an edge. Both endpoints must already be in the graph."""
+        self._require(src)
+        self._require(dst)
+        if dst_port not in dst.missing_inputs and dst_port not in dst.inputs:
+            raise GraphError(
+                f"task {dst.name!r} has no input port {dst_port!r}"
+            )
+        edge = Edge(src, src_port, dst, dst_port)
+        self._out_edges[src].append(edge)
+        self._in_edges[dst].append(edge)
+        return edge
+
+    def connect_sink(self, src: Task, src_port: str, fn: Callable[[Any], None]) -> None:
+        """Route an output port to a plain callback (a graph boundary)."""
+        self._require(src)
+        self._sinks.setdefault((src, src_port), []).append(fn)
+
+    def _require(self, task: Task) -> None:
+        if self._tasks.get(task.name) is not task:
+            raise GraphError(f"task {task.name!r} is not part of this graph")
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __contains__(self, task: Task) -> bool:
+        return self._tasks.get(task.name) is task
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def tasks(self) -> Iterator[Task]:
+        return iter(self._tasks.values())
+
+    def get(self, name: str) -> Task | None:
+        return self._tasks.get(name)
+
+    def out_edges(self, task: Task) -> list[Edge]:
+        return list(self._out_edges.get(task, ()))
+
+    def in_edges(self, task: Task) -> list[Edge]:
+        return list(self._in_edges.get(task, ()))
+
+    def sinks_for(self, task: Task, port: str) -> list[Callable[[Any], None]]:
+        return list(self._sinks.get((task, port), ()))
+
+    def successors(self, task: Task) -> list[Task]:
+        seen: dict[str, Task] = {}
+        for edge in self._out_edges.get(task, ()):
+            seen.setdefault(edge.dst.name, edge.dst)
+        return list(seen.values())
+
+    def predecessors(self, task: Task) -> list[Task]:
+        seen: dict[str, Task] = {}
+        for edge in self._in_edges.get(task, ()):
+            seen.setdefault(edge.src.name, edge.src)
+        return list(seen.values())
+
+    def dependents(self, roots: Iterable[Task], include_roots: bool = False) -> list[Task]:
+        """Transitive forward closure — the destroy-signal footprint.
+
+        Returns tasks reachable from ``roots`` via dataflow edges, in BFS
+        order (deterministic), optionally including the roots themselves.
+        """
+        roots = list(roots)
+        visited: dict[str, Task] = {t.name: t for t in roots}
+        order: list[Task] = list(roots) if include_roots else []
+        queue = deque(roots)
+        while queue:
+            current = queue.popleft()
+            for nxt in self.successors(current):
+                if nxt.name not in visited:
+                    visited[nxt.name] = nxt
+                    order.append(nxt)
+                    queue.append(nxt)
+        return order
+
+    def has_cycle(self) -> bool:
+        """True if the current graph contains a directed cycle.
+
+        Dataflow graphs built by the pipelines are DAGs by construction; this
+        check exists for validation in tests and user-built graphs.
+        """
+        indeg = {t: len(self._in_edges.get(t, ())) for t in self._tasks.values()}
+        queue = deque(t for t, d in indeg.items() if d == 0)
+        seen = 0
+        while queue:
+            t = queue.popleft()
+            seen += 1
+            for nxt_edge in self._out_edges.get(t, ()):
+                indeg[nxt_edge.dst] -= 1
+                if indeg[nxt_edge.dst] == 0:
+                    queue.append(nxt_edge.dst)
+        return seen != len(self._tasks)
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def to_dot(self) -> str:
+        """Export to Graphviz DOT (dashed = speculative, like the paper's
+        figures; red = aborted)."""
+        lines = ["digraph dfg {", "  rankdir=LR;"]
+        for task in self._tasks.values():
+            style = []
+            if task.speculative:
+                style.append("style=dashed")
+            if task.state.value == "aborted":
+                style.append("color=red")
+            elif task.state.value == "done":
+                style.append("color=gray40")
+            shape = "diamond" if task.kind == "check" else "box"
+            attrs = ", ".join(
+                [f'label="{task.name}\\n({task.kind})"', f"shape={shape}"] + style
+            )
+            lines.append(f'  "{task.name}" [{attrs}];')
+        for edges in self._out_edges.values():
+            for e in edges:
+                lines.append(
+                    f'  "{e.src.name}" -> "{e.dst.name}" '
+                    f'[label="{e.src_port}→{e.dst_port}"];'
+                )
+        lines.append("}")
+        return "\n".join(lines)
+
+    def to_networkx(self):
+        """Export to a ``networkx.MultiDiGraph`` for analysis/visualisation."""
+        import networkx as nx
+
+        g = nx.MultiDiGraph()
+        for task in self._tasks.values():
+            g.add_node(
+                task.name,
+                kind=task.kind,
+                depth=task.depth,
+                speculative=task.speculative,
+                state=task.state.value,
+            )
+        for edges in self._out_edges.values():
+            for e in edges:
+                g.add_edge(e.src.name, e.dst.name, src_port=e.src_port, dst_port=e.dst_port)
+        return g

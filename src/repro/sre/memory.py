@@ -1,0 +1,85 @@
+"""Memory accounting for task results.
+
+The paper's rollback discussion (§III-B) requires reclaiming the memory of
+destroyed speculative results. Python's GC does the actual reclamation; this
+ledger provides the *accounting* — how many bytes of speculative results were
+allocated, committed, or wasted — which the resource-management experiments
+report.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = ["MemoryLedger", "sizeof_value"]
+
+
+def sizeof_value(value: Any) -> int:
+    """Approximate payload size in bytes of a task result.
+
+    NumPy arrays report their buffer size; bytes-likes their length;
+    containers recurse one level. Scalars and small objects count a nominal
+    16 bytes — the ledger tracks streaming payloads, not Python overhead.
+    """
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return len(value)
+    if isinstance(value, (tuple, list)):
+        return sum(sizeof_value(v) for v in value)
+    if isinstance(value, dict):
+        return sum(sizeof_value(v) for v in value.values())
+    return 16
+
+
+class MemoryLedger:
+    """Tracks live/peak bytes, split by speculative vs natural results."""
+
+    def __init__(self) -> None:
+        self.live_bytes = 0
+        self.peak_bytes = 0
+        self.total_allocated = 0
+        self.speculative_allocated = 0
+        self.speculative_wasted = 0
+        self._holdings: dict[str, tuple[int, bool]] = {}
+
+    def allocate(self, owner: str, nbytes: int, speculative: bool) -> None:
+        """Record ``nbytes`` of results produced by task ``owner``."""
+        prev = self._holdings.get(owner)
+        if prev is not None:
+            self._release(owner, wasted=False)
+        self._holdings[owner] = (nbytes, speculative)
+        self.live_bytes += nbytes
+        self.total_allocated += nbytes
+        if speculative:
+            self.speculative_allocated += nbytes
+        self.peak_bytes = max(self.peak_bytes, self.live_bytes)
+
+    def commit(self, owner: str) -> None:
+        """Release accounting for results that reached a committed sink."""
+        self._release(owner, wasted=False)
+
+    def discard(self, owner: str) -> None:
+        """Release accounting for rolled-back results, counting waste."""
+        self._release(owner, wasted=True)
+
+    def _release(self, owner: str, wasted: bool) -> None:
+        entry = self._holdings.pop(owner, None)
+        if entry is None:
+            return
+        nbytes, speculative = entry
+        self.live_bytes -= nbytes
+        if wasted and speculative:
+            self.speculative_wasted += nbytes
+
+    def summary(self) -> dict[str, int]:
+        """Counters as a plain dict for reports."""
+        return {
+            "live_bytes": self.live_bytes,
+            "peak_bytes": self.peak_bytes,
+            "total_allocated": self.total_allocated,
+            "speculative_allocated": self.speculative_allocated,
+            "speculative_wasted": self.speculative_wasted,
+        }

@@ -1,0 +1,80 @@
+"""Ready queues with the paper's dispatch ordering.
+
+Within one class of work (speculative or natural), the SRE dispatches by
+priority: control tasks (value predicting and verification) come first no
+matter where they sit in the pipeline, then deeper pipeline stages, with
+FCFS breaking ties (paper §III-A). The queue is a lazy-deletion heap so
+rollback can remove aborted tasks in O(1).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Iterator
+
+from repro.sre.task import Task, TaskState
+
+__all__ = ["ReadyQueue"]
+
+
+class ReadyQueue:
+    """Priority queue over READY tasks.
+
+    Ordering key: control tasks first, then greater depth, then earlier
+    enqueue (FCFS). ``depth_first=False`` degrades to pure FCFS — kept for
+    the scheduling ablation (DESIGN.md §5).
+    """
+
+    def __init__(self, depth_first: bool = True, control_first: bool = True) -> None:
+        self.depth_first = depth_first
+        #: False strips predict/verify tasks of their priority boost — the
+        #: ablation for the paper's "highest priority, no matter where they
+        #: are located in the pipeline" design decision.
+        self.control_first = control_first
+        self._heap: list[tuple[tuple[int, int, int], Task]] = []
+        self._enq = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def _key(self, task: Task) -> tuple[int, int, int]:
+        seq = next(self._enq)
+        control = 0 if (task.control and self.control_first) else 1
+        if not self.depth_first:
+            return (control, 0, seq)
+        return (control, -task.depth, seq)
+
+    def push(self, task: Task) -> None:
+        heapq.heappush(self._heap, (self._key(task), task))
+        self._live += 1
+
+    def discard_aborted(self, task: Task) -> None:
+        """Account for a task that was aborted while queued (lazy removal)."""
+        self._live -= 1
+
+    def _skim(self) -> None:
+        while self._heap and self._heap[0][1].state is not TaskState.READY:
+            heapq.heappop(self._heap)
+
+    def peek(self) -> Task | None:
+        """Next dispatchable task without removing it."""
+        self._skim()
+        return self._heap[0][1] if self._heap else None
+
+    def pop(self) -> Task | None:
+        """Remove and return the next dispatchable task (None if empty)."""
+        self._skim()
+        if not self._heap:
+            return None
+        _, task = heapq.heappop(self._heap)
+        self._live -= 1
+        return task
+
+    def snapshot(self) -> Iterator[Task]:
+        """Live tasks in arbitrary order (diagnostics only)."""
+        return (t for _, t in self._heap if t.state is TaskState.READY)

@@ -1,0 +1,305 @@
+"""The runtime core shared by both executors.
+
+:class:`Runtime` owns the dynamic DFG, the split ready queues, memory
+accounting and the trace. It implements everything except *when* tasks run:
+executors call :meth:`begin_task` / :meth:`finish_task` around execution and
+read ready tasks through the dispatch policy.
+
+Key behaviours:
+
+* **Dynamic graph** — tasks/edges may be added at any time, including from
+  completion hooks; connecting a consumer to an already-finished producer
+  delivers the buffered value immediately (the DFG is a snapshot of dynamic
+  execution, §II-A).
+* **Abort flags** — aborting a READY task removes it from its queue;
+  aborting a RUNNING task only flags it, and the executor discards its
+  results on completion (§III-B).
+* **Side-effect discipline** — only side-effect-free tasks may be
+  speculative; enforced at task creation and at connect time for sinks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.errors import TaskExecutionError, TaskStateError
+from repro.sim.trace import TraceRecorder
+from repro.sre.graph import DFG
+from repro.sre.memory import MemoryLedger, sizeof_value
+from repro.sre.queues import ReadyQueue
+from repro.sre.supertask import SuperTask
+from repro.sre.task import Task, TaskState
+
+__all__ = ["Runtime"]
+
+
+class Runtime:
+    """Graph + scheduling state for one streaming program execution."""
+
+    def __init__(
+        self,
+        *,
+        trace: TraceRecorder | None = None,
+        depth_first: bool = True,
+        control_first: bool = True,
+        track_memory: bool = True,
+    ) -> None:
+        self.graph = DFG()
+        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        self.memory = MemoryLedger() if track_memory else None
+        self.natural_queue = ReadyQueue(depth_first=depth_first, control_first=control_first)
+        self.speculative_queue = ReadyQueue(depth_first=depth_first, control_first=control_first)
+        self.root = SuperTask("root")
+        self._clock: Callable[[], float] = lambda: 0.0
+        self._ready_listeners: list[Callable[[Task], None]] = []
+        self._complete_listeners: list[Callable[[Task, dict[str, Any]], None]] = []
+        self._abort_listeners: list[Callable[[Task], None]] = []
+        self.tasks_completed = 0
+        self.tasks_aborted = 0
+        self.speculative_completed = 0
+        self.speculative_aborted = 0
+
+    # ------------------------------------------------------------------
+    # wiring to an executor
+    # ------------------------------------------------------------------
+    def set_clock(self, clock: Callable[[], float]) -> None:
+        """Install the executor's time source (simulated or wall-clock)."""
+        self._clock = clock
+
+    @property
+    def now(self) -> float:
+        return self._clock()
+
+    def add_ready_listener(self, fn: Callable[[Task], None]) -> None:
+        """Executor hook: called whenever a task enters a ready queue."""
+        self._ready_listeners.append(fn)
+
+    def add_complete_listener(self, fn: Callable[[Task, dict[str, Any]], None]) -> None:
+        """Observer hook: called after a task's outputs have been routed."""
+        self._complete_listeners.append(fn)
+
+    def add_abort_listener(self, fn: Callable[[Task], None]) -> None:
+        """Observer hook: called when a task is aborted (any state)."""
+        self._abort_listeners.append(fn)
+
+    # ------------------------------------------------------------------
+    # graph construction
+    # ------------------------------------------------------------------
+    def add_task(self, task: Task, supertask: SuperTask | None = None) -> Task:
+        """Register a task; it becomes READY immediately if it has no inputs."""
+        self.graph.add_task(task)
+        (supertask or self.root).adopt(task)
+        if task.is_ready_to_schedule:
+            self._make_ready(task)
+        elif task.state is TaskState.CREATED:
+            task.mark_blocked()
+        return task
+
+    def connect(self, src: Task, src_port: str, dst: Task, dst_port: str) -> None:
+        """Add a dataflow edge; delivers retroactively if ``src`` already ran."""
+        self.graph.connect(src, src_port, dst, dst_port)
+        if src.state is TaskState.DONE and src.outputs is not None:
+            if src_port in src.outputs:
+                self._deliver(dst, dst_port, src.outputs[src_port])
+
+    def connect_sink(self, src: Task, src_port: str, fn: Callable[[Any], None]) -> None:
+        """Route an output to a callback at the graph boundary."""
+        self.graph.connect_sink(src, src_port, fn)
+        if src.state is TaskState.DONE and src.outputs is not None:
+            if src_port in src.outputs:
+                fn(src.outputs[src_port])
+
+    def deliver_external(self, task: Task, port: str, value: Any) -> None:
+        """Inject a value from outside the graph (I/O arrival)."""
+        self._deliver(task, port, value)
+
+    # ------------------------------------------------------------------
+    # readiness
+    # ------------------------------------------------------------------
+    def _deliver(self, task: Task, port: str, value: Any) -> None:
+        if task.state in (TaskState.ABORTED, TaskState.DONE, TaskState.RUNNING):
+            # Data racing against a rollback or late wiring: drop silently —
+            # the replacement task (if any) gets its own edges.
+            if task.state is TaskState.ABORTED:
+                return
+            raise TaskStateError(
+                f"delivery to task {task.name!r} in state {task.state}"
+            )
+        if task.deliver(port, value):
+            self._make_ready(task)
+
+    def _make_ready(self, task: Task) -> None:
+        task.mark_ready(self.now)
+        queue = self.speculative_queue if task.speculative else self.natural_queue
+        queue.push(task)
+        self.trace.record(self.now, "task_ready", task.name, task_kind=task.kind,
+                          speculative=task.speculative)
+        for fn in list(self._ready_listeners):
+            fn(task)
+
+    # ------------------------------------------------------------------
+    # execution protocol (called by executors)
+    # ------------------------------------------------------------------
+    def begin_task(self, task: Task) -> None:
+        """Transition a dispatched task to RUNNING."""
+        task.mark_running(self.now)
+        self.trace.record(self.now, "task_start", task.name, task_kind=task.kind,
+                          speculative=task.speculative)
+
+    def finish_task(
+        self,
+        task: Task,
+        outputs: dict[str, Any] | None = None,
+        *,
+        precomputed: bool = False,
+    ) -> dict[str, Any] | None:
+        """Complete a RUNNING task: execute, route, notify.
+
+        If the task was abort-flagged while running, its results are
+        discarded (by default the function is not even executed — its output
+        could never be observed) and the task ends ABORTED. Returns the
+        routed outputs, or None when aborted.
+
+        The threaded executor computes task functions outside the runtime
+        lock and passes the result via ``outputs`` with ``precomputed=True``;
+        the simulated executor lets this method execute the function.
+        """
+        if task.abort_requested:
+            if precomputed and task.undo is not None and not task.side_effect_free:
+                # The threaded executor already ran the function (outside
+                # the lock); its side effects must be compensated.
+                task.undo(task)
+                self.trace.record(self.now, "undo", task.name, task_kind=task.kind)
+            task.mark_done(self.now)  # normal end of occupancy...
+            task.state = TaskState.ABORTED  # ...but reaped with its content
+            self.tasks_aborted += 1
+            if task.speculative:
+                self.speculative_aborted += 1
+            self.trace.record(self.now, "task_abort", task.name, task_kind=task.kind,
+                              speculative=task.speculative, while_running=True)
+            for fn in list(self._abort_listeners):
+                fn(task)
+            return None
+        if not precomputed:
+            try:
+                outputs = task.run()
+            except Exception as exc:
+                # A failing task poisons its whole dependence cone; surface a
+                # contextualised error instead of a bare traceback from deep
+                # inside an executor event. The task and its dependents are
+                # aborted first so the runtime stays consistent for
+                # inspection.
+                task.mark_done(self.now)
+                task.state = TaskState.ABORTED
+                self.tasks_aborted += 1
+                self.trace.record(self.now, "task_failed", task.name,
+                                  task_kind=task.kind, error=repr(exc))
+                self.abort_dependents([task], include_roots=False)
+                raise TaskExecutionError(task.name, exc) from exc
+        elif outputs is None:
+            outputs = {}
+        task.outputs = outputs
+        task.mark_done(self.now)
+        self.tasks_completed += 1
+        if task.speculative:
+            self.speculative_completed += 1
+        if self.memory is not None:
+            self.memory.allocate(task.name, sizeof_value(outputs), task.speculative)
+        self.trace.record(self.now, "task_done", task.name, task_kind=task.kind,
+                          speculative=task.speculative)
+        self._route_outputs(task, outputs)
+        if task.supertask is not None:
+            task.supertask.notify_child_complete(task, outputs)
+        for hook in list(task.on_complete):
+            hook(task, outputs)
+        for fn in list(self._complete_listeners):
+            fn(task, outputs)
+        return outputs
+
+    def _route_outputs(self, task: Task, outputs: dict[str, Any]) -> None:
+        for edge in self.graph.out_edges(task):
+            if edge.src_port in outputs:
+                self._deliver(edge.dst, edge.dst_port, outputs[edge.src_port])
+        for (port, value) in outputs.items():
+            for sink in self.graph.sinks_for(task, port):
+                sink(value)
+
+    # ------------------------------------------------------------------
+    # aborts (rollback support)
+    # ------------------------------------------------------------------
+    def abort_task(self, task: Task) -> None:
+        """Abort one task, whatever its state (idempotent).
+
+        READY tasks leave their queue; RUNNING tasks are flagged; DONE
+        tasks have their results' memory accounting discarded.
+        """
+        if task.state is TaskState.ABORTED:
+            return
+        if task.state is TaskState.DONE:
+            if task.undo is not None and not task.side_effect_free:
+                # User-defined rollback routine (§II extension): compensate
+                # the side effects the completed task already performed.
+                task.undo(task)
+                self.trace.record(self.now, "undo", task.name, task_kind=task.kind)
+            if self.memory is not None:
+                self.memory.discard(task.name)
+            task.state = TaskState.ABORTED
+            self.tasks_aborted += 1
+            if task.speculative:
+                self.speculative_aborted += 1
+            self.trace.record(self.now, "task_abort", task.name, task_kind=task.kind,
+                              speculative=task.speculative, after_done=True)
+            for fn in list(self._abort_listeners):
+                fn(task)
+            return
+        was_ready = task.state is TaskState.READY
+        reaped = task.request_abort()
+        if reaped:
+            if was_ready:
+                queue = self.speculative_queue if task.speculative else self.natural_queue
+                queue.discard_aborted(task)
+            self.tasks_aborted += 1
+            if task.speculative:
+                self.speculative_aborted += 1
+            self.trace.record(self.now, "task_abort", task.name, task_kind=task.kind,
+                              speculative=task.speculative)
+            for fn in list(self._abort_listeners):
+                fn(task)
+        # RUNNING: flagged only; finish_task finalises the abort.
+
+    def abort_dependents(self, roots: Iterable[Task], include_roots: bool = True) -> list[Task]:
+        """Propagate a destroy signal down the dependence chain (§III-B).
+
+        Returns the tasks that were aborted (or flagged), in BFS order.
+        """
+        footprint = self.graph.dependents(roots, include_roots=include_roots)
+        for task in footprint:
+            self.abort_task(task)
+        return footprint
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def ready_counts(self) -> tuple[int, int]:
+        """(natural, speculative) ready-queue lengths."""
+        return (len(self.natural_queue), len(self.speculative_queue))
+
+    def pending_tasks(self) -> list[Task]:
+        """Tasks not yet in a terminal state (diagnostics)."""
+        return [
+            t for t in self.graph.tasks()
+            if t.state not in (TaskState.DONE, TaskState.ABORTED)
+        ]
+
+    def stats(self) -> dict[str, int]:
+        """Execution counters for reports."""
+        out = {
+            "tasks_completed": self.tasks_completed,
+            "tasks_aborted": self.tasks_aborted,
+            "speculative_completed": self.speculative_completed,
+            "speculative_aborted": self.speculative_aborted,
+            "graph_size": len(self.graph),
+        }
+        if self.memory is not None:
+            out.update(self.memory.summary())
+        return out

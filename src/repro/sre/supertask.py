@@ -1,0 +1,102 @@
+"""SuperTasks — hierarchical routers over child tasks.
+
+Contrary to classic streaming models, the SRE defines a hierarchy of node
+SuperTasks whose purpose is to direct the flow of data between child Tasks
+and SuperTasks (paper §III-A). In this implementation SuperTasks carry the
+*observation* role that speculation relies on: when a child completes, its
+parent SuperTask is notified, and tasks flagged as speculation bases cause
+the SuperTask to both advance normal execution and alert any speculation
+subscribers (paper §III-B).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from repro.errors import GraphError
+from repro.sre.task import Task
+
+__all__ = ["SuperTask"]
+
+ChildCompleteHook = Callable[[Task, dict[str, Any]], None]
+
+
+class SuperTask:
+    """A named grouping node in the task hierarchy.
+
+    SuperTasks never execute; they organise children (tasks or nested
+    SuperTasks), provide hierarchical names, and fan out completion
+    notifications — including the speculation-base notifications that drive
+    the :class:`~repro.core.manager.SpeculationManager`.
+    """
+
+    def __init__(self, name: str, parent: "SuperTask | None" = None) -> None:
+        self.name = name
+        self.parent = parent
+        self._children_tasks: dict[str, Task] = {}
+        self._children_super: dict[str, "SuperTask"] = {}
+        self._hooks: list[ChildCompleteHook] = []
+        self._spec_base_hooks: list[ChildCompleteHook] = []
+        if parent is not None:
+            parent._children_super[name] = self
+
+    # ------------------------------------------------------------------
+    # hierarchy
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> str:
+        """Fully qualified name, e.g. ``huffman/first_pass``."""
+        if self.parent is None:
+            return self.name
+        return f"{self.parent.path}/{self.name}"
+
+    def adopt(self, task: Task) -> Task:
+        """Make ``task`` a child of this SuperTask."""
+        if task.supertask is not None:
+            raise GraphError(f"task {task.name!r} already has a SuperTask")
+        if task.name in self._children_tasks:
+            raise GraphError(f"SuperTask {self.name!r}: duplicate child {task.name!r}")
+        task.supertask = self
+        self._children_tasks[task.name] = task
+        return task
+
+    def iter_tasks(self, recursive: bool = True) -> Iterator[Task]:
+        """All child tasks, optionally including nested SuperTasks'."""
+        yield from self._children_tasks.values()
+        if recursive:
+            for sub in self._children_super.values():
+                yield from sub.iter_tasks(recursive=True)
+
+    def subgroup(self, name: str) -> "SuperTask":
+        """Create (or fetch) a nested SuperTask."""
+        existing = self._children_super.get(name)
+        if existing is not None:
+            return existing
+        return SuperTask(name, parent=self)
+
+    # ------------------------------------------------------------------
+    # notifications
+    # ------------------------------------------------------------------
+    def on_child_complete(self, hook: ChildCompleteHook) -> None:
+        """Subscribe to completions of any (recursive) child."""
+        self._hooks.append(hook)
+
+    def on_speculation_base(self, hook: ChildCompleteHook) -> None:
+        """Subscribe to completions of children flagged ``spec_base``.
+
+        A task is flagged as a basis for speculation by setting
+        ``task.tags["spec_base"] = True`` — the runtime then notifies the
+        SuperTask chain, which both advances normal execution (ordinary
+        routing already happened) and triggers speculative work here.
+        """
+        self._spec_base_hooks.append(hook)
+
+    def notify_child_complete(self, task: Task, outputs: dict[str, Any]) -> None:
+        """Called by the runtime when a (recursive) child finishes."""
+        for hook in list(self._hooks):
+            hook(task, outputs)
+        if task.tags.get("spec_base"):
+            for hook in list(self._spec_base_hooks):
+                hook(task, outputs)
+        if self.parent is not None:
+            self.parent.notify_child_complete(task, outputs)

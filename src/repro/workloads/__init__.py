@@ -1,0 +1,55 @@
+"""Synthetic workload generators.
+
+Stand-ins for the paper's three input files (e-book TXT, Windows BMP, PDF —
+§V-A). What the experiments actually depend on is each file's *prefix
+histogram drift*: how a tree built from an early prefix prices against trees
+built from longer prefixes (the exact quantity the runtime's check task
+measures). The generators control that drift explicitly:
+
+* :class:`~repro.workloads.text.TextWorkload` — stationary Zipf over ~70
+  printable symbols; prefix trees are good immediately (no rollbacks).
+* :class:`~repro.workloads.bmp.BmpWorkload` — header/palette transient then
+  a stationary smooth-image distribution; early speculation rolls back,
+  speculation past the transient survives (Fig. 5b threshold).
+* :class:`~repro.workloads.pdf.PdfWorkload` — alternating dictionary/stream
+  sections whose mix drifts deep into the file; rollbacks persist until
+  large step sizes, and check errors cross the 1 %/2 %/5 % margins at
+  different times (Fig. 5c, Fig. 9).
+
+:mod:`~repro.workloads.calibration` computes drift/check-error profiles
+offline, used both to tune the generators and to pin their behaviour in
+tests.
+"""
+
+from repro.workloads.base import (
+    Workload,
+    gaussian_distribution,
+    mix_distributions,
+    sample_bytes,
+    uniform_distribution,
+    zipf_distribution,
+)
+from repro.workloads.text import TextWorkload
+from repro.workloads.bmp import BmpWorkload
+from repro.workloads.markov import MarkovTextWorkload
+from repro.workloads.pdf import PdfWorkload
+from repro.workloads.calibration import check_error_profile, first_safe_update, prefix_histograms
+from repro.workloads.registry import get_workload, WORKLOADS
+
+__all__ = [
+    "Workload",
+    "zipf_distribution",
+    "gaussian_distribution",
+    "uniform_distribution",
+    "mix_distributions",
+    "sample_bytes",
+    "TextWorkload",
+    "BmpWorkload",
+    "MarkovTextWorkload",
+    "PdfWorkload",
+    "check_error_profile",
+    "first_safe_update",
+    "prefix_histograms",
+    "get_workload",
+    "WORKLOADS",
+]

@@ -1,0 +1,89 @@
+"""Workload interface and byte-distribution helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.sim.rng import make_rng
+
+__all__ = [
+    "Workload",
+    "zipf_distribution",
+    "gaussian_distribution",
+    "uniform_distribution",
+    "mix_distributions",
+    "sample_bytes",
+]
+
+
+class Workload:
+    """A named generator of synthetic input bytes."""
+
+    name = "workload"
+    #: paper sizes: TXT/PDF parse 4 MB, BMP 2 MB (§V-A).
+    default_bytes = 4 * 1024 * 1024
+
+    def generate(self, n_bytes: int, seed: int | np.random.Generator = 0) -> bytes:
+        """Produce ``n_bytes`` of data; same seed → same bytes."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Workload {self.name}>"
+
+
+def _normalise(p: np.ndarray) -> np.ndarray:
+    p = np.asarray(p, dtype=np.float64)
+    if p.shape != (256,):
+        raise WorkloadError(f"distribution must have 256 entries, got {p.shape}")
+    if np.any(p < 0):
+        raise WorkloadError("distribution has negative mass")
+    total = p.sum()
+    if total <= 0:
+        raise WorkloadError("distribution has zero mass")
+    return p / total
+
+
+def zipf_distribution(symbols: np.ndarray, exponent: float = 1.1) -> np.ndarray:
+    """Zipf law over an explicit symbol set, zero elsewhere.
+
+    ``symbols[i]`` gets mass ∝ 1/(i+1)^exponent — order encodes rank.
+    """
+    if exponent <= 0:
+        raise WorkloadError("zipf exponent must be positive")
+    p = np.zeros(256, dtype=np.float64)
+    ranks = np.arange(1, len(symbols) + 1, dtype=np.float64)
+    p[np.asarray(symbols, dtype=np.int64)] = ranks ** -exponent
+    return _normalise(p)
+
+
+def gaussian_distribution(center: float, sigma: float, floor: float = 1e-4) -> np.ndarray:
+    """Discretised Gaussian over byte values (smooth-image pixel model)."""
+    if sigma <= 0:
+        raise WorkloadError("sigma must be positive")
+    x = np.arange(256, dtype=np.float64)
+    p = np.exp(-0.5 * ((x - center) / sigma) ** 2) + floor
+    return _normalise(p)
+
+
+def uniform_distribution() -> np.ndarray:
+    """Uniform over all 256 byte values (compressed-stream model)."""
+    return np.full(256, 1.0 / 256.0)
+
+
+def mix_distributions(p: np.ndarray, q: np.ndarray, w: float) -> np.ndarray:
+    """Convex mixture ``(1-w)·p + w·q``."""
+    if not (0.0 <= w <= 1.0):
+        raise WorkloadError(f"mixture weight {w} outside [0, 1]")
+    return _normalise((1.0 - w) * np.asarray(p) + w * np.asarray(q))
+
+
+def sample_bytes(probs: np.ndarray, n: int, rng) -> np.ndarray:
+    """Draw ``n`` bytes i.i.d. from a distribution (vectorised inverse-CDF)."""
+    if n < 0:
+        raise WorkloadError("sample size must be non-negative")
+    gen = make_rng(rng)
+    cdf = np.cumsum(_normalise(probs))
+    cdf[-1] = 1.0  # guard against fp undershoot
+    u = gen.random(n)
+    return np.searchsorted(cdf, u, side="right").astype(np.uint8)

@@ -1,0 +1,95 @@
+"""Calibration utilities — prefix-drift and check-error profiles.
+
+These functions replicate, offline and without any runtime, exactly what
+the speculation check measures during a run: build a tree from the prefix
+at update *b*, price it at every later update *j* against a fresh tree on
+the prefix histogram of *j*. The generators were tuned against these
+profiles and the workload tests pin them, so experiment-level behaviour
+(which step sizes roll back, which tolerances survive) is anchored to an
+artifact checked in CI rather than to luck.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.huffman.checkers import compression_size_error
+from repro.huffman.histogram import byte_histogram
+from repro.huffman.tree import HuffmanTree
+
+__all__ = ["prefix_histograms", "check_error_profile", "first_safe_update"]
+
+
+def prefix_histograms(data: bytes, block_size: int, reduce_ratio: int) -> list[np.ndarray]:
+    """Histogram of each reduce-update prefix.
+
+    Entry ``j`` (0-based) is the histogram of the first ``(j+1) · ratio``
+    blocks — the value the ``j``-th reduce task hands to the speculation
+    manager. The last entry covers the whole input.
+    """
+    if block_size < 1 or reduce_ratio < 1:
+        raise WorkloadError("block_size and reduce_ratio must be >= 1")
+    n = len(data)
+    if n == 0:
+        raise WorkloadError("empty input")
+    step = block_size * reduce_ratio
+    hists: list[np.ndarray] = []
+    running = np.zeros(256, dtype=np.int64)
+    pos = 0
+    while pos < n:
+        end = min(pos + step, n)
+        running = running + byte_histogram(data[pos:end])
+        hists.append(running.copy())
+        pos = end
+    return hists
+
+
+def check_error_profile(
+    data: bytes,
+    block_size: int = 4096,
+    reduce_ratio: int = 16,
+    base_update: int = 1,
+) -> np.ndarray:
+    """Check errors a tree speculated at ``base_update`` would see later.
+
+    ``base_update`` is 1-based like the manager's update indices (update 0
+    = the first single-block count histogram). Returns the error at every
+    later update ``base_update+1 .. M`` (the last entry is the final
+    check's error).
+    """
+    hists = prefix_histograms(data, block_size, reduce_ratio)
+    if base_update == 0:
+        base_hist = byte_histogram(data[:block_size])
+    elif 1 <= base_update <= len(hists):
+        base_hist = hists[base_update - 1]
+    else:
+        raise WorkloadError(
+            f"base_update {base_update} outside [0, {len(hists)}]"
+        )
+    predicted = HuffmanTree.from_histogram(base_hist)
+    errors = []
+    for j in range(base_update, len(hists)):
+        candidate = HuffmanTree.from_histogram(hists[j])
+        errors.append(compression_size_error(predicted, candidate, hists[j]))
+    return np.asarray(errors, dtype=np.float64)
+
+
+def first_safe_update(
+    data: bytes,
+    tolerance: float,
+    block_size: int = 4096,
+    reduce_ratio: int = 16,
+) -> int:
+    """Smallest base update whose tree passes every later check.
+
+    This is the workload's *rollback-free step size threshold* — the Fig. 5
+    knee. Returns the number of updates M if even the penultimate prefix
+    fails (i.e. no safe speculation exists).
+    """
+    hists = prefix_histograms(data, block_size, reduce_ratio)
+    for base in range(1, len(hists)):
+        profile = check_error_profile(data, block_size, reduce_ratio, base)
+        if profile.size and float(profile.max()) <= tolerance:
+            return base
+    return len(hists)

@@ -1,0 +1,29 @@
+"""Workload registry — the paper's three files by name."""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.workloads.base import Workload
+from repro.workloads.bmp import BmpWorkload
+from repro.workloads.markov import MarkovTextWorkload
+from repro.workloads.pdf import PdfWorkload
+from repro.workloads.text import TextWorkload
+
+__all__ = ["WORKLOADS", "get_workload"]
+
+WORKLOADS: dict[str, type[Workload]] = {
+    "txt": TextWorkload,
+    "bmp": BmpWorkload,
+    "pdf": PdfWorkload,
+    "markov": MarkovTextWorkload,
+}
+
+
+def get_workload(name: str) -> Workload:
+    """Instantiate a workload by its paper name (txt / bmp / pdf)."""
+    try:
+        return WORKLOADS[name.lower()]()
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}"
+        ) from None

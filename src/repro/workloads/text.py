@@ -1,0 +1,43 @@
+"""TXT workload — stationary e-book-like text.
+
+"Text files use only around 70 characters" (§IV-A); frequencies follow a
+Zipf-like law and are stationary across the file, so a tree built from any
+reasonable prefix compresses the whole file within a fraction of a percent
+of optimal — the paper's no-rollback scenario.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.rng import make_rng
+from repro.workloads.base import Workload, sample_bytes, zipf_distribution
+
+__all__ = ["TextWorkload"]
+
+# English-ish symbol ranking: space and 'e' on top, then letters by
+# frequency, punctuation, digits, capitals — ~70 distinct byte values.
+_RANKED = (
+    " etaoinshrdlcumwfgypbvkjxqz"
+    ".,;:!?'\"()-\n"
+    "0123456789"
+    "ETAOINSHRDLCUMWFGYPBVK"
+)
+
+
+class TextWorkload(Workload):
+    """Stationary Zipf text (the paper's e-book stand-in)."""
+
+    name = "txt"
+
+    def __init__(self, exponent: float = 1.05) -> None:
+        symbols = np.frombuffer(_RANKED.encode("ascii"), dtype=np.uint8)
+        # Deduplicate while preserving rank order (defensive; the ranked
+        # string is built to be duplicate-free).
+        _, first = np.unique(symbols, return_index=True)
+        self.symbols = symbols[np.sort(first)]
+        self.probs = zipf_distribution(self.symbols, exponent)
+
+    def generate(self, n_bytes: int, seed: int | np.random.Generator = 0) -> bytes:
+        rng = make_rng(seed)
+        return sample_bytes(self.probs, n_bytes, rng).tobytes()

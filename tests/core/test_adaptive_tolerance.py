@@ -1,0 +1,65 @@
+"""Tests for the adaptive (tightening) tolerance extension."""
+
+import pytest
+
+from repro.core.tolerance import AdaptiveTolerance
+from repro.errors import ToleranceError
+
+
+def test_margin_decays_per_check():
+    rule = AdaptiveTolerance(initial=0.08, floor=0.01, decay=0.5)
+    assert rule.current_margin == 0.08
+    rule.accepts(0.0)
+    assert rule.current_margin == 0.04
+    rule.accepts(0.0)
+    assert rule.current_margin == 0.02
+    rule.accepts(0.0)
+    assert rule.current_margin == 0.01  # clamped at the floor
+    rule.accepts(0.0)
+    assert rule.current_margin == 0.01
+
+
+def test_early_lenient_late_strict():
+    rule = AdaptiveTolerance(initial=0.05, floor=0.005, decay=0.5)
+    assert rule.accepts(0.03)       # first check: margin 0.05
+    assert not rule.accepts(0.03)   # second check: margin 0.025
+
+
+def test_reset():
+    rule = AdaptiveTolerance(initial=0.05, floor=0.005, decay=0.5)
+    rule.accepts(0.0)
+    rule.reset()
+    assert rule.current_margin == 0.05
+
+
+def test_validation():
+    with pytest.raises(ToleranceError):
+        AdaptiveTolerance(initial=0.01, floor=0.05)
+    with pytest.raises(ToleranceError):
+        AdaptiveTolerance(initial=0.05, floor=0.01, decay=0.0)
+    with pytest.raises(ToleranceError):
+        AdaptiveTolerance(initial=0.05, floor=-0.1)
+
+
+def test_in_pipeline_run():
+    """The adaptive rule plugs into the Huffman pipeline like any other."""
+    from repro.huffman.pipeline import HuffmanConfig, HuffmanPipeline
+    from repro.core.tolerance import AdaptiveTolerance
+    from repro.platforms import X86Platform
+    from repro.sre.executor_sim import SimulatedExecutor
+    from repro.sre.runtime import Runtime
+    from repro.workloads import get_workload
+
+    data = get_workload("bmp").generate(64 * 1024, seed=0)
+    blocks = [data[i:i + 4096] for i in range(0, len(data), 4096)]
+    config = HuffmanConfig(reduce_ratio=2, offset_fanout=4, step=1, verify_k=2)
+    rt = Runtime()
+    ex = SimulatedExecutor(rt, X86Platform(workers=4), policy="balanced", workers=4)
+    pipe = HuffmanPipeline(rt, config, len(blocks))
+    pipe.manager.spec.tolerance = AdaptiveTolerance(0.05, 0.005, decay=0.6)
+    for i, b in enumerate(blocks):
+        ex.sim.schedule_at(float(i * 5), lambda i=i, b=b: pipe.feed_block(i, b))
+    end = ex.run()
+    result = pipe.result(end)
+    assert result.outcome in ("commit", "recompute")
+    assert pipe.verify_roundtrip(data)

@@ -1,0 +1,66 @@
+"""Unit tests for speculation/verification frequency policies."""
+
+import pytest
+
+from repro.core.frequency import (
+    EveryK,
+    FullVerification,
+    Optimistic,
+    SpeculationInterval,
+    get_verification,
+)
+from repro.errors import SpeculationError
+
+
+def test_interval_step_opportunities():
+    iv = SpeculationInterval(4)
+    assert not iv.is_opportunity(0)
+    assert not iv.is_opportunity(3)
+    assert iv.is_opportunity(4)
+    assert iv.is_opportunity(8)
+    assert not iv.is_opportunity(9)
+
+
+def test_interval_step_zero_speculates_earliest():
+    iv = SpeculationInterval(0)
+    assert iv.is_opportunity(0)
+    assert not iv.is_opportunity(3)
+    # after a rollback, any update is a re-speculation opportunity
+    assert iv.is_opportunity(3, had_rollback=True)
+
+
+def test_interval_negative_rejected():
+    with pytest.raises(SpeculationError):
+        SpeculationInterval(-1)
+
+
+def test_every_k_checks():
+    v = EveryK(8)
+    assert [i for i in range(1, 25) if v.check_at(i)] == [8, 16, 24]
+    assert not v.respeculate_on_failure
+
+
+def test_every_k_validates_k():
+    with pytest.raises(SpeculationError):
+        EveryK(0)
+
+
+def test_optimistic_never_checks_intermediate():
+    v = Optimistic()
+    assert not any(v.check_at(i) for i in range(1, 100))
+
+
+def test_full_checks_everywhere_and_respeculates():
+    v = FullVerification()
+    assert all(v.check_at(i) for i in range(1, 10))
+    assert v.respeculate_on_failure
+
+
+def test_get_verification_names():
+    assert isinstance(get_verification("every_k", k=4), EveryK)
+    assert get_verification("every_k", k=4).k == 4
+    assert isinstance(get_verification("baseline"), EveryK)
+    assert isinstance(get_verification("optimistic"), Optimistic)
+    assert isinstance(get_verification("full"), FullVerification)
+    with pytest.raises(SpeculationError):
+        get_verification("sometimes")

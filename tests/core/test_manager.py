@@ -1,0 +1,225 @@
+"""Unit tests for the SpeculationManager protocol.
+
+A synthetic speculation domain over scalar values: the predictor's task
+returns the update value itself; the validator measures relative distance.
+This isolates the manager's predict/check/commit/rollback protocol from the
+Huffman specifics.
+"""
+
+import pytest
+
+from repro.core.frequency import EveryK, FullVerification, Optimistic, SpeculationInterval
+from repro.core.manager import SpeculationManager
+from repro.core.spec import SpeculationSpec
+from repro.core.tolerance import RelativeTolerance
+from repro.core.wait import WaitBuffer
+from repro.errors import SpeculationError
+from repro.sre.task import Task, TaskState
+
+from tests.conftest import make_harness
+
+
+class Domain:
+    """Synthetic speculation client."""
+
+    def __init__(self, harness, *, step=1, verification=None, tolerance=0.01):
+        self.h = harness
+        self.launched = []
+        self.recomputed = []
+        self.flushed = []
+        self.barrier = WaitBuffer(sink=lambda k, v, t: self.flushed.append((k, v)))
+        spec = SpeculationSpec(
+            name="dom",
+            predictor=self._predictor,
+            validator=lambda pred, cand, ref: abs(pred - cand) / max(abs(cand), 1e-9),
+            launch=self._launch,
+            recompute=self.recomputed.append,
+            barrier=self.barrier,
+            tolerance=RelativeTolerance(tolerance),
+            interval=SpeculationInterval(step),
+            verification=verification or EveryK(2),
+        )
+        self.manager = SpeculationManager(harness.runtime, spec)
+
+    def _predictor(self, value, name):
+        return Task(name, lambda v=value: {"out": v}, kind="tree")
+
+    def _launch(self, version):
+        self.launched.append(version)
+        work = Task(
+            f"specwork:v{version.vid}",
+            lambda v=version.value: {"out": v},
+            kind="encode",
+            speculative=True,
+        )
+        version.register(work)
+        self.h.runtime.add_task(work)
+        self.h.runtime.connect_sink(
+            work, "out",
+            lambda v, ver=version: self.barrier.deposit(
+                ver.vid, "result", v, self.h.runtime.now
+            ),
+        )
+
+    def offer(self, index, value, is_final=False):
+        self.manager.offer_update(index, value, is_final=is_final)
+        self.h.run()
+
+
+def test_speculates_at_first_opportunity():
+    h = make_harness()
+    d = Domain(h, step=2)
+    d.offer(1, 10.0)
+    assert d.launched == []  # 1 is not a multiple of 2
+    d.offer(2, 10.0)
+    assert len(d.launched) == 1
+    assert d.launched[0].value == 10.0
+    assert d.manager.stats.speculations == 1
+
+
+def test_step_zero_speculates_on_update_zero():
+    h = make_harness()
+    d = Domain(h, step=0)
+    d.offer(0, 5.0)
+    assert len(d.launched) == 1
+
+
+def test_passing_check_keeps_version():
+    h = make_harness()
+    d = Domain(h, step=1, verification=EveryK(2))
+    d.offer(1, 100.0)
+    v1 = d.manager.active_version
+    d.offer(2, 100.4)  # 0.4% error < 1%
+    assert d.manager.active_version is v1
+    assert d.manager.stats.checks_passed == 1
+    assert v1.active
+
+
+def test_failing_check_rolls_back_and_respeculates():
+    h = make_harness()
+    d = Domain(h, step=1, verification=EveryK(2))
+    d.offer(1, 100.0)
+    v1 = d.manager.active_version
+    spec_task = h.runtime.graph.get("specwork:v1")
+    assert spec_task.state is TaskState.DONE
+    d.offer(2, 150.0)  # 33% error
+    assert not v1.active
+    assert d.manager.stats.rollbacks == 1
+    assert spec_task.state is TaskState.ABORTED
+    # re-speculated with the candidate value, no second prediction task
+    v2 = d.manager.active_version
+    assert v2 is not v1
+    assert v2.value == 150.0
+    assert d.barrier.pending(v1.vid) == 0  # discarded
+
+
+def test_rollback_without_opportunity_waits():
+    h = make_harness()
+    d = Domain(h, step=3, verification=EveryK(4))
+    d.offer(3, 100.0)
+    d.offer(4, 200.0)  # fails; 4 is not a multiple of 3 -> no respec yet
+    assert d.manager.active_version is None
+    assert d.manager.stats.rollbacks == 1
+    d.offer(5, 210.0)  # still not an opportunity
+    assert d.manager.active_version is None
+    d.offer(6, 220.0)  # opportunity
+    assert d.manager.active_version is not None
+    assert d.manager.stats.speculations == 2
+
+
+def test_full_verification_respeculates_immediately():
+    h = make_harness()
+    d = Domain(h, step=4, verification=FullVerification())
+    d.offer(4, 100.0)
+    d.offer(5, 200.0)  # fails at a non-opportunity index
+    assert d.manager.active_version is not None  # immediate restart
+    assert d.manager.active_version.value == 200.0
+
+
+def test_optimistic_never_checks_until_final():
+    h = make_harness()
+    d = Domain(h, step=1, verification=Optimistic())
+    d.offer(1, 100.0)
+    for i in range(2, 10):
+        d.offer(i, 500.0)  # wildly wrong, but never checked
+    assert d.manager.stats.checks == 0
+    assert d.manager.active_version.active
+    d.offer(10, 500.0, is_final=True)
+    assert d.manager.outcome == "recompute"
+    assert d.recomputed == [500.0]
+
+
+def test_final_pass_commits_and_flushes_buffer():
+    h = make_harness()
+    d = Domain(h, step=1)
+    d.offer(1, 100.0)
+    d.offer(5, 100.2, is_final=True)
+    assert d.manager.outcome == "commit"
+    assert d.manager.stats.commits == 1
+    assert d.flushed == [("result", 100.0)]
+    assert d.manager.active_version.committed
+
+
+def test_final_fail_recomputes_with_true_value():
+    h = make_harness()
+    d = Domain(h, step=1)
+    d.offer(1, 100.0)
+    d.offer(5, 300.0, is_final=True)
+    assert d.manager.outcome == "recompute"
+    assert d.recomputed == [300.0]
+    assert d.flushed == []
+    assert d.manager.stats.rollbacks == 1
+
+
+def test_final_without_any_version_recomputes():
+    h = make_harness()
+    d = Domain(h, step=8)
+    d.offer(1, 100.0)  # below first opportunity
+    d.offer(2, 100.0, is_final=True)
+    assert d.manager.outcome == "recompute"
+    assert d.manager.stats.speculations == 0
+
+
+def test_updates_after_final_rejected():
+    h = make_harness()
+    d = Domain(h)
+    d.offer(1, 1.0, is_final=True)
+    with pytest.raises(SpeculationError):
+        d.manager.offer_update(2, 1.0)
+
+
+def test_double_final_rejected():
+    h = make_harness()
+    d = Domain(h)
+    d.offer(1, 1.0, is_final=True)
+    with pytest.raises(SpeculationError):
+        d.manager.offer_update(2, 1.0, is_final=True)
+
+
+def test_no_check_against_own_creation_index():
+    h = make_harness()
+    d = Domain(h, step=2, verification=EveryK(2))
+    d.offer(2, 100.0)
+    # the check policy fires at index 2, but the version was created there
+    assert d.manager.stats.checks == 0
+
+
+def test_check_errors_recorded():
+    h = make_harness()
+    d = Domain(h, step=1, verification=EveryK(1))
+    d.offer(1, 100.0)
+    d.offer(2, 100.5)
+    d.offer(3, 101.0)
+    assert len(d.manager.stats.check_errors) == 2
+    assert d.manager.stats.check_errors[0] == pytest.approx(0.5 / 100.5)
+
+
+def test_offers_after_commit_are_protocol_violations():
+    h = make_harness()
+    d = Domain(h, step=1)
+    d.offer(1, 100.0)
+    d.offer(2, 100.0, is_final=True)
+    assert d.manager.outcome == "commit"
+    with pytest.raises(SpeculationError):
+        d.manager.offer_update(3, 100.0)
+    assert d.manager.stats.speculations == 1

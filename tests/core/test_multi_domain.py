@@ -1,0 +1,88 @@
+"""Two independent speculation domains coexisting in one runtime.
+
+The framework is per-edge: each SpeculationSpec gets its own manager,
+versions, barrier and rollback footprint. A rollback in one domain must not
+disturb the other.
+"""
+
+from repro.core.frequency import EveryK, SpeculationInterval
+from repro.core.manager import SpeculationManager
+from repro.core.spec import SpeculationSpec
+from repro.core.tolerance import RelativeTolerance
+from repro.core.wait import WaitBuffer
+from repro.sre.task import Task, TaskState
+
+from tests.conftest import make_harness
+
+
+def _domain(h, name, tolerance=0.01):
+    flushed = []
+    barrier = WaitBuffer(sink=lambda k, v, t: flushed.append((k, v)))
+    state = {"flushed": flushed, "launched": []}
+
+    def launch(version):
+        state["launched"].append(version)
+        work = Task(f"{name}:work:v{version.vid}",
+                    lambda v=version.value: {"out": v},
+                    kind="encode", speculative=True)
+        version.register(work)
+        h.runtime.add_task(work)
+        h.runtime.connect_sink(
+            work, "out",
+            lambda v, ver=version: barrier.deposit(ver.vid, "r", v, h.runtime.now))
+
+    spec = SpeculationSpec(
+        name=name,
+        predictor=lambda v, n: Task(n, lambda x=v: {"out": x}, kind="predict"),
+        validator=lambda p, c, r: abs(p - c) / max(abs(c), 1e-9),
+        launch=launch,
+        recompute=lambda v: state.setdefault("recomputed", []).append(v),
+        barrier=barrier,
+        tolerance=RelativeTolerance(tolerance),
+        interval=SpeculationInterval(1),
+        verification=EveryK(1),
+    )
+    return SpeculationManager(h.runtime, spec), state
+
+
+def test_domains_are_independent():
+    h = make_harness()
+    m_good, s_good = _domain(h, "good")
+    m_bad, s_bad = _domain(h, "bad")
+
+    # good domain: stable value; bad domain: value jumps (forces rollback)
+    m_good.offer_update(1, 100.0)
+    m_bad.offer_update(1, 100.0)
+    h.run()
+    good_v1 = m_good.active_version
+    bad_v1 = m_bad.active_version
+
+    m_good.offer_update(2, 100.1)
+    m_bad.offer_update(2, 500.0)
+    h.run()
+
+    assert m_good.active_version is good_v1
+    assert not bad_v1.active
+    assert m_bad.stats.rollbacks == 1
+    assert m_good.stats.rollbacks == 0
+    # the good domain's speculative work untouched by the bad rollback
+    good_work = h.runtime.graph.get("good:work:v1")
+    assert good_work.state is TaskState.DONE
+
+    m_good.offer_update(3, 100.0, is_final=True)
+    m_bad.offer_update(3, 500.0, is_final=True)
+    h.run()
+    assert m_good.outcome == "commit"
+    assert m_bad.outcome == "commit"  # re-speculated v2 matches the final
+    assert s_good["flushed"] and s_bad["flushed"]
+
+
+def test_domain_rollback_does_not_touch_natural_tasks():
+    h = make_harness()
+    m, _ = _domain(h, "dom")
+    natural = h.runtime.add_task(Task("bystander", lambda: {"out": 1}))
+    m.offer_update(1, 10.0)
+    h.run()
+    m._rollback(m.active_version)
+    assert natural.state is TaskState.DONE
+    assert h.runtime.graph.get("bystander").state is TaskState.DONE

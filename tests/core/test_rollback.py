@@ -1,0 +1,91 @@
+"""Unit tests for the rollback engine."""
+
+import pytest
+
+from repro.core.rollback import RollbackEngine
+from repro.core.spec import SpecVersion
+from repro.core.wait import WaitBuffer
+from repro.errors import RollbackError
+from repro.sre.task import Task, TaskState
+
+from tests.conftest import make_harness
+
+
+def _version_with_chain(h, vid=1):
+    """A version owning a -> b where b was spawned dynamically (unregistered)."""
+    version = SpecVersion(vid, created_index=1, created_at=0.0)
+    a = Task("a", lambda: {"out": 1}, speculative=True)
+    b = Task("b", lambda x: {"out": x}, inputs=("x",), speculative=True)
+    version.register(a)
+    h.runtime.add_task(a)
+    h.runtime.add_task(b)
+    h.runtime.connect(a, "out", b, "x")
+    return version, a, b
+
+
+def test_rollback_aborts_registered_and_dependents():
+    h = make_harness()
+    version, a, b = _version_with_chain(h)
+    engine = RollbackEngine(h.runtime)
+    footprint = engine.rollback(version)
+    assert {t.name for t in footprint} == {"a", "b"}
+    # `a` was already dispatched (it is RUNNING): it is abort-flagged and
+    # reaped at completion; `b` was never launched and aborts instantly.
+    assert a.abort_requested
+    assert b.state is TaskState.ABORTED
+    h.run()
+    assert a.state is TaskState.ABORTED
+    assert not version.active
+    assert engine.rollbacks == 1
+    assert engine.tasks_destroyed == 2
+
+
+def test_rollback_discards_buffer_entries():
+    h = make_harness()
+    version, a, b = _version_with_chain(h, vid=7)
+    buf = WaitBuffer()
+    buf.deposit(7, "k", "v", 0.0)
+    engine = RollbackEngine(h.runtime, buf)
+    engine.rollback(version)
+    assert buf.pending(7) == 0
+    assert engine.buffer_entries_discarded == 1
+
+
+def test_rollback_idempotent_per_version():
+    h = make_harness()
+    version, *_ = _version_with_chain(h)
+    engine = RollbackEngine(h.runtime)
+    engine.rollback(version)
+    assert engine.rollback(version) == []
+    assert engine.rollbacks == 1
+
+
+def test_committed_version_cannot_roll_back():
+    h = make_harness()
+    version, *_ = _version_with_chain(h)
+    version.committed = True
+    engine = RollbackEngine(h.runtime)
+    with pytest.raises(RollbackError):
+        engine.rollback(version)
+
+
+def test_rollback_after_tasks_completed_discards_results():
+    h = make_harness()
+    version, a, b = _version_with_chain(h)
+    h.run()  # both tasks execute
+    assert b.state is TaskState.DONE
+    engine = RollbackEngine(h.runtime)
+    engine.rollback(version)
+    assert a.state is TaskState.ABORTED
+    assert b.state is TaskState.ABORTED
+    assert h.runtime.memory.speculative_wasted > 0
+
+
+def test_rollback_emits_trace():
+    h = make_harness()
+    version, *_ = _version_with_chain(h, vid=3)
+    RollbackEngine(h.runtime).rollback(version)
+    rec = h.runtime.trace.last("rollback")
+    assert rec is not None
+    assert rec.subject == "version:3"
+    assert rec.detail["tasks_destroyed"] == 2

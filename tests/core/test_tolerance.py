@@ -1,0 +1,58 @@
+"""Unit tests for tolerance rules."""
+
+import pytest
+
+from repro.core.tolerance import (
+    AbsoluteTolerance,
+    CallableTolerance,
+    ExactTolerance,
+    RelativeTolerance,
+)
+from repro.errors import ToleranceError
+
+
+def test_relative_accepts_within_margin():
+    rule = RelativeTolerance(0.01)
+    assert rule.accepts(0.0)
+    assert rule.accepts(0.01)
+    assert not rule.accepts(0.0100001)
+
+
+def test_relative_rejects_negative_margin():
+    with pytest.raises(ToleranceError):
+        RelativeTolerance(-0.1)
+
+
+def test_zero_margin_relative_equals_exact():
+    rel = RelativeTolerance(0.0)
+    exact = ExactTolerance()
+    for err in (0.0, 1e-12, 0.5):
+        assert rel.accepts(err) == exact.accepts(err)
+
+
+def test_absolute_uses_abs():
+    rule = AbsoluteTolerance(2.0)
+    assert rule.accepts(-1.5)
+    assert rule.accepts(2.0)
+    assert not rule.accepts(-2.5)
+
+
+def test_absolute_rejects_negative_bound():
+    with pytest.raises(ToleranceError):
+        AbsoluteTolerance(-1.0)
+
+
+def test_exact_only_zero():
+    rule = ExactTolerance()
+    assert rule.accepts(0.0)
+    assert not rule.accepts(1e-15)
+
+
+def test_callable_adapter():
+    rule = CallableTolerance(lambda e: e < 0.5)
+    assert rule.accepts(0.4)
+    assert not rule.accepts(0.6)
+
+
+def test_rules_are_callable():
+    assert RelativeTolerance(0.1)(0.05) is True

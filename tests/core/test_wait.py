@@ -1,0 +1,81 @@
+"""Unit tests for the wait buffer (side-effect barrier)."""
+
+import pytest
+
+from repro.core.wait import WaitBuffer
+from repro.errors import SpeculationError
+
+
+def _buffer():
+    flushed = []
+    buf = WaitBuffer(sink=lambda k, v, t: flushed.append((k, v, t)))
+    return buf, flushed
+
+
+def test_deposit_is_held_until_commit():
+    buf, flushed = _buffer()
+    buf.deposit(1, "b0", "payload", now=5.0)
+    assert flushed == []
+    assert buf.pending(1) == 1
+
+
+def test_commit_flushes_in_key_order():
+    buf, flushed = _buffer()
+    buf.deposit(1, 2, "two", 1.0)
+    buf.deposit(1, 0, "zero", 2.0)
+    buf.deposit(1, 1, "one", 3.0)
+    n = buf.commit(1, now=10.0)
+    assert n == 3
+    assert [k for k, _, _ in flushed] == [0, 1, 2]
+    assert all(t == 10.0 for _, _, t in flushed)
+
+
+def test_post_commit_deposits_flush_immediately():
+    buf, flushed = _buffer()
+    buf.commit(3, now=1.0)
+    buf.deposit(3, "late", "v", now=2.0)
+    assert flushed == [("late", "v", 2.0)]
+
+
+def test_discard_drops_version():
+    buf, flushed = _buffer()
+    buf.deposit(1, "a", 1, 0.0)
+    buf.deposit(2, "b", 2, 0.0)
+    assert buf.discard(1) == 1
+    assert buf.pending(1) == 0
+    assert buf.pending(2) == 1
+    buf.commit(2, 5.0)
+    assert [k for k, _, _ in flushed] == ["b"]
+
+
+def test_double_commit_rejected():
+    buf, _ = _buffer()
+    buf.commit(1, 0.0)
+    with pytest.raises(SpeculationError):
+        buf.commit(2, 0.0)
+
+
+def test_duplicate_key_overwrites():
+    buf, flushed = _buffer()
+    buf.deposit(1, "k", "old", 0.0)
+    buf.deposit(1, "k", "new", 1.0)
+    buf.commit(1, 2.0)
+    assert flushed == [("k", "new", 2.0)]
+
+
+def test_counters():
+    buf, _ = _buffer()
+    buf.deposit(1, "a", 1, 0.0)
+    buf.deposit(2, "b", 2, 0.0)
+    buf.discard(2)
+    buf.commit(1, 0.0)
+    assert buf.deposits == 2
+    assert buf.discarded == 1
+    assert buf.flushed == 1
+
+
+def test_sinkless_buffer_counts_flushes():
+    buf = WaitBuffer()
+    buf.deposit(1, "a", 1, 0.0)
+    buf.commit(1, 0.0)
+    assert buf.flushed == 1

@@ -1,0 +1,45 @@
+"""Additional wait-buffer edge cases."""
+
+from repro.core.wait import WaitBuffer
+
+
+def test_deposit_for_stale_version_after_commit_is_held_not_flushed():
+    """A deposit under a *different* (rolled-back) version arriving after a
+    commit must not leak to the sink — it is held inert (the rollback's
+    discard may have raced it) and never flushed."""
+    flushed = []
+    buf = WaitBuffer(sink=lambda k, v, t: flushed.append(k))
+    buf.commit(2, now=1.0)
+    buf.deposit(1, "late-stale", "v", now=2.0)
+    assert flushed == []
+    assert buf.pending(1) == 1
+    buf.discard(1)
+    assert buf.pending(1) == 0
+    assert flushed == []
+
+
+def test_discard_missing_version_is_zero():
+    buf = WaitBuffer()
+    assert buf.discard(99) == 0
+
+
+def test_commit_empty_version_flushes_nothing():
+    flushed = []
+    buf = WaitBuffer(sink=lambda k, v, t: flushed.append(k))
+    assert buf.commit(1, now=0.0) == 0
+    assert flushed == []
+    # subsequent deposits for the committed version flow through
+    buf.deposit(1, "k", "v", now=1.0)
+    assert flushed == ["k"]
+
+
+def test_interleaved_versions_isolated():
+    flushed = []
+    buf = WaitBuffer(sink=lambda k, v, t: flushed.append((k, v)))
+    for vid in (1, 2, 3):
+        for key in range(3):
+            buf.deposit(vid, key, f"v{vid}:{key}", now=0.0)
+    buf.discard(1)
+    buf.discard(3)
+    buf.commit(2, now=5.0)
+    assert [v for _, v in flushed] == ["v2:0", "v2:1", "v2:2"]

@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig3" in out and "fig9" in out
+    assert "balanced" in out
+
+
+def test_run_small(capsys):
+    rc = main(["run", "--workload", "txt", "--blocks", "32",
+               "--policy", "balanced", "--step", "1"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "avg latency" in out
+    assert "round-trip : ok" in out
+
+
+def test_run_nonspec_flag(capsys):
+    rc = main(["run", "--workload", "txt", "--blocks", "16", "--nonspec"])
+    assert rc == 0
+    assert "non_speculative" in capsys.readouterr().out
+
+
+def test_run_rejects_bad_workload():
+    with pytest.raises(SystemExit):
+        main(["run", "--workload", "exe"])
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_run_with_gantt(capsys):
+    rc = main(["run", "--workload", "txt", "--blocks", "16", "--gantt"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "encode |" in out
+
+
+def test_run_trace_export(tmp_path, capsys):
+    out_file = tmp_path / "trace.json"
+    rc = main(["run", "--workload", "txt", "--blocks", "16",
+               "--trace-out", str(out_file)])
+    assert rc == 0
+    import json
+    doc = json.loads(out_file.read_text())
+    assert doc["traceEvents"]
+
+
+def test_filter_command(capsys):
+    rc = main(["filter", "--blocks", "8"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "response error" in out
+
+
+def test_compress_decompress_roundtrip(tmp_path, capsys):
+    src = tmp_path / "data.txt"
+    src.write_bytes(b"cli compression round trip " * 200)
+    assert main(["compress", str(src)]) == 0
+    blob = tmp_path / "data.txt.rhuf"
+    assert blob.exists()
+    out = tmp_path / "back.txt"
+    assert main(["decompress", str(blob), "-o", str(out)]) == 0
+    assert out.read_bytes() == src.read_bytes()
+
+
+def test_fig2_subcommand(capsys):
+    rc = main(["fig2", "--no-charts"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "fig2" in out and "speculative" in out
+
+
+def test_kmeans_command(capsys):
+    rc = main(["kmeans", "--blocks", "12"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "inertia" in out and "labels      : ok" in out

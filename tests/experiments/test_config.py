@@ -1,0 +1,30 @@
+"""Tests for experiment scale configuration."""
+
+import os
+from unittest import mock
+
+from repro.experiments.config import PAPER, QUICK, active_scale
+
+
+def test_paper_scale_matches_paper_geometry():
+    assert PAPER.blocks == {"txt": 1024, "bmp": 512, "pdf": 1024}
+    assert PAPER.block_size == 4096
+    assert PAPER.reduce_ratio == 16
+    assert PAPER.offset_fanout == 64
+    assert PAPER.socket_reduce_ratio == 8  # §V-A socket configuration
+
+
+def test_quick_scale_preserves_geometry():
+    assert QUICK.block_size == PAPER.block_size
+    assert QUICK.reduce_ratio == PAPER.reduce_ratio
+    for wl in ("txt", "bmp", "pdf"):
+        assert QUICK.n_blocks(wl) < PAPER.n_blocks(wl)
+
+
+def test_active_scale_env_switch():
+    with mock.patch.dict(os.environ, {"REPRO_SCALE": "paper"}):
+        assert active_scale() is PAPER
+    with mock.patch.dict(os.environ, {}, clear=True):
+        assert active_scale() is QUICK
+    with mock.patch.dict(os.environ, {"REPRO_SCALE": "quick"}):
+        assert active_scale() is QUICK

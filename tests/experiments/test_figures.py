@@ -1,0 +1,126 @@
+"""Smoke tests for the figure modules at a tiny scale.
+
+These verify the experiment harness plumbing (series shapes, tables,
+rendering) quickly; the *findings* are asserted at realistic scale by the
+slow integration tests and the benchmark suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig3, fig4, fig5, fig6, fig7, fig8, fig9
+from repro.experiments.config import ExperimentScale
+
+TINY = ExperimentScale(
+    name="tiny",
+    blocks={"txt": 64, "bmp": 64, "pdf": 64},
+    reduce_ratio=8,
+    offset_fanout=16,
+    socket_reduce_ratio=4,
+    socket_offset_fanout=4,
+)
+
+
+def _check_render(result):
+    text = result.render()
+    assert result.figure in text
+    assert len(text) > 100
+
+
+@pytest.mark.slow
+def test_fig3_smoke():
+    result = fig3.run(scale=TINY)
+    assert set(result.series) == {"txt (x86)", "bmp (x86)", "pdf (x86)"}
+    for series in result.series.values():
+        assert set(series) == {"nonspec", "balanced", "aggressive", "conservative"}
+        for curve in series.values():
+            assert curve.shape == (64,)
+    assert len(result.table_rows) == 12
+    _check_render(result)
+
+
+@pytest.mark.slow
+def test_fig4_smoke():
+    result = fig4.run(scale=TINY)
+    assert "txt (cell)" in result.series
+    assert any("speculative encode" in n for n in result.notes)
+    _check_render(result)
+
+
+@pytest.mark.slow
+def test_fig5_smoke():
+    result = fig5.run(scale=TINY, workloads=("txt",), steps=(0, 1, 2, 4))
+    series = result.series["txt avg latency vs step"]
+    assert set(series) == {"nonspec", "balanced", "aggressive", "conservative"}
+    assert all(len(v) == 4 for v in series.values())
+    # nonspec line is flat by construction
+    assert np.allclose(series["nonspec"], series["nonspec"][0])
+    _check_render(result)
+
+
+@pytest.mark.slow
+def test_fig6_smoke():
+    result = fig6.run(scale=TINY, workloads=("txt",))
+    series = result.series["txt (x86)"]
+    assert set(series) == {"nonspec", "balanced", "optimistic", "full"}
+    _check_render(result)
+
+
+@pytest.mark.slow
+def test_fig7_smoke():
+    result = fig7.run(scale=TINY)
+    for panel in ("txt over socket", "pdf over socket"):
+        assert set(result.series[panel]) == {"arrival time", "latency"}
+        # arrivals dominate latency under socket I/O
+        assert result.series[panel]["arrival time"][-1] > 0
+    _check_render(result)
+
+
+@pytest.mark.slow
+def test_fig8_smoke():
+    result = fig8.run(scale=TINY, cpus=(2, 4))
+    panel = next(iter(result.series))
+    assert set(result.series[panel]) == {"2 cpu", "4 cpu"}
+    _check_render(result)
+
+
+@pytest.mark.slow
+def test_fig9_smoke():
+    result = fig9.run(scale=TINY, workloads=("txt",), tolerances=(0.01, 0.05))
+    series = result.series["txt tolerance sweep"]
+    assert set(series) == {"1%", "5%"}
+    _check_render(result)
+
+
+@pytest.mark.slow
+def test_reports_reachable_for_deep_inspection():
+    result = fig3.run(scale=TINY)
+    report = result.reports[("txt (x86)", "balanced")]
+    assert report.result.n_blocks == 64
+    assert report.roundtrip_ok
+
+
+@pytest.mark.slow
+def test_resources_smoke():
+    from repro.experiments import resources
+    result = resources.run(scale=TINY, workloads=("txt",))
+    assert "txt avg latency vs spec share" in result.series
+    assert "txt avg latency vs speculation cap" in result.series
+    assert len(result.table_rows) == len(resources.RATIO_STEPS) + len(
+        resources.THROTTLE_STEPS)
+    _check_render(result)
+
+
+@pytest.mark.slow
+def test_fig2_dfg_export():
+    from repro.experiments import fig2
+    result = fig2.run(n_blocks=8)
+    assert result.dot_spec.startswith("digraph dfg {")
+    assert "style=dashed" in result.dot_spec       # speculative tasks
+    assert "style=dashed" not in result.dot_nonspec
+    assert "shape=diamond" in result.dot_spec      # check tasks
+    # censuses reflect the pipeline structure
+    assert result.census_nonspec["count"] == 8
+    assert result.census_nonspec["reduce"] == 4
+    assert result.census_spec["check"] >= 1
+    assert "fig2" in result.render()

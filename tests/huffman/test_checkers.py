@@ -1,0 +1,77 @@
+"""Unit tests for the compression-size tolerance check."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ToleranceError
+from repro.huffman.checkers import compression_size_error
+from repro.huffman.histogram import byte_histogram
+from repro.huffman.tree import HuffmanTree
+
+
+def _tree(data: bytes) -> HuffmanTree:
+    return HuffmanTree.from_histogram(byte_histogram(data))
+
+
+def test_identical_trees_zero_error():
+    data = b"same same " * 50
+    t = _tree(data)
+    assert compression_size_error(t, t, byte_histogram(data)) == 0.0
+
+
+def test_equivalent_trees_zero_error():
+    data = b"equivalent" * 80
+    assert compression_size_error(_tree(data), _tree(data), byte_histogram(data)) == 0.0
+
+
+def test_mismatched_tree_positive_error():
+    text = b"english text with letters " * 100
+    binary = bytes(np.random.default_rng(0).integers(0, 256, 2000, dtype=np.uint8))
+    err = compression_size_error(_tree(binary), _tree(text), byte_histogram(text))
+    assert err > 0.05
+
+
+def test_error_is_relative_to_candidate_size():
+    text = b"abababab" * 200
+    hist = byte_histogram(text)
+    pred, cand = _tree(bytes(range(256)) * 4), _tree(text)
+    size_pred = pred.encoded_bits(hist)
+    size_cand = cand.encoded_bits(hist)
+    err = compression_size_error(pred, cand, hist)
+    assert err == pytest.approx(abs(size_pred - size_cand) / size_cand)
+
+
+def test_candidate_is_never_worse_than_prediction_on_its_own_hist():
+    """The candidate tree is optimal for the reference histogram, so the
+    error is exactly the prediction's excess — always >= 0."""
+    a = b"first distribution aaaa" * 60
+    b = b"second distribution zzz" * 60
+    err = compression_size_error(_tree(a), _tree(b), byte_histogram(b))
+    assert err >= 0.0
+
+
+def test_empty_reference_histogram_is_zero_error():
+    t = _tree(b"x")
+    assert compression_size_error(t, t, np.zeros(256, dtype=np.int64)) == 0.0
+
+
+def test_missing_tree_raises():
+    t = _tree(b"x")
+    with pytest.raises(ToleranceError):
+        compression_size_error(None, t, byte_histogram(b"x"))
+    with pytest.raises(ToleranceError):
+        compression_size_error(t, None, byte_histogram(b"x"))
+
+
+def test_error_monotone_in_distribution_distance():
+    """Trees from increasingly different mixtures price increasingly badly."""
+    base = np.zeros(256, dtype=np.int64)
+    base[:8] = 1000  # concentrated
+    flat = np.ones(256, dtype=np.int64) * 32
+    cand = HuffmanTree.from_histogram(base)
+    errs = []
+    for w in (0.1, 0.4, 0.8):
+        mixed = ((1 - w) * base + w * flat).astype(np.int64)
+        pred = HuffmanTree.from_histogram(mixed)
+        errs.append(compression_size_error(pred, cand, base))
+    assert errs[0] <= errs[1] <= errs[2]

@@ -1,0 +1,148 @@
+"""Unit tests for the bit-level encoder/decoder and stream assembly."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CodecError
+from repro.huffman.codec import (
+    assemble_stream,
+    decode_stream,
+    encode_block,
+    encoded_size_bits,
+)
+from repro.huffman.histogram import byte_histogram
+from repro.huffman.tree import HuffmanTree
+
+
+def _tree(data: bytes) -> HuffmanTree:
+    return HuffmanTree.from_histogram(byte_histogram(data))
+
+
+def test_roundtrip_simple():
+    data = b"hello huffman"
+    tree = _tree(data)
+    packed, nbits = encode_block(data, tree)
+    assert decode_stream(packed, nbits, tree) == data
+
+
+def test_roundtrip_all_byte_values():
+    data = bytes(range(256)) * 7
+    tree = _tree(data)
+    packed, nbits = encode_block(data, tree)
+    assert decode_stream(packed, nbits, tree) == data
+
+
+def test_roundtrip_single_symbol_input():
+    data = b"\x00" * 500
+    tree = _tree(data)
+    packed, nbits = encode_block(data, tree)
+    assert nbits == 500  # dominant symbol gets a 1-bit code
+    assert decode_stream(packed, nbits, tree) == data
+
+
+def test_empty_block():
+    tree = _tree(b"seed")
+    packed, nbits = encode_block(b"", tree)
+    assert nbits == 0
+    assert decode_stream(packed, 0, tree) == b""
+
+
+def test_encode_with_foreign_tree_still_decodes():
+    """A (speculative) tree built from different data must still round-trip —
+    the basis of tolerant speculation on Huffman (§IV)."""
+    tree = _tree(b"completely different training text " * 10)
+    data = bytes(np.random.default_rng(0).integers(0, 256, 400, dtype=np.uint8))
+    packed, nbits = encode_block(data, tree)
+    assert decode_stream(packed, nbits, tree) == data
+
+
+def test_nbits_matches_size_formula():
+    data = b"formula check " * 37
+    tree = _tree(data)
+    _, nbits = encode_block(data, tree)
+    assert nbits == encoded_size_bits(byte_histogram(data), tree)
+
+
+def test_optimal_tree_compresses_biased_data():
+    data = b"a" * 3000 + b"bcd" * 40
+    tree = _tree(data)
+    _, nbits = encode_block(data, tree)
+    assert nbits < len(data) * 8 / 3
+
+
+def test_encode_rejects_non_uint8():
+    tree = _tree(b"x")
+    with pytest.raises(CodecError):
+        encode_block(np.array([1, 2], dtype=np.int64), tree)
+
+
+def test_decode_detects_truncation():
+    data = b"truncate me please" * 4
+    tree = _tree(data)
+    packed, nbits = encode_block(data, tree)
+    with pytest.raises(CodecError):
+        decode_stream(packed, nbits + 64, tree)
+
+
+def test_assemble_tiles_pieces():
+    data = b"assembly line " * 11
+    tree = _tree(data)
+    blocks = [data[i : i + 16] for i in range(0, len(data), 16)]
+    pieces = []
+    offset = 0
+    for b in blocks:
+        packed, nbits = encode_block(b, tree)
+        pieces.append((offset, packed, nbits))
+        offset += nbits
+    stream = assemble_stream(pieces, offset)
+    assert decode_stream(stream, offset, tree) == data
+
+
+def test_assemble_rejects_overlap():
+    data = b"overlap"
+    tree = _tree(data)
+    packed, nbits = encode_block(data, tree)
+    with pytest.raises(CodecError):
+        assemble_stream([(0, packed, nbits), (nbits // 2, packed, nbits)],
+                        nbits + nbits // 2)
+
+
+def test_assemble_rejects_gap():
+    data = b"gap"
+    tree = _tree(data)
+    packed, nbits = encode_block(data, tree)
+    with pytest.raises(CodecError):
+        assemble_stream([(5, packed, nbits)], nbits + 5)
+
+
+def test_assemble_rejects_out_of_range():
+    data = b"range"
+    tree = _tree(data)
+    packed, nbits = encode_block(data, tree)
+    with pytest.raises(CodecError):
+        assemble_stream([(0, packed, nbits)], nbits - 1)
+
+
+def test_assemble_out_of_order_pieces():
+    data = b"0123456789abcdef" * 8
+    tree = _tree(data)
+    p0, n0 = encode_block(data[:64], tree)
+    p1, n1 = encode_block(data[64:], tree)
+    stream = assemble_stream([(n0, p1, n1), (0, p0, n0)], n0 + n1)
+    assert decode_stream(stream, n0 + n1, tree) == data
+
+
+def test_long_codes_slow_path():
+    """Construct a tree with codes longer than the 16-bit peek window to
+    force the decoder's canonical fallback."""
+    hist = np.zeros(256, dtype=np.int64)
+    # Exponential frequencies create a deep, skewed tree.
+    for i in range(40):
+        hist[i] = 2 ** min(i, 40)
+    tree = HuffmanTree.from_histogram(hist)
+    assert tree.max_length > 16
+    rng = np.random.default_rng(1)
+    # Sample data weighted towards rare (long-code) symbols.
+    data = bytes(rng.integers(0, 40, 300, dtype=np.uint8))
+    packed, nbits = encode_block(data, tree)
+    assert decode_stream(packed, nbits, tree) == data

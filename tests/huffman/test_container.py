@@ -1,0 +1,86 @@
+"""Unit tests for the self-contained container format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CodecError
+from repro.huffman.container import (
+    HEADER_LEN,
+    compress,
+    decompress,
+    pack_container,
+    unpack_container,
+)
+from repro.huffman.histogram import byte_histogram
+from repro.huffman.tree import HuffmanTree
+from repro.workloads import get_workload
+
+
+def test_roundtrip_simple():
+    data = b"container round trip " * 40
+    assert decompress(compress(data)) == data
+
+
+def test_roundtrip_all_workloads():
+    for name in ("txt", "bmp", "pdf"):
+        data = get_workload(name).generate(16 * 1024, seed=1)
+        assert decompress(compress(data)) == data
+
+
+def test_foreign_tree_container_valid_but_larger():
+    data = get_workload("txt").generate(32 * 1024, seed=2)
+    foreign = HuffmanTree.from_histogram(
+        byte_histogram(get_workload("pdf").generate(32 * 1024, seed=2))
+    )
+    own_blob = compress(data)
+    foreign_blob = compress(data, tree=foreign)
+    assert decompress(foreign_blob) == data
+    assert len(foreign_blob) >= len(own_blob)
+
+
+def test_container_overhead_is_header_only():
+    data = b"x" * 1000
+    blob = compress(data)
+    tree = HuffmanTree.from_histogram(byte_histogram(data))
+    _, nbits = __import__("repro.huffman.codec", fromlist=["encode_block"]).encode_block(data, tree)
+    assert len(blob) == HEADER_LEN + (nbits + 7) // 8
+
+
+def test_bad_magic_rejected():
+    blob = bytearray(compress(b"hello world"))
+    blob[0] = ord("X")
+    with pytest.raises(CodecError):
+        decompress(bytes(blob))
+
+
+def test_bad_version_rejected():
+    blob = bytearray(compress(b"hello world"))
+    blob[4] = 99
+    with pytest.raises(CodecError):
+        decompress(bytes(blob))
+
+
+def test_truncated_payload_rejected():
+    blob = compress(b"hello world, truncate me" * 10)
+    with pytest.raises(CodecError):
+        decompress(blob[:-4])
+
+
+def test_too_short_rejected():
+    with pytest.raises(CodecError):
+        unpack_container(b"RHUF")
+
+
+def test_unpack_preserves_tree():
+    data = b"preserve the tree " * 30
+    tree = HuffmanTree.from_histogram(byte_histogram(data))
+    blob = compress(data, tree=tree)
+    _, _, unpacked = unpack_container(blob)
+    assert unpacked == tree
+
+
+def test_corrupt_lengths_rejected():
+    blob = bytearray(compress(b"corrupt lengths " * 10))
+    blob[13:269] = bytes(256)  # all-zero lengths violate Kraft
+    with pytest.raises(CodecError):
+        decompress(bytes(blob))

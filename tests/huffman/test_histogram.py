@@ -1,0 +1,70 @@
+"""Unit tests for histograms (count/reduce kernels)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CodecError
+from repro.huffman.histogram import byte_histogram, merge_histograms, zero_histogram
+
+
+def test_zero_histogram_shape_and_dtype():
+    h = zero_histogram()
+    assert h.shape == (256,)
+    assert h.dtype == np.int64
+    assert h.sum() == 0
+
+
+def test_byte_histogram_counts():
+    h = byte_histogram(b"aabbbz")
+    assert h[ord("a")] == 2
+    assert h[ord("b")] == 3
+    assert h[ord("z")] == 1
+    assert h.sum() == 6
+
+
+def test_byte_histogram_empty():
+    assert byte_histogram(b"").sum() == 0
+
+
+def test_byte_histogram_all_values():
+    data = bytes(range(256)) * 3
+    h = byte_histogram(data)
+    assert np.all(h == 3)
+
+
+def test_byte_histogram_accepts_uint8_array():
+    arr = np.array([0, 0, 255], dtype=np.uint8)
+    h = byte_histogram(arr)
+    assert h[0] == 2 and h[255] == 1
+
+
+def test_byte_histogram_rejects_wrong_dtype():
+    with pytest.raises(CodecError):
+        byte_histogram(np.array([1, 2], dtype=np.int32))
+
+
+def test_merge_is_sum():
+    a = byte_histogram(b"aa")
+    b = byte_histogram(b"ab")
+    merged = merge_histograms([a, b])
+    assert merged[ord("a")] == 3
+    assert merged[ord("b")] == 1
+
+
+def test_merge_order_independent():
+    parts = [byte_histogram(bytes([i]) * i) for i in range(1, 10)]
+    fwd = merge_histograms(parts)
+    rev = merge_histograms(reversed(parts))
+    assert np.array_equal(fwd, rev)
+
+
+def test_merge_matches_whole_input():
+    data = b"the quick brown fox jumps over the lazy dog" * 20
+    blocks = [data[i : i + 64] for i in range(0, len(data), 64)]
+    merged = merge_histograms(byte_histogram(b) for b in blocks)
+    assert np.array_equal(merged, byte_histogram(data))
+
+
+def test_merge_rejects_bad_shape():
+    with pytest.raises(CodecError):
+        merge_histograms([np.zeros(10, dtype=np.int64)])

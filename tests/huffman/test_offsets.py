@@ -1,0 +1,69 @@
+"""Unit tests for the offset chain."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CodecError
+from repro.huffman.codec import encode_block
+from repro.huffman.histogram import byte_histogram
+from repro.huffman.offsets import block_bits, group_offsets
+from repro.huffman.tree import HuffmanTree
+
+
+def _tree(data: bytes) -> HuffmanTree:
+    return HuffmanTree.from_histogram(byte_histogram(data))
+
+
+def test_block_bits_matches_actual_encode():
+    data = b"offset check " * 33
+    tree = _tree(data)
+    block = data[:100]
+    _, nbits = encode_block(block, tree)
+    assert block_bits(byte_histogram(block), tree) == nbits
+
+
+def test_group_offsets_exclusive_prefix_sum():
+    data = b"abcabcabc" * 50
+    tree = _tree(data)
+    blocks = [data[i : i + 30] for i in range(0, 90, 30)]
+    hists = [byte_histogram(b) for b in blocks]
+    offsets, end = group_offsets(hists, tree, start=0)
+    sizes = [block_bits(h, tree) for h in hists]
+    assert offsets[0] == 0
+    assert offsets[1] == sizes[0]
+    assert offsets[2] == sizes[0] + sizes[1]
+    assert end == sum(sizes)
+
+
+def test_group_offsets_chains_from_start():
+    data = b"chain" * 100
+    tree = _tree(data)
+    hists = [byte_histogram(data[:50])]
+    offsets, end = group_offsets(hists, tree, start=777)
+    assert offsets[0] == 777
+    assert end == 777 + block_bits(hists[0], tree)
+
+
+def test_empty_group():
+    tree = _tree(b"x")
+    offsets, end = group_offsets([], tree, start=10)
+    assert len(offsets) == 0
+    assert end == 10
+
+
+def test_negative_start_rejected():
+    tree = _tree(b"x")
+    with pytest.raises(CodecError):
+        group_offsets([byte_histogram(b"a")], tree, start=-1)
+
+
+def test_chained_groups_equal_single_group():
+    data = bytes(np.random.default_rng(0).integers(0, 64, 600, dtype=np.uint8))
+    tree = _tree(data)
+    blocks = [data[i : i + 60] for i in range(0, 600, 60)]
+    hists = [byte_histogram(b) for b in blocks]
+    all_offsets, all_end = group_offsets(hists, tree, 0)
+    o1, e1 = group_offsets(hists[:5], tree, 0)
+    o2, e2 = group_offsets(hists[5:], tree, e1)
+    assert np.array_equal(all_offsets, np.concatenate([o1, o2]))
+    assert all_end == e2

@@ -1,0 +1,68 @@
+"""Pipeline geometry edge cases: awkward ratios, fan-outs and block counts."""
+
+import numpy as np
+import pytest
+
+from repro.huffman.pipeline import HuffmanConfig, HuffmanPipeline
+from repro.platforms import X86Platform
+from repro.sre.executor_sim import SimulatedExecutor
+from repro.sre.runtime import Runtime
+
+BLOCK = 256
+
+
+def _run(n_blocks, **config_kw):
+    base = dict(block_size=BLOCK, reduce_ratio=4, offset_fanout=8,
+                speculative=True, step=1, verify_k=2, tolerance=0.01)
+    base.update(config_kw)
+    rng = np.random.default_rng(n_blocks)
+    data = bytes(rng.choice(np.arange(32, 96, dtype=np.uint8), n_blocks * BLOCK))
+    rt = Runtime()
+    ex = SimulatedExecutor(rt, X86Platform(workers=3), policy="balanced", workers=3)
+    pipe = HuffmanPipeline(rt, HuffmanConfig(**base), n_blocks)
+    for i in range(n_blocks):
+        ex.sim.schedule_at(float(i), lambda i=i: pipe.feed_block(
+            i, data[i * BLOCK:(i + 1) * BLOCK]))
+    end = ex.run()
+    result = pipe.result(end)
+    assert pipe.verify_roundtrip(data)
+    return pipe, result
+
+
+@pytest.mark.parametrize("n_blocks", [1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17])
+def test_any_block_count_roundtrips(n_blocks):
+    _, result = _run(n_blocks)
+    assert result.n_blocks == n_blocks
+
+
+def test_ratio_larger_than_input():
+    """One reduce group covering everything: the first reduce is final."""
+    pipe, result = _run(3, reduce_ratio=100)
+    assert result.outcome == "recompute"  # nothing to speculate on
+
+
+def test_fanout_larger_than_input():
+    """A single offset group feeding every encode."""
+    _, result = _run(6, offset_fanout=100)
+    assert result.n_blocks == 6
+
+
+def test_fanout_one_fully_serial_offsets():
+    """Degenerate chain: one offset task per block."""
+    _, result = _run(8, offset_fanout=1)
+    assert result.n_blocks == 8
+
+
+def test_ratio_one_update_per_block():
+    """An update after every single block (maximum check opportunities)."""
+    pipe, result = _run(8, reduce_ratio=1, verify_k=1)
+    assert result.outcome in ("commit", "recompute")
+    if pipe.manager is not None:
+        assert pipe.manager.stats.checks >= 1
+
+
+def test_uneven_tail_group_everywhere():
+    """Block count coprime with both ratios exercises partial groups in the
+    reduce cascade and the offset chain simultaneously."""
+    _, result = _run(13, reduce_ratio=4, offset_fanout=5)
+    assert result.n_blocks == 13

@@ -1,0 +1,40 @@
+"""Unit tests for the sequential reference codec (the oracle itself)."""
+
+import numpy as np
+
+from repro.huffman.reference import reference_compress, reference_decompress
+from repro.workloads import get_workload
+
+
+def test_roundtrip_text():
+    data = b"The quick brown fox jumps over the lazy dog. " * 40
+    packed, nbits, tree = reference_compress(data)
+    assert reference_decompress(packed, nbits, tree) == data
+
+
+def test_compresses_skewed_data():
+    data = b"e" * 5000 + b"qz" * 10
+    _, nbits, _ = reference_compress(data)
+    assert nbits < len(data) * 2  # far better than 8 bits/byte
+
+
+def test_random_data_near_incompressible():
+    data = bytes(np.random.default_rng(0).integers(0, 256, 4096, dtype=np.uint8))
+    _, nbits, _ = reference_compress(data)
+    assert nbits >= len(data) * 7.5  # ~8 bits/byte, little slack
+
+
+def test_roundtrip_each_workload():
+    for name in ("txt", "bmp", "pdf"):
+        data = get_workload(name).generate(32 * 1024, seed=5)
+        packed, nbits, tree = reference_compress(data)
+        assert reference_decompress(packed, nbits, tree) == data
+
+
+def test_text_workload_compression_ratio_plausible():
+    """~70 printable symbols Zipf-distributed: the paper quotes nearly 3.5x
+    as the ceiling for text; our synthetic text should land well above 1.5x."""
+    data = get_workload("txt").generate(256 * 1024, seed=0)
+    _, nbits, _ = reference_compress(data)
+    ratio = len(data) * 8 / nbits
+    assert 1.4 < ratio < 3.5

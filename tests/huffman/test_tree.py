@@ -1,0 +1,109 @@
+"""Unit tests for Huffman tree construction and canonical codes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CodecError
+from repro.huffman.histogram import byte_histogram
+from repro.huffman.tree import HuffmanTree, code_lengths
+
+
+def test_lengths_cover_all_symbols():
+    lengths = code_lengths(byte_histogram(b"aaabbc"))
+    assert lengths.shape == (256,)
+    assert np.all(lengths >= 1)
+
+
+def test_frequent_symbols_get_shorter_codes():
+    data = b"a" * 1000 + b"b" * 100 + b"c" * 10
+    lengths = code_lengths(byte_histogram(data))
+    assert lengths[ord("a")] <= lengths[ord("b")] <= lengths[ord("c")]
+
+
+def test_kraft_equality_holds():
+    for data in (b"abc", b"a" * 999 + b"b", bytes(range(256)) * 5):
+        tree = HuffmanTree.from_histogram(byte_histogram(data))
+        kraft = np.sum(2.0 ** -tree.lengths.astype(np.float64))
+        assert kraft == pytest.approx(1.0)
+
+
+def test_uniform_histogram_gives_8bit_codes():
+    hist = np.ones(256, dtype=np.int64) * 100
+    tree = HuffmanTree.from_histogram(hist)
+    assert np.all(tree.lengths == 8)
+
+
+def test_deterministic_given_histogram():
+    hist = byte_histogram(b"hello world, this is deterministic")
+    a = code_lengths(hist)
+    b = code_lengths(hist)
+    assert np.array_equal(a, b)
+
+
+def test_negative_counts_rejected():
+    hist = np.zeros(256, dtype=np.int64)
+    hist[0] = -1
+    with pytest.raises(CodecError):
+        code_lengths(hist)
+
+
+def test_bad_shape_rejected():
+    with pytest.raises(CodecError):
+        code_lengths(np.ones(255, dtype=np.int64))
+
+
+def test_canonical_codes_are_prefix_free():
+    tree = HuffmanTree.from_histogram(byte_histogram(b"mississippi river" * 40))
+    codes = [
+        format(int(tree.codes[s]), "b").zfill(int(tree.lengths[s]))
+        for s in range(256)
+    ]
+    codes.sort()
+    for a, b in zip(codes, codes[1:]):
+        assert not b.startswith(a), f"{a} is a prefix of {b}"
+
+
+def test_canonical_codes_sorted_by_length_then_symbol():
+    tree = HuffmanTree.from_histogram(byte_histogram(b"aabbccdd" * 100))
+    # within one length, code value increases with symbol value
+    by_len = {}
+    for s in range(256):
+        by_len.setdefault(int(tree.lengths[s]), []).append((s, int(tree.codes[s])))
+    for entries in by_len.values():
+        codes = [c for _, c in sorted(entries)]
+        assert codes == sorted(codes)
+
+
+def test_encoded_bits_weighted_sum():
+    hist = byte_histogram(b"aab")
+    tree = HuffmanTree.from_histogram(hist)
+    expected = 2 * int(tree.lengths[ord("a")]) + int(tree.lengths[ord("b")])
+    assert tree.encoded_bits(hist) == expected
+
+
+def test_zero_frequencies_clamped_not_dropped():
+    """Symbols absent from the histogram still get codes (speculative trees
+    must be total — the package docstring's design decision)."""
+    hist = np.zeros(256, dtype=np.int64)
+    hist[ord("x")] = 1_000_000
+    tree = HuffmanTree.from_histogram(hist)
+    assert np.all(tree.lengths >= 1)
+    assert tree.max_length < 64
+
+
+def test_equality_and_hash_by_lengths():
+    h = byte_histogram(b"equality test payload" * 30)
+    a = HuffmanTree.from_histogram(h)
+    b = HuffmanTree.from_histogram(h.copy())
+    assert a == b
+    assert hash(a) == hash(b)
+    c = HuffmanTree.from_histogram(byte_histogram(b"\x00\xff" * 4000))
+    assert a != c
+
+
+def test_extreme_skew_bounded_depth():
+    hist = np.ones(256, dtype=np.int64)
+    hist[0] = 2**40
+    tree = HuffmanTree.from_histogram(hist)
+    assert tree.lengths[0] == 1
+    assert tree.max_length <= 63

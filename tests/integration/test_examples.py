@@ -1,0 +1,59 @@
+"""Smoke-run every example script (small arguments, captured output)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+pytestmark = pytest.mark.slow
+
+
+def _run(name: str, argv: list[str]) -> None:
+    old = sys.argv
+    sys.argv = [name] + argv
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old
+
+
+def test_quickstart(capsys):
+    _run("quickstart.py", ["64"])
+    out = capsys.readouterr().out
+    assert "speculation cut average latency" in out
+    assert "round-trip verified: True" in out
+
+
+def test_custom_speculation(capsys):
+    _run("custom_speculation.py", [])
+    out = capsys.readouterr().out
+    assert "within tolerance" in out
+
+
+def test_filter_speculation(capsys):
+    _run("filter_speculation.py", [])
+    out = capsys.readouterr().out
+    assert "resp. error" in out
+
+
+def test_streaming_compression(capsys):
+    _run("streaming_compression.py", ["64"])
+    out = capsys.readouterr().out
+    assert "transfer time" in out
+    assert "FAILED" not in out
+
+
+@pytest.mark.threaded
+def test_live_threads(capsys):
+    _run("live_threads.py", ["txt", "32"])
+    out = capsys.readouterr().out
+    assert "round-trip   : ok" in out
+
+
+def test_kmeans_streaming(capsys):
+    _run("kmeans_streaming.py", ["24"])
+    out = capsys.readouterr().out
+    assert "inertia" in out

@@ -1,0 +1,111 @@
+"""Failure injection: force mis-speculation and awkward timings.
+
+The rollback machinery must stay consistent when speculation fails at the
+worst moments — while encodes are running, while the prediction is still in
+flight, or repeatedly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.frequency import FullVerification
+from repro.huffman.pipeline import HuffmanConfig, HuffmanPipeline
+from repro.platforms import X86Platform
+from repro.sre.executor_sim import SimulatedExecutor
+from repro.sre.runtime import Runtime
+from repro.sre.task import TaskState
+
+BLOCK = 256
+
+
+def _setup(n_blocks, **config_kw):
+    base = dict(block_size=BLOCK, reduce_ratio=2, offset_fanout=4,
+                speculative=True, step=1, verify_k=2, tolerance=0.01)
+    base.update(config_kw)
+    rt = Runtime()
+    ex = SimulatedExecutor(rt, X86Platform(workers=2), policy="balanced", workers=2)
+    pipe = HuffmanPipeline(rt, HuffmanConfig(**base), n_blocks)
+    return rt, ex, pipe
+
+
+def _sectioned_data(n_blocks, sections):
+    """Data whose distribution changes at every section boundary."""
+    rng = np.random.default_rng(0)
+    out = bytearray()
+    per = n_blocks * BLOCK // sections
+    for s in range(sections):
+        lo, hi = 10 * s, 10 * s + 40
+        out += bytes(rng.integers(lo, hi, per, dtype=np.uint8))
+    out += bytes(n_blocks * BLOCK - len(out))
+    return bytes(out)
+
+
+def test_repeated_rollbacks_under_full_verification():
+    """Constantly shifting data under full verification: many rollbacks,
+    output still correct."""
+    n = 16
+    data = _sectioned_data(n, sections=8)
+    rt, ex, pipe = _setup(n, verification=FullVerification())
+    for i in range(n):
+        ex.sim.schedule_at(i * 10.0, lambda i=i: pipe.feed_block(
+            i, data[i * BLOCK:(i + 1) * BLOCK]))
+    end = ex.run()
+    result = pipe.result(end)
+    assert pipe.manager.stats.rollbacks >= 2
+    assert pipe.verify_roundtrip(data)
+    assert result.outcome in ("commit", "recompute")
+
+
+def test_forced_rollback_via_manual_abort():
+    """Abort the active speculative subgraph mid-run by hand (simulating an
+    external destroy signal); the run must still finish and verify."""
+    n = 16
+    rng = np.random.default_rng(3)
+    data = bytes(rng.choice(np.arange(48, 58, dtype=np.uint8), n * BLOCK))
+    rt, ex, pipe = _setup(n)
+    for i in range(n):
+        ex.sim.schedule_at(i * 5.0, lambda i=i: pipe.feed_block(
+            i, data[i * BLOCK:(i + 1) * BLOCK]))
+
+    def sabotage():
+        manager = pipe.manager
+        if manager.active_version is not None:
+            manager._rollback(manager.active_version)
+
+    ex.sim.schedule_at(120.0, sabotage)
+    end = ex.run()
+    result = pipe.result(end)
+    assert pipe.verify_roundtrip(data)
+    assert result.outcome in ("commit", "recompute")
+    assert pipe.manager.stats.rollbacks >= 1
+
+
+def test_zero_tolerance_forces_exact_speculation():
+    """With an exact (zero) tolerance, almost any drift recomputes —
+    classical value prediction without the paper's tolerance relaxation."""
+    n = 12
+    data = _sectioned_data(n, sections=4)
+    rt, ex, pipe = _setup(n, tolerance=0.0)
+    for i in range(n):
+        ex.sim.schedule_at(i * 10.0, lambda i=i: pipe.feed_block(
+            i, data[i * BLOCK:(i + 1) * BLOCK]))
+    end = ex.run()
+    result = pipe.result(end)
+    assert pipe.verify_roundtrip(data)
+    assert result.outcome == "recompute" or result.spec_stats["rollbacks"] >= 1
+
+
+def test_all_versions_terminal_after_run():
+    n = 16
+    data = _sectioned_data(n, sections=8)
+    rt, ex, pipe = _setup(n, verification=FullVerification())
+    for i in range(n):
+        ex.sim.schedule_at(i * 8.0, lambda i=i: pipe.feed_block(
+            i, data[i * BLOCK:(i + 1) * BLOCK]))
+    ex.run()
+    pipe.result()
+    for version in pipe.manager.versions:
+        for task in version.tasks:
+            assert task.state in (TaskState.DONE, TaskState.ABORTED), task
+    # no task left mid-flight anywhere
+    assert rt.pending_tasks() == []

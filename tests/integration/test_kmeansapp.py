@@ -1,0 +1,112 @@
+"""Tests for the speculative k-means application."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.kmeansapp import KMeansModel, gaussian_mixture_stream, run_kmeans_experiment
+
+
+# ----------------------------------------------------------------- kernels
+def test_assign_picks_nearest():
+    model = KMeansModel(n_clusters=2, dim=1)
+    centroids = np.array([[0.0], [10.0]])
+    points = np.array([[1.0], [9.0], [4.9], [5.1]])
+    labels = model.assign(points, centroids)
+    assert list(labels) == [0, 1, 0, 1]
+
+
+def test_inertia_zero_at_centroids():
+    model = KMeansModel(n_clusters=3, dim=2)
+    centroids = np.array([[0.0, 0.0], [5.0, 5.0], [9.0, 1.0]])
+    assert model.inertia(centroids, centroids) == 0.0
+
+
+def test_minibatch_step_moves_toward_data():
+    model = KMeansModel(n_clusters=1, dim=1)
+    centroids = np.array([[0.0]])
+    counts = np.zeros(1, dtype=np.int64)
+    block = np.full((100, 1), 8.0)
+    new_c, new_n = model.minibatch_step(centroids, counts, block)
+    assert new_n[0] == 100
+    assert 7.0 < new_c[0, 0] <= 8.0
+    # inputs untouched (kernels must stay pure for the runtime)
+    assert centroids[0, 0] == 0.0 and counts[0] == 0
+
+
+def test_centroid_error_zero_for_identical():
+    model = KMeansModel(n_clusters=2, dim=2)
+    rng = np.random.default_rng(0)
+    probe = rng.normal(size=(100, 2))
+    c = rng.normal(size=(2, 2))
+    assert model.centroid_error(c, c, probe) == 0.0
+
+
+def test_centroid_error_positive_for_worse_prediction():
+    model = KMeansModel(n_clusters=2, dim=2)
+    rng = np.random.default_rng(0)
+    probe = np.concatenate([
+        rng.normal([0, 0], 0.5, size=(50, 2)),
+        rng.normal([10, 10], 0.5, size=(50, 2)),
+    ])
+    good = np.array([[0.0, 0.0], [10.0, 10.0]])
+    bad = np.array([[5.0, 5.0], [6.0, 6.0]])
+    assert model.centroid_error(bad, good, probe) > 0.5
+
+
+def test_stream_shapes_and_determinism():
+    a = gaussian_mixture_stream(4, 64, n_clusters=3, dim=2, seed=7)
+    b = gaussian_mixture_stream(4, 64, n_clusters=3, dim=2, seed=7)
+    assert a.shape == (4, 64, 2)
+    assert np.array_equal(a, b)
+
+
+def test_stream_drift_settles():
+    s = gaussian_mixture_stream(20, 256, n_clusters=4, dim=2,
+                                drift_blocks=8, seed=1)
+    early = s[0].mean(axis=0)
+    late_a, late_b = s[15].mean(axis=0), s[19].mean(axis=0)
+    # post-drift blocks agree with each other more than with the first
+    assert np.linalg.norm(late_a - late_b) < np.linalg.norm(early - late_a)
+
+
+def test_model_validation():
+    with pytest.raises(ExperimentError):
+        KMeansModel(n_clusters=0)
+
+
+# ----------------------------------------------------------------- pipeline
+def test_speculative_run_commits_and_labels_verified():
+    report = run_kmeans_experiment(n_blocks=24, step=2, seed=0)
+    assert report.outcome == "commit"
+    assert report.labels_ok
+    assert report.speculations >= 1
+
+
+def test_speculation_slashes_latency():
+    spec = run_kmeans_experiment(n_blocks=24, step=2, seed=0)
+    nonspec = run_kmeans_experiment(n_blocks=24, speculative=False, seed=0)
+    assert spec.avg_latency < 0.3 * nonspec.avg_latency
+
+
+def test_tolerance_bounds_inertia_excess():
+    spec = run_kmeans_experiment(n_blocks=24, step=2, tolerance=0.05, seed=0)
+    nonspec = run_kmeans_experiment(n_blocks=24, speculative=False, seed=0)
+    if spec.outcome == "commit":
+        # clustering quality within ~the tolerance band of the full fit
+        assert spec.inertia <= nonspec.inertia * 1.15
+
+
+def test_drifting_stream_rolls_back():
+    report = run_kmeans_experiment(n_blocks=24, step=1, verify_k=2,
+                                   drift_blocks=10, tolerance=0.02, seed=0)
+    assert report.rollbacks >= 1
+    assert report.labels_ok
+    assert report.outcome in ("commit", "recompute")
+
+
+def test_tight_tolerance_recomputes_or_rolls_back():
+    report = run_kmeans_experiment(n_blocks=24, step=1, verify_k=2,
+                                   drift_blocks=10, tolerance=1e-6, seed=0)
+    assert report.rollbacks >= 1 or report.outcome == "recompute"
+    assert report.labels_ok

@@ -1,0 +1,34 @@
+"""One full paper-scale run (4 MB TXT, 1024 blocks, 16 workers).
+
+Guards against anything that only breaks at scale: task counts in the
+thousands, deep reduce cascades, full-size drift calibration interacting
+with the real check schedule.
+"""
+
+import pytest
+
+from repro.experiments.runner import run_huffman
+
+pytestmark = pytest.mark.slow
+
+
+def test_paper_scale_txt_balanced():
+    spec = run_huffman(workload="txt", n_blocks=1024, policy="balanced",
+                       step=1, seed=0)
+    nonspec = run_huffman(workload="txt", n_blocks=1024, policy="nonspec",
+                          seed=0)
+    assert spec.result.outcome == "commit"
+    assert spec.result.spec_stats["rollbacks"] == 0
+    assert spec.avg_latency < 0.8 * nonspec.avg_latency
+    assert spec.completion_time < nonspec.completion_time
+    assert spec.roundtrip_ok
+    # graph scale sanity: ~1024 counts + 64 reduces + offsets + 2x tasks
+    assert spec.result.runtime_stats["tasks_completed"] > 2000
+
+
+def test_paper_scale_pdf_rolls_back_and_recovers():
+    report = run_huffman(workload="pdf", n_blocks=1024, policy="balanced",
+                         step=1, seed=0)
+    assert report.result.spec_stats["rollbacks"] >= 1
+    assert report.result.outcome == "commit"  # calibrated drift converges
+    assert report.roundtrip_ok

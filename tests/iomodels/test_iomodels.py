@@ -1,0 +1,66 @@
+"""Unit tests for the I/O arrival models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.iomodels import DiskModel, SocketModel, TraceArrivals
+from repro.iomodels.base import jittered_schedule
+
+
+def test_disk_is_fast_and_regular():
+    times = DiskModel().arrival_times(10)
+    assert times[0] == 10.0
+    gaps = np.diff(times)
+    assert np.allclose(gaps, 8.0)
+
+
+def test_socket_is_much_slower_than_disk():
+    disk = DiskModel().arrival_times(100)
+    sock = SocketModel(jitter=0.0).arrival_times(100)
+    assert sock[-1] > 50 * disk[-1]
+
+
+def test_socket_jitter_is_seeded():
+    a = SocketModel().arrival_times(50, rng=np.random.default_rng(1))
+    b = SocketModel().arrival_times(50, rng=np.random.default_rng(1))
+    c = SocketModel().arrival_times(50, rng=np.random.default_rng(2))
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+def test_jittered_arrivals_still_monotonic():
+    times = SocketModel(jitter=0.5).arrival_times(500, rng=np.random.default_rng(3))
+    assert np.all(np.diff(times) >= 0)
+
+
+def test_trace_arrivals_replay():
+    times = TraceArrivals([1.0, 2.0, 5.0]).arrival_times(3)
+    assert list(times) == [1.0, 2.0, 5.0]
+
+
+def test_trace_arrivals_length_mismatch():
+    with pytest.raises(ExperimentError):
+        TraceArrivals([1.0]).arrival_times(2)
+
+
+def test_trace_arrivals_must_be_sorted():
+    with pytest.raises(ExperimentError):
+        TraceArrivals([2.0, 1.0])
+
+
+def test_trace_arrivals_must_be_non_negative():
+    with pytest.raises(ExperimentError):
+        TraceArrivals([-1.0, 2.0])
+
+
+def test_jittered_schedule_rejects_bad_params():
+    with pytest.raises(ExperimentError):
+        jittered_schedule(5, start=-1.0, per_block=1.0, jitter=0.0, rng=None)
+    with pytest.raises(ExperimentError):
+        jittered_schedule(5, start=0.0, per_block=-1.0, jitter=0.0, rng=None)
+
+
+def test_zero_jitter_ignores_rng():
+    times = jittered_schedule(5, start=0.0, per_block=2.0, jitter=0.0, rng=None)
+    assert list(times) == [0.0, 2.0, 4.0, 6.0, 8.0]

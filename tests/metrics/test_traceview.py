@@ -1,0 +1,65 @@
+"""Unit tests for trace export (chrome JSON + ASCII gantt)."""
+
+import json
+
+from repro.metrics.traceview import ascii_gantt, to_chrome_trace
+from repro.sim.trace import TraceRecorder
+
+
+def _trace_with_tasks() -> TraceRecorder:
+    tr = TraceRecorder()
+    tr.record(0.0, "task_start", "count:0", task_kind="count", speculative=False)
+    tr.record(10.0, "task_done", "count:0", task_kind="count", speculative=False)
+    tr.record(5.0, "task_start", "encode:0", task_kind="encode", speculative=True)
+    tr.record(50.0, "task_abort", "encode:0", task_kind="encode", speculative=True)
+    tr.record(20.0, "speculate", "version:1", index=1)
+    tr.record(45.0, "rollback", "version:1", tasks_destroyed=3)
+    return tr
+
+
+def test_chrome_trace_is_valid_json_with_spans():
+    doc = json.loads(to_chrome_trace(_trace_with_tasks()))
+    events = doc["traceEvents"]
+    spans = [e for e in events if e["ph"] == "X"]
+    instants = [e for e in events if e["ph"] == "i"]
+    assert len(spans) == 2
+    assert len(instants) == 2
+    enc = next(e for e in spans if e["name"] == "encode:0")
+    assert enc["args"]["aborted"] is True
+    assert enc["args"]["speculative"] is True
+    assert enc["ts"] == 5.0 and enc["dur"] == 45.0
+
+
+def test_chrome_trace_lanes_by_kind():
+    doc = json.loads(to_chrome_trace(_trace_with_tasks()))
+    tids = {e["tid"] for e in doc["traceEvents"]}
+    assert {"count", "encode", "speculation"} <= tids
+
+
+def test_ascii_gantt_lanes_and_marks():
+    out = ascii_gantt(_trace_with_tasks(), width=40)
+    lines = out.splitlines()
+    assert any(l.strip().startswith("count") for l in lines)
+    assert any(l.strip().startswith("encode") for l in lines)
+    encode_line = next(l for l in lines if "encode" in l)
+    assert "!" in encode_line  # aborted work marked
+
+
+def test_ascii_gantt_kind_filter():
+    out = ascii_gantt(_trace_with_tasks(), kinds=["count"])
+    assert "encode" not in out
+
+
+def test_ascii_gantt_empty():
+    assert ascii_gantt(TraceRecorder()) == "(empty trace)"
+
+
+def test_export_from_real_run():
+    from repro.experiments.runner import run_huffman
+    report = run_huffman(workload="txt", n_blocks=32, policy="balanced",
+                         step=1, seed=0, trace=True)
+    doc = json.loads(to_chrome_trace(report.trace))
+    kinds = {e["tid"] for e in doc["traceEvents"]}
+    assert {"count", "reduce", "tree", "offset", "encode"} <= kinds
+    gantt = ascii_gantt(report.trace)
+    assert "encode" in gantt

@@ -1,0 +1,66 @@
+"""Tests for worker-time breakdown and queue-depth analysis."""
+
+import numpy as np
+
+from repro.metrics.utilization import ready_depth_series, worker_time_breakdown
+from repro.sim.trace import TraceRecorder
+
+
+def _trace():
+    tr = TraceRecorder()
+    # natural count: ready 0, start 1, done 5
+    tr.record(0.0, "task_ready", "c0", task_kind="count", speculative=False)
+    tr.record(1.0, "task_start", "c0", task_kind="count", speculative=False)
+    tr.record(5.0, "task_done", "c0", task_kind="count", speculative=False)
+    # speculative encode aborted mid-flight
+    tr.record(2.0, "task_ready", "e0", task_kind="encode", speculative=True)
+    tr.record(3.0, "task_start", "e0", task_kind="encode", speculative=True)
+    tr.record(9.0, "task_abort", "e0", task_kind="encode", speculative=True)
+    # speculative encode aborted while still queued
+    tr.record(4.0, "task_ready", "e1", task_kind="encode", speculative=True)
+    tr.record(6.0, "task_abort", "e1", task_kind="encode", speculative=True)
+    return tr
+
+
+def test_worker_time_breakdown():
+    usage = worker_time_breakdown(_trace())
+    assert usage["count"].busy_us == 4.0
+    assert usage["count"].speculative_us == 0.0
+    assert usage["count"].wasted_us == 0.0
+    assert usage["encode"].busy_us == 6.0
+    assert usage["encode"].speculative_us == 6.0
+    assert usage["encode"].wasted_us == 6.0
+    assert usage["encode"].tasks == 1  # e1 never ran
+
+
+def test_ready_depth_series_all():
+    times, depths = ready_depth_series(_trace())
+    # events: +1@0, -1@1, +1@2, -1@3, +1@4, -1@6(e1 reaped from queue)
+    assert list(times) == [0.0, 1.0, 2.0, 3.0, 4.0, 6.0]
+    assert list(depths) == [1, 0, 1, 0, 1, 0]
+    assert depths.min() >= 0
+
+
+def test_ready_depth_series_filtered():
+    times, depths = ready_depth_series(_trace(), speculative=True)
+    assert list(times) == [2.0, 3.0, 4.0, 6.0]
+    assert list(depths) == [1, 0, 1, 0]
+
+
+def test_empty_trace():
+    times, depths = ready_depth_series(TraceRecorder())
+    assert times.size == 0 and depths.size == 0
+    assert worker_time_breakdown(TraceRecorder()) == {}
+
+
+def test_from_real_run_depth_never_negative():
+    from repro.experiments.runner import run_huffman
+    r = run_huffman(workload="bmp", n_blocks=48, policy="balanced", step=1,
+                    seed=0, trace=True)
+    times, depths = ready_depth_series(r.trace)
+    assert np.all(depths >= 0)
+    usage = worker_time_breakdown(r.trace)
+    assert usage["encode"].busy_us > usage["check"].busy_us
+    # a rollback happened: some worker time was wasted
+    if r.result.spec_stats.get("rollbacks", 0) > 0:
+        assert sum(u.wasted_us for u in usage.values()) > 0

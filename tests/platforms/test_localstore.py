@@ -1,0 +1,56 @@
+"""Unit tests for the Cell local-store allocator."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platforms.localstore import LocalStore
+
+
+def test_default_geometry_gives_32k_cap():
+    store = LocalStore()
+    assert store.capacity == 256 * 1024
+    assert store.slots == 4
+    assert store.max_task_bytes == 32 * 1024
+
+
+def test_reserve_and_release():
+    store = LocalStore()
+    store.reserve("t1", 10_000)
+    assert store.used_bytes == 10_000
+    assert store.free_slots == 3
+    store.release("t1")
+    assert store.used_bytes == 0
+    assert store.free_slots == 4
+
+
+def test_per_task_cap_enforced():
+    store = LocalStore()
+    with pytest.raises(PlatformError):
+        store.reserve("big", 33 * 1024)
+
+
+def test_slot_exhaustion():
+    store = LocalStore(slots=2)
+    store.reserve("a", 1)
+    store.reserve("b", 1)
+    with pytest.raises(PlatformError):
+        store.reserve("c", 1)
+
+
+def test_double_reserve_rejected():
+    store = LocalStore()
+    store.reserve("a", 1)
+    with pytest.raises(PlatformError):
+        store.reserve("a", 1)
+
+
+def test_release_unknown_rejected():
+    with pytest.raises(PlatformError):
+        LocalStore().release("ghost")
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(PlatformError):
+        LocalStore(capacity=0)
+    with pytest.raises(PlatformError):
+        LocalStore(slots=0)

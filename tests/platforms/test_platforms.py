@@ -1,0 +1,97 @@
+"""Unit tests for platform models and cost tables."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platforms import CellPlatform, X86Platform, get_platform
+from repro.platforms.base import Platform
+from repro.platforms.costmodel import CostModel, KindCost
+from repro.sre.task import Task
+
+
+def test_get_platform_by_name():
+    assert isinstance(get_platform("x86"), X86Platform)
+    assert isinstance(get_platform("CELL"), CellPlatform)
+    with pytest.raises(PlatformError):
+        get_platform("gpu")
+
+
+def test_x86_defaults_match_paper():
+    plat = X86Platform()
+    assert plat.default_workers == 16
+    assert plat.prefetch_depth == 1
+    assert plat.max_task_bytes is None
+
+
+def test_cell_defaults_match_paper():
+    plat = CellPlatform()
+    assert plat.default_workers == 16
+    assert plat.prefetch_depth == 4
+    assert plat.max_task_bytes == 32 * 1024
+    assert plat.local_store.capacity == 256 * 1024
+
+
+def test_cell_transfer_time_scales_with_bytes():
+    plat = CellPlatform()
+    small = Task("s", None, cost_hint={"bytes": 0.0})
+    big = Task("b", None, cost_hint={"bytes": 4096.0})
+    assert plat.transfer_time(big) > plat.transfer_time(small) > 0
+
+
+def test_x86_has_no_transfer_time():
+    t = Task("t", None, cost_hint={"bytes": 4096.0})
+    assert X86Platform().transfer_time(t) == 0.0
+
+
+def test_cell_slower_than_x86_for_same_task():
+    t = Task("t", None, kind="encode", cost_hint={"bytes": 4096.0})
+    assert CellPlatform().service_time(t) > X86Platform().service_time(t)
+
+
+def test_validate_task_enforces_memory_cap():
+    plat = CellPlatform()
+    ok = Task("ok", None, cost_hint={"bytes": 4096.0})
+    plat.validate_task(ok)
+    too_big = Task("big", None, cost_hint={"bytes": 64 * 1024.0})
+    with pytest.raises(PlatformError):
+        plat.validate_task(too_big)
+
+
+def test_encode_dominates_cost_table():
+    """The second pass is the bulk of the work — the premise of the paper's
+    parallelisation (and of speculating past the tree build)."""
+    plat = X86Platform()
+    block = {"bytes": 4096.0}
+    encode = plat.service_time(Task("e", None, kind="encode", cost_hint=block))
+    count = plat.service_time(Task("c", None, kind="count", cost_hint=block))
+    tree = plat.service_time(Task("t", None, kind="tree", cost_hint={"entries": 256.0}))
+    check = plat.service_time(Task("k", None, kind="check", cost_hint={"entries": 256.0}))
+    assert encode > count
+    assert encode > tree
+    assert check < tree  # "check tasks are simple and run very quickly"
+
+
+def test_kindcost_affine_evaluation():
+    kc = KindCost(base=1.0, per_byte=0.5, per_entry=0.25, per_unit=2.0)
+    assert kc.evaluate({"bytes": 2, "entries": 4, "units": 1}) == 1 + 1 + 1 + 2
+
+
+def test_costmodel_unknown_kind_uses_default():
+    cm = CostModel(kinds={}, default=KindCost(base=7.0))
+    assert cm.service_time(Task("t", None, kind="mystery")) == 7.0
+
+
+def test_costmodel_speed_scaling():
+    cm = CostModel(kinds={"k": KindCost(base=10.0)})
+    slow = cm.with_speed(2.0)
+    t = Task("t", None, kind="k")
+    assert slow.service_time(t) == 20.0
+    assert cm.service_time(t) == 10.0  # original unchanged
+
+
+def test_platform_validation():
+    cm = CostModel()
+    with pytest.raises(PlatformError):
+        Platform("p", cm, prefetch_depth=0)
+    with pytest.raises(PlatformError):
+        Platform("p", cm, default_workers=0)

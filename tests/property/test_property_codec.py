@@ -1,0 +1,95 @@
+"""Property-based tests for the Huffman codec (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.huffman.codec import assemble_stream, decode_stream, encode_block
+from repro.huffman.histogram import byte_histogram, merge_histograms
+from repro.huffman.tree import HuffmanTree
+
+payloads = st.binary(min_size=1, max_size=2048)
+
+
+@given(payloads)
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_any_bytes(data):
+    tree = HuffmanTree.from_histogram(byte_histogram(data))
+    packed, nbits = encode_block(data, tree)
+    assert decode_stream(packed, nbits, tree) == data
+
+
+@given(payloads, payloads)
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_under_foreign_tree(train, data):
+    """Any total tree decodes anything it encoded — the invariant that makes
+    tolerant (inexact) speculation safe."""
+    tree = HuffmanTree.from_histogram(byte_histogram(train))
+    packed, nbits = encode_block(data, tree)
+    assert decode_stream(packed, nbits, tree) == data
+
+
+@given(payloads)
+@settings(max_examples=60, deadline=None)
+def test_optimal_tree_never_beaten_by_foreign_tree(data):
+    """The tree built from the data's own histogram minimises encoded size
+    (optimality of Huffman coding over prefix codes)."""
+    hist = byte_histogram(data)
+    own = HuffmanTree.from_histogram(hist)
+    foreign = HuffmanTree.from_histogram(byte_histogram(data[::2] or b"\x00"))
+    assert own.encoded_bits(hist) <= foreign.encoded_bits(hist)
+
+
+@given(payloads)
+@settings(max_examples=60, deadline=None)
+def test_size_formula_matches_encoding(data):
+    tree = HuffmanTree.from_histogram(byte_histogram(data))
+    _, nbits = encode_block(data, tree)
+    assert nbits == tree.encoded_bits(byte_histogram(data))
+
+
+@given(st.lists(st.binary(min_size=1, max_size=256), min_size=1, max_size=12))
+@settings(max_examples=40, deadline=None)
+def test_blockwise_assembly_equals_whole(blocks):
+    """Encoding block-by-block at chained offsets and assembling equals
+    encoding the concatenation in one shot."""
+    whole = b"".join(blocks)
+    tree = HuffmanTree.from_histogram(byte_histogram(whole))
+    pieces = []
+    offset = 0
+    for b in blocks:
+        packed, nbits = encode_block(b, tree)
+        pieces.append((offset, packed, nbits))
+        offset += nbits
+    stream = assemble_stream(pieces, offset)
+    whole_packed, whole_bits = encode_block(whole, tree)
+    assert whole_bits == offset
+    assert np.array_equal(stream, whole_packed)
+
+
+@given(st.lists(st.binary(min_size=0, max_size=512), min_size=1, max_size=10))
+@settings(max_examples=40, deadline=None)
+def test_histogram_merge_associativity(blocks):
+    whole = b"".join(blocks)
+    merged = merge_histograms(byte_histogram(b) for b in blocks)
+    assert np.array_equal(merged, byte_histogram(whole))
+
+
+@given(payloads)
+@settings(max_examples=60, deadline=None)
+def test_kraft_equality_always(data):
+    tree = HuffmanTree.from_histogram(byte_histogram(data))
+    kraft = np.sum(2.0 ** -tree.lengths.astype(np.float64))
+    assert abs(kraft - 1.0) < 1e-9
+
+
+@given(payloads)
+@settings(max_examples=60, deadline=None)
+def test_lengths_ordered_by_frequency(data):
+    """More frequent symbols never get strictly longer codes."""
+    hist = byte_histogram(data)
+    tree = HuffmanTree.from_histogram(hist)
+    present = np.nonzero(hist)[0]
+    for a in present:
+        for b in present:
+            if hist[a] > hist[b]:
+                assert tree.lengths[a] <= tree.lengths[b]

@@ -1,0 +1,44 @@
+"""Property-based tests for the filter app's overlap-save block filtering."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.filterapp.pipeline import _filter_block
+
+
+@st.composite
+def filtering_case(draw):
+    n_taps = draw(st.integers(min_value=1, max_value=12))
+    n_blocks = draw(st.integers(min_value=1, max_value=6))
+    block_len = draw(st.integers(min_value=max(n_taps - 1, 1), max_value=40))
+    seed = draw(st.integers(min_value=0, max_value=2 ** 31))
+    rng = np.random.default_rng(seed)
+    coeffs = rng.normal(size=n_taps)
+    signal = rng.normal(size=n_blocks * block_len)
+    return coeffs, signal, block_len
+
+
+@given(filtering_case())
+@settings(max_examples=80, deadline=None)
+def test_blockwise_equals_sequential(case):
+    """Filtering block by block with overlap-save equals filtering the whole
+    signal in one convolution — for any tap count, block size and split."""
+    coeffs, signal, block_len = case
+    reference = np.convolve(signal, coeffs, mode="full")[: len(signal)]
+    out = []
+    n_tail = len(coeffs) - 1
+    for start in range(0, len(signal), block_len):
+        block = signal[start : start + block_len]
+        tail = signal[max(0, start - n_tail) : start]
+        out.append(_filter_block(block, tail, coeffs))
+    got = np.concatenate(out)
+    assert np.allclose(got, reference)
+
+
+@given(filtering_case())
+@settings(max_examples=40, deadline=None)
+def test_block_output_length(case):
+    coeffs, signal, block_len = case
+    block = signal[:block_len]
+    y = _filter_block(block, np.zeros(0), coeffs)
+    assert len(y) == len(block)

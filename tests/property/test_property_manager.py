@@ -1,0 +1,112 @@
+"""Property-based tests of the speculation manager's state machine.
+
+Random update streams (drifting scalar values), random knobs: whatever the
+sequence, the protocol invariants must hold — at most one commit, a final
+decision exactly once, stale verdicts never resurrect rolled-back versions,
+and every version ends in a consistent terminal state.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.frequency import EveryK, FullVerification, Optimistic, SpeculationInterval
+from repro.core.manager import SpeculationManager
+from repro.core.spec import SpeculationSpec
+from repro.core.tolerance import RelativeTolerance
+from repro.core.wait import WaitBuffer
+from repro.sre.task import Task
+
+from tests.conftest import make_harness
+
+
+manager_runs = st.fixed_dictionaries({
+    "values": st.lists(
+        st.floats(min_value=1.0, max_value=1000.0, allow_nan=False),
+        min_size=2, max_size=30),
+    "step": st.integers(min_value=0, max_value=5),
+    "verification": st.sampled_from(["every1", "every2", "optimistic", "full"]),
+    "tolerance": st.sampled_from([0.001, 0.05, 0.5, 10.0]),
+})
+
+_VERIFICATIONS = {
+    "every1": lambda: EveryK(1),
+    "every2": lambda: EveryK(2),
+    "optimistic": Optimistic,
+    "full": FullVerification,
+}
+
+
+def _drive(cfg):
+    h = make_harness()
+    flushed = []
+    barrier = WaitBuffer(sink=lambda k, v, t: flushed.append((k, v)))
+    launched = []
+
+    def launch(version):
+        launched.append(version)
+        work = Task(f"w:v{version.vid}", lambda v=version.value: {"out": v},
+                    kind="encode", speculative=True)
+        version.register(work)
+        h.runtime.add_task(work)
+        h.runtime.connect_sink(
+            work, "out",
+            lambda v, ver=version: barrier.deposit(ver.vid, "k", v, 0.0))
+
+    spec = SpeculationSpec(
+        name="prop",
+        predictor=lambda v, n: Task(n, lambda x=v: {"out": x}, kind="predict"),
+        validator=lambda p, c, r: abs(p - c) / max(abs(c), 1e-9),
+        launch=launch,
+        recompute=lambda v: None,
+        barrier=barrier,
+        tolerance=RelativeTolerance(cfg["tolerance"]),
+        interval=SpeculationInterval(cfg["step"]),
+        verification=_VERIFICATIONS[cfg["verification"]](),
+    )
+    manager = SpeculationManager(h.runtime, spec)
+    values = cfg["values"]
+    for i, v in enumerate(values[:-1]):
+        manager.offer_update(i, v)
+        h.run()
+    manager.offer_update(len(values) - 1, values[-1], is_final=True)
+    h.run()
+    return manager, barrier, flushed
+
+
+@given(manager_runs)
+@settings(max_examples=60, deadline=None)
+def test_exactly_one_final_decision(cfg):
+    manager, _, _ = _drive(cfg)
+    assert manager.finalized
+    assert manager.outcome in ("commit", "recompute")
+    assert manager.stats.commits + manager.stats.recomputes == 1
+
+
+@given(manager_runs)
+@settings(max_examples=60, deadline=None)
+def test_version_states_consistent(cfg):
+    manager, barrier, flushed = _drive(cfg)
+    committed = [v for v in manager.versions if v.committed]
+    assert len(committed) <= 1
+    if manager.outcome == "commit":
+        assert len(committed) == 1
+        assert committed[0].active
+        assert flushed, "commit must flush the buffered result"
+    else:
+        assert not committed
+        assert flushed == []
+    # all non-committed versions were rolled back and hold no buffer entries
+    for v in manager.versions:
+        if not v.committed:
+            assert not v.active
+            assert barrier.pending(v.vid) == 0
+
+
+@given(manager_runs)
+@settings(max_examples=60, deadline=None)
+def test_counter_bookkeeping(cfg):
+    manager, _, _ = _drive(cfg)
+    s = manager.stats
+    assert s.checks == s.checks_passed + s.checks_failed + s.stale_verdicts
+    assert s.rollbacks <= s.speculations
+    assert len(s.check_errors) == s.checks
+    assert s.speculations == len(manager.versions)

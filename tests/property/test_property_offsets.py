@@ -1,0 +1,56 @@
+"""Property-based tests for the offset chain."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.huffman.codec import encode_block
+from repro.huffman.histogram import byte_histogram
+from repro.huffman.offsets import block_bits, group_offsets
+from repro.huffman.tree import HuffmanTree
+
+
+blocks_strategy = st.lists(st.binary(min_size=1, max_size=200), min_size=1,
+                           max_size=16)
+
+
+@given(blocks_strategy)
+@settings(max_examples=50, deadline=None)
+def test_offsets_are_exact_encode_positions(blocks):
+    whole = b"".join(blocks)
+    tree = HuffmanTree.from_histogram(byte_histogram(whole))
+    hists = [byte_histogram(b) for b in blocks]
+    offsets, end = group_offsets(hists, tree, 0)
+    running = 0
+    for b, off in zip(blocks, offsets):
+        assert off == running
+        _, nbits = encode_block(b, tree)
+        running += nbits
+    assert end == running
+
+
+@given(blocks_strategy, st.integers(min_value=1, max_value=8))
+@settings(max_examples=50, deadline=None)
+def test_any_group_partition_gives_same_offsets(blocks, group_size):
+    """Splitting the offset computation into chained groups of any size
+    yields identical per-block offsets — the invariant that makes the
+    offset fan-out a free parameter."""
+    whole = b"".join(blocks)
+    tree = HuffmanTree.from_histogram(byte_histogram(whole))
+    hists = [byte_histogram(b) for b in blocks]
+    ref, ref_end = group_offsets(hists, tree, 0)
+    got = []
+    start = 0
+    for g in range(0, len(hists), group_size):
+        offs, start = group_offsets(hists[g : g + group_size], tree, start)
+        got.append(offs)
+    assert np.array_equal(ref, np.concatenate(got))
+    assert start == ref_end
+
+
+@given(st.binary(min_size=1, max_size=400))
+@settings(max_examples=50, deadline=None)
+def test_block_bits_nonnegative_and_bounded(data):
+    tree = HuffmanTree.from_histogram(byte_histogram(data))
+    bits = block_bits(byte_histogram(data), tree)
+    assert bits >= len(data)  # every code is at least 1 bit
+    assert bits <= len(data) * 63

@@ -1,0 +1,71 @@
+"""Property-based tests for the DES kernel and ready queues."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.kernel import Simulator
+from repro.sre.queues import ReadyQueue
+from repro.sre.task import Task
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False),
+                min_size=1, max_size=100))
+@settings(max_examples=50, deadline=None)
+def test_events_fire_in_nondecreasing_time_order(times):
+    sim = Simulator()
+    fired = []
+    for t in times:
+        sim.schedule(t, lambda t=t: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(times)
+
+
+@given(st.lists(st.floats(min_value=0, max_value=100, allow_nan=False),
+                min_size=1, max_size=50),
+       st.integers(min_value=1, max_value=49))
+@settings(max_examples=50, deadline=None)
+def test_run_until_partitions_cleanly(times, split):
+    """Events at or before `until` fire; the rest stay pending and fire on
+    resume — no event is lost or duplicated."""
+    until = sorted(times)[min(split, len(times) - 1)]
+    sim = Simulator()
+    fired = []
+    for t in times:
+        sim.schedule(t, lambda t=t: fired.append(t))
+    sim.run(until=until)
+    early = len(fired)
+    assert all(t <= until for t in fired)
+    sim.run()
+    assert len(fired) == len(times)
+    assert sorted(fired) == sorted(times)
+    assert early == sum(1 for t in times if t <= until)
+
+
+@given(st.lists(st.tuples(st.integers(0, 10), st.booleans()), min_size=1,
+                max_size=60))
+@settings(max_examples=50, deadline=None)
+def test_ready_queue_pop_order_invariants(entries):
+    """Control tasks always come first; among non-control, deeper first;
+    FCFS inside a (control, depth) class."""
+    q = ReadyQueue()
+    tasks = []
+    for i, (depth, control) in enumerate(entries):
+        t = Task(f"t{i}", lambda: 1, depth=depth, control=control)
+        t.mark_ready(0.0)
+        q.push(t)
+        tasks.append(t)
+    popped = []
+    while True:
+        t = q.pop()
+        if t is None:
+            break
+        popped.append(t)
+    assert len(popped) == len(tasks)
+    keys = [(0 if t.control else 1, -t.depth) for t in popped]
+    assert keys == sorted(keys)
+    # FCFS within a class: seq increases within equal keys
+    for a, b in zip(popped, popped[1:]):
+        ka = (0 if a.control else 1, -a.depth)
+        kb = (0 if b.control else 1, -b.depth)
+        if ka == kb:
+            assert a.seq < b.seq

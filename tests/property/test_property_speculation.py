@@ -1,0 +1,107 @@
+"""Property-based tests for end-to-end speculation invariants.
+
+Whatever the scheduling policy, step size, verification policy, tolerance
+or data drift: the pipeline's committed output must decode to the input,
+every block must have exactly one authoritative encode, and the wait buffer
+must never leak rolled-back entries.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.huffman.pipeline import HuffmanConfig, HuffmanPipeline
+from repro.platforms import X86Platform
+from repro.sre.executor_sim import SimulatedExecutor
+from repro.sre.runtime import Runtime
+
+BLOCK = 256
+
+
+def _run_pipeline(data, *, policy, step, verification, tolerance, gap):
+    blocks = [data[i:i + BLOCK] for i in range(0, len(data), BLOCK)]
+    config = HuffmanConfig(
+        block_size=BLOCK, reduce_ratio=2, offset_fanout=4, speculative=True,
+        step=step, verification=verification, verify_k=2, tolerance=tolerance,
+    )
+    rt = Runtime()
+    ex = SimulatedExecutor(rt, X86Platform(workers=3), policy=policy, workers=3)
+    pipe = HuffmanPipeline(rt, config, len(blocks))
+    for i, b in enumerate(blocks):
+        ex.sim.schedule_at(i * gap, lambda i=i, b=b: pipe.feed_block(i, b))
+    end = ex.run()
+    return pipe, pipe.result(end), data
+
+
+def _payload(draw_bytes: bytes, n_blocks: int) -> bytes:
+    reps = (n_blocks * BLOCK) // max(len(draw_bytes), 1) + 1
+    return (draw_bytes * reps)[: n_blocks * BLOCK]
+
+
+spec_runs = st.fixed_dictionaries({
+    "seed_bytes": st.binary(min_size=4, max_size=64),
+    "drift": st.booleans(),
+    "n_blocks": st.integers(min_value=2, max_value=12),
+    "policy": st.sampled_from(["conservative", "aggressive", "balanced", "fcfs"]),
+    "step": st.integers(min_value=0, max_value=4),
+    "verification": st.sampled_from(["every_k", "optimistic", "full"]),
+    "tolerance": st.sampled_from([0.0, 0.01, 0.1, 5.0]),
+    "gap": st.sampled_from([0.0, 5.0, 200.0]),
+})
+
+
+@given(spec_runs)
+@settings(max_examples=40, deadline=None)
+def test_speculation_never_corrupts_output(cfg):
+    data = _payload(cfg["seed_bytes"], cfg["n_blocks"])
+    if cfg["drift"]:
+        # Append a differently-distributed tail to provoke rollbacks.
+        rng = np.random.default_rng(len(data))
+        tail = bytes(rng.integers(0, 256, len(data) // 2, dtype=np.uint8))
+        data = (data + tail)[: cfg["n_blocks"] * BLOCK]
+    pipe, result, original = _run_pipeline(
+        data, policy=cfg["policy"], step=cfg["step"],
+        verification=cfg["verification"], tolerance=cfg["tolerance"],
+        gap=cfg["gap"],
+    )
+    # 1. output decodes to the input, whatever happened along the way
+    assert pipe.verify_roundtrip(original)
+    # 2. exactly one authoritative encode per block
+    valid = pipe.valid_versions()
+    for block in range(result.n_blocks):
+        hits = [a for a in pipe.collector.encode_attempts(block) if a[1] in valid]
+        assert len(hits) == 1
+    # 3. a decision was reached
+    assert result.outcome in ("commit", "recompute")
+    # 4. committed outcome implies no pending wait-buffer entries
+    if result.outcome == "commit" and pipe.barrier is not None:
+        committed = pipe.barrier.committed_version
+        assert committed is not None
+        for v in pipe.manager.versions:
+            assert pipe.barrier.pending(v.vid) == 0
+    # 5. latencies are positive and finite
+    assert np.all(result.latencies > 0)
+    assert np.all(np.isfinite(result.latencies))
+
+
+@given(spec_runs)
+@settings(max_examples=20, deadline=None)
+def test_rollback_leaves_no_speculative_residue(cfg):
+    """After a run that recomputed, every speculative version's tasks are
+    terminal and its buffer entries discarded."""
+    data = _payload(cfg["seed_bytes"], cfg["n_blocks"])
+    rng = np.random.default_rng(1)
+    tail = bytes(rng.integers(0, 256, len(data), dtype=np.uint8))
+    data = (data[: len(data) // 2] + tail)[: cfg["n_blocks"] * BLOCK]
+    pipe, result, _ = _run_pipeline(
+        data, policy=cfg["policy"], step=cfg["step"],
+        verification=cfg["verification"], tolerance=cfg["tolerance"],
+        gap=cfg["gap"],
+    )
+    from repro.sre.task import TaskState
+    for version in (pipe.manager.versions if pipe.manager else []):
+        if version.committed or version.active:
+            continue
+        for task in version.tasks:
+            assert task.state in (TaskState.ABORTED, TaskState.DONE)
+        assert pipe.barrier.pending(version.vid) == 0

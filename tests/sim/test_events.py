@@ -1,0 +1,92 @@
+"""Unit tests for the event heap."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventQueue
+
+
+def test_empty_queue_is_falsy():
+    q = EventQueue()
+    assert not q
+    assert len(q) == 0
+    assert q.peek_time() is None
+
+
+def test_pop_empty_raises():
+    with pytest.raises(SimulationError):
+        EventQueue().pop()
+
+
+def test_orders_by_time():
+    q = EventQueue()
+    fired = []
+    q.push(3.0, lambda: fired.append("c"))
+    q.push(1.0, lambda: fired.append("a"))
+    q.push(2.0, lambda: fired.append("b"))
+    while q:
+        q.pop().fn()
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_fires_in_scheduling_order():
+    q = EventQueue()
+    fired = []
+    for tag in "abcde":
+        q.push(1.0, lambda t=tag: fired.append(t))
+    while q:
+        q.pop().fn()
+    assert fired == list("abcde")
+
+
+def test_priority_breaks_time_ties():
+    q = EventQueue()
+    fired = []
+    q.push(1.0, lambda: fired.append("low"), priority=5)
+    q.push(1.0, lambda: fired.append("high"), priority=-5)
+    while q:
+        q.pop().fn()
+    assert fired == ["high", "low"]
+
+
+def test_cancel_removes_event():
+    q = EventQueue()
+    fired = []
+    ev = q.push(1.0, lambda: fired.append("x"))
+    q.push(2.0, lambda: fired.append("y"))
+    q.cancel(ev)
+    assert len(q) == 1
+    while q:
+        q.pop().fn()
+    assert fired == ["y"]
+
+
+def test_cancel_is_idempotent():
+    q = EventQueue()
+    ev = q.push(1.0, lambda: None)
+    q.cancel(ev)
+    q.cancel(ev)
+    assert len(q) == 0
+
+
+def test_peek_time_skips_cancelled():
+    q = EventQueue()
+    ev = q.push(1.0, lambda: None)
+    q.push(5.0, lambda: None)
+    q.cancel(ev)
+    assert q.peek_time() == 5.0
+
+
+def test_nan_time_rejected():
+    q = EventQueue()
+    with pytest.raises(SimulationError):
+        q.push(float("nan"), lambda: None)
+
+
+def test_drain_consumes_in_order():
+    q = EventQueue()
+    for t in (5.0, 1.0, 3.0):
+        q.push(t, lambda: None)
+    times = [ev.time for ev in q.drain()]
+    assert times == [1.0, 3.0, 5.0]
+    assert not q

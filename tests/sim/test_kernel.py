@@ -1,0 +1,141 @@
+"""Unit tests for the simulator clock and run loop."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_custom_start_time():
+    assert Simulator(start_time=100.0).now == 100.0
+
+
+def test_schedule_advances_clock():
+    sim = Simulator()
+    seen = []
+    sim.schedule(5.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [5.0]
+    assert sim.now == 5.0
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Simulator().schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5.0, lambda: None)
+
+
+def test_callbacks_can_schedule_more_events():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        seen.append(("first", sim.now))
+        sim.schedule(2.0, lambda: seen.append(("second", sim.now)))
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert seen == [("first", 1.0), ("second", 3.0)]
+
+
+def test_call_soon_runs_at_current_instant():
+    sim = Simulator()
+    order = []
+
+    def outer():
+        sim.call_soon(lambda: order.append("soon"))
+        order.append("outer")
+
+    sim.schedule(1.0, outer)
+    sim.schedule(1.0, lambda: order.append("peer"))
+    sim.run()
+    # call_soon lands after already-queued same-instant events.
+    assert order == ["outer", "peer", "soon"]
+    assert sim.now == 1.0
+
+
+def test_run_until_is_inclusive():
+    sim = Simulator()
+    seen = []
+    sim.schedule(5.0, lambda: seen.append("at5"))
+    sim.schedule(6.0, lambda: seen.append("at6"))
+    end = sim.run(until=5.0)
+    assert seen == ["at5"]
+    assert end == 5.0
+    assert sim.pending == 1
+
+
+def test_run_max_events():
+    sim = Simulator()
+    seen = []
+    for i in range(10):
+        sim.schedule(float(i + 1), lambda i=i: seen.append(i))
+    sim.run(max_events=3)
+    assert seen == [0, 1, 2]
+
+
+def test_run_resumes_after_until():
+    sim = Simulator()
+    seen = []
+    sim.schedule(5.0, lambda: seen.append(5))
+    sim.schedule(10.0, lambda: seen.append(10))
+    sim.run(until=7.0)
+    assert sim.now == 7.0
+    sim.run()
+    assert seen == [5, 10]
+    assert sim.now == 10.0
+
+
+def test_cancel_via_simulator():
+    sim = Simulator()
+    seen = []
+    ev = sim.schedule(1.0, lambda: seen.append("x"))
+    sim.cancel(ev)
+    sim.run()
+    assert seen == []
+
+
+def test_events_fired_counter():
+    sim = Simulator()
+    for i in range(4):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.events_fired == 4
+
+
+def test_step_returns_false_when_empty():
+    assert Simulator().step() is False
+
+
+def test_not_reentrant():
+    sim = Simulator()
+
+    def nested():
+        sim.run()
+
+    sim.schedule(1.0, nested)
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_determinism_full_replay():
+    def build():
+        sim = Simulator()
+        order = []
+        for i in range(50):
+            sim.schedule((i * 7) % 13, lambda i=i: order.append(i))
+        sim.run()
+        return order
+
+    assert build() == build()

@@ -1,0 +1,58 @@
+"""Miscellaneous kernel behaviours not covered elsewhere."""
+
+from repro.sim.kernel import Simulator
+
+
+def test_cancel_after_fire_is_harmless():
+    sim = Simulator()
+    fired = []
+    ev = sim.schedule(1.0, lambda: fired.append(1))
+    sim.run()
+    sim.cancel(ev)  # already fired: no effect, no error
+    assert fired == [1]
+
+
+def test_priority_orders_same_instant_callbacks():
+    sim = Simulator()
+    order = []
+    sim.schedule(1.0, lambda: order.append("low"), priority=10)
+    sim.schedule(1.0, lambda: order.append("high"), priority=-10)
+    sim.schedule(1.0, lambda: order.append("mid"), priority=0)
+    sim.run()
+    assert order == ["high", "mid", "low"]
+
+
+def test_pending_counts_live_events():
+    sim = Simulator()
+    a = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending == 2
+    sim.cancel(a)
+    assert sim.pending == 1
+    sim.run()
+    assert sim.pending == 0
+
+
+def test_zero_delay_self_rescheduling_terminates_with_max_events():
+    sim = Simulator()
+    count = [0]
+
+    def tick():
+        count[0] += 1
+        sim.call_soon(tick)
+
+    sim.call_soon(tick)
+    sim.run(max_events=100)
+    assert count[0] == 100
+    assert sim.now == 0.0  # time never advanced
+
+
+def test_interleaved_run_segments_preserve_order():
+    sim = Simulator()
+    seen = []
+    for t in (1.0, 2.0, 3.0, 4.0):
+        sim.schedule(t, lambda t=t: seen.append(t))
+    sim.run(until=2.0)
+    sim.schedule(0.5, lambda: seen.append(2.5))  # relative to now=2.0
+    sim.run()
+    assert seen == [1.0, 2.0, 2.5, 3.0, 4.0]

@@ -1,0 +1,70 @@
+"""Unit tests for counted resources."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator
+from repro.sim.resources import Resource
+
+
+def test_capacity_validation():
+    with pytest.raises(SimulationError):
+        Resource(Simulator(), 0)
+
+
+def test_immediate_grant_under_capacity():
+    sim = Simulator()
+    res = Resource(sim, 2)
+    got = []
+    res.acquire(lambda: got.append("a"))
+    res.acquire(lambda: got.append("b"))
+    assert res.in_use == 2
+    sim.run()
+    assert got == ["a", "b"]
+
+
+def test_waiters_queue_fifo():
+    sim = Simulator()
+    res = Resource(sim, 1)
+    got = []
+    res.acquire(lambda: got.append("first"))
+    res.acquire(lambda: got.append("second"))
+    res.acquire(lambda: got.append("third"))
+    sim.run()
+    assert got == ["first"]
+    assert res.queued == 2
+    res.release()
+    sim.run()
+    assert got == ["first", "second"]
+    res.release()
+    sim.run()
+    assert got == ["first", "second", "third"]
+
+
+def test_release_idle_raises():
+    res = Resource(Simulator(), 1)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_cancelled_request_is_skipped():
+    sim = Simulator()
+    res = Resource(sim, 1)
+    got = []
+    res.acquire(lambda: got.append("a"))
+    second = res.acquire(lambda: got.append("b"))
+    res.acquire(lambda: got.append("c"))
+    second.cancel()
+    sim.run()
+    res.release()
+    sim.run()
+    assert got == ["a", "c"]
+
+
+def test_available_tracks_in_use():
+    sim = Simulator()
+    res = Resource(sim, 3)
+    res.acquire(lambda: None)
+    assert res.available == 2
+    res.release()
+    assert res.available == 3

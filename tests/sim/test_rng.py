@@ -1,0 +1,29 @@
+"""Unit tests for RNG helpers."""
+
+import numpy as np
+
+from repro.sim.rng import make_rng, spawn_rngs
+
+
+def test_make_rng_from_int_is_deterministic():
+    a = make_rng(42).random(5)
+    b = make_rng(42).random(5)
+    assert np.array_equal(a, b)
+
+
+def test_make_rng_passthrough():
+    gen = np.random.default_rng(1)
+    assert make_rng(gen) is gen
+
+
+def test_spawn_rngs_independent_and_deterministic():
+    first = [g.random(3) for g in spawn_rngs(7, 3)]
+    second = [g.random(3) for g in spawn_rngs(7, 3)]
+    for a, b in zip(first, second):
+        assert np.array_equal(a, b)
+    # streams differ from each other
+    assert not np.array_equal(first[0], first[1])
+
+
+def test_spawn_rngs_count():
+    assert len(spawn_rngs(0, 5)) == 5

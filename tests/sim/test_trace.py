@@ -1,0 +1,51 @@
+"""Unit tests for trace recording."""
+
+from repro.sim.trace import TraceRecorder
+
+
+def test_records_in_order():
+    tr = TraceRecorder()
+    tr.record(1.0, "a", "x")
+    tr.record(2.0, "b", "y", detail=1)
+    assert len(tr) == 2
+    recs = list(tr)
+    assert recs[0].kind == "a" and recs[1].subject == "y"
+    assert recs[1].detail == {"detail": 1}
+
+
+def test_disabled_recorder_drops_everything():
+    tr = TraceRecorder(enabled=False)
+    tr.record(1.0, "a", "x")
+    assert len(tr) == 0
+
+
+def test_kind_filter():
+    tr = TraceRecorder(kinds={"keep"})
+    tr.record(1.0, "keep", "x")
+    tr.record(2.0, "drop", "y")
+    assert tr.kinds() == {"keep"}
+    assert tr.count("drop") == 0
+
+
+def test_of_kind_and_count():
+    tr = TraceRecorder()
+    for i in range(3):
+        tr.record(float(i), "tick", f"s{i}")
+    tr.record(9.0, "tock", "z")
+    assert [r.subject for r in tr.of_kind("tick")] == ["s0", "s1", "s2"]
+    assert tr.count("tick") == 3
+
+
+def test_last():
+    tr = TraceRecorder()
+    assert tr.last("missing") is None
+    tr.record(1.0, "k", "first")
+    tr.record(2.0, "k", "second")
+    assert tr.last("k").subject == "second"
+
+
+def test_clear():
+    tr = TraceRecorder()
+    tr.record(1.0, "k", "s")
+    tr.clear()
+    assert len(tr) == 0

@@ -1,0 +1,139 @@
+"""Unit tests for the advisory side-effect analyzer."""
+
+import functools
+
+from repro.sre.analysis import analyze_side_effects, recommend
+from repro.sre.task import Task
+
+
+def test_pure_function_is_clean():
+    def pure(a, b):
+        c = a + b
+        return {"out": c * 2}
+
+    report = analyze_side_effects(pure)
+    assert report.clean
+    assert not report.opaque
+
+
+def test_numpy_style_pure_closure_is_clean():
+    data = [1, 2, 3]
+
+    def fn(d=data):
+        return {"out": sum(x * x for x in d)}
+
+    assert analyze_side_effects(fn).clean
+
+
+def test_global_store_is_definite():
+    def bad():
+        global _some_counter
+        _some_counter = 1
+
+    report = analyze_side_effects(bad)
+    assert report.definite
+    assert any("_some_counter" in f.detail for f in report.definite)
+
+
+def test_closure_mutation_is_definite():
+    cell = 0
+
+    def bad():
+        nonlocal cell
+        cell += 1
+
+    report = analyze_side_effects(bad)
+    assert report.definite
+
+
+def test_print_is_definite():
+    def chatty(x):
+        print(x)
+        return x
+
+    report = analyze_side_effects(chatty)
+    assert any("print" in f.detail for f in report.definite)
+
+
+def test_attribute_store_is_possible():
+    class Box:
+        pass
+
+    def maybe(box):
+        box.value = 1
+        return box
+
+    report = analyze_side_effects(maybe)
+    assert report.possible
+    assert not report.definite
+
+
+def test_subscript_store_is_possible():
+    def maybe(d):
+        d["k"] = 1
+
+    assert analyze_side_effects(maybe).possible
+
+
+def test_nested_function_scanned():
+    def outer():
+        def inner(x):
+            print(x)
+        return inner
+
+    assert analyze_side_effects(outer).definite
+
+
+def test_builtin_is_opaque():
+    report = analyze_side_effects(len)
+    assert report.opaque
+    assert not report.clean
+
+
+def test_partial_unwrapped():
+    def chatty(x, y):
+        print(x, y)
+
+    report = analyze_side_effects(functools.partial(chatty, 1))
+    assert report.definite
+
+
+def test_none_fn():
+    assert analyze_side_effects(None).clean
+
+
+def test_recommend_pure_task():
+    task = Task("t", lambda: {"out": 1})
+    may, report = recommend(task)
+    assert may and report.clean
+
+
+def test_recommend_rejects_definite_effects():
+    def write_out(x):
+        print(x)
+
+    task = Task("t", write_out, side_effect_free=False)
+    may, _ = recommend(task)
+    assert not may
+
+
+def test_recommend_accepts_with_undo():
+    log = []
+
+    def effectful():
+        log.append(1)
+        return {"out": 1}
+
+    task = Task("t", print, side_effect_free=False, undo=lambda t: None)
+    may, _ = recommend(task)
+    assert may
+
+
+def test_recommend_allows_possible_only():
+    def maybe(d):
+        d["k"] = 1  # mutates its own input; may be task-local
+
+    task = Task("t", maybe)
+    may, report = recommend(task)
+    assert may
+    assert report.possible

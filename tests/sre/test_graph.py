@@ -1,0 +1,133 @@
+"""Unit tests for the dynamic DFG."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.sre.graph import DFG
+from repro.sre.task import Task
+
+
+def _t(name, inputs=()):
+    return Task(name, lambda **kw: {"out": 1}, inputs=inputs)
+
+
+def test_duplicate_names_rejected():
+    g = DFG()
+    g.add_task(_t("a"))
+    with pytest.raises(GraphError):
+        g.add_task(_t("a"))
+
+
+def test_connect_requires_membership():
+    g = DFG()
+    a = g.add_task(_t("a"))
+    stranger = _t("s", inputs=("x",))
+    with pytest.raises(GraphError):
+        g.connect(a, "out", stranger, "x")
+
+
+def test_connect_unknown_port_rejected():
+    g = DFG()
+    a = g.add_task(_t("a"))
+    b = g.add_task(_t("b", inputs=("x",)))
+    with pytest.raises(GraphError):
+        g.connect(a, "out", b, "nope")
+
+
+def test_successors_predecessors():
+    g = DFG()
+    a = g.add_task(_t("a"))
+    b = g.add_task(_t("b", inputs=("x",)))
+    c = g.add_task(_t("c", inputs=("x",)))
+    g.connect(a, "out", b, "x")
+    g.connect(a, "out", c, "x")
+    assert {t.name for t in g.successors(a)} == {"b", "c"}
+    assert [t.name for t in g.predecessors(b)] == ["a"]
+
+
+def test_dependents_transitive_closure():
+    g = DFG()
+    tasks = {n: g.add_task(_t(n, inputs=("x",) if n != "a" else ())) for n in "abcd"}
+    g.connect(tasks["a"], "out", tasks["b"], "x")
+    g.connect(tasks["b"], "out", tasks["c"], "x")
+    g.connect(tasks["c"], "out", tasks["d"], "x")
+    deps = g.dependents([tasks["b"]])
+    assert [t.name for t in deps] == ["c", "d"]
+    deps_incl = g.dependents([tasks["b"]], include_roots=True)
+    assert [t.name for t in deps_incl] == ["b", "c", "d"]
+
+
+def test_dependents_diamond_no_duplicates():
+    g = DFG()
+    a = g.add_task(_t("a"))
+    b = g.add_task(_t("b", inputs=("x",)))
+    c = g.add_task(_t("c", inputs=("x",)))
+    d = g.add_task(Task("d", lambda l, r: 1, inputs=("l", "r")))
+    g.connect(a, "out", b, "x")
+    g.connect(a, "out", c, "x")
+    g.connect(b, "out", d, "l")
+    g.connect(c, "out", d, "r")
+    deps = g.dependents([a])
+    assert sorted(t.name for t in deps) == ["b", "c", "d"]
+
+
+def test_remove_task_cleans_edges_and_sinks():
+    g = DFG()
+    a = g.add_task(_t("a"))
+    b = g.add_task(_t("b", inputs=("x",)))
+    g.connect(a, "out", b, "x")
+    g.connect_sink(a, "out", lambda v: None)
+    g.remove_task(a)
+    assert a not in g
+    assert g.in_edges(b) == []
+    assert g.sinks_for(a, "out") == []
+    # idempotent
+    g.remove_task(a)
+
+
+def test_has_cycle_detects_cycles():
+    g = DFG()
+    a = g.add_task(_t("a", inputs=("x",)))
+    b = g.add_task(_t("b", inputs=("x",)))
+    g.connect(a, "out", b, "x")
+    assert not g.has_cycle()
+    g.connect(b, "out", a, "x")
+    assert g.has_cycle()
+
+
+def test_to_networkx_export():
+    g = DFG()
+    a = g.add_task(_t("a"))
+    b = g.add_task(_t("b", inputs=("x",)))
+    g.connect(a, "out", b, "x")
+    nxg = g.to_networkx()
+    assert set(nxg.nodes) == {"a", "b"}
+    assert nxg.has_edge("a", "b")
+    assert nxg.nodes["a"]["kind"] == "task"
+
+
+def test_multiple_sinks_per_port():
+    g = DFG()
+    a = g.add_task(_t("a"))
+    seen = []
+    g.connect_sink(a, "out", lambda v: seen.append(("s1", v)))
+    g.connect_sink(a, "out", lambda v: seen.append(("s2", v)))
+    for fn in g.sinks_for(a, "out"):
+        fn(7)
+    assert seen == [("s1", 7), ("s2", 7)]
+
+
+def test_to_dot_export():
+    g = DFG()
+    a = g.add_task(Task("a", lambda: {"out": 1}))
+    spec = g.add_task(Task("spec", lambda x: 1, inputs=("x",), speculative=True))
+    chk = g.add_task(Task("chk", lambda x: 1, inputs=("x",), kind="check"))
+    g.connect(a, "out", spec, "x")
+    g.connect(a, "out", chk, "x")
+    dot = g.to_dot()
+    assert dot.startswith("digraph dfg {")
+    assert '"a" -> "spec"' in dot
+    assert "style=dashed" in dot          # speculative tasks dashed
+    assert "shape=diamond" in dot         # check tasks are diamonds (paper)
+    spec.request_abort()
+    assert "color=red" in g.to_dot()

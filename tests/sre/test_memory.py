@@ -1,0 +1,83 @@
+"""Unit tests for memory accounting."""
+
+import numpy as np
+
+from repro.sre.memory import MemoryLedger, sizeof_value
+
+
+def test_sizeof_numpy_array():
+    assert sizeof_value(np.zeros(10, dtype=np.int64)) == 80
+
+
+def test_sizeof_bytes_like():
+    assert sizeof_value(b"abcd") == 4
+    assert sizeof_value(bytearray(8)) == 8
+
+
+def test_sizeof_containers_recurse():
+    assert sizeof_value([b"ab", b"cd"]) == 4
+    assert sizeof_value({"a": b"xy", "b": b"z"}) == 3
+    assert sizeof_value((np.zeros(2, np.uint8), b"a")) == 3
+
+
+def test_sizeof_scalar_nominal():
+    assert sizeof_value(123) == 16
+
+
+def test_allocate_and_commit():
+    ledger = MemoryLedger()
+    ledger.allocate("t1", 100, speculative=False)
+    assert ledger.live_bytes == 100
+    assert ledger.peak_bytes == 100
+    ledger.commit("t1")
+    assert ledger.live_bytes == 0
+    assert ledger.speculative_wasted == 0
+
+
+def test_discard_speculative_counts_waste():
+    ledger = MemoryLedger()
+    ledger.allocate("s1", 50, speculative=True)
+    ledger.discard("s1")
+    assert ledger.speculative_wasted == 50
+    assert ledger.speculative_allocated == 50
+
+
+def test_discard_natural_not_wasted():
+    ledger = MemoryLedger()
+    ledger.allocate("n1", 50, speculative=False)
+    ledger.discard("n1")
+    assert ledger.speculative_wasted == 0
+
+
+def test_peak_tracks_high_water_mark():
+    ledger = MemoryLedger()
+    ledger.allocate("a", 100, False)
+    ledger.allocate("b", 100, False)
+    ledger.commit("a")
+    ledger.allocate("c", 10, False)
+    assert ledger.peak_bytes == 200
+    assert ledger.live_bytes == 110
+
+
+def test_reallocate_same_owner_replaces():
+    ledger = MemoryLedger()
+    ledger.allocate("t", 100, False)
+    ledger.allocate("t", 40, False)
+    assert ledger.live_bytes == 40
+    assert ledger.total_allocated == 140
+
+
+def test_release_unknown_owner_is_noop():
+    ledger = MemoryLedger()
+    ledger.commit("ghost")
+    ledger.discard("ghost")
+    assert ledger.live_bytes == 0
+
+
+def test_summary_keys():
+    ledger = MemoryLedger()
+    s = ledger.summary()
+    assert set(s) == {
+        "live_bytes", "peak_bytes", "total_allocated",
+        "speculative_allocated", "speculative_wasted",
+    }

@@ -1,0 +1,109 @@
+"""Unit tests for the dispatch policies."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sre.policies import (
+    AggressivePolicy,
+    BalancedPolicy,
+    ConservativePolicy,
+    FCFSPolicy,
+    get_policy,
+)
+from repro.sre.queues import ReadyQueue
+from repro.sre.task import Task
+
+
+def _queues(n_nat, n_spec):
+    nat, spec = ReadyQueue(), ReadyQueue()
+    for i in range(n_nat):
+        t = Task(f"n{i}", lambda: 1)
+        t.mark_ready(0.0)
+        nat.push(t)
+    for i in range(n_spec):
+        t = Task(f"s{i}", lambda: 1, speculative=True)
+        t.mark_ready(0.0)
+        spec.push(t)
+    return nat, spec
+
+
+def _drain(policy, nat, spec):
+    order = []
+    while True:
+        t = policy.select(nat, spec)
+        if t is None:
+            return order
+        order.append(t.name)
+
+
+def test_conservative_prefers_natural():
+    nat, spec = _queues(2, 2)
+    assert _drain(ConservativePolicy(), nat, spec) == ["n0", "n1", "s0", "s1"]
+
+
+def test_aggressive_prefers_speculative():
+    nat, spec = _queues(2, 2)
+    assert _drain(AggressivePolicy(), nat, spec) == ["s0", "s1", "n0", "n1"]
+
+
+def test_balanced_alternates():
+    nat, spec = _queues(3, 3)
+    order = _drain(BalancedPolicy(), nat, spec)
+    assert order == ["n0", "s0", "n1", "s1", "n2", "s2"]
+
+
+def test_balanced_serves_whatever_is_available():
+    nat, spec = _queues(3, 0)
+    assert _drain(BalancedPolicy(), nat, spec) == ["n0", "n1", "n2"]
+
+
+def test_balanced_alternation_resumes_on_reappearance():
+    policy = BalancedPolicy()
+    nat, spec = _queues(2, 0)
+    assert policy.select(nat, spec).name == "n0"
+    assert policy.select(nat, spec).name == "n1"  # only natural available
+    # Speculative work appears: it must be served next.
+    t = Task("late-spec", lambda: 1, speculative=True)
+    t.mark_ready(0.0)
+    spec.push(t)
+    nat2, _ = _queues(1, 0)
+    assert policy.select(nat2, spec).name == "late-spec"
+
+
+def test_fcfs_is_global_arrival_order():
+    nat, spec = ReadyQueue(), ReadyQueue()
+    t1 = Task("first", lambda: 1)
+    t2 = Task("second", lambda: 1, speculative=True)
+    t3 = Task("third", lambda: 1)
+    for t, q in ((t1, nat), (t2, spec), (t3, nat)):
+        t.mark_ready(0.0)
+        q.push(t)
+    assert _drain(FCFSPolicy(), nat, spec) == ["first", "second", "third"]
+
+
+def test_empty_queues_yield_none():
+    nat, spec = _queues(0, 0)
+    for policy in (ConservativePolicy(), AggressivePolicy(), BalancedPolicy(), FCFSPolicy()):
+        assert policy.select(nat, spec) is None
+
+
+def test_get_policy_by_name():
+    for name, cls in [("conservative", ConservativePolicy),
+                      ("aggressive", AggressivePolicy),
+                      ("balanced", BalancedPolicy),
+                      ("fcfs", FCFSPolicy)]:
+        assert isinstance(get_policy(name), cls)
+
+
+def test_get_policy_unknown():
+    with pytest.raises(SchedulingError):
+        get_policy("yolo")
+
+
+def test_balanced_reset_clears_state():
+    policy = BalancedPolicy()
+    nat, spec = _queues(1, 1)
+    assert policy.select(nat, spec).name == "n0"
+    policy.reset()
+    nat2, spec2 = _queues(1, 1)
+    assert policy.select(nat2, spec2).name == "n0"

@@ -1,0 +1,126 @@
+"""Tests for the §II-B resource-management policies: ratio and throttling."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.platforms import X86Platform
+from repro.sre.executor_sim import SimulatedExecutor
+from repro.sre.policies import RatioPolicy, ThrottledPolicy, get_policy
+from repro.sre.queues import ReadyQueue
+from repro.sre.runtime import Runtime
+from repro.sre.task import Task
+
+
+def _queues(n_nat, n_spec):
+    nat, spec = ReadyQueue(), ReadyQueue()
+    for i in range(n_nat):
+        t = Task(f"n{i}", lambda: 1)
+        t.mark_ready(0.0)
+        nat.push(t)
+    for i in range(n_spec):
+        t = Task(f"s{i}", lambda: 1, speculative=True)
+        t.mark_ready(0.0)
+        spec.push(t)
+    return nat, spec
+
+
+def _drain(policy, nat, spec):
+    order = []
+    while True:
+        t = policy.select(nat, spec)
+        if t is None:
+            return order
+        order.append(t)
+        policy.notify_started(t)
+
+
+def test_ratio_half_matches_alternation():
+    nat, spec = _queues(4, 4)
+    order = _drain(RatioPolicy(0.5), nat, spec)
+    spec_flags = [t.speculative for t in order]
+    assert sum(spec_flags) == 4
+    # never two speculative picks in a row at 0.5
+    assert not any(a and b for a, b in zip(spec_flags, spec_flags[1:]))
+
+
+def test_ratio_quarter_long_run_share():
+    nat, spec = _queues(30, 10)
+    order = _drain(RatioPolicy(0.25), nat, spec)
+    spec_picks = sum(t.speculative for t in order)
+    assert spec_picks == 10
+    first_half = order[:20]
+    assert sum(t.speculative for t in first_half) == pytest.approx(5, abs=1)
+
+
+def test_ratio_zero_is_conservative_like():
+    nat, spec = _queues(2, 2)
+    order = _drain(RatioPolicy(0.0), nat, spec)
+    assert [t.speculative for t in order] == [False, False, True, True]
+
+
+def test_ratio_one_is_aggressive_like():
+    nat, spec = _queues(2, 2)
+    order = _drain(RatioPolicy(1.0), nat, spec)
+    assert [t.speculative for t in order] == [True, True, False, False]
+
+
+def test_ratio_validates_share():
+    with pytest.raises(SchedulingError):
+        RatioPolicy(1.5)
+
+
+def test_throttle_caps_inflight_speculation():
+    policy = ThrottledPolicy(max_speculative=1)
+    nat, spec = _queues(2, 3)
+    first = policy.select(nat, spec)
+    policy.notify_started(first)
+    # balanced inner picks natural first; keep selecting until a spec task
+    picked = [first]
+    while True:
+        t = policy.select(nat, spec)
+        if t is None:
+            break
+        policy.notify_started(t)
+        picked.append(t)
+    running_spec = sum(t.speculative for t in picked)
+    assert running_spec == 1  # cap reached; remaining spec tasks not selected
+    assert policy.speculative_inflight == 1
+    # finishing the speculative task frees a slot
+    spec_task = next(t for t in picked if t.speculative)
+    policy.notify_finished(spec_task)
+    t = policy.select(nat, spec)
+    assert t is not None and t.speculative
+
+
+def test_throttle_zero_blocks_all_speculation():
+    policy = ThrottledPolicy(max_speculative=0)
+    nat, spec = _queues(1, 2)
+    order = _drain(policy, nat, spec)
+    assert [t.speculative for t in order] == [False]
+    assert len(spec) == 2  # untouched
+
+
+def test_throttle_end_to_end_in_executor():
+    """The cap holds inside a running executor."""
+    rt = Runtime()
+    policy = ThrottledPolicy(max_speculative=2)
+    ex = SimulatedExecutor(rt, X86Platform(workers=8), policy=policy, workers=8)
+    peak = {"value": 0}
+
+    def watch(task):
+        peak["value"] = max(peak["value"], policy.speculative_inflight)
+
+    for i in range(6):
+        t = Task(f"s{i}", lambda: 1, speculative=True)
+        t.on_complete.append(lambda *_: watch(t))
+        rt.add_task(t)
+    for i in range(4):
+        rt.add_task(Task(f"n{i}", lambda: 1))
+    ex.run()
+    assert peak["value"] <= 2
+    assert all(t.state.value == "done" for t in rt.graph.tasks())
+
+
+def test_get_policy_knows_new_names():
+    assert isinstance(get_policy("ratio"), RatioPolicy)
+    assert isinstance(get_policy("throttled"), ThrottledPolicy)

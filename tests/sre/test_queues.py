@@ -1,0 +1,99 @@
+"""Unit tests for the ready queue's dispatch ordering."""
+
+from repro.sre.queues import ReadyQueue
+from repro.sre.task import Task
+
+
+def _ready(name, depth=0, control=False):
+    t = Task(name, lambda: 1, depth=depth, control=control)
+    t.mark_ready(0.0)
+    return t
+
+
+def test_fcfs_within_equal_depth():
+    q = ReadyQueue()
+    a, b = _ready("a", depth=2), _ready("b", depth=2)
+    q.push(a)
+    q.push(b)
+    assert q.pop() is a
+    assert q.pop() is b
+
+
+def test_depth_favoured():
+    q = ReadyQueue()
+    shallow, deep = _ready("s", depth=0), _ready("d", depth=4)
+    q.push(shallow)
+    q.push(deep)
+    assert q.pop() is deep
+
+
+def test_control_beats_depth():
+    q = ReadyQueue()
+    deep = _ready("deep", depth=10)
+    ctl = _ready("ctl", depth=0, control=True)
+    q.push(deep)
+    q.push(ctl)
+    assert q.pop() is ctl
+
+
+def test_control_first_disabled():
+    q = ReadyQueue(control_first=False)
+    deep = _ready("deep", depth=10)
+    ctl = _ready("ctl", depth=0, control=True)
+    q.push(deep)
+    q.push(ctl)
+    assert q.pop() is deep
+
+
+def test_pure_fcfs_mode_ignores_depth():
+    q = ReadyQueue(depth_first=False)
+    first, deep = _ready("first", depth=0), _ready("deep", depth=9)
+    q.push(first)
+    q.push(deep)
+    assert q.pop() is first
+
+
+def test_pop_empty_returns_none():
+    assert ReadyQueue().pop() is None
+    assert ReadyQueue().peek() is None
+
+
+def test_aborted_tasks_are_skipped():
+    q = ReadyQueue()
+    a, b = _ready("a"), _ready("b")
+    q.push(a)
+    q.push(b)
+    a.request_abort()
+    q.discard_aborted(a)
+    assert len(q) == 1
+    assert q.pop() is b
+    assert q.pop() is None
+
+
+def test_peek_does_not_remove():
+    q = ReadyQueue()
+    a = _ready("a")
+    q.push(a)
+    assert q.peek() is a
+    assert len(q) == 1
+    assert q.pop() is a
+
+
+def test_len_tracks_live_entries():
+    q = ReadyQueue()
+    tasks = [_ready(f"t{i}") for i in range(5)]
+    for t in tasks:
+        q.push(t)
+    assert len(q) == 5
+    q.pop()
+    assert len(q) == 4
+
+
+def test_snapshot_only_ready():
+    q = ReadyQueue()
+    a, b = _ready("a"), _ready("b")
+    q.push(a)
+    q.push(b)
+    b.request_abort()
+    q.discard_aborted(b)
+    assert [t.name for t in q.snapshot()] == ["a"]

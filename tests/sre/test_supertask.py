@@ -1,0 +1,88 @@
+"""Unit tests for SuperTask hierarchy and notifications."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.sre.supertask import SuperTask
+from repro.sre.task import Task
+
+
+def test_path_is_hierarchical():
+    root = SuperTask("root")
+    child = root.subgroup("stage")
+    grand = child.subgroup("inner")
+    assert grand.path == "root/stage/inner"
+
+
+def test_subgroup_is_idempotent():
+    root = SuperTask("root")
+    assert root.subgroup("a") is root.subgroup("a")
+
+
+def test_adopt_sets_supertask():
+    st = SuperTask("st")
+    t = Task("t", None)
+    st.adopt(t)
+    assert t.supertask is st
+
+
+def test_double_adopt_rejected():
+    st = SuperTask("st")
+    t = Task("t", None)
+    st.adopt(t)
+    with pytest.raises(GraphError):
+        SuperTask("other").adopt(t)
+
+
+def test_duplicate_child_name_rejected():
+    st = SuperTask("st")
+    st.adopt(Task("t", None))
+    with pytest.raises(GraphError):
+        st.adopt(Task("t", None))
+
+
+def test_iter_tasks_recursive():
+    root = SuperTask("root")
+    inner = root.subgroup("inner")
+    a = Task("a", None)
+    b = Task("b", None)
+    root.adopt(a)
+    inner.adopt(b)
+    assert {t.name for t in root.iter_tasks()} == {"a", "b"}
+    assert {t.name for t in root.iter_tasks(recursive=False)} == {"a"}
+
+
+def test_notifications_bubble_to_ancestors():
+    root = SuperTask("root")
+    inner = root.subgroup("inner")
+    t = Task("t", None)
+    inner.adopt(t)
+    seen = []
+    root.on_child_complete(lambda task, outs: seen.append(("root", task.name)))
+    inner.on_child_complete(lambda task, outs: seen.append(("inner", task.name)))
+    inner.notify_child_complete(t, {})
+    assert seen == [("inner", "t"), ("root", "t")]
+
+
+def test_spec_base_hooks_fire_only_for_flagged_tasks():
+    st = SuperTask("st")
+    plain = Task("plain", None)
+    flagged = Task("flagged", None, tags={"spec_base": True})
+    st.adopt(plain)
+    st.adopt(flagged)
+    seen = []
+    st.on_speculation_base(lambda task, outs: seen.append(task.name))
+    st.notify_child_complete(plain, {})
+    st.notify_child_complete(flagged, {})
+    assert seen == ["flagged"]
+
+
+def test_spec_base_bubbles_through_hierarchy():
+    root = SuperTask("root")
+    inner = root.subgroup("inner")
+    t = Task("t", None, tags={"spec_base": True})
+    inner.adopt(t)
+    seen = []
+    root.on_speculation_base(lambda task, outs: seen.append(task.name))
+    inner.notify_child_complete(t, {"out": 1})
+    assert seen == ["t"]

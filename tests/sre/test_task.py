@@ -1,0 +1,111 @@
+"""Unit tests for the Task life cycle and port semantics."""
+
+import pytest
+
+from repro.errors import TaskStateError
+from repro.sre.task import Task, TaskState
+
+
+def test_source_task_ready_immediately():
+    t = Task("src", lambda: {"out": 1})
+    assert t.is_ready_to_schedule
+    assert t.missing_inputs == frozenset()
+
+
+def test_deliver_completes_input_set():
+    t = Task("t", lambda a, b: {"out": a + b}, inputs=("a", "b"))
+    assert not t.deliver("a", 1)
+    assert t.deliver("b", 2)
+    assert t.is_ready_to_schedule
+
+
+def test_deliver_unknown_port_raises():
+    t = Task("t", None, inputs=("a",))
+    with pytest.raises(TaskStateError):
+        t.deliver("nope", 1)
+
+
+def test_double_delivery_raises():
+    t = Task("t", None, inputs=("a", "b"))
+    t.deliver("a", 1)
+    with pytest.raises(TaskStateError):
+        t.deliver("a", 2)
+
+
+def test_run_with_missing_inputs_raises():
+    t = Task("t", lambda a: a, inputs=("a",))
+    with pytest.raises(TaskStateError):
+        t.run()
+
+
+def test_run_normalises_outputs():
+    assert Task("a", lambda: {"x": 1}).run() == {"x": 1}
+    assert Task("b", lambda: 7).run() == {"out": 7}
+    assert Task("c", lambda: None).run() == {}
+    assert Task("d", None).run() == {}
+
+
+def test_run_receives_inputs_as_kwargs():
+    t = Task("t", lambda left, right: {"out": left - right}, inputs=("left", "right"))
+    t.deliver("left", 10)
+    t.deliver("right", 4)
+    assert t.run() == {"out": 6}
+
+
+def test_lifecycle_happy_path():
+    t = Task("t", lambda: 1)
+    t.mark_ready(1.0)
+    t.mark_running(2.0)
+    t.mark_done(3.0)
+    assert t.state is TaskState.DONE
+    assert (t.ready_time, t.start_time, t.finish_time) == (1.0, 2.0, 3.0)
+
+
+def test_illegal_transition_raises():
+    t = Task("t", lambda: 1)
+    with pytest.raises(TaskStateError):
+        t.mark_running(0.0)  # not READY yet
+
+
+def test_request_abort_before_running_reaps():
+    t = Task("t", lambda: 1)
+    assert t.request_abort() is True
+    assert t.state is TaskState.ABORTED
+
+
+def test_request_abort_while_running_only_flags():
+    t = Task("t", lambda: 1)
+    t.mark_ready(0.0)
+    t.mark_running(0.0)
+    assert t.request_abort() is False
+    assert t.state is TaskState.RUNNING
+    assert t.abort_requested
+
+
+def test_speculative_with_side_effects_rejected():
+    with pytest.raises(TaskStateError):
+        Task("bad", lambda: 1, speculative=True, side_effect_free=False)
+
+
+def test_deliver_after_launch_rejected():
+    t = Task("t", lambda a: a, inputs=("a", "b"))
+    t.deliver("a", 1)
+    t.deliver("b", 1)
+    t.mark_ready(0.0)
+    with pytest.raises(TaskStateError):
+        t.deliver("b", 2)
+
+
+def test_seq_monotonically_increases():
+    a, b = Task("a", None), Task("b", None)
+    assert b.seq > a.seq
+
+
+def test_cost_hint_and_tags_are_copied():
+    hint = {"bytes": 1.0}
+    tags = {"block": 3}
+    t = Task("t", None, cost_hint=hint, tags=tags)
+    hint["bytes"] = 99.0
+    tags["block"] = 99
+    assert t.cost_hint == {"bytes": 1.0}
+    assert t.tags == {"block": 3}

@@ -1,0 +1,94 @@
+"""Calibration tests — pin the drift profiles the experiments depend on.
+
+These assertions anchor every figure's rollback behaviour: if a generator
+change moves a knee, these fail before the (slower) experiment tests do.
+Run at paper geometry but reduced byte counts where the profile allows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import get_workload
+from repro.workloads.calibration import (
+    check_error_profile,
+    first_safe_update,
+    prefix_histograms,
+)
+
+
+def test_prefix_histograms_cover_input():
+    data = b"abcd" * 4096  # 16 KB
+    hists = prefix_histograms(data, block_size=1024, reduce_ratio=4)
+    assert len(hists) == 4
+    assert hists[-1].sum() == len(data)
+    # prefixes are nested: counts only grow
+    for a, b in zip(hists, hists[1:]):
+        assert np.all(b >= a)
+
+
+def test_prefix_histograms_partial_tail():
+    data = b"x" * 5000
+    hists = prefix_histograms(data, block_size=1024, reduce_ratio=4)
+    assert len(hists) == 2
+    assert hists[-1].sum() == 5000
+
+
+def test_prefix_histograms_validation():
+    with pytest.raises(WorkloadError):
+        prefix_histograms(b"", 1024, 4)
+    with pytest.raises(WorkloadError):
+        prefix_histograms(b"x", 0, 4)
+
+
+def test_check_error_profile_base_bounds():
+    data = b"y" * 20_000
+    with pytest.raises(WorkloadError):
+        check_error_profile(data, 1024, 4, base_update=99)
+
+
+def test_error_profile_of_final_base_is_empty():
+    data = b"z" * 8192
+    prof = check_error_profile(data, 1024, 4, base_update=2)
+    assert prof.size == 0
+
+
+@pytest.mark.slow
+class TestPaperScaleCalibration:
+    """The knees the figures rely on, at full paper geometry."""
+
+    def test_txt_safe_from_first_update(self):
+        data = get_workload("txt").generate(4 * 1024 * 1024, seed=0)
+        assert first_safe_update(data, 0.01) == 1
+
+    def test_bmp_knee_at_8(self):
+        data = get_workload("bmp").generate(2 * 1024 * 1024, seed=0)
+        assert first_safe_update(data, 0.01) == 8
+        # step 4 rolls back, step 8 does not
+        assert check_error_profile(data, base_update=4).max() > 0.01
+        assert check_error_profile(data, base_update=8).max() <= 0.01
+
+    def test_pdf_knee_near_16(self):
+        data = get_workload("pdf").generate(4 * 1024 * 1024, seed=0)
+        knee = first_safe_update(data, 0.01)
+        assert 9 <= knee <= 16
+        assert check_error_profile(data, base_update=8).max() > 0.01
+        assert check_error_profile(data, base_update=16).max() <= 0.01
+
+    def test_pdf_tolerance_ordering_fig9(self):
+        """1% fails earlier than 2%; 5% never fails (incl. the final check)."""
+        data = get_workload("pdf").generate(4 * 1024 * 1024, seed=0)
+        prof = check_error_profile(data, base_update=1)
+        checks = np.arange(2, 2 + prof.size)  # update index of each entry
+        first_over_1 = checks[prof > 0.01][0]
+        over_2 = checks[prof > 0.02]
+        assert over_2.size > 0, "2% must eventually fail"
+        first_over_2 = over_2[0]
+        assert first_over_2 >= first_over_1 + 8, "2% must fail much later than 1%"
+        assert prof.max() <= 0.05, "5% must never fail"
+
+    def test_bmp_early_tree_fails_first_check(self):
+        data = get_workload("bmp").generate(2 * 1024 * 1024, seed=0)
+        prof = check_error_profile(data, base_update=1)
+        err_at_8 = prof[8 - 2]  # profile starts at update 2
+        assert err_at_8 > 0.01

@@ -1,0 +1,203 @@
+"""Unit tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.huffman.histogram import byte_histogram
+from repro.workloads import (
+    BmpWorkload,
+    PdfWorkload,
+    TextWorkload,
+    get_workload,
+    gaussian_distribution,
+    mix_distributions,
+    sample_bytes,
+    uniform_distribution,
+    zipf_distribution,
+)
+
+
+# ---------------------------------------------------------------- helpers
+def test_zipf_distribution_ranks():
+    syms = np.array([10, 20, 30], dtype=np.uint8)
+    p = zipf_distribution(syms, exponent=1.0)
+    assert p[10] > p[20] > p[30]
+    assert p.sum() == pytest.approx(1.0)
+    assert p[0] == 0.0
+
+
+def test_zipf_rejects_bad_exponent():
+    with pytest.raises(WorkloadError):
+        zipf_distribution(np.array([1], dtype=np.uint8), exponent=0.0)
+
+
+def test_gaussian_distribution_peaks_at_center():
+    p = gaussian_distribution(128, 20)
+    assert np.argmax(p) == 128
+    assert p.sum() == pytest.approx(1.0)
+
+
+def test_uniform_distribution():
+    p = uniform_distribution()
+    assert np.allclose(p, 1 / 256)
+
+
+def test_mix_distributions_bounds():
+    p, q = uniform_distribution(), gaussian_distribution(0, 5)
+    assert np.allclose(mix_distributions(p, q, 0.0), p)
+    assert np.allclose(mix_distributions(p, q, 1.0), q)
+    with pytest.raises(WorkloadError):
+        mix_distributions(p, q, 1.5)
+
+
+def test_sample_bytes_follows_distribution():
+    p = np.zeros(256)
+    p[7] = 0.75
+    p[200] = 0.25
+    rng = np.random.default_rng(0)
+    draw = sample_bytes(p, 10_000, rng)
+    hist = byte_histogram(draw)
+    assert hist[7] + hist[200] == 10_000
+    assert 0.70 < hist[7] / 10_000 < 0.80
+
+
+def test_sample_bytes_deterministic_per_seed():
+    p = uniform_distribution()
+    a = sample_bytes(p, 100, np.random.default_rng(3))
+    b = sample_bytes(p, 100, np.random.default_rng(3))
+    assert np.array_equal(a, b)
+
+
+# ---------------------------------------------------------------- text
+def test_text_uses_limited_symbol_set():
+    wl = TextWorkload()
+    data = wl.generate(64 * 1024, seed=0)
+    used = np.count_nonzero(byte_histogram(data))
+    assert 40 <= used <= 80  # "around 70 characters" (§IV-A)
+
+
+def test_text_is_stationary():
+    wl = TextWorkload()
+    data = wl.generate(256 * 1024, seed=0)
+    half = len(data) // 2
+    h1 = byte_histogram(data[:half]).astype(float)
+    h2 = byte_histogram(data[half:]).astype(float)
+    # L1 distance of the normalised halves is tiny
+    assert np.abs(h1 / h1.sum() - h2 / h2.sum()).sum() < 0.04
+
+
+# ---------------------------------------------------------------- bmp
+def test_bmp_transient_then_stationary():
+    wl = BmpWorkload()
+    data = wl.generate(512 * 1024, seed=0)
+    n = len(data)
+    head = byte_histogram(data[: n // 16]).astype(float)
+    mid = byte_histogram(data[n // 2 : n // 2 + n // 16]).astype(float)
+    tail = byte_histogram(data[-n // 16 :]).astype(float)
+    def dist(a, b):
+        return np.abs(a / a.sum() - b / b.sum()).sum()
+    # head differs from the body; mid and tail agree
+    assert dist(head, tail) > 3 * dist(mid, tail)
+
+
+def test_bmp_parameter_validation():
+    with pytest.raises(WorkloadError):
+        BmpWorkload(transient_fraction=0.0)
+    with pytest.raises(WorkloadError):
+        BmpWorkload(header_weight=1.5)
+
+
+# ---------------------------------------------------------------- pdf
+def test_pdf_stream_share_ramps_then_plateaus():
+    wl = PdfWorkload()
+    n = 4 * 1024 * 1024
+    assert wl.stream_share(0, n) == pytest.approx(wl.stream_share_start)
+    ramp_end = wl.ramp_fraction * n
+    assert wl.stream_share(ramp_end, n) == pytest.approx(wl.stream_share_end)
+    assert wl.stream_share(n, n) == pytest.approx(wl.stream_share_end)
+    mid = wl.stream_share(ramp_end / 2, n)
+    assert wl.stream_share_start < mid < wl.stream_share_end
+
+
+def test_pdf_entropy_grows_with_position():
+    wl = PdfWorkload()
+    data = wl.generate(1024 * 1024, seed=0)
+    n = len(data)
+
+    def entropy(chunk):
+        h = byte_histogram(chunk).astype(float)
+        p = h[h > 0] / h.sum()
+        return -(p * np.log2(p)).sum()
+
+    early = entropy(data[: n // 8])
+    late = entropy(data[-n // 8 :])
+    assert late > early + 0.2
+
+
+def test_pdf_parameter_validation():
+    with pytest.raises(WorkloadError):
+        PdfWorkload(stream_share_start=2.0)
+    with pytest.raises(WorkloadError):
+        PdfWorkload(ramp_fraction=0.0)
+    with pytest.raises(WorkloadError):
+        PdfWorkload(period=1024, chunk=4096)
+
+
+# ---------------------------------------------------------------- registry
+def test_registry_names():
+    for name in ("txt", "bmp", "pdf"):
+        assert get_workload(name).name == name
+    with pytest.raises(WorkloadError):
+        get_workload("exe")
+
+
+def test_generators_are_deterministic():
+    for name in ("txt", "bmp", "pdf"):
+        wl = get_workload(name)
+        assert wl.generate(8192, seed=9) == wl.generate(8192, seed=9)
+        assert wl.generate(8192, seed=9) != wl.generate(8192, seed=10)
+
+
+def test_generate_exact_length():
+    for name in ("txt", "bmp", "pdf"):
+        assert len(get_workload(name).generate(10_000, seed=0)) == 10_000
+
+
+# ---------------------------------------------------------------- markov
+def test_markov_uses_text_symbol_set():
+    from repro.workloads import MarkovTextWorkload
+    wl = MarkovTextWorkload()
+    data = wl.generate(32 * 1024, seed=0)
+    used = np.count_nonzero(byte_histogram(data))
+    assert 40 <= used <= 80
+
+
+def test_markov_is_correlated():
+    """Bigram distribution differs from the product of marginals (unlike the
+    i.i.d. TextWorkload)."""
+    from repro.workloads import MarkovTextWorkload
+    data = np.frombuffer(MarkovTextWorkload().generate(64 * 1024, seed=0),
+                         dtype=np.uint8)
+    # conditional distribution after the most common symbol vs the marginal
+    top = np.bincount(data, minlength=256).argmax()
+    idx = np.nonzero(data[:-1] == top)[0]
+    following = np.bincount(data[idx + 1], minlength=256).astype(float)
+    marginal = np.bincount(data, minlength=256).astype(float)
+    following /= following.sum()
+    marginal /= marginal.sum()
+    assert np.abs(following - marginal).sum() > 0.2
+
+
+def test_markov_deterministic_and_registered():
+    from repro.workloads import get_workload
+    wl = get_workload("markov")
+    assert wl.generate(4096, 3) == wl.generate(4096, 3)
+
+
+def test_markov_roundtrips_through_pipeline():
+    from repro.experiments.runner import run_huffman
+    r = run_huffman(workload="markov", n_blocks=32, reduce_ratio=4,
+                    policy="balanced", step=1, seed=0)
+    assert r.roundtrip_ok
+    assert r.result.outcome == "commit"  # stationary marginal: no rollback

@@ -1,0 +1,24 @@
+"""Offline tuning harness for workload drift profiles (not shipped API)."""
+import numpy as np
+from repro.workloads.calibration import check_error_profile, first_safe_update
+from repro.workloads import get_workload
+
+def profile(name, data, bases=(0,1,2,4,8,16,24,32), tol=0.01):
+    n_updates = len(data)//(4096*16)
+    print(f"--- {name}: {len(data)} bytes, {n_updates} updates")
+    for b in bases:
+        if b >= n_updates: continue
+        p = check_error_profile(data, base_update=b)
+        print(f" base={b:2d} max={p.max():.4f} final={p[-1]:.4f} " +
+              " ".join(f"{x:.3f}" for x in p[:: max(1,len(p)//8)]))
+    print(" first_safe(1%)=", first_safe_update(data, tol))
+
+if __name__ == "__main__":
+    import sys
+    which = sys.argv[1] if len(sys.argv)>1 else "all"
+    if which in ("txt","all"):
+        profile("txt", get_workload("txt").generate(4*1024*1024, 0))
+    if which in ("bmp","all"):
+        profile("bmp", get_workload("bmp").generate(2*1024*1024, 0))
+    if which in ("pdf","all"):
+        profile("pdf", get_workload("pdf").generate(4*1024*1024, 0))
