@@ -4,6 +4,13 @@ These use conventional multi-round pytest-benchmark timing (unlike the
 figure regenerations) and guard against performance regressions in the hot
 paths: histogramming, tree build, vectorised encode, decode, and the
 simulator's event loop.
+
+Run directly (``python benchmarks/bench_micro.py --executor {sim,threads,
+procs,all}``) it benchmarks the executor back-ends on a pure-Python
+histogram workload instead, printing the threads-vs-procs speedup table
+(see :mod:`repro.experiments.executor_bench`). On a multi-core host the
+process pool beats the GIL-bound thread pool roughly by the core count;
+on a single core both degenerate to serial.
 """
 
 import numpy as np
@@ -81,3 +88,11 @@ def test_micro_workload_generation(benchmark):
     wl = get_workload("pdf")
     data = benchmark(wl.generate, 256 * 1024, 0)
     assert len(data) == 256 * 1024
+
+
+if __name__ == "__main__":
+    import sys
+
+    from repro.experiments.executor_bench import main
+
+    sys.exit(main())

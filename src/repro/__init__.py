@@ -27,7 +27,7 @@ from repro.core import (
 from repro.huffman import HuffmanConfig, HuffmanPipeline
 from repro.platforms import CellPlatform, X86Platform, get_platform
 from repro.iomodels import DiskModel, SocketModel
-from repro.sre import Runtime, SimulatedExecutor, Task, ThreadedExecutor
+from repro.sre import ProcessExecutor, Runtime, SimulatedExecutor, Task, ThreadedExecutor
 from repro.experiments.runner import RunReport, run_huffman
 
 __version__ = "1.0.0"
@@ -50,6 +50,7 @@ __all__ = [
     "Runtime",
     "SimulatedExecutor",
     "ThreadedExecutor",
+    "ProcessExecutor",
     "Task",
     "RunReport",
     "run_huffman",

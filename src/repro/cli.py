@@ -3,6 +3,8 @@
 Subcommands::
 
     repro run --workload txt --policy balanced --blocks 256 [--gantt]
+    repro run --executor procs                              # live process pool
+    repro executors                                         # threads-vs-procs table
     repro fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9   # regenerate a figure
     repro claims                                            # headline table
     repro filter | kmeans                                   # Fig. 1 / §II-A apps
@@ -45,6 +47,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         tolerance=args.tolerance,
         seed=args.seed,
         trace=want_trace,
+        executor=args.executor,
     )
     s = report.summary
     print(f"run        : {report.label}")
@@ -133,6 +136,19 @@ def _cmd_figure(name: str, args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_executors(args: argparse.Namespace) -> int:
+    from repro.experiments.executor_bench import compare_executors, render_table
+    names = (("sim", "threads", "procs") if args.executor == "all"
+             else (args.executor,))
+    timings = compare_executors(names, blocks=args.blocks,
+                                block_kb=args.block_kb, workers=args.workers,
+                                seed=args.seed)
+    print(f"{args.blocks} x {args.block_kb} KB pure-Python histogram tasks, "
+          f"{args.workers} workers")
+    print(render_table(timings))
+    return 0
+
+
 def _cmd_claims(args: argparse.Namespace) -> int:
     print(claims_mod.render(claims_mod.run(seed=args.seed)))
     return 0
@@ -142,6 +158,7 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     print("figures :", ", ".join(sorted(_FIGURES)))
     print("workloads: txt, bmp, pdf, markov")
     print("platforms: x86, cell")
+    print("executors: sim, threads, procs")
     print("policies : nonspec, conservative, aggressive, balanced, fcfs, "
           "ratio, throttled")
     print("verification: every_k, optimistic, full")
@@ -161,6 +178,10 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--workload", default="txt",
                        choices=["txt", "bmp", "pdf", "markov"])
     p_run.add_argument("--blocks", type=int, default=256)
+    p_run.add_argument("--executor", default="sim",
+                       choices=["sim", "threads", "procs"],
+                       help="back-end: simulated clock (paper figures), "
+                            "live thread pool, or live process pool")
     p_run.add_argument("--platform", default="x86", choices=["x86", "cell"])
     p_run.add_argument("--io", default="disk", choices=["disk", "socket"])
     p_run.add_argument("--policy", default="balanced",
@@ -213,6 +234,17 @@ def main(argv: list[str] | None = None) -> int:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--no-charts", action="store_true")
         p.set_defaults(fn=lambda a, n=name: _cmd_figure(n, a))
+
+    p_exec = sub.add_parser(
+        "executors",
+        help="benchmark the executor back-ends (threads-vs-procs speedup)")
+    p_exec.add_argument("--executor", default="all",
+                        choices=["sim", "threads", "procs", "all"])
+    p_exec.add_argument("--blocks", type=int, default=32)
+    p_exec.add_argument("--block-kb", type=int, default=256, dest="block_kb")
+    p_exec.add_argument("--workers", type=int, default=4)
+    p_exec.add_argument("--seed", type=int, default=0)
+    p_exec.set_defaults(fn=_cmd_executors)
 
     p_claims = sub.add_parser("claims", help="headline paper-vs-measured table")
     p_claims.add_argument("--seed", type=int, default=0)

@@ -13,13 +13,34 @@ or running at commit time simply continue, their outputs now authoritative.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, Iterable
 
 from repro.errors import SpeculationError
 
 __all__ = ["WaitBuffer"]
 
 CommitSink = Callable[[Any, Any, float], None]
+
+
+def _flush_order(keys: Iterable[Any]) -> list[Any]:
+    """Total order for commit flushes.
+
+    Keys compare on their own values whenever the key set is mutually
+    comparable — integer block ids flush 0, 1, 2, ..., 10, 11 rather than
+    the lexicographic 0, 1, 10, 11, 2 a repr-based sort would produce.
+    Mixed-type key sets (no natural total order) fall back to grouping by
+    type name and ordering within each group — by value where the group is
+    self-comparable, by ``repr`` as the last resort — so the flush order
+    stays deterministic and comparable subsets keep their own order.
+    """
+    try:
+        return sorted(keys)
+    except TypeError:
+        pass
+    try:
+        return sorted(keys, key=lambda k: (type(k).__name__, k))
+    except TypeError:
+        return sorted(keys, key=lambda k: (type(k).__name__, repr(k)))
 
 
 class WaitBuffer:
@@ -67,7 +88,7 @@ class WaitBuffer:
             )
         self._committed_version = version
         held = self._entries.pop(version, {})
-        for key in sorted(held, key=repr):
+        for key in _flush_order(held):
             value, _deposit_time = held[key]
             self._emit(key, value, now)
         return len(held)

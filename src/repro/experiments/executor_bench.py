@@ -1,0 +1,161 @@
+"""Executor micro-benchmark: the same workload on every SRE back-end.
+
+The workload is deliberately hostile to the GIL: ``blocks`` independent
+pure-Python histogram tasks (:func:`~repro.huffman.histogram.byte_histogram_py`),
+no NumPy anywhere in the hot loop. The threaded executor serialises them;
+the process executor ships each task's payload to a worker process and runs
+them truly in parallel; the simulated executor runs them single-threaded on
+a virtual clock (its wall time is the serial reference).
+
+Used two ways:
+
+* ``python benchmarks/bench_micro.py --executor {sim,threads,procs,all}``
+  — the speedup table (``all`` compares threads vs procs);
+* ``repro executors`` — the same table from the installed CLI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from dataclasses import dataclass
+from functools import partial
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.huffman.histogram import byte_histogram_py
+from repro.sre.executor_procs import ProcessExecutor
+from repro.sre.executor_sim import SimulatedExecutor
+from repro.sre.executor_threads import ThreadedExecutor
+from repro.sre.runtime import Runtime
+from repro.sre.task import Task
+
+__all__ = ["ExecutorTiming", "run_executor_bench", "compare_executors",
+           "render_table", "main"]
+
+EXECUTORS = ("sim", "threads", "procs")
+
+
+def _hist_kernel(data: bytes) -> dict[str, int]:
+    counts = byte_histogram_py(data)
+    return {"out": sum(i * c for i, c in enumerate(counts)) & 0xFFFFFFFF}
+
+
+@dataclass
+class ExecutorTiming:
+    """Wall-clock result of one back-end running the reference workload."""
+
+    executor: str
+    wall_s: float
+    blocks: int
+    block_bytes: int
+    workers: int
+
+    @property
+    def throughput_mb_s(self) -> float:
+        total = self.blocks * self.block_bytes / (1024 * 1024)
+        return total / self.wall_s if self.wall_s > 0 else float("inf")
+
+
+def _make_blocks(blocks: int, block_bytes: int, seed: int) -> list[bytes]:
+    rng = np.random.default_rng(seed)
+    return [rng.integers(0, 256, block_bytes, dtype=np.uint8).tobytes()
+            for _ in range(blocks)]
+
+
+def run_executor_bench(
+    executor: str,
+    *,
+    blocks: int = 32,
+    block_kb: int = 256,
+    workers: int = 4,
+    seed: int = 0,
+) -> ExecutorTiming:
+    """Run ``blocks`` pure-Python histogram tasks on one back-end."""
+    if executor not in EXECUTORS:
+        raise ExperimentError(
+            f"unknown executor {executor!r}; choose from {EXECUTORS}"
+        )
+    block_bytes = block_kb * 1024
+    data = _make_blocks(blocks, block_bytes, seed)
+    runtime = Runtime(track_memory=False)
+    checksums: list[int] = []
+
+    t0 = time.perf_counter()
+    if executor == "sim":
+        from repro.platforms import get_platform
+        ex = SimulatedExecutor(runtime, get_platform("x86"), workers=workers)
+        _add_tasks(runtime, data, checksums)
+        ex.run()
+    else:
+        cls = ThreadedExecutor if executor == "threads" else ProcessExecutor
+        ex = cls(runtime, workers=workers)
+        _add_tasks(runtime, data, checksums)
+        ex.run(timeout=600.0)
+    wall = time.perf_counter() - t0
+
+    if len(checksums) != blocks:
+        raise ExperimentError(
+            f"{executor}: {len(checksums)}/{blocks} histogram tasks completed"
+        )
+    return ExecutorTiming(executor, wall, blocks, block_bytes, workers)
+
+
+def _add_tasks(runtime: Runtime, data: list[bytes], checksums: list[int]) -> None:
+    for i, block in enumerate(data):
+        task = Task(
+            f"pyhist:{i}",
+            partial(_hist_kernel, block),
+            kind="count",
+            cost_hint={"bytes": float(len(block))},
+        )
+        runtime.add_task(task)
+        runtime.connect_sink(task, "out", checksums.append)
+
+
+def compare_executors(
+    executors: tuple[str, ...] = EXECUTORS,
+    **kwargs,
+) -> list[ExecutorTiming]:
+    return [run_executor_bench(name, **kwargs) for name in executors]
+
+
+def render_table(timings: list[ExecutorTiming]) -> str:
+    """Human-readable timing table with the threads-vs-procs speedup line."""
+    lines = [
+        f"{'executor':<10} {'wall (s)':>10} {'MB/s':>10}",
+        "-" * 32,
+    ]
+    by_name = {t.executor: t for t in timings}
+    for t in timings:
+        lines.append(
+            f"{t.executor:<10} {t.wall_s:>10.3f} {t.throughput_mb_s:>10.1f}"
+        )
+    if "threads" in by_name and "procs" in by_name:
+        speedup = by_name["threads"].wall_s / by_name["procs"].wall_s
+        lines.append("-" * 32)
+        lines.append(f"procs speedup over threads: {speedup:.2f}x")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Pure-Python histogram workload across SRE executors"
+    )
+    parser.add_argument("--executor", default="all",
+                        choices=EXECUTORS + ("all",))
+    parser.add_argument("--blocks", type=int, default=32)
+    parser.add_argument("--block-kb", type=int, default=256, dest="block_kb")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    names = EXECUTORS if args.executor == "all" else (args.executor,)
+    timings = compare_executors(
+        names, blocks=args.blocks, block_kb=args.block_kb,
+        workers=args.workers, seed=args.seed,
+    )
+    print(f"{args.blocks} x {args.block_kb} KB pure-Python histogram tasks, "
+          f"{args.workers} workers")
+    print(render_table(timings))
+    return 0

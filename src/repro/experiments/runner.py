@@ -19,7 +19,9 @@ from repro.metrics.summary import RunSummary, summarize_run
 from repro.platforms import Platform, get_platform
 from repro.sim.rng import make_rng
 from repro.sim.trace import TraceRecorder
+from repro.sre.executor_procs import ProcessExecutor
 from repro.sre.executor_sim import SimulatedExecutor
+from repro.sre.executor_threads import ThreadedExecutor
 from repro.sre.runtime import Runtime
 from repro.workloads import get_workload
 
@@ -102,8 +104,10 @@ def run_huffman(
     label: str | None = None,
     depth_first: bool = True,
     control_first: bool = True,
+    executor: str = "sim",
+    feed_gap_s: float = 0.002,
 ) -> RunReport:
-    """Run one Huffman encoding experiment on the simulated executor.
+    """Run one Huffman encoding experiment on a chosen executor back-end.
 
     Args:
         workload: a workload name ("txt" / "bmp" / "pdf") or raw bytes.
@@ -119,6 +123,14 @@ def run_huffman(
         seed: drives both workload generation and I/O jitter.
         verify_roundtrip: decode the committed stream and compare with the
             input (cheap insurance that speculation never corrupts data).
+        executor: "sim" (default — deterministic virtual time, the paper's
+            figures), "threads" (live OS threads) or "procs" (live process
+            pool; kernel payloads ship to worker processes, control tasks
+            and closure-based glue stay on the coordinator). The live
+            back-ends ignore the platform cost model and the I/O arrival
+            model's timing: blocks stream in ``feed_gap_s`` apart on the
+            wall clock.
+        feed_gap_s: inter-block feed gap for the live back-ends (seconds).
 
     Returns a :class:`RunReport`.
     """
@@ -157,16 +169,37 @@ def run_huffman(
         depth_first=depth_first,
         control_first=control_first,
     )
-    executor = SimulatedExecutor(runtime, plat, policy=policy, workers=workers)
-    pipeline = HuffmanPipeline(runtime, config, len(blocks))
-
-    arrivals = io_model.arrival_times(len(blocks), rng)
-    for index, (when, block) in enumerate(zip(arrivals, blocks)):
-        executor.sim.schedule_at(
-            float(when),
-            lambda i=index, b=block: pipeline.feed_block(i, b),
+    if executor == "sim":
+        engine = SimulatedExecutor(runtime, plat, policy=policy, workers=workers)
+        pipeline = HuffmanPipeline(runtime, config, len(blocks))
+        arrivals = io_model.arrival_times(len(blocks), rng)
+        for index, (when, block) in enumerate(zip(arrivals, blocks)):
+            engine.sim.schedule_at(
+                float(when),
+                lambda i=index, b=block: pipeline.feed_block(i, b),
+            )
+        end = engine.run()
+    elif executor in ("threads", "procs"):
+        import time as _time
+        cls = ThreadedExecutor if executor == "threads" else ProcessExecutor
+        engine = cls(runtime, policy=policy,
+                     workers=workers if workers is not None else 4)
+        pipeline = HuffmanPipeline(runtime, config, len(blocks))
+        engine.start()
+        for index, block in enumerate(blocks):
+            engine.submit(pipeline.feed_block, index, block)
+            if feed_gap_s:
+                _time.sleep(feed_gap_s)
+        engine.close_input()
+        if not engine.wait_idle(timeout=600.0):
+            raise ExperimentError("live executor did not drain within 600s")
+        engine.shutdown()
+        engine.raise_errors()
+        end = engine.now
+    else:
+        raise ExperimentError(
+            f"unknown executor {executor!r}; choose 'sim', 'threads' or 'procs'"
         )
-    end = executor.run()
     result = pipeline.result(end)
     ok: bool | None = None
     if verify_roundtrip:
@@ -176,17 +209,22 @@ def run_huffman(
 
     run_label = label or (
         f"{workload_name}/{plat.name}/{policy}"
+        + ("" if executor == "sim" else f"/{executor}")
         + ("" if speculative else "/nonspec")
     )
+    if executor == "sim":
+        n_workers = workers if workers is not None else plat.default_workers
+    else:
+        n_workers = engine.n_workers
     return RunReport(
         label=run_label,
         result=result,
         summary=summarize_run(run_label, result),
-        utilisation=executor.utilisation(),
+        utilisation=engine.utilisation(),
         roundtrip_ok=ok,
         config=config,
         platform_name=plat.name,
         policy=policy,
-        workers=workers if workers is not None else plat.default_workers,
+        workers=n_workers,
         trace=runtime.trace if trace else None,
     )

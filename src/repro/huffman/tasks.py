@@ -10,6 +10,7 @@ ports.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Sequence
 
 import numpy as np
@@ -41,11 +42,51 @@ DEPTH_OFFSET = 3
 DEPTH_ENCODE = 4
 
 
+# ---------------------------------------------------------------------------
+# Kernel functions.
+#
+# Module-level (not closures) so a task's payload — ``functools.partial``
+# over one of these plus its data — pickles cleanly and can ship to the
+# process back-end's workers. The factories below bind creation-time values
+# with ``partial``; values whose *timing* matters still flow through ports.
+# ---------------------------------------------------------------------------
+
+def _count_kernel(data: np.ndarray) -> dict[str, np.ndarray]:
+    return {"out": byte_histogram(data)}
+
+
+def _reduce_kernel(hists: list[np.ndarray], prev: np.ndarray) -> dict[str, np.ndarray]:
+    return {"out": prev + merge_histograms(hists)}
+
+
+def _tree_kernel(hist: np.ndarray, max_code_length: int | None) -> dict[str, object]:
+    if max_code_length is None:
+        return {"out": HuffmanTree.from_histogram(hist)}
+    from repro.huffman.lengthlimit import limited_tree
+    return {"out": limited_tree(hist, max_code_length)}
+
+
+def _offset_kernel(hists: list[np.ndarray], tree: HuffmanTree, prev: int) -> dict[str, object]:
+    offsets, end = group_offsets(hists, tree, int(prev))
+    return {"offsets": offsets, "cum": end}
+
+
+def _encode_kernel(data: np.ndarray, tree: HuffmanTree, block_id: int,
+                   offset: int) -> dict[str, object]:
+    payload, nbits = encode_block(data, tree)
+    return {
+        "payload": payload,
+        "nbits": nbits,
+        "block": block_id,
+        "offset": int(offset),
+    }
+
+
 def make_count_task(block_id: int, data: np.ndarray) -> Task:
     """First-pass histogram of one input block."""
     return Task(
         f"count:{block_id}",
-        lambda d=data: {"out": byte_histogram(d)},
+        partial(_count_kernel, data),
         kind="count",
         depth=DEPTH_COUNT,
         cost_hint={"bytes": float(data.size)},
@@ -61,13 +102,9 @@ def make_reduce_task(index: int, group_hists: Sequence[np.ndarray]) -> Task:
     the task is created — group completion is its creation trigger).
     """
     hists = list(group_hists)
-
-    def fn(prev: np.ndarray) -> dict[str, np.ndarray]:
-        return {"out": prev + merge_histograms(hists)}
-
     return Task(
         f"reduce:{index}",
-        fn,
+        partial(_reduce_kernel, hists),
         inputs=("prev",),
         kind="reduce",
         depth=DEPTH_REDUCE,
@@ -85,14 +122,9 @@ def make_tree_task(hist: np.ndarray, name: str,
     same cost. ``max_code_length`` switches to the package-merge
     length-limited construction (every code fits the decoder's fast table).
     """
-    if max_code_length is None:
-        build = lambda h: HuffmanTree.from_histogram(h)
-    else:
-        from repro.huffman.lengthlimit import limited_tree
-        build = lambda h: limited_tree(h, max_code_length)
     return Task(
         name,
-        lambda h=hist, b=build: {"out": b(h)},
+        partial(_tree_kernel, hist, max_code_length),
         kind="tree",
         depth=DEPTH_TREE,
         cost_hint={"entries": float(ALPHABET)},
@@ -112,14 +144,9 @@ def make_offset_task(
     per-block ``offsets`` array and the chain continuation ``cum``.
     """
     hists = list(group_hists)
-
-    def fn(prev: int) -> dict[str, object]:
-        offsets, end = group_offsets(hists, tree, int(prev))
-        return {"offsets": offsets, "cum": end}
-
     return Task(
         name,
-        fn,
+        partial(_offset_kernel, hists, tree),
         inputs=("prev",),
         kind="offset",
         depth=DEPTH_OFFSET,
@@ -138,19 +165,9 @@ def make_encode_task(
     speculative: bool,
 ) -> Task:
     """Second-pass encode of one block at a known bit offset."""
-
-    def fn() -> dict[str, object]:
-        payload, nbits = encode_block(data, tree)
-        return {
-            "payload": payload,
-            "nbits": nbits,
-            "block": block_id,
-            "offset": int(offset),
-        }
-
     return Task(
         name,
-        fn,
+        partial(_encode_kernel, data, tree, block_id, offset),
         kind="encode",
         depth=DEPTH_ENCODE,
         speculative=speculative,

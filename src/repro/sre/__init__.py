@@ -6,7 +6,7 @@ objects grouped under :class:`~repro.sre.supertask.SuperTask` routers, wired
 into a dynamic data-flow graph. A priority-based scheduler favouring pipeline
 depth (FCFS tie-break) dispatches ready tasks onto workers.
 
-Two executors share all of this machinery:
+Three executors share all of this machinery:
 
 * :class:`~repro.sre.executor_sim.SimulatedExecutor` — runs the *actual* task
   functions on real data while time advances on a discrete-event clock using
@@ -15,6 +15,10 @@ Two executors share all of this machinery:
 * :class:`~repro.sre.executor_threads.ThreadedExecutor` — a real thread pool
   for live wall-clock runs (GIL-bound for pure-Python work; NumPy kernels
   release the GIL).
+* :class:`~repro.sre.executor_procs.ProcessExecutor` — a multiprocessing
+  worker pool; task bodies ship as pickled payloads to other address spaces,
+  so pure-Python kernels run truly in parallel while the runtime stays on
+  the coordinator.
 """
 
 from repro.sre.graph import DFG, Edge
@@ -31,8 +35,10 @@ from repro.sre.queues import ReadyQueue
 from repro.sre.runtime import Runtime
 from repro.sre.supertask import SuperTask
 from repro.sre.task import Task, TaskState
+from repro.sre.executor_base import LiveExecutor
 from repro.sre.executor_sim import SimulatedExecutor
 from repro.sre.executor_threads import ThreadedExecutor
+from repro.sre.executor_procs import ProcessExecutor
 
 __all__ = [
     "DFG",
@@ -50,5 +56,7 @@ __all__ = [
     "Task",
     "TaskState",
     "SimulatedExecutor",
+    "LiveExecutor",
     "ThreadedExecutor",
+    "ProcessExecutor",
 ]

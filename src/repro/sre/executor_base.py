@@ -1,0 +1,283 @@
+"""Shared lifecycle for the live (wall-clock) executors.
+
+:class:`LiveExecutor` owns everything the threaded and process back-ends
+have in common: the runtime lock, the worker condition variable, the
+wall-clock µs time source, input open/close discipline, the drain protocol
+(``wait_idle``) and the coordinator worker loop that pairs
+``begin_task``/``finish_task`` around execution. Subclasses supply only the
+execution substrate through three hooks:
+
+* :meth:`_execute` — run one dispatched task's function (inline on the
+  coordinator thread, or shipped to another address space);
+* :meth:`_start_backend` / :meth:`_stop_backend` — bring auxiliary
+  resources (worker processes, pipes) up and down around the coordinator
+  threads.
+
+Every runtime decision — dispatch policy, speculation, rollback — happens
+on the coordinator under one lock, whatever the substrate. Task failures
+never kill a coordinator thread: the failing task is reaped like a
+mis-speculation, its dependence cone is aborted, and the error is re-raised
+from :meth:`run` / :meth:`raise_errors` once the graph drains.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+from repro.errors import SchedulingError, TaskExecutionError
+from repro.sre.policies import DispatchPolicy, get_policy
+from repro.sre.runtime import Runtime
+from repro.sre.task import Task
+
+__all__ = ["LiveExecutor"]
+
+
+class LiveExecutor:
+    """Base class running a :class:`~repro.sre.runtime.Runtime` on real time.
+
+    Usage (identical for every live back-end)::
+
+        ex = SomeExecutor(runtime, workers=4, policy="balanced")
+        ex.start()
+        ...deliver external inputs (possibly over time)...
+        ex.close_input()
+        ex.wait_idle()
+        ex.shutdown()
+
+    or simply ``ex.run()`` when all inputs are already delivered.
+    """
+
+    #: Poll interval for the worker wait loop (seconds). The paper's workers
+    #: poll for assigned tasks; we wait on a condition with a timeout so
+    #: shutdown is prompt even if a notify is missed.
+    POLL_S = 0.02
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        *,
+        policy: DispatchPolicy | str = "conservative",
+        workers: int = 4,
+    ) -> None:
+        if workers < 1:
+            raise SchedulingError("need at least one worker")
+        self.runtime = runtime
+        self.policy = get_policy(policy) if isinstance(policy, str) else policy
+        self.policy.reset()
+        self.n_workers = workers
+        self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+        self._threads: list[threading.Thread] = []
+        self._stop = False
+        self._inflight = 0
+        self._input_open = True
+        self._started = False
+        self._errors: list[TaskExecutionError] = []
+        self._t0 = time.perf_counter()
+        runtime.set_clock(self._clock)
+        runtime.add_ready_listener(self._on_ready)
+
+    # ------------------------------------------------------------------
+    # clock: wall time in µs since executor construction
+    # ------------------------------------------------------------------
+    def _clock(self) -> float:
+        return (time.perf_counter() - self._t0) * 1e6
+
+    @property
+    def now(self) -> float:
+        return self._clock()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Bring up the execution substrate and the coordinator threads."""
+        if self._started:
+            raise SchedulingError("executor already started")
+        self._started = True
+        self._start_backend()
+        for i in range(self.n_workers):
+            t = threading.Thread(
+                target=self._worker_loop, args=(i,), name=f"sre-worker-{i}", daemon=True
+            )
+            self._threads.append(t)
+            t.start()
+
+    def deliver(self, task: Task, port: str, value: Any) -> None:
+        """Thread-safe external input injection.
+
+        Raises :class:`SchedulingError` after :meth:`close_input` — input
+        arriving post-close could race :meth:`wait_idle` into declaring the
+        run drained while work is still appearing.
+        """
+        with self._cond:
+            if not self._input_open:
+                raise SchedulingError(
+                    f"delivery to task {task.name!r} after close_input()"
+                )
+            self.runtime.deliver_external(task, port, value)
+
+    def submit(self, fn, *args, **kwargs):
+        """Run a runtime-mutating callable under the executor lock."""
+        with self._cond:
+            return fn(*args, **kwargs)
+
+    def close_input(self) -> None:
+        """Declare that no further external inputs will arrive."""
+        with self._cond:
+            self._input_open = False
+            self._cond.notify_all()
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until input is closed and all work has drained.
+
+        Returns False on timeout.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                idle = (
+                    not self._input_open
+                    and self._inflight == 0
+                    and not self.runtime.natural_queue
+                    and not self.runtime.speculative_queue
+                )
+                if idle:
+                    return True
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._cond.wait(self.POLL_S if remaining is None else min(self.POLL_S, remaining))
+
+    def shutdown(self) -> None:
+        """Stop and join the coordinator threads, then the substrate."""
+        with self._cond:
+            self._stop = True
+            self._cond.notify_all()
+        for t in self._threads:
+            t.join()
+        self._threads.clear()
+        self._stop_backend()
+
+    def run(self, timeout: float | None = None) -> float:
+        """Convenience: start, close input, drain, shut down.
+
+        Returns the wall-clock finish time (µs on the executor clock).
+        Re-raises the first task failure, if any, once the graph drained.
+        """
+        self.start()
+        self.close_input()
+        ok = self.wait_idle(timeout=timeout)
+        self.shutdown()
+        if not ok:
+            raise SchedulingError(f"executor did not drain within {timeout}s")
+        self.raise_errors()
+        return self.now
+
+    # ------------------------------------------------------------------
+    # failures
+    # ------------------------------------------------------------------
+    @property
+    def errors(self) -> list[TaskExecutionError]:
+        """Task failures captured so far (the tasks were reaped + aborted)."""
+        with self._cond:
+            return list(self._errors)
+
+    def raise_errors(self) -> None:
+        """Re-raise the first captured task failure, if any."""
+        with self._cond:
+            if self._errors:
+                raise self._errors[0]
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def utilisation(self) -> float:
+        """Mean fraction of elapsed wall time workers spent on tasks."""
+        now = self.now
+        if now <= 0:
+            return 0.0
+        busy = 0.0
+        for t in self.runtime.graph.tasks():
+            if t.start_time is not None and t.finish_time is not None:
+                busy += t.finish_time - t.start_time
+        return busy / (now * self.n_workers)
+
+    # ------------------------------------------------------------------
+    # substrate hooks
+    # ------------------------------------------------------------------
+    def _start_backend(self) -> None:
+        """Bring up substrate resources before coordinator threads spawn."""
+
+    def _stop_backend(self) -> None:
+        """Tear down substrate resources after coordinator threads joined."""
+
+    def _note_dispatch(self, wid: int, task: Task) -> None:
+        """Called under the lock when worker ``wid`` takes ``task``."""
+
+    def _note_complete(self, wid: int, task: Task) -> None:
+        """Called under the lock when worker ``wid`` finishes ``task``."""
+
+    def _execute(self, wid: int, task: Task) -> dict[str, Any]:
+        """Run one task's function and return its normalised outputs.
+
+        Called *outside* the lock; exceptions become task failures.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # coordinator worker loop
+    # ------------------------------------------------------------------
+    def _on_ready(self, task: Task) -> None:
+        # May be called with or without the lock held (the RLock makes the
+        # re-acquisition free when a worker triggered the readiness).
+        with self._cond:
+            self._cond.notify_all()
+
+    def _worker_loop(self, wid: int) -> None:
+        while True:
+            with self._cond:
+                task = None
+                while not self._stop:
+                    task = self.policy.select(
+                        self.runtime.natural_queue, self.runtime.speculative_queue
+                    )
+                    if task is not None:
+                        break
+                    self._cond.wait(self.POLL_S)
+                if self._stop and task is None:
+                    return
+                self.runtime.begin_task(task)
+                self.policy.notify_started(task)
+                self._inflight += 1
+                self._note_dispatch(wid, task)
+            # Compute outside the lock so task bodies overlap.
+            failure: BaseException | None = None
+            if task.abort_requested:
+                outputs: dict[str, Any] = {}
+            else:
+                try:
+                    outputs = self._execute(wid, task)
+                except Exception as exc:
+                    failure = exc
+                    outputs = {}
+            with self._cond:
+                if failure is not None:
+                    # Reap the failing task like a mis-speculation: flag it so
+                    # finish_task discards the (empty) outputs, then destroy
+                    # its dependence cone — nothing downstream can ever run.
+                    task.request_abort()
+                    self.runtime.trace.record(
+                        self.runtime.now, "task_failed", task.name,
+                        task_kind=task.kind, error=repr(failure),
+                    )
+                self._note_complete(wid, task)
+                self.runtime.finish_task(task, outputs, precomputed=True)
+                self.policy.notify_finished(task)
+                self._inflight -= 1
+                if failure is not None:
+                    self.runtime.abort_dependents([task], include_roots=False)
+                    self._errors.append(TaskExecutionError(task.name, failure))
+                self._cond.notify_all()

@@ -1,0 +1,227 @@
+"""Process-pool executor — the SRE across address spaces, outside the GIL.
+
+The third back-end (after the simulated and threaded executors). Every
+runtime decision — graph, queues, dispatch policy, speculation, rollback —
+stays on the coordinator, exactly as on the other two back-ends; only task
+*bodies* are shipped, as pickled ``(fn, inputs)`` payloads, to a pool of
+worker processes. Pure-Python kernels therefore run truly in parallel:
+one coordinator thread per worker blocks on its worker's pipe while the
+worker computes, so the coordinator spends its time in I/O waits, not
+bytecode.
+
+This mirrors the paper's Cell back-end more closely than threads ever
+could: a control processor runs the runtime, compute elements in separate
+address spaces run kernels, and working sets cross the boundary explicitly
+(with a per-task footprint budget in the spirit of the 32 KB local-store
+cap — see :class:`~repro.platforms.localstore.LocalStore`).
+
+Three classes of task never leave the coordinator:
+
+* **control tasks** (predict / verify / check) — tiny and latency-critical,
+  they run inline, as the Cell PPE runs control code;
+* **unpicklable payloads** (closures over coordinator state) — run inline
+  rather than failing, so pipelines mixing shippable kernels with
+  closure-based glue work unmodified;
+* tasks whose serialized footprint exceeds the payload budget — these
+  *fail* (configuration error), matching the local-store discipline.
+
+Abort flags cross the process boundary through a shared byte array: when a
+RUNNING task is flagged, the coordinator raises its worker's flag; a worker
+observes the flag before starting a received payload and skips execution.
+Work the worker has already started cannot be recalled — the coordinator
+reaps its result on completion, the paper's destroy-signal protocol
+(§III-B) verbatim.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from typing import Any
+
+from repro.errors import PlatformError, SchedulingError, TaskStateError
+from repro.sre.executor_base import LiveExecutor
+from repro.sre.policies import DispatchPolicy
+from repro.sre.runtime import Runtime
+from repro.sre.task import Task
+
+__all__ = ["ProcessExecutor", "DEFAULT_PAYLOAD_BUDGET"]
+
+#: Default per-task serialized-footprint cap (bytes). Far roomier than the
+#: Cell's 32 KB local-store slots — pipes don't mind — but the discipline is
+#: the same: a task that drags megabytes of captured state to a worker is a
+#: pipeline bug, and it should fail loudly at dispatch, not slowly at run.
+DEFAULT_PAYLOAD_BUDGET = 8 * 1024 * 1024
+
+#: Worker wire protocol: reply status tags and the stop sentinel.
+_OK = "ok"
+_ERR = "error"
+_SKIPPED = "abort-skipped"
+_STOP = b"\x00__sre_stop__"
+
+
+def _process_main(conn, abort_flags, wid: int) -> None:
+    """Worker-process loop: receive payloads, observe abort flags, reply.
+
+    Module-level so it imports cleanly under any multiprocessing start
+    method. The worker owns no runtime state — it is a pure payload engine.
+    """
+    while True:
+        try:
+            blob = conn.recv_bytes()
+        except (EOFError, OSError):
+            return
+        if blob == _STOP:
+            return
+        if abort_flags[wid]:
+            # Destroy signal observed before launch: skip the body entirely.
+            conn.send((_SKIPPED, None))
+            continue
+        try:
+            outputs = Task.run_payload(blob)
+        except BaseException:
+            conn.send((_ERR, traceback.format_exc()))
+            continue
+        try:
+            conn.send((_OK, outputs))
+        except Exception as exc:
+            conn.send((_ERR, f"task outputs could not cross the process "
+                             f"boundary: {exc!r}"))
+
+
+class _WorkerCrash(RuntimeError):
+    """A worker process reported a payload failure (carries its traceback)."""
+
+
+class ProcessExecutor(LiveExecutor):
+    """Runs a :class:`~repro.sre.runtime.Runtime` on a process pool.
+
+    Args:
+        runtime: the runtime to drive.
+        policy: dispatch policy (same vocabulary as every executor).
+        workers: worker processes (and paired coordinator threads).
+        payload_budget: per-task serialized-footprint cap in bytes.
+        start_method: multiprocessing start method; default prefers
+            ``fork`` (cheap, inherits imports) where available.
+    """
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        *,
+        policy: DispatchPolicy | str = "conservative",
+        workers: int = 4,
+        payload_budget: int = DEFAULT_PAYLOAD_BUDGET,
+        start_method: str | None = None,
+    ) -> None:
+        super().__init__(runtime, policy=policy, workers=workers)
+        if payload_budget < 1:
+            raise SchedulingError("payload_budget must be positive")
+        self.payload_budget = payload_budget
+        if start_method is not None:
+            self._ctx = multiprocessing.get_context(start_method)
+        else:
+            try:
+                self._ctx = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX
+                self._ctx = multiprocessing.get_context()
+        self._procs: list[multiprocessing.process.BaseProcess] = []
+        self._conns: list[Any] = []
+        self._abort_flags = None
+        self._current: list[Task | None] = [None] * workers
+        #: Introspection counters (coordinator-lock protected).
+        self.tasks_shipped = 0
+        self.tasks_inline = 0
+        self.payload_bytes = 0
+        runtime.add_abort_flag_listener(self._on_abort_flagged)
+
+    # ------------------------------------------------------------------
+    # substrate lifecycle
+    # ------------------------------------------------------------------
+    def _start_backend(self) -> None:
+        self._abort_flags = self._ctx.Array("b", self.n_workers, lock=False)
+        for wid in range(self.n_workers):
+            parent, child = self._ctx.Pipe(duplex=True)
+            proc = self._ctx.Process(
+                target=_process_main,
+                args=(child, self._abort_flags, wid),
+                name=f"sre-proc-{wid}",
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(proc)
+
+    def _stop_backend(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send_bytes(_STOP)
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for conn in self._conns:
+            conn.close()
+        self._procs.clear()
+        self._conns.clear()
+
+    # ------------------------------------------------------------------
+    # abort-flag relay (coordinator -> worker address space)
+    # ------------------------------------------------------------------
+    def _on_abort_flagged(self, task: Task) -> None:
+        # Runs under the executor lock (all runtime mutation does), so
+        # _current is consistent; the flag write itself is a raw byte store
+        # the worker polls without any lock.
+        if self._abort_flags is None:
+            return
+        for wid, current in enumerate(self._current):
+            if current is task:
+                self._abort_flags[wid] = 1
+
+    def _note_dispatch(self, wid: int, task: Task) -> None:
+        self._current[wid] = task
+        if self._abort_flags is not None:
+            self._abort_flags[wid] = 0
+
+    def _note_complete(self, wid: int, task: Task) -> None:
+        self._current[wid] = None
+        if self._abort_flags is not None:
+            self._abort_flags[wid] = 0
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _execute(self, wid: int, task: Task) -> dict[str, Any]:
+        blob: bytes | None = None
+        if not task.control:
+            try:
+                blob = task.serialize_payload()
+            except TaskStateError:
+                blob = None  # closure-captured payload: coordinator runs it
+        if blob is None:
+            with self._cond:
+                self.tasks_inline += 1
+            return task.run()
+        if len(blob) > self.payload_budget:
+            raise PlatformError(
+                f"task {task.name!r}: serialized payload {len(blob)} B exceeds "
+                f"the process back-end budget {self.payload_budget} B "
+                "(cf. the Cell local-store per-task cap)"
+            )
+        conn = self._conns[wid]
+        conn.send_bytes(blob)
+        with self._cond:
+            self.tasks_shipped += 1
+            self.payload_bytes += len(blob)
+        status, payload = conn.recv()
+        if status == _SKIPPED:
+            # Worker observed the destroy signal; nothing ran. finish_task
+            # reaps the task via its abort flag.
+            return {}
+        if status == _ERR:
+            raise _WorkerCrash(payload)
+        return payload

@@ -8,183 +8,31 @@ only the clock and the dispatch loop differ.
 Honesty note (see DESIGN.md §2): CPython's GIL serialises pure-Python task
 bodies, so wall-clock speedups here understate what the paper measured on
 real hardware. NumPy kernels release the GIL, so histogram/encode tasks see
-some genuine overlap. The threaded executor exists to demonstrate that the
-runtime is a real runtime — the latency *figures* are reproduced on the
-simulated executor.
+some genuine overlap; for pure-Python kernels use
+:class:`~repro.sre.executor_procs.ProcessExecutor`, which ships task bodies
+to a process pool and escapes the GIL entirely. The threaded executor
+exists to demonstrate that the runtime is a real runtime — the latency
+*figures* are reproduced on the simulated executor.
 """
 
 from __future__ import annotations
 
-import threading
-import time
 from typing import Any
 
-from repro.errors import SchedulingError
-from repro.sre.policies import DispatchPolicy, get_policy
-from repro.sre.runtime import Runtime
+from repro.sre.executor_base import LiveExecutor
 from repro.sre.task import Task
 
 __all__ = ["ThreadedExecutor"]
 
 
-class ThreadedExecutor:
+class ThreadedExecutor(LiveExecutor):
     """Runs a :class:`~repro.sre.runtime.Runtime` on a thread pool.
 
-    Usage::
-
-        ex = ThreadedExecutor(runtime, workers=4, policy="balanced")
-        ex.start()
-        ...deliver external inputs (possibly over time)...
-        ex.close_input()
-        ex.wait_idle()
-        ex.shutdown()
-
-    or simply ``ex.run()`` when all inputs are already delivered.
+    All lifecycle (start / deliver / close_input / wait_idle / shutdown,
+    or the one-shot ``run()``) lives in :class:`LiveExecutor`; this class
+    only says *where* a task body runs: inline on the dispatching worker
+    thread, inside this process.
     """
 
-    #: Poll interval for the worker wait loop (seconds). The paper's workers
-    #: poll for assigned tasks; we wait on a condition with a timeout so
-    #: shutdown is prompt even if a notify is missed.
-    POLL_S = 0.02
-
-    def __init__(
-        self,
-        runtime: Runtime,
-        *,
-        policy: DispatchPolicy | str = "conservative",
-        workers: int = 4,
-    ) -> None:
-        if workers < 1:
-            raise SchedulingError("need at least one worker")
-        self.runtime = runtime
-        self.policy = get_policy(policy) if isinstance(policy, str) else policy
-        self.policy.reset()
-        self.n_workers = workers
-        self._lock = threading.RLock()
-        self._cond = threading.Condition(self._lock)
-        self._threads: list[threading.Thread] = []
-        self._stop = False
-        self._inflight = 0
-        self._input_open = True
-        self._started = False
-        self._t0 = time.perf_counter()
-        runtime.set_clock(self._clock)
-        runtime.add_ready_listener(self._on_ready)
-
-    # ------------------------------------------------------------------
-    # clock: wall time in µs since executor construction
-    # ------------------------------------------------------------------
-    def _clock(self) -> float:
-        return (time.perf_counter() - self._t0) * 1e6
-
-    @property
-    def now(self) -> float:
-        return self._clock()
-
-    # ------------------------------------------------------------------
-    # lifecycle
-    # ------------------------------------------------------------------
-    def start(self) -> None:
-        """Spawn the worker threads."""
-        if self._started:
-            raise SchedulingError("executor already started")
-        self._started = True
-        for i in range(self.n_workers):
-            t = threading.Thread(target=self._worker_loop, name=f"sre-worker-{i}", daemon=True)
-            self._threads.append(t)
-            t.start()
-
-    def deliver(self, task: Task, port: str, value: Any) -> None:
-        """Thread-safe external input injection."""
-        with self._cond:
-            self.runtime.deliver_external(task, port, value)
-
-    def submit(self, fn, *args, **kwargs):
-        """Run a runtime-mutating callable under the executor lock."""
-        with self._cond:
-            return fn(*args, **kwargs)
-
-    def close_input(self) -> None:
-        """Declare that no further external inputs will arrive."""
-        with self._cond:
-            self._input_open = False
-            self._cond.notify_all()
-
-    def wait_idle(self, timeout: float | None = None) -> bool:
-        """Block until input is closed and all work has drained.
-
-        Returns False on timeout.
-        """
-        deadline = None if timeout is None else time.monotonic() + timeout
-        with self._cond:
-            while True:
-                idle = (
-                    not self._input_open
-                    and self._inflight == 0
-                    and not self.runtime.natural_queue
-                    and not self.runtime.speculative_queue
-                )
-                if idle:
-                    return True
-                remaining = None if deadline is None else deadline - time.monotonic()
-                if remaining is not None and remaining <= 0:
-                    return False
-                self._cond.wait(self.POLL_S if remaining is None else min(self.POLL_S, remaining))
-
-    def shutdown(self) -> None:
-        """Stop and join the workers."""
-        with self._cond:
-            self._stop = True
-            self._cond.notify_all()
-        for t in self._threads:
-            t.join()
-        self._threads.clear()
-
-    def run(self, timeout: float | None = None) -> float:
-        """Convenience: start, close input, drain, shut down.
-
-        Returns the wall-clock finish time (µs on the executor clock).
-        """
-        self.start()
-        self.close_input()
-        ok = self.wait_idle(timeout=timeout)
-        self.shutdown()
-        if not ok:
-            raise SchedulingError(f"executor did not drain within {timeout}s")
-        return self.now
-
-    # ------------------------------------------------------------------
-    # worker loop
-    # ------------------------------------------------------------------
-    def _on_ready(self, task: Task) -> None:
-        # May be called with or without the lock held (the RLock makes the
-        # re-acquisition free when a worker triggered the readiness).
-        with self._cond:
-            self._cond.notify_all()
-
-    def _worker_loop(self) -> None:
-        while True:
-            with self._cond:
-                task = None
-                while not self._stop:
-                    task = self.policy.select(
-                        self.runtime.natural_queue, self.runtime.speculative_queue
-                    )
-                    if task is not None:
-                        break
-                    self._cond.wait(self.POLL_S)
-                if self._stop and task is None:
-                    return
-                self.runtime.begin_task(task)
-                self.policy.notify_started(task)
-                self._inflight += 1
-            # Compute outside the lock so NumPy kernels overlap.
-            if task.abort_requested:
-                outputs: dict[str, Any] = {}
-            else:
-                outputs = task.run()
-            with self._cond:
-                self.runtime.finish_task(task, outputs, precomputed=True)
-                self.policy.notify_finished(task)
-                self._inflight -= 1
-                self._cond.notify_all()
+    def _execute(self, wid: int, task: Task) -> dict[str, Any]:
+        return task.run()

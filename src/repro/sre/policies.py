@@ -137,7 +137,11 @@ class RatioPolicy(DispatchPolicy):
             task = second.pop()
         if task is not None and task.speculative:
             self._credit -= 1.0
-        self._credit = min(self._credit, 2.0)  # don't hoard unbounded credit
+        # Clamp symmetrically: unbounded positive credit would hoard
+        # speculation entitlement, and unbounded *negative* credit (from
+        # speculative dispatches via the natural-empty fallback) would starve
+        # speculation long after natural work returns.
+        self._credit = max(-2.0, min(self._credit, 2.0))
         return task
 
 

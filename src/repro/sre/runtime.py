@@ -54,6 +54,7 @@ class Runtime:
         self._ready_listeners: list[Callable[[Task], None]] = []
         self._complete_listeners: list[Callable[[Task, dict[str, Any]], None]] = []
         self._abort_listeners: list[Callable[[Task], None]] = []
+        self._abort_flag_listeners: list[Callable[[Task], None]] = []
         self.tasks_completed = 0
         self.tasks_aborted = 0
         self.speculative_completed = 0
@@ -81,6 +82,16 @@ class Runtime:
     def add_abort_listener(self, fn: Callable[[Task], None]) -> None:
         """Observer hook: called when a task is aborted (any state)."""
         self._abort_listeners.append(fn)
+
+    def add_abort_flag_listener(self, fn: Callable[[Task], None]) -> None:
+        """Executor hook: called when a RUNNING task is *flagged* for abort.
+
+        The task itself is only reaped later, at completion — but an
+        executor whose workers live in another address space needs to relay
+        the destroy signal immediately so the worker can observe it
+        (paper §III-B's abort-flag mechanism, carried across processes).
+        """
+        self._abort_flag_listeners.append(fn)
 
     # ------------------------------------------------------------------
     # graph construction
@@ -265,7 +276,11 @@ class Runtime:
                               speculative=task.speculative)
             for fn in list(self._abort_listeners):
                 fn(task)
-        # RUNNING: flagged only; finish_task finalises the abort.
+            return
+        # RUNNING: flagged only; finish_task finalises the abort. Relay the
+        # flag to executors whose workers cannot see coordinator memory.
+        for fn in list(self._abort_flag_listeners):
+            fn(task)
 
     def abort_dependents(self, roots: Iterable[Task], include_roots: bool = True) -> list[Task]:
         """Propagate a destroy signal down the dependence chain (§III-B).

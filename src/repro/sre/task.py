@@ -13,13 +13,26 @@ from __future__ import annotations
 
 import enum
 import itertools
+import pickle
 from typing import Any, Callable, Iterable, Mapping
 
 from repro.errors import TaskStateError
 
-__all__ = ["Task", "TaskState"]
+__all__ = ["Task", "TaskState", "PAYLOAD_PROTOCOL"]
 
 _task_seq = itertools.count()
+
+#: Pickle protocol for task payloads shipped across address spaces.
+PAYLOAD_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+
+def _normalise_outputs(result: Any) -> dict[str, Any]:
+    """Normalise a task function's return value to an output-port mapping."""
+    if result is None:
+        return {}
+    if isinstance(result, dict):
+        return result
+    return {"out": result}
 
 
 class TaskState(enum.Enum):
@@ -229,12 +242,51 @@ class Task:
             )
         if self.fn is None:
             return {}
-        result = self.fn(**self.inputs)
-        if result is None:
+        return _normalise_outputs(self.fn(**self.inputs))
+
+    # ------------------------------------------------------------------
+    # remote execution (process back-end)
+    # ------------------------------------------------------------------
+    def serialize_payload(self) -> bytes:
+        """Pickle ``(fn, inputs)`` — everything another address space needs
+        to execute this task body.
+
+        The runtime half of the task (state, hooks, supertask, tags) never
+        crosses the boundary; only the pure function and its argument values
+        do, exactly as the Cell back-end DMAs a kernel's working set into an
+        SPE local store.
+
+        Raises:
+            TaskStateError: the payload cannot cross a process boundary
+                (closures, lambdas, open handles, ...). Executors treat this
+                as "run it on the coordinator instead".
+        """
+        try:
+            return pickle.dumps((self.fn, self.inputs), protocol=PAYLOAD_PROTOCOL)
+        except Exception as exc:
+            raise TaskStateError(
+                f"task {self.name!r}: payload is not picklable ({exc!r})"
+            ) from exc
+
+    def serialized_footprint(self) -> int:
+        """Bytes this task's payload occupies on the wire to a worker.
+
+        The process back-end checks this against its payload budget the same
+        way :class:`~repro.platforms.localstore.LocalStore` enforces the
+        Cell's 32 KB per-task working-set cap.
+        """
+        return len(self.serialize_payload())
+
+    @staticmethod
+    def run_payload(blob: bytes) -> dict[str, Any]:
+        """Execute a payload produced by :meth:`serialize_payload`.
+
+        Runs in the worker process; returns normalised outputs.
+        """
+        fn, inputs = pickle.loads(blob)
+        if fn is None:
             return {}
-        if isinstance(result, dict):
-            return result
-        return {"out": result}
+        return _normalise_outputs(fn(**inputs))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         spec = " spec" if self.speculative else ""

@@ -30,6 +30,35 @@ def test_commit_flushes_in_key_order():
     assert all(t == 10.0 for _, _, t in flushed)
 
 
+def test_commit_flushes_integer_keys_numerically_beyond_nine():
+    """Regression: repr-sorted flushes wrote block 10 before block 2,
+    corrupting any container with more than 9 buffered blocks."""
+    buf, flushed = _buffer()
+    order = [7, 10, 0, 11, 3, 1, 9, 2, 8, 5, 4, 6]
+    for block in order:
+        buf.deposit(1, block, f"payload-{block}", now=float(block))
+    assert buf.commit(1, now=20.0) == 12
+    assert [k for k, _, _ in flushed] == list(range(12))
+    assert [v for _, v, _ in flushed] == [f"payload-{k}" for k in range(12)]
+
+
+def test_commit_flush_order_mixed_key_types_is_deterministic():
+    buf_a, flushed_a = _buffer()
+    buf_b, flushed_b = _buffer()
+    for buf in (buf_a, buf_b):
+        buf.deposit(1, 2, "int", 0.0)
+        buf.deposit(1, "b", "str", 0.0)
+        buf.deposit(1, 10, "int", 0.0)
+        buf.deposit(1, "a", "str", 0.0)
+    buf_a.commit(1, 1.0)
+    buf_b.commit(1, 1.0)
+    keys = [k for k, _, _ in flushed_a]
+    assert keys == [k for k, _, _ in flushed_b]
+    # comparable subsets still flush in their own order
+    assert keys.index(2) < keys.index(10)
+    assert keys.index("a") < keys.index("b")
+
+
 def test_post_commit_deposits_flush_immediately():
     buf, flushed = _buffer()
     buf.commit(3, now=1.0)

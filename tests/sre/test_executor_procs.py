@@ -1,0 +1,271 @@
+"""Unit tests for the process-pool executor (real processes, wall clock).
+
+Task functions here are module-level (bound with ``functools.partial``) so
+their payloads pickle and genuinely ship to worker processes; tests that
+*want* coordinator-inline execution use lambdas/closures on purpose.
+Cross-process rendezvous uses files — worker processes cannot see
+coordinator threading primitives.
+"""
+
+import os
+import time
+from functools import partial
+
+import pytest
+
+from repro.errors import PlatformError, SchedulingError, TaskExecutionError
+from repro.sre.executor_procs import (
+    _OK,
+    _SKIPPED,
+    ProcessExecutor,
+    _process_main,
+)
+from repro.sre.runtime import Runtime
+from repro.sre.task import Task, TaskState
+
+pytestmark = [pytest.mark.procs, pytest.mark.threaded]
+
+
+# ---------------------------------------------------------------------------
+# picklable task bodies
+# ---------------------------------------------------------------------------
+
+def _identity(i):
+    return {"out": i}
+
+
+def _double(x):
+    return {"out": x * 2}
+
+
+def _incr(x):
+    return {"out": x + 1}
+
+
+def _touch_then_wait(touch_path, wait_path, timeout_s=20.0):
+    """Signal 'started' by creating touch_path, then block on wait_path."""
+    with open(touch_path, "w") as fh:
+        fh.write("started")
+    deadline = time.monotonic() + timeout_s
+    while not os.path.exists(wait_path):
+        if time.monotonic() > deadline:
+            return {"out": "timeout"}
+        time.sleep(0.005)
+    return {"out": "released"}
+
+
+def _touch(path):
+    with open(path, "w") as fh:
+        fh.write("ran")
+    return {"out": "ran"}
+
+
+def _boom():
+    raise ValueError("kernel exploded")
+
+
+def _wait_until(predicate, timeout_s=10.0):
+    deadline = time.monotonic() + timeout_s
+    while not predicate():
+        if time.monotonic() > deadline:
+            return False
+        time.sleep(0.005)
+    return True
+
+
+# ---------------------------------------------------------------------------
+# the threaded executor's contract, on processes
+# ---------------------------------------------------------------------------
+
+def test_runs_all_tasks_in_worker_processes():
+    rt = Runtime()
+    ex = ProcessExecutor(rt, workers=2)
+    for i in range(10):
+        rt.add_task(Task(f"t{i}", partial(_identity, i)))
+    ex.run(timeout=60.0)
+    assert {t.name: t.outputs["out"] for t in rt.graph.tasks()} == {
+        f"t{i}": i for i in range(10)
+    }
+    assert ex.tasks_shipped == 10
+    assert ex.tasks_inline == 0
+
+
+def test_dataflow_chain_executes_in_order():
+    rt = Runtime()
+    ex = ProcessExecutor(rt, workers=3)
+    a = rt.add_task(Task("a", partial(_identity, 5)))
+    b = rt.add_task(Task("b", _double, inputs=("x",)))
+    rt.connect(a, "out", b, "x")
+    ex.run(timeout=60.0)
+    assert b.outputs == {"out": 10}
+
+
+def test_external_delivery_while_running():
+    rt = Runtime()
+    ex = ProcessExecutor(rt, workers=2)
+    t = rt.add_task(Task("t", _incr, inputs=("x",)))
+    ex.start()
+    ex.deliver(t, "x", 41)
+    ex.close_input()
+    assert ex.wait_idle(timeout=60.0)
+    ex.shutdown()
+    assert t.outputs == {"out": 42}
+
+
+def test_deliver_after_close_input_raises():
+    rt = Runtime()
+    ex = ProcessExecutor(rt, workers=1)
+    t = rt.add_task(Task("t", _incr, inputs=("x",)))
+    ex.start()
+    ex.close_input()
+    with pytest.raises(SchedulingError):
+        ex.deliver(t, "x", 1)
+    ex.shutdown()
+
+
+def test_workers_must_be_positive():
+    with pytest.raises(SchedulingError):
+        ProcessExecutor(Runtime(), workers=0)
+
+
+def test_policy_selection_by_name_and_instance():
+    from repro.sre.policies import ThrottledPolicy
+
+    for policy in ("aggressive", "balanced", ThrottledPolicy(max_speculative=1)):
+        rt = Runtime()
+        ex = ProcessExecutor(rt, workers=2, policy=policy)
+        for i in range(4):
+            rt.add_task(Task(f"n{i}", partial(_identity, i)))
+            rt.add_task(Task(f"s{i}", partial(_identity, i), speculative=True))
+        ex.run(timeout=60.0)
+        assert rt.tasks_completed == 8
+
+
+# ---------------------------------------------------------------------------
+# abort protocol across the process boundary
+# ---------------------------------------------------------------------------
+
+def test_abort_flagged_running_task_is_reaped_on_completion(tmp_path):
+    """The paper's destroy-signal protocol: in-flight work cannot be
+    recalled; its results are discarded when it completes."""
+    rt = Runtime()
+    ex = ProcessExecutor(rt, workers=1)
+    started = tmp_path / "started"
+    release = tmp_path / "release"
+    t = rt.add_task(Task("slow", partial(_touch_then_wait, str(started), str(release))))
+    sink_seen = []
+    rt.connect_sink(t, "out", sink_seen.append)
+    ex.start()
+    assert _wait_until(started.exists)  # worker process is executing
+    ex.submit(rt.abort_task, t)  # flag while running in another process
+    release.write_text("go")
+    ex.close_input()
+    assert ex.wait_idle(timeout=60.0)
+    ex.shutdown()
+    assert t.state is TaskState.ABORTED
+    assert sink_seen == []
+    assert rt.tasks_aborted == 1
+
+
+def test_worker_observes_abort_flag_before_launch(tmp_path):
+    """A raised abort flag is visible in the worker's address space: the
+    payload is skipped entirely, not executed-and-discarded."""
+    import multiprocessing
+
+    ctx = multiprocessing.get_context("fork")
+    parent, child = ctx.Pipe(duplex=True)
+    flags = ctx.Array("b", 1, lock=False)
+    flags[0] = 1  # destroy signal raised before the payload arrives
+    proc = ctx.Process(target=_process_main, args=(child, flags, 0), daemon=True)
+    proc.start()
+    child.close()
+    marker = tmp_path / "ran"
+    task = Task("skipped", partial(_touch, str(marker)))
+    parent.send_bytes(task.serialize_payload())
+    status, payload = parent.recv()
+    assert status == _SKIPPED
+    assert not marker.exists()  # the body never ran
+    flags[0] = 0
+    parent.send_bytes(task.serialize_payload())
+    status, payload = parent.recv()
+    assert status == _OK and payload == {"out": "ran"}
+    parent.send_bytes(b"\x00__sre_stop__")
+    proc.join(timeout=10.0)
+    assert proc.exitcode == 0
+
+
+# ---------------------------------------------------------------------------
+# inline fallback and payload budget
+# ---------------------------------------------------------------------------
+
+def test_unpicklable_payload_runs_inline_on_coordinator():
+    rt = Runtime()
+    ex = ProcessExecutor(rt, workers=2)
+    seen = []
+    rt.add_task(Task("closure", lambda: {"out": seen.append("ran") or 1}))
+    ex.run(timeout=60.0)
+    assert seen == ["ran"]  # closure mutated *this* process's state
+    assert ex.tasks_inline == 1
+    assert ex.tasks_shipped == 0
+
+
+def test_control_tasks_always_run_inline():
+    rt = Runtime()
+    ex = ProcessExecutor(rt, workers=2)
+    rt.add_task(Task("check", partial(_identity, 7), control=True))
+    ex.run(timeout=60.0)
+    assert ex.tasks_inline == 1
+    assert ex.tasks_shipped == 0
+
+
+def test_payload_budget_enforced():
+    rt = Runtime()
+    ex = ProcessExecutor(rt, workers=1, payload_budget=256)
+    big = bytes(4096)
+    t = rt.add_task(Task("oversize", partial(_identity, big)))
+    with pytest.raises(TaskExecutionError) as err:
+        ex.run(timeout=60.0)
+    assert isinstance(err.value.original, PlatformError)
+    assert t.state is TaskState.ABORTED
+
+
+def test_worker_exception_becomes_task_failure_and_aborts_dependents():
+    rt = Runtime()
+    ex = ProcessExecutor(rt, workers=2)
+    bad = rt.add_task(Task("bad", _boom))
+    dep = rt.add_task(Task("dep", _double, inputs=("x",)))
+    rt.connect(bad, "out", dep, "x")
+    ok = rt.add_task(Task("ok", partial(_identity, 1)))
+    with pytest.raises(TaskExecutionError, match="bad"):
+        ex.run(timeout=60.0)
+    assert bad.state is TaskState.ABORTED
+    assert dep.state is TaskState.ABORTED
+    assert ok.state is TaskState.DONE
+
+
+# ---------------------------------------------------------------------------
+# true parallelism
+# ---------------------------------------------------------------------------
+
+def _rendezvous(my_path, all_paths, timeout_s=30.0):
+    with open(my_path, "w") as fh:
+        fh.write("here")
+    deadline = time.monotonic() + timeout_s
+    while not all(os.path.exists(p) for p in all_paths):
+        if time.monotonic() > deadline:
+            return {"out": "timeout"}
+        time.sleep(0.005)
+    return {"out": "met"}
+
+
+def test_parallel_execution_overlaps_across_processes(tmp_path):
+    """4 tasks rendezvous via the filesystem — impossible unless all four
+    are simultaneously in flight in separate processes."""
+    n = 4
+    paths = [str(tmp_path / f"w{i}") for i in range(n)]
+    rt = Runtime()
+    ex = ProcessExecutor(rt, workers=n)
+    for i in range(n):
+        rt.add_task(Task(f"t{i}", partial(_rendezvous, paths[i], paths)))
+    ex.run(timeout=120.0)
+    assert [rt.graph.get(f"t{i}").outputs["out"] for i in range(n)] == ["met"] * n

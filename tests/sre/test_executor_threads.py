@@ -62,6 +62,39 @@ def test_wait_idle_times_out_when_input_open():
     ex.shutdown()
 
 
+def test_deliver_after_close_input_raises():
+    """Post-close delivery could race wait_idle into declaring the run
+    drained while work is still arriving — it must be rejected loudly."""
+    rt = Runtime()
+    ex = ThreadedExecutor(rt, workers=1)
+    t = rt.add_task(Task("t", lambda x: {"out": x + 1}, inputs=("x",)))
+    ex.start()
+    ex.close_input()
+    with pytest.raises(SchedulingError):
+        ex.deliver(t, "x", 41)
+    assert ex.wait_idle(timeout=5.0)
+    ex.shutdown()
+    assert t.state is TaskState.BLOCKED  # the late input never landed
+
+
+def test_task_failure_reaped_and_reraised_from_run():
+    rt = Runtime()
+    ex = ThreadedExecutor(rt, workers=2)
+
+    def boom():
+        raise ValueError("bad kernel")
+
+    bad = rt.add_task(Task("bad", boom))
+    dep = rt.add_task(Task("dep", lambda x: {"out": x}, inputs=("x",)))
+    rt.connect(bad, "out", dep, "x")
+    from repro.errors import TaskExecutionError
+    with pytest.raises(TaskExecutionError, match="bad"):
+        ex.run(timeout=10.0)
+    assert bad.state is TaskState.ABORTED
+    assert dep.state is TaskState.ABORTED
+    assert len(ex.errors) == 1
+
+
 def test_double_start_rejected():
     rt = Runtime()
     ex = ThreadedExecutor(rt, workers=1)

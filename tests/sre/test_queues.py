@@ -89,6 +89,60 @@ def test_len_tracks_live_entries():
     assert len(q) == 4
 
 
+def test_aborted_heap_head_skimmed_by_peek():
+    """Aborting the heap head leaves a stale entry; peek must skim past it
+    without disturbing the live count."""
+    q = ReadyQueue()
+    head = _ready("head", depth=9)  # highest priority: sits at the heap top
+    rest = _ready("rest", depth=0)
+    q.push(head)
+    q.push(rest)
+    head.request_abort()
+    q.discard_aborted(head)
+    assert len(q) == 1
+    assert bool(q) is True
+    assert q.peek() is rest  # skim dropped the aborted head lazily
+    assert len(q) == 1  # peek never changes accounting
+    assert q.pop() is rest
+    assert len(q) == 0
+    assert bool(q) is False
+
+
+def test_abort_all_queued_leaves_empty_falsy_queue():
+    q = ReadyQueue()
+    tasks = [_ready(f"t{i}") for i in range(4)]
+    for t in tasks:
+        q.push(t)
+    for t in tasks:
+        t.request_abort()
+        q.discard_aborted(t)
+    assert len(q) == 0
+    assert not q
+    assert q.peek() is None
+    assert q.pop() is None
+    assert len(q) == 0  # popping an all-stale heap must not go negative
+
+
+def test_interleaved_aborts_keep_len_consistent():
+    q = ReadyQueue()
+    a, b, c = _ready("a", depth=3), _ready("b", depth=2), _ready("c", depth=1)
+    for t in (a, b, c):
+        q.push(t)
+    b.request_abort()
+    q.discard_aborted(b)
+    assert len(q) == 2
+    assert q.pop() is a
+    assert len(q) == 1
+    c.request_abort()
+    q.discard_aborted(c)
+    assert len(q) == 0 and not q
+    assert q.pop() is None
+    # a fresh push after full drain restores normal service
+    d = _ready("d")
+    q.push(d)
+    assert len(q) == 1 and q.pop() is d
+
+
 def test_snapshot_only_ready():
     q = ReadyQueue()
     a, b = _ready("a"), _ready("b")

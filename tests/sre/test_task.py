@@ -109,3 +109,44 @@ def test_cost_hint_and_tags_are_copied():
     tags["block"] = 99
     assert t.cost_hint == {"bytes": 1.0}
     assert t.tags == {"block": 3}
+
+
+# ---------------------------------------------------------------------------
+# payload serialization (process back-end support)
+# ---------------------------------------------------------------------------
+
+def _kernel(a, b):
+    return {"out": a + b}
+
+
+def _bare_kernel(x):
+    return abs(x)  # bare value, not a dict
+
+
+def test_serialize_payload_roundtrips_through_run_payload():
+    from functools import partial
+    t = Task("t", partial(_kernel, 1), inputs=("b",))
+    t.deliver("b", 2)
+    blob = t.serialize_payload()
+    assert isinstance(blob, bytes)
+    assert Task.run_payload(blob) == {"out": 3}
+
+
+def test_run_payload_normalises_bare_values_and_none():
+    import pickle
+    assert Task.run_payload(pickle.dumps((_bare_kernel, {"x": -3}))) == {"out": 3}
+    assert Task.run_payload(pickle.dumps((None, {}))) == {}
+
+
+def test_serialize_payload_rejects_closures():
+    captured = []
+    t = Task("t", lambda: captured)
+    with pytest.raises(TaskStateError):
+        t.serialize_payload()
+
+
+def test_serialized_footprint_scales_with_captured_data():
+    from functools import partial
+    small = Task("s", partial(_kernel, b"x"), inputs=("b",))
+    big = Task("b", partial(_kernel, bytes(64 * 1024)), inputs=("b",))
+    assert big.serialized_footprint() > small.serialized_footprint() + 60_000
