@@ -3,7 +3,9 @@
 Subcommands::
 
     repro run --workload txt --policy balanced --blocks 256 [--gantt]
-    repro run --executor procs                              # live process pool
+    repro run --executor procs --metrics-out run.prom       # live process pool
+    repro stats [--json] [--out FILE]                       # run + metrics dump
+    repro trace --executor threads -o trace.json            # run + chrome trace
     repro executors                                         # threads-vs-procs table
     repro fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9   # regenerate a figure
     repro claims                                            # headline table
@@ -32,9 +34,10 @@ _FIGURES = {
 }
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    want_trace = args.gantt or args.trace_out is not None
-    report = run_huffman(
+def _run_experiment(args: argparse.Namespace, *, trace: bool = False,
+                    metrics_out: str | None = None):
+    """Shared run_huffman invocation for the run/stats/trace subcommands."""
+    return run_huffman(
         workload=args.workload,
         n_blocks=args.blocks,
         platform=args.platform,
@@ -46,9 +49,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         verify_k=args.verify_k,
         tolerance=args.tolerance,
         seed=args.seed,
-        trace=want_trace,
+        trace=trace,
         executor=args.executor,
+        metrics_out=metrics_out,
     )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    want_trace = args.gantt or args.trace_out is not None
+    report = _run_experiment(args, trace=want_trace,
+                             metrics_out=args.metrics_out)
     s = report.summary
     print(f"run        : {report.label}")
     print(f"outcome    : {report.result.outcome}")
@@ -67,6 +77,43 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from repro.metrics.traceview import to_chrome_trace
         pathlib.Path(args.trace_out).write_text(to_chrome_trace(report.trace))
         print(f"chrome trace written to {args.trace_out}")
+    if args.metrics_out is not None:
+        from repro.obs.exporters import write_metrics
+        fmt = write_metrics(args.metrics_out, report.metrics.snapshot(),
+                            args.metrics_format)
+        print(f"metrics snapshot ({fmt}) written to {args.metrics_out}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Run one experiment and emit its metrics snapshot.
+
+    Prints Prometheus text exposition by default (``--json`` for the JSON
+    snapshot format); ``--out FILE`` writes to a file instead of stdout.
+    """
+    report = _run_experiment(args)
+    from repro.obs.exporters import to_json_snapshot, to_prometheus_text, write_metrics
+    snapshot = report.metrics.snapshot()
+    if args.out is not None:
+        fmt = write_metrics(args.out, snapshot, "json" if args.json else "prom")
+        print(f"metrics snapshot ({fmt}) written to {args.out}")
+    else:
+        text = (to_json_snapshot(snapshot) if args.json
+                else to_prometheus_text(snapshot))
+        print(text, end="" if text.endswith("\n") else "\n")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run one experiment and export its trace (Chrome JSON and/or Gantt)."""
+    from repro.metrics.traceview import ascii_gantt, to_chrome_trace
+    report = _run_experiment(args, trace=True)
+    if args.out is not None:
+        pathlib.Path(args.out).write_text(to_chrome_trace(report.trace))
+        print(f"chrome trace written to {args.out} "
+              "(open in chrome://tracing or ui.perfetto.dev)")
+    if args.gantt or args.out is None:
+        print(ascii_gantt(report.trace))
     return 0
 
 
@@ -174,32 +221,66 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_run = sub.add_parser("run", help="run one Huffman experiment")
-    p_run.add_argument("--workload", default="txt",
+    def add_experiment_args(p: argparse.ArgumentParser, blocks: int = 256) -> None:
+        """Knobs shared by the run / stats / trace subcommands."""
+        p.add_argument("--workload", default="txt",
                        choices=["txt", "bmp", "pdf", "markov"])
-    p_run.add_argument("--blocks", type=int, default=256)
-    p_run.add_argument("--executor", default="sim",
+        p.add_argument("--blocks", type=int, default=blocks)
+        p.add_argument("--executor", default="sim",
                        choices=["sim", "threads", "procs"],
                        help="back-end: simulated clock (paper figures), "
                             "live thread pool, or live process pool")
-    p_run.add_argument("--platform", default="x86", choices=["x86", "cell"])
-    p_run.add_argument("--io", default="disk", choices=["disk", "socket"])
-    p_run.add_argument("--policy", default="balanced",
+        p.add_argument("--platform", default="x86", choices=["x86", "cell"])
+        p.add_argument("--io", default="disk", choices=["disk", "socket"])
+        p.add_argument("--policy", default="balanced",
                        choices=["nonspec", "conservative", "aggressive",
                                 "balanced", "fcfs"])
-    p_run.add_argument("--nonspec", action="store_true",
+        p.add_argument("--nonspec", action="store_true",
                        help="disable speculation entirely")
-    p_run.add_argument("--step", type=int, default=1)
-    p_run.add_argument("--verification", default="every_k",
+        p.add_argument("--step", type=int, default=1)
+        p.add_argument("--verification", default="every_k",
                        choices=["every_k", "optimistic", "full"])
-    p_run.add_argument("--verify-k", type=int, default=8, dest="verify_k")
-    p_run.add_argument("--tolerance", type=float, default=0.01)
-    p_run.add_argument("--seed", type=int, default=0)
+        p.add_argument("--verify-k", type=int, default=8, dest="verify_k")
+        p.add_argument("--tolerance", type=float, default=0.01)
+        p.add_argument("--seed", type=int, default=0)
+
+    p_run = sub.add_parser("run", help="run one Huffman experiment")
+    add_experiment_args(p_run)
     p_run.add_argument("--gantt", action="store_true",
                        help="print an ASCII gantt of the run")
     p_run.add_argument("--trace-out", default=None, dest="trace_out",
                        help="write a chrome://tracing JSON to this path")
+    p_run.add_argument("--metrics-out", default=None, dest="metrics_out",
+                       help="write a metrics snapshot to this path "
+                            "(.json → JSON, else Prometheus text); long "
+                            "runs rewrite it periodically while running")
+    p_run.add_argument("--metrics-format", default=None, dest="metrics_format",
+                       choices=["prom", "json"],
+                       help="force the --metrics-out format instead of "
+                            "inferring it from the extension")
     p_run.set_defaults(fn=_cmd_run)
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="run one experiment and print/export its metrics snapshot")
+    add_experiment_args(p_stats, blocks=64)
+    p_stats.add_argument("--json", action="store_true",
+                         help="emit the JSON snapshot format instead of "
+                              "Prometheus text exposition")
+    p_stats.add_argument("-o", "--out", default=None,
+                         help="write to this file instead of stdout")
+    p_stats.set_defaults(fn=_cmd_stats)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run one experiment and export its trace (chrome JSON / gantt)")
+    add_experiment_args(p_trace, blocks=64)
+    p_trace.add_argument("-o", "--out", default=None,
+                         help="write chrome://tracing JSON to this path "
+                              "(omitted: print the ASCII gantt)")
+    p_trace.add_argument("--gantt", action="store_true",
+                         help="also print the ASCII gantt when writing a file")
+    p_trace.set_defaults(fn=_cmd_trace)
 
     p_filter = sub.add_parser("filter", help="run the Fig. 1 filter application")
     p_filter.add_argument("--blocks", type=int, default=48)

@@ -40,13 +40,53 @@ __all__ = ["SpeculationManager"]
 
 
 class SpeculationManager:
-    """Orchestrates one speculation domain over a runtime."""
+    """Orchestrates one speculation domain over a runtime.
+
+    The manager is a pure *observer/driver*: it owns no tasks and no
+    threads — it reacts to update offers (:meth:`offer_update`) and to
+    completion hooks of the prediction/check tasks it spawns, always on
+    the executor's coordinating thread (under the runtime lock for live
+    executors), so no extra synchronisation is needed here.
+
+    Accounting is double-entry by design: the per-run
+    :class:`~repro.core.stats.SpeculationStats` dataclass (returned in
+    every ``PipelineResult.spec_stats``) and the always-on registry
+    counters (``spec_speculations`` / ``spec_checks{verdict}`` /
+    ``spec_rollbacks`` / ``spec_commits`` / ``spec_recomputes``) are
+    incremented at the same sites; the integration suite asserts they
+    agree, so exporter output can be trusted to match the figures.
+    """
 
     def __init__(self, runtime: Runtime, spec: SpeculationSpec) -> None:
         self.runtime = runtime
         self.spec = spec
         self.engine = RollbackEngine(runtime, spec.barrier)
         self.stats = SpeculationStats()
+        m = runtime.metrics
+        self._m_speculations = m.counter(
+            "spec_speculations", "speculation versions launched")
+        checks = m.counter(
+            "spec_checks", "verification checks completed",
+            labelnames=("verdict",))
+        self._m_check_pass = checks.labels(verdict="pass")
+        self._m_check_fail = checks.labels(verdict="fail")
+        self._m_stale = m.counter(
+            "spec_stale_verdicts", "check verdicts that arrived after "
+            "their version was already dead or the run finalized")
+        self._m_rollbacks = m.counter(
+            "spec_rollbacks", "speculation versions rolled back")
+        self._m_commits = m.counter(
+            "spec_commits", "speculation versions committed")
+        self._m_recomputes = m.counter(
+            "spec_recomputes", "failed final checks → non-speculative redo")
+        self._m_check_error = m.histogram(
+            "spec_check_error", "relative error measured by each check",
+            buckets=(1e-4, 5e-4, 1e-3, 5e-3, 0.01, 0.02, 0.05, 0.1,
+                     0.25, 0.5, 1.0))
+        self._m_version_us = m.histogram(
+            "spec_version_us",
+            "speculation version lifetime µs, birth → commit/rollback",
+            labelnames=("outcome",))
         self.versions: list[SpecVersion] = []
         self.active_version: SpecVersion | None = None
         self.final_value: Any = None
@@ -61,7 +101,21 @@ class SpeculationManager:
     # update stream
     # ------------------------------------------------------------------
     def offer_update(self, index: int, value: Any, is_final: bool = False) -> None:
-        """Feed one source update (e.g. a reduce output) to the manager."""
+        """Feed one source update (e.g. a reduce output) to the manager.
+
+        Args:
+            index: monotone position of the update in the refinement
+                stream (reduce 3's prefix histogram has index 4 — the
+                count of reduces folded in). Drives both the speculation
+                interval (step-size rule) and the verification policy.
+            value: the partial value itself (e.g. the prefix histogram).
+            is_final: True for the last update, which carries the complete
+                value; triggers the final check and the commit/recompute
+                decision instead of a speculation opportunity.
+
+        Raises :class:`~repro.errors.SpeculationError` if a final update
+        is offered twice, or any update arrives after the final one.
+        """
         if is_final:
             if self._final_seen:
                 raise SpeculationError("final update offered twice")
@@ -95,6 +149,7 @@ class SpeculationManager:
         self.versions.append(version)
         self.active_version = version
         self.stats.speculations += 1
+        self._m_speculations.inc()
         self.runtime.trace.record(
             self.runtime.now, "speculate", f"version:{version.vid}", index=index,
             reused_candidate=predicted is not None,
@@ -157,17 +212,21 @@ class SpeculationManager:
         error = outs["error"]
         self.stats.checks += 1
         self.stats.check_errors.append(error)
+        self._m_check_error.observe(error)
         if version is not self.active_version or not version.active or self.finalized:
             self.stats.stale_verdicts += 1
+            self._m_stale.inc()
             return
         if self.spec.tolerance.accepts(error):
             self.stats.checks_passed += 1
+            self._m_check_pass.inc()
             self.runtime.trace.record(
                 self.runtime.now, "check_pass", f"version:{version.vid}",
                 index=index, error=error,
             )
             return
         self.stats.checks_failed += 1
+        self._m_check_fail.inc()
         self.runtime.trace.record(
             self.runtime.now, "check_fail", f"version:{version.vid}",
             index=index, error=error,
@@ -181,6 +240,9 @@ class SpeculationManager:
     def _rollback(self, version: SpecVersion) -> None:
         self.engine.rollback(version)
         self.stats.rollbacks += 1
+        self._m_rollbacks.inc()
+        self._m_version_us.labels(outcome="rollback").observe(
+            self.runtime.now - version.created_at)
         self._had_rollback = True
         if self.active_version is version:
             self.active_version = None
@@ -227,14 +289,18 @@ class SpeculationManager:
         error = outs["error"]
         self.stats.checks += 1
         self.stats.check_errors.append(error)
+        self._m_check_error.observe(error)
         if self.finalized:
             self.stats.stale_verdicts += 1
+            self._m_stale.inc()
             return
         if version.active and self.spec.tolerance.accepts(error):
             self.stats.checks_passed += 1
+            self._m_check_pass.inc()
             self._commit(version)
             return
         self.stats.checks_failed += 1
+        self._m_check_fail.inc()
         if version.active:
             self._rollback(version)
         self._recompute()
@@ -244,6 +310,9 @@ class SpeculationManager:
         self.finalized = True
         self.outcome = "commit"
         self.stats.commits += 1
+        self._m_commits.inc()
+        self._m_version_us.labels(outcome="commit").observe(
+            self.runtime.now - version.created_at)
         if self.spec.barrier is not None:
             self.spec.barrier.commit(version.vid, self.runtime.now)
         self.runtime.trace.record(
@@ -254,5 +323,6 @@ class SpeculationManager:
         self.finalized = True
         self.outcome = "recompute"
         self.stats.recomputes += 1
+        self._m_recomputes.inc()
         self.runtime.trace.record(self.runtime.now, "recompute", self.spec.name)
         self.spec.recompute(self.final_value)

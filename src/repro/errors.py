@@ -68,3 +68,7 @@ class CodecError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised by the experiment harness for unknown or invalid configs."""
+
+
+class ObservabilityError(ReproError):
+    """Raised for metrics/exporter misuse (type clashes, bad snapshots)."""

@@ -16,6 +16,8 @@ from repro.errors import ExperimentError
 from repro.huffman.pipeline import HuffmanConfig, HuffmanPipeline, PipelineResult
 from repro.iomodels import ArrivalModel, DiskModel, SocketModel
 from repro.metrics.summary import RunSummary, summarize_run
+from repro.obs.exporters import PeriodicSnapshotWriter
+from repro.obs.metrics import MetricsRegistry
 from repro.platforms import Platform, get_platform
 from repro.sim.rng import make_rng
 from repro.sim.trace import TraceRecorder
@@ -52,6 +54,9 @@ class RunReport:
     workers: int
     #: populated when run_huffman(..., trace=True): the full runtime trace.
     trace: object | None = None
+    #: the run's MetricsRegistry (always populated): counters, gauges and
+    #: histograms from every layer — export with repro.obs.exporters.
+    metrics: MetricsRegistry | None = None
 
     @property
     def latencies(self) -> np.ndarray:
@@ -106,6 +111,9 @@ def run_huffman(
     control_first: bool = True,
     executor: str = "sim",
     feed_gap_s: float = 0.002,
+    metrics: MetricsRegistry | None = None,
+    metrics_out: str | None = None,
+    metrics_interval_s: float = 5.0,
 ) -> RunReport:
     """Run one Huffman encoding experiment on a chosen executor back-end.
 
@@ -131,8 +139,14 @@ def run_huffman(
             model's timing: blocks stream in ``feed_gap_s`` apart on the
             wall clock.
         feed_gap_s: inter-block feed gap for the live back-ends (seconds).
+        metrics: a registry to record into (one is created otherwise);
+            pass a shared registry to aggregate several runs.
+        metrics_out: path to dump metric snapshots to — rewritten every
+            ``metrics_interval_s`` seconds during the run and once at the
+            end, so long runs always leave recent accounting on disk
+            (``.json`` → JSON snapshot, else Prometheus text).
 
-    Returns a :class:`RunReport`.
+    Returns a :class:`RunReport`; ``report.metrics`` carries the registry.
     """
     if policy == "nonspec":
         # Shorthand used throughout the figures: the paper's baseline run.
@@ -164,42 +178,53 @@ def run_huffman(
         tolerance=tolerance,
     )
 
+    registry = metrics if metrics is not None else MetricsRegistry()
     runtime = Runtime(
         trace=TraceRecorder(enabled=trace),
+        metrics=registry,
         depth_first=depth_first,
         control_first=control_first,
     )
-    if executor == "sim":
-        engine = SimulatedExecutor(runtime, plat, policy=policy, workers=workers)
-        pipeline = HuffmanPipeline(runtime, config, len(blocks))
-        arrivals = io_model.arrival_times(len(blocks), rng)
-        for index, (when, block) in enumerate(zip(arrivals, blocks)):
-            engine.sim.schedule_at(
-                float(when),
-                lambda i=index, b=block: pipeline.feed_block(i, b),
+    writer = None
+    if metrics_out is not None:
+        writer = PeriodicSnapshotWriter(
+            registry, metrics_out, interval_s=metrics_interval_s
+        ).start()
+    try:
+        if executor == "sim":
+            engine = SimulatedExecutor(runtime, plat, policy=policy, workers=workers)
+            pipeline = HuffmanPipeline(runtime, config, len(blocks))
+            arrivals = io_model.arrival_times(len(blocks), rng)
+            for index, (when, block) in enumerate(zip(arrivals, blocks)):
+                engine.sim.schedule_at(
+                    float(when),
+                    lambda i=index, b=block: pipeline.feed_block(i, b),
+                )
+            end = engine.run()
+        elif executor in ("threads", "procs"):
+            import time as _time
+            cls = ThreadedExecutor if executor == "threads" else ProcessExecutor
+            engine = cls(runtime, policy=policy,
+                         workers=workers if workers is not None else 4)
+            pipeline = HuffmanPipeline(runtime, config, len(blocks))
+            engine.start()
+            for index, block in enumerate(blocks):
+                engine.submit(pipeline.feed_block, index, block)
+                if feed_gap_s:
+                    _time.sleep(feed_gap_s)
+            engine.close_input()
+            if not engine.wait_idle(timeout=600.0):
+                raise ExperimentError("live executor did not drain within 600s")
+            engine.shutdown()
+            engine.raise_errors()
+            end = engine.now
+        else:
+            raise ExperimentError(
+                f"unknown executor {executor!r}; choose 'sim', 'threads' or 'procs'"
             )
-        end = engine.run()
-    elif executor in ("threads", "procs"):
-        import time as _time
-        cls = ThreadedExecutor if executor == "threads" else ProcessExecutor
-        engine = cls(runtime, policy=policy,
-                     workers=workers if workers is not None else 4)
-        pipeline = HuffmanPipeline(runtime, config, len(blocks))
-        engine.start()
-        for index, block in enumerate(blocks):
-            engine.submit(pipeline.feed_block, index, block)
-            if feed_gap_s:
-                _time.sleep(feed_gap_s)
-        engine.close_input()
-        if not engine.wait_idle(timeout=600.0):
-            raise ExperimentError("live executor did not drain within 600s")
-        engine.shutdown()
-        engine.raise_errors()
-        end = engine.now
-    else:
-        raise ExperimentError(
-            f"unknown executor {executor!r}; choose 'sim', 'threads' or 'procs'"
-        )
+    finally:
+        if writer is not None:
+            writer.stop()  # final snapshot includes the drained end state
     result = pipeline.result(end)
     ok: bool | None = None
     if verify_roundtrip:
@@ -227,4 +252,5 @@ def run_huffman(
         policy=policy,
         workers=n_workers,
         trace=runtime.trace if trace else None,
+        metrics=registry,
     )

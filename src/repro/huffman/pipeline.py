@@ -175,6 +175,16 @@ class HuffmanPipeline:
         # notification chain — the paper's flagged-task mechanism (§III-B).
         self.st_first.on_speculation_base(self._on_spec_base)
 
+        # Per-block latency histograms on the run's registry: committed
+        # latency (arrival → authoritative store) is the paper's headline
+        # metric; observing it at the commit sink keeps the numbers
+        # executor-agnostic (µs on whatever clock the run uses).
+        self._m_block_latency = runtime.metrics.histogram(
+            "block_latency_us",
+            "per-block latency µs: arrival → authoritative (committed) store")
+        self._m_blocks_committed = runtime.metrics.counter(
+            "blocks_committed", "blocks whose encoding became authoritative")
+
     # ------------------------------------------------------------------
     # input
     # ------------------------------------------------------------------
@@ -287,6 +297,8 @@ class HuffmanPipeline:
         """A block's encoding became authoritative (the Store node)."""
         self.collector.record_commit(block, now)
         self._assembled[block] = entry
+        self._m_blocks_committed.inc()
+        self._m_block_latency.observe(now - self.collector.arrival_time(block))
 
     # ------------------------------------------------------------------
     # results

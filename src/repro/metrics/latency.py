@@ -57,6 +57,12 @@ class LatencyCollector:
         """Arrival times indexed by block id (dense, block order)."""
         return self._series(self._arrivals)
 
+    def arrival_time(self, block: int) -> float:
+        """Arrival time of one block (raises if it never arrived)."""
+        if block not in self._arrivals:
+            raise ExperimentError(f"block {block} has no recorded arrival")
+        return self._arrivals[block]
+
     def encode_attempts(self, block: int) -> list[tuple[float, int | None]]:
         """All encodes of one block, valid or not (rollback diagnostics)."""
         return list(self._encodes.get(block, ()))

@@ -7,8 +7,10 @@ Converts a run's :class:`~repro.sim.trace.TraceRecorder` into
   speculation milestones (speculate / check / rollback / commit);
 * an **ASCII Gantt strip** for terminal inspection of who ran when.
 
-Both operate purely on trace records, so they work for simulated and
-threaded runs alike.
+Both operate purely on trace records, so they work identically for every
+executor back-end — ``sim`` (virtual µs), ``threads`` and ``procs`` (wall
+µs): pass ``trace=True`` to ``run_huffman`` (or ``--trace-out`` /
+``repro trace`` on the CLI) and feed the resulting recorder here.
 """
 
 from __future__ import annotations
@@ -25,25 +27,43 @@ _INSTANT_KINDS = ("speculate", "check_pass", "check_fail", "rollback",
 
 
 def _task_spans(trace: TraceRecorder):
-    """(name, kind, speculative, start, end, aborted) per executed task."""
-    starts: dict[str, tuple[float, str, bool]] = {}
+    """(name, kind, speculative, start, end, aborted, worker) per task.
+
+    A ``task_done`` / ``task_abort`` with no matching ``task_start`` yields
+    a zero-width span at the end time instead of being dropped: the
+    process back-end reaps abort-flagged tasks that never began (the
+    worker skipped the payload), and a trace narrowed with
+    ``TraceRecorder(kinds=...)`` may simply not include starts. Losing
+    those tasks silently made procs traces undercount aborted work.
+    """
+    starts: dict[str, tuple[float, str, bool, object]] = {}
     for rec in trace:
         if rec.kind == "task_start":
             starts[rec.subject] = (
                 rec.time,
                 rec.detail.get("task_kind", "task"),
                 bool(rec.detail.get("speculative")),
+                rec.detail.get("worker"),
             )
-        elif rec.kind in ("task_done", "task_abort") and rec.subject in starts:
-            t0, kind, spec = starts.pop(rec.subject)
+        elif rec.kind in ("task_done", "task_abort"):
+            if rec.subject in starts:
+                t0, kind, spec, worker = starts.pop(rec.subject)
+            else:
+                t0 = rec.time
+                kind = rec.detail.get("task_kind", "task")
+                spec = bool(rec.detail.get("speculative"))
+                worker = rec.detail.get("worker")
             yield (rec.subject, kind, spec, t0, rec.time,
-                   rec.kind == "task_abort")
+                   rec.kind == "task_abort", worker)
 
 
 def to_chrome_trace(trace: TraceRecorder) -> str:
     """Serialise a trace to Chrome trace-event JSON (a string)."""
     events: list[dict] = []
-    for name, kind, spec, t0, t1, aborted in _task_spans(trace):
+    for name, kind, spec, t0, t1, aborted, worker in _task_spans(trace):
+        args = {"speculative": spec, "aborted": aborted}
+        if worker is not None:
+            args["worker"] = worker
         events.append({
             "name": name,
             "cat": ("speculative," if spec else "") + kind,
@@ -52,7 +72,7 @@ def to_chrome_trace(trace: TraceRecorder) -> str:
             "dur": max(t1 - t0, 0.001),
             "pid": 1,
             "tid": kind,
-            "args": {"speculative": spec, "aborted": aborted},
+            "args": args,
         })
     for rec in trace:
         if rec.kind in _INSTANT_KINDS:
@@ -84,11 +104,11 @@ def ascii_gantt(
     spans = list(_task_spans(trace))
     if not spans:
         return "(empty trace)"
-    t_end = max(t1 for *_, t1, _ in spans)
+    t_end = max(t1 for *_, t1, _, _ in spans)
     t_end = max(t_end, 1e-9)
     wanted = set(kinds) if kinds is not None else None
     lanes: dict[str, list[str]] = {}
-    for _name, kind, _spec, t0, t1, aborted in spans:
+    for _name, kind, _spec, t0, t1, aborted, _worker in spans:
         if wanted is not None and kind not in wanted:
             continue
         lane = lanes.setdefault(kind, [" "] * width)

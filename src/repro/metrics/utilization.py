@@ -45,9 +45,15 @@ def worker_time_breakdown(trace: TraceRecorder) -> dict[str, KindUsage]:
 
     "Wasted" counts spans whose task ended aborted — worker time burnt on
     results that were later destroyed (the cost side of speculation).
+
+    Zero-width aborted spans (tasks reaped before they ever started) are
+    excluded: they consumed no worker time, so counting them would inflate
+    the per-kind task counts this table divides by.
     """
     usage: dict[str, KindUsage] = {}
-    for _name, kind, spec, t0, t1, aborted in _task_spans(trace):
+    for _name, kind, spec, t0, t1, aborted, _worker in _task_spans(trace):
+        if aborted and t1 <= t0:
+            continue  # never ran — no worker time to attribute
         u = usage.setdefault(kind, KindUsage(kind))
         span = max(t1 - t0, 0.0)
         u.busy_us += span

@@ -1,0 +1,65 @@
+"""Observability: always-on metrics, snapshots and exporters.
+
+This package is the runtime's accounting surface. The simulator already had
+a rich :class:`~repro.sim.trace.TraceRecorder`; ``obs`` complements it with
+*cheap, always-on* counters, gauges and histograms that work identically
+under the simulated clock and the live (threads / process-pool) executors,
+and that can be aggregated across process boundaries.
+
+Three pieces:
+
+* :mod:`repro.obs.metrics` — the instruments (:class:`Counter`,
+  :class:`Gauge`, :class:`Histogram`) and the named
+  :class:`MetricsRegistry` that owns them. Writes are per-thread sharded so
+  the hot path takes no lock; reads fold the shards.
+* :mod:`repro.obs.exporters` — Prometheus text exposition and JSON
+  snapshot rendering, plus :class:`PeriodicSnapshotWriter` for long runs.
+* pure snapshot algebra — :func:`merge_snapshots` merges two registry
+  snapshots (associative and commutative), which is how worker-process
+  metrics fold into the coordinator's registry.
+
+Quickstart::
+
+    from repro.obs import MetricsRegistry, to_prometheus_text
+
+    reg = MetricsRegistry("demo")
+    hits = reg.counter("cache_hits", "cache hits", labelnames=("tier",))
+    hits.labels(tier="l1").inc()
+    lat = reg.histogram("lookup_us", "lookup latency (µs)")
+    lat.observe(12.5)
+    print(to_prometheus_text(reg.snapshot()))
+
+Every run started through :func:`repro.experiments.runner.run_huffman`
+carries a registry on ``report.metrics``; ``repro run --metrics-out`` and
+``repro stats`` expose it from the command line.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_US,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+)
+from repro.obs.exporters import (
+    PeriodicSnapshotWriter,
+    load_json_snapshot,
+    to_json_snapshot,
+    to_prometheus_text,
+    write_metrics,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_snapshots",
+    "DEFAULT_LATENCY_BUCKETS_US",
+    "PeriodicSnapshotWriter",
+    "load_json_snapshot",
+    "to_json_snapshot",
+    "to_prometheus_text",
+    "write_metrics",
+]

@@ -47,6 +47,15 @@ class LiveExecutor:
         ex.shutdown()
 
     or simply ``ex.run()`` when all inputs are already delivered.
+
+    Observability: the executor clock is *wall time in µs since
+    construction*, and every trace record and metric uses it — so
+    :mod:`repro.metrics.traceview` exports (Chrome trace, ASCII Gantt)
+    read identically for simulated and live runs. The executor registers
+    its instruments (``exec_tasks_dispatched``, ``exec_inflight``,
+    ``exec_task_wall_us{kind}``, ...) on ``runtime.metrics``; see
+    docs/observability.md for the full catalogue. Worker ids are attached
+    to ``task_start`` / ``task_done`` trace records.
     """
 
     #: Poll interval for the worker wait loop (seconds). The paper's workers
@@ -78,6 +87,19 @@ class LiveExecutor:
         self._t0 = time.perf_counter()
         runtime.set_clock(self._clock)
         runtime.add_ready_listener(self._on_ready)
+        m = runtime.metrics
+        self._m_dispatched = m.counter(
+            "exec_tasks_dispatched", "tasks taken off a ready queue by a worker")
+        self._m_failures = m.counter(
+            "exec_task_failures", "task bodies that raised on a worker")
+        self._m_inflight = m.gauge(
+            "exec_inflight", "tasks currently executing on workers")
+        self._m_workers = m.gauge("exec_workers", "configured worker count")
+        self._m_workers.set(workers)
+        self._m_task_wall = m.histogram(
+            "exec_task_wall_us",
+            "wall-clock µs a worker spent inside one task body",
+            labelnames=("kind",))
 
     # ------------------------------------------------------------------
     # clock: wall time in µs since executor construction
@@ -87,6 +109,7 @@ class LiveExecutor:
 
     @property
     def now(self) -> float:
+        """Wall time in µs since executor construction (the trace clock)."""
         return self._clock()
 
     # ------------------------------------------------------------------
@@ -195,7 +218,13 @@ class LiveExecutor:
     # metrics
     # ------------------------------------------------------------------
     def utilisation(self) -> float:
-        """Mean fraction of elapsed wall time workers spent on tasks."""
+        """Mean fraction of elapsed wall time workers spent on tasks.
+
+        Computed from per-task start/finish stamps on the executor clock:
+        ``sum(task occupancy) / (elapsed µs × workers)``. For the process
+        back-end "on tasks" includes the coordinator thread's wait on its
+        worker's pipe — occupancy, not CPU time.
+        """
         now = self.now
         if now <= 0:
             return 0.0
@@ -249,12 +278,15 @@ class LiveExecutor:
                     self._cond.wait(self.POLL_S)
                 if self._stop and task is None:
                     return
-                self.runtime.begin_task(task)
+                self.runtime.begin_task(task, worker=wid)
                 self.policy.notify_started(task)
                 self._inflight += 1
+                self._m_dispatched.inc()
+                self._m_inflight.set(self._inflight)
                 self._note_dispatch(wid, task)
             # Compute outside the lock so task bodies overlap.
             failure: BaseException | None = None
+            t_exec0 = self._clock()
             if task.abort_requested:
                 outputs: dict[str, Any] = {}
             else:
@@ -263,8 +295,11 @@ class LiveExecutor:
                 except Exception as exc:
                     failure = exc
                     outputs = {}
+            self._m_task_wall.labels(kind=task.kind).observe(
+                self._clock() - t_exec0)
             with self._cond:
                 if failure is not None:
+                    self._m_failures.inc()
                     # Reap the failing task like a mis-speculation: flag it so
                     # finish_task discards the (empty) outputs, then destroy
                     # its dependence cone — nothing downstream can ever run.
@@ -274,9 +309,11 @@ class LiveExecutor:
                         task_kind=task.kind, error=repr(failure),
                     )
                 self._note_complete(wid, task)
-                self.runtime.finish_task(task, outputs, precomputed=True)
+                self.runtime.finish_task(task, outputs, precomputed=True,
+                                         worker=wid)
                 self.policy.notify_finished(task)
                 self._inflight -= 1
+                self._m_inflight.set(self._inflight)
                 if failure is not None:
                     self.runtime.abort_dependents([task], include_roots=False)
                     self._errors.append(TaskExecutionError(task.name, failure))

@@ -36,10 +36,12 @@ reaps its result on completion, the paper's destroy-signal protocol
 from __future__ import annotations
 
 import multiprocessing
+import time
 import traceback
 from typing import Any
 
 from repro.errors import PlatformError, SchedulingError, TaskStateError
+from repro.obs.metrics import MetricsRegistry
 from repro.sre.executor_base import LiveExecutor
 from repro.sre.policies import DispatchPolicy
 from repro.sre.runtime import Runtime
@@ -57,6 +59,7 @@ DEFAULT_PAYLOAD_BUDGET = 8 * 1024 * 1024
 _OK = "ok"
 _ERR = "error"
 _SKIPPED = "abort-skipped"
+_METRICS = "metrics"
 _STOP = b"\x00__sre_stop__"
 
 
@@ -65,23 +68,54 @@ def _process_main(conn, abort_flags, wid: int) -> None:
 
     Module-level so it imports cleanly under any multiprocessing start
     method. The worker owns no runtime state — it is a pure payload engine.
+
+    Each worker keeps its own :class:`~repro.obs.metrics.MetricsRegistry`
+    (payload counts, errors, abort skips, body wall time); on the stop
+    sentinel it sends the registry snapshot back up the pipe as a final
+    ``(_METRICS, snapshot)`` reply, and the coordinator folds it into the
+    run's registry — cross-process aggregation over the existing wire,
+    no extra channel.
     """
+    metrics = MetricsRegistry()
+    w = str(wid)
+    m_tasks = metrics.counter(
+        "procs_worker_tasks", "payloads executed in worker processes",
+        labelnames=("worker",)).labels(worker=w)
+    m_errors = metrics.counter(
+        "procs_worker_errors", "payloads that raised in worker processes",
+        labelnames=("worker",)).labels(worker=w)
+    m_skips = metrics.counter(
+        "procs_worker_abort_skips",
+        "payloads skipped because the destroy signal landed first",
+        labelnames=("worker",)).labels(worker=w)
+    m_body_us = metrics.histogram(
+        "procs_worker_body_us", "payload body wall time in worker (µs)",
+        labelnames=("worker",)).labels(worker=w)
     while True:
         try:
             blob = conn.recv_bytes()
         except (EOFError, OSError):
             return
         if blob == _STOP:
+            try:
+                conn.send((_METRICS, metrics.snapshot()))
+            except (BrokenPipeError, OSError):  # pragma: no cover - defensive
+                pass
             return
         if abort_flags[wid]:
             # Destroy signal observed before launch: skip the body entirely.
+            m_skips.inc()
             conn.send((_SKIPPED, None))
             continue
+        t0 = time.perf_counter()
         try:
             outputs = Task.run_payload(blob)
         except BaseException:
+            m_errors.inc()
             conn.send((_ERR, traceback.format_exc()))
             continue
+        m_tasks.inc()
+        m_body_us.observe((time.perf_counter() - t0) * 1e6)
         try:
             conn.send((_OK, outputs))
         except Exception as exc:
@@ -129,10 +163,20 @@ class ProcessExecutor(LiveExecutor):
         self._conns: list[Any] = []
         self._abort_flags = None
         self._current: list[Task | None] = [None] * workers
-        #: Introspection counters (coordinator-lock protected).
+        #: Introspection counters (coordinator-lock protected). Mirrored as
+        #: registry metrics (procs_tasks_shipped / _inline / payload_bytes)
+        #: so exporters see them without touching executor internals.
         self.tasks_shipped = 0
         self.tasks_inline = 0
         self.payload_bytes = 0
+        m = runtime.metrics
+        self._m_shipped = m.counter(
+            "procs_tasks_shipped", "task payloads shipped to worker processes")
+        self._m_inline = m.counter(
+            "procs_tasks_inline",
+            "tasks run inline on the coordinator (control/unpicklable)")
+        self._m_payload_bytes = m.counter(
+            "procs_payload_bytes", "serialized payload bytes sent to workers")
         runtime.add_abort_flag_listener(self._on_abort_flagged)
 
     # ------------------------------------------------------------------
@@ -154,10 +198,25 @@ class ProcessExecutor(LiveExecutor):
             self._procs.append(proc)
 
     def _stop_backend(self) -> None:
+        """Stop workers, harvesting each one's metrics snapshot first.
+
+        By the time this runs the coordinator threads have joined, so the
+        pipes are quiet: the only traffic left is our stop sentinel and the
+        worker's final ``(_METRICS, snapshot)`` reply, which is folded into
+        ``runtime.metrics`` (cross-process aggregation).
+        """
         for conn in self._conns:
             try:
                 conn.send_bytes(_STOP)
             except (BrokenPipeError, OSError):
+                pass
+        for conn in self._conns:
+            try:
+                if conn.poll(2.0):
+                    status, payload = conn.recv()
+                    if status == _METRICS and payload:
+                        self.runtime.metrics.merge_snapshot(payload)
+            except (EOFError, OSError):  # pragma: no cover - worker died
                 pass
         for proc in self._procs:
             proc.join(timeout=5.0)
@@ -196,6 +255,16 @@ class ProcessExecutor(LiveExecutor):
     # execution
     # ------------------------------------------------------------------
     def _execute(self, wid: int, task: Task) -> dict[str, Any]:
+        """Run one task: ship its payload to worker ``wid``, or run inline.
+
+        Control tasks and closure-captured payloads run on the coordinator
+        (see the module docstring); everything else is serialized, checked
+        against ``payload_budget``, sent down worker ``wid``'s pipe, and
+        the reply awaited — the coordinator thread blocks in an I/O wait,
+        not in bytecode, which is what lets pure-Python kernels overlap.
+        Raises :class:`~repro.errors.PlatformError` on budget violation and
+        re-raises worker-side failures as :class:`_WorkerCrash`.
+        """
         blob: bytes | None = None
         if not task.control:
             try:
@@ -205,6 +274,7 @@ class ProcessExecutor(LiveExecutor):
         if blob is None:
             with self._cond:
                 self.tasks_inline += 1
+            self._m_inline.inc()
             return task.run()
         if len(blob) > self.payload_budget:
             raise PlatformError(
@@ -217,6 +287,8 @@ class ProcessExecutor(LiveExecutor):
         with self._cond:
             self.tasks_shipped += 1
             self.payload_bytes += len(blob)
+        self._m_shipped.inc()
+        self._m_payload_bytes.inc(len(blob))
         status, payload = conn.recv()
         if status == _SKIPPED:
             # Worker observed the destroy signal; nothing ran. finish_task

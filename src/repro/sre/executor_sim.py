@@ -129,14 +129,14 @@ class SimulatedExecutor:
 
     def _start(self, worker: _Worker, task: Task) -> None:
         worker.current = task
-        self.runtime.begin_task(task)
+        self.runtime.begin_task(task, worker=worker.wid)
         self.policy.notify_started(task)
         service = self.platform.service_time(task)
         worker.busy_time += service
         self.sim.schedule(service, lambda: self._complete(worker, task))
 
     def _complete(self, worker: _Worker, task: Task) -> None:
-        self.runtime.finish_task(task)
+        self.runtime.finish_task(task, worker=worker.wid)
         self.policy.notify_finished(task)
         worker.current = None
         self._try_start(worker)

@@ -51,11 +51,20 @@ class ReadyQueue:
 
     def push(self, task: Task) -> None:
         heapq.heappush(self._heap, (self._key(task), task))
+        task.in_ready_queue = True
         self._live += 1
 
     def discard_aborted(self, task: Task) -> None:
-        """Account for a task that was aborted while queued (lazy removal)."""
-        self._live -= 1
+        """Account for a task aborted while queued (lazy removal).
+
+        No-op if the task already left the queue: a READY task can be
+        popped and parked (a worker's DMA staging queue) before it starts,
+        and an abort in that window must not decrement the live count a
+        second time — that drove ``len()`` negative.
+        """
+        if task.in_ready_queue:
+            task.in_ready_queue = False
+            self._live -= 1
 
     def _skim(self) -> None:
         while self._heap and self._heap[0][1].state is not TaskState.READY:
@@ -72,6 +81,7 @@ class ReadyQueue:
         if not self._heap:
             return None
         _, task = heapq.heappop(self._heap)
+        task.in_ready_queue = False
         self._live -= 1
         return task
 

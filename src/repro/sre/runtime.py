@@ -1,7 +1,8 @@
 """The runtime core shared by both executors.
 
 :class:`Runtime` owns the dynamic DFG, the split ready queues, memory
-accounting and the trace. It implements everything except *when* tasks run:
+accounting, the trace and the always-on metrics registry
+(:mod:`repro.obs`). It implements everything except *when* tasks run:
 executors call :meth:`begin_task` / :meth:`finish_task` around execution and
 read ready tasks through the dispatch policy.
 
@@ -23,6 +24,7 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable
 
 from repro.errors import TaskExecutionError, TaskStateError
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.trace import TraceRecorder
 from repro.sre.graph import DFG
 from repro.sre.memory import MemoryLedger, sizeof_value
@@ -40,12 +42,18 @@ class Runtime:
         self,
         *,
         trace: TraceRecorder | None = None,
+        metrics: MetricsRegistry | None = None,
         depth_first: bool = True,
         control_first: bool = True,
         track_memory: bool = True,
     ) -> None:
         self.graph = DFG()
         self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        #: Always-on counter surface (see docs/observability.md). Traces can
+        #: be disabled wholesale for big sweeps; these counters are cheap
+        #: enough to stay on, so long runs always have final accounting.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._init_metrics()
         self.memory = MemoryLedger() if track_memory else None
         self.natural_queue = ReadyQueue(depth_first=depth_first, control_first=control_first)
         self.speculative_queue = ReadyQueue(depth_first=depth_first, control_first=control_first)
@@ -59,6 +67,41 @@ class Runtime:
         self.tasks_aborted = 0
         self.speculative_completed = 0
         self.speculative_aborted = 0
+
+    def _init_metrics(self) -> None:
+        """Create (or re-attach to) this runtime's instruments.
+
+        Children for the speculative/non-speculative split are pre-bound so
+        the per-task hot path costs two dict operations, no label lookup.
+        """
+        m = self.metrics
+        self._m_ready = m.counter(
+            "sre_tasks_ready", "tasks that entered a ready queue")
+        completed = m.counter(
+            "sre_tasks_completed", "tasks finished with usable outputs",
+            labelnames=("speculative",))
+        aborted = m.counter(
+            "sre_tasks_aborted", "tasks destroyed by abort/rollback",
+            labelnames=("speculative",))
+        self._m_completed = {True: completed.labels(speculative="yes"),
+                             False: completed.labels(speculative="no")}
+        self._m_aborted = {True: aborted.labels(speculative="yes"),
+                           False: aborted.labels(speculative="no")}
+        self._m_failures = m.counter(
+            "sre_task_failures", "task bodies that raised an exception")
+        depth = m.gauge("sre_ready_depth", "ready-queue length",
+                        labelnames=("queue",))
+        self._m_depth_nat = depth.labels(queue="natural")
+        self._m_depth_spec = depth.labels(queue="speculative")
+        self._m_task_us = m.histogram(
+            "sre_task_us",
+            "task occupancy start→done in µs on the executor clock "
+            "(virtual for sim, wall for threads/procs)",
+            labelnames=("kind",))
+
+    def _note_queue_depth(self) -> None:
+        self._m_depth_nat.set(len(self.natural_queue))
+        self._m_depth_spec.set(len(self.speculative_queue))
 
     # ------------------------------------------------------------------
     # wiring to an executor
@@ -143,6 +186,8 @@ class Runtime:
         task.mark_ready(self.now)
         queue = self.speculative_queue if task.speculative else self.natural_queue
         queue.push(task)
+        self._m_ready.inc()
+        self._note_queue_depth()
         self.trace.record(self.now, "task_ready", task.name, task_kind=task.kind,
                           speculative=task.speculative)
         for fn in list(self._ready_listeners):
@@ -151,11 +196,22 @@ class Runtime:
     # ------------------------------------------------------------------
     # execution protocol (called by executors)
     # ------------------------------------------------------------------
-    def begin_task(self, task: Task) -> None:
-        """Transition a dispatched task to RUNNING."""
+    def begin_task(self, task: Task, *, worker: int | None = None) -> None:
+        """Transition a dispatched task to RUNNING.
+
+        Args:
+            task: the task an executor took from a ready queue.
+            worker: id of the worker slot that will run it, when the
+                executor knows (recorded in the trace so per-worker Gantt
+                views work identically for sim and live runs).
+        """
         task.mark_running(self.now)
-        self.trace.record(self.now, "task_start", task.name, task_kind=task.kind,
-                          speculative=task.speculative)
+        self._note_queue_depth()
+        detail: dict[str, Any] = {"task_kind": task.kind,
+                                  "speculative": task.speculative}
+        if worker is not None:
+            detail["worker"] = worker
+        self.trace.record(self.now, "task_start", task.name, **detail)
 
     def finish_task(
         self,
@@ -163,6 +219,7 @@ class Runtime:
         outputs: dict[str, Any] | None = None,
         *,
         precomputed: bool = False,
+        worker: int | None = None,
     ) -> dict[str, Any] | None:
         """Complete a RUNNING task: execute, route, notify.
 
@@ -174,6 +231,8 @@ class Runtime:
         The threaded executor computes task functions outside the runtime
         lock and passes the result via ``outputs`` with ``precomputed=True``;
         the simulated executor lets this method execute the function.
+        ``worker`` (optional) tags the trace record with the worker slot
+        that ran the task, mirroring :meth:`begin_task`.
         """
         if task.abort_requested:
             if precomputed and task.undo is not None and not task.side_effect_free:
@@ -186,6 +245,7 @@ class Runtime:
             self.tasks_aborted += 1
             if task.speculative:
                 self.speculative_aborted += 1
+            self._m_aborted[task.speculative].inc()
             self.trace.record(self.now, "task_abort", task.name, task_kind=task.kind,
                               speculative=task.speculative, while_running=True)
             for fn in list(self._abort_listeners):
@@ -203,6 +263,8 @@ class Runtime:
                 task.mark_done(self.now)
                 task.state = TaskState.ABORTED
                 self.tasks_aborted += 1
+                self._m_aborted[task.speculative].inc()
+                self._m_failures.inc()
                 self.trace.record(self.now, "task_failed", task.name,
                                   task_kind=task.kind, error=repr(exc))
                 self.abort_dependents([task], include_roots=False)
@@ -214,10 +276,16 @@ class Runtime:
         self.tasks_completed += 1
         if task.speculative:
             self.speculative_completed += 1
+        self._m_completed[task.speculative].inc()
+        if task.start_time is not None and task.finish_time is not None:
+            self._m_task_us.labels(kind=task.kind).observe(
+                task.finish_time - task.start_time)
         if self.memory is not None:
             self.memory.allocate(task.name, sizeof_value(outputs), task.speculative)
-        self.trace.record(self.now, "task_done", task.name, task_kind=task.kind,
-                          speculative=task.speculative)
+        detail = {"task_kind": task.kind, "speculative": task.speculative}
+        if worker is not None:
+            detail["worker"] = worker
+        self.trace.record(self.now, "task_done", task.name, **detail)
         self._route_outputs(task, outputs)
         if task.supertask is not None:
             task.supertask.notify_child_complete(task, outputs)
@@ -258,6 +326,7 @@ class Runtime:
             self.tasks_aborted += 1
             if task.speculative:
                 self.speculative_aborted += 1
+            self._m_aborted[task.speculative].inc()
             self.trace.record(self.now, "task_abort", task.name, task_kind=task.kind,
                               speculative=task.speculative, after_done=True)
             for fn in list(self._abort_listeners):
@@ -269,9 +338,11 @@ class Runtime:
             if was_ready:
                 queue = self.speculative_queue if task.speculative else self.natural_queue
                 queue.discard_aborted(task)
+                self._note_queue_depth()
             self.tasks_aborted += 1
             if task.speculative:
                 self.speculative_aborted += 1
+            self._m_aborted[task.speculative].inc()
             self.trace.record(self.now, "task_abort", task.name, task_kind=task.kind,
                               speculative=task.speculative)
             for fn in list(self._abort_listeners):

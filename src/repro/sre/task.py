@@ -96,6 +96,7 @@ class Task:
         "tags",
         "seq",
         "state",
+        "in_ready_queue",
         "abort_requested",
         "inputs",
         "_pending",
@@ -140,6 +141,11 @@ class Task:
         self.tags = dict(tags or {})
         self.seq = next(_task_seq)
         self.state = TaskState.CREATED
+        #: maintained by ReadyQueue: True only while the task sits in a
+        #: ready queue. Distinguishes "READY and queued" from "READY but
+        #: already popped" (e.g. parked in a worker's DMA queue), so abort
+        #: accounting never decrements a queue the task has left.
+        self.in_ready_queue = False
         self.abort_requested = False
         self.inputs: dict[str, Any] = {}
         self._pending = set(inputs)

@@ -84,3 +84,54 @@ def test_kmeans_command(capsys):
     assert rc == 0
     out = capsys.readouterr().out
     assert "inertia" in out and "labels      : ok" in out
+
+
+def test_run_metrics_out(tmp_path, capsys):
+    path = tmp_path / "m.prom"
+    rc = main(["run", "--blocks", "16", "--metrics-out", str(path)])
+    assert rc == 0
+    assert "metrics snapshot (prom)" in capsys.readouterr().out
+    text = path.read_text()
+    assert "# TYPE repro_spec_commits_total counter" in text
+    assert "repro_sre_tasks_ready_total" in text
+
+
+def test_run_metrics_out_format_override(tmp_path):
+    from repro.obs.exporters import load_json_snapshot
+    path = tmp_path / "metrics.txt"
+    rc = main(["run", "--blocks", "16", "--metrics-out", str(path),
+               "--metrics-format", "json"])
+    assert rc == 0
+    snap = load_json_snapshot(path.read_text())
+    assert any(m["name"] == "spec_commits" for m in snap["metrics"])
+
+
+def test_stats_prints_prometheus(capsys):
+    rc = main(["stats", "--blocks", "16"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "# TYPE repro_sre_tasks_completed_total counter" in out
+    assert out.endswith("\n")
+
+
+def test_stats_json_to_file(tmp_path, capsys):
+    from repro.obs.exporters import load_json_snapshot
+    path = tmp_path / "s.json"
+    rc = main(["stats", "--blocks", "16", "--json", "--out", str(path)])
+    assert rc == 0
+    snap = load_json_snapshot(path.read_text())
+    names = {m["name"] for m in snap["metrics"]}
+    assert {"spec_commits", "sre_tasks_completed", "block_latency_us"} <= names
+
+
+def test_trace_writes_chrome_json(tmp_path, capsys):
+    import json as _json
+    path = tmp_path / "t.json"
+    rc = main(["trace", "--blocks", "16", "-o", str(path)])
+    assert rc == 0
+    doc = _json.loads(path.read_text())
+    assert any(e["ph"] == "X" for e in doc["traceEvents"])
+    # no file -> the gantt is printed instead
+    rc = main(["trace", "--blocks", "16"])
+    assert rc == 0
+    assert "encode" in capsys.readouterr().out

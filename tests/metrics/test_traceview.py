@@ -63,3 +63,44 @@ def test_export_from_real_run():
     assert {"count", "reduce", "tree", "offset", "encode"} <= kinds
     gantt = ascii_gantt(report.trace)
     assert "encode" in gantt
+
+
+def test_startless_abort_yields_zero_width_span():
+    """Regression: a task_abort with no task_start must not vanish.
+
+    The process back-end reaps abort-flagged tasks whose payloads the
+    worker skipped — those tasks never emit task_start. They should show
+    up as zero-width aborted spans, not silently disappear.
+    """
+    tr = TraceRecorder()
+    tr.record(30.0, "task_abort", "encode:7", task_kind="encode",
+              speculative=True)
+    doc = json.loads(to_chrome_trace(tr))
+    spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert len(spans) == 1
+    span = spans[0]
+    assert span["name"] == "encode:7"
+    assert span["tid"] == "encode"
+    assert span["ts"] == 30.0
+    assert span["dur"] == 0.001  # clamped minimum width
+    assert span["args"]["aborted"] is True
+    assert span["args"]["speculative"] is True
+
+
+def test_startless_done_yields_zero_width_span():
+    """A narrowed trace (kinds=...) without starts still shows completions."""
+    tr = TraceRecorder(kinds=["task_done"])
+    tr.record(1.0, "task_start", "count:0", task_kind="count")   # filtered out
+    tr.record(9.0, "task_done", "count:0", task_kind="count")
+    doc = json.loads(to_chrome_trace(tr))
+    spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert [s["name"] for s in spans] == ["count:0"]
+    assert spans[0]["ts"] == 9.0
+    assert spans[0]["args"]["aborted"] is False
+
+
+def test_startless_spans_reach_ascii_gantt():
+    tr = TraceRecorder()
+    tr.record(10.0, "task_done", "count:0", task_kind="count")
+    out = ascii_gantt(tr, width=20)
+    assert "count" in out

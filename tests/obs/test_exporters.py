@@ -1,0 +1,155 @@
+"""Tests for the Prometheus/JSON exporters and the periodic writer."""
+
+import json
+import time
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.exporters import (
+    PeriodicSnapshotWriter,
+    load_json_snapshot,
+    to_json_snapshot,
+    to_prometheus_text,
+    write_metrics,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _sample_registry() -> MetricsRegistry:
+    reg = MetricsRegistry("ns")
+    reg.counter("reqs", "requests served").inc(3)
+    reg.gauge("depth", "queue depth").set(2)
+    h = reg.histogram("lat_us", "latency", buckets=(10, 100))
+    for v in (7, 70, 700):
+        h.observe(v)
+    reg.counter("by_kind", "labelled", labelnames=("kind",)) \
+        .labels(kind="a").inc()
+    return reg
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def test_prometheus_counter_rendering():
+    text = to_prometheus_text(_sample_registry().snapshot())
+    assert "# HELP ns_reqs_total requests served" in text
+    assert "# TYPE ns_reqs_total counter" in text
+    assert "\nns_reqs_total 3\n" in text
+    assert text.endswith("\n")
+
+
+def test_prometheus_gauge_rendering():
+    text = to_prometheus_text(_sample_registry().snapshot())
+    assert "# TYPE ns_depth gauge" in text
+    assert "\nns_depth 2\n" in text
+
+
+def test_prometheus_histogram_is_cumulative_with_inf():
+    text = to_prometheus_text(_sample_registry().snapshot())
+    assert 'ns_lat_us_bucket{le="10"} 1' in text
+    assert 'ns_lat_us_bucket{le="100"} 2' in text
+    assert 'ns_lat_us_bucket{le="+Inf"} 3' in text
+    assert "ns_lat_us_sum 777" in text
+    assert "ns_lat_us_count 3" in text
+
+
+def test_prometheus_label_rendering_and_escaping():
+    reg = MetricsRegistry("ns")
+    reg.counter("c", labelnames=("k",)).labels(k='with "quote"\n').inc()
+    text = to_prometheus_text(reg.snapshot())
+    assert 'ns_c_total{k="with \\"quote\\"\\n"} 1' in text
+
+
+# ----------------------------------------------------------------------
+# JSON round-trip
+# ----------------------------------------------------------------------
+def test_json_round_trip_preserves_snapshot():
+    snap = _sample_registry().snapshot()
+    assert load_json_snapshot(to_json_snapshot(snap)) == snap
+
+
+def test_json_loader_rejects_wrong_format():
+    with pytest.raises(ObservabilityError):
+        load_json_snapshot(json.dumps({"format": 999, "metrics": []}))
+    with pytest.raises(ObservabilityError):
+        load_json_snapshot(json.dumps({"metrics": []}))
+
+
+def test_loaded_snapshot_is_mergeable():
+    reg = _sample_registry()
+    loaded = load_json_snapshot(to_json_snapshot(reg.snapshot()))
+    other = MetricsRegistry("ns")
+    other.merge_snapshot(loaded)
+    assert other.value("reqs") == 3
+    assert other.get("lat_us").count() == 3
+
+
+# ----------------------------------------------------------------------
+# write_metrics
+# ----------------------------------------------------------------------
+def test_write_metrics_infers_format_from_extension(tmp_path):
+    snap = _sample_registry().snapshot()
+    j = tmp_path / "m.json"
+    p = tmp_path / "m.prom"
+    assert write_metrics(str(j), snap) == "json"
+    assert write_metrics(str(p), snap) == "prom"
+    assert load_json_snapshot(j.read_text()) == snap
+    assert p.read_text().startswith("# HELP")
+
+
+def test_write_metrics_explicit_format_wins(tmp_path):
+    snap = _sample_registry().snapshot()
+    path = tmp_path / "m.json"
+    assert write_metrics(str(path), snap, "prom") == "prom"
+    assert path.read_text().startswith("# HELP")
+    with pytest.raises(ObservabilityError):
+        write_metrics(str(path), snap, "xml")
+
+
+def test_write_metrics_leaves_no_temp_file(tmp_path):
+    write_metrics(str(tmp_path / "m.prom"), _sample_registry().snapshot())
+    assert [f.name for f in tmp_path.iterdir()] == ["m.prom"]
+
+
+# ----------------------------------------------------------------------
+# PeriodicSnapshotWriter
+# ----------------------------------------------------------------------
+def test_periodic_writer_final_flush_on_stop(tmp_path):
+    reg = MetricsRegistry("ns")
+    path = tmp_path / "m.json"
+    writer = PeriodicSnapshotWriter(reg, str(path), interval_s=3600)
+    writer.start()
+    reg.counter("c").inc(5)
+    writer.stop()
+    snap = load_json_snapshot(path.read_text())
+    series = next(m for m in snap["metrics"] if m["name"] == "c")["series"]
+    assert series[0]["value"] == 5
+    assert writer.writes >= 1
+
+
+def test_periodic_writer_writes_on_interval(tmp_path):
+    reg = MetricsRegistry("ns")
+    reg.counter("c").inc()
+    writer = PeriodicSnapshotWriter(reg, str(tmp_path / "m.prom"),
+                                    interval_s=0.02)
+    with writer:
+        deadline = time.time() + 5.0
+        while writer.writes < 2 and time.time() < deadline:
+            time.sleep(0.01)
+    assert writer.writes >= 2  # at least one periodic + the final flush
+
+
+def test_periodic_writer_context_manager_and_flush(tmp_path):
+    reg = MetricsRegistry("ns")
+    path = tmp_path / "m.prom"
+    with PeriodicSnapshotWriter(reg, str(path), interval_s=3600) as writer:
+        writer.flush()
+        assert path.exists()
+    assert writer.writes >= 2
+
+
+def test_periodic_writer_rejects_bad_interval(tmp_path):
+    with pytest.raises(ObservabilityError):
+        PeriodicSnapshotWriter(MetricsRegistry(), str(tmp_path / "m"),
+                               interval_s=0)

@@ -1,0 +1,261 @@
+"""Unit tests for the metrics instruments and registry."""
+
+import threading
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_US,
+    MetricsRegistry,
+    merge_snapshots,
+)
+
+
+# ----------------------------------------------------------------------
+# counters
+# ----------------------------------------------------------------------
+def test_counter_inc_and_value():
+    reg = MetricsRegistry()
+    c = reg.counter("hits", "hits served")
+    assert c.value() == 0
+    c.inc()
+    c.inc(3)
+    assert c.value() == 4
+    assert reg.value("hits") == 4
+
+
+def test_counter_rejects_negative():
+    c = MetricsRegistry().counter("hits")
+    with pytest.raises(ObservabilityError):
+        c.inc(-1)
+
+
+def test_counter_labels_are_independent_series():
+    reg = MetricsRegistry()
+    c = reg.counter("tasks", "tasks run", labelnames=("kind",))
+    c.labels(kind="encode").inc(2)
+    c.labels(kind="count").inc()
+    assert reg.value("tasks", kind="encode") == 2
+    assert reg.value("tasks", kind="count") == 1
+    # same label set returns the same child
+    assert c.labels(kind="encode") is c.labels(kind="encode")
+
+
+def test_labelled_metric_rejects_default_series():
+    c = MetricsRegistry().counter("tasks", labelnames=("kind",))
+    with pytest.raises(ObservabilityError):
+        c.inc()
+
+
+def test_labels_must_match_declaration():
+    c = MetricsRegistry().counter("tasks", labelnames=("kind",))
+    with pytest.raises(ObservabilityError):
+        c.labels(wrong="x")
+    with pytest.raises(ObservabilityError):
+        c.labels(kind="x", extra="y")
+
+
+def test_counter_concurrent_increments_are_not_lost():
+    """Per-thread sharding: 8 threads x 1000 incs must fold to exactly 8000."""
+    c = MetricsRegistry().counter("hits")
+
+    def worker():
+        for _ in range(1000):
+            c.inc()
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert c.value() == 8000
+
+
+# ----------------------------------------------------------------------
+# gauges
+# ----------------------------------------------------------------------
+def test_gauge_set_inc_dec():
+    g = MetricsRegistry().gauge("depth")
+    g.set(3)
+    g.inc()
+    g.dec(2)
+    assert g.value() == 2
+
+
+def test_gauge_external_merge_takes_max():
+    reg = MetricsRegistry()
+    g = reg.gauge("inflight")
+    g.set(2)
+    other = MetricsRegistry()
+    other.gauge("inflight").set(5)
+    reg.merge_snapshot(other.snapshot())
+    assert g.value() == 5
+    # a later, smaller external level does not lower the reported max
+    third = MetricsRegistry()
+    third.gauge("inflight").set(1)
+    reg.merge_snapshot(third.snapshot())
+    assert g.value() == 5
+
+
+# ----------------------------------------------------------------------
+# histograms
+# ----------------------------------------------------------------------
+def test_histogram_bucketing_and_moments():
+    h = MetricsRegistry().histogram("svc", buckets=(10, 100))
+    for v in (7, 70, 700):
+        h.observe(v)
+    counts, total, n = h._default_child().raw()
+    assert counts == [1, 1, 1]  # <=10, <=100, +Inf
+    assert total == 777
+    assert n == 3
+    assert h.count() == 3
+    assert h.sum() == 777
+    assert h.mean() == pytest.approx(259.0)
+
+
+def test_histogram_boundary_value_lands_in_lower_bucket():
+    h = MetricsRegistry().histogram("svc", buckets=(10, 100))
+    h.observe(10)  # le="10" is inclusive, Prometheus-style
+    counts, _, _ = h._default_child().raw()
+    assert counts == [1, 0, 0]
+
+
+def test_histogram_default_buckets():
+    h = MetricsRegistry().histogram("lat")
+    assert h.buckets == DEFAULT_LATENCY_BUCKETS_US
+
+
+def test_histogram_rejects_non_increasing_buckets():
+    reg = MetricsRegistry()
+    with pytest.raises(ObservabilityError):
+        reg.histogram("bad", buckets=(10, 10))
+    with pytest.raises(ObservabilityError):
+        reg.histogram("bad2", buckets=(5, 3))
+    # empty bucket list means "use the defaults", not an error
+    assert reg.histogram("dflt", buckets=()).buckets == DEFAULT_LATENCY_BUCKETS_US
+
+
+def test_histogram_timer_uses_supplied_clock():
+    h = MetricsRegistry().histogram("span_us", buckets=(10, 100))
+    fake = iter([100.0, 170.0])
+    with h.time(clock=lambda: next(fake)):
+        pass
+    assert h.count() == 1
+    assert h.sum() == 70.0
+
+
+def test_histogram_mean_empty_is_zero():
+    assert MetricsRegistry().histogram("h", buckets=(1,)).mean() == 0.0
+
+
+# ----------------------------------------------------------------------
+# registry semantics
+# ----------------------------------------------------------------------
+def test_registry_get_or_create_returns_same_instrument():
+    reg = MetricsRegistry()
+    assert reg.counter("c") is reg.counter("c")
+    assert reg.gauge("g") is reg.gauge("g")
+    assert reg.histogram("h") is reg.histogram("h")
+
+
+def test_registry_type_clash_raises():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(ObservabilityError):
+        reg.gauge("x")
+
+
+def test_registry_labelname_clash_raises():
+    reg = MetricsRegistry()
+    reg.counter("x", labelnames=("a",))
+    with pytest.raises(ObservabilityError):
+        reg.counter("x", labelnames=("b",))
+
+
+def test_registry_introspection():
+    reg = MetricsRegistry("ns")
+    reg.counter("b")
+    reg.gauge("a")
+    assert reg.names() == ["a", "b"]
+    assert "a" in reg and "zzz" not in reg
+    assert reg.get("b").kind == "counter"
+    with pytest.raises(ObservabilityError):
+        reg.value("zzz")
+
+
+def test_snapshot_is_json_able_and_detached():
+    import json
+
+    reg = MetricsRegistry("ns")
+    reg.counter("c").inc(2)
+    reg.histogram("h", buckets=(1, 2)).observe(1.5)
+    snap = reg.snapshot()
+    json.dumps(snap)  # must not raise
+    reg.counter("c").inc(10)
+    # the snapshot is a point-in-time copy, not a live view
+    c_series = next(m for m in snap["metrics"] if m["name"] == "c")["series"]
+    assert c_series[0]["value"] == 2
+
+
+# ----------------------------------------------------------------------
+# cross-registry merging
+# ----------------------------------------------------------------------
+def test_merge_snapshot_adds_counters_and_histograms():
+    a = MetricsRegistry()
+    a.counter("done", labelnames=("kind",)).labels(kind="x").inc(3)
+    a.histogram("lat", buckets=(10,)).observe(5)
+
+    b = MetricsRegistry()
+    b.counter("done", labelnames=("kind",)).labels(kind="x").inc(4)
+    b.counter("done", labelnames=("kind",)).labels(kind="y").inc(1)
+    b.histogram("lat", buckets=(10,)).observe(50)
+
+    a.merge_snapshot(b.snapshot())
+    assert a.value("done", kind="x") == 7
+    assert a.value("done", kind="y") == 1
+    h = a.get("lat")
+    assert h.count() == 2
+    assert h.sum() == 55
+
+
+def test_merge_snapshot_creates_missing_metrics():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    b.counter("only_in_b").inc(9)
+    a.merge_snapshot(b.snapshot())
+    assert a.value("only_in_b") == 9
+
+
+def test_merge_snapshot_is_repeatable_accumulation():
+    """Merging two worker snapshots one after the other adds both."""
+    coord = MetricsRegistry()
+    for amount in (2, 5):
+        w = MetricsRegistry()
+        w.counter("tasks").inc(amount)
+        coord.merge_snapshot(w.snapshot())
+    assert coord.value("tasks") == 7
+
+
+def test_merge_histogram_bucket_mismatch_raises():
+    a = MetricsRegistry()
+    a.histogram("h", buckets=(1, 2)).observe(1)
+    b = MetricsRegistry()
+    b.histogram("h", buckets=(1, 2, 3)).observe(1)
+    with pytest.raises(ObservabilityError):
+        a.merge_snapshot(b.snapshot())
+
+
+def test_merge_snapshots_pure_function():
+    a = MetricsRegistry()
+    a.counter("c").inc(1)
+    a.gauge("g").set(2)
+    b = MetricsRegistry()
+    b.counter("c").inc(2)
+    b.gauge("g").set(5)
+    merged = merge_snapshots(a.snapshot(), b.snapshot())
+    by_name = {m["name"]: m for m in merged["metrics"]}
+    assert by_name["c"]["series"][0]["value"] == 3
+    assert by_name["g"]["series"][0]["value"] == 5
+    # inputs are untouched
+    assert a.value("c") == 1 and b.value("c") == 2

@@ -1,0 +1,70 @@
+"""Property tests: snapshot merge algebra is associative and commutative.
+
+Cross-process aggregation folds worker snapshots into the coordinator in
+whatever order the pipes drain, so `merge_snapshots` must not care about
+grouping or order. Observations are integer-valued so floating-point sums
+are exact and equality is meaningful.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.metrics import MetricsRegistry, merge_snapshots
+
+_BOUNDS = (10.0, 100.0, 1000.0)
+_KINDS = ("encode", "count", "reduce")
+
+
+@st.composite
+def snapshots(draw):
+    """A registry snapshot with a shared schema and arbitrary values."""
+    reg = MetricsRegistry("prop")
+    c = reg.counter("done", "tasks done", labelnames=("kind",))
+    for kind in draw(st.lists(st.sampled_from(_KINDS), max_size=6)):
+        c.labels(kind=kind).inc(draw(st.integers(0, 1000)))
+    reg.gauge("depth").set(draw(st.integers(0, 100)))
+    h = reg.histogram("lat", "latency", buckets=_BOUNDS)
+    for v in draw(st.lists(st.integers(0, 2000), max_size=20)):
+        h.observe(v)
+    return reg.snapshot()
+
+
+def _canon(snap):
+    """Order-independent view: series keyed by (metric, sorted labels)."""
+    out = {}
+    for m in snap["metrics"]:
+        for s in m["series"]:
+            key = (m["name"], tuple(sorted(s["labels"].items())))
+            out[key] = {k: v for k, v in s.items() if k != "labels"}
+    return out
+
+
+@given(snapshots(), snapshots())
+@settings(max_examples=50, deadline=None)
+def test_merge_is_commutative(a, b):
+    assert _canon(merge_snapshots(a, b)) == _canon(merge_snapshots(b, a))
+
+
+@given(snapshots(), snapshots(), snapshots())
+@settings(max_examples=50, deadline=None)
+def test_merge_is_associative(a, b, c):
+    left = merge_snapshots(merge_snapshots(a, b), c)
+    right = merge_snapshots(a, merge_snapshots(b, c))
+    assert _canon(left) == _canon(right)
+
+
+@given(snapshots())
+@settings(max_examples=25, deadline=None)
+def test_empty_registry_is_identity_for_counters_and_histograms(a):
+    empty = MetricsRegistry("prop").snapshot()
+    merged = _canon(merge_snapshots(a, empty))
+    assert merged == _canon(a)
+
+
+@given(snapshots(), snapshots())
+@settings(max_examples=50, deadline=None)
+def test_merge_snapshot_method_agrees_with_pure_merge(a, b):
+    """Folding b into a registry seeded with a == the pure merge."""
+    reg = MetricsRegistry("prop")
+    reg.merge_snapshot(a)
+    reg.merge_snapshot(b)
+    assert _canon(reg.snapshot()) == _canon(merge_snapshots(a, b))

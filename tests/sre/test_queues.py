@@ -151,3 +151,28 @@ def test_snapshot_only_ready():
     b.request_abort()
     q.discard_aborted(b)
     assert [t.name for t in q.snapshot()] == ["a"]
+
+
+def test_discard_after_pop_does_not_go_negative():
+    """Regression: a READY task popped (e.g. parked for DMA staging) and
+    only then aborted must not be double-discounted — len() went negative,
+    which the queue-depth gauges turned into a ValueError mid-run."""
+    q = ReadyQueue()
+    a = _ready("a")
+    q.push(a)
+    assert q.pop() is a          # dispatched, but still state READY
+    q.discard_aborted(a)         # abort lands after the pop
+    assert len(q) == 0
+    # and the accounting still balances for subsequent traffic
+    b = _ready("b")
+    q.push(b)
+    assert len(q) == 1 and q.pop() is b and len(q) == 0
+
+
+def test_discard_aborted_is_idempotent():
+    q = ReadyQueue()
+    a = _ready("a")
+    q.push(a)
+    q.discard_aborted(a)
+    q.discard_aborted(a)
+    assert len(q) == 0

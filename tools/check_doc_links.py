@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Check that relative Markdown links in the repo's docs resolve.
+
+Scans every tracked ``*.md`` file for ``[text](target)`` links and verifies
+that each relative target exists on disk (anchors and external URLs are
+skipped; an anchor-only link like ``(#section)`` is ignored). Exits
+non-zero listing every broken link, so CI catches docs drifting from the
+tree — renamed files, deleted examples, typo'd paths.
+
+Usage::
+
+    python tools/check_doc_links.py [root]
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+# [text](target) — excluding images' srcset edge cases; good enough for
+# hand-written docs. Nested parens in URLs are not used in this repo.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "chrome://")
+_SKIP_DIRS = {".git", ".venv", "node_modules", "__pycache__", ".pytest_cache"}
+
+
+def iter_markdown(root: pathlib.Path):
+    for path in sorted(root.rglob("*.md")):
+        if not _SKIP_DIRS.intersection(path.relative_to(root).parts):
+            yield path
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    errors = []
+    for n, line in enumerate(path.read_text().splitlines(), start=1):
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(_SKIP_PREFIXES) or target.startswith("#"):
+                continue
+            rel = target.split("#", 1)[0]  # strip in-file anchors
+            if not rel:
+                continue
+            if not (path.parent / rel).exists():
+                errors.append(f"{path}:{n}: broken link -> {target}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    root = pathlib.Path(argv[1]) if len(argv) > 1 else pathlib.Path(".")
+    errors = []
+    n_files = 0
+    for md in iter_markdown(root):
+        n_files += 1
+        errors.extend(check_file(md))
+    for err in errors:
+        print(err, file=sys.stderr)
+    print(f"checked {n_files} markdown files: "
+          f"{'OK' if not errors else f'{len(errors)} broken link(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
