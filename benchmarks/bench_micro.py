@@ -11,6 +11,10 @@ histogram workload instead, printing the threads-vs-procs speedup table
 (see :mod:`repro.experiments.executor_bench`). On a multi-core host the
 process pool beats the GIL-bound thread pool roughly by the core count;
 on a single core both degenerate to serial.
+
+``python benchmarks/bench_micro.py --transport-table`` prints the
+pickle-vs-shm payload-byte comparison instead (see
+:mod:`repro.experiments.transport_bench` and docs/transport.md).
 """
 
 import numpy as np
@@ -92,6 +96,15 @@ def test_micro_workload_generation(benchmark):
 
 if __name__ == "__main__":
     import sys
+
+    if "--transport-table" in sys.argv:
+        from repro.experiments.transport_bench import (
+            render_table,
+            run_transport_bench,
+        )
+
+        print(render_table(run_transport_bench()))
+        sys.exit(0)
 
     from repro.experiments.executor_bench import main
 

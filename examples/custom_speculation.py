@@ -72,19 +72,22 @@ def main() -> None:
         for i, block in enumerate(blocks):
             normalised[i] = block - final_mean
 
-    spec = SpeculationSpec(
-        name="mean",
+    # The fluent builder mirrors the paper's four interface points:
+    # what to run under a prediction, how to predict, where results
+    # wait, and how to validate.
+    spec = (
+        SpeculationSpec.builder("mean")
+        .what(launch=launch, recompute=recompute)
         # (2) how to speculate: the running mean of the prefix.
-        predictor=lambda prefix_mean, name: Task(
-            name, lambda m=prefix_mean: {"out": m}, kind="predict"),
+        .how(lambda prefix_mean, name: Task(
+                 name, lambda m=prefix_mean: {"out": m}, kind="predict"),
+             interval=SpeculationInterval(4))
+        .barrier(barrier)
         # (4) how to validate: relative mean distance under 2 % tolerance.
-        validator=lambda pred, cand, _ref: abs(pred - cand) / max(abs(cand), 1e-12),
-        tolerance=RelativeTolerance(0.02),
-        launch=launch,
-        recompute=recompute,
-        barrier=barrier,
-        interval=SpeculationInterval(4),
-        verification=EveryK(8),
+        .validate(lambda pred, cand, _ref: abs(pred - cand) / max(abs(cand), 1e-12),
+                  tolerance=RelativeTolerance(0.02),
+                  verification=EveryK(8))
+        .build()
     )
     manager = SpeculationManager(runtime, spec)
 

@@ -12,7 +12,7 @@ Usage::
 
 import sys
 
-from repro import run_huffman
+from repro import RunConfig, run_huffman
 from repro.metrics.report import ascii_chart, render_table
 from repro.metrics.summary import RunSummary
 
@@ -21,10 +21,10 @@ def main() -> None:
     n_blocks = int(sys.argv[1]) if len(sys.argv) > 1 else 256
 
     print(f"Encoding {n_blocks} x 4 KB blocks of synthetic e-book text...\n")
-    nonspec = run_huffman(workload="txt", n_blocks=n_blocks, policy="nonspec",
-                          seed=0)
-    spec = run_huffman(workload="txt", n_blocks=n_blocks, policy="balanced",
-                       step=1, seed=0)
+    nonspec = run_huffman(config=RunConfig(
+        workload="txt", n_blocks=n_blocks, policy="nonspec", seed=0))
+    spec = run_huffman(config=RunConfig(
+        workload="txt", n_blocks=n_blocks, policy="balanced", step=1, seed=0))
 
     rows = [nonspec.summary.row(), spec.summary.row()]
     print(render_table(RunSummary.HEADER, rows))

@@ -17,7 +17,7 @@ import pathlib
 import sys
 
 from repro.experiments import fig2
-from repro.experiments.runner import run_huffman
+from repro.experiments.runner import RunConfig, run_huffman
 from repro.metrics.traceview import ascii_gantt
 
 
@@ -30,8 +30,9 @@ def main() -> None:
     print(f"\nwrote {out_dir / 'fig2_nonspec.dot'} and {out_dir / 'fig2_spec.dot'}")
     print("render with: dot -Tsvg fig2_spec.dot -o fig2_spec.svg\n")
 
-    report = run_huffman(workload="txt", n_blocks=64, policy="balanced",
-                         step=1, seed=0, trace=True)
+    report = run_huffman(config=RunConfig(
+        workload="txt", n_blocks=64, policy="balanced",
+        step=1, seed=0, trace=True))
     print("who ran when (speculative TXT run):")
     print(ascii_gantt(report.trace))
 

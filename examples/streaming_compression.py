@@ -15,7 +15,7 @@ Usage::
 
 import sys
 
-from repro import run_huffman
+from repro import RunConfig, run_huffman
 from repro.iomodels import SocketModel
 from repro.metrics.report import ascii_chart
 
@@ -32,8 +32,10 @@ def main() -> None:
 
     for workload in ("txt", "pdf"):
         print(f"=== {workload.upper()} over a tunnelled socket ===")
-        spec = run_huffman(workload=workload, policy="balanced", step=1, **common)
-        nonspec = run_huffman(workload=workload, policy="nonspec", **common)
+        spec = run_huffman(config=RunConfig.from_kwargs(
+            workload=workload, policy="balanced", step=1, **common))
+        nonspec = run_huffman(config=RunConfig.from_kwargs(
+            workload=workload, policy="nonspec", **common))
         transfer = spec.arrivals[-1]
         print(f"transfer time         : {transfer:,.0f} µs")
         print(f"non-spec avg latency  : {nonspec.avg_latency:,.0f} µs")

@@ -6,9 +6,10 @@ speculation, evaluated on a parallel speculative Huffman encoder.
 
 Quickstart::
 
-    from repro import run_huffman
+    from repro import RunConfig, run_huffman
 
-    report = run_huffman(workload="txt", policy="balanced", n_blocks=256)
+    report = run_huffman(config=RunConfig(workload="txt", policy="balanced",
+                                          n_blocks=256))
     print(report.summary.avg_latency_us)
 
 See DESIGN.md for the system map and EXPERIMENTS.md for the
@@ -28,7 +29,7 @@ from repro.huffman import HuffmanConfig, HuffmanPipeline
 from repro.platforms import CellPlatform, X86Platform, get_platform
 from repro.iomodels import DiskModel, SocketModel
 from repro.sre import ProcessExecutor, Runtime, SimulatedExecutor, Task, ThreadedExecutor
-from repro.experiments.runner import RunReport, run_huffman
+from repro.experiments.runner import RunConfig, RunReport, run_huffman
 
 __version__ = "1.0.0"
 
@@ -53,6 +54,7 @@ __all__ = [
     "ProcessExecutor",
     "Task",
     "RunReport",
+    "RunConfig",
     "run_huffman",
     "__version__",
 ]

@@ -7,6 +7,7 @@ Subcommands::
     repro stats [--json] [--out FILE]                       # run + metrics dump
     repro trace --executor threads -o trace.json            # run + chrome trace
     repro executors                                         # threads-vs-procs table
+    repro transport                                         # pickle-vs-shm table
     repro fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9   # regenerate a figure
     repro claims                                            # headline table
     repro filter | kmeans                                   # Fig. 1 / §II-A apps
@@ -24,7 +25,7 @@ import sys
 
 from repro.experiments import claims as claims_mod
 from repro.experiments import fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, resources
-from repro.experiments.runner import run_huffman
+from repro.experiments.runner import RunConfig, run_huffman
 
 __all__ = ["main"]
 
@@ -37,7 +38,7 @@ _FIGURES = {
 def _run_experiment(args: argparse.Namespace, *, trace: bool = False,
                     metrics_out: str | None = None):
     """Shared run_huffman invocation for the run/stats/trace subcommands."""
-    return run_huffman(
+    return run_huffman(config=RunConfig(
         workload=args.workload,
         n_blocks=args.blocks,
         platform=args.platform,
@@ -51,8 +52,9 @@ def _run_experiment(args: argparse.Namespace, *, trace: bool = False,
         seed=args.seed,
         trace=trace,
         executor=args.executor,
+        transport=args.transport,
         metrics_out=metrics_out,
-    )
+    ))
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -196,16 +198,28 @@ def _cmd_executors(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_transport(args: argparse.Namespace) -> int:
+    from repro.experiments.transport_bench import render_table, run_transport_bench
+    rows = run_transport_bench(blocks=args.blocks, workers=args.workers,
+                               seed=args.seed)
+    print(f"{args.blocks} x 4 KB txt blocks, {args.workers} workers "
+          "(payload bytes = coordinator→worker pipe traffic)")
+    print(render_table(rows))
+    return 0
+
+
 def _cmd_claims(args: argparse.Namespace) -> int:
     print(claims_mod.render(claims_mod.run(seed=args.seed)))
     return 0
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
+    from repro.sre.registry import executor_names
     print("figures :", ", ".join(sorted(_FIGURES)))
     print("workloads: txt, bmp, pdf, markov")
     print("platforms: x86, cell")
-    print("executors: sim, threads, procs")
+    print("executors:", ", ".join(executor_names()))
+    print("transports: pickle, shm")
     print("policies : nonspec, conservative, aggressive, balanced, fcfs, "
           "ratio, throttled")
     print("verification: every_k, optimistic, full")
@@ -226,10 +240,16 @@ def main(argv: list[str] | None = None) -> int:
         p.add_argument("--workload", default="txt",
                        choices=["txt", "bmp", "pdf", "markov"])
         p.add_argument("--blocks", type=int, default=blocks)
+        from repro.sre.registry import executor_names
         p.add_argument("--executor", default="sim",
-                       choices=["sim", "threads", "procs"],
+                       choices=list(executor_names()),
                        help="back-end: simulated clock (paper figures), "
                             "live thread pool, or live process pool")
+        p.add_argument("--transport", default="pickle",
+                       choices=["pickle", "shm"],
+                       help="payload transport: pickle block bytes per "
+                            "task, or shared-memory blocks + refs "
+                            "(zero-copy on the procs back-end)")
         p.add_argument("--platform", default="x86", choices=["x86", "cell"])
         p.add_argument("--io", default="disk", choices=["disk", "socket"])
         p.add_argument("--policy", default="balanced",
@@ -326,6 +346,14 @@ def main(argv: list[str] | None = None) -> int:
     p_exec.add_argument("--workers", type=int, default=4)
     p_exec.add_argument("--seed", type=int, default=0)
     p_exec.set_defaults(fn=_cmd_executors)
+
+    p_tr = sub.add_parser(
+        "transport",
+        help="benchmark payload transports (pickle vs shared memory)")
+    p_tr.add_argument("--blocks", type=int, default=64)
+    p_tr.add_argument("--workers", type=int, default=4)
+    p_tr.add_argument("--seed", type=int, default=0)
+    p_tr.set_defaults(fn=_cmd_transport)
 
     p_claims = sub.add_parser("claims", help="headline paper-vs-measured table")
     p_claims.add_argument("--seed", type=int, default=0)

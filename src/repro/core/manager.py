@@ -309,6 +309,9 @@ class SpeculationManager:
         version.committed = True
         self.finalized = True
         self.outcome = "commit"
+        # The version's fate is decided: drop whatever it pinned (e.g.
+        # shared-memory block refs acquired for its second-pass tasks).
+        version.release_resources("commit")
         self.stats.commits += 1
         self._m_commits.inc()
         self._m_version_us.labels(outcome="commit").observe(

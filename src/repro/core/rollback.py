@@ -47,6 +47,9 @@ class RollbackEngine:
             return []
         version.active = False
         footprint = self.runtime.abort_dependents(version.tasks, include_roots=True)
+        # Resources the version pinned (shared-memory block refs, ...) go
+        # with the footprint: a mis-speculation must not hold segments.
+        version.release_resources("rollback")
         self.rollbacks += 1
         self.tasks_destroyed += len(footprint)
         if self.barrier is not None:

@@ -72,3 +72,16 @@ class ExperimentError(ReproError):
 
 class ObservabilityError(ReproError):
     """Raised for metrics/exporter misuse (type clashes, bad snapshots)."""
+
+
+class TransportError(ReproError):
+    """Raised for shared-memory transport misuse (double release, ...)."""
+
+
+class SegmentGone(TransportError):
+    """A shared-memory segment was reclaimed before a reference resolved.
+
+    Workers report this back to the coordinator instead of crashing: the
+    segment of a rolled-back version may legitimately disappear while its
+    task payload is in flight.
+    """

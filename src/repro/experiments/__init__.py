@@ -8,6 +8,6 @@ DESIGN.md §4 for the index and EXPERIMENTS.md for paper-vs-measured results.
 """
 
 from repro.experiments.runner import RunReport, run_huffman
-from repro.experiments.config import ExperimentScale, QUICK, PAPER
+from repro.experiments.config import ExperimentScale, QUICK, PAPER, RunConfig
 
-__all__ = ["RunReport", "run_huffman", "ExperimentScale", "QUICK", "PAPER"]
+__all__ = ["RunReport", "RunConfig", "run_huffman", "ExperimentScale", "QUICK", "PAPER"]

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.config import ExperimentScale, active_scale
-from repro.experiments.runner import run_huffman
+from repro.experiments.runner import RunConfig, run_huffman
 from repro.metrics.report import render_table
 
 __all__ = ["run", "ClaimResult"]
@@ -42,11 +42,11 @@ def run(scale: ExperimentScale | None = None, seed: int = 0) -> list[ClaimResult
     scale = scale or active_scale()
 
     def go(wl: str, **kw):
-        return run_huffman(
+        return run_huffman(config=RunConfig.from_kwargs(
             workload=wl, n_blocks=scale.n_blocks(wl), block_size=scale.block_size,
             reduce_ratio=scale.reduce_ratio, offset_fanout=scale.offset_fanout,
             seed=seed, **kw,
-        )
+        ))
 
     claims: list[ClaimResult] = []
 

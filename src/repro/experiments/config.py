@@ -12,9 +12,9 @@ full-size runs.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
-__all__ = ["ExperimentScale", "QUICK", "PAPER", "active_scale"]
+__all__ = ["ExperimentScale", "QUICK", "PAPER", "RunConfig", "active_scale"]
 
 
 @dataclass(frozen=True)
@@ -52,3 +52,109 @@ QUICK = ExperimentScale(
 def active_scale() -> ExperimentScale:
     """Scale selected by the ``REPRO_SCALE`` environment variable."""
     return PAPER if os.environ.get("REPRO_SCALE", "").lower() == "paper" else QUICK
+
+
+# ---------------------------------------------------------------------------
+# RunConfig — one frozen value object for everything run_huffman accepts.
+# ---------------------------------------------------------------------------
+
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """All parameters of one :func:`~repro.experiments.runner.run_huffman` run.
+
+    The primary way to invoke the runner::
+
+        from repro.experiments import RunConfig, run_huffman
+        report = run_huffman(config=RunConfig(workload="txt", n_blocks=64,
+                                              executor="procs",
+                                              transport="shm"))
+
+    Frozen so a config can be shared between sweep points, stamped into
+    exported metrics (see :meth:`to_dict`) and compared for equality.
+    Fields accepting either a registry name or an instance (``platform``,
+    ``io``, ``policy``, ``verification``) keep the permissive types the
+    bare keywords always had.
+    """
+
+    workload: object = "txt"          # name or raw bytes
+    n_blocks: int | None = None
+    block_size: int = 4096
+    platform: object = "x86"          # name or Platform instance
+    workers: int | None = None
+    io: object = "disk"               # name or ArrivalModel instance
+    policy: object = "balanced"       # name or DispatchPolicy instance
+    speculative: bool = True
+    step: int = 1
+    verification: object = "every_k"  # name or VerificationPolicy instance
+    verify_k: int = 8
+    tolerance: float = 0.01
+    reduce_ratio: int = 16
+    offset_fanout: int = 64
+    seed: int = 0
+    verify_roundtrip: bool = True
+    trace: bool = False
+    label: str | None = None
+    depth_first: bool = True
+    control_first: bool = True
+    #: executor back-end name — resolved through repro.sre.registry, so
+    #: application-registered back-ends work here too.
+    executor: str = "sim"
+    feed_gap_s: float = 0.002
+    #: payload transport for task dispatch: "pickle" ships block bytes in
+    #: every payload; "shm" places blocks in shared memory once and ships
+    #: refs (zero-copy for the process back-end; see docs/transport.md).
+    transport: str = "pickle"
+    metrics_out: str | None = None
+    metrics_interval_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        from repro.errors import ExperimentError
+
+        if self.transport not in ("pickle", "shm"):
+            raise ExperimentError(
+                f"unknown transport {self.transport!r}; choose 'pickle' or 'shm'")
+        if not isinstance(self.executor, str) or not self.executor:
+            raise ExperimentError("executor must be a back-end name string")
+        if self.metrics_interval_s <= 0:
+            raise ExperimentError("metrics_interval_s must be positive")
+
+    @classmethod
+    def from_kwargs(cls, **kwargs: object) -> "RunConfig":
+        """Build a config from bare ``run_huffman`` keywords.
+
+        Raises :class:`~repro.errors.ExperimentError` for unknown names,
+        listing the valid ones — the error a typo'd keyword used to get
+        from Python is now a domain error with the full vocabulary.
+        """
+        from repro.errors import ExperimentError
+
+        valid = {f.name for f in fields(cls)}
+        unknown = sorted(set(kwargs) - valid)
+        if unknown:
+            raise ExperimentError(
+                f"unknown run_huffman parameter(s): {', '.join(unknown)}; "
+                f"valid: {', '.join(sorted(valid))}")
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-safe summary of the run parameters.
+
+        Instances degrade to names: byte workloads become ``"custom"``,
+        platform/io/policy/verification instances become their ``name``
+        attribute or class name. Embedded in metric exports so every
+        snapshot is self-describing.
+        """
+        def _plain(value: object) -> object:
+            if value is None or isinstance(value, (bool, int, float, str)):
+                return value
+            if isinstance(value, (bytes, bytearray, memoryview)):
+                return "custom"
+            name = getattr(value, "name", None)
+            if isinstance(name, str):
+                return name
+            return type(value).__name__
+
+        return {f.name: _plain(getattr(self, f.name)) for f in fields(self)}

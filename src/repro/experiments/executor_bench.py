@@ -25,9 +25,7 @@ import numpy as np
 
 from repro.errors import ExperimentError
 from repro.huffman.histogram import byte_histogram_py
-from repro.sre.executor_procs import ProcessExecutor
-from repro.sre.executor_sim import SimulatedExecutor
-from repro.sre.executor_threads import ThreadedExecutor
+from repro.sre.registry import make_executor
 from repro.sre.runtime import Runtime
 from repro.sre.task import Task
 
@@ -84,13 +82,11 @@ def run_executor_bench(
 
     t0 = time.perf_counter()
     if executor == "sim":
-        from repro.platforms import get_platform
-        ex = SimulatedExecutor(runtime, get_platform("x86"), workers=workers)
+        ex = make_executor("sim", runtime, platform="x86", workers=workers)
         _add_tasks(runtime, data, checksums)
         ex.run()
     else:
-        cls = ThreadedExecutor if executor == "threads" else ProcessExecutor
-        ex = cls(runtime, workers=workers)
+        ex = make_executor(executor, runtime, workers=workers)
         _add_tasks(runtime, data, checksums)
         ex.run(timeout=600.0)
     wall = time.perf_counter() - t0

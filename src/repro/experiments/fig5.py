@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.experiments.config import ExperimentScale, active_scale
 from repro.experiments.figures import FigureResult, WORKLOAD_ORDER
-from repro.experiments.runner import run_huffman
+from repro.experiments.runner import RunConfig, run_huffman
 
 __all__ = ["run", "STEP_SIZES"]
 
@@ -41,11 +41,11 @@ def run(
         n_updates = n_blocks // scale.reduce_ratio
         panel = f"{wl} avg latency vs step"
         result.series[panel] = {}
-        nonspec = run_huffman(
+        nonspec = run_huffman(config=RunConfig(
             workload=wl, n_blocks=n_blocks, block_size=scale.block_size,
             reduce_ratio=scale.reduce_ratio, offset_fanout=scale.offset_fanout,
             policy="nonspec", seed=seed, label=f"fig5/{wl}/nonspec",
-        )
+        ))
         usable_steps = [s for s in steps if s < n_updates]
         result.series[panel]["nonspec"] = np.full(
             len(usable_steps), nonspec.avg_latency
@@ -54,12 +54,12 @@ def run(
         for policy in _POLICIES:
             ys = []
             for s in usable_steps:
-                report = run_huffman(
+                report = run_huffman(config=RunConfig(
                     workload=wl, n_blocks=n_blocks, block_size=scale.block_size,
                     reduce_ratio=scale.reduce_ratio, offset_fanout=scale.offset_fanout,
                     policy=policy, step=s, seed=seed,
                     label=f"fig5/{wl}/{policy}/s{s}",
-                )
+                ))
                 ys.append(report.avg_latency)
                 result.reports[(panel, f"{policy}/s{s}")] = report
                 result.table_rows.append([

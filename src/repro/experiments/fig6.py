@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from repro.experiments.config import ExperimentScale, active_scale
 from repro.experiments.figures import FigureResult, WORKLOAD_ORDER
-from repro.experiments.runner import run_huffman
+from repro.experiments.runner import RunConfig, run_huffman
 
 __all__ = ["run", "VERIFICATION_MODES"]
 
@@ -56,13 +56,14 @@ def run(
                 seed=seed, label=f"fig6/{wl}/{mode}",
             )
             if spec is None:
-                report = run_huffman(policy="nonspec", **kwargs)
+                report = run_huffman(config=RunConfig.from_kwargs(
+                    policy="nonspec", **kwargs))
             else:
                 verification, step = spec
-                report = run_huffman(
+                report = run_huffman(config=RunConfig.from_kwargs(
                     policy="balanced", step=step, verification=verification,
                     **kwargs,
-                )
+                ))
             result.series[panel][mode] = report.latencies
             result.reports[(panel, mode)] = report
             result.table_rows.append([

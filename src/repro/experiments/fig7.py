@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from repro.experiments.config import ExperimentScale, active_scale
 from repro.experiments.figures import FigureResult
-from repro.experiments.runner import run_huffman
+from repro.experiments.runner import RunConfig, run_huffman
 from repro.iomodels import SocketModel
 
 __all__ = ["run"]
@@ -33,7 +33,7 @@ def run(
     result.table_header = ["file", "avg lat (µs)", "max lat (µs)",
                            "last arrival (µs)", "rollbacks", "outcome"]
     for wl in workloads:
-        report = run_huffman(
+        report = run_huffman(config=RunConfig(
             workload=wl,
             n_blocks=scale.n_blocks(wl),
             block_size=scale.block_size,
@@ -44,7 +44,7 @@ def run(
             step=1,
             seed=seed,
             label=f"fig7/{wl}",
-        )
+        ))
         result.series[f"{wl} over socket"] = {
             "arrival time": report.arrivals,
             "latency": report.latencies,

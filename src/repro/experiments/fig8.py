@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from repro.experiments.config import ExperimentScale, active_scale
 from repro.experiments.figures import FigureResult
-from repro.experiments.runner import run_huffman
+from repro.experiments.runner import RunConfig, run_huffman
 from repro.iomodels import SocketModel
 
 __all__ = ["run", "CPU_COUNTS"]
@@ -39,7 +39,7 @@ def run(
     result.series[panel] = {}
     result.table_header = ["cpus", "avg lat (µs)", "max lat (µs)", "runtime (µs)"]
     for n in cpus:
-        report = run_huffman(
+        report = run_huffman(config=RunConfig(
             workload=workload,
             n_blocks=scale.n_blocks(workload),
             block_size=scale.block_size,
@@ -51,7 +51,7 @@ def run(
             workers=n,
             seed=seed,
             label=f"fig8/{workload}/{n}cpu",
-        )
+        ))
         result.series[panel][f"{n} cpu"] = report.latencies
         result.reports[(panel, f"{n} cpu")] = report
         result.table_rows.append([

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from repro.experiments.config import ExperimentScale, active_scale
 from repro.experiments.figures import FigureResult
-from repro.experiments.runner import run_huffman
+from repro.experiments.runner import RunConfig, run_huffman
 
 __all__ = ["run", "TOLERANCES"]
 
@@ -39,7 +39,7 @@ def run(
         panel = f"{wl} tolerance sweep"
         result.series[panel] = {}
         for tol in tolerances:
-            report = run_huffman(
+            report = run_huffman(config=RunConfig(
                 workload=wl,
                 n_blocks=scale.n_blocks(wl),
                 block_size=scale.block_size,
@@ -50,7 +50,7 @@ def run(
                 tolerance=tol,
                 seed=seed,
                 label=f"fig9/{wl}/{tol:.0%}",
-            )
+            ))
             label = f"{tol:.0%}"
             result.series[panel][label] = report.latencies
             result.reports[(panel, label)] = report

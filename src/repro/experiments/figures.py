@@ -8,7 +8,7 @@ from typing import Any
 import numpy as np
 
 from repro.experiments.config import ExperimentScale, active_scale
-from repro.experiments.runner import RunReport, run_huffman
+from repro.experiments.runner import RunConfig, RunReport, run_huffman
 from repro.metrics.report import ascii_chart, render_table
 
 __all__ = ["FigureResult", "policy_sweep", "WORKLOAD_ORDER", "POLICY_ORDER"]
@@ -69,7 +69,7 @@ def policy_sweep(
         panel = f"{wl} ({platform})"
         result.series[panel] = {}
         for policy in policies:
-            report = run_huffman(
+            report = run_huffman(config=RunConfig.from_kwargs(
                 workload=wl,
                 n_blocks=scale.n_blocks(wl),
                 block_size=scale.block_size,
@@ -81,7 +81,7 @@ def policy_sweep(
                 seed=seed,
                 label=f"{figure}/{wl}/{policy}",
                 **extra,
-            )
+            ))
             result.series[panel][policy] = report.latencies
             result.reports[(panel, policy)] = report
             result.table_rows.append([

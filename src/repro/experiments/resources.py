@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from repro.experiments.config import ExperimentScale, active_scale
 from repro.experiments.figures import FigureResult
-from repro.experiments.runner import run_huffman
+from repro.experiments.runner import RunConfig, run_huffman
 from repro.sre.policies import BalancedPolicy, RatioPolicy, ThrottledPolicy
 
 __all__ = ["run", "RATIO_STEPS", "THROTTLE_STEPS"]
@@ -47,8 +47,9 @@ def run(
         )
         ratio_lat = []
         for share in RATIO_STEPS:
-            report = run_huffman(policy=RatioPolicy(share),
-                                 label=f"resources/{wl}/ratio{share}", **common)
+            report = run_huffman(config=RunConfig.from_kwargs(
+                policy=RatioPolicy(share),
+                label=f"resources/{wl}/ratio{share}", **common))
             ratio_lat.append(report.avg_latency)
             result.reports[(f"{wl} ratio", f"{share}")] = report
             result.table_rows.append([
@@ -62,10 +63,10 @@ def run(
 
         throttle_lat = []
         for cap in THROTTLE_STEPS:
-            report = run_huffman(
+            report = run_huffman(config=RunConfig.from_kwargs(
                 policy=ThrottledPolicy(BalancedPolicy(), max_speculative=cap),
                 label=f"resources/{wl}/cap{cap}", **common,
-            )
+            ))
             throttle_lat.append(report.avg_latency)
             result.reports[(f"{wl} throttle", f"{cap}")] = report
             result.table_rows.append([

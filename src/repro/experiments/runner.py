@@ -1,18 +1,33 @@
-"""One-call experiment runner: workload → pipeline → simulated run → report.
+"""One-call experiment runner: workload → pipeline → run → report.
 
 :func:`run_huffman` is the public entry point used by the examples, the
 figure modules and the benchmark harness. It wires a workload, an I/O
-arrival model, a platform and a pipeline configuration onto the simulated
-executor, runs to quiescence, verifies the compressed output round-trips,
-and returns a :class:`RunReport`.
+arrival model, a platform and a pipeline configuration onto an executor
+back-end (resolved through :mod:`repro.sre.registry`), runs to quiescence,
+verifies the compressed output round-trips, and returns a
+:class:`RunReport`.
+
+The primary calling convention is a frozen
+:class:`~repro.experiments.config.RunConfig`::
+
+    report = run_huffman(config=RunConfig(workload="txt", n_blocks=64,
+                                          executor="procs", transport="shm"))
+
+Bare keywords (``run_huffman(workload="txt", n_blocks=64)``) still work as
+a deprecation shim — they are folded into a RunConfig with a one-time
+warning — so every pre-existing call site keeps running while new code
+gets a value object it can stamp into exports and sweep over.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, replace
+
 import numpy as np
 
 from repro.errors import ExperimentError
+from repro.experiments.config import RunConfig
 from repro.huffman.pipeline import HuffmanConfig, HuffmanPipeline, PipelineResult
 from repro.iomodels import ArrivalModel, DiskModel, SocketModel
 from repro.metrics.summary import RunSummary, summarize_run
@@ -21,13 +36,15 @@ from repro.obs.metrics import MetricsRegistry
 from repro.platforms import Platform, get_platform
 from repro.sim.rng import make_rng
 from repro.sim.trace import TraceRecorder
-from repro.sre.executor_procs import ProcessExecutor
-from repro.sre.executor_sim import SimulatedExecutor
-from repro.sre.executor_threads import ThreadedExecutor
+from repro.sre.registry import make_executor
 from repro.sre.runtime import Runtime
+from repro.sre.shm import BlockStore
 from repro.workloads import get_workload
 
-__all__ = ["RunReport", "run_huffman", "split_blocks"]
+__all__ = ["RunConfig", "RunReport", "run_huffman", "split_blocks"]
+
+#: one-time flag for the bare-keyword deprecation warning.
+_warned_kwargs = False
 
 
 def split_blocks(data: bytes, block_size: int) -> list[bytes]:
@@ -57,6 +74,9 @@ class RunReport:
     #: the run's MetricsRegistry (always populated): counters, gauges and
     #: histograms from every layer — export with repro.obs.exporters.
     metrics: MetricsRegistry | None = None
+    #: the full run parameterisation — makes the report (and any metrics
+    #: export stamped with run_config.to_dict()) self-describing.
+    run_config: RunConfig | None = None
 
     @property
     def latencies(self) -> np.ndarray:
@@ -76,10 +96,10 @@ class RunReport:
         return self.result.completion_time
 
 
-def _resolve_io(io: str | ArrivalModel) -> ArrivalModel:
+def _resolve_io(io) -> ArrivalModel:
     if isinstance(io, ArrivalModel):
         return io
-    name = io.lower()
+    name = str(io).lower()
     if name == "disk":
         return DiskModel()
     if name == "socket":
@@ -87,113 +107,116 @@ def _resolve_io(io: str | ArrivalModel) -> ArrivalModel:
     raise ExperimentError(f"unknown io model {io!r}; choose 'disk' or 'socket'")
 
 
+def _coerce_config(config: RunConfig | None, kwargs: dict) -> RunConfig:
+    """Resolve the calling convention: RunConfig object or bare keywords."""
+    global _warned_kwargs
+    if config is not None:
+        if kwargs:
+            raise ExperimentError(
+                "pass either config=RunConfig(...) or bare keywords, not both "
+                f"(got config plus {sorted(kwargs)})"
+            )
+        if not isinstance(config, RunConfig):
+            raise ExperimentError(
+                f"config must be a RunConfig, got {type(config).__name__}"
+            )
+        return config
+    if kwargs and not _warned_kwargs:
+        _warned_kwargs = True
+        warnings.warn(
+            "calling run_huffman with bare keywords is deprecated; "
+            "pass config=RunConfig(...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return RunConfig.from_kwargs(**kwargs)
+
+
 def run_huffman(
+    config: RunConfig | None = None,
     *,
-    workload: str | bytes = "txt",
-    n_blocks: int | None = None,
-    block_size: int = 4096,
-    platform: str | Platform = "x86",
-    workers: int | None = None,
-    io: str | ArrivalModel = "disk",
-    policy: str = "balanced",
-    speculative: bool = True,
-    step: int = 1,
-    verification: str = "every_k",
-    verify_k: int = 8,
-    tolerance: float = 0.01,
-    reduce_ratio: int = 16,
-    offset_fanout: int = 64,
-    seed: int = 0,
-    verify_roundtrip: bool = True,
-    trace: bool = False,
-    label: str | None = None,
-    depth_first: bool = True,
-    control_first: bool = True,
-    executor: str = "sim",
-    feed_gap_s: float = 0.002,
     metrics: MetricsRegistry | None = None,
-    metrics_out: str | None = None,
-    metrics_interval_s: float = 5.0,
+    **kwargs,
 ) -> RunReport:
     """Run one Huffman encoding experiment on a chosen executor back-end.
 
     Args:
-        workload: a workload name ("txt" / "bmp" / "pdf") or raw bytes.
-        n_blocks: number of blocks (with a named workload, generates
-            ``n_blocks * block_size`` bytes; required in that case).
-        platform: "x86" / "cell" or a Platform instance.
-        io: "disk" / "socket" or an ArrivalModel.
-        policy: dispatch policy — conservative / aggressive / balanced /
-            fcfs. With ``speculative=False`` the policy is irrelevant
-            (there is never speculative work) but still applied.
-        speculative, step, verification, verify_k, tolerance: the
-            speculation knobs (see HuffmanConfig).
-        seed: drives both workload generation and I/O jitter.
-        verify_roundtrip: decode the committed stream and compare with the
-            input (cheap insurance that speculation never corrupts data).
-        executor: "sim" (default — deterministic virtual time, the paper's
-            figures), "threads" (live OS threads) or "procs" (live process
-            pool; kernel payloads ship to worker processes, control tasks
-            and closure-based glue stay on the coordinator). The live
-            back-ends ignore the platform cost model and the I/O arrival
-            model's timing: blocks stream in ``feed_gap_s`` apart on the
-            wall clock.
-        feed_gap_s: inter-block feed gap for the live back-ends (seconds).
+        config: a :class:`RunConfig` describing the run — the primary
+            calling convention. See RunConfig for every field: workload,
+            geometry, platform, speculation knobs, ``executor`` (any name
+            registered with :mod:`repro.sre.registry` — "sim" runs on
+            deterministic virtual time and reproduces the paper's figures,
+            "threads"/"procs" run on the wall clock), and ``transport``
+            ("pickle" ships block bytes per payload; "shm" places each
+            block into shared memory once and ships refs — the zero-copy
+            path for the process back-end, see docs/transport.md).
         metrics: a registry to record into (one is created otherwise);
-            pass a shared registry to aggregate several runs.
-        metrics_out: path to dump metric snapshots to — rewritten every
-            ``metrics_interval_s`` seconds during the run and once at the
-            end, so long runs always leave recent accounting on disk
-            (``.json`` → JSON snapshot, else Prometheus text).
+            pass a shared registry to aggregate several runs. A runtime
+            resource, not a run parameter — hence not part of RunConfig.
+        **kwargs: deprecated bare-keyword form; folded into a RunConfig
+            with a one-time DeprecationWarning.
 
-    Returns a :class:`RunReport`; ``report.metrics`` carries the registry.
+    Returns a :class:`RunReport`; ``report.metrics`` carries the registry
+    and ``report.run_config`` the resolved configuration.
     """
-    if policy == "nonspec":
+    cfg = _coerce_config(config, kwargs)
+    if cfg.policy == "nonspec":
         # Shorthand used throughout the figures: the paper's baseline run.
-        speculative = False
-        policy = "conservative"
-    rng = make_rng(seed)
-    if isinstance(workload, str):
-        if n_blocks is None:
-            raise ExperimentError("n_blocks is required with a named workload")
-        data = get_workload(workload).generate(n_blocks * block_size, rng)
-        workload_name = workload
-    else:
-        data = bytes(workload)
-        workload_name = "custom"
-    blocks = split_blocks(data, block_size)
-    if n_blocks is not None and len(blocks) != n_blocks:
-        raise ExperimentError(f"data yields {len(blocks)} blocks, expected {n_blocks}")
+        cfg = replace(cfg, speculative=False, policy="conservative")
 
-    plat = get_platform(platform) if isinstance(platform, str) else platform
-    io_model = _resolve_io(io)
-    config = HuffmanConfig(
-        block_size=block_size,
-        reduce_ratio=reduce_ratio,
-        offset_fanout=offset_fanout,
-        speculative=speculative,
-        step=step,
-        verification=verification,
-        verify_k=verify_k,
-        tolerance=tolerance,
+    rng = make_rng(cfg.seed)
+    if isinstance(cfg.workload, str):
+        if cfg.n_blocks is None:
+            raise ExperimentError("n_blocks is required with a named workload")
+        data = get_workload(cfg.workload).generate(cfg.n_blocks * cfg.block_size, rng)
+        workload_name = cfg.workload
+    else:
+        data = bytes(cfg.workload)
+        workload_name = "custom"
+    blocks = split_blocks(data, cfg.block_size)
+    if cfg.n_blocks is not None and len(blocks) != cfg.n_blocks:
+        raise ExperimentError(
+            f"data yields {len(blocks)} blocks, expected {cfg.n_blocks}"
+        )
+
+    plat = get_platform(cfg.platform) if isinstance(cfg.platform, str) else cfg.platform
+    io_model = _resolve_io(cfg.io)
+    hconfig = HuffmanConfig(
+        block_size=cfg.block_size,
+        reduce_ratio=cfg.reduce_ratio,
+        offset_fanout=cfg.offset_fanout,
+        speculative=cfg.speculative,
+        step=cfg.step,
+        verification=cfg.verification,
+        verify_k=cfg.verify_k,
+        tolerance=cfg.tolerance,
     )
 
     registry = metrics if metrics is not None else MetricsRegistry()
     runtime = Runtime(
-        trace=TraceRecorder(enabled=trace),
+        trace=TraceRecorder(enabled=cfg.trace),
         metrics=registry,
-        depth_first=depth_first,
-        control_first=control_first,
+        depth_first=cfg.depth_first,
+        control_first=cfg.control_first,
     )
+    store: BlockStore | None = None
+    if cfg.transport == "shm":
+        # The shared-memory transport works under every back-end (local
+        # resolution is a cache hit); it pays off on "procs", where block
+        # bytes stop crossing the coordinator→worker pipes.
+        store = BlockStore(metrics=registry)
     writer = None
-    if metrics_out is not None:
+    if cfg.metrics_out is not None:
         writer = PeriodicSnapshotWriter(
-            registry, metrics_out, interval_s=metrics_interval_s
+            registry, cfg.metrics_out, interval_s=cfg.metrics_interval_s,
+            meta=cfg.to_dict(),
         ).start()
     try:
-        if executor == "sim":
-            engine = SimulatedExecutor(runtime, plat, policy=policy, workers=workers)
-            pipeline = HuffmanPipeline(runtime, config, len(blocks))
+        if cfg.executor == "sim":
+            engine = make_executor(
+                "sim", runtime, platform=plat, policy=cfg.policy, workers=cfg.workers
+            )
+            pipeline = HuffmanPipeline(runtime, hconfig, len(blocks), store=store)
             arrivals = io_model.arrival_times(len(blocks), rng)
             for index, (when, block) in enumerate(zip(arrivals, blocks)):
                 engine.sim.schedule_at(
@@ -201,44 +224,45 @@ def run_huffman(
                     lambda i=index, b=block: pipeline.feed_block(i, b),
                 )
             end = engine.run()
-        elif executor in ("threads", "procs"):
+        else:
             import time as _time
-            cls = ThreadedExecutor if executor == "threads" else ProcessExecutor
-            engine = cls(runtime, policy=policy,
-                         workers=workers if workers is not None else 4)
-            pipeline = HuffmanPipeline(runtime, config, len(blocks))
+
+            engine = make_executor(
+                cfg.executor, runtime, policy=cfg.policy,
+                workers=cfg.workers if cfg.workers is not None else 4,
+            )
+            pipeline = HuffmanPipeline(runtime, hconfig, len(blocks), store=store)
             engine.start()
             for index, block in enumerate(blocks):
                 engine.submit(pipeline.feed_block, index, block)
-                if feed_gap_s:
-                    _time.sleep(feed_gap_s)
+                if cfg.feed_gap_s:
+                    _time.sleep(cfg.feed_gap_s)
             engine.close_input()
             if not engine.wait_idle(timeout=600.0):
                 raise ExperimentError("live executor did not drain within 600s")
             engine.shutdown()
             engine.raise_errors()
             end = engine.now
-        else:
-            raise ExperimentError(
-                f"unknown executor {executor!r}; choose 'sim', 'threads' or 'procs'"
-            )
+        result = pipeline.result(end)
+        ok: bool | None = None
+        if cfg.verify_roundtrip:
+            ok = pipeline.verify_roundtrip(data)
+            if not ok:
+                raise ExperimentError("round-trip verification failed: corrupt output")
     finally:
+        if store is not None:
+            store.close()  # releases leftover refs, unlinks every segment
         if writer is not None:
             writer.stop()  # final snapshot includes the drained end state
-    result = pipeline.result(end)
-    ok: bool | None = None
-    if verify_roundtrip:
-        ok = pipeline.verify_roundtrip(data)
-        if not ok:
-            raise ExperimentError("round-trip verification failed: corrupt output")
 
-    run_label = label or (
-        f"{workload_name}/{plat.name}/{policy}"
-        + ("" if executor == "sim" else f"/{executor}")
-        + ("" if speculative else "/nonspec")
+    run_label = cfg.label or (
+        f"{workload_name}/{plat.name}/{cfg.policy}"
+        + ("" if cfg.executor == "sim" else f"/{cfg.executor}")
+        + ("" if cfg.transport == "pickle" else f"/{cfg.transport}")
+        + ("" if cfg.speculative else "/nonspec")
     )
-    if executor == "sim":
-        n_workers = workers if workers is not None else plat.default_workers
+    if cfg.executor == "sim":
+        n_workers = cfg.workers if cfg.workers is not None else plat.default_workers
     else:
         n_workers = engine.n_workers
     return RunReport(
@@ -247,10 +271,11 @@ def run_huffman(
         summary=summarize_run(run_label, result),
         utilisation=engine.utilisation(),
         roundtrip_ok=ok,
-        config=config,
+        config=hconfig,
         platform_name=plat.name,
-        policy=policy,
+        policy=cfg.policy,
         workers=n_workers,
-        trace=runtime.trace if trace else None,
+        trace=runtime.trace if cfg.trace else None,
         metrics=registry,
+        run_config=cfg,
     )

@@ -1,0 +1,118 @@
+"""Transport micro-benchmark: pickle vs shared-memory payload shipping.
+
+Runs the same 64-block txt Huffman workload on the live back-ends and
+compares how many payload bytes actually cross the coordinator→worker
+boundary. With ``transport="pickle"`` every block, histogram and tree is
+serialized into the dispatch message; with ``transport="shm"`` the
+:class:`~repro.sre.shm.BlockStore` places each value into a named
+shared-memory segment once and the message carries only a
+:class:`~repro.sre.shm.BlockRef` handle.
+
+Only the process executor ships bytes over a pipe, so ``payload_bytes``
+is zero for threads — the threads rows are there as the wall-clock
+reference. The headline number is the procs pickle/shm byte ratio, which
+the paper-scale workload puts well above 10x.
+
+Used two ways:
+
+* ``python benchmarks/bench_micro.py --transport-table`` — appended to
+  the executor speedup table;
+* ``repro transport`` — the same table from the installed CLI.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.experiments.config import RunConfig
+from repro.experiments.runner import run_huffman
+
+__all__ = ["TransportRow", "run_transport_bench", "render_table"]
+
+
+@dataclass
+class TransportRow:
+    """One (executor, transport) cell of the comparison table."""
+
+    executor: str
+    transport: str
+    wall_s: float
+    payload_bytes: int
+    payload_bytes_avoided: int
+    roundtrip_ok: bool | None
+
+
+def _one_run(
+    executor: str,
+    transport: str,
+    *,
+    blocks: int,
+    workers: int,
+    seed: int,
+) -> TransportRow:
+    cfg = RunConfig(
+        workload="txt",
+        n_blocks=blocks,
+        executor=executor,
+        transport=transport,
+        workers=workers,
+        seed=seed,
+        feed_gap_s=0.0,
+    )
+    t0 = time.perf_counter()
+    report = run_huffman(config=cfg)
+    wall = time.perf_counter() - t0
+    reg = report.metrics
+
+    def _count(name: str) -> int:
+        # Only the process back-end registers the procs_* wire counters;
+        # threads never serialize, so their payload traffic is zero.
+        metric = reg.get(name)
+        return int(metric.value()) if metric is not None else 0
+
+    return TransportRow(
+        executor=executor,
+        transport=transport,
+        wall_s=wall,
+        payload_bytes=_count("procs_payload_bytes"),
+        payload_bytes_avoided=_count("procs_payload_bytes_avoided"),
+        roundtrip_ok=report.roundtrip_ok,
+    )
+
+
+def run_transport_bench(
+    *,
+    blocks: int = 64,
+    workers: int = 4,
+    seed: int = 0,
+    executors: tuple[str, ...] = ("threads", "procs"),
+) -> list[TransportRow]:
+    """Run the txt workload across ``executors`` x {pickle, shm}."""
+    return [
+        _one_run(name, transport, blocks=blocks, workers=workers, seed=seed)
+        for name in executors
+        for transport in ("pickle", "shm")
+    ]
+
+
+def render_table(rows: list[TransportRow]) -> str:
+    """Human-readable table with the procs pickle/shm byte-ratio line."""
+    lines = [
+        f"{'executor':<10} {'transport':<10} {'wall (s)':>10} "
+        f"{'payload B':>12} {'avoided B':>12}",
+        "-" * 58,
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.executor:<10} {r.transport:<10} {r.wall_s:>10.3f} "
+            f"{r.payload_bytes:>12,} {r.payload_bytes_avoided:>12,}"
+        )
+    by_key = {(r.executor, r.transport): r for r in rows}
+    pickle_row = by_key.get(("procs", "pickle"))
+    shm_row = by_key.get(("procs", "shm"))
+    if pickle_row and shm_row and shm_row.payload_bytes:
+        ratio = pickle_row.payload_bytes / shm_row.payload_bytes
+        lines.append("-" * 58)
+        lines.append(f"procs pickle/shm payload-byte ratio: {ratio:.1f}x")
+    return "\n".join(lines)

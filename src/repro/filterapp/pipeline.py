@@ -99,17 +99,18 @@ class FilterPipeline:
         self.manager: SpeculationManager | None = None
         if config.speculative:
             self.barrier = WaitBuffer(sink=self._commit_sink)
-            spec = SpeculationSpec(
-                name="filter",
-                predictor=self._make_predict_task,
-                validator=FilterDesignProblem.coefficient_error,
-                launch=self._launch_speculative,
-                recompute=self._launch_recompute,
-                barrier=self.barrier,
-                tolerance=RelativeTolerance(config.tolerance),
-                interval=SpeculationInterval(config.step),
-                verification=config.resolve_verification(),
-                check_cost_hint={"entries": float(problem.n_freq)},
+            spec = (
+                SpeculationSpec.builder("filter")
+                .what(launch=self._launch_speculative,
+                      recompute=self._launch_recompute)
+                .how(self._make_predict_task,
+                     interval=SpeculationInterval(config.step))
+                .barrier(self.barrier)
+                .validate(FilterDesignProblem.coefficient_error,
+                          tolerance=RelativeTolerance(config.tolerance),
+                          verification=config.resolve_verification(),
+                          check_cost_hint={"entries": float(problem.n_freq)})
+                .build()
             )
             self.manager = SpeculationManager(runtime, spec)
         self.st_iter.on_speculation_base(self._on_iteration)

@@ -50,6 +50,7 @@ from repro.huffman.tasks import (
 from repro.huffman.tree import HuffmanTree
 from repro.metrics.latency import LatencyCollector
 from repro.sre.runtime import Runtime
+from repro.sre.shm import BlockRef, BlockStore
 from repro.sre.task import Task
 
 __all__ = ["HuffmanConfig", "HuffmanPipeline", "PipelineResult"]
@@ -130,11 +131,15 @@ class PipelineResult:
 class HuffmanPipeline:
     """Drives one Huffman encoding run over a runtime."""
 
-    def __init__(self, runtime: Runtime, config: HuffmanConfig, n_blocks: int) -> None:
+    def __init__(self, runtime: Runtime, config: HuffmanConfig, n_blocks: int,
+                 store: BlockStore | None = None) -> None:
         if n_blocks < 1:
             raise ExperimentError("need at least one block")
         self.runtime = runtime
         self.config = config
+        #: optional shared-memory transport: blocks, histograms and trees go
+        #: into the store once and tasks carry refs (see repro/sre/shm.py).
+        self.store = store
         self.n_blocks = n_blocks
         self.n_groups = math.ceil(n_blocks / config.reduce_ratio)
 
@@ -146,6 +151,11 @@ class HuffmanPipeline:
         self.collector = LatencyCollector()
         self.blocks: dict[int, np.ndarray] = {}
         self.block_hists: dict[int, np.ndarray] = {}
+        #: base references: one per input block (released when the block's
+        #: encoding commits) and one per block histogram (released when the
+        #: store closes — histograms are tiny and shared by every pass).
+        self.block_refs: dict[int, BlockRef] = {}
+        self.hist_refs: dict[int, BlockRef] = {}
         self._reduce_tasks: dict[int, Task] = {}
         self._reduce_group_have: dict[int, int] = defaultdict(int)
         self._builders: list[_SecondPassBuilder] = []
@@ -158,16 +168,17 @@ class HuffmanPipeline:
         self.manager: SpeculationManager | None = None
         if config.speculative:
             self.barrier = WaitBuffer(sink=self._commit_sink)
-            spec = SpeculationSpec(
-                name="huffman",
-                predictor=self._make_tree_task,
-                validator=compression_size_error,
-                launch=self._launch_speculative,
-                recompute=self._launch_recompute,
-                barrier=self.barrier,
-                tolerance=RelativeTolerance(config.tolerance),
-                interval=SpeculationInterval(config.step),
-                verification=config.resolve_verification(),
+            spec = (
+                SpeculationSpec.builder("huffman")
+                .what(launch=self._launch_speculative,
+                      recompute=self._launch_recompute)
+                .how(self._make_tree_task,
+                     interval=SpeculationInterval(config.step))
+                .barrier(self.barrier)
+                .validate(compression_size_error,
+                          tolerance=RelativeTolerance(config.tolerance),
+                          verification=config.resolve_verification())
+                .build()
             )
             self.manager = SpeculationManager(runtime, spec)
 
@@ -198,7 +209,14 @@ class HuffmanPipeline:
         self.blocks[index] = arr
         self._fed += 1
         self.collector.record_arrival(index, self.runtime.now)
-        task = make_count_task(index, arr)
+        ref = None
+        if self.store is not None:
+            # The block enters shared memory exactly once, here; every task
+            # that touches it from now on carries the ref, not the bytes.
+            ref = self.store.put(arr)
+            if ref is not None:
+                self.block_refs[index] = ref
+        task = make_count_task(index, arr, ref)
         task.on_complete.append(self._count_done)
         self.runtime.add_task(task, self.st_first)
 
@@ -212,6 +230,10 @@ class HuffmanPipeline:
         index = task.tags["block"]
         hist = outs["out"]
         self.block_hists[index] = hist
+        if self.store is not None:
+            href = self.store.put(hist)
+            if href is not None:
+                self.hist_refs[index] = href
         # Step size 0: speculate on the very first partial value available —
         # the first block's count histogram, before any reduce completes.
         if (
@@ -236,7 +258,11 @@ class HuffmanPipeline:
     def _make_reduce(self, group: int) -> None:
         start = group * self.config.reduce_ratio
         end = start + self._reduce_group_len(group)
-        task = make_reduce_task(group, [self.block_hists[i] for i in range(start, end)])
+        task = make_reduce_task(
+            group,
+            [self.block_hists[i] for i in range(start, end)],
+            refs=self._hist_bindings(start, end),
+        )
         self._reduce_tasks[group] = task
         self.runtime.add_task(task, self.st_first)
         if group == 0:
@@ -293,8 +319,19 @@ class HuffmanPipeline:
             assert self.barrier is not None
             self.barrier.deposit(version.vid, block, entry, now)
 
+    def _hist_bindings(self, start: int, end: int) -> list | None:
+        """Per-histogram payload bindings (ref where stored, array where not)."""
+        if self.store is None:
+            return None
+        return [self.hist_refs.get(i, self.block_hists[i]) for i in range(start, end)]
+
     def _commit_sink(self, block: int, entry: tuple[int, np.ndarray, int], now: float) -> None:
         """A block's encoding became authoritative (the Store node)."""
+        if self.store is not None and block in self.block_refs:
+            # The block's bytes are no longer needed by any future task:
+            # drop the base reference (local views stay valid after the
+            # segment unlinks — only the name goes away).
+            self.store.release(self.block_refs.pop(block), reason="commit")
         self.collector.record_commit(block, now)
         self._assembled[block] = entry
         self._m_blocks_committed.inc()
@@ -396,6 +433,16 @@ class _SecondPassBuilder:
         self.tree = tree
         self.version = version
         self.label = f"v{version.vid}" if version is not None else "nat"
+        # One shared-memory copy of the tree per second pass: 64 encodes
+        # reference it by handle; each address space unpickles it once.
+        self.tree_ref = None
+        if pipeline.store is not None:
+            self.tree_ref = pipeline.store.put(tree)
+            if self.tree_ref is not None and version is not None:
+                # The version owns its tree copy: the ref is dropped with
+                # the version's fate (commit or rollback), so a dead
+                # speculation never pins the segment.
+                version.add_resource(pipeline.store.release_callback(self.tree_ref))
         fanout = pipeline.config.offset_fanout
         self.fanout = fanout
         self.n_enc_groups = math.ceil(pipeline.n_blocks / fanout)
@@ -406,6 +453,23 @@ class _SecondPassBuilder:
     @property
     def dead(self) -> bool:
         return self.version is not None and not self.version.active
+
+    def _pin(self, indices, refs: dict) -> None:
+        """Acquire an extra reference per referenced block for this version.
+
+        Released through ``SpecVersion.release_resources`` on commit or
+        rollback — the refcount trace is how the run proves mis-speculated
+        versions never pin shared memory.
+        """
+        store = self.pipeline.store
+        if store is None:
+            return
+        assert self.version is not None
+        for i in indices:
+            ref = refs.get(i)
+            if ref is not None:
+                store.acquire(ref)
+                self.version.add_resource(store.release_callback(ref))
 
     def _group_span(self, group: int) -> tuple[int, int]:
         start = group * self.fanout
@@ -438,9 +502,12 @@ class _SecondPassBuilder:
             hists,
             self.tree,
             speculative=self.version is not None,
+            hist_refs=pipeline._hist_bindings(start, end),
+            tree_ref=self.tree_ref,
         )
         if self.version is not None:
             self.version.register(task)
+            self._pin(range(start, end), pipeline.hist_refs)
         task.on_complete.append(lambda _t, outs, g=group: self._offset_done(g, outs))
         self._offset_tasks[group] = task
         st = pipeline.st_spec if self.version is not None else pipeline.st_second
@@ -459,6 +526,8 @@ class _SecondPassBuilder:
         start, end = self._group_span(group)
         pipeline = self.pipeline
         st = pipeline.st_spec if self.version is not None else pipeline.st_second
+        if self.version is not None:
+            self._pin(range(start, end), pipeline.block_refs)
         for k, index in enumerate(range(start, end)):
             task = make_encode_task(
                 f"encode:{self.label}:{index}",
@@ -467,6 +536,8 @@ class _SecondPassBuilder:
                 self.tree,
                 int(offsets[k]),
                 speculative=self.version is not None,
+                ref=pipeline.block_refs.get(index),
+                tree_ref=self.tree_ref,
             )
             if self.version is not None:
                 self.version.register(task)

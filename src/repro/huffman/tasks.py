@@ -19,6 +19,7 @@ from repro.huffman.codec import encode_block
 from repro.huffman.histogram import ALPHABET, byte_histogram, merge_histograms
 from repro.huffman.offsets import group_offsets
 from repro.huffman.tree import HuffmanTree
+from repro.sre.shm import BlockRef
 from repro.sre.task import Task
 
 __all__ = [
@@ -82,11 +83,16 @@ def _encode_kernel(data: np.ndarray, tree: HuffmanTree, block_id: int,
     }
 
 
-def make_count_task(block_id: int, data: np.ndarray) -> Task:
-    """First-pass histogram of one input block."""
+def make_count_task(block_id: int, data: np.ndarray,
+                    ref: BlockRef | None = None) -> Task:
+    """First-pass histogram of one input block.
+
+    When ``ref`` is given (shared-memory transport) the payload binds the
+    handle instead of the bytes; cost hints still reflect the real size.
+    """
     return Task(
         f"count:{block_id}",
-        partial(_count_kernel, data),
+        partial(_count_kernel, data if ref is None else ref),
         kind="count",
         depth=DEPTH_COUNT,
         cost_hint={"bytes": float(data.size)},
@@ -94,17 +100,19 @@ def make_count_task(block_id: int, data: np.ndarray) -> Task:
     )
 
 
-def make_reduce_task(index: int, group_hists: Sequence[np.ndarray]) -> Task:
+def make_reduce_task(index: int, group_hists: Sequence[np.ndarray],
+                     refs: Sequence[BlockRef] | None = None) -> Task:
     """Running reduction: previous prefix histogram + this group's counts.
 
     Input port ``prev`` carries the cumulative histogram of all earlier
     groups; the group's own histograms are closure-captured (they exist when
-    the task is created — group completion is its creation trigger).
+    the task is created — group completion is its creation trigger), or
+    passed as shared-memory ``refs`` under the shm transport.
     """
     hists = list(group_hists)
     return Task(
         f"reduce:{index}",
-        partial(_reduce_kernel, hists),
+        partial(_reduce_kernel, hists if refs is None else list(refs)),
         inputs=("prev",),
         kind="reduce",
         depth=DEPTH_REDUCE,
@@ -137,6 +145,8 @@ def make_offset_task(
     tree: HuffmanTree,
     *,
     speculative: bool,
+    hist_refs: Sequence[BlockRef] | None = None,
+    tree_ref: BlockRef | None = None,
 ) -> Task:
     """Offset-chain link: bit positions for one encode group.
 
@@ -144,9 +154,10 @@ def make_offset_task(
     per-block ``offsets`` array and the chain continuation ``cum``.
     """
     hists = list(group_hists)
+    bound_hists = hists if hist_refs is None else list(hist_refs)
     return Task(
         name,
-        partial(_offset_kernel, hists, tree),
+        partial(_offset_kernel, bound_hists, tree if tree_ref is None else tree_ref),
         inputs=("prev",),
         kind="offset",
         depth=DEPTH_OFFSET,
@@ -163,11 +174,14 @@ def make_encode_task(
     offset: int,
     *,
     speculative: bool,
+    ref: BlockRef | None = None,
+    tree_ref: BlockRef | None = None,
 ) -> Task:
     """Second-pass encode of one block at a known bit offset."""
     return Task(
         name,
-        partial(_encode_kernel, data, tree, block_id, offset),
+        partial(_encode_kernel, data if ref is None else ref,
+                tree if tree_ref is None else tree_ref, block_id, offset),
         kind="encode",
         depth=DEPTH_ENCODE,
         speculative=speculative,

@@ -84,17 +84,18 @@ class KMeansPipeline:
         self.manager: SpeculationManager | None = None
         if config.speculative:
             self.barrier = WaitBuffer(sink=self._commit_sink)
-            spec = SpeculationSpec(
-                name="kmeans",
-                predictor=self._make_predict_task,
-                validator=self._validator,
-                launch=self._launch_speculative,
-                recompute=self._launch_recompute,
-                barrier=self.barrier,
-                tolerance=RelativeTolerance(config.tolerance),
-                interval=SpeculationInterval(config.step),
-                verification=config.resolve_verification(),
-                check_cost_hint={"entries": 512.0},
+            spec = (
+                SpeculationSpec.builder("kmeans")
+                .what(launch=self._launch_speculative,
+                      recompute=self._launch_recompute)
+                .how(self._make_predict_task,
+                     interval=SpeculationInterval(config.step))
+                .barrier(self.barrier)
+                .validate(self._validator,
+                          tolerance=RelativeTolerance(config.tolerance),
+                          verification=config.resolve_verification(),
+                          check_cost_hint={"entries": 512.0})
+                .build()
             )
             self.manager = SpeculationManager(runtime, spec)
         self.st_fit.on_speculation_base(self._on_step_done)

@@ -114,15 +114,23 @@ def to_prometheus_text(snapshot: Mapping[str, Any]) -> str:
     return "\n".join(lines) + "\n"
 
 
-def to_json_snapshot(snapshot: Mapping[str, Any], *, indent: int | None = 2) -> str:
+def to_json_snapshot(snapshot: Mapping[str, Any], *, indent: int | None = 2,
+                     meta: Mapping[str, Any] | None = None) -> str:
     """Serialise a snapshot to JSON with a format header.
+
+    ``meta`` (e.g. ``RunConfig.to_dict()``) is embedded under a ``"meta"``
+    key so the export is self-describing: a snapshot file alone says what
+    run produced it.
 
     Example::
 
         doc = json.loads(to_json_snapshot(registry.snapshot()))
         doc["metrics"][0]["name"]
     """
-    return json.dumps({"format": SNAPSHOT_FORMAT, **dict(snapshot)}, indent=indent)
+    doc: dict[str, Any] = {"format": SNAPSHOT_FORMAT, **dict(snapshot)}
+    if meta is not None:
+        doc["meta"] = dict(meta)
+    return json.dumps(doc, indent=indent)
 
 
 def load_json_snapshot(text: str) -> dict[str, Any]:
@@ -142,20 +150,30 @@ def load_json_snapshot(text: str) -> dict[str, Any]:
 
 
 def write_metrics(path: str, snapshot: Mapping[str, Any],
-                  fmt: str | None = None) -> str:
+                  fmt: str | None = None, *,
+                  meta: Mapping[str, Any] | None = None) -> str:
     """Write a snapshot to ``path``; returns the format used.
 
     ``fmt`` is ``"prom"`` or ``"json"``; when None it is inferred from the
     file extension (``.json`` → JSON, anything else → Prometheus text).
-    The write goes through a same-directory temp file + atomic rename so a
-    scraper never reads a half-written snapshot.
+    ``meta`` describes the run that produced the numbers: embedded as a
+    ``"meta"`` object in JSON, rendered as leading ``#`` comment lines in
+    Prometheus text. The write goes through a same-directory temp file +
+    atomic rename so a scraper never reads a half-written snapshot.
     """
     if fmt is None:
         fmt = "json" if str(path).endswith(".json") else "prom"
     if fmt not in ("prom", "json"):
         raise ObservabilityError(f"unknown metrics format {fmt!r}")
-    text = (to_json_snapshot(snapshot) if fmt == "json"
-            else to_prometheus_text(snapshot))
+    if fmt == "json":
+        text = to_json_snapshot(snapshot, meta=meta)
+    else:
+        text = to_prometheus_text(snapshot)
+        if meta:
+            header = "".join(
+                f"# meta {k}={_escape_help(str(v))}\n" for k, v in meta.items()
+            )
+            text = header + text
     tmp = f"{path}.tmp.{os.getpid()}"
     with open(tmp, "w") as fh:
         fh.write(text)
@@ -182,20 +200,24 @@ class PeriodicSnapshotWriter:
     """
 
     def __init__(self, registry, path: str, *, interval_s: float = 5.0,
-                 fmt: str | None = None) -> None:
+                 fmt: str | None = None,
+                 meta: Mapping[str, Any] | None = None) -> None:
         if interval_s <= 0:
             raise ObservabilityError("interval_s must be positive")
         self.registry = registry
         self.path = str(path)
         self.interval_s = interval_s
         self.fmt = fmt
+        #: run description embedded in every write (see write_metrics).
+        self.meta = meta
         self.writes = 0
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
 
     def flush(self) -> None:
         """Write one snapshot now (also callable without start())."""
-        write_metrics(self.path, self.registry.snapshot(), self.fmt)
+        write_metrics(self.path, self.registry.snapshot(), self.fmt,
+                      meta=self.meta)
         self.writes += 1
 
     def start(self) -> "PeriodicSnapshotWriter":

@@ -32,7 +32,14 @@ from repro.sre.policies import (
     get_policy,
 )
 from repro.sre.queues import ReadyQueue
+from repro.sre.registry import (
+    EXECUTORS,
+    executor_names,
+    make_executor,
+    register_executor,
+)
 from repro.sre.runtime import Runtime
+from repro.sre.shm import BlockRef, BlockStore
 from repro.sre.supertask import SuperTask
 from repro.sre.task import Task, TaskState
 from repro.sre.executor_base import LiveExecutor
@@ -59,4 +66,10 @@ __all__ = [
     "LiveExecutor",
     "ThreadedExecutor",
     "ProcessExecutor",
+    "BlockRef",
+    "BlockStore",
+    "EXECUTORS",
+    "register_executor",
+    "make_executor",
+    "executor_names",
 ]

@@ -257,6 +257,54 @@ class LiveExecutor:
         raise NotImplementedError
 
     # ------------------------------------------------------------------
+    # dispatch bookkeeping (shared by the worker loop and batching
+    # back-ends that take extra tasks mid-_execute)
+    # ------------------------------------------------------------------
+    def _begin_dispatch(self, wid: int, task: Task) -> None:
+        """Account one task entering execution. Caller holds the lock."""
+        self.runtime.begin_task(task, worker=wid)
+        self.policy.notify_started(task)
+        self._inflight += 1
+        self._m_dispatched.inc()
+        self._m_inflight.set(self._inflight)
+        self._note_dispatch(wid, task)
+
+    def _finish_dispatch(
+        self,
+        wid: int,
+        task: Task,
+        outputs: dict[str, Any],
+        failure: BaseException | None,
+        wall_us: float | None = None,
+    ) -> None:
+        """Account one dispatched task finishing (acquires the lock).
+
+        Failures never kill a coordinator thread: the failing task is
+        reaped like a mis-speculation — flagged so ``finish_task``
+        discards the (empty) outputs, then its dependence cone destroyed.
+        """
+        if wall_us is not None:
+            self._m_task_wall.labels(kind=task.kind).observe(wall_us)
+        with self._cond:
+            if failure is not None:
+                self._m_failures.inc()
+                task.request_abort()
+                self.runtime.trace.record(
+                    self.runtime.now, "task_failed", task.name,
+                    task_kind=task.kind, error=repr(failure),
+                )
+            self._note_complete(wid, task)
+            self.runtime.finish_task(task, outputs, precomputed=True,
+                                     worker=wid)
+            self.policy.notify_finished(task)
+            self._inflight -= 1
+            self._m_inflight.set(self._inflight)
+            if failure is not None:
+                self.runtime.abort_dependents([task], include_roots=False)
+                self._errors.append(TaskExecutionError(task.name, failure))
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
     # coordinator worker loop
     # ------------------------------------------------------------------
     def _on_ready(self, task: Task) -> None:
@@ -278,12 +326,7 @@ class LiveExecutor:
                     self._cond.wait(self.POLL_S)
                 if self._stop and task is None:
                     return
-                self.runtime.begin_task(task, worker=wid)
-                self.policy.notify_started(task)
-                self._inflight += 1
-                self._m_dispatched.inc()
-                self._m_inflight.set(self._inflight)
-                self._note_dispatch(wid, task)
+                self._begin_dispatch(wid, task)
             # Compute outside the lock so task bodies overlap.
             failure: BaseException | None = None
             t_exec0 = self._clock()
@@ -295,26 +338,5 @@ class LiveExecutor:
                 except Exception as exc:
                     failure = exc
                     outputs = {}
-            self._m_task_wall.labels(kind=task.kind).observe(
-                self._clock() - t_exec0)
-            with self._cond:
-                if failure is not None:
-                    self._m_failures.inc()
-                    # Reap the failing task like a mis-speculation: flag it so
-                    # finish_task discards the (empty) outputs, then destroy
-                    # its dependence cone — nothing downstream can ever run.
-                    task.request_abort()
-                    self.runtime.trace.record(
-                        self.runtime.now, "task_failed", task.name,
-                        task_kind=task.kind, error=repr(failure),
-                    )
-                self._note_complete(wid, task)
-                self.runtime.finish_task(task, outputs, precomputed=True,
-                                         worker=wid)
-                self.policy.notify_finished(task)
-                self._inflight -= 1
-                self._m_inflight.set(self._inflight)
-                if failure is not None:
-                    self.runtime.abort_dependents([task], include_roots=False)
-                    self._errors.append(TaskExecutionError(task.name, failure))
-                self._cond.notify_all()
+            self._finish_dispatch(wid, task, outputs, failure,
+                                  wall_us=self._clock() - t_exec0)

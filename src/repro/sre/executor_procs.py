@@ -15,6 +15,21 @@ address spaces run kernels, and working sets cross the boundary explicitly
 (with a per-task footprint budget in the spirit of the 32 KB local-store
 cap — see :class:`~repro.platforms.localstore.LocalStore`).
 
+Two transport refinements keep the pipe off the critical path:
+
+* **shared-memory refs** — payloads built over a
+  :class:`~repro.sre.shm.BlockStore` carry
+  :class:`~repro.sre.shm.BlockRef` handles instead of block bytes; workers
+  attach each segment lazily, once, and resolve refs zero-copy. The budget
+  check counts the *referenced* bytes (``Task.payload_footprint``), not
+  the handle bytes, and ``procs_payload_bytes_avoided`` accounts what
+  stayed off the wire.
+* **batching** — when the ready queues hold more work than there are idle
+  workers, small payloads ride along in one pipe message (one header +
+  payload frames, one reply list), amortising syscalls and wakeups across
+  kernels. Batching never starves parallelism: extras are taken only
+  while every idle worker still has a task left in the queues.
+
 Three classes of task never leave the coordinator:
 
 * **control tasks** (predict / verify / check) — tiny and latency-critical,
@@ -22,59 +37,82 @@ Three classes of task never leave the coordinator:
 * **unpicklable payloads** (closures over coordinator state) — run inline
   rather than failing, so pipelines mixing shippable kernels with
   closure-based glue work unmodified;
-* tasks whose serialized footprint exceeds the payload budget — these
-  *fail* (configuration error), matching the local-store discipline.
+* tasks whose payload footprint exceeds the budget — these *fail*
+  (configuration error), matching the local-store discipline.
 
 Abort flags cross the process boundary through a shared byte array: when a
 RUNNING task is flagged, the coordinator raises its worker's flag; a worker
 observes the flag before starting a received payload and skips execution.
 Work the worker has already started cannot be recalled — the coordinator
 reaps its result on completion, the paper's destroy-signal protocol
-(§III-B) verbatim.
+(§III-B) verbatim. A skipped batch member that was *not* itself aborted
+(innocent bystander of a raised flag), or one whose shared segment
+disappeared under a racing rollback (``SegmentGone``), is re-run inline on
+the coordinator — the authoritative mapping there outlives the unlink.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 import time
 import traceback
 from typing import Any
 
-from repro.errors import PlatformError, SchedulingError, TaskStateError
+from repro.errors import PlatformError, SchedulingError, SegmentGone, TaskStateError
 from repro.obs.metrics import MetricsRegistry
+from repro.sre import shm
 from repro.sre.executor_base import LiveExecutor
 from repro.sre.policies import DispatchPolicy
+from repro.sre.registry import register_executor
 from repro.sre.runtime import Runtime
-from repro.sre.task import Task
+from repro.sre.task import PAYLOAD_PROTOCOL, Task
 
-__all__ = ["ProcessExecutor", "DEFAULT_PAYLOAD_BUDGET"]
+__all__ = ["ProcessExecutor", "DEFAULT_PAYLOAD_BUDGET", "DEFAULT_BATCH_MAX",
+           "DEFAULT_BATCH_BYTES"]
 
-#: Default per-task serialized-footprint cap (bytes). Far roomier than the
-#: Cell's 32 KB local-store slots — pipes don't mind — but the discipline is
-#: the same: a task that drags megabytes of captured state to a worker is a
-#: pipeline bug, and it should fail loudly at dispatch, not slowly at run.
+#: Default per-task payload-footprint cap (bytes): wire bytes plus bytes of
+#: every shared-memory block the payload references. Far roomier than the
+#: Cell's 32 KB local-store slots — pipes and mmaps don't mind — but the
+#: discipline is the same: a task that drags megabytes of captured state to
+#: a worker is a pipeline bug, and it should fail loudly at dispatch.
 DEFAULT_PAYLOAD_BUDGET = 8 * 1024 * 1024
 
-#: Worker wire protocol: reply status tags and the stop sentinel.
+#: Most tasks a coordinator thread ships in one pipe message.
+DEFAULT_BATCH_MAX = 8
+
+#: Only payloads at or below this wire size are batched; bigger ones ship
+#: alone so a long transfer never delays unrelated small kernels.
+DEFAULT_BATCH_BYTES = 64 * 1024
+
+#: Worker wire protocol: reply status tags and the stop sentinel. One
+#: request is a pickled frame count followed by that many payload frames;
+#: the reply is one pickled list of ``(status, payload)`` pairs, aligned
+#: with the request frames.
 _OK = "ok"
 _ERR = "error"
 _SKIPPED = "abort-skipped"
+_GONE = "segment-gone"
 _METRICS = "metrics"
 _STOP = b"\x00__sre_stop__"
 
 
 def _process_main(conn, abort_flags, wid: int) -> None:
-    """Worker-process loop: receive payloads, observe abort flags, reply.
+    """Worker-process loop: receive payload batches, observe abort flags,
+    reply once per batch.
 
     Module-level so it imports cleanly under any multiprocessing start
     method. The worker owns no runtime state — it is a pure payload engine.
+    Shared-memory segments referenced by payloads are attached lazily (the
+    first ref into a segment pays the map; every later ref is a pointer),
+    and detached when the stop sentinel arrives.
 
     Each worker keeps its own :class:`~repro.obs.metrics.MetricsRegistry`
-    (payload counts, errors, abort skips, body wall time); on the stop
-    sentinel it sends the registry snapshot back up the pipe as a final
-    ``(_METRICS, snapshot)`` reply, and the coordinator folds it into the
-    run's registry — cross-process aggregation over the existing wire,
-    no extra channel.
+    (payload counts, errors, abort skips, body wall time, attached
+    segments); on the stop sentinel it sends the registry snapshot back up
+    the pipe as a final ``(_METRICS, snapshot)`` reply, and the coordinator
+    folds it into the run's registry — cross-process aggregation over the
+    existing wire, no extra channel.
     """
     metrics = MetricsRegistry()
     w = str(wid)
@@ -88,39 +126,74 @@ def _process_main(conn, abort_flags, wid: int) -> None:
         "procs_worker_abort_skips",
         "payloads skipped because the destroy signal landed first",
         labelnames=("worker",)).labels(worker=w)
+    m_gone = metrics.counter(
+        "procs_worker_segment_gone",
+        "payloads bounced because a shared segment was already reclaimed",
+        labelnames=("worker",)).labels(worker=w)
     m_body_us = metrics.histogram(
         "procs_worker_body_us", "payload body wall time in worker (µs)",
         labelnames=("worker",)).labels(worker=w)
+    m_attached = metrics.gauge(
+        "procs_worker_shm_attached",
+        "shared-memory segments a worker had attached at shutdown",
+        labelnames=("worker",)).labels(worker=w)
     while True:
         try:
-            blob = conn.recv_bytes()
+            head = conn.recv_bytes()
         except (EOFError, OSError):
             return
-        if blob == _STOP:
+        if head == _STOP:
+            m_attached.set(len(shm.attached_segments()))
             try:
                 conn.send((_METRICS, metrics.snapshot()))
             except (BrokenPipeError, OSError):  # pragma: no cover - defensive
                 pass
+            shm.detach_all()
             return
-        if abort_flags[wid]:
-            # Destroy signal observed before launch: skip the body entirely.
-            m_skips.inc()
-            conn.send((_SKIPPED, None))
-            continue
-        t0 = time.perf_counter()
         try:
-            outputs = Task.run_payload(blob)
-        except BaseException:
-            m_errors.inc()
-            conn.send((_ERR, traceback.format_exc()))
-            continue
-        m_tasks.inc()
-        m_body_us.observe((time.perf_counter() - t0) * 1e6)
+            n = pickle.loads(head)
+            blobs = [conn.recv_bytes() for _ in range(n)]
+        except (EOFError, OSError):
+            return
+        replies: list[tuple[str, Any]] = []
+        for blob in blobs:
+            if abort_flags[wid]:
+                # Destroy signal observed before launch: skip the body.
+                # The coordinator re-runs any batch member that was not
+                # actually aborted, so over-skipping is always safe.
+                m_skips.inc()
+                replies.append((_SKIPPED, None))
+                continue
+            t0 = time.perf_counter()
+            try:
+                outputs = Task.run_payload(blob)
+            except SegmentGone as exc:
+                m_gone.inc()
+                replies.append((_GONE, str(exc)))
+                continue
+            except BaseException:
+                m_errors.inc()
+                replies.append((_ERR, traceback.format_exc()))
+                continue
+            m_tasks.inc()
+            m_body_us.observe((time.perf_counter() - t0) * 1e6)
+            replies.append((_OK, outputs))
         try:
-            conn.send((_OK, outputs))
-        except Exception as exc:
-            conn.send((_ERR, f"task outputs could not cross the process "
-                             f"boundary: {exc!r}"))
+            conn.send(replies)
+        except Exception:
+            # Some output refused to pickle: degrade only the offending
+            # replies to errors, keep the rest of the batch intact.
+            safe: list[tuple[str, Any]] = []
+            for status, payload in replies:
+                if status == _OK:
+                    try:
+                        pickle.dumps(payload, protocol=PAYLOAD_PROTOCOL)
+                    except Exception as exc:
+                        status, payload = _ERR, (
+                            "task outputs could not cross the process "
+                            f"boundary: {exc!r}")
+                safe.append((status, payload))
+            conn.send(safe)
 
 
 class _WorkerCrash(RuntimeError):
@@ -134,7 +207,11 @@ class ProcessExecutor(LiveExecutor):
         runtime: the runtime to drive.
         policy: dispatch policy (same vocabulary as every executor).
         workers: worker processes (and paired coordinator threads).
-        payload_budget: per-task serialized-footprint cap in bytes.
+        payload_budget: per-task payload-footprint cap in bytes (wire
+            bytes + referenced shared-memory bytes).
+        batch_max: most tasks shipped in one pipe message (1 disables
+            batching).
+        batch_bytes: only payloads at or below this wire size are batched.
         start_method: multiprocessing start method; default prefers
             ``fork`` (cheap, inherits imports) where available.
     """
@@ -146,12 +223,18 @@ class ProcessExecutor(LiveExecutor):
         policy: DispatchPolicy | str = "conservative",
         workers: int = 4,
         payload_budget: int = DEFAULT_PAYLOAD_BUDGET,
+        batch_max: int = DEFAULT_BATCH_MAX,
+        batch_bytes: int = DEFAULT_BATCH_BYTES,
         start_method: str | None = None,
     ) -> None:
         super().__init__(runtime, policy=policy, workers=workers)
         if payload_budget < 1:
             raise SchedulingError("payload_budget must be positive")
+        if batch_max < 1:
+            raise SchedulingError("batch_max must be >= 1")
         self.payload_budget = payload_budget
+        self.batch_max = batch_max
+        self.batch_bytes = batch_bytes
         if start_method is not None:
             self._ctx = multiprocessing.get_context(start_method)
         else:
@@ -162,13 +245,16 @@ class ProcessExecutor(LiveExecutor):
         self._procs: list[multiprocessing.process.BaseProcess] = []
         self._conns: list[Any] = []
         self._abort_flags = None
-        self._current: list[Task | None] = [None] * workers
+        #: all tasks currently in flight on each worker (a batch is a list).
+        self._current: list[list[Task]] = [[] for _ in range(workers)]
         #: Introspection counters (coordinator-lock protected). Mirrored as
         #: registry metrics (procs_tasks_shipped / _inline / payload_bytes)
         #: so exporters see them without touching executor internals.
         self.tasks_shipped = 0
         self.tasks_inline = 0
         self.payload_bytes = 0
+        self.payload_bytes_avoided = 0
+        self.batches = 0
         m = runtime.metrics
         self._m_shipped = m.counter(
             "procs_tasks_shipped", "task payloads shipped to worker processes")
@@ -177,12 +263,31 @@ class ProcessExecutor(LiveExecutor):
             "tasks run inline on the coordinator (control/unpicklable)")
         self._m_payload_bytes = m.counter(
             "procs_payload_bytes", "serialized payload bytes sent to workers")
+        self._m_bytes_avoided = m.counter(
+            "procs_payload_bytes_avoided",
+            "bytes that stayed in shared memory instead of crossing the pipe")
+        self._m_batches = m.counter(
+            "procs_batches", "pipe messages carrying more than one payload")
+        self._m_batched = m.counter(
+            "procs_batched_tasks", "payloads that rode along in a batch")
+        self._m_reruns = m.counter(
+            "procs_inline_reruns",
+            "worker-skipped payloads re-run inline on the coordinator")
         runtime.add_abort_flag_listener(self._on_abort_flagged)
 
     # ------------------------------------------------------------------
     # substrate lifecycle
     # ------------------------------------------------------------------
     def _start_backend(self) -> None:
+        # The shared-memory resource tracker must exist *before* workers
+        # fork: a worker that attaches a segment registers it with its
+        # inherited tracker. If the tracker only starts after the fork,
+        # each worker spawns a private one, and a private tracker unlinks
+        # every registered segment when its worker exits — yanking live
+        # segments out from under the coordinator.
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
         self._abort_flags = self._ctx.Array("b", self.n_workers, lock=False)
         for wid in range(self.n_workers):
             parent, child = self._ctx.Pipe(duplex=True)
@@ -238,62 +343,212 @@ class ProcessExecutor(LiveExecutor):
         if self._abort_flags is None:
             return
         for wid, current in enumerate(self._current):
-            if current is task:
+            if task in current:
                 self._abort_flags[wid] = 1
 
     def _note_dispatch(self, wid: int, task: Task) -> None:
-        self._current[wid] = task
-        if self._abort_flags is not None:
+        current = self._current[wid]
+        current.append(task)
+        if self._abort_flags is not None and not any(
+            t.abort_requested for t in current
+        ):
+            # Reset only when no in-flight batch member is flagged — a
+            # destroy signal raised for an earlier member must survive
+            # later members joining the batch.
             self._abort_flags[wid] = 0
 
     def _note_complete(self, wid: int, task: Task) -> None:
-        self._current[wid] = None
-        if self._abort_flags is not None:
+        current = self._current[wid]
+        try:
+            current.remove(task)
+        except ValueError:  # pragma: no cover - defensive
+            pass
+        if self._abort_flags is not None and not any(
+            t.abort_requested for t in current
+        ):
             self._abort_flags[wid] = 0
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def _execute(self, wid: int, task: Task) -> dict[str, Any]:
-        """Run one task: ship its payload to worker ``wid``, or run inline.
+    def _serialize_or_none(self, task: Task) -> bytes | None:
+        if task.control:
+            return None
+        try:
+            return task.serialize_payload()
+        except TaskStateError:
+            return None  # closure-captured payload: coordinator runs it
 
-        Control tasks and closure-captured payloads run on the coordinator
-        (see the module docstring); everything else is serialized, checked
-        against ``payload_budget``, sent down worker ``wid``'s pipe, and
-        the reply awaited — the coordinator thread blocks in an I/O wait,
-        not in bytecode, which is what lets pure-Python kernels overlap.
-        Raises :class:`~repro.errors.PlatformError` on budget violation and
-        re-raises worker-side failures as :class:`_WorkerCrash`.
-        """
-        blob: bytes | None = None
-        if not task.control:
-            try:
-                blob = task.serialize_payload()
-            except TaskStateError:
-                blob = None  # closure-captured payload: coordinator runs it
-        if blob is None:
-            with self._cond:
-                self.tasks_inline += 1
-            self._m_inline.inc()
-            return task.run()
-        if len(blob) > self.payload_budget:
+    def _check_budget(self, task: Task, blob: bytes) -> None:
+        footprint = len(blob) + task.referenced_bytes()
+        if footprint > self.payload_budget:
             raise PlatformError(
-                f"task {task.name!r}: serialized payload {len(blob)} B exceeds "
+                f"task {task.name!r}: payload footprint {footprint} B "
+                f"({len(blob)} B wire + referenced shared blocks) exceeds "
                 f"the process back-end budget {self.payload_budget} B "
                 "(cf. the Cell local-store per-task cap)"
             )
-        conn = self._conns[wid]
-        conn.send_bytes(blob)
+
+    def _run_inline(self, task: Task) -> dict[str, Any]:
         with self._cond:
-            self.tasks_shipped += 1
-            self.payload_bytes += len(blob)
-        self._m_shipped.inc()
-        self._m_payload_bytes.inc(len(blob))
-        status, payload = conn.recv()
-        if status == _SKIPPED:
-            # Worker observed the destroy signal; nothing ran. finish_task
-            # reaps the task via its abort flag.
-            return {}
+            self.tasks_inline += 1
+        self._m_inline.inc()
+        return task.run()
+
+    def _take_extras(
+        self, wid: int
+    ) -> tuple[list[tuple[Task, bytes]], list[Task], list[tuple[Task, PlatformError]]]:
+        """Pop extra ready tasks to ride along in this worker's batch.
+
+        Called under the lock. Extras are taken only while the ready
+        queues hold more tasks than there are idle workers — batching
+        amortises pipe traffic without ever serialising work an idle
+        worker could overlap. Control/unpicklable extras are returned for
+        inline execution (they were already accounted as dispatched);
+        budget violators are returned as failures.
+        """
+        shippable: list[tuple[Task, bytes]] = []
+        inline: list[Task] = []
+        failed: list[tuple[Task, PlatformError]] = []
+        while len(shippable) + 1 < self.batch_max:
+            nat = self.runtime.natural_queue
+            spec = self.runtime.speculative_queue
+            idle = self.n_workers - self._inflight
+            if len(nat) + len(spec) <= idle:
+                break
+            extra = self.policy.select(nat, spec)
+            if extra is None:
+                break
+            self._begin_dispatch(wid, extra)
+            blob = None if extra.abort_requested else self._serialize_or_none(extra)
+            if blob is None:
+                inline.append(extra)
+                continue
+            if len(blob) > self.batch_bytes:
+                # Too big to ride along; run it inline rather than delaying
+                # the batch (it was already popped and accounted).
+                inline.append(extra)
+                continue
+            try:
+                self._check_budget(extra, blob)
+            except PlatformError as exc:
+                failed.append((extra, exc))
+                continue
+            shippable.append((extra, blob))
+        return shippable, inline, failed
+
+    def _finish_inline_extra(self, wid: int, extra: Task) -> None:
+        failure: BaseException | None = None
+        outputs: dict[str, Any] = {}
+        t0 = self._clock()
+        if not extra.abort_requested:
+            with self._cond:
+                self.tasks_inline += 1
+            self._m_inline.inc()
+            try:
+                outputs = extra.run()
+            except Exception as exc:
+                failure = exc
+        self._finish_dispatch(wid, extra, outputs, failure,
+                              wall_us=self._clock() - t0)
+
+    def _rerun_or_reap(self, task: Task) -> tuple[dict[str, Any], BaseException | None]:
+        """Resolve a ``_SKIPPED``/``_GONE`` reply for one batch member.
+
+        An actually-aborted task is reaped (empty outputs + its abort
+        flag); an innocent bystander is re-run inline — the coordinator's
+        segment mappings outlive any unlink, so ``SegmentGone`` cannot
+        recur here.
+        """
+        if task.abort_requested:
+            return {}, None
+        self._m_reruns.inc()
+        try:
+            return task.run(), None
+        except Exception as exc:
+            return {}, exc
+
+    def _execute(self, wid: int, task: Task) -> dict[str, Any]:
+        """Run one task: ship its payload (plus ready small extras) to
+        worker ``wid``, or run inline.
+
+        Control tasks and closure-captured payloads run on the coordinator
+        (see the module docstring); everything else is serialized, checked
+        against ``payload_budget`` (wire + referenced shared bytes), sent
+        down worker ``wid``'s pipe — batched with extra small ready
+        payloads when the queues are deeper than the idle-worker count —
+        and the reply awaited: the coordinator thread blocks in an I/O
+        wait, not in bytecode, which is what lets pure-Python kernels
+        overlap. Raises :class:`~repro.errors.PlatformError` on budget
+        violation and re-raises worker-side failures as
+        :class:`_WorkerCrash`.
+        """
+        blob = self._serialize_or_none(task)
+        if blob is None:
+            return self._run_inline(task)
+        self._check_budget(task, blob)
+        extras: list[tuple[Task, bytes]] = []
+        inline_extras: list[Task] = []
+        failed_extras: list[tuple[Task, PlatformError]] = []
+        if self.batch_max > 1 and len(blob) <= self.batch_bytes:
+            with self._cond:
+                extras, inline_extras, failed_extras = self._take_extras(wid)
+
+        frames = [blob] + [b for (_t, b) in extras]
+        shipped = [task] + [t for (t, _b) in extras]
+        conn = self._conns[wid]
+        conn.send_bytes(pickle.dumps(len(frames), protocol=PAYLOAD_PROTOCOL))
+        for frame in frames:
+            conn.send_bytes(frame)
+        wire = sum(len(f) for f in frames)
+        avoided = sum(t.referenced_bytes() for t in shipped)
+        with self._cond:
+            self.tasks_shipped += len(frames)
+            self.payload_bytes += wire
+            self.payload_bytes_avoided += avoided
+            if len(frames) > 1:
+                self.batches += 1
+        self._m_shipped.inc(len(frames))
+        self._m_payload_bytes.inc(wire)
+        if avoided:
+            self._m_bytes_avoided.inc(avoided)
+        if len(frames) > 1:
+            self._m_batches.inc()
+            self._m_batched.inc(len(extras))
+        for t in shipped:
+            t.drop_payload_cache()
+
+        # While the worker chews on the batch, the coordinator handles the
+        # extras that could not ship and the budget violators.
+        for extra, exc in failed_extras:
+            self._finish_dispatch(wid, extra, {}, exc)
+        for extra in inline_extras:
+            self._finish_inline_extra(wid, extra)
+
+        t0 = self._clock()
+        replies = conn.recv()
+        batch_wall = self._clock() - t0
+        for (extra, _b), (status, payload) in zip(extras, replies[1:]):
+            outputs: dict[str, Any] = {}
+            failure: BaseException | None = None
+            if status == _OK:
+                outputs = payload
+            elif status == _ERR:
+                failure = _WorkerCrash(payload)
+            else:  # _SKIPPED / _GONE
+                outputs, failure = self._rerun_or_reap(extra)
+            self._finish_dispatch(wid, extra, outputs, failure,
+                                  wall_us=batch_wall)
+
+        status, payload = replies[0]
         if status == _ERR:
             raise _WorkerCrash(payload)
+        if status in (_SKIPPED, _GONE):
+            outputs, failure = self._rerun_or_reap(task)
+            if failure is not None:
+                raise failure
+            return outputs
         return payload
+
+
+register_executor("procs", ProcessExecutor)

@@ -164,3 +164,17 @@ class SimulatedExecutor:
             return 0.0
         total = sum(w.busy_time for w in self.workers)
         return total / (self.sim.now * len(self.workers))
+
+
+def _make_sim_executor(runtime: Runtime, *, platform="x86", **opts) -> SimulatedExecutor:
+    """Registry factory: accept a platform *name* as well as an instance."""
+    if isinstance(platform, str):
+        from repro.platforms import get_platform
+
+        platform = get_platform(platform)
+    return SimulatedExecutor(runtime, platform, **opts)
+
+
+from repro.sre.registry import register_executor  # noqa: E402
+
+register_executor("sim", _make_sim_executor)

@@ -36,3 +36,8 @@ class ThreadedExecutor(LiveExecutor):
 
     def _execute(self, wid: int, task: Task) -> dict[str, Any]:
         return task.run()
+
+
+from repro.sre.registry import register_executor  # noqa: E402
+
+register_executor("threads", ThreadedExecutor)

@@ -17,6 +17,7 @@ import pickle
 from typing import Any, Callable, Iterable, Mapping
 
 from repro.errors import TaskStateError
+from repro.sre import shm
 
 __all__ = ["Task", "TaskState", "PAYLOAD_PROTOCOL"]
 
@@ -107,6 +108,7 @@ class Task:
         "ready_time",
         "start_time",
         "finish_time",
+        "_payload_blob",
     )
 
     def __init__(
@@ -158,6 +160,7 @@ class Task:
         self.ready_time: float | None = None
         self.start_time: float | None = None
         self.finish_time: float | None = None
+        self._payload_blob: bytes | None = None
 
     # ------------------------------------------------------------------
     # input delivery
@@ -248,7 +251,11 @@ class Task:
             )
         if self.fn is None:
             return {}
-        return _normalise_outputs(self.fn(**self.inputs))
+        # Shared-memory refs in the payload (block transport) resolve to
+        # their data in *this* address space; a ref-free payload passes
+        # through untouched (swap_in returns the original objects).
+        fn, inputs = shm.swap_in((self.fn, self.inputs))
+        return _normalise_outputs(fn(**inputs))
 
     # ------------------------------------------------------------------
     # remote execution (process back-end)
@@ -262,34 +269,62 @@ class Task:
         do, exactly as the Cell back-end DMAs a kernel's working set into an
         SPE local store.
 
+        The blob is cached: dispatch paths measure the footprint and then
+        ship the same bytes without pickling twice. The cache is safe
+        because ports are single-assignment and delivery after launch
+        raises — once serialization is possible the inputs are frozen.
+
         Raises:
             TaskStateError: the payload cannot cross a process boundary
                 (closures, lambdas, open handles, ...). Executors treat this
                 as "run it on the coordinator instead".
         """
+        if self._payload_blob is not None:
+            return self._payload_blob
         try:
-            return pickle.dumps((self.fn, self.inputs), protocol=PAYLOAD_PROTOCOL)
+            blob = pickle.dumps((self.fn, self.inputs), protocol=PAYLOAD_PROTOCOL)
         except Exception as exc:
             raise TaskStateError(
                 f"task {self.name!r}: payload is not picklable ({exc!r})"
             ) from exc
+        self._payload_blob = blob
+        return blob
+
+    def drop_payload_cache(self) -> None:
+        """Free the cached payload blob (called after the bytes shipped)."""
+        self._payload_blob = None
 
     def serialized_footprint(self) -> int:
-        """Bytes this task's payload occupies on the wire to a worker.
-
-        The process back-end checks this against its payload budget the same
-        way :class:`~repro.platforms.localstore.LocalStore` enforces the
-        Cell's 32 KB per-task working-set cap.
-        """
+        """Bytes this task's payload occupies on the wire to a worker."""
         return len(self.serialize_payload())
+
+    def referenced_bytes(self) -> int:
+        """Bytes of shared-memory blocks this task's payload references."""
+        return shm.referenced_bytes((self.fn, self.inputs))
+
+    def payload_footprint(self) -> int:
+        """Total working-set bytes a worker needs for this task.
+
+        Wire bytes (the cached pickled payload) *plus* the bytes of every
+        shared-memory block the payload references: with
+        :class:`~repro.sre.shm.BlockRef` handles in play the wire carries
+        only ~150 B per block, but the worker still maps the block itself,
+        so the budget — the spirit of the Cell's 32 KB local-store cap
+        (:class:`~repro.platforms.localstore.LocalStore`) — must count the
+        referenced data, not the handle.
+        """
+        return self.serialized_footprint() + self.referenced_bytes()
 
     @staticmethod
     def run_payload(blob: bytes) -> dict[str, Any]:
         """Execute a payload produced by :meth:`serialize_payload`.
 
-        Runs in the worker process; returns normalised outputs.
+        Runs in the worker process; shared-memory refs are swapped back
+        into data (attaching segments lazily) before the call. Returns
+        normalised outputs. Raises :class:`~repro.errors.SegmentGone` if
+        a referenced segment was reclaimed before the swap.
         """
-        fn, inputs = pickle.loads(blob)
+        fn, inputs = shm.swap_in(pickle.loads(blob))
         if fn is None:
             return {}
         return _normalise_outputs(fn(**inputs))

@@ -135,3 +135,32 @@ def test_trace_writes_chrome_json(tmp_path, capsys):
     rc = main(["trace", "--blocks", "16"])
     assert rc == 0
     assert "encode" in capsys.readouterr().out
+
+
+def test_list_shows_executors_and_transports(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "procs" in out and "sim" in out and "threads" in out
+    assert "pickle, shm" in out
+
+
+def test_run_with_shm_transport(capsys):
+    rc = main(["run", "--workload", "txt", "--blocks", "16",
+               "--transport", "shm"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "round-trip : ok" in out
+
+
+def test_run_rejects_unknown_transport():
+    with pytest.raises(SystemExit):
+        main(["run", "--workload", "txt", "--blocks", "16",
+              "--transport", "fax"])
+
+
+def test_transport_command(capsys):
+    rc = main(["transport", "--blocks", "8", "--workers", "2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "pickle" in out and "shm" in out
+    assert "payload-byte ratio" in out

@@ -1,9 +1,13 @@
-"""Tests for experiment scale configuration."""
+"""Tests for experiment scale configuration and RunConfig."""
 
+import json
 import os
 from unittest import mock
 
-from repro.experiments.config import PAPER, QUICK, active_scale
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.config import PAPER, QUICK, RunConfig, active_scale
 
 
 def test_paper_scale_matches_paper_geometry():
@@ -28,3 +32,47 @@ def test_active_scale_env_switch():
         assert active_scale() is QUICK
     with mock.patch.dict(os.environ, {"REPRO_SCALE": "quick"}):
         assert active_scale() is QUICK
+
+
+# ---------------------------------------------------------------------------
+# RunConfig
+# ---------------------------------------------------------------------------
+
+def test_runconfig_is_frozen_and_comparable():
+    a = RunConfig(workload="txt", n_blocks=64)
+    b = RunConfig(workload="txt", n_blocks=64)
+    assert a == b
+    with pytest.raises(Exception):
+        a.n_blocks = 32
+
+
+def test_runconfig_rejects_unknown_transport():
+    with pytest.raises(ExperimentError, match="transport"):
+        RunConfig(transport="carrier-pigeon")
+
+
+def test_runconfig_rejects_bad_executor_and_interval():
+    with pytest.raises(ExperimentError):
+        RunConfig(executor="")
+    with pytest.raises(ExperimentError):
+        RunConfig(metrics_interval_s=0)
+
+
+def test_from_kwargs_lists_unknown_and_valid_names():
+    with pytest.raises(ExperimentError) as err:
+        RunConfig.from_kwargs(workload="txt", n_blockz=64)
+    msg = str(err.value)
+    assert "n_blockz" in msg and "n_blocks" in msg
+
+
+def test_to_dict_is_json_safe_with_instances():
+    from repro.iomodels import SocketModel
+    from repro.sre.policies import RatioPolicy
+
+    cfg = RunConfig(workload=b"\x00" * 8192, io=SocketModel(),
+                    policy=RatioPolicy(0.5), n_blocks=2)
+    doc = cfg.to_dict()
+    json.dumps(doc)  # must not raise
+    assert doc["workload"] == "custom"
+    assert isinstance(doc["io"], str) and isinstance(doc["policy"], str)
+    assert doc["transport"] == "pickle"

@@ -103,3 +103,58 @@ def test_label_override():
     r = run_huffman(workload="txt", n_blocks=8, label="custom-label", seed=0)
     assert r.label == "custom-label"
     assert r.summary.label == "custom-label"
+
+
+# ---------------------------------------------------------------------------
+# RunConfig calling convention + the bare-keyword deprecation shim
+# ---------------------------------------------------------------------------
+
+def test_config_object_is_primary_convention():
+    from repro.experiments.config import RunConfig
+    cfg = RunConfig(workload="txt", n_blocks=8, seed=0)
+    r = run_huffman(config=cfg)
+    assert r.roundtrip_ok
+    assert r.run_config == cfg
+    assert r.run_config.to_dict()["workload"] == "txt"
+
+
+def test_config_plus_kwargs_rejected():
+    from repro.experiments.config import RunConfig
+    with pytest.raises(ExperimentError, match="not both"):
+        run_huffman(config=RunConfig(workload="txt", n_blocks=8), seed=1)
+
+
+def test_config_must_be_runconfig():
+    with pytest.raises(ExperimentError, match="RunConfig"):
+        run_huffman(config={"workload": "txt", "n_blocks": 8})
+
+
+def test_bare_kwargs_warn_once_then_stay_silent():
+    import warnings
+
+    from repro.experiments import runner
+
+    old_flag = runner._warned_kwargs
+    runner._warned_kwargs = False
+    try:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            run_huffman(workload="txt", n_blocks=8, seed=0)
+            run_huffman(workload="txt", n_blocks=8, seed=1)
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)
+                        and "run_huffman" in str(w.message)]
+        assert len(deprecations) == 1
+    finally:
+        runner._warned_kwargs = old_flag
+
+
+def test_bare_kwargs_still_produce_run_config():
+    r = run_huffman(workload="txt", n_blocks=8, seed=0)
+    assert r.run_config is not None
+    assert r.run_config.n_blocks == 8
+
+
+def test_bare_kwargs_typo_rejected_with_vocabulary():
+    with pytest.raises(ExperimentError, match="n_blocks"):
+        run_huffman(workload="txt", n_blockz=8)

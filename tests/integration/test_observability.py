@@ -116,6 +116,8 @@ def test_metrics_out_writes_final_snapshot(tmp_path):
     report = run_huffman(workload="txt", n_blocks=16, seed=0,
                          metrics_out=str(path))
     on_disk = load_json_snapshot(path.read_text())
+    # self-describing export: the run's parameters ride along
+    assert on_disk.pop("meta") == report.run_config.to_dict()
     # the final flush happens after the run drains, so disk == memory
     assert on_disk == report.metrics.snapshot()
 

@@ -1,0 +1,114 @@
+"""Property tests: BlockRef swap-in/out over arbitrary payload shapes.
+
+The process back-end relies on three invariants of the payload walkers in
+:mod:`repro.sre.shm`:
+
+* ``swap_in`` resolves every ref (and only refs) back to equal data, in
+  place, whatever container/partial nesting the task builders produced;
+* ``referenced_bytes`` equals the sum over ``iter_refs`` — the budget
+  check and the ref walk must never disagree;
+* a payload that crossed ``pickle`` (the wire) still resolves to the same
+  data on the other side, since the coordinator and workers share the
+  segment cache protocol.
+"""
+
+from functools import partial
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+import pickle
+
+from repro.sre import shm
+from repro.sre.shm import BlockRef, BlockStore
+
+#: Small deadline headroom: shared-memory creation can stall under CI io.
+_SETTINGS = settings(max_examples=40, deadline=None)
+
+
+def _payloads(refs):
+    """Nested payload structures mixing plain values and stored refs."""
+    leaves = st.one_of(
+        st.integers(-100, 100),
+        st.text(max_size=5),
+        st.none(),
+        st.sampled_from(refs) if refs else st.none(),
+    )
+    return st.recursive(
+        leaves,
+        lambda children: st.one_of(
+            st.lists(children, max_size=4),
+            st.tuples(children, children),
+            st.dictionaries(st.text(max_size=3), children, max_size=4),
+            children.map(lambda v: partial(_kernel, v)),
+        ),
+        max_leaves=12,
+    )
+
+
+def _kernel(value):  # must be module-level: partials pickle by reference
+    return value
+
+
+@st.composite
+def payload_cases(draw):
+    arrays = draw(st.lists(
+        st.integers(2, 64).map(
+            lambda n: np.arange(n, dtype=np.uint8) % 251),
+        min_size=1, max_size=3,
+    ))
+    store = BlockStore(min_bytes=1)
+    refs = [store.put(a) for a in arrays]
+    payload = draw(_payloads(refs))
+    return store, dict(zip(map(id, refs), arrays)), payload
+
+
+def _check_resolved(original, swapped, arrays_by_ref_id):
+    """swapped must equal original with every ref replaced by its array."""
+    if isinstance(original, BlockRef):
+        assert isinstance(swapped, np.ndarray)
+        np.testing.assert_array_equal(
+            swapped, shm.resolve(original))
+    elif isinstance(original, dict):
+        assert set(swapped) == set(original)
+        for k in original:
+            _check_resolved(original[k], swapped[k], arrays_by_ref_id)
+    elif isinstance(original, (list, tuple)):
+        assert len(swapped) == len(original)
+        for o, s in zip(original, swapped):
+            _check_resolved(o, s, arrays_by_ref_id)
+    elif isinstance(original, partial):
+        _check_resolved(original.args, swapped.args, arrays_by_ref_id)
+    else:
+        assert swapped == original or swapped is original
+
+
+@_SETTINGS
+@given(payload_cases())
+def test_swap_in_round_trip(case):
+    store, arrays, payload = case
+    try:
+        n_refs = len(list(shm.iter_refs(payload)))
+        assert shm.referenced_bytes(payload) == sum(
+            r.length for r in shm.iter_refs(payload))
+
+        swapped = shm.swap_in(payload)
+        _check_resolved(payload, swapped, arrays)
+        if n_refs == 0:
+            # Ref-free payloads pass through without a rebuild.
+            assert swapped is payload
+        assert list(shm.iter_refs(swapped)) == []
+    finally:
+        store.close()
+
+
+@_SETTINGS
+@given(payload_cases())
+def test_swap_in_after_wire_round_trip(case):
+    store, arrays, payload = case
+    try:
+        clone = pickle.loads(pickle.dumps(payload))
+        swapped = shm.swap_in(clone)
+        _check_resolved(clone, swapped, arrays)
+    finally:
+        store.close()

@@ -167,6 +167,15 @@ def test_abort_flagged_running_task_is_reaped_on_completion(tmp_path):
     assert rt.tasks_aborted == 1
 
 
+def _send_batch(conn, blobs):
+    """Speak the batch wire protocol: pickled frame count, then the frames."""
+    import pickle
+
+    conn.send_bytes(pickle.dumps(len(blobs)))
+    for blob in blobs:
+        conn.send_bytes(blob)
+
+
 def test_worker_observes_abort_flag_before_launch(tmp_path):
     """A raised abort flag is visible in the worker's address space: the
     payload is skipped entirely, not executed-and-discarded."""
@@ -181,14 +190,34 @@ def test_worker_observes_abort_flag_before_launch(tmp_path):
     child.close()
     marker = tmp_path / "ran"
     task = Task("skipped", partial(_touch, str(marker)))
-    parent.send_bytes(task.serialize_payload())
-    status, payload = parent.recv()
+    _send_batch(parent, [task.serialize_payload()])
+    [(status, payload)] = parent.recv()
     assert status == _SKIPPED
     assert not marker.exists()  # the body never ran
     flags[0] = 0
-    parent.send_bytes(task.serialize_payload())
-    status, payload = parent.recv()
+    _send_batch(parent, [task.serialize_payload()])
+    [(status, payload)] = parent.recv()
     assert status == _OK and payload == {"out": "ran"}
+    parent.send_bytes(b"\x00__sre_stop__")
+    proc.join(timeout=10.0)
+    assert proc.exitcode == 0
+
+
+def test_worker_executes_batches_with_one_reply(tmp_path):
+    """Many payloads in one pipe message come back as one aligned reply."""
+    import multiprocessing
+
+    ctx = multiprocessing.get_context("fork")
+    parent, child = ctx.Pipe(duplex=True)
+    flags = ctx.Array("b", 1, lock=False)
+    proc = ctx.Process(target=_process_main, args=(child, flags, 0), daemon=True)
+    proc.start()
+    child.close()
+    tasks = [Task(f"b{i}", partial(_identity, i)) for i in range(5)]
+    _send_batch(parent, [t.serialize_payload() for t in tasks])
+    replies = parent.recv()
+    assert [status for status, _ in replies] == [_OK] * 5
+    assert [payload["out"] for _, payload in replies] == list(range(5))
     parent.send_bytes(b"\x00__sre_stop__")
     proc.join(timeout=10.0)
     assert proc.exitcode == 0

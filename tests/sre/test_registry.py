@@ -1,0 +1,56 @@
+"""Unit tests for the executor registry (repro.sre.registry)."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sre.registry import (
+    EXECUTORS,
+    executor_names,
+    make_executor,
+    register_executor,
+)
+from repro.sre.runtime import Runtime
+
+
+def test_builtin_backends_registered():
+    names = executor_names()
+    for expected in ("sim", "threads", "procs"):
+        assert expected in names
+    assert names == tuple(sorted(names))
+
+
+def test_make_executor_sim_resolves_platform_name():
+    ex = make_executor("sim", Runtime(), platform="x86", workers=2)
+    assert ex.platform.name == "x86"
+
+
+def test_make_executor_threads():
+    ex = make_executor("threads", Runtime(), workers=2)
+    assert ex.n_workers == 2
+
+
+def test_unknown_name_raises_with_choices():
+    with pytest.raises(SchedulingError) as err:
+        make_executor("gpu", Runtime())
+    msg = str(err.value)
+    assert "gpu" in msg
+    for name in ("procs", "sim", "threads"):
+        assert name in msg
+
+
+def test_custom_registration_round_trips():
+    calls = {}
+
+    def factory(runtime, **opts):
+        calls["runtime"] = runtime
+        calls["opts"] = opts
+        return "custom-executor"
+
+    register_executor("unittest-dummy", factory)
+    try:
+        rt = Runtime()
+        assert make_executor("unittest-dummy", rt, knob=3) == "custom-executor"
+        assert calls == {"runtime": rt, "opts": {"knob": 3}}
+        assert "unittest-dummy" in executor_names()
+    finally:
+        EXECUTORS.pop("unittest-dummy", None)

@@ -1,0 +1,235 @@
+"""Unit tests for the shared-memory block transport (repro.sre.shm)."""
+
+import pickle
+from functools import partial
+
+import numpy as np
+import pytest
+
+from repro.errors import SegmentGone, TransportError
+from repro.obs.metrics import MetricsRegistry
+from repro.sre import shm
+from repro.sre.shm import BlockRef, BlockStore
+from repro.sre.task import Task
+
+
+@pytest.fixture
+def store():
+    s = BlockStore(min_bytes=16)
+    yield s
+    s.close()
+
+
+# ---------------------------------------------------------------------------
+# put / resolve
+# ---------------------------------------------------------------------------
+
+def test_put_ndarray_resolves_to_readonly_view(store):
+    arr = np.arange(256, dtype=np.uint8)
+    ref = store.put(arr)
+    assert ref is not None
+    view = shm.resolve(ref)
+    np.testing.assert_array_equal(view, arr)
+    assert not view.flags.writeable
+
+
+def test_put_object_resolves_by_pickle(store):
+    obj = {"tree": list(range(100)), "label": "x"}
+    ref = store.put(obj)
+    assert ref.kind == "pickle"
+    assert shm.resolve(ref) == obj
+    # Cached per location: the coordinator primes the cache with the
+    # original object, so local resolve is identity.
+    assert shm.resolve(ref) is shm.resolve(ref)
+
+
+def test_put_below_min_bytes_returns_none():
+    with BlockStore(min_bytes=64) as s:
+        assert s.put(b"tiny") is None
+        assert s.put(np.zeros(4, dtype=np.uint8)) is None
+
+
+def test_blocks_pack_into_one_segment(store):
+    refs = [store.put(np.full(64, i, dtype=np.uint8)) for i in range(4)]
+    assert len({r.segment for r in refs}) == 1
+    for i, ref in enumerate(refs):
+        assert bytes(shm.resolve(ref)) == bytes([i]) * 64
+
+
+def test_oversize_block_gets_dedicated_segment():
+    with BlockStore(min_bytes=16, segment_bytes=1024) as s:
+        small = s.put(np.zeros(64, dtype=np.uint8))
+        big = s.put(np.zeros(4096, dtype=np.uint8))
+        assert small.segment != big.segment
+        assert shm.resolve(big).nbytes == 4096
+
+
+def test_blockref_pickles_as_handle(store):
+    ref = store.put(np.zeros(4096, dtype=np.uint8))
+    blob = pickle.dumps(ref)
+    assert len(blob) < 200  # the handle, not the 4 KB of data
+    clone = pickle.loads(blob)
+    assert clone == ref
+    np.testing.assert_array_equal(shm.resolve(clone), np.zeros(4096))
+
+
+# ---------------------------------------------------------------------------
+# refcount lifecycle
+# ---------------------------------------------------------------------------
+
+def test_refcount_lifecycle(store):
+    ref = store.put(np.zeros(64, dtype=np.uint8), refs=1)
+    assert store.refcount(ref) == 1
+    store.acquire(ref)
+    store.acquire(ref, n=2)
+    assert store.refcount(ref) == 4
+    store.release(ref, n=3)
+    assert store.refcount(ref) == 1
+    store.release(ref)
+    assert store.refcount(ref) == 0
+
+
+def test_double_release_raises(store):
+    ref = store.put(np.zeros(64, dtype=np.uint8))
+    store.release(ref)
+    with pytest.raises(TransportError):
+        store.release(ref)
+
+
+def test_over_release_raises(store):
+    ref = store.put(np.zeros(64, dtype=np.uint8), refs=2)
+    with pytest.raises(TransportError):
+        store.release(ref, n=3)
+
+
+def test_acquire_after_reclaim_raises(store):
+    ref = store.put(np.zeros(64, dtype=np.uint8))
+    store.release(ref)
+    with pytest.raises(TransportError):
+        store.acquire(ref)
+
+
+def test_release_callback_matches_release_resources_shape(store):
+    ref = store.put(np.zeros(64, dtype=np.uint8))
+    cb = store.release_callback(ref)
+    cb("rollback")
+    assert store.refcount(ref) == 0
+
+
+# ---------------------------------------------------------------------------
+# reclamation
+# ---------------------------------------------------------------------------
+
+def test_segment_reclaimed_when_all_blocks_released():
+    reg = MetricsRegistry()
+    with BlockStore(metrics=reg, min_bytes=16, segment_bytes=256) as s:
+        # Fill and seal the first arena by overflowing into a second.
+        a = s.put(np.zeros(200, dtype=np.uint8))
+        b = s.put(np.zeros(200, dtype=np.uint8))
+        assert a.segment != b.segment
+        assert s.live_segments == 2
+        s.release(a, reason="rollback")
+        assert s.live_segments == 1  # sealed arena with zero refs unlinks
+        assert s.segments_reclaimed == 1
+        assert reg.counter("shm_refs_released",
+                           labelnames=("reason",)).labels(reason="rollback").value() == 1
+    assert reg.gauge("shm_segments").value() == 0
+    assert reg.gauge("shm_bytes_resident").value() == 0
+
+
+def test_open_arena_not_reclaimed_until_sealed(store):
+    ref = store.put(np.zeros(64, dtype=np.uint8))
+    store.release(ref)
+    # The open arena may still receive blocks, so it must survive.
+    assert store.live_segments == 1
+
+
+def test_attach_after_unlink_raises_segment_gone():
+    s = BlockStore(min_bytes=16)
+    ref = s.put(np.zeros(64, dtype=np.uint8))
+    s.close()
+    # close() also dropped the process-local mapping, so resolving now
+    # requires a fresh attach against an unlinked name.
+    with pytest.raises(SegmentGone):
+        shm.resolve(ref)
+
+
+def test_close_releases_leftovers_with_reason():
+    reg = MetricsRegistry()
+    s = BlockStore(metrics=reg, min_bytes=16)
+    s.put(np.zeros(64, dtype=np.uint8), refs=3)
+    s.close()
+    counter = reg.counter("shm_refs_released", labelnames=("reason",))
+    assert counter.labels(reason="close").value() == 3
+    assert s.live_refs == 0
+    s.close()  # idempotent
+
+
+def test_put_after_close_raises():
+    s = BlockStore(min_bytes=16)
+    s.close()
+    with pytest.raises(TransportError):
+        s.put(np.zeros(64, dtype=np.uint8))
+
+
+# ---------------------------------------------------------------------------
+# payload walking + Task integration
+# ---------------------------------------------------------------------------
+
+def test_iter_refs_and_referenced_bytes(store):
+    r1 = store.put(np.zeros(64, dtype=np.uint8))
+    r2 = store.put(np.zeros(128, dtype=np.uint8))
+    payload = {"a": [r1, 1, "x"], "b": (None, {"c": r2}),
+               "f": partial(len, r1)}
+    found = list(shm.iter_refs(payload))
+    assert sorted(f.length for f in found) == [64, 64, 128]
+    assert shm.referenced_bytes(payload) == 64 + 64 + 128
+
+
+def test_swap_in_preserves_ref_free_payloads(store):
+    payload = {"a": [1, 2], "b": (3, 4)}
+    assert shm.swap_in(payload) is payload
+
+
+def test_task_runs_with_ref_inputs(store):
+    arr = np.arange(100, dtype=np.uint8)
+    ref = store.put(arr)
+    task = Task("sum", lambda data: {"out": int(np.sum(data))},
+                inputs=("data",))
+    task.deliver("data", ref)
+    assert task.run() == {"out": int(arr.sum())}
+
+
+def test_run_payload_round_trips_refs(store):
+    arr = np.arange(200, dtype=np.uint8)
+    ref = store.put(arr)
+    task = Task("sum", _sum_kernel, inputs=("data",))
+    task.deliver("data", ref)
+    blob = task.serialize_payload()
+    assert len(blob) < 1024  # the handle shipped, not the array
+    assert Task.run_payload(blob) == {"out": int(arr.sum())}
+
+
+def _sum_kernel(data):
+    return {"out": int(np.sum(data))}
+
+
+def test_payload_footprint_counts_referenced_bytes(store):
+    big = np.zeros(8192, dtype=np.uint8)
+    ref = store.put(big)
+    task = Task("t", _sum_kernel, inputs=("data",))
+    task.deliver("data", ref)
+    assert task.referenced_bytes() == 8192
+    assert task.serialized_footprint() < 1024
+    assert task.payload_footprint() == (
+        task.serialized_footprint() + task.referenced_bytes())
+
+
+def test_serialize_payload_caches_blob():
+    task = Task("t", _sum_kernel, inputs=("data",))
+    task.deliver("data", b"x" * 100)
+    blob = task.serialize_payload()
+    assert task.serialize_payload() is blob  # cached, not re-pickled
+    task.drop_payload_cache()
+    blob2 = task.serialize_payload()
+    assert blob2 is not blob and blob2 == blob
