@@ -4,8 +4,12 @@ Subcommands::
 
     repro run --workload txt --policy balanced --blocks 256 [--gantt]
     repro run --executor procs --metrics-out run.prom       # live process pool
+    repro run --events-out run.events.jsonl                 # flight recorder
     repro stats [--json] [--out FILE]                       # run + metrics dump
     repro trace --executor threads -o trace.json            # run + chrome trace
+    repro explain run.events.jsonl [--version N]            # rollback post-mortem
+    repro top run.metrics.json [--once]                     # live text dashboard
+    repro bench [--emit-bench-json BENCH_huffman.json]      # perf baseline
     repro executors                                         # threads-vs-procs table
     repro transport                                         # pickle-vs-shm table
     repro fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9   # regenerate a figure
@@ -36,7 +40,8 @@ _FIGURES = {
 
 
 def _run_experiment(args: argparse.Namespace, *, trace: bool = False,
-                    metrics_out: str | None = None):
+                    metrics_out: str | None = None,
+                    events_out: str | None = None):
     """Shared run_huffman invocation for the run/stats/trace subcommands."""
     return run_huffman(config=RunConfig(
         workload=args.workload,
@@ -54,13 +59,15 @@ def _run_experiment(args: argparse.Namespace, *, trace: bool = False,
         executor=args.executor,
         transport=args.transport,
         metrics_out=metrics_out,
+        events_out=events_out,
     ))
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     want_trace = args.gantt or args.trace_out is not None
     report = _run_experiment(args, trace=want_trace,
-                             metrics_out=args.metrics_out)
+                             metrics_out=args.metrics_out,
+                             events_out=args.events_out)
     s = report.summary
     print(f"run        : {report.label}")
     print(f"outcome    : {report.result.outcome}")
@@ -84,6 +91,38 @@ def _cmd_run(args: argparse.Namespace) -> int:
         fmt = write_metrics(args.metrics_out, report.metrics.snapshot(),
                             args.metrics_format)
         print(f"metrics snapshot ({fmt}) written to {args.metrics_out}")
+    if args.events_out is not None:
+        print(f"event log written to {args.events_out} "
+              f"(inspect with: repro explain {args.events_out})")
+    for warning in report.warnings or ():
+        print(f"warning    : {warning}")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Reconstruct rollback cascades from an ``*.events.jsonl`` file."""
+    from repro.obs.explain import explain_path
+    print(explain_path(args.events, version=args.version))
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live dashboard over a (periodically rewritten) metrics snapshot."""
+    from repro.obs.top import run_top
+    return run_top(args.snapshot, once=args.once, interval_s=args.interval)
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the benchmark suite; optionally emit the machine-readable doc."""
+    import json as json_mod
+    from repro.experiments.bench import render_bench, run_bench
+    doc = run_bench(seed=args.seed, blocks=args.blocks,
+                    quick=not args.full)
+    print(render_bench(doc))
+    if args.emit_bench_json is not None:
+        pathlib.Path(args.emit_bench_json).write_text(
+            json_mod.dumps(doc, indent=2) + "\n")
+        print(f"bench doc written to {args.emit_bench_json}")
     return 0
 
 
@@ -278,6 +317,9 @@ def main(argv: list[str] | None = None) -> int:
                        choices=["prom", "json"],
                        help="force the --metrics-out format instead of "
                             "inferring it from the extension")
+    p_run.add_argument("--events-out", default=None, dest="events_out",
+                       help="write the flight-recorder event log (JSONL) to "
+                            "this path; feed it to `repro explain`")
     p_run.set_defaults(fn=_cmd_run)
 
     p_stats = sub.add_parser(
@@ -335,6 +377,44 @@ def main(argv: list[str] | None = None) -> int:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--no-charts", action="store_true")
         p.set_defaults(fn=lambda a, n=name: _cmd_figure(n, a))
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="post-mortem: reconstruct rollback cascades from an event log")
+    p_explain.add_argument("events",
+                           help="*.events.jsonl file from `repro run "
+                                "--events-out`")
+    p_explain.add_argument("--version", type=int, default=None,
+                           help="only explain rollbacks of this speculation "
+                                "version")
+    p_explain.set_defaults(fn=_cmd_explain)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live text dashboard over a metrics snapshot file")
+    p_top.add_argument("snapshot",
+                       help="JSON snapshot kept fresh by `repro run "
+                            "--metrics-out run.metrics.json` (long runs "
+                            "rewrite it periodically)")
+    p_top.add_argument("--once", action="store_true",
+                       help="print a single frame and exit (CI / scripting)")
+    p_top.add_argument("--interval", type=float, default=1.0,
+                       help="refresh interval in seconds")
+    p_top.set_defaults(fn=_cmd_top)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the perf baseline suite (see tools/bench_gate.py)")
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("--blocks", type=int, default=64)
+    p_bench.add_argument("--full", action="store_true",
+                         help="also run the live procs+shm wall-clock leg "
+                              "(slower; informational only)")
+    p_bench.add_argument("--emit-bench-json", default=None,
+                         dest="emit_bench_json",
+                         help="write the machine-readable bench doc here "
+                              "(compare with tools/bench_gate.py)")
+    p_bench.set_defaults(fn=_cmd_bench)
 
     p_exec = sub.add_parser(
         "executors",

@@ -145,6 +145,7 @@ class SpeculationManager:
         return self._vid
 
     def _speculate(self, index: int, update_value: Any, predicted: Any = None) -> None:
+        events = self.runtime.events
         version = SpecVersion(self._next_vid(), index, self.runtime.now)
         self.versions.append(version)
         self.active_version = version
@@ -156,17 +157,25 @@ class SpeculationManager:
         )
         if predicted is not None:
             # Re-speculation after a failed check: the candidate value was
-            # already computed by the check's candidate task — reuse it.
+            # already computed by the check's candidate task — reuse it. The
+            # ambient cause scope (the failed check) makes this the
+            # "rebuild" edge of the lineage graph.
             version.value = predicted
-            self.spec.launch(version)
+            version.launch_seq = events.emit(
+                "spec_launch", version=version.vid, index=index, reused=True)
+            with events.cause(version.launch_seq):
+                self.spec.launch(version)
             return
+        version.predict_seq = events.emit(
+            "spec_predict", version=version.vid, index=index)
         ptask = self.spec.predictor(update_value, f"{self.spec.name}:predict:v{version.vid}")
         ptask.control = True
         version.prediction_task = version.register(ptask)
         ptask.on_complete.append(
             lambda _task, outs, v=version: self._prediction_ready(v, outs)
         )
-        self.runtime.add_task(ptask)
+        with events.cause(version.predict_seq):
+            self.runtime.add_task(ptask)
 
     def _prediction_ready(self, version: SpecVersion, outputs: dict[str, Any]) -> None:
         if not version.active or self.finalized:
@@ -176,7 +185,12 @@ class SpeculationManager:
                 f"predictor task for v{version.vid} produced no 'out' port"
             )
         version.value = outputs["out"]
-        self.spec.launch(version)
+        events = self.runtime.events
+        version.launch_seq = events.emit(
+            "spec_launch", version=version.vid, cause=version.predict_seq,
+            index=version.created_index)
+        with events.cause(version.launch_seq):
+            self.spec.launch(version)
 
     # ------------------------------------------------------------------
     # verification
@@ -202,8 +216,9 @@ class SpeculationManager:
         check.on_complete.append(
             lambda _task, outs, v=version, i=index, r=ref_value: self._on_verdict(v, i, r, outs)
         )
-        self.runtime.add_task(candidate)
-        self.runtime.add_task(check)
+        with self.runtime.events.cause(version.launch_seq):
+            self.runtime.add_task(candidate)
+            self.runtime.add_task(check)
         self.runtime.connect(candidate, "out", check, "candidate")
 
     def _on_verdict(
@@ -217,6 +232,8 @@ class SpeculationManager:
             self.stats.stale_verdicts += 1
             self._m_stale.inc()
             return
+        events = self.runtime.events
+        margin = getattr(self.spec.tolerance, "margin", None)
         if self.spec.tolerance.accepts(error):
             self.stats.checks_passed += 1
             self._m_check_pass.inc()
@@ -224,6 +241,9 @@ class SpeculationManager:
                 self.runtime.now, "check_pass", f"version:{version.vid}",
                 index=index, error=error,
             )
+            events.emit("check_pass", version=version.vid,
+                        cause=version.launch_seq, index=index, error=error,
+                        tolerance=margin)
             return
         self.stats.checks_failed += 1
         self._m_check_fail.inc()
@@ -231,11 +251,14 @@ class SpeculationManager:
             self.runtime.now, "check_fail", f"version:{version.vid}",
             index=index, error=error,
         )
-        self._rollback(version)
-        if self.spec.verification.respeculate_on_failure or self.spec.interval.is_opportunity(
-            index, had_rollback=True
-        ):
-            self._speculate(index, ref_value, predicted=outs["candidate"])
+        fail_seq = events.emit(
+            "check_fail", version=version.vid, cause=version.launch_seq,
+            index=index, error=error, tolerance=margin)
+        with events.cause(fail_seq):
+            self._rollback(version)
+            if (self.spec.verification.respeculate_on_failure
+                    or self.spec.interval.is_opportunity(index, had_rollback=True)):
+                self._speculate(index, ref_value, predicted=outs["candidate"])
 
     def _rollback(self, version: SpecVersion) -> None:
         self.engine.rollback(version)
@@ -294,30 +317,44 @@ class SpeculationManager:
             self.stats.stale_verdicts += 1
             self._m_stale.inc()
             return
+        events = self.runtime.events
+        margin = getattr(self.spec.tolerance, "margin", None)
         if version.active and self.spec.tolerance.accepts(error):
             self.stats.checks_passed += 1
             self._m_check_pass.inc()
-            self._commit(version)
+            pass_seq = events.emit(
+                "check_pass", version=version.vid, cause=version.launch_seq,
+                error=error, tolerance=margin, final=True)
+            with events.cause(pass_seq):
+                self._commit(version)
             return
         self.stats.checks_failed += 1
         self._m_check_fail.inc()
-        if version.active:
-            self._rollback(version)
-        self._recompute()
+        fail_seq = events.emit(
+            "check_fail", version=version.vid, cause=version.launch_seq,
+            error=error, tolerance=margin, final=True)
+        with events.cause(fail_seq):
+            if version.active:
+                self._rollback(version)
+            self._recompute()
 
     def _commit(self, version: SpecVersion) -> None:
         version.committed = True
         self.finalized = True
         self.outcome = "commit"
-        # The version's fate is decided: drop whatever it pinned (e.g.
-        # shared-memory block refs acquired for its second-pass tasks).
-        version.release_resources("commit")
-        self.stats.commits += 1
-        self._m_commits.inc()
-        self._m_version_us.labels(outcome="commit").observe(
-            self.runtime.now - version.created_at)
-        if self.spec.barrier is not None:
-            self.spec.barrier.commit(version.vid, self.runtime.now)
+        events = self.runtime.events
+        commit_seq = events.emit("spec_commit", version=version.vid,
+                                 lifetime_us=self.runtime.now - version.created_at)
+        with events.cause(commit_seq):
+            # The version's fate is decided: drop whatever it pinned (e.g.
+            # shared-memory block refs acquired for its second-pass tasks).
+            version.release_resources("commit")
+            self.stats.commits += 1
+            self._m_commits.inc()
+            self._m_version_us.labels(outcome="commit").observe(
+                self.runtime.now - version.created_at)
+            if self.spec.barrier is not None:
+                self.spec.barrier.commit(version.vid, self.runtime.now)
         self.runtime.trace.record(
             self.runtime.now, "commit", f"version:{version.vid}",
         )
@@ -328,4 +365,7 @@ class SpeculationManager:
         self.stats.recomputes += 1
         self._m_recomputes.inc()
         self.runtime.trace.record(self.runtime.now, "recompute", self.spec.name)
-        self.spec.recompute(self.final_value)
+        events = self.runtime.events
+        rec_seq = events.emit("spec_recompute")
+        with events.cause(rec_seq):
+            self.spec.recompute(self.final_value)

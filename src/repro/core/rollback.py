@@ -11,6 +11,12 @@ the DFG's dependents — both mechanisms the paper describes (explicit task
 bookkeeping *and* dependence-chain traversal) act together, so dynamically
 added consumers of speculative data are destroyed even if the client forgot
 to register them.
+
+Every rollback emits one ``destroy_signal`` event and runs its fan-out
+(aborts, resource releases, buffer discards) inside that event's cause
+scope, so ``repro explain`` can reconstruct the cascade; its cost — tasks
+destroyed and wasted occupancy — is double-entered into the
+``spec_rollback_cost`` histogram so metrics and the event log agree.
 """
 
 from __future__ import annotations
@@ -33,6 +39,17 @@ class RollbackEngine:
         self.rollbacks = 0
         self.tasks_destroyed = 0
         self.buffer_entries_discarded = 0
+        #: occupancy (µs on the executor clock) sunk into tasks that had
+        #: started before the destroy signal reached them.
+        self.wasted_task_us = 0.0
+        cost = runtime.metrics.histogram(
+            "spec_rollback_cost",
+            "per-rollback cost: measure=tasks (footprint size) and "
+            "measure=wasted_us (occupancy sunk into started tasks)",
+            labelnames=("measure",),
+            buckets=(1, 2, 5, 10, 20, 50, 100, 1e3, 1e4, 1e5, 1e6, 1e7))
+        self._m_cost_tasks = cost.labels(measure="tasks")
+        self._m_cost_wasted = cost.labels(measure="wasted_us")
 
     def rollback(self, version: SpecVersion) -> list[Task]:
         """Deactivate ``version`` and destroy its tasks and buffered data.
@@ -46,14 +63,33 @@ class RollbackEngine:
         if not version.active:
             return []
         version.active = False
-        footprint = self.runtime.abort_dependents(version.tasks, include_roots=True)
-        # Resources the version pinned (shared-memory block refs, ...) go
-        # with the footprint: a mis-speculation must not hold segments.
-        version.release_resources("rollback")
+        events = self.runtime.events
+        destroy_seq = events.emit(
+            "destroy_signal", version=version.vid,
+            created_index=version.created_index)
+        with events.cause(destroy_seq):
+            footprint = self.runtime.abort_dependents(version.tasks, include_roots=True)
+            # Resources the version pinned (shared-memory block refs, ...) go
+            # with the footprint: a mis-speculation must not hold segments.
+            version.release_resources("rollback")
+            discarded = (self.barrier.discard(version.vid)
+                         if self.barrier is not None else 0)
+        now = self.runtime.now
+        wasted = 0.0
+        for task in footprint:
+            if task.start_time is not None:
+                end = task.finish_time if task.finish_time is not None else now
+                wasted += max(0.0, end - task.start_time)
         self.rollbacks += 1
         self.tasks_destroyed += len(footprint)
-        if self.barrier is not None:
-            self.buffer_entries_discarded += self.barrier.discard(version.vid)
+        self.buffer_entries_discarded += discarded
+        self.wasted_task_us += wasted
+        self._m_cost_tasks.observe(len(footprint))
+        self._m_cost_wasted.observe(wasted)
+        events.emit(
+            "rollback_done", version=version.vid, cause=destroy_seq,
+            tasks_destroyed=len(footprint), buffer_discarded=discarded,
+            wasted_us=wasted)
         self.runtime.trace.record(
             self.runtime.now,
             "rollback",

@@ -45,6 +45,10 @@ class SpecVersion:
         self.resources: list[Callable[[str], None]] = []
         self.active = True
         self.committed = False
+        #: event-log anchors (seqs of this version's spec_predict /
+        #: spec_launch events) — lineage edges hang off these.
+        self.predict_seq: int | None = None
+        self.launch_seq: int | None = None
 
     def register(self, task: Task) -> Task:
         """Record a task as belonging to this version (tags it, too)."""

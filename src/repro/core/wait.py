@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable
 
 from repro.errors import SpeculationError
+from repro.obs.events import EventLog
 
 __all__ = ["WaitBuffer"]
 
@@ -49,10 +50,15 @@ class WaitBuffer:
     Args:
         sink: callable ``(key, value, commit_time)`` invoked when an entry
             becomes authoritative (at commit, or on deposit after commit).
+        events: optional flight recorder; deposits, flushes and discards
+            emit ``buffer_*`` events (causes follow the ambient scope, so
+            a rollback's discards chain under its ``destroy_signal``).
     """
 
-    def __init__(self, sink: CommitSink | None = None) -> None:
+    def __init__(self, sink: CommitSink | None = None,
+                 events: EventLog | None = None) -> None:
         self._sink = sink
+        self._events = events if events is not None else EventLog(enabled=False)
         self._entries: dict[int, dict[Any, tuple[Any, float]]] = {}
         self._committed_version: int | None = None
         self.deposits = 0
@@ -72,9 +78,12 @@ class WaitBuffer:
         """Hold a speculative result (or flush it if its version committed)."""
         self.deposits += 1
         if version == self._committed_version:
+            self._events.emit("buffer_flush", version=version, key=str(key),
+                              passthrough=True)
             self._emit(key, value, now)
             return
         self._entries.setdefault(version, {})[key] = (value, now)
+        self._events.emit("buffer_deposit", version=version, key=str(key))
 
     def commit(self, version: int, now: float) -> int:
         """Declare a version valid; flush its entries in key order.
@@ -90,6 +99,7 @@ class WaitBuffer:
         held = self._entries.pop(version, {})
         for key in _flush_order(held):
             value, _deposit_time = held[key]
+            self._events.emit("buffer_flush", version=version, key=str(key))
             self._emit(key, value, now)
         return len(held)
 
@@ -98,6 +108,8 @@ class WaitBuffer:
         held = self._entries.pop(version, None)
         n = len(held) if held else 0
         self.discarded += n
+        for key in (held or ()):
+            self._events.emit("buffer_discard", version=version, key=str(key))
         return n
 
     def _emit(self, key: Any, value: Any, now: float) -> None:

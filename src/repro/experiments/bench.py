@@ -1,0 +1,127 @@
+"""``repro bench`` — the performance baseline behind the CI regression gate.
+
+Produces a small machine-readable document (``BENCH_huffman.json`` when
+committed as the baseline) with two classes of numbers:
+
+* **Gated** — deterministic simulated-clock throughput of the standard
+  64-block txt workload (``blocks_per_virtual_s``). The simulator's
+  virtual clock makes this byte-for-byte reproducible across machines, so
+  CI can fail hard when a change slows the modelled pipeline down by more
+  than the gate threshold (20%). Which metrics are gated, and by how
+  much, is part of the *baseline* document (its ``"gate"`` object), so
+  tightening the gate is a reviewed change to a committed file.
+* **Informational** — wall-clock numbers that depend on the host: the
+  flight-recorder overhead (same sim run with the event ring on vs off)
+  and, with ``--full``, live procs+shm wall throughput. These are printed
+  and recorded for humans; ``tools/bench_gate.py`` ignores them.
+
+Workflow::
+
+    repro bench --emit-bench-json current.json
+    python tools/bench_gate.py --baseline BENCH_huffman.json \
+                               --current current.json
+
+The overhead leg is also how the "event log costs ≤5% with the ring
+sink" acceptance number is measured: ``events_overhead_pct`` compares
+median wall time over a few repeats.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from typing import Any
+
+from repro.experiments.config import RunConfig
+from repro.experiments.runner import run_huffman
+
+__all__ = ["run_bench", "render_bench", "BENCH_SCHEMA", "GATE"]
+
+#: Bench document schema version (bumped on incompatible layout changes).
+BENCH_SCHEMA = 1
+
+#: Gate spec embedded in every emitted doc: metric name -> max fractional
+#: regression and direction. bench_gate.py reads the *baseline*'s copy.
+GATE: dict[str, dict[str, Any]] = {
+    "blocks_per_virtual_s": {"max_regression": 0.20, "higher_is_better": True},
+}
+
+
+def _sim_config(seed: int, blocks: int, *, events: bool) -> RunConfig:
+    return RunConfig(
+        workload="txt",
+        n_blocks=blocks,
+        seed=seed,
+        executor="sim",
+        events=events,
+    )
+
+
+def _time_run(cfg: RunConfig) -> tuple[float, Any]:
+    t0 = time.perf_counter()
+    report = run_huffman(config=cfg)
+    return time.perf_counter() - t0, report
+
+
+def run_bench(*, seed: int = 0, blocks: int = 64, quick: bool = True,
+              repeats: int = 3) -> dict[str, Any]:
+    """Run the bench suite; returns the bench document (JSON-safe dict).
+
+    ``quick`` skips the live procs+shm wall-clock leg (the default — CI
+    runs it separately under the transport tests); ``repeats`` controls
+    how many timed runs the wall-clock medians are taken over.
+    """
+    # Gated leg: virtual throughput under the simulated clock. One run —
+    # the simulator is deterministic, repeats would measure nothing.
+    _, report = _time_run(_sim_config(seed, blocks, events=True))
+    virtual_s = report.summary.completion_time_us / 1e6
+    metrics: dict[str, float] = {
+        "blocks_per_virtual_s": blocks / virtual_s if virtual_s else 0.0,
+        "virtual_completion_us": report.summary.completion_time_us,
+        "rollbacks": float(report.summary.rollbacks),
+    }
+
+    # Informational leg: flight-recorder overhead, ring sink only.
+    on = [_time_run(_sim_config(seed, blocks, events=True))[0]
+          for _ in range(repeats)]
+    off = [_time_run(_sim_config(seed, blocks, events=False))[0]
+           for _ in range(repeats)]
+    wall_on = statistics.median(on)
+    wall_off = statistics.median(off)
+    metrics["wall_sim_s"] = wall_off
+    metrics["events_overhead_pct"] = (
+        100.0 * (wall_on - wall_off) / wall_off if wall_off else 0.0)
+
+    if not quick:
+        wall, live = _time_run(RunConfig(
+            workload="txt", n_blocks=blocks, seed=seed,
+            executor="procs", transport="shm", workers=2,
+        ))
+        metrics["wall_procs_shm_s"] = wall
+        metrics["blocks_per_wall_s_procs_shm"] = blocks / wall if wall else 0.0
+        del live
+
+    return {
+        "schema": BENCH_SCHEMA,
+        "suite": "huffman",
+        "workload": "txt",
+        "blocks": blocks,
+        "seed": seed,
+        "gate": GATE,
+        "metrics": metrics,
+    }
+
+
+def render_bench(doc: dict[str, Any]) -> str:
+    """Human-readable table for one bench document."""
+    gate = doc.get("gate", {})
+    lines = [f"repro bench — suite={doc.get('suite')} "
+             f"workload={doc.get('workload')} blocks={doc.get('blocks')} "
+             f"seed={doc.get('seed')}"]
+    for name, value in doc.get("metrics", {}).items():
+        tag = ""
+        if name in gate:
+            tag = (f"   [gated: ±{gate[name]['max_regression']:.0%}"
+                   f"{' higher-is-better' if gate[name].get('higher_is_better') else ''}]")
+        lines.append(f"  {name:<28} {value:>14,.3f}{tag}")
+    return "\n".join(lines)

@@ -109,6 +109,12 @@ class RunConfig:
     transport: str = "pickle"
     metrics_out: str | None = None
     metrics_interval_s: float = 5.0
+    #: structured event log (flight recorder, docs/flight-recorder.md):
+    #: ``events=False`` disables emission entirely; ``events_out`` writes
+    #: every event as JSONL for `repro explain`.
+    events: bool = True
+    events_out: str | None = None
+    events_capacity: int = 65536
 
     def __post_init__(self) -> None:
         from repro.errors import ExperimentError
@@ -120,6 +126,10 @@ class RunConfig:
             raise ExperimentError("executor must be a back-end name string")
         if self.metrics_interval_s <= 0:
             raise ExperimentError("metrics_interval_s must be positive")
+        if self.events_capacity < 1:
+            raise ExperimentError("events_capacity must be >= 1")
+        if self.events_out is not None and not self.events:
+            raise ExperimentError("events_out requires events=True")
 
     @classmethod
     def from_kwargs(cls, **kwargs: object) -> "RunConfig":

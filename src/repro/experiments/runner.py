@@ -31,6 +31,8 @@ from repro.experiments.config import RunConfig
 from repro.huffman.pipeline import HuffmanConfig, HuffmanPipeline, PipelineResult
 from repro.iomodels import ArrivalModel, DiskModel, SocketModel
 from repro.metrics.summary import RunSummary, summarize_run
+from repro.obs.anomaly import scan_run
+from repro.obs.events import EventLog
 from repro.obs.exporters import PeriodicSnapshotWriter
 from repro.obs.metrics import MetricsRegistry
 from repro.platforms import Platform, get_platform
@@ -77,6 +79,11 @@ class RunReport:
     #: the full run parameterisation — makes the report (and any metrics
     #: export stamped with run_config.to_dict()) self-describing.
     run_config: RunConfig | None = None
+    #: the run's flight recorder (see docs/flight-recorder.md): the ring
+    #: of structured events with causal IDs; None when events=False.
+    events: EventLog | None = None
+    #: human-readable anomaly warnings (repro.obs.anomaly detectors).
+    warnings: list[str] | None = None
 
     @property
     def latencies(self) -> np.ndarray:
@@ -193,9 +200,12 @@ def run_huffman(
     )
 
     registry = metrics if metrics is not None else MetricsRegistry()
+    events = EventLog(capacity=cfg.events_capacity, path=cfg.events_out,
+                      enabled=cfg.events)
     runtime = Runtime(
         trace=TraceRecorder(enabled=cfg.trace),
         metrics=registry,
+        events=events,
         depth_first=cfg.depth_first,
         control_first=cfg.control_first,
     )
@@ -204,7 +214,7 @@ def run_huffman(
         # The shared-memory transport works under every back-end (local
         # resolution is a cache hit); it pays off on "procs", where block
         # bytes stop crossing the coordinator→worker pipes.
-        store = BlockStore(metrics=registry)
+        store = BlockStore(metrics=registry, events=events)
     writer = None
     if cfg.metrics_out is not None:
         writer = PeriodicSnapshotWriter(
@@ -249,11 +259,21 @@ def run_huffman(
             ok = pipeline.verify_roundtrip(data)
             if not ok:
                 raise ExperimentError("round-trip verification failed: corrupt output")
+        # Post-run anomaly scan: detectors emit anomaly_* events (before
+        # the JSONL sink closes) and produce the report's warnings.
+        run_warnings = scan_run(events, registry)
     finally:
-        if store is not None:
-            store.close()  # releases leftover refs, unlinks every segment
-        if writer is not None:
-            writer.stop()  # final snapshot includes the drained end state
+        # Each cleanup in its own finally clause: a raising store.close()
+        # must not eat the final metrics snapshot or the event sink flush.
+        try:
+            if store is not None:
+                store.close()  # releases leftover refs, unlinks segments
+        finally:
+            try:
+                if writer is not None:
+                    writer.stop()  # final snapshot: the drained end state
+            finally:
+                events.close()
 
     run_label = cfg.label or (
         f"{workload_name}/{plat.name}/{cfg.policy}"
@@ -278,4 +298,6 @@ def run_huffman(
         trace=runtime.trace if cfg.trace else None,
         metrics=registry,
         run_config=cfg,
+        events=events if cfg.events else None,
+        warnings=run_warnings,
     )

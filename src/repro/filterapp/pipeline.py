@@ -98,7 +98,7 @@ class FilterPipeline:
         self.barrier: WaitBuffer | None = None
         self.manager: SpeculationManager | None = None
         if config.speculative:
-            self.barrier = WaitBuffer(sink=self._commit_sink)
+            self.barrier = WaitBuffer(sink=self._commit_sink, events=runtime.events)
             spec = (
                 SpeculationSpec.builder("filter")
                 .what(launch=self._launch_speculative,

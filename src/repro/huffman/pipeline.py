@@ -167,7 +167,7 @@ class HuffmanPipeline:
         self.barrier: WaitBuffer | None = None
         self.manager: SpeculationManager | None = None
         if config.speculative:
-            self.barrier = WaitBuffer(sink=self._commit_sink)
+            self.barrier = WaitBuffer(sink=self._commit_sink, events=runtime.events)
             spec = (
                 SpeculationSpec.builder("huffman")
                 .what(launch=self._launch_speculative,

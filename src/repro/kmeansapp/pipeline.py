@@ -83,7 +83,7 @@ class KMeansPipeline:
         self.barrier: WaitBuffer | None = None
         self.manager: SpeculationManager | None = None
         if config.speculative:
-            self.barrier = WaitBuffer(sink=self._commit_sink)
+            self.barrier = WaitBuffer(sink=self._commit_sink, events=runtime.events)
             spec = (
                 SpeculationSpec.builder("kmeans")
                 .what(launch=self._launch_speculative,

@@ -17,6 +17,16 @@ Three pieces:
 * pure snapshot algebra — :func:`merge_snapshots` merges two registry
   snapshots (associative and commutative), which is how worker-process
   metrics fold into the coordinator's registry.
+* :mod:`repro.obs.events` — the flight recorder: an :class:`EventLog`
+  ring of structured events with causal IDs, so speculation lineage
+  (``spec_launch → check_fail → destroy_signal → task_abort*``) is a
+  walkable graph (docs/flight-recorder.md).
+* :mod:`repro.obs.explain` / :mod:`repro.obs.top` — post-mortem rollback
+  cascade reconstruction (`repro explain`) and the live text dashboard
+  (`repro top`).
+* :mod:`repro.obs.anomaly` — threshold detectors (mis-speculation burst,
+  ready-queue stall, payload-budget pressure) feeding
+  ``RunReport.warnings``.
 
 Quickstart::
 
@@ -49,6 +59,15 @@ from repro.obs.exporters import (
     to_prometheus_text,
     write_metrics,
 )
+from repro.obs.events import (
+    EventLog,
+    children_of,
+    index_by_seq,
+    load_events_jsonl,
+    walk_to_root,
+)
+from repro.obs.anomaly import Anomaly, AnomalyThresholds, detect_anomalies, scan_run
+from repro.obs.explain import build_cascades, explain_events, explain_path
 
 __all__ = [
     "Counter",
@@ -62,4 +81,16 @@ __all__ = [
     "to_json_snapshot",
     "to_prometheus_text",
     "write_metrics",
+    "EventLog",
+    "children_of",
+    "index_by_seq",
+    "load_events_jsonl",
+    "walk_to_root",
+    "Anomaly",
+    "AnomalyThresholds",
+    "detect_anomalies",
+    "scan_run",
+    "build_cascades",
+    "explain_events",
+    "explain_path",
 ]

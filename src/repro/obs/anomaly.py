@@ -1,0 +1,168 @@
+"""Threshold anomaly detectors over the flight recorder and the registry.
+
+Run at end of run by :func:`repro.experiments.runner.run_huffman` (and
+usable standalone over any event list). Each detector returns
+:class:`Anomaly` records; :func:`scan_run` additionally emits one
+``anomaly_<kind>`` event per finding into the log — *before* the JSONL
+sink closes, so post-mortems see the verdicts next to the raw events —
+and renders the ``warnings`` list carried on ``RunReport``.
+
+Detectors (thresholds in :class:`AnomalyThresholds`):
+
+* **mis-speculation burst** — ``burst_k`` or more ``destroy_signal``
+  events inside a window of ``burst_window_frac`` of the run's span:
+  speculation is thrashing, the tolerance/step knobs need retuning.
+* **ready-queue stall** — some task waited longer than
+  ``stall_frac`` of the run span (and at least ``stall_floor_us``)
+  between ``task_ready`` and ``task_dispatch``: workers were saturated
+  or the dispatch policy starved a queue.
+* **payload-budget pressure** — the largest payload footprint a process
+  back-end shipped came within ``budget_frac`` of the configured budget:
+  the next workload size bump will start failing dispatches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.events import EventLog
+
+__all__ = ["Anomaly", "AnomalyThresholds", "detect_anomalies", "scan_run"]
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One detector finding."""
+
+    kind: str          # e.g. "misspec_burst"
+    message: str       # human-readable, shown in RunReport.warnings
+    data: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class AnomalyThresholds:
+    burst_k: int = 3
+    burst_window_frac: float = 0.25
+    stall_frac: float = 0.25
+    stall_floor_us: float = 50_000.0
+    budget_frac: float = 0.8
+
+
+def _coordinator_events(events: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Events on the coordinator clock (worker events share no epoch)."""
+    return [e for e in events if e.get("clock") != "worker"]
+
+
+def _span(events: list[dict[str, Any]]) -> float:
+    times = [e["t"] for e in events if "t" in e]
+    return (max(times) - min(times)) if len(times) > 1 else 0.0
+
+
+def _detect_misspec_burst(
+    events: list[dict[str, Any]], th: AnomalyThresholds
+) -> Anomaly | None:
+    destroys = [e["t"] for e in events if e.get("kind") == "destroy_signal"]
+    if len(destroys) < th.burst_k:
+        return None
+    span = _span(events)
+    window = max(span * th.burst_window_frac, 1.0)
+    destroys.sort()
+    for i in range(len(destroys) - th.burst_k + 1):
+        burst = destroys[i + th.burst_k - 1] - destroys[i]
+        if burst <= window:
+            return Anomaly(
+                "misspec_burst",
+                f"mis-speculation burst: {th.burst_k} rollbacks within "
+                f"{burst:.0f} µs (window {window:.0f} µs) — tolerance/step "
+                "knobs are mispredicting this stream",
+                {"rollbacks": len(destroys), "burst_us": burst,
+                 "window_us": window},
+            )
+    return None
+
+
+def _detect_ready_stall(
+    events: list[dict[str, Any]], th: AnomalyThresholds
+) -> Anomaly | None:
+    span = _span(events)
+    threshold = max(span * th.stall_frac, th.stall_floor_us)
+    ready_at: dict[str, float] = {}
+    worst: tuple[float, str] | None = None
+    for event in events:
+        kind = event.get("kind")
+        task = event.get("task")
+        if task is None:
+            continue
+        if kind == "task_ready":
+            ready_at[task] = event["t"]
+        elif kind == "task_dispatch" and task in ready_at:
+            wait = event["t"] - ready_at.pop(task)
+            if wait > threshold and (worst is None or wait > worst[0]):
+                worst = (wait, task)
+    if worst is None:
+        return None
+    return Anomaly(
+        "ready_stall",
+        f"ready-queue stall: task {worst[1]!r} waited {worst[0]:.0f} µs "
+        f"between ready and dispatch (threshold {threshold:.0f} µs)",
+        {"task": worst[1], "wait_us": worst[0], "threshold_us": threshold},
+    )
+
+
+def _detect_budget_pressure(
+    snapshot: dict[str, Any], th: AnomalyThresholds
+) -> Anomaly | None:
+    by_name = {m["name"]: m for m in snapshot.get("metrics", ())}
+
+    def _gauge(name: str) -> float:
+        series = by_name.get(name, {}).get("series", [])
+        return max((s.get("value", 0.0) for s in series), default=0.0)
+
+    budget = _gauge("procs_payload_budget_bytes")
+    peak = _gauge("procs_payload_max_footprint_bytes")
+    if budget <= 0 or peak < th.budget_frac * budget:
+        return None
+    return Anomaly(
+        "budget_pressure",
+        f"payload-budget pressure: peak footprint {peak:.0f} B is "
+        f"{peak / budget:.0%} of the {budget:.0f} B budget — the next "
+        "size bump will fail dispatches",
+        {"peak_bytes": peak, "budget_bytes": budget},
+    )
+
+
+def detect_anomalies(
+    events: list[dict[str, Any]],
+    snapshot: dict[str, Any] | None = None,
+    *,
+    thresholds: AnomalyThresholds | None = None,
+) -> list[Anomaly]:
+    """Run every detector; returns findings (possibly empty)."""
+    th = thresholds if thresholds is not None else AnomalyThresholds()
+    coord = _coordinator_events(events)
+    found = [
+        _detect_misspec_burst(coord, th),
+        _detect_ready_stall(coord, th),
+    ]
+    if snapshot is not None:
+        found.append(_detect_budget_pressure(snapshot, th))
+    return [a for a in found if a is not None]
+
+
+def scan_run(
+    log: EventLog,
+    registry: Any | None = None,
+    *,
+    thresholds: AnomalyThresholds | None = None,
+) -> list[str]:
+    """End-of-run scan: detect, emit ``anomaly_*`` events, return warnings."""
+    if not log.enabled:
+        return []
+    snapshot = registry.snapshot() if registry is not None else None
+    anomalies = detect_anomalies(log.events(), snapshot,
+                                 thresholds=thresholds)
+    for anomaly in anomalies:
+        log.emit(f"anomaly_{anomaly.kind}", message=anomaly.message,
+                 **anomaly.data)
+    return [f"{a.kind}: {a.message}" for a in anomalies]

@@ -1,0 +1,309 @@
+"""Structured event log with causal IDs — the "flight recorder".
+
+Metrics (:mod:`repro.obs.metrics`) answer *how much*; the event log
+answers *why*. Every noteworthy state transition in the runtime emits one
+event — a plain dict — into an :class:`EventLog`: a bounded in-memory ring
+buffer with an optional JSONL sink. Each event carries::
+
+    run_id   short hex id of the run that produced it
+    seq      coordinator-assigned monotonically increasing integer
+    t        monotonic timestamp (µs, same clock as the executor)
+    kind     event kind, e.g. "task_spawn", "check_fail", "destroy_signal"
+    task     task name (when the event concerns one task)
+    version  speculation version id (when the event concerns one version)
+    cause    seq of the event that *caused* this one (None for roots)
+
+plus kind-specific payload fields (predicted/observed values, error,
+byte counts, ...). ``cause`` edges make speculation lineage a walkable
+graph::
+
+    spec_predict -> spec_launch -> task_spawn*            (optimistic arm)
+    spec_launch  -> check_fail  -> destroy_signal         (mis-speculation)
+    destroy_signal -> task_abort* / buffer_discard / shm_release
+    check_fail   -> spec_launch (rebuild)                 (re-speculation)
+
+Causality is threaded implicitly: code that triggers a fan-out wraps the
+fan-out in ``with events.cause(seq):`` and every event emitted on that
+thread (including deep inside the runtime) defaults its ``cause`` to the
+innermost active scope. That keeps call sites honest — the Runtime does
+not need to know *why* a task is being aborted to record who signed the
+destruction order.
+
+Worker processes keep their own :class:`EventLog` (seqs and clock are
+process-local); the coordinator folds them in with
+:meth:`EventLog.merge_worker`, which re-assigns coordinator seqs while
+preserving order and remapping intra-batch ``cause`` references, and tags
+each event with ``worker`` / ``worker_seq`` so per-worker ordering stays
+reconstructible.
+
+The hot path (``emit`` into the ring, no sink) is a dict build plus a
+deque append under a lock — cheap enough to leave on for every run.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import uuid
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+from repro.obs.metrics import MONOTONIC_CLOCK
+
+__all__ = [
+    "EventLog",
+    "default_clock",
+    "load_events_jsonl",
+    "index_by_seq",
+    "children_of",
+    "walk_to_root",
+]
+
+
+def default_clock() -> float:
+    """Monotonic microseconds, derived from the same
+    :data:`~repro.obs.metrics.MONOTONIC_CLOCK` histogram timers use —
+    immune to wall-clock jumps (NTP, DST)."""
+    return MONOTONIC_CLOCK() * 1e6
+
+
+def new_run_id() -> str:
+    return uuid.uuid4().hex[:8]
+
+
+class EventLog:
+    """Bounded ring of structured events plus an optional JSONL sink.
+
+    Parameters
+    ----------
+    run_id:
+        Identifier stamped on every event; generated when omitted.
+    capacity:
+        Ring size. The ring keeps the *most recent* ``capacity`` events;
+        the JSONL sink (when given) receives every event regardless.
+    path:
+        Optional JSONL file path. One event per line, append-only,
+        flushed on :meth:`close`.
+    clock:
+        Callable returning the event timestamp (µs). Defaults to
+        :func:`default_clock`; the Runtime rebinds it to the executor
+        clock so event and histogram timings share a time base.
+    enabled:
+        When False, :meth:`emit` is a near-no-op returning ``0`` and no
+        state is kept — for overhead measurements and opt-outs.
+    """
+
+    def __init__(
+        self,
+        run_id: str | None = None,
+        *,
+        capacity: int = 65536,
+        path: str | None = None,
+        clock: Callable[[], float] | None = None,
+        enabled: bool = True,
+    ) -> None:
+        self.run_id = run_id if run_id is not None else new_run_id()
+        self.enabled = enabled
+        self._clock = clock if clock is not None else default_clock
+        self._lock = threading.Lock()
+        self._ring: deque[dict[str, Any]] = deque(maxlen=max(1, capacity))
+        self._seq = 0
+        self._local = threading.local()
+        self._path = path
+        self._file = open(path, "w", encoding="utf-8") if path else None
+
+    # ------------------------------------------------------------------
+    # clock
+
+    def set_clock(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+
+    # ------------------------------------------------------------------
+    # cause context
+
+    def current_cause(self) -> int | None:
+        """Seq of the innermost active ``cause`` scope on this thread."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    @contextmanager
+    def cause(self, seq: int | None) -> Iterator[None]:
+        """Events emitted on this thread inside the scope default their
+        ``cause`` to ``seq`` (innermost scope wins)."""
+        if not self.enabled or seq is None:
+            yield
+            return
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        stack.append(seq)
+        try:
+            yield
+        finally:
+            stack.pop()
+
+    # ------------------------------------------------------------------
+    # emission
+
+    def emit(
+        self,
+        kind: str,
+        *,
+        task: str | None = None,
+        version: int | None = None,
+        cause: int | None = None,
+        **data: Any,
+    ) -> int:
+        """Record one event; returns its seq (0 when disabled).
+
+        ``cause`` falls back to the innermost :meth:`cause` scope active
+        on the calling thread. ``None``-valued payload fields are dropped
+        so the JSONL stays compact.
+        """
+        if not self.enabled:
+            return 0
+        if cause is None:
+            cause = self.current_cause()
+        event: dict[str, Any] = {"run_id": self.run_id, "kind": kind}
+        if task is not None:
+            event["task"] = task
+        if version is not None:
+            event["version"] = version
+        if cause is not None:
+            event["cause"] = cause
+        for key, value in data.items():
+            if value is not None:
+                event[key] = value
+        with self._lock:
+            self._seq += 1
+            event["seq"] = self._seq
+            event["t"] = self._clock()
+            self._ring.append(event)
+            if self._file is not None:
+                self._file.write(json.dumps(event, default=str) + "\n")
+        return event["seq"]
+
+    def merge_worker(self, worker: int, worker_events: list[dict]) -> None:
+        """Fold a worker process's event batch into this log.
+
+        Worker seqs are process-local, so each event gets a fresh
+        coordinator seq (order preserved); ``cause`` references that
+        point *within* the batch are remapped to the new seqs, ones that
+        don't are dropped (they cannot resolve in this log). The original
+        ordering survives as ``worker`` / ``worker_seq``; worker
+        timestamps are kept verbatim and flagged ``clock="worker"``
+        because the worker's monotonic clock shares no epoch with ours.
+        """
+        if not self.enabled or not worker_events:
+            return
+        with self._lock:
+            remap: dict[int, int] = {}
+            for src in worker_events:
+                self._seq += 1
+                event = dict(src)
+                old_seq = event.get("seq")
+                if old_seq is not None:
+                    remap[old_seq] = self._seq
+                    event["worker_seq"] = old_seq
+                old_cause = event.get("cause")
+                if old_cause is not None:
+                    if old_cause in remap:
+                        event["cause"] = remap[old_cause]
+                    else:
+                        del event["cause"]
+                event["seq"] = self._seq
+                event["run_id"] = self.run_id
+                event["worker"] = worker
+                event["clock"] = "worker"
+                self._ring.append(event)
+                if self._file is not None:
+                    self._file.write(json.dumps(event, default=str) + "\n")
+
+    # ------------------------------------------------------------------
+    # access
+
+    def events(self) -> list[dict[str, Any]]:
+        """Snapshot of the ring (oldest first)."""
+        with self._lock:
+            return list(self._ring)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    @property
+    def last_seq(self) -> int:
+        return self._seq
+
+    @property
+    def path(self) -> str | None:
+        return self._path
+
+    def flush(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.flush()
+                self._file.close()
+                self._file = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# lineage helpers (used by `repro explain` and the tests)
+
+
+def load_events_jsonl(path: str) -> list[dict[str, Any]]:
+    """Load an ``*.events.jsonl`` file written by an :class:`EventLog`."""
+    events: list[dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def index_by_seq(events: list[dict[str, Any]]) -> dict[int, dict[str, Any]]:
+    return {e["seq"]: e for e in events if "seq" in e}
+
+
+def children_of(events: list[dict[str, Any]]) -> dict[int, list[dict[str, Any]]]:
+    """Map each seq to the events it directly caused (in seq order)."""
+    kids: dict[int, list[dict[str, Any]]] = {}
+    for event in events:
+        cause = event.get("cause")
+        if cause is not None:
+            kids.setdefault(cause, []).append(event)
+    return kids
+
+
+def walk_to_root(
+    event: dict[str, Any], by_seq: dict[int, dict[str, Any]]
+) -> list[dict[str, Any]]:
+    """Follow ``cause`` edges up; returns the chain ending at the root.
+
+    The chain starts with ``event`` itself and ends at the first event
+    with no (resolvable) cause. Cycles cannot occur — causes always point
+    at earlier seqs — but dangling causes (ring eviction) terminate the
+    walk gracefully.
+    """
+    chain = [event]
+    seen = {event.get("seq")}
+    while True:
+        cause = chain[-1].get("cause")
+        if cause is None or cause not in by_seq or cause in seen:
+            return chain
+        parent = by_seq[cause]
+        seen.add(cause)
+        chain.append(parent)

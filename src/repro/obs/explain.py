@@ -1,0 +1,193 @@
+"""Post-mortem reconstruction of rollback cascades from the event log.
+
+``repro explain run.events.jsonl`` walks the flight recorder's ``cause``
+edges backwards and forwards around each ``destroy_signal``:
+
+* **backwards** to the root cause — the ``check_fail`` that pulled the
+  trigger, and above it the ``spec_launch`` / ``spec_predict`` that
+  created the doomed version;
+* **forwards** over the fan-out — every ``task_abort`` (including ones
+  reaped later on the process back-end, whose cause was stamped when the
+  destroy signal flagged them), ``buffer_discard`` and ``shm_release``
+  the signal caused;
+* **sideways** to the rebuild — the re-speculation ``spec_launch`` that
+  shares the failed check as its cause.
+
+The totals printed here are double-entered elsewhere (``rollback_done``
+events carry the :class:`~repro.core.rollback.RollbackEngine` counters;
+``shm_release`` byte sums match ``shm_bytes_released{reason=rollback}``),
+so the cascade tree can be trusted against the metrics surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.events import children_of, index_by_seq, load_events_jsonl, walk_to_root
+
+__all__ = ["RollbackCascade", "build_cascades", "format_cascades",
+           "explain_events", "explain_path"]
+
+
+@dataclass
+class RollbackCascade:
+    """One destroy signal and everything it caused."""
+
+    destroy: dict[str, Any]
+    #: cause chain from the destroy signal up to its root (oldest last).
+    root_chain: list[dict[str, Any]] = field(default_factory=list)
+    aborts: list[dict[str, Any]] = field(default_factory=list)
+    discards: list[dict[str, Any]] = field(default_factory=list)
+    releases: list[dict[str, Any]] = field(default_factory=list)
+    #: the re-speculation launched off this cascade's failed check.
+    rebuilds: list[dict[str, Any]] = field(default_factory=list)
+    #: engine totals from the paired rollback_done event.
+    tasks_destroyed: int = 0
+    buffer_discarded: int = 0
+    wasted_us: float = 0.0
+
+    @property
+    def version(self) -> int | None:
+        return self.destroy.get("version")
+
+    @property
+    def freed_bytes(self) -> int:
+        """Shared-memory bytes released with reason=rollback."""
+        return sum(int(e.get("nbytes", 0)) for e in self.releases
+                   if e.get("reason") == "rollback")
+
+    @property
+    def freed_refs(self) -> int:
+        return sum(int(e.get("refs", 0)) for e in self.releases
+                   if e.get("reason") == "rollback")
+
+
+def build_cascades(
+    events: list[dict[str, Any]], version: int | None = None
+) -> list[RollbackCascade]:
+    """Group the event list into per-destroy-signal cascades.
+
+    ``version`` filters to one speculation version's rollback(s).
+    """
+    by_seq = index_by_seq(events)
+    kids = children_of(events)
+    cascades: list[RollbackCascade] = []
+    for event in events:
+        if event.get("kind") != "destroy_signal":
+            continue
+        if version is not None and event.get("version") != version:
+            continue
+        cascade = RollbackCascade(destroy=event)
+        cascade.root_chain = walk_to_root(event, by_seq)[1:]
+        for child in kids.get(event["seq"], ()):
+            kind = child.get("kind")
+            if kind == "task_abort":
+                cascade.aborts.append(child)
+            elif kind == "buffer_discard":
+                cascade.discards.append(child)
+            elif kind == "shm_release":
+                cascade.releases.append(child)
+            elif kind == "rollback_done":
+                cascade.tasks_destroyed = int(child.get("tasks_destroyed", 0))
+                cascade.buffer_discarded = int(child.get("buffer_discarded", 0))
+                cascade.wasted_us = float(child.get("wasted_us", 0.0))
+        # The rebuild hangs off the *check_fail* (shared cause with the
+        # destroy signal), not off the destroy signal itself.
+        trigger = cascade.destroy.get("cause")
+        if trigger is not None:
+            cascade.rebuilds = [
+                c for c in kids.get(trigger, ())
+                if c.get("kind") in ("spec_launch", "spec_predict")
+            ]
+        cascades.append(cascade)
+    return cascades
+
+
+def _describe_root(cascade: RollbackCascade) -> list[str]:
+    lines: list[str] = []
+    if not cascade.root_chain:
+        lines.append("root cause: (none recorded — rollback without a "
+                     "failed check, e.g. a half-born version at finalize)")
+        return lines
+    trigger = cascade.root_chain[0]
+    if trigger.get("kind") == "check_fail":
+        err = trigger.get("error")
+        tol = trigger.get("tolerance")
+        what = (f"error {err:.4g}" if err is not None else "failed check")
+        if tol is not None:
+            what += f" > tolerance {tol:.4g}"
+        where = "final check" if trigger.get("final") else (
+            f"check @u{trigger.get('index')}")
+        lines.append(f"root cause: {where} on v{trigger.get('version')} "
+                     f"({what}) [seq {trigger.get('seq')}]")
+    else:
+        lines.append(f"root cause: {trigger.get('kind')} "
+                     f"[seq {trigger.get('seq')}]")
+    if len(cascade.root_chain) > 1:
+        chain = " → ".join(
+            f"{e.get('kind')}(seq {e.get('seq')})"
+            for e in reversed(cascade.root_chain))
+        lines.append(f"lineage: {chain} → destroy_signal"
+                     f"(seq {cascade.destroy.get('seq')})")
+    return lines
+
+
+def format_cascades(cascades: list[RollbackCascade],
+                    run_id: str | None = None) -> str:
+    """Render cascades as the `repro explain` report."""
+    out: list[str] = []
+    header = f"run {run_id} — " if run_id else ""
+    out.append(f"{header}{len(cascades)} rollback cascade(s)")
+    for i, cascade in enumerate(cascades, 1):
+        out.append("")
+        t = cascade.destroy.get("t")
+        stamp = f" at t={t:.0f} µs" if isinstance(t, (int, float)) else ""
+        out.append(f"cascade #{i}: version {cascade.version} "
+                   f"rolled back{stamp}")
+        for line in _describe_root(cascade):
+            out.append(f"  {line}")
+        out.append(f"  destroyed: {cascade.tasks_destroyed} task(s), "
+                   f"{cascade.buffer_discarded} buffered entr(ies), "
+                   f"{cascade.wasted_us / 1e6:.4f} wasted task-seconds")
+        if cascade.releases:
+            out.append(f"  shm released (rollback): {cascade.freed_refs} "
+                       f"ref(s), {cascade.freed_bytes} B")
+        if cascade.aborts:
+            out.append("  destroyed-task tree:")
+            for abort in cascade.aborts:
+                extras = []
+                if abort.get("while_running"):
+                    extras.append("reaped while running")
+                if abort.get("after_done"):
+                    extras.append("undone after completion")
+                if abort.get("ran_us") is not None:
+                    extras.append(f"{abort['ran_us']:.0f} µs sunk")
+                note = f" ({', '.join(extras)})" if extras else ""
+                out.append(f"    ├─ {abort.get('task')}{note}")
+        for rebuild in cascade.rebuilds:
+            out.append(f"  rebuild: {rebuild.get('kind')} "
+                       f"v{rebuild.get('version')}"
+                       + (" (reused candidate)" if rebuild.get("reused")
+                          else ""))
+    if cascades:
+        total_tasks = sum(c.tasks_destroyed for c in cascades)
+        total_bytes = sum(c.freed_bytes for c in cascades)
+        total_wasted = sum(c.wasted_us for c in cascades) / 1e6
+        out.append("")
+        out.append(f"totals: {total_tasks} tasks destroyed · "
+                   f"{total_bytes} B shm freed · "
+                   f"{total_wasted:.4f} wasted task-seconds")
+    return "\n".join(out)
+
+
+def explain_events(events: list[dict[str, Any]],
+                   version: int | None = None) -> str:
+    """Build and render the cascade report for an in-memory event list."""
+    run_id = events[0].get("run_id") if events else None
+    return format_cascades(build_cascades(events, version), run_id)
+
+
+def explain_path(path: str, version: int | None = None) -> str:
+    """Build and render the cascade report for an ``*.events.jsonl`` file."""
+    return explain_events(load_events_jsonl(path), version)

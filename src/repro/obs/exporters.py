@@ -230,16 +230,30 @@ class PeriodicSnapshotWriter:
         return self
 
     def stop(self) -> None:
-        """Stop the thread and write a final snapshot."""
+        """Stop the thread and write a final snapshot.
+
+        The final flush is unconditional: even if the writer thread died
+        or refuses to join, ``stop()`` still leaves a fresh, complete
+        snapshot on disk — short runs (interval longer than the run) and
+        crashed runs keep their post-mortem data. Idempotent.
+        """
         self._stop.set()
-        if self._thread is not None:
-            self._thread.join()
-            self._thread = None
-        self.flush()
+        try:
+            if self._thread is not None:
+                self._thread.join()
+                self._thread = None
+        finally:
+            self.flush()
 
     def _loop(self) -> None:
         while not self._stop.wait(self.interval_s):
-            self.flush()
+            try:
+                self.flush()
+            except Exception:
+                # A transient write failure (disk pressure, a vanished
+                # directory) must not kill the periodic thread; a
+                # persistent one surfaces through the final stop() flush.
+                continue
 
     def __enter__(self) -> "PeriodicSnapshotWriter":
         return self.start()

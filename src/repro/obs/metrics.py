@@ -32,6 +32,7 @@ Example::
 from __future__ import annotations
 
 import threading
+import time
 from bisect import bisect_left
 from typing import Any, Mapping, Sequence
 
@@ -44,7 +45,15 @@ __all__ = [
     "MetricsRegistry",
     "merge_snapshots",
     "DEFAULT_LATENCY_BUCKETS_US",
+    "MONOTONIC_CLOCK",
 ]
+
+#: The one default time source for the whole obs package: monotonic,
+#: immune to wall-clock jumps (NTP slews, DST). Histogram timers use it
+#: directly (seconds); the event log derives its µs timestamps from the
+#: same callable, so timer observations and event timelines are
+#: comparable by construction.
+MONOTONIC_CLOCK = time.perf_counter
 
 #: Default histogram bucket upper bounds, tuned for µs-scale latencies:
 #: geometric 1-2.5-5 decades from 5 µs to 5 s (the executor clock is µs for
@@ -236,12 +245,8 @@ class _Timer:
     __slots__ = ("_hist", "_clock", "_t0")
 
     def __init__(self, hist: _HistogramChild, clock) -> None:
-        if clock is None:
-            import time
-
-            clock = time.perf_counter
         self._hist = hist
-        self._clock = clock
+        self._clock = clock if clock is not None else MONOTONIC_CLOCK
 
     def __enter__(self) -> "_Timer":
         self._t0 = self._clock()

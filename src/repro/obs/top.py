@@ -1,0 +1,158 @@
+"""``repro top`` — a live text dashboard over metrics snapshot files.
+
+Tails the JSON file a :class:`~repro.obs.exporters.PeriodicSnapshotWriter`
+keeps fresh during a run (``repro run --metrics-out run.metrics.json
+--metrics-interval 1``) and renders one compact frame per refresh:
+throughput, ready-queue depths, speculation hit rate, in-flight tasks and
+shared-memory residency. Plain text with ANSI clear — works in any
+terminal, no curses dependency; ``--once`` prints a single frame and
+exits (CI smoke / scripting).
+
+Throughput is a *delta* between successive polls of the file; the first
+frame (and ``--once``) shows totals only.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any
+
+from repro.errors import ObservabilityError
+
+__all__ = ["sample_snapshot", "derive_stats", "render_frame", "run_top"]
+
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def sample_snapshot(path: str) -> dict[str, Any] | None:
+    """Load one snapshot file; None while the file is missing/partial.
+
+    The writer publishes atomically (tmp + rename), but the run may not
+    have flushed its first snapshot yet — tolerate both.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (FileNotFoundError, json.JSONDecodeError):
+        return None
+
+
+def _series(doc: dict[str, Any], name: str) -> list[dict[str, Any]]:
+    for metric in doc.get("metrics", ()):
+        if metric.get("name") == name:
+            return metric.get("series", [])
+    return []
+
+
+def _value(doc: dict[str, Any], name: str, **labels: str) -> float:
+    want = dict(labels)
+    for s in _series(doc, name):
+        if {k: str(v) for k, v in s.get("labels", {}).items()} == want:
+            return float(s.get("value", 0.0))
+    return 0.0
+
+
+def _total(doc: dict[str, Any], name: str) -> float:
+    return sum(float(s.get("value", 0.0)) for s in _series(doc, name))
+
+
+def derive_stats(doc: dict[str, Any]) -> dict[str, Any]:
+    """Pull the dashboard quantities out of one snapshot document."""
+    checks_pass = _value(doc, "spec_checks", verdict="pass")
+    checks_fail = _value(doc, "spec_checks", verdict="fail")
+    checks = checks_pass + checks_fail
+    return {
+        "blocks_committed": _total(doc, "blocks_committed"),
+        "tasks_completed": _total(doc, "sre_tasks_completed"),
+        "ready_natural": _value(doc, "sre_ready_depth", queue="natural"),
+        "ready_spec": _value(doc, "sre_ready_depth", queue="speculative"),
+        "inflight": _total(doc, "exec_inflight"),
+        "workers": _total(doc, "exec_workers"),
+        "spec_hit_rate": (checks_pass / checks) if checks else None,
+        "checks_pass": checks_pass,
+        "checks_fail": checks_fail,
+        "rollbacks": _total(doc, "spec_rollbacks"),
+        "commits": _total(doc, "spec_commits"),
+        "shm_resident": _total(doc, "shm_bytes_resident"),
+        "shm_segments": _total(doc, "shm_segments"),
+        "payload_bytes": _total(doc, "procs_payload_bytes"),
+    }
+
+
+def render_frame(
+    doc: dict[str, Any],
+    prev: dict[str, Any] | None = None,
+    dt_s: float | None = None,
+    *,
+    path: str = "",
+) -> str:
+    """One dashboard frame as plain text."""
+    stats = derive_stats(doc)
+    meta = doc.get("meta") or {}
+    label = " ".join(
+        str(meta[k]) for k in ("workload", "executor", "transport")
+        if k in meta and meta[k] is not None)
+    lines = [f"repro top — {path or 'snapshot'}"
+             + (f"  [{label}]" if label else "")]
+    if prev is not None and dt_s:
+        prev_stats = derive_stats(prev)
+        blocks_s = (stats["blocks_committed"]
+                    - prev_stats["blocks_committed"]) / dt_s
+        tasks_s = (stats["tasks_completed"]
+                   - prev_stats["tasks_completed"]) / dt_s
+        lines.append(f"throughput   {blocks_s:8.1f} blocks/s   "
+                     f"{tasks_s:8.1f} tasks/s")
+    else:
+        lines.append(f"totals       {stats['blocks_committed']:8.0f} blocks "
+                     f"committed   {stats['tasks_completed']:8.0f} tasks done")
+    hit = stats["spec_hit_rate"]
+    hit_text = (f"{hit:6.1%} ({stats['checks_pass']:.0f}/"
+                f"{stats['checks_pass'] + stats['checks_fail']:.0f})"
+                if hit is not None else "   n/a")
+    lines.append(f"spec hit     {hit_text}   commits {stats['commits']:.0f} "
+                 f"rollbacks {stats['rollbacks']:.0f}")
+    lines.append(f"ready depth  nat {stats['ready_natural']:.0f} / "
+                 f"spec {stats['ready_spec']:.0f}   "
+                 f"inflight {stats['inflight']:.0f}/{stats['workers']:.0f}")
+    lines.append(f"shm resident {stats['shm_resident'] / 1024:.0f} KiB "
+                 f"({stats['shm_segments']:.0f} segment(s))   "
+                 f"payload sent {stats['payload_bytes'] / 1024:.0f} KiB")
+    return "\n".join(lines)
+
+
+def run_top(path: str, *, once: bool = False, interval_s: float = 1.0,
+            max_frames: int | None = None) -> int:
+    """Dashboard loop. Returns a process exit code.
+
+    ``once`` prints a single frame (waiting briefly for the file to
+    appear); otherwise refreshes until interrupted or, with
+    ``max_frames``, for a bounded number of frames (tests).
+    """
+    if once:
+        deadline = time.monotonic() + 5.0
+        doc = sample_snapshot(path)
+        while doc is None and time.monotonic() < deadline:
+            time.sleep(0.1)
+            doc = sample_snapshot(path)
+        if doc is None:
+            raise ObservabilityError(f"no readable snapshot at {path!r}")
+        print(render_frame(doc, path=path))
+        return 0
+    prev: dict[str, Any] | None = None
+    prev_t = 0.0
+    frames = 0
+    try:
+        while max_frames is None or frames < max_frames:
+            doc = sample_snapshot(path)
+            now = time.monotonic()
+            if doc is not None:
+                frame = render_frame(doc, prev, now - prev_t if prev else None,
+                                     path=path)
+                print(_CLEAR + frame, flush=True)
+                prev, prev_t = doc, now
+                frames += 1
+            time.sleep(interval_s)
+    except KeyboardInterrupt:
+        pass
+    return 0

@@ -59,7 +59,10 @@ import time
 import traceback
 from typing import Any
 
+import threading
+
 from repro.errors import PlatformError, SchedulingError, SegmentGone, TaskStateError
+from repro.obs.events import EventLog
 from repro.obs.metrics import MetricsRegistry
 from repro.sre import shm
 from repro.sre.executor_base import LiveExecutor
@@ -109,12 +112,16 @@ def _process_main(conn, abort_flags, wid: int) -> None:
 
     Each worker keeps its own :class:`~repro.obs.metrics.MetricsRegistry`
     (payload counts, errors, abort skips, body wall time, attached
-    segments); on the stop sentinel it sends the registry snapshot back up
-    the pipe as a final ``(_METRICS, snapshot)`` reply, and the coordinator
-    folds it into the run's registry — cross-process aggregation over the
-    existing wire, no extra channel.
+    segments) and its own :class:`~repro.obs.events.EventLog` (one
+    ``worker_exec`` event per payload); on the stop sentinel it sends both
+    back up the pipe as a final ``(_METRICS, {"metrics": ..., "events":
+    ...})`` reply — the coordinator folds the snapshot into the run's
+    registry and reconciles the events into the run's log with fresh
+    coordinator seqs (cross-process aggregation over the existing wire,
+    no extra channel).
     """
     metrics = MetricsRegistry()
+    events = EventLog(run_id=f"w{wid}")
     w = str(wid)
     m_tasks = metrics.counter(
         "procs_worker_tasks", "payloads executed in worker processes",
@@ -145,7 +152,8 @@ def _process_main(conn, abort_flags, wid: int) -> None:
         if head == _STOP:
             m_attached.set(len(shm.attached_segments()))
             try:
-                conn.send((_METRICS, metrics.snapshot()))
+                conn.send((_METRICS, {"metrics": metrics.snapshot(),
+                                      "events": events.events()}))
             except (BrokenPipeError, OSError):  # pragma: no cover - defensive
                 pass
             shm.detach_all()
@@ -162,6 +170,8 @@ def _process_main(conn, abort_flags, wid: int) -> None:
                 # The coordinator re-runs any batch member that was not
                 # actually aborted, so over-skipping is always safe.
                 m_skips.inc()
+                events.emit("worker_exec", status="abort-skipped",
+                            wire_bytes=len(blob))
                 replies.append((_SKIPPED, None))
                 continue
             t0 = time.perf_counter()
@@ -169,14 +179,21 @@ def _process_main(conn, abort_flags, wid: int) -> None:
                 outputs = Task.run_payload(blob)
             except SegmentGone as exc:
                 m_gone.inc()
+                events.emit("worker_exec", status="segment-gone",
+                            wire_bytes=len(blob))
                 replies.append((_GONE, str(exc)))
                 continue
             except BaseException:
                 m_errors.inc()
+                events.emit("worker_exec", status="error",
+                            wire_bytes=len(blob))
                 replies.append((_ERR, traceback.format_exc()))
                 continue
+            dur_us = (time.perf_counter() - t0) * 1e6
             m_tasks.inc()
-            m_body_us.observe((time.perf_counter() - t0) * 1e6)
+            m_body_us.observe(dur_us)
+            events.emit("worker_exec", status="ok", dur_us=dur_us,
+                        wire_bytes=len(blob))
             replies.append((_OK, outputs))
         try:
             conn.send(replies)
@@ -273,6 +290,15 @@ class ProcessExecutor(LiveExecutor):
         self._m_reruns = m.counter(
             "procs_inline_reruns",
             "worker-skipped payloads re-run inline on the coordinator")
+        #: Budget-pressure pair for the anomaly detectors: configured cap
+        #: vs the largest footprint actually shipped.
+        m.gauge("procs_payload_budget_bytes",
+                "configured per-task payload-footprint cap").set(payload_budget)
+        self._m_max_footprint = m.gauge(
+            "procs_payload_max_footprint_bytes",
+            "largest payload footprint (wire + referenced shm bytes) seen")
+        self._max_footprint = 0
+        self._footprint_lock = threading.Lock()
         runtime.add_abort_flag_listener(self._on_abort_flagged)
 
     # ------------------------------------------------------------------
@@ -303,24 +329,28 @@ class ProcessExecutor(LiveExecutor):
             self._procs.append(proc)
 
     def _stop_backend(self) -> None:
-        """Stop workers, harvesting each one's metrics snapshot first.
+        """Stop workers, harvesting each one's metrics and events first.
 
         By the time this runs the coordinator threads have joined, so the
         pipes are quiet: the only traffic left is our stop sentinel and the
-        worker's final ``(_METRICS, snapshot)`` reply, which is folded into
-        ``runtime.metrics`` (cross-process aggregation).
+        worker's final ``(_METRICS, {"metrics": ..., "events": ...})``
+        reply — the snapshot is folded into ``runtime.metrics`` and the
+        worker's event batch is reconciled into ``runtime.events`` with
+        fresh coordinator seqs (cross-process aggregation).
         """
         for conn in self._conns:
             try:
                 conn.send_bytes(_STOP)
             except (BrokenPipeError, OSError):
                 pass
-        for conn in self._conns:
+        for wid, conn in enumerate(self._conns):
             try:
                 if conn.poll(2.0):
                     status, payload = conn.recv()
                     if status == _METRICS and payload:
-                        self.runtime.metrics.merge_snapshot(payload)
+                        self.runtime.metrics.merge_snapshot(payload["metrics"])
+                        self.runtime.events.merge_worker(
+                            wid, payload["events"])
             except (EOFError, OSError):  # pragma: no cover - worker died
                 pass
         for proc in self._procs:
@@ -381,6 +411,10 @@ class ProcessExecutor(LiveExecutor):
 
     def _check_budget(self, task: Task, blob: bytes) -> None:
         footprint = len(blob) + task.referenced_bytes()
+        with self._footprint_lock:
+            if footprint > self._max_footprint:
+                self._max_footprint = footprint
+                self._m_max_footprint.set(footprint)
         if footprint > self.payload_budget:
             raise PlatformError(
                 f"task {task.name!r}: payload footprint {footprint} B "

@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable
 
 from repro.errors import TaskExecutionError, TaskStateError
+from repro.obs.events import EventLog
 from repro.obs.metrics import MetricsRegistry
 from repro.sim.trace import TraceRecorder
 from repro.sre.graph import DFG
@@ -43,6 +44,7 @@ class Runtime:
         *,
         trace: TraceRecorder | None = None,
         metrics: MetricsRegistry | None = None,
+        events: EventLog | None = None,
         depth_first: bool = True,
         control_first: bool = True,
         track_memory: bool = True,
@@ -53,6 +55,8 @@ class Runtime:
         #: be disabled wholesale for big sweeps; these counters are cheap
         #: enough to stay on, so long runs always have final accounting.
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Structured event log with causal IDs (docs/flight-recorder.md).
+        self.events = events if events is not None else EventLog()
         self._init_metrics()
         self.memory = MemoryLedger() if track_memory else None
         self.natural_queue = ReadyQueue(depth_first=depth_first, control_first=control_first)
@@ -107,8 +111,13 @@ class Runtime:
     # wiring to an executor
     # ------------------------------------------------------------------
     def set_clock(self, clock: Callable[[], float]) -> None:
-        """Install the executor's time source (simulated or wall-clock)."""
+        """Install the executor's time source (simulated or wall-clock).
+
+        The event log follows the same clock so event timestamps and
+        latency histograms share a time base.
+        """
         self._clock = clock
+        self.events.set_clock(clock)
 
     @property
     def now(self) -> float:
@@ -143,6 +152,10 @@ class Runtime:
         """Register a task; it becomes READY immediately if it has no inputs."""
         self.graph.add_task(task)
         (supertask or self.root).adopt(task)
+        self.events.emit("task_spawn", task=task.name,
+                         version=task.tags.get("spec_version"),
+                         task_kind=task.kind,
+                         speculative=task.speculative or None)
         if task.is_ready_to_schedule:
             self._make_ready(task)
         elif task.state is TaskState.CREATED:
@@ -190,6 +203,8 @@ class Runtime:
         self._note_queue_depth()
         self.trace.record(self.now, "task_ready", task.name, task_kind=task.kind,
                           speculative=task.speculative)
+        self.events.emit("task_ready", task=task.name,
+                         version=task.tags.get("spec_version"))
         for fn in list(self._ready_listeners):
             fn(task)
 
@@ -212,6 +227,8 @@ class Runtime:
         if worker is not None:
             detail["worker"] = worker
         self.trace.record(self.now, "task_start", task.name, **detail)
+        self.events.emit("task_dispatch", task=task.name,
+                         version=task.tags.get("spec_version"), worker=worker)
 
     def finish_task(
         self,
@@ -248,6 +265,13 @@ class Runtime:
             self._m_aborted[task.speculative].inc()
             self.trace.record(self.now, "task_abort", task.name, task_kind=task.kind,
                               speculative=task.speculative, while_running=True)
+            ran_us = (task.finish_time - task.start_time
+                      if task.start_time is not None and task.finish_time is not None
+                      else None)
+            self.events.emit("task_abort", task=task.name,
+                             version=task.tags.get("spec_version"),
+                             cause=task.abort_cause, while_running=True,
+                             ran_us=ran_us)
             for fn in list(self._abort_listeners):
                 fn(task)
             return None
@@ -267,7 +291,11 @@ class Runtime:
                 self._m_failures.inc()
                 self.trace.record(self.now, "task_failed", task.name,
                                   task_kind=task.kind, error=repr(exc))
-                self.abort_dependents([task], include_roots=False)
+                failed_seq = self.events.emit(
+                    "task_failed", task=task.name,
+                    version=task.tags.get("spec_version"), error=repr(exc))
+                with self.events.cause(failed_seq):
+                    self.abort_dependents([task], include_roots=False)
                 raise TaskExecutionError(task.name, exc) from exc
         elif outputs is None:
             outputs = {}
@@ -286,6 +314,10 @@ class Runtime:
         if worker is not None:
             detail["worker"] = worker
         self.trace.record(self.now, "task_done", task.name, **detail)
+        self.events.emit("task_done", task=task.name,
+                         version=task.tags.get("spec_version"), worker=worker,
+                         dur_us=(task.finish_time - task.start_time
+                                 if task.start_time is not None else None))
         self._route_outputs(task, outputs)
         if task.supertask is not None:
             task.supertask.notify_child_complete(task, outputs)
@@ -329,6 +361,13 @@ class Runtime:
             self._m_aborted[task.speculative].inc()
             self.trace.record(self.now, "task_abort", task.name, task_kind=task.kind,
                               speculative=task.speculative, after_done=True)
+            self.events.emit("task_abort", task=task.name,
+                             version=task.tags.get("spec_version"),
+                             after_done=True,
+                             ran_us=(task.finish_time - task.start_time
+                                     if task.start_time is not None
+                                     and task.finish_time is not None
+                                     else None))
             for fn in list(self._abort_listeners):
                 fn(task)
             return
@@ -345,11 +384,19 @@ class Runtime:
             self._m_aborted[task.speculative].inc()
             self.trace.record(self.now, "task_abort", task.name, task_kind=task.kind,
                               speculative=task.speculative)
+            self.events.emit("task_abort", task=task.name,
+                             version=task.tags.get("spec_version"),
+                             was_ready=was_ready or None)
             for fn in list(self._abort_listeners):
                 fn(task)
             return
-        # RUNNING: flagged only; finish_task finalises the abort. Relay the
-        # flag to executors whose workers cannot see coordinator memory.
+        # RUNNING: flagged only; finish_task finalises the abort — remember
+        # who ordered the destruction so the eventual task_abort event still
+        # points at its destroy signal. Relay the flag to executors whose
+        # workers cannot see coordinator memory.
+        task.abort_cause = self.events.current_cause()
+        self.events.emit("task_abort_flag", task=task.name,
+                         version=task.tags.get("spec_version"))
         for fn in list(self._abort_flag_listeners):
             fn(task)
 

@@ -314,6 +314,7 @@ class BlockStore:
     """
 
     def __init__(self, *, metrics: Any | None = None,
+                 events: Any | None = None,
                  min_bytes: int = 1024,
                  segment_bytes: int = 1 << 20) -> None:
         if segment_bytes < 1 or min_bytes < 0:
@@ -327,6 +328,10 @@ class BlockStore:
         self._refcounts: dict[tuple[str, int], int] = {}
         self._ref_meta: dict[tuple[str, int], BlockRef] = {}
         self._closed = False
+        #: optional flight recorder (see repro.obs.events): ref releases
+        #: emit ``shm_release`` events whose ambient cause scope ties them
+        #: into rollback / commit cascades.
+        self._events = events
         self.bytes_stored = 0
         self.segments_created = 0
         self.segments_reclaimed = 0
@@ -341,9 +346,15 @@ class BlockStore:
                 "shm_refs_released",
                 "shared-memory block references released",
                 labelnames=("reason",))
+            self._c_bytes_released = metrics.counter(
+                "shm_bytes_released",
+                "bytes of pinned shared-memory blocks whose references "
+                "were released (block length × refs dropped)",
+                labelnames=("reason",))
         else:
             self._g_segments = self._g_resident = self._c_blocks = None
             self._c_released = None
+            self._c_bytes_released = None
 
     # -- allocation ----------------------------------------------------
     def _new_segment(self, capacity: int) -> _Segment:
@@ -438,6 +449,7 @@ class BlockStore:
                 raise TransportError(
                     f"release({n}) exceeds refcount {count} for {ref!r}")
             count -= n
+            freed = False
             if count:
                 self._refcounts[ref.key] = count
             else:
@@ -446,8 +458,14 @@ class BlockStore:
                 seg = self._segs[ref.segment]
                 seg.live_blocks -= 1
                 self._maybe_reclaim(seg)
+                freed = True
         if self._c_released is not None:
             self._c_released.labels(reason=reason).inc(n)
+            self._c_bytes_released.labels(reason=reason).inc(ref.length * n)
+        if self._events is not None:
+            self._events.emit("shm_release", reason=reason, refs=n,
+                              nbytes=ref.length * n, segment=ref.segment,
+                              freed=freed or None)
 
     def refcount(self, ref: BlockRef) -> int:
         """Current reference count (0 once fully released)."""

@@ -108,6 +108,7 @@ class Task:
         "ready_time",
         "start_time",
         "finish_time",
+        "abort_cause",
         "_payload_blob",
     )
 
@@ -160,6 +161,9 @@ class Task:
         self.ready_time: float | None = None
         self.start_time: float | None = None
         self.finish_time: float | None = None
+        #: event seq of the destroy signal that flagged this task while it
+        #: was RUNNING; the reap path stamps it as the abort event's cause.
+        self.abort_cause: int | None = None
         self._payload_blob: bytes | None = None
 
     # ------------------------------------------------------------------

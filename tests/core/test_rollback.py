@@ -89,3 +89,60 @@ def test_rollback_emits_trace():
     assert rec is not None
     assert rec.subject == "version:3"
     assert rec.detail["tasks_destroyed"] == 2
+
+
+# ----------------------------------------------------------------------
+# spec_rollback_cost histogram (double-entry vs engine counters)
+# ----------------------------------------------------------------------
+def _cost_series(h, measure):
+    child = h.labels(measure=measure)
+    return child.count(), child.sum()
+
+
+def test_rollback_cost_histogram_double_enters_engine_counters():
+    h = make_harness()
+    engine = RollbackEngine(h.runtime)
+    for vid in (1, 2):
+        version = SpecVersion(vid, created_index=vid, created_at=0.0)
+        a = Task(f"a{vid}", lambda: {"out": 1}, speculative=True)
+        b = Task(f"b{vid}", lambda x: {"out": x}, inputs=("x",),
+                 speculative=True)
+        version.register(a)
+        h.runtime.add_task(a)
+        h.runtime.add_task(b)
+        h.runtime.connect(a, "out", b, "x")
+        h.run()
+        engine.rollback(version)
+    hist = h.runtime.metrics.get("spec_rollback_cost")
+    n_tasks, sum_tasks = _cost_series(hist, "tasks")
+    n_wasted, sum_wasted = _cost_series(hist, "wasted_us")
+    # one observation per rollback on each measure
+    assert n_tasks == n_wasted == engine.rollbacks == 2
+    # and the sums are the engine's own running totals
+    assert sum_tasks == engine.tasks_destroyed == 4
+    assert sum_wasted == pytest.approx(engine.wasted_task_us)
+    assert engine.wasted_task_us > 0  # tasks had run before the signal
+
+
+def test_rollback_cost_counts_unstarted_footprint_as_zero_waste():
+    h = make_harness()
+    version, *_ = _version_with_chain(h)
+    engine = RollbackEngine(h.runtime)
+    engine.rollback(version)  # nothing has executed yet: a is RUNNING at 0
+    hist = h.runtime.metrics.get("spec_rollback_cost")
+    assert _cost_series(hist, "tasks") == (1, 2.0)
+    n, total = _cost_series(hist, "wasted_us")
+    assert n == 1 and total == 0.0
+
+
+def test_rollback_done_event_mirrors_histogram_entry():
+    h = make_harness()
+    version, *_ = _version_with_chain(h, vid=9)
+    h.run()
+    engine = RollbackEngine(h.runtime)
+    engine.rollback(version)
+    done = [e for e in h.runtime.events.events()
+            if e["kind"] == "rollback_done"][-1]
+    assert done["version"] == 9
+    assert done["tasks_destroyed"] == engine.tasks_destroyed
+    assert done["wasted_us"] == pytest.approx(engine.wasted_task_us)

@@ -164,3 +164,54 @@ def test_transport_command(capsys):
     out = capsys.readouterr().out
     assert "pickle" in out and "shm" in out
     assert "payload-byte ratio" in out
+
+
+def test_run_events_out_then_explain(tmp_path, capsys):
+    path = tmp_path / "run.events.jsonl"
+    rc = main(["run", "--blocks", "24", "--tolerance", "0",
+               "--events-out", str(path)])
+    assert rc == 0
+    assert "event log written" in capsys.readouterr().out
+    rc = main(["explain", str(path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "rollback cascade(s)" in out
+    assert "root cause" in out and "destroyed:" in out
+
+
+def test_explain_version_filter(tmp_path, capsys):
+    path = tmp_path / "run.events.jsonl"
+    main(["run", "--blocks", "24", "--tolerance", "0",
+          "--events-out", str(path)])
+    capsys.readouterr()
+    assert main(["explain", str(path), "--version", "999"]) == 0
+    assert "0 rollback cascade(s)" in capsys.readouterr().out
+
+
+def test_top_once_renders_snapshot(tmp_path, capsys):
+    path = tmp_path / "run.metrics.json"
+    main(["run", "--blocks", "16", "--metrics-out", str(path)])
+    capsys.readouterr()
+    assert main(["top", str(path), "--once"]) == 0
+    out = capsys.readouterr().out
+    assert "repro top" in out and "blocks committed" in out
+
+
+def test_bench_emits_gateable_doc(tmp_path, capsys):
+    import json as _json
+    path = tmp_path / "bench.json"
+    rc = main(["bench", "--blocks", "16", "--emit-bench-json", str(path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "blocks_per_virtual_s" in out and "[gated" in out
+    doc = _json.loads(path.read_text())
+    assert doc["metrics"]["blocks_per_virtual_s"] > 0
+    assert "blocks_per_virtual_s" in doc["gate"]
+    # the emitted doc always passes the gate against itself
+    import subprocess, sys, pathlib as _pl
+    gate = _pl.Path(__file__).resolve().parents[2] / "tools" / "bench_gate.py"
+    proc = subprocess.run(
+        [sys.executable, str(gate), "--baseline", str(path),
+         "--current", str(path)], capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "bench gate: passed" in proc.stdout

@@ -1,0 +1,127 @@
+"""Unit tests for the end-of-run anomaly detectors."""
+
+from repro.obs.anomaly import AnomalyThresholds, detect_anomalies, scan_run
+from repro.obs.events import EventLog
+from repro.obs.metrics import MetricsRegistry
+
+
+def _ev(kind, t, task=None, **data):
+    e = {"run_id": "r", "kind": kind, "seq": t, "t": float(t)}
+    if task is not None:
+        e["task"] = task
+    e.update(data)
+    return e
+
+
+def _bracket(t0=0.0, t1=1_000_000.0):
+    """Span-defining bookend events (1 s run)."""
+    return [_ev("run_start", t0), _ev("run_end", t1)]
+
+
+# ----------------------------------------------------------------------
+# mis-speculation burst
+# ----------------------------------------------------------------------
+def test_burst_of_destroy_signals_flags():
+    events = _bracket() + [_ev("destroy_signal", t)
+                           for t in (100.0, 200.0, 300.0)]
+    (anomaly,) = detect_anomalies(events)
+    assert anomaly.kind == "misspec_burst"
+    assert anomaly.data["rollbacks"] == 3
+    assert "tolerance/step" in anomaly.message
+
+
+def test_spread_out_destroys_do_not_flag():
+    # 3 rollbacks, but spread over the full second (window is 25% of span)
+    events = _bracket() + [_ev("destroy_signal", t)
+                           for t in (0.0, 500_000.0, 999_999.0)]
+    assert detect_anomalies(events) == []
+
+
+def test_fewer_than_k_destroys_never_flags():
+    events = _bracket() + [_ev("destroy_signal", 100.0),
+                           _ev("destroy_signal", 101.0)]
+    assert detect_anomalies(events) == []
+
+
+# ----------------------------------------------------------------------
+# ready-queue stall
+# ----------------------------------------------------------------------
+def test_long_ready_to_dispatch_wait_flags_worst_task():
+    events = _bracket() + [
+        _ev("task_ready", 10.0, task="fast"),
+        _ev("task_dispatch", 20.0, task="fast"),
+        _ev("task_ready", 100.0, task="slow"),
+        _ev("task_dispatch", 500_000.0, task="slow"),   # 0.5 s wait
+    ]
+    (anomaly,) = detect_anomalies(events)
+    assert anomaly.kind == "ready_stall"
+    assert anomaly.data["task"] == "slow"
+    assert anomaly.data["wait_us"] == 499_900.0
+
+
+def test_short_waits_below_floor_do_not_flag():
+    # tiny run: span-based threshold would be microscopic, the absolute
+    # floor (50 ms) keeps fast sims quiet
+    events = [_ev("task_ready", 0.0, task="a"),
+              _ev("task_dispatch", 100.0, task="a")]
+    assert detect_anomalies(events) == []
+
+
+def test_worker_clock_events_are_excluded_from_time_detectors():
+    # worker timestamps share no epoch with the coordinator; a merged
+    # batch must not fabricate a stall or distort the span
+    events = _bracket() + [
+        _ev("task_ready", 10.0, task="x"),
+        dict(_ev("task_dispatch", 900_000.0, task="x"), clock="worker"),
+    ]
+    assert detect_anomalies(events) == []
+
+
+# ----------------------------------------------------------------------
+# payload-budget pressure
+# ----------------------------------------------------------------------
+def _snapshot(budget, peak):
+    reg = MetricsRegistry("repro")
+    reg.gauge("procs_payload_budget_bytes", "budget").set(budget)
+    reg.gauge("procs_payload_max_footprint_bytes", "peak").set(peak)
+    return reg.snapshot()
+
+
+def test_footprint_near_budget_flags():
+    (anomaly,) = detect_anomalies([], _snapshot(1000, 900))
+    assert anomaly.kind == "budget_pressure"
+    assert anomaly.data == {"peak_bytes": 900.0, "budget_bytes": 1000.0}
+
+
+def test_footprint_well_under_budget_is_quiet():
+    assert detect_anomalies([], _snapshot(1000, 500)) == []
+
+
+def test_no_budget_metric_is_quiet():
+    assert detect_anomalies([], MetricsRegistry("repro").snapshot()) == []
+
+
+def test_thresholds_are_tunable():
+    th = AnomalyThresholds(budget_frac=0.4)
+    (anomaly,) = detect_anomalies([], _snapshot(1000, 500), thresholds=th)
+    assert anomaly.kind == "budget_pressure"
+
+
+# ----------------------------------------------------------------------
+# scan_run
+# ----------------------------------------------------------------------
+def test_scan_run_emits_anomaly_events_and_returns_warnings():
+    log = EventLog("r")
+    log.set_clock(iter([0.0, 100.0, 200.0, 300.0, 1_000_000.0,
+                        1_000_001.0]).__next__)
+    for _ in range(4):
+        log.emit("destroy_signal")
+    log.emit("run_end")
+    warnings = scan_run(log)
+    assert len(warnings) == 1 and warnings[0].startswith("misspec_burst:")
+    kinds = [e["kind"] for e in log.events()]
+    assert kinds[-1] == "anomaly_misspec_burst"
+
+
+def test_scan_run_on_disabled_log_is_empty():
+    assert scan_run(EventLog("r", enabled=False)) == []

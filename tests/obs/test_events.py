@@ -1,0 +1,211 @@
+"""Unit tests for the flight-recorder event log."""
+
+import json
+import threading
+
+from repro.obs.events import (
+    EventLog,
+    children_of,
+    default_clock,
+    index_by_seq,
+    load_events_jsonl,
+    walk_to_root,
+)
+
+
+# ----------------------------------------------------------------------
+# emission & ring
+# ----------------------------------------------------------------------
+def test_emit_assigns_monotonic_seqs_and_stamps_fields():
+    log = EventLog("run1")
+    s1 = log.emit("task_spawn", task="a", version=2, payload=7)
+    s2 = log.emit("task_done", task="a")
+    assert (s1, s2) == (1, 2)
+    e1, e2 = log.events()
+    assert e1 == {"run_id": "run1", "kind": "task_spawn", "task": "a",
+                  "version": 2, "payload": 7, "seq": 1, "t": e1["t"]}
+    assert e2["seq"] == 2 and e2["t"] >= e1["t"]
+
+
+def test_none_valued_payload_fields_are_dropped():
+    log = EventLog("r")
+    log.emit("k", task=None, version=None, extra=None, kept=0)
+    (event,) = log.events()
+    assert "task" not in event and "version" not in event
+    assert "extra" not in event and event["kept"] == 0
+
+
+def test_ring_keeps_most_recent_capacity_events():
+    log = EventLog("r", capacity=3)
+    for i in range(10):
+        log.emit("k", i=i)
+    assert [e["i"] for e in log.events()] == [7, 8, 9]
+    assert len(log) == 3
+    assert log.last_seq == 10  # seqs keep counting past evictions
+
+
+def test_disabled_log_is_a_noop():
+    log = EventLog("r", enabled=False)
+    assert log.emit("k", x=1) == 0
+    with log.cause(5):
+        assert log.current_cause() is None
+        assert log.emit("k") == 0
+    assert log.events() == [] and len(log) == 0
+
+
+# ----------------------------------------------------------------------
+# cause context
+# ----------------------------------------------------------------------
+def test_cause_scope_defaults_cause_and_nests():
+    log = EventLog("r")
+    root = log.emit("root")
+    with log.cause(root):
+        a = log.emit("child")
+        with log.cause(a):
+            log.emit("grandchild")
+        log.emit("sibling")
+    log.emit("outside")
+    by_kind = {e["kind"]: e for e in log.events()}
+    assert "cause" not in by_kind["root"]
+    assert by_kind["child"]["cause"] == root
+    assert by_kind["grandchild"]["cause"] == a
+    assert by_kind["sibling"]["cause"] == root
+    assert "cause" not in by_kind["outside"]
+
+
+def test_explicit_cause_wins_over_ambient_scope():
+    log = EventLog("r")
+    with log.cause(99):
+        log.emit("k", cause=7)
+    assert log.events()[0]["cause"] == 7
+
+
+def test_cause_scopes_are_thread_local():
+    log = EventLog("r")
+    seen = {}
+
+    def worker():
+        seen["cause"] = log.current_cause()
+        log.emit("from_thread")
+
+    with log.cause(42):
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+    assert seen["cause"] is None
+    assert "cause" not in [e for e in log.events()
+                           if e["kind"] == "from_thread"][0]
+
+
+def test_cause_none_scope_is_transparent():
+    log = EventLog("r")
+    with log.cause(None):
+        assert log.current_cause() is None
+
+
+# ----------------------------------------------------------------------
+# JSONL sink
+# ----------------------------------------------------------------------
+def test_jsonl_sink_receives_every_event_despite_ring_eviction(tmp_path):
+    path = tmp_path / "run.events.jsonl"
+    with EventLog("r", capacity=2, path=str(path)) as log:
+        for i in range(5):
+            log.emit("k", i=i)
+    events = load_events_jsonl(str(path))
+    assert [e["i"] for e in events] == [0, 1, 2, 3, 4]
+    assert all(e["run_id"] == "r" for e in events)
+    # but the ring only kept the tail
+    assert len(log) == 2
+
+
+def test_jsonl_lines_are_valid_json(tmp_path):
+    path = tmp_path / "e.jsonl"
+    with EventLog("r", path=str(path)) as log:
+        log.emit("k", blob=b"\x00\xff")  # non-JSON type goes through default=str
+    for line in path.read_text().splitlines():
+        json.loads(line)
+
+
+# ----------------------------------------------------------------------
+# merge_worker
+# ----------------------------------------------------------------------
+def test_merge_worker_reassigns_seqs_and_remaps_intra_batch_causes():
+    log = EventLog("coord")
+    log.emit("local")  # seq 1
+    batch = [
+        {"run_id": "w0", "kind": "a", "seq": 1, "t": 10.0},
+        {"run_id": "w0", "kind": "b", "seq": 2, "t": 20.0, "cause": 1},
+        {"run_id": "w0", "kind": "c", "seq": 3, "t": 30.0, "cause": 999},
+    ]
+    log.merge_worker(0, batch)
+    a, b, c = log.events()[1:]
+    assert a["seq"] == 2 and b["seq"] == 3 and c["seq"] == 4
+    assert b["cause"] == 2                  # remapped to a's new seq
+    assert "cause" not in c                 # dangling ref dropped
+    assert all(e["run_id"] == "coord" for e in (a, b, c))
+    assert all(e["worker"] == 0 and e["clock"] == "worker" for e in (a, b, c))
+    assert [e["worker_seq"] for e in (a, b, c)] == [1, 2, 3]
+    # source dicts untouched
+    assert batch[0]["run_id"] == "w0" and batch[1]["cause"] == 1
+
+
+def test_merge_worker_noop_when_disabled_or_empty():
+    log = EventLog("c", enabled=False)
+    log.merge_worker(0, [{"kind": "a", "seq": 1}])
+    assert len(log) == 0
+    live = EventLog("c")
+    live.merge_worker(0, [])
+    assert live.last_seq == 0
+
+
+# ----------------------------------------------------------------------
+# clock
+# ----------------------------------------------------------------------
+def test_default_clock_is_monotonic_and_immune_to_wall_jumps(monkeypatch):
+    import time as time_mod
+    # Wall clock jumping backwards (NTP / DST) must not affect timestamps.
+    monkeypatch.setattr(time_mod, "time", lambda: 0.0)
+    t0 = default_clock()
+    t1 = default_clock()
+    assert t1 >= t0 > 0
+
+
+def test_set_clock_rebinds_timestamp_source():
+    log = EventLog("r")
+    log.set_clock(lambda: 123.0)
+    log.emit("k")
+    assert log.events()[0]["t"] == 123.0
+
+
+# ----------------------------------------------------------------------
+# lineage helpers
+# ----------------------------------------------------------------------
+def _lineage_fixture():
+    return [
+        {"kind": "spec_predict", "seq": 1},
+        {"kind": "spec_launch", "seq": 2, "cause": 1},
+        {"kind": "check_fail", "seq": 3, "cause": 2},
+        {"kind": "destroy_signal", "seq": 4, "cause": 3},
+        {"kind": "task_abort", "seq": 5, "cause": 4},
+        {"kind": "task_abort", "seq": 6, "cause": 4},
+    ]
+
+
+def test_children_of_groups_direct_effects_in_order():
+    kids = children_of(_lineage_fixture())
+    assert [e["seq"] for e in kids[4]] == [5, 6]
+    assert [e["seq"] for e in kids[1]] == [2]
+    assert 5 not in kids
+
+
+def test_walk_to_root_follows_cause_chain():
+    events = _lineage_fixture()
+    by_seq = index_by_seq(events)
+    chain = walk_to_root(events[4], by_seq)
+    assert [e["seq"] for e in chain] == [5, 4, 3, 2, 1]
+
+
+def test_walk_to_root_tolerates_dangling_cause():
+    events = [{"kind": "x", "seq": 10, "cause": 9}]  # 9 evicted from ring
+    chain = walk_to_root(events[0], index_by_seq(events))
+    assert [e["seq"] for e in chain] == [10]

@@ -259,3 +259,43 @@ def test_merge_snapshots_pure_function():
     assert by_name["g"]["series"][0]["value"] == 5
     # inputs are untouched
     assert a.value("c") == 1 and b.value("c") == 2
+
+
+# ----------------------------------------------------------------------
+# the shared monotonic clock (timer default)
+# ----------------------------------------------------------------------
+def test_timer_default_clock_is_immune_to_wall_clock_jumps(monkeypatch):
+    import time as time_mod
+    from repro.obs import metrics as metrics_mod
+    # Simulate an NTP step: time.time() jumps 1 hour backwards. The timer
+    # must not record a negative (or hour-long) duration because its
+    # default clock is MONOTONIC_CLOCK, not the wall clock.
+    wall = iter([1_000_000.0, 1_000_000.0 - 3600.0])
+    monkeypatch.setattr(time_mod, "time", lambda: next(wall))
+    assert metrics_mod.MONOTONIC_CLOCK is time_mod.perf_counter
+    reg = MetricsRegistry()
+    h = reg.histogram("dur_s", buckets=(0.5, 1.0))
+    with h.time():
+        pass
+    assert 0 <= h.sum() < 1.0
+    assert h.count() == 1
+
+
+def test_event_log_timestamps_share_the_timer_clock():
+    # satellite: one clock threaded through events and histogram timers,
+    # so a timer observation can be placed on the event timeline
+    from repro.obs import metrics as metrics_mod
+    from repro.obs.events import default_clock
+    lo = metrics_mod.MONOTONIC_CLOCK() * 1e6
+    mid = default_clock()
+    hi = metrics_mod.MONOTONIC_CLOCK() * 1e6
+    assert lo <= mid <= hi
+
+
+def test_timer_accepts_explicit_clock():
+    reg = MetricsRegistry()
+    h = reg.histogram("dur", buckets=(10.0,))
+    ticks = iter([100.0, 107.0])
+    with h.time(clock=lambda: next(ticks)):
+        pass
+    assert h.sum() == 7.0

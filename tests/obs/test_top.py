@@ -1,0 +1,98 @@
+"""Unit tests for the `repro top` dashboard."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.top import derive_stats, render_frame, run_top, sample_snapshot
+
+
+def _doc(*, blocks=10, tasks=40, passes=3, fails=1, meta=None):
+    reg = MetricsRegistry("repro")
+    reg.counter("blocks_committed", "blocks").inc(blocks)
+    reg.counter("sre_tasks_completed", "tasks").inc(tasks)
+    checks = reg.counter("spec_checks", "checks", labelnames=("verdict",))
+    checks.labels(verdict="pass").inc(passes)
+    checks.labels(verdict="fail").inc(fails)
+    depth = reg.gauge("sre_ready_depth", "ready", labelnames=("queue",))
+    depth.labels(queue="natural").set(2)
+    depth.labels(queue="speculative").set(1)
+    reg.counter("spec_rollbacks", "rollbacks").inc(fails)
+    reg.counter("spec_commits", "commits").inc(passes)
+    reg.gauge("shm_bytes_resident", "shm").set(8192)
+    reg.gauge("shm_segments", "segs").set(1)
+    doc = dict(reg.snapshot())
+    if meta is not None:
+        doc["meta"] = meta
+    return doc
+
+
+def test_derive_stats_pulls_dashboard_quantities():
+    stats = derive_stats(_doc())
+    assert stats["blocks_committed"] == 10
+    assert stats["tasks_completed"] == 40
+    assert stats["ready_natural"] == 2 and stats["ready_spec"] == 1
+    assert stats["spec_hit_rate"] == pytest.approx(0.75)
+    assert stats["rollbacks"] == 1 and stats["commits"] == 3
+    assert stats["shm_resident"] == 8192 and stats["shm_segments"] == 1
+
+
+def test_derive_stats_with_no_checks_has_no_hit_rate():
+    assert derive_stats({"metrics": []})["spec_hit_rate"] is None
+
+
+def test_render_frame_totals_and_meta_label():
+    text = render_frame(_doc(meta={"workload": "txt", "executor": "procs",
+                                   "transport": "shm"}), path="x.json")
+    assert "repro top — x.json  [txt procs shm]" in text
+    assert "10 blocks committed" in text
+    assert "75.0% (3/4)" in text
+    assert "nat 2 / spec 1" in text
+    assert "8 KiB (1 segment(s))" in text
+
+
+def test_render_frame_throughput_delta_between_polls():
+    prev = _doc(blocks=10, tasks=40)
+    cur = _doc(blocks=30, tasks=80)
+    text = render_frame(cur, prev, dt_s=2.0)
+    assert "10.0 blocks/s" in text
+    assert "20.0 tasks/s" in text
+
+
+def test_sample_snapshot_tolerates_missing_and_partial_files(tmp_path):
+    assert sample_snapshot(str(tmp_path / "absent.json")) is None
+    partial = tmp_path / "partial.json"
+    partial.write_text('{"metrics": [')
+    assert sample_snapshot(str(partial)) is None
+
+
+def test_run_top_once_prints_single_frame(tmp_path, capsys):
+    path = tmp_path / "snap.json"
+    path.write_text(json.dumps(_doc()))
+    assert run_top(str(path), once=True) == 0
+    out = capsys.readouterr().out
+    assert "repro top" in out and "10 blocks committed" in out
+
+
+def test_run_top_once_raises_when_no_snapshot_appears(tmp_path, monkeypatch):
+    import time as time_mod
+    # collapse the 5 s grace wait so the test is instant
+    clock = iter([0.0, 10.0, 20.0])
+    monkeypatch.setattr(time_mod, "monotonic", lambda: next(clock))
+    monkeypatch.setattr(time_mod, "sleep", lambda _s: None)
+    with pytest.raises(ObservabilityError):
+        run_top(str(tmp_path / "never.json"), once=True)
+
+
+def test_run_top_loop_bounded_by_max_frames(tmp_path, capsys, monkeypatch):
+    import time as time_mod
+    monkeypatch.setattr(time_mod, "sleep", lambda _s: None)
+    path = tmp_path / "snap.json"
+    path.write_text(json.dumps(_doc(blocks=10)))
+    assert run_top(str(path), max_frames=2, interval_s=0.0) == 0
+    out = capsys.readouterr().out
+    # second frame switches from totals to throughput deltas
+    assert out.count("repro top") == 2
+    assert "throughput" in out

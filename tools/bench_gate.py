@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Fail CI when a gated bench metric regresses past its threshold.
+
+Compares a freshly produced bench document (``repro bench
+--emit-bench-json current.json``) against the committed baseline
+(``BENCH_huffman.json``). Which metrics are gated — and by how much —
+lives in the *baseline*'s ``"gate"`` object, so loosening or tightening
+the gate is a reviewed change to a committed file, not a CI-config edit.
+
+Only deterministic simulated-clock metrics should ever be gated;
+wall-clock numbers vary with the host and belong in the informational
+section of the doc. Exits 0 when every gated metric is within bounds
+(improvements always pass), 1 on any regression past its threshold,
+2 on malformed input.
+
+Usage::
+
+    python tools/bench_gate.py --baseline BENCH_huffman.json \
+                               --current current.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_doc(path: str) -> dict:
+    doc = json.loads(pathlib.Path(path).read_text())
+    if not isinstance(doc.get("metrics"), dict):
+        raise ValueError(f"{path}: not a bench document (no 'metrics' object)")
+    return doc
+
+
+def compare(baseline: dict, current: dict) -> list[str]:
+    """Return one line per gated metric; lines starting with FAIL regress."""
+    lines = []
+    gate = baseline.get("gate", {})
+    if not gate:
+        raise ValueError("baseline has no 'gate' object — nothing to enforce")
+    for name, spec in gate.items():
+        base = baseline["metrics"].get(name)
+        cur = current["metrics"].get(name)
+        if base is None or cur is None:
+            lines.append(f"FAIL {name}: missing from "
+                         f"{'baseline' if base is None else 'current'} doc")
+            continue
+        higher = spec.get("higher_is_better", True)
+        max_reg = float(spec["max_regression"])
+        if base == 0:
+            change = 0.0
+        else:
+            change = (cur - base) / abs(base)
+        regression = -change if higher else change
+        status = "FAIL" if regression > max_reg else "ok"
+        lines.append(
+            f"{status} {name}: baseline {base:,.3f} -> current {cur:,.3f} "
+            f"({change:+.1%}, allowed regression {max_reg:.0%})")
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline doc (BENCH_huffman.json)")
+    parser.add_argument("--current", required=True,
+                        help="freshly emitted doc to check")
+    args = parser.parse_args(argv)
+    try:
+        baseline = load_doc(args.baseline)
+        current = load_doc(args.current)
+        lines = compare(baseline, current)
+    except (ValueError, OSError, json.JSONDecodeError) as exc:
+        print(f"bench gate error: {exc}", file=sys.stderr)
+        return 2
+    failed = [l for l in lines if l.startswith("FAIL")]
+    for line in lines:
+        print(line)
+    print(f"bench gate: {'FAILED' if failed else 'passed'} "
+          f"({len(lines) - len(failed)}/{len(lines)} gated metric(s) ok)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
