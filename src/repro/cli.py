@@ -58,6 +58,7 @@ def _run_experiment(args: argparse.Namespace, *, trace: bool = False,
         trace=trace,
         executor=args.executor,
         transport=args.transport,
+        fault_plan=args.fault_plan,
         metrics_out=metrics_out,
         events_out=events_out,
     ))
@@ -302,6 +303,11 @@ def main(argv: list[str] | None = None) -> int:
         p.add_argument("--verify-k", type=int, default=8, dest="verify_k")
         p.add_argument("--tolerance", type=float, default=0.01)
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--fault", default=None, dest="fault_plan",
+                       metavar="PLAN",
+                       help="inject deterministic worker faults on the "
+                            "procs back-end, e.g. 'kill@3' or "
+                            "'hang@2:w1,kill@1!' (see docs/fault-tolerance.md)")
 
     p_run = sub.add_parser("run", help="run one Huffman experiment")
     add_experiment_args(p_run)

@@ -78,6 +78,30 @@ class TransportError(ReproError):
     """Raised for shared-memory transport misuse (double release, ...)."""
 
 
+class WorkerLost(ReproError):
+    """A worker process physically failed (died or stopped replying).
+
+    Raised internally by the process back-end's supervisor; it carries the
+    worker slot and the detected cause so the recovery path can account
+    the crash before respawning and re-dispatching. It only escapes the
+    executor when recovery itself is impossible.
+
+    Attributes:
+        worker: the worker slot id.
+        cause: ``"crash"`` (process died) or ``"hang"`` (dispatch deadline
+            expired with the process still alive).
+        exitcode: the dead process's exit code, when known.
+    """
+
+    def __init__(self, worker: int, cause: str,
+                 exitcode: int | None = None) -> None:
+        detail = f" (exitcode {exitcode})" if exitcode is not None else ""
+        super().__init__(f"worker {worker} {cause}{detail}")
+        self.worker = worker
+        self.cause = cause
+        self.exitcode = exitcode
+
+
 class SegmentGone(TransportError):
     """A shared-memory segment was reclaimed before a reference resolved.
 

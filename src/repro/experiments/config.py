@@ -115,6 +115,23 @@ class RunConfig:
     events: bool = True
     events_out: str | None = None
     events_capacity: int = 65536
+    #: deterministic fault-injection plan for the process back-end (see
+    #: repro.testing.faults for the grammar, e.g. "kill@3" or
+    #: "hang@2:w1,kill@1!"). Requires executor="procs".
+    fault_plan: str | None = None
+    #: worker-supervisor knobs (process back-end only; ignored elsewhere).
+    #: Base per-payload reply deadline — a batch of N payloads gets N× this
+    #: before its worker is declared hung.
+    dispatch_timeout_s: float = 60.0
+    #: worker deaths one task may cause/witness before it is quarantined.
+    max_task_retries: int = 2
+    #: base of the exponential backoff between re-dispatches.
+    retry_backoff_s: float = 0.05
+    #: replacement processes one worker seat may consume before it
+    #: degrades to coordinator-inline execution.
+    max_worker_respawns: int = 3
+    #: shutdown grace per worker for the final metrics/events harvest.
+    harvest_timeout_s: float = 2.0
 
     def __post_init__(self) -> None:
         from repro.errors import ExperimentError
@@ -130,6 +147,24 @@ class RunConfig:
             raise ExperimentError("events_capacity must be >= 1")
         if self.events_out is not None and not self.events:
             raise ExperimentError("events_out requires events=True")
+        if self.dispatch_timeout_s <= 0:
+            raise ExperimentError("dispatch_timeout_s must be positive")
+        if self.harvest_timeout_s <= 0:
+            raise ExperimentError("harvest_timeout_s must be positive")
+        if self.max_task_retries < 0:
+            raise ExperimentError("max_task_retries must be >= 0")
+        if self.max_worker_respawns < 0:
+            raise ExperimentError("max_worker_respawns must be >= 0")
+        if self.retry_backoff_s < 0:
+            raise ExperimentError("retry_backoff_s must be >= 0")
+        if self.fault_plan is not None:
+            if self.executor != "procs":
+                raise ExperimentError(
+                    "fault_plan injects worker-process faults; it requires "
+                    "executor='procs'")
+            from repro.testing.faults import FaultPlan
+
+            FaultPlan.parse(self.fault_plan)  # validates the spec grammar
 
     @classmethod
     def from_kwargs(cls, **kwargs: object) -> "RunConfig":

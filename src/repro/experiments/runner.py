@@ -237,9 +237,24 @@ def run_huffman(
         else:
             import time as _time
 
+            live_opts: dict[str, object] = {}
+            if cfg.executor == "procs":
+                # Supervisor / fault-injection knobs are specific to the
+                # process back-end; other registered back-ends would
+                # reject the keywords.
+                live_opts.update(
+                    store=store,
+                    fault_plan=cfg.fault_plan,
+                    dispatch_timeout_s=cfg.dispatch_timeout_s,
+                    max_task_retries=cfg.max_task_retries,
+                    retry_backoff_s=cfg.retry_backoff_s,
+                    max_worker_respawns=cfg.max_worker_respawns,
+                    harvest_timeout_s=cfg.harvest_timeout_s,
+                )
             engine = make_executor(
                 cfg.executor, runtime, policy=cfg.policy,
                 workers=cfg.workers if cfg.workers is not None else 4,
+                **live_opts,
             )
             pipeline = HuffmanPipeline(runtime, hconfig, len(blocks), store=store)
             engine.start()

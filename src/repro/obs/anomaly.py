@@ -19,6 +19,14 @@ Detectors (thresholds in :class:`AnomalyThresholds`):
 * **payload-budget pressure** — the largest payload footprint a process
   back-end shipped came within ``budget_frac`` of the configured budget:
   the next workload size bump will start failing dispatches.
+* **worker churn** — ``crash_k`` or more ``worker_crash`` events: worker
+  processes are dying (OOM kills, native-extension crashes, injected
+  faults); the run completed only because the supervisor kept respawning.
+  The message carries the recovery tally (respawns, quarantined tasks,
+  degraded seats).
+* **harvest loss** — any ``worker_harvest_lost`` event: a worker's final
+  metrics/events snapshot never arrived at shutdown, so worker-side
+  counters under-report this run.
 """
 
 from __future__ import annotations
@@ -47,6 +55,7 @@ class AnomalyThresholds:
     stall_frac: float = 0.25
     stall_floor_us: float = 50_000.0
     budget_frac: float = 0.8
+    crash_k: int = 1
 
 
 def _coordinator_events(events: list[dict[str, Any]]) -> list[dict[str, Any]]:
@@ -132,6 +141,47 @@ def _detect_budget_pressure(
     )
 
 
+def _detect_worker_churn(
+    events: list[dict[str, Any]], th: AnomalyThresholds
+) -> Anomaly | None:
+    crashes = [e for e in events if e.get("kind") == "worker_crash"]
+    if len(crashes) < th.crash_k:
+        return None
+    causes: dict[str, int] = {}
+    for e in crashes:
+        reason = e.get("reason", "unknown")
+        causes[reason] = causes.get(reason, 0) + 1
+    respawns = sum(1 for e in events if e.get("kind") == "worker_respawn")
+    quarantined = sum(1 for e in events if e.get("kind") == "task_quarantine")
+    degraded = sum(1 for e in events if e.get("kind") == "worker_degraded")
+    cause_str = ", ".join(f"{k}×{v}" for k, v in sorted(causes.items()))
+    return Anomaly(
+        "worker_churn",
+        f"worker churn: {len(crashes)} worker crash(es) ({cause_str}); "
+        f"recovery: {respawns} respawn(s), {quarantined} task(s) "
+        f"quarantined, {degraded} seat(s) degraded to inline — the run "
+        "survived on the supervisor, not on healthy workers",
+        {"crashes": len(crashes), "causes": causes, "respawns": respawns,
+         "quarantined": quarantined, "degraded": degraded},
+    )
+
+
+def _detect_harvest_loss(
+    events: list[dict[str, Any]], th: AnomalyThresholds
+) -> Anomaly | None:
+    lost = [e for e in events if e.get("kind") == "worker_harvest_lost"]
+    if not lost:
+        return None
+    workers = sorted({e.get("worker") for e in lost})
+    return Anomaly(
+        "harvest_loss",
+        f"harvest loss: {len(lost)} worker(s) {workers} never delivered "
+        "their final metrics/events snapshot — worker-side counters "
+        "under-report this run",
+        {"lost": len(lost), "workers": workers},
+    )
+
+
 def detect_anomalies(
     events: list[dict[str, Any]],
     snapshot: dict[str, Any] | None = None,
@@ -144,6 +194,8 @@ def detect_anomalies(
     found = [
         _detect_misspec_burst(coord, th),
         _detect_ready_stall(coord, th),
+        _detect_worker_churn(coord, th),
+        _detect_harvest_loss(coord, th),
     ]
     if snapshot is not None:
         found.append(_detect_budget_pressure(snapshot, th))

@@ -17,6 +17,14 @@ The totals printed here are double-entered elsewhere (``rollback_done``
 events carry the :class:`~repro.core.rollback.RollbackEngine` counters;
 ``shm_release`` byte sums match ``shm_bytes_released{reason=rollback}``),
 so the cascade tree can be trusted against the metrics surface.
+
+The same machinery explains **physical** failure: each ``worker_crash``
+event (process back-end; see docs/fault-tolerance.md) roots a
+crash-recovery cascade — the ``worker_respawn`` or ``worker_degraded``
+that replaced the process, every ``task_retry`` re-dispatch, any
+``task_quarantine`` give-ups with their forced ``shm_release``
+(``reason="crash"``), and follow-on ``worker_crash`` events when the
+replacement died too.
 """
 
 from __future__ import annotations
@@ -26,8 +34,9 @@ from typing import Any
 
 from repro.obs.events import children_of, index_by_seq, load_events_jsonl, walk_to_root
 
-__all__ = ["RollbackCascade", "build_cascades", "format_cascades",
-           "explain_events", "explain_path"]
+__all__ = ["RollbackCascade", "CrashCascade", "build_cascades",
+           "build_crash_cascades", "format_cascades",
+           "format_crash_cascades", "explain_events", "explain_path"]
 
 
 @dataclass
@@ -102,6 +111,127 @@ def build_cascades(
             ]
         cascades.append(cascade)
     return cascades
+
+
+@dataclass
+class CrashCascade:
+    """One worker crash and the recovery it caused.
+
+    Built from the cause tree rooted at a ``worker_crash`` event. A
+    replacement worker dying again shows up as a *follow-on* crash: its
+    event is a descendant of this root, and its own recovery children are
+    folded into this cascade (one cascade per original failure, however
+    many incarnations it burned through).
+    """
+
+    crash: dict[str, Any]
+    respawns: list[dict[str, Any]] = field(default_factory=list)
+    degraded: list[dict[str, Any]] = field(default_factory=list)
+    retries: list[dict[str, Any]] = field(default_factory=list)
+    quarantines: list[dict[str, Any]] = field(default_factory=list)
+    releases: list[dict[str, Any]] = field(default_factory=list)
+    follow_on: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def worker(self) -> int | None:
+        return self.crash.get("worker")
+
+    @property
+    def reason(self) -> str:
+        """Why the worker was lost: ``crash`` / ``hang`` / ``protocol``."""
+        return self.crash.get("reason", "unknown")
+
+    @property
+    def crash_freed_bytes(self) -> int:
+        """Shared-memory bytes force-released with reason=crash."""
+        return sum(int(e.get("nbytes", 0)) for e in self.releases
+                   if e.get("reason") == "crash")
+
+
+def build_crash_cascades(events: list[dict[str, Any]]) -> list[CrashCascade]:
+    """Group worker crashes and their recovery into per-root cascades.
+
+    Only crashes without a ``worker_crash`` ancestor root a cascade;
+    descendants (a respawned worker dying again) fold into their root's
+    ``follow_on`` list along with their own recovery events.
+    """
+    by_seq = index_by_seq(events)
+    kids = children_of(events)
+
+    def _has_crash_ancestor(event: dict[str, Any]) -> bool:
+        return any(e.get("kind") == "worker_crash"
+                   for e in walk_to_root(event, by_seq)[1:])
+
+    cascades: list[CrashCascade] = []
+    for event in events:
+        if event.get("kind") != "worker_crash":
+            continue
+        if _has_crash_ancestor(event):
+            continue
+        cascade = CrashCascade(crash=event)
+        frontier = [event["seq"]]
+        while frontier:
+            seq = frontier.pop()
+            for child in kids.get(seq, ()):
+                kind = child.get("kind")
+                if kind == "worker_respawn":
+                    cascade.respawns.append(child)
+                elif kind == "worker_degraded":
+                    cascade.degraded.append(child)
+                elif kind == "task_retry":
+                    cascade.retries.append(child)
+                elif kind == "task_quarantine":
+                    cascade.quarantines.append(child)
+                elif kind == "shm_release":
+                    cascade.releases.append(child)
+                elif kind == "worker_crash":
+                    cascade.follow_on.append(child)
+                else:
+                    continue
+                frontier.append(child["seq"])
+        cascades.append(cascade)
+    return cascades
+
+
+def format_crash_cascades(cascades: list[CrashCascade]) -> str:
+    """Render the worker-crash recovery section of `repro explain`."""
+    out: list[str] = [f"{len(cascades)} worker-crash cascade(s)"]
+    for i, cascade in enumerate(cascades, 1):
+        crash = cascade.crash
+        out.append("")
+        exitcode = crash.get("exitcode")
+        detail = f", exitcode {exitcode}" if exitcode is not None else ""
+        inflight = crash.get("inflight", 0)
+        out.append(f"crash #{i}: worker {cascade.worker} lost "
+                   f"({cascade.reason}{detail}) with {inflight} payload(s) "
+                   f"in flight [seq {crash.get('seq')}]")
+        tasks = crash.get("tasks")
+        if tasks:
+            out.append(f"  in flight: {', '.join(tasks)}")
+        for follow in cascade.follow_on:
+            out.append(f"  follow-on crash: worker {follow.get('worker')} "
+                       f"lost again ({follow.get('reason', 'unknown')}) "
+                       f"[seq {follow.get('seq')}]")
+        for respawn in cascade.respawns:
+            out.append(f"  respawn: worker {respawn.get('worker')} "
+                       f"incarnation {respawn.get('incarnation')} "
+                       f"({respawn.get('respawns')} used)")
+        for deg in cascade.degraded:
+            out.append(f"  degraded: worker {deg.get('worker')} fell back "
+                       f"to coordinator-inline execution "
+                       f"({deg.get('reason')})")
+        if cascade.retries:
+            names = {e.get("task") for e in cascade.retries}
+            out.append(f"  retried: {len(cascade.retries)} re-dispatch(es) "
+                       f"across {len(names)} task(s)")
+        for q in cascade.quarantines:
+            out.append(f"  quarantined: {q.get('task')} after "
+                       f"{q.get('attempts')} attempt(s)")
+        if cascade.crash_freed_bytes or any(
+                e.get("reason") == "crash" for e in cascade.releases):
+            out.append(f"  shm released (crash): "
+                       f"{cascade.crash_freed_bytes} B force-freed")
+    return "\n".join(out)
 
 
 def _describe_root(cascade: RollbackCascade) -> list[str]:
@@ -183,9 +313,17 @@ def format_cascades(cascades: list[RollbackCascade],
 
 def explain_events(events: list[dict[str, Any]],
                    version: int | None = None) -> str:
-    """Build and render the cascade report for an in-memory event list."""
+    """Build and render the cascade report for an in-memory event list.
+
+    Rollback cascades first, then — when the run saw physical failure —
+    the worker-crash recovery section.
+    """
     run_id = events[0].get("run_id") if events else None
-    return format_cascades(build_cascades(events, version), run_id)
+    report = format_cascades(build_cascades(events, version), run_id)
+    crashes = build_crash_cascades(events)
+    if crashes:
+        report += "\n\n" + format_crash_cascades(crashes)
+    return report
 
 
 def explain_path(path: str, version: int | None = None) -> str:

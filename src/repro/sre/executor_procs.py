@@ -49,11 +49,33 @@ reaps its result on completion, the paper's destroy-signal protocol
 (innocent bystander of a raised flag), or one whose shared segment
 disappeared under a racing rollback (``SegmentGone``), is re-run inline on
 the coordinator — the authoritative mapping there outlives the unlink.
+
+**Physical fault tolerance.** Logical failures (mis-speculation, task
+exceptions) were always reclaimed; a *physical* failure — a worker process
+SIGKILLed by the OOM killer, wedged in a C extension, or silently eating a
+reply — used to strand the coordinator thread in ``conn.recv()`` forever
+or kill it with an uncaught ``EOFError``. The :class:`WorkerSupervisor`
+treats process failure as just another speculation to recover from
+(cf. distributed speculative execution): every dispatch awaits its reply
+under a deadline scaled by batch size while also watching the worker's
+``Process.sentinel``; a dead or wedged worker is killed, accounted
+(``worker_crash`` events + ``procs_worker_crashes{cause}``), respawned
+(``worker_respawn``), and the in-flight batch is re-dispatched *singly*
+with bounded retries and exponential backoff (:class:`RetryPolicy`) so a
+poisonous payload cannot take innocent batch-mates down twice. A task
+that keeps killing workers is **quarantined** — it fails once through the
+normal ``task_failed`` path (its dependence cone aborts, shared-memory
+blocks it pinned are force-released with ``shm_release{reason="crash"}``)
+instead of retrying forever. A worker slot whose respawn budget runs out
+**degrades to coordinator-inline execution**: slower, but the run
+completes. Deterministic chaos for all of this comes from
+:mod:`repro.testing.faults` (``repro run --fault kill@3``).
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.connection
 import pickle
 import time
 import traceback
@@ -61,7 +83,13 @@ from typing import Any
 
 import threading
 
-from repro.errors import PlatformError, SchedulingError, SegmentGone, TaskStateError
+from repro.errors import (
+    PlatformError,
+    SchedulingError,
+    SegmentGone,
+    TaskStateError,
+    WorkerLost,
+)
 from repro.obs.events import EventLog
 from repro.obs.metrics import MetricsRegistry
 from repro.sre import shm
@@ -70,9 +98,12 @@ from repro.sre.policies import DispatchPolicy
 from repro.sre.registry import register_executor
 from repro.sre.runtime import Runtime
 from repro.sre.task import PAYLOAD_PROTOCOL, Task
+from repro.testing.faults import FaultInjector, FaultPlan
 
-__all__ = ["ProcessExecutor", "DEFAULT_PAYLOAD_BUDGET", "DEFAULT_BATCH_MAX",
-           "DEFAULT_BATCH_BYTES"]
+__all__ = ["ProcessExecutor", "WorkerSupervisor", "RetryPolicy",
+           "DEFAULT_PAYLOAD_BUDGET", "DEFAULT_BATCH_MAX",
+           "DEFAULT_BATCH_BYTES", "DEFAULT_DISPATCH_TIMEOUT_S",
+           "DEFAULT_HARVEST_TIMEOUT_S"]
 
 #: Default per-task payload-footprint cap (bytes): wire bytes plus bytes of
 #: every shared-memory block the payload references. Far roomier than the
@@ -88,6 +119,17 @@ DEFAULT_BATCH_MAX = 8
 #: alone so a long transfer never delays unrelated small kernels.
 DEFAULT_BATCH_BYTES = 64 * 1024
 
+#: Base per-payload dispatch deadline (seconds). A batch of N payloads
+#: gets N × this before the supervisor declares the worker hung — generous
+#: against slow kernels and loaded machines, tight enough that a wedged
+#: worker cannot stall a run forever. Configurable per run
+#: (``RunConfig.dispatch_timeout_s``).
+DEFAULT_DISPATCH_TIMEOUT_S = 60.0
+
+#: How long the stop path waits for each worker's final metrics/events
+#: harvest before declaring it lost (``worker_harvest_lost``).
+DEFAULT_HARVEST_TIMEOUT_S = 2.0
+
 #: Worker wire protocol: reply status tags and the stop sentinel. One
 #: request is a pickled frame count followed by that many payload frames;
 #: the reply is one pickled list of ``(status, payload)`` pairs, aligned
@@ -100,7 +142,8 @@ _METRICS = "metrics"
 _STOP = b"\x00__sre_stop__"
 
 
-def _process_main(conn, abort_flags, wid: int) -> None:
+def _process_main(conn, abort_flags, wid: int, fault_plan=None,
+                  incarnation: int = 0) -> None:
     """Worker-process loop: receive payload batches, observe abort flags,
     reply once per batch.
 
@@ -119,9 +162,15 @@ def _process_main(conn, abort_flags, wid: int) -> None:
     registry and reconciles the events into the run's log with fresh
     coordinator seqs (cross-process aggregation over the existing wire,
     no extra channel).
+
+    ``fault_plan`` / ``incarnation`` arm deterministic chaos (see
+    :mod:`repro.testing.faults`): the injector fires *before* a batch's
+    payloads run, so an injected kill/hang/drop always leaves the batch
+    unacknowledged — exactly the wreckage the supervisor must clean up.
     """
     metrics = MetricsRegistry()
     events = EventLog(run_id=f"w{wid}")
+    injector = FaultInjector(fault_plan, wid, incarnation)
     w = str(wid)
     m_tasks = metrics.counter(
         "procs_worker_tasks", "payloads executed in worker processes",
@@ -163,6 +212,10 @@ def _process_main(conn, abort_flags, wid: int) -> None:
             blobs = [conn.recv_bytes() for _ in range(n)]
         except (EOFError, OSError):
             return
+        if injector.on_batch():
+            # Injected drop: swallow the batch without replying. The
+            # supervisor's deadline fires and treats this worker as hung.
+            continue
         replies: list[tuple[str, Any]] = []
         for blob in blobs:
             if abort_flags[wid]:
@@ -217,8 +270,364 @@ class _WorkerCrash(RuntimeError):
     """A worker process reported a payload failure (carries its traceback)."""
 
 
+# ---------------------------------------------------------------------------
+# retry / backoff / quarantine policy
+# ---------------------------------------------------------------------------
+
+class RetryPolicy:
+    """Bounded-retry policy for payloads whose worker physically died.
+
+    Pure bookkeeping, deliberately free of I/O so its invariants are
+    property-testable: a key is offered at most ``max_retries`` retries
+    (``record_failure`` answers ``"retry"``), after which it is
+    **quarantined** — every later ``record_failure`` answers
+    ``"quarantine"``, permanently; and :meth:`backoff` is monotone
+    non-decreasing in the attempt number, capped at ``backoff_cap_s``.
+
+    Thread-safe: coordinator threads for different workers may record
+    failures for the same task name (a batch re-dispatched after an
+    abort-and-respeculate can land anywhere).
+    """
+
+    def __init__(self, *, max_retries: int = 2, backoff_s: float = 0.05,
+                 backoff_cap_s: float = 2.0) -> None:
+        if max_retries < 0:
+            raise SchedulingError("max_retries must be >= 0")
+        if backoff_s < 0 or backoff_cap_s < 0:
+            raise SchedulingError("backoff durations must be >= 0")
+        self.max_retries = max_retries
+        self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
+        self._lock = threading.Lock()
+        self._attempts: dict[str, int] = {}
+        self._quarantined: set[str] = set()
+
+    def attempts(self, key: str) -> int:
+        """Failures recorded against ``key`` so far."""
+        with self._lock:
+            return self._attempts.get(key, 0)
+
+    def quarantined(self, key: str) -> bool:
+        with self._lock:
+            return key in self._quarantined
+
+    def backoff(self, attempt: int) -> float:
+        """Seconds to wait before retry number ``attempt`` (1-based).
+
+        Exponential: ``backoff_s × 2^(attempt-1)``, capped.
+        """
+        if attempt < 1 or self.backoff_s == 0:
+            return 0.0
+        return min(self.backoff_cap_s, self.backoff_s * (2 ** (attempt - 1)))
+
+    def record_failure(self, key: str) -> str:
+        """Account one worker-death against ``key``.
+
+        Returns ``"retry"`` while the attempt budget lasts, else
+        ``"quarantine"`` (sticky: once quarantined, always quarantined).
+        """
+        with self._lock:
+            if key in self._quarantined:
+                return "quarantine"
+            n = self._attempts.get(key, 0) + 1
+            self._attempts[key] = n
+            if n > self.max_retries:
+                self._quarantined.add(key)
+                return "quarantine"
+            return "retry"
+
+
+# ---------------------------------------------------------------------------
+# the worker supervisor
+# ---------------------------------------------------------------------------
+
+class _Slot:
+    """One worker seat: its current process, pipe and spawn history."""
+
+    __slots__ = ("wid", "proc", "conn", "incarnation", "respawns", "degraded")
+
+    def __init__(self, wid: int) -> None:
+        self.wid = wid
+        self.proc: multiprocessing.process.BaseProcess | None = None
+        self.conn: Any = None
+        self.incarnation = -1  # first _spawn makes it 0
+        self.respawns = 0
+        self.degraded = False
+
+
+class WorkerSupervisor:
+    """Owns the worker processes: spawn, watch, harvest, kill, respawn.
+
+    Every pipe interaction the executor used to do blindly goes through
+    here so physical failure has exactly one detection point:
+
+    * :meth:`dispatch` sends a batch and awaits the aligned reply under a
+      deadline, watching the worker's ``Process.sentinel`` the whole time
+      — a dead worker raises :class:`~repro.errors.WorkerLost` with cause
+      ``"crash"`` immediately (no timeout wait), a silent one raises with
+      cause ``"hang"`` when the deadline passes.
+    * :meth:`note_lost` accounts a failure (``worker_crash`` event,
+      ``procs_worker_crashes{cause}``) and guarantees the process is dead.
+    * :meth:`respawn` brings up a fresh process on the same seat —
+      bounded by ``max_respawns``; past the budget the seat **degrades**
+      (``worker_degraded`` event, ``procs_workers_degraded`` gauge) and
+      :meth:`alive` turns False, telling the executor to run that seat's
+      work inline on the coordinator instead.
+    * :meth:`stop` runs the shutdown harvest: each live worker gets the
+      stop sentinel and ``harvest_timeout_s`` to send its final
+      metrics/events snapshot home; a worker that cannot (dead seat, or
+      the poll expires on a loaded machine) is *accounted* —
+      ``worker_harvest_lost`` event + counter — never silently dropped.
+    """
+
+    def __init__(
+        self,
+        ctx,
+        workers: int,
+        *,
+        runtime: Runtime,
+        fault_plan: FaultPlan | None = None,
+        max_respawns: int = 3,
+        harvest_timeout_s: float = DEFAULT_HARVEST_TIMEOUT_S,
+    ) -> None:
+        if max_respawns < 0:
+            raise SchedulingError("max_respawns must be >= 0")
+        if harvest_timeout_s <= 0:
+            raise SchedulingError("harvest_timeout_s must be positive")
+        self._ctx = ctx
+        self.n_workers = workers
+        self.runtime = runtime
+        self.fault_plan = fault_plan
+        self.max_respawns = max_respawns
+        self.harvest_timeout_s = harvest_timeout_s
+        self.abort_flags = ctx.Array("b", workers, lock=False)
+        self._slots = [_Slot(wid) for wid in range(workers)]
+        m = runtime.metrics
+        self._m_crashes = m.counter(
+            "procs_worker_crashes",
+            "worker processes that died or stopped replying mid-run",
+            labelnames=("cause",))
+        self._m_respawns = m.counter(
+            "procs_worker_respawns", "replacement worker processes spawned")
+        self._m_degraded = m.gauge(
+            "procs_workers_degraded",
+            "worker seats that exhausted their respawn budget and fell "
+            "back to coordinator-inline execution")
+        self._m_harvest_lost = m.counter(
+            "procs_worker_harvest_lost",
+            "workers whose final metrics/events snapshot could not be "
+            "harvested at shutdown",
+            labelnames=("reason",))
+
+    # -- lifecycle -----------------------------------------------------
+    def _spawn(self, slot: _Slot) -> None:
+        slot.incarnation += 1
+        parent, child = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_process_main,
+            args=(child, self.abort_flags, slot.wid, self.fault_plan,
+                  slot.incarnation),
+            name=f"sre-proc-{slot.wid}.{slot.incarnation}",
+            daemon=True,
+        )
+        proc.start()
+        child.close()
+        slot.proc = proc
+        slot.conn = parent
+
+    def start(self) -> None:
+        for slot in self._slots:
+            self._spawn(slot)
+
+    def alive(self, wid: int) -> bool:
+        """True while seat ``wid`` has (or may get) a worker process."""
+        return not self._slots[wid].degraded
+
+    def pids(self) -> list[int | None]:
+        """Current worker PIDs by seat (None for degraded seats)."""
+        return [s.proc.pid if s.proc is not None and not s.degraded else None
+                for s in self._slots]
+
+    def process(self, wid: int):
+        return self._slots[wid].proc
+
+    # -- dispatch ------------------------------------------------------
+    def dispatch(self, wid: int, frames: list[bytes],
+                 timeout_s: float) -> list[tuple[str, Any]]:
+        """Ship one batch to seat ``wid`` and await its aligned reply.
+
+        Raises :class:`~repro.errors.WorkerLost` when the worker dies
+        (``"crash"``), exceeds the deadline (``"hang"``) or replies out of
+        protocol (``"protocol"`` — treated like a hang by recovery).
+        """
+        slot = self._slots[wid]
+        if slot.degraded or slot.proc is None:
+            raise WorkerLost(wid, "degraded")
+        conn, proc = slot.conn, slot.proc
+        try:
+            conn.send_bytes(pickle.dumps(len(frames),
+                                         protocol=PAYLOAD_PROTOCOL))
+            for frame in frames:
+                conn.send_bytes(frame)
+        except (BrokenPipeError, OSError):
+            raise WorkerLost(wid, "crash", exitcode=proc.exitcode) from None
+        deadline = time.monotonic() + timeout_s
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise WorkerLost(wid, "hang")
+            ready = multiprocessing.connection.wait(
+                [conn, proc.sentinel], timeout=remaining)
+            if conn in ready:
+                try:
+                    replies = conn.recv()
+                except (EOFError, OSError):
+                    raise WorkerLost(wid, "crash",
+                                     exitcode=proc.exitcode) from None
+                if (not isinstance(replies, list)
+                        or len(replies) != len(frames)):
+                    raise WorkerLost(wid, "protocol")
+                return replies
+            if proc.sentinel in ready:
+                # Dead — but a reply may have raced the death into the
+                # pipe; drain it before declaring the dispatch lost.
+                if conn.poll(0):
+                    continue
+                raise WorkerLost(wid, "crash", exitcode=proc.exitcode)
+
+    # -- failure handling ----------------------------------------------
+    def note_lost(self, wid: int, lost: WorkerLost,
+                  inflight: list[str]) -> int:
+        """Account a worker failure; guarantees the process is dead.
+
+        Returns the ``worker_crash`` event seq so the caller can scope the
+        whole recovery cascade (respawn, retries, quarantines, releases)
+        under it as the causal root.
+        """
+        slot = self._slots[wid]
+        proc = slot.proc
+        exitcode = lost.exitcode
+        if proc is not None:
+            if proc.is_alive():  # hang/protocol: put it out of its misery
+                proc.terminate()
+                proc.join(timeout=2.0)
+                if proc.is_alive():  # pragma: no cover - terminate ignored
+                    proc.kill()
+                    proc.join(timeout=2.0)
+            exitcode = proc.exitcode if exitcode is None else exitcode
+        if slot.conn is not None:
+            try:
+                slot.conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+            slot.conn = None
+        self._m_crashes.labels(cause=lost.cause).inc()
+        # NB: the loss cause travels as ``reason`` — ``cause=`` is the
+        # event log's causal-edge parameter, and a follow-on crash must
+        # inherit the ambient scope (the prior crash) there.
+        return self.runtime.events.emit(
+            "worker_crash", worker=wid, reason=lost.cause, exitcode=exitcode,
+            incarnation=max(slot.incarnation, 0),
+            inflight=len(inflight), tasks=inflight[:8] or None)
+
+    def respawn(self, wid: int) -> bool:
+        """Bring a fresh process up on seat ``wid``.
+
+        Returns False — and degrades the seat to coordinator-inline
+        execution — when the respawn budget is exhausted or the spawn
+        itself fails. Emits ``worker_respawn`` / ``worker_degraded``
+        under whatever cause scope the caller holds (the crash event).
+        """
+        slot = self._slots[wid]
+        if slot.degraded:
+            return False
+        if slot.respawns >= self.max_respawns:
+            self._degrade(slot, "respawn budget exhausted")
+            return False
+        slot.respawns += 1
+        try:
+            self._spawn(slot)
+        except OSError as exc:  # pragma: no cover - fork failure
+            self._degrade(slot, f"spawn failed: {exc}")
+            return False
+        self._m_respawns.inc()
+        self.runtime.events.emit("worker_respawn", worker=wid,
+                                 incarnation=slot.incarnation,
+                                 respawns=slot.respawns)
+        return True
+
+    def _degrade(self, slot: _Slot, reason: str) -> None:
+        slot.degraded = True
+        slot.proc = None
+        self._m_degraded.inc()
+        self.runtime.events.emit("worker_degraded", worker=slot.wid,
+                                 reason=reason, respawns=slot.respawns)
+
+    # -- shutdown harvest ----------------------------------------------
+    def _harvest_lost(self, wid: int, reason: str) -> None:
+        self._m_harvest_lost.labels(reason=reason).inc()
+        self.runtime.events.emit("worker_harvest_lost", worker=wid,
+                                 reason=reason,
+                                 timeout_s=self.harvest_timeout_s)
+
+    def stop(self) -> None:
+        """Stop workers, harvesting each one's metrics and events first.
+
+        By the time this runs the coordinator threads have joined, so the
+        pipes are quiet: the only traffic left is our stop sentinel and
+        the worker's final ``(_METRICS, {"metrics": ..., "events": ...})``
+        reply — the snapshot is folded into ``runtime.metrics`` and the
+        worker's event batch is reconciled into ``runtime.events`` with
+        fresh coordinator seqs (cross-process aggregation). A worker that
+        cannot deliver it — a degraded seat, a death racing shutdown, or
+        the configurable ``harvest_timeout_s`` poll expiring on a loaded
+        machine — is accounted with ``worker_harvest_lost{reason}``
+        instead of being dropped silently.
+        """
+        live = [s for s in self._slots if s.conn is not None]
+        for slot in self._slots:
+            if slot.conn is None:
+                self._harvest_lost(slot.wid, "dead")
+                continue
+            try:
+                slot.conn.send_bytes(_STOP)
+            except (BrokenPipeError, OSError):
+                pass  # accounted below: the recv side cannot succeed either
+        for slot in live:
+            try:
+                if slot.conn.poll(self.harvest_timeout_s):
+                    status, payload = slot.conn.recv()
+                    if status == _METRICS and payload:
+                        self.runtime.metrics.merge_snapshot(
+                            payload["metrics"])
+                        self.runtime.events.merge_worker(
+                            slot.wid, payload["events"])
+                    else:  # pragma: no cover - protocol noise at shutdown
+                        self._harvest_lost(slot.wid, "protocol")
+                else:
+                    self._harvest_lost(slot.wid, "timeout")
+            except (EOFError, OSError):
+                self._harvest_lost(slot.wid, "dead")
+        for slot in live:
+            proc = slot.proc
+            if proc is None:
+                continue
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for slot in live:
+            try:
+                slot.conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+            slot.conn = None
+            slot.proc = None
+
+
 class ProcessExecutor(LiveExecutor):
-    """Runs a :class:`~repro.sre.runtime.Runtime` on a process pool.
+    """Runs a :class:`~repro.sre.runtime.Runtime` on a supervised process
+    pool.
 
     Args:
         runtime: the runtime to drive.
@@ -231,6 +640,21 @@ class ProcessExecutor(LiveExecutor):
         batch_bytes: only payloads at or below this wire size are batched.
         start_method: multiprocessing start method; default prefers
             ``fork`` (cheap, inherits imports) where available.
+        dispatch_timeout_s: base per-payload reply deadline; a batch of N
+            payloads gets N × this before its worker is declared hung.
+        max_task_retries: worker deaths one task may cause/witness before
+            it is quarantined (fails through the ``task_failed`` path).
+        retry_backoff_s: base of the exponential re-dispatch backoff.
+        max_worker_respawns: replacement processes one seat may consume
+            before it degrades to coordinator-inline execution.
+        harvest_timeout_s: shutdown grace per worker for the final
+            metrics/events harvest.
+        fault_plan: deterministic chaos plan (or its spec string) threaded
+            into the workers — see :mod:`repro.testing.faults`.
+        store: the run's :class:`~repro.sre.shm.BlockStore`, when the shm
+            transport is active — quarantined tasks force-release the
+            blocks they pinned (``shm_release{reason="crash"}``) so a
+            crashed payload cannot leak segments.
     """
 
     def __init__(
@@ -243,15 +667,25 @@ class ProcessExecutor(LiveExecutor):
         batch_max: int = DEFAULT_BATCH_MAX,
         batch_bytes: int = DEFAULT_BATCH_BYTES,
         start_method: str | None = None,
+        dispatch_timeout_s: float = DEFAULT_DISPATCH_TIMEOUT_S,
+        max_task_retries: int = 2,
+        retry_backoff_s: float = 0.05,
+        max_worker_respawns: int = 3,
+        harvest_timeout_s: float = DEFAULT_HARVEST_TIMEOUT_S,
+        fault_plan: FaultPlan | str | None = None,
+        store: "shm.BlockStore | None" = None,
     ) -> None:
         super().__init__(runtime, policy=policy, workers=workers)
         if payload_budget < 1:
             raise SchedulingError("payload_budget must be positive")
         if batch_max < 1:
             raise SchedulingError("batch_max must be >= 1")
+        if dispatch_timeout_s <= 0:
+            raise SchedulingError("dispatch_timeout_s must be positive")
         self.payload_budget = payload_budget
         self.batch_max = batch_max
         self.batch_bytes = batch_bytes
+        self.dispatch_timeout_s = dispatch_timeout_s
         if start_method is not None:
             self._ctx = multiprocessing.get_context(start_method)
         else:
@@ -259,9 +693,14 @@ class ProcessExecutor(LiveExecutor):
                 self._ctx = multiprocessing.get_context("fork")
             except ValueError:  # pragma: no cover - non-POSIX
                 self._ctx = multiprocessing.get_context()
-        self._procs: list[multiprocessing.process.BaseProcess] = []
-        self._conns: list[Any] = []
-        self._abort_flags = None
+        self.supervisor = WorkerSupervisor(
+            self._ctx, workers, runtime=runtime,
+            fault_plan=FaultPlan.parse(fault_plan),
+            max_respawns=max_worker_respawns,
+            harvest_timeout_s=harvest_timeout_s)
+        self.retry_policy = RetryPolicy(max_retries=max_task_retries,
+                                        backoff_s=retry_backoff_s)
+        self._store = store
         #: all tasks currently in flight on each worker (a batch is a list).
         self._current: list[list[Task]] = [[] for _ in range(workers)]
         #: Introspection counters (coordinator-lock protected). Mirrored as
@@ -290,6 +729,12 @@ class ProcessExecutor(LiveExecutor):
         self._m_reruns = m.counter(
             "procs_inline_reruns",
             "worker-skipped payloads re-run inline on the coordinator")
+        self._m_retries = m.counter(
+            "procs_task_retries",
+            "payload re-dispatches after a worker died mid-batch")
+        self._m_quarantined = m.counter(
+            "procs_tasks_quarantined",
+            "tasks failed permanently after repeatedly losing their worker")
         #: Budget-pressure pair for the anomaly detectors: configured cap
         #: vs the largest footprint actually shipped.
         m.gauge("procs_payload_budget_bytes",
@@ -314,64 +759,22 @@ class ProcessExecutor(LiveExecutor):
         from multiprocessing import resource_tracker
 
         resource_tracker.ensure_running()
-        self._abort_flags = self._ctx.Array("b", self.n_workers, lock=False)
-        for wid in range(self.n_workers):
-            parent, child = self._ctx.Pipe(duplex=True)
-            proc = self._ctx.Process(
-                target=_process_main,
-                args=(child, self._abort_flags, wid),
-                name=f"sre-proc-{wid}",
-                daemon=True,
-            )
-            proc.start()
-            child.close()
-            self._conns.append(parent)
-            self._procs.append(proc)
+        self.supervisor.start()
 
     def _stop_backend(self) -> None:
-        """Stop workers, harvesting each one's metrics and events first.
-
-        By the time this runs the coordinator threads have joined, so the
-        pipes are quiet: the only traffic left is our stop sentinel and the
-        worker's final ``(_METRICS, {"metrics": ..., "events": ...})``
-        reply — the snapshot is folded into ``runtime.metrics`` and the
-        worker's event batch is reconciled into ``runtime.events`` with
-        fresh coordinator seqs (cross-process aggregation).
-        """
-        for conn in self._conns:
-            try:
-                conn.send_bytes(_STOP)
-            except (BrokenPipeError, OSError):
-                pass
-        for wid, conn in enumerate(self._conns):
-            try:
-                if conn.poll(2.0):
-                    status, payload = conn.recv()
-                    if status == _METRICS and payload:
-                        self.runtime.metrics.merge_snapshot(payload["metrics"])
-                        self.runtime.events.merge_worker(
-                            wid, payload["events"])
-            except (EOFError, OSError):  # pragma: no cover - worker died
-                pass
-        for proc in self._procs:
-            proc.join(timeout=5.0)
-            if proc.is_alive():  # pragma: no cover - defensive
-                proc.terminate()
-                proc.join(timeout=1.0)
-        for conn in self._conns:
-            conn.close()
-        self._procs.clear()
-        self._conns.clear()
+        self.supervisor.stop()
 
     # ------------------------------------------------------------------
     # abort-flag relay (coordinator -> worker address space)
     # ------------------------------------------------------------------
+    @property
+    def _abort_flags(self):
+        return self.supervisor.abort_flags
+
     def _on_abort_flagged(self, task: Task) -> None:
         # Runs under the executor lock (all runtime mutation does), so
         # _current is consistent; the flag write itself is a raw byte store
         # the worker polls without any lock.
-        if self._abort_flags is None:
-            return
         for wid, current in enumerate(self._current):
             if task in current:
                 self._abort_flags[wid] = 1
@@ -379,9 +782,7 @@ class ProcessExecutor(LiveExecutor):
     def _note_dispatch(self, wid: int, task: Task) -> None:
         current = self._current[wid]
         current.append(task)
-        if self._abort_flags is not None and not any(
-            t.abort_requested for t in current
-        ):
+        if not any(t.abort_requested for t in current):
             # Reset only when no in-flight batch member is flagged — a
             # destroy signal raised for an earlier member must survive
             # later members joining the batch.
@@ -393,9 +794,7 @@ class ProcessExecutor(LiveExecutor):
             current.remove(task)
         except ValueError:  # pragma: no cover - defensive
             pass
-        if self._abort_flags is not None and not any(
-            t.abort_requested for t in current
-        ):
+        if not any(t.abort_requested for t in current):
             self._abort_flags[wid] = 0
 
     # ------------------------------------------------------------------
@@ -502,40 +901,23 @@ class ProcessExecutor(LiveExecutor):
         except Exception as exc:
             return {}, exc
 
-    def _execute(self, wid: int, task: Task) -> dict[str, Any]:
-        """Run one task: ship its payload (plus ready small extras) to
-        worker ``wid``, or run inline.
+    # ------------------------------------------------------------------
+    # remote dispatch + crash recovery
+    # ------------------------------------------------------------------
+    def _ship(self, wid: int, pairs: list[tuple[Task, bytes]]
+              ) -> list[tuple[str, Any]]:
+        """One dispatch attempt: send the batch, await the aligned reply.
 
-        Control tasks and closure-captured payloads run on the coordinator
-        (see the module docstring); everything else is serialized, checked
-        against ``payload_budget`` (wire + referenced shared bytes), sent
-        down worker ``wid``'s pipe — batched with extra small ready
-        payloads when the queues are deeper than the idle-worker count —
-        and the reply awaited: the coordinator thread blocks in an I/O
-        wait, not in bytecode, which is what lets pure-Python kernels
-        overlap. Raises :class:`~repro.errors.PlatformError` on budget
-        violation and re-raises worker-side failures as
-        :class:`_WorkerCrash`.
+        Accounting (shipped counts, wire bytes, batch stats) happens on a
+        *successful* round trip; a lost worker raises
+        :class:`~repro.errors.WorkerLost` before anything is booked, so
+        retries account each real delivery exactly once.
         """
-        blob = self._serialize_or_none(task)
-        if blob is None:
-            return self._run_inline(task)
-        self._check_budget(task, blob)
-        extras: list[tuple[Task, bytes]] = []
-        inline_extras: list[Task] = []
-        failed_extras: list[tuple[Task, PlatformError]] = []
-        if self.batch_max > 1 and len(blob) <= self.batch_bytes:
-            with self._cond:
-                extras, inline_extras, failed_extras = self._take_extras(wid)
-
-        frames = [blob] + [b for (_t, b) in extras]
-        shipped = [task] + [t for (t, _b) in extras]
-        conn = self._conns[wid]
-        conn.send_bytes(pickle.dumps(len(frames), protocol=PAYLOAD_PROTOCOL))
-        for frame in frames:
-            conn.send_bytes(frame)
+        frames = [blob for _, blob in pairs]
+        timeout_s = self.dispatch_timeout_s * len(frames)
+        replies = self.supervisor.dispatch(wid, frames, timeout_s)
         wire = sum(len(f) for f in frames)
-        avoided = sum(t.referenced_bytes() for t in shipped)
+        avoided = sum(t.referenced_bytes() for t, _ in pairs)
         with self._cond:
             self.tasks_shipped += len(frames)
             self.payload_bytes += wire
@@ -548,19 +930,152 @@ class ProcessExecutor(LiveExecutor):
             self._m_bytes_avoided.inc(avoided)
         if len(frames) > 1:
             self._m_batches.inc()
-            self._m_batched.inc(len(extras))
-        for t in shipped:
-            t.drop_payload_cache()
+            self._m_batched.inc(len(frames) - 1)
+        for task, _ in pairs:
+            task.drop_payload_cache()
+        return replies
 
-        # While the worker chews on the batch, the coordinator handles the
-        # extras that could not ship and the budget violators.
+    def _quarantine(self, task: Task) -> tuple[str, Any]:
+        """Give up on a payload that keeps killing workers.
+
+        The task fails once through the normal ``task_failed`` path (the
+        caller turns this reply into a failure), and any shared-memory
+        blocks its payload pinned are force-released so a poisonous
+        payload cannot leak segments — later releases of the same blocks
+        by the version machinery are tolerated no-ops.
+        """
+        self._m_quarantined.inc()
+        self.runtime.events.emit(
+            "task_quarantine", task=task.name,
+            version=task.tags.get("spec_version"),
+            attempts=self.retry_policy.attempts(task.name))
+        if self._store is not None:
+            refs = list(shm.iter_refs((task.fn, task.inputs)))
+            if refs:
+                self._store.release_crashed(refs)
+        return (_ERR, (
+            f"task {task.name!r} quarantined: its payload lost its worker "
+            f"{self.retry_policy.attempts(task.name)} time(s) "
+            f"(max_task_retries={self.retry_policy.max_retries})"))
+
+    def _handle_worker_lost(self, wid: int, lost: WorkerLost,
+                            tasks: list[Task]) -> int:
+        """Account a dead/hung worker and recover the seat.
+
+        Emits the ``worker_crash`` root event, then — under its cause
+        scope, so the flight recorder can walk the whole cascade —
+        respawns the worker (or degrades the seat) and charges one
+        failure to every in-flight payload, quarantining the ones whose
+        retry budget ran out. Returns the crash event's seq.
+        """
+        crash_seq = self.supervisor.note_lost(
+            wid, lost, inflight=[t.name for t in tasks])
+        with self.runtime.events.cause(crash_seq):
+            self.supervisor.respawn(wid)
+            for task in tasks:
+                self.retry_policy.record_failure(task.name)
+        return crash_seq
+
+    def _reply_inline(self, task: Task) -> tuple[str, Any]:
+        """Run a payload on the coordinator and wrap it as a wire reply
+        (degraded-seat execution)."""
+        try:
+            return (_OK, self._run_inline(task))
+        except Exception:
+            return (_ERR, traceback.format_exc())
+
+    def _redispatch(self, wid: int, task: Task, blob: bytes
+                    ) -> tuple[str, Any]:
+        """Retry one payload after its worker died, until it lands,
+        quarantines, or the seat degrades to inline execution."""
+        while True:
+            if task.abort_requested:
+                return (_SKIPPED, None)
+            if self.retry_policy.quarantined(task.name):
+                return self._quarantine(task)
+            if not self.supervisor.alive(wid):
+                # Out of workers on this seat: the coordinator is the
+                # execution substrate of last resort.
+                return self._reply_inline(task)
+            attempt = self.retry_policy.attempts(task.name)
+            delay = self.retry_policy.backoff(attempt)
+            if delay:
+                time.sleep(delay)
+            self._m_retries.inc()
+            self.runtime.events.emit(
+                "task_retry", task=task.name,
+                version=task.tags.get("spec_version"),
+                worker=wid, attempt=attempt, backoff_s=delay or None)
+            try:
+                return self._ship(wid, [(task, blob)])[0]
+            except WorkerLost as lost:
+                self._handle_worker_lost(wid, lost, [task])
+
+    def _dispatch_batch(self, wid: int, pairs: list[tuple[Task, bytes]]
+                        ) -> list[tuple[str, Any]]:
+        """Ship a batch with full crash recovery; never raises
+        :class:`~repro.errors.WorkerLost`.
+
+        The happy path is one pipe round trip. When the worker is lost
+        mid-batch, the members are re-dispatched **singly** (after the
+        seat respawns) so a poisonous payload cannot take innocent
+        batch-mates down with it a second time; each member resolves to a
+        normal wire reply — possibly a quarantine error — keeping the
+        reply list aligned with the batch whatever happened underneath.
+        """
+        if not self.supervisor.alive(wid):
+            return [self._reply_inline(t) if not t.abort_requested
+                    else (_SKIPPED, None) for t, _ in pairs]
+        try:
+            return self._ship(wid, pairs)
+        except WorkerLost as lost:
+            crash_seq = self._handle_worker_lost(wid, lost,
+                                                 [t for t, _ in pairs])
+        with self.runtime.events.cause(crash_seq):
+            return [self._redispatch(wid, task, blob)
+                    for task, blob in pairs]
+
+    def _execute(self, wid: int, task: Task) -> dict[str, Any]:
+        """Run one task: ship its payload (plus ready small extras) to
+        worker ``wid``, or run inline.
+
+        Control tasks and closure-captured payloads run on the coordinator
+        (see the module docstring); everything else is serialized, checked
+        against ``payload_budget`` (wire + referenced shared bytes), sent
+        down worker ``wid``'s pipe — batched with extra small ready
+        payloads when the queues are deeper than the idle-worker count —
+        and the reply awaited under the supervisor's deadline: the
+        coordinator thread blocks in an I/O wait, not in bytecode, which
+        is what lets pure-Python kernels overlap, and a worker that dies
+        or hangs under the batch is recovered (respawn + re-dispatch)
+        instead of stranding the run. Raises
+        :class:`~repro.errors.PlatformError` on budget violation and
+        re-raises worker-side failures as :class:`_WorkerCrash`.
+        """
+        blob = self._serialize_or_none(task)
+        if blob is None:
+            return self._run_inline(task)
+        self._check_budget(task, blob)
+        if not self.supervisor.alive(wid):
+            return self._run_inline(task)
+        extras: list[tuple[Task, bytes]] = []
+        inline_extras: list[Task] = []
+        failed_extras: list[tuple[Task, PlatformError]] = []
+        if self.batch_max > 1 and len(blob) <= self.batch_bytes:
+            with self._cond:
+                extras, inline_extras, failed_extras = self._take_extras(wid)
+
+        pairs = [(task, blob)] + extras
+
+        # Extras that could not ship, and the budget violators, resolve on
+        # the coordinator before the batch blocks this thread in the wait.
         for extra, exc in failed_extras:
             self._finish_dispatch(wid, extra, {}, exc)
         for extra in inline_extras:
             self._finish_inline_extra(wid, extra)
 
         t0 = self._clock()
-        replies = conn.recv()
+        replies = self._dispatch_batch(wid, pairs)
         batch_wall = self._clock() - t0
         for (extra, _b), (status, payload) in zip(extras, replies[1:]):
             outputs: dict[str, Any] = {}

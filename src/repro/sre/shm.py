@@ -44,7 +44,7 @@ import os
 import pickle
 import threading
 from multiprocessing import shared_memory
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
 import numpy as np
 
@@ -327,6 +327,11 @@ class BlockStore:
         self._open: _Segment | None = None  # current bump-allocation arena
         self._refcounts: dict[tuple[str, int], int] = {}
         self._ref_meta: dict[tuple[str, int], BlockRef] = {}
+        #: Blocks force-released by crash recovery (quarantined payloads).
+        #: The version machinery still holds logical references to them and
+        #: will release/acquire later as its cleanup runs its course; those
+        #: calls become tolerated no-ops instead of double-release errors.
+        self._forfeited: set[tuple[str, int]] = set()
         self._closed = False
         #: optional flight recorder (see repro.obs.events): ref releases
         #: emit ``shm_release`` events whose ambient cause scope ties them
@@ -429,6 +434,8 @@ class BlockStore:
         """Take ``n`` additional references on a stored block."""
         with self._lock:
             if ref.key not in self._refcounts:
+                if ref.key in self._forfeited:
+                    return ref  # crash-forfeited: late acquires are no-ops
                 raise TransportError(f"acquire on unknown/reclaimed block {ref!r}")
             self._refcounts[ref.key] += n
         return ref
@@ -443,6 +450,8 @@ class BlockStore:
         with self._lock:
             count = self._refcounts.get(ref.key)
             if count is None:
+                if ref.key in self._forfeited:
+                    return  # crash-forfeited: late releases are no-ops
                 raise TransportError(
                     f"release of unreferenced block {ref!r} (double release?)")
             if count < n:
@@ -466,6 +475,48 @@ class BlockStore:
             self._events.emit("shm_release", reason=reason, refs=n,
                               nbytes=ref.length * n, segment=ref.segment,
                               freed=freed or None)
+
+    def release_crashed(self, refs: "Iterable[BlockRef]") -> int:
+        """Force-release every outstanding reference on ``refs``.
+
+        Crash-recovery path: a quarantined task's payload pinned these
+        blocks for a worker that will never run it, so the pins can never
+        be paid back through the normal commit/rollback releases. All
+        outstanding references are dropped at once (reclaiming segments
+        whose last block this was) and the keys are marked *forfeited*:
+        the version machinery's own later ``release``/``acquire`` calls on
+        them become tolerated no-ops instead of double-release errors.
+
+        Returns the number of references dropped. Accounted under
+        ``shm_refs_released{reason="crash"}`` / ``shm_bytes_released`` and
+        one ``shm_release`` event per block (``reason="crash"``), emitted
+        under whatever cause scope the caller holds — the crash event, so
+        the flight recorder ties the reclamation into the cascade.
+        """
+        dropped: list[tuple[BlockRef, int]] = []
+        with self._lock:
+            for ref in refs:
+                count = self._refcounts.pop(ref.key, 0)
+                if not count:
+                    continue
+                del self._ref_meta[ref.key]
+                self._forfeited.add(ref.key)
+                seg = self._segs[ref.segment]
+                seg.live_blocks -= 1
+                self._maybe_reclaim(seg)
+                dropped.append((ref, count))
+        total = 0
+        for ref, count in dropped:
+            total += count
+            if self._c_released is not None:
+                self._c_released.labels(reason="crash").inc(count)
+                self._c_bytes_released.labels(reason="crash").inc(
+                    ref.length * count)
+            if self._events is not None:
+                self._events.emit("shm_release", reason="crash", refs=count,
+                                  nbytes=ref.length * count,
+                                  segment=ref.segment, freed=True)
+        return total
 
     def refcount(self, ref: BlockRef) -> int:
         """Current reference count (0 once fully released)."""

@@ -1,0 +1,11 @@
+"""Test harnesses shipped with the library.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection plan the
+process back-end's worker supervisor understands — importable from
+production code (``repro run --fault kill@3``) on purpose: chaos that can
+only be provoked from a test file never runs in CI smoke jobs.
+"""
+
+from repro.testing.faults import Fault, FaultPlan
+
+__all__ = ["Fault", "FaultPlan"]

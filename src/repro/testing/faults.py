@@ -1,0 +1,208 @@
+"""Deterministic fault injection for the process back-end.
+
+A :class:`FaultPlan` describes *physical* failures to inject into worker
+processes — the failures the :class:`~repro.sre.executor_procs.WorkerSupervisor`
+exists to survive. Logical failures (mis-speculation, tolerance misses)
+already have a deterministic harness in the speculation knobs; physical
+failures need one too, or crash recovery is only ever tested by luck.
+
+The plan is a **pure value**: picklable (it rides to workers inside the
+``Process`` args), hashable, JSON-safe via its spec string, and entirely
+deterministic — a fault fires at the *Nth batch dispatch* observed by one
+worker slot, counted in that worker's own address space, so no wall-clock
+or scheduling race decides whether chaos happens.
+
+Spec grammar (``repro run --fault ...``)::
+
+    PLAN  := FAULT ("," FAULT)*
+    FAULT := ACTION "@" N [":wW"] [":SECONDS"] ["!"]
+
+    kill@3          SIGKILL worker slot 0 at its 3rd dispatch
+    hang@2:w1       worker slot 1 stops replying at its 2nd dispatch
+    drop@4          slot 0 swallows its 4th batch (alive, reply never sent)
+    delay@1:0.25    slot 0 sleeps 250 ms before its 1st batch (slow worker)
+    kill@1!         persistent: fires on *every* incarnation of slot 0 —
+                    the payload-kills-worker quarantine scenario
+
+Without ``!`` a fault arms only the slot's first incarnation (process),
+so a respawned worker is healthy — the recover-and-finish scenario. With
+``!`` every respawn dies the same way, which is what drives the
+supervisor's bounded-retry / quarantine / degrade-to-inline ladder.
+
+Actions:
+
+* ``kill``  — ``SIGKILL`` to self: the coordinator sees EOF/a dead
+  sentinel, exactly like an OOM kill.
+* ``hang``  — stop replying forever (the supervisor's dispatch deadline
+  must fire); the worker burns no CPU.
+* ``drop``  — swallow one batch and keep serving the pipe. The reply
+  stream is now misaligned, which the supervisor treats identically to a
+  hang: kill, respawn, re-dispatch.
+* ``delay`` — sleep ``SECONDS`` before running the batch, then behave
+  normally. Provokes the deadline *without* crossing it when the timeout
+  scaling is right — the slow-worker regression case.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+
+from repro.errors import ExperimentError
+
+__all__ = ["Fault", "FaultPlan", "KILL", "HANG", "DROP", "DELAY"]
+
+KILL = "kill"
+HANG = "hang"
+DROP = "drop"
+DELAY = "delay"
+
+_ACTIONS = (KILL, HANG, DROP, DELAY)
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected failure: ``action`` at worker ``worker``'s
+    ``at_dispatch``-th batch (1-based).
+
+    ``persistent`` faults re-arm on every incarnation of the slot;
+    one-shot faults fire only in the first process spawned for it.
+    ``seconds`` is the ``delay`` duration (ignored by other actions).
+    """
+
+    action: str
+    at_dispatch: int
+    worker: int = 0
+    seconds: float = 0.0
+    persistent: bool = False
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise ExperimentError(
+                f"unknown fault action {self.action!r}; choose one of "
+                f"{', '.join(_ACTIONS)}")
+        if self.at_dispatch < 1:
+            raise ExperimentError("fault dispatch index is 1-based (>= 1)")
+        if self.worker < 0:
+            raise ExperimentError("fault worker slot must be >= 0")
+        if self.seconds < 0:
+            raise ExperimentError("fault seconds must be >= 0")
+        if self.action == DELAY and self.seconds == 0:
+            raise ExperimentError(
+                "delay faults need a duration, e.g. 'delay@1:0.25'")
+
+    def spec(self) -> str:
+        """Render back to the spec grammar (parse/spec round-trips)."""
+        out = f"{self.action}@{self.at_dispatch}"
+        if self.worker:
+            out += f":w{self.worker}"
+        if self.action == DELAY:
+            out += f":{self.seconds:g}"
+        if self.persistent:
+            out += "!"
+        return out
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable set of :class:`Fault` entries, threaded coordinator →
+    worker through the ``Process`` args (it must stay picklable)."""
+
+    faults: tuple[Fault, ...] = ()
+
+    @classmethod
+    def parse(cls, spec: "str | FaultPlan | None") -> "FaultPlan | None":
+        """Parse a plan spec; passes through ``None`` and ready plans."""
+        if spec is None or isinstance(spec, FaultPlan):
+            return spec
+        faults = []
+        for token in str(spec).split(","):
+            token = token.strip()
+            if token:
+                faults.append(_parse_fault(token))
+        if not faults:
+            raise ExperimentError(f"empty fault spec {spec!r}")
+        return cls(tuple(faults))
+
+    def spec(self) -> str:
+        return ",".join(f.spec() for f in self.faults)
+
+    def for_worker(self, worker: int, incarnation: int) -> tuple[Fault, ...]:
+        """Faults armed for one process: slot ``worker``, spawn number
+        ``incarnation`` (0 = the original, 1+ = respawns)."""
+        return tuple(
+            f for f in self.faults
+            if f.worker == worker and (f.persistent or incarnation == 0)
+        )
+
+
+def _parse_fault(token: str) -> Fault:
+    persistent = token.endswith("!")
+    if persistent:
+        token = token[:-1]
+    head, _, rest = token.partition(":")
+    action, at, at_str = head.partition("@")
+    if not at or not at_str:
+        raise ExperimentError(
+            f"fault {token!r} must look like 'ACTION@N[:wW][:SECONDS]'")
+    try:
+        at_dispatch = int(at_str)
+    except ValueError:
+        raise ExperimentError(
+            f"fault {token!r}: dispatch index {at_str!r} is not an integer"
+        ) from None
+    worker = 0
+    seconds = 0.0
+    for part in filter(None, rest.split(":")):
+        if part[0] == "w" and part[1:].isdigit():
+            worker = int(part[1:])
+            continue
+        try:
+            seconds = float(part)
+        except ValueError:
+            raise ExperimentError(
+                f"fault {token!r}: {part!r} is neither a worker selector "
+                "('w0') nor a duration in seconds") from None
+    return Fault(action, at_dispatch, worker=worker, seconds=seconds,
+                 persistent=persistent)
+
+
+class FaultInjector:
+    """Worker-process side: applies a slot's armed faults as dispatches go by.
+
+    One injector lives in each worker process; :meth:`on_batch` is called
+    once per received batch *before* any payload runs. ``kill`` raises
+    SIGKILL against the worker itself; ``hang`` sleeps forever (the
+    supervisor will kill the process once the dispatch deadline passes);
+    ``delay`` sleeps then lets the batch proceed; ``drop`` returns True to
+    tell the worker loop to swallow the batch without replying. Each armed
+    fault fires at most once per process.
+    """
+
+    def __init__(self, plan: FaultPlan | None, worker: int,
+                 incarnation: int) -> None:
+        self._armed = list(plan.for_worker(worker, incarnation)) if plan else []
+        self._dispatch_no = 0
+
+    def on_batch(self) -> bool:
+        """Advance the dispatch counter; returns True when the batch must
+        be dropped (no reply). May not return at all (kill/hang)."""
+        self._dispatch_no += 1
+        fired = [f for f in self._armed if f.at_dispatch == self._dispatch_no]
+        if not fired:
+            return False
+        self._armed = [f for f in self._armed if f not in fired]
+        drop = False
+        for fault in fired:
+            if fault.action == KILL:
+                os.kill(os.getpid(), signal.SIGKILL)
+            elif fault.action == HANG:
+                while True:  # pragma: no cover - killed by the supervisor
+                    time.sleep(60.0)
+            elif fault.action == DELAY:
+                time.sleep(fault.seconds)
+            elif fault.action == DROP:
+                drop = True
+        return drop

@@ -32,6 +32,21 @@ def test_run_rejects_bad_workload():
         main(["run", "--workload", "exe"])
 
 
+def test_run_fault_requires_procs():
+    from repro.errors import ExperimentError
+    with pytest.raises(ExperimentError, match="procs"):
+        main(["run", "--blocks", "16", "--fault", "kill@1"])
+
+
+@pytest.mark.procs
+def test_run_fault_injects_and_reports(capsys):
+    rc = main(["run", "--blocks", "16", "--executor", "procs",
+               "--fault", "kill@1"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "worker_churn" in out
+
+
 def test_requires_subcommand():
     with pytest.raises(SystemExit):
         main([])

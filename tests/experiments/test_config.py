@@ -58,6 +58,28 @@ def test_runconfig_rejects_bad_executor_and_interval():
         RunConfig(metrics_interval_s=0)
 
 
+def test_runconfig_validates_fault_plan():
+    cfg = RunConfig(executor="procs", fault_plan="kill@3,hang@2:w1")
+    assert cfg.fault_plan == "kill@3,hang@2:w1"
+    with pytest.raises(ExperimentError, match="procs"):
+        RunConfig(fault_plan="kill@3")  # faults need worker processes
+    with pytest.raises(ExperimentError):
+        RunConfig(executor="procs", fault_plan="explode@1")
+
+
+def test_runconfig_validates_supervisor_knobs():
+    with pytest.raises(ExperimentError):
+        RunConfig(dispatch_timeout_s=0)
+    with pytest.raises(ExperimentError):
+        RunConfig(harvest_timeout_s=0)
+    with pytest.raises(ExperimentError):
+        RunConfig(max_task_retries=-1)
+    with pytest.raises(ExperimentError):
+        RunConfig(max_worker_respawns=-1)
+    with pytest.raises(ExperimentError):
+        RunConfig(retry_backoff_s=-0.1)
+
+
 def test_from_kwargs_lists_unknown_and_valid_names():
     with pytest.raises(ExperimentError) as err:
         RunConfig.from_kwargs(workload="txt", n_blockz=64)

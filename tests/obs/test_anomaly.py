@@ -108,6 +108,47 @@ def test_thresholds_are_tunable():
 
 
 # ----------------------------------------------------------------------
+# worker churn / harvest loss
+# ----------------------------------------------------------------------
+def test_worker_crash_flags_churn_with_recovery_tally():
+    events = _bracket() + [
+        _ev("worker_crash", 100, worker=0, reason="crash"),
+        _ev("worker_crash", 200, worker=1, reason="hang"),
+        _ev("worker_respawn", 110, worker=0),
+        _ev("task_quarantine", 300, task="t"),
+        _ev("worker_degraded", 400, worker=1),
+    ]
+    (anomaly,) = detect_anomalies(events)
+    assert anomaly.kind == "worker_churn"
+    assert anomaly.data["crashes"] == 2
+    assert anomaly.data["causes"] == {"crash": 1, "hang": 1}
+    assert anomaly.data["respawns"] == 1
+    assert anomaly.data["quarantined"] == 1
+    assert anomaly.data["degraded"] == 1
+    assert "supervisor" in anomaly.message
+
+
+def test_no_crashes_is_quiet():
+    events = _bracket() + [_ev("worker_respawn", 100, worker=0)]
+    assert detect_anomalies(events) == []
+
+
+def test_crash_threshold_is_tunable():
+    events = _bracket() + [_ev("worker_crash", 100, worker=0, reason="crash")]
+    th = AnomalyThresholds(crash_k=2)
+    assert detect_anomalies(events, thresholds=th) == []
+
+
+def test_harvest_loss_flags():
+    events = _bracket() + [
+        _ev("worker_harvest_lost", 900, worker=1, reason="timeout")]
+    (anomaly,) = detect_anomalies(events)
+    assert anomaly.kind == "harvest_loss"
+    assert anomaly.data["workers"] == [1]
+    assert "under-report" in anomaly.message
+
+
+# ----------------------------------------------------------------------
 # scan_run
 # ----------------------------------------------------------------------
 def test_scan_run_emits_anomaly_events_and_returns_warnings():

@@ -105,3 +105,65 @@ def test_explain_path_roundtrips_jsonl(tmp_path):
     path = tmp_path / "run.events.jsonl"
     path.write_text("".join(json.dumps(e) + "\n" for e in _cascade_events()))
     assert "1 rollback cascade(s)" in explain_path(str(path))
+
+
+# ----------------------------------------------------------------------
+# worker-crash cascades
+# ----------------------------------------------------------------------
+
+def _crash_events(seq0=0):
+    """A crash whose replacement also died; second death quarantines.
+
+    The follow-on crash's ``cause`` edge points at the root crash — the
+    ambient cause scope the recovery path holds when it fires.
+    """
+    s = seq0
+    return [
+        {"run_id": "r", "kind": "worker_crash", "worker": 0,
+         "reason": "crash", "exitcode": -9, "inflight": 2,
+         "tasks": ["enc:0", "enc:1"], "seq": s + 1, "t": 10.0},
+        {"run_id": "r", "kind": "worker_respawn", "worker": 0,
+         "incarnation": 1, "respawns": 1, "cause": s + 1,
+         "seq": s + 2, "t": 11.0},
+        {"run_id": "r", "kind": "task_retry", "task": "enc:0", "worker": 0,
+         "attempt": 1, "cause": s + 1, "seq": s + 3, "t": 12.0},
+        {"run_id": "r", "kind": "worker_crash", "worker": 0,
+         "reason": "crash", "exitcode": -9, "inflight": 1,
+         "tasks": ["enc:0"], "cause": s + 1, "seq": s + 4, "t": 13.0},
+        {"run_id": "r", "kind": "worker_respawn", "worker": 0,
+         "incarnation": 2, "respawns": 2, "cause": s + 4,
+         "seq": s + 5, "t": 14.0},
+        {"run_id": "r", "kind": "task_quarantine", "task": "enc:0",
+         "attempts": 2, "cause": s + 4, "seq": s + 6, "t": 15.0},
+        {"run_id": "r", "kind": "shm_release", "reason": "crash",
+         "refs": 2, "nbytes": 8192, "freed": True, "cause": s + 4,
+         "seq": s + 7, "t": 16.0},
+    ]
+
+
+def test_crash_cascades_fold_follow_on_crashes_into_the_root():
+    from repro.obs.explain import build_crash_cascades
+
+    cascades = build_crash_cascades(_crash_events())
+    assert len(cascades) == 1  # the second crash is not its own root
+    c = cascades[0]
+    assert c.worker == 0 and c.reason == "crash"
+    assert len(c.follow_on) == 1
+    assert len(c.respawns) == 2  # both incarnations' respawns fold in
+    assert [q["task"] for q in c.quarantines] == ["enc:0"]
+    assert c.crash_freed_bytes == 8192
+
+
+def test_explain_renders_crash_section_after_rollbacks():
+    # offset the crash events' seq space past the rollback fixture's
+    events = _cascade_events() + _crash_events(seq0=100)
+    text = explain_events(events)
+    assert "1 rollback cascade(s)" in text
+    assert "worker-crash cascade" in text
+    assert "quarantined: enc:0" in text
+    assert "8192 B force-freed" in text
+
+
+def test_explain_without_crashes_has_no_crash_section():
+    text = explain_events(_cascade_events())
+    assert "worker-crash" not in text

@@ -1,0 +1,81 @@
+"""Property-based tests for the supervisor's retry/backoff/quarantine policy.
+
+The :class:`~repro.sre.executor_procs.RetryPolicy` is deliberately pure
+bookkeeping so these invariants are checkable over arbitrary failure
+interleavings:
+
+* **bounded retries** — a key is offered at most ``max_retries`` retry
+  verdicts, ever, however failures interleave across keys;
+* **monotone capped backoff** — backoff never decreases with the attempt
+  number and never exceeds the cap;
+* **sticky quarantine** — once quarantined, a key stays quarantined and
+  every later verdict says so.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sre.executor_procs import RetryPolicy
+
+keys = st.sampled_from(["a", "b", "c", "d"])
+failure_seqs = st.lists(keys, min_size=1, max_size=60)
+retry_caps = st.integers(min_value=0, max_value=5)
+
+
+@given(failure_seqs, retry_caps)
+@settings(max_examples=80, deadline=None)
+def test_retry_verdicts_are_bounded(seq, max_retries):
+    policy = RetryPolicy(max_retries=max_retries, backoff_s=0.0)
+    retries = {}
+    for key in seq:
+        verdict = policy.record_failure(key)
+        if verdict == "retry":
+            retries[key] = retries.get(key, 0) + 1
+    for key, n in retries.items():
+        assert n <= max_retries
+
+
+@given(failure_seqs, retry_caps)
+@settings(max_examples=80, deadline=None)
+def test_quarantine_is_sticky_and_consistent(seq, max_retries):
+    policy = RetryPolicy(max_retries=max_retries, backoff_s=0.0)
+    quarantined = set()
+    for key in seq:
+        verdict = policy.record_failure(key)
+        if key in quarantined:
+            assert verdict == "quarantine", "quarantine must be sticky"
+        if verdict == "quarantine":
+            quarantined.add(key)
+            assert policy.quarantined(key)
+        else:
+            assert not policy.quarantined(key)
+    # Exactly the keys that failed more than max_retries times are
+    # quarantined.
+    counts = {k: seq.count(k) for k in set(seq)}
+    for key, n in counts.items():
+        assert policy.quarantined(key) == (n > max_retries)
+
+
+@given(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    st.integers(min_value=1, max_value=40),
+)
+@settings(max_examples=80, deadline=None)
+def test_backoff_is_monotone_and_capped(base, cap, attempts):
+    policy = RetryPolicy(backoff_s=base, backoff_cap_s=cap)
+    series = [policy.backoff(a) for a in range(1, attempts + 1)]
+    assert all(b >= 0.0 for b in series)
+    assert all(b <= cap for b in series)
+    assert all(later >= earlier
+               for earlier, later in zip(series, series[1:]))
+    if base > 0:
+        assert series[0] == min(cap, base)
+
+
+def test_attempts_accumulate_per_key():
+    policy = RetryPolicy(max_retries=2)
+    assert policy.attempts("k") == 0
+    policy.record_failure("k")
+    policy.record_failure("k")
+    assert policy.attempts("k") == 2
+    assert policy.attempts("other") == 0

@@ -1,0 +1,101 @@
+"""The deterministic fault-plan grammar and its worker-side arming rules."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.testing.faults import DELAY, DROP, HANG, KILL, Fault, FaultPlan
+
+
+# ---------------------------------------------------------------------------
+# parsing
+# ---------------------------------------------------------------------------
+
+def test_parse_single_kill():
+    plan = FaultPlan.parse("kill@3")
+    assert plan.faults == (Fault(KILL, 3),)
+
+
+def test_parse_worker_selector_and_seconds():
+    plan = FaultPlan.parse("hang@2:w1,delay@1:0.25,drop@4")
+    assert plan.faults == (
+        Fault(HANG, 2, worker=1),
+        Fault(DELAY, 1, seconds=0.25),
+        Fault(DROP, 4),
+    )
+
+
+def test_parse_persistent_suffix():
+    (fault,) = FaultPlan.parse("kill@1!").faults
+    assert fault.persistent
+    assert fault == Fault(KILL, 1, persistent=True)
+
+
+def test_parse_passes_through_none_and_plans():
+    assert FaultPlan.parse(None) is None
+    plan = FaultPlan.parse("kill@1")
+    assert FaultPlan.parse(plan) is plan
+
+
+@pytest.mark.parametrize("bad", [
+    "", "   ", ",", "explode@1", "kill", "kill@", "kill@x", "kill@0",
+    "delay@1", "delay@1:nope", "kill@1:w-2",
+])
+def test_parse_rejects_bad_specs(bad):
+    with pytest.raises(ExperimentError):
+        FaultPlan.parse(bad)
+
+
+def test_fault_validation():
+    with pytest.raises(ExperimentError):
+        Fault("explode", 1)
+    with pytest.raises(ExperimentError):
+        Fault(KILL, 0)
+    with pytest.raises(ExperimentError):
+        Fault(KILL, 1, worker=-1)
+    with pytest.raises(ExperimentError):
+        Fault(DELAY, 1)  # delay needs a duration
+
+
+# ---------------------------------------------------------------------------
+# spec round-trip and value semantics
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("spec", [
+    "kill@3", "hang@2:w1", "drop@4", "delay@1:0.25", "kill@1!",
+    "kill@3,hang@2:w1,delay@5:w2:1.5!",
+])
+def test_spec_round_trips(spec):
+    plan = FaultPlan.parse(spec)
+    assert FaultPlan.parse(plan.spec()) == plan
+
+
+def test_plan_is_picklable_and_hashable():
+    plan = FaultPlan.parse("kill@3,delay@1:w1:0.5!")
+    assert pickle.loads(pickle.dumps(plan)) == plan
+    assert hash(plan) == hash(FaultPlan.parse(plan.spec()))
+
+
+# ---------------------------------------------------------------------------
+# arming: worker slots and incarnations
+# ---------------------------------------------------------------------------
+
+def test_for_worker_filters_by_slot():
+    plan = FaultPlan.parse("kill@3,hang@2:w1")
+    assert plan.for_worker(0, 0) == (Fault(KILL, 3),)
+    assert plan.for_worker(1, 0) == (Fault(HANG, 2, worker=1),)
+    assert plan.for_worker(2, 0) == ()
+
+
+def test_one_shot_faults_arm_only_first_incarnation():
+    plan = FaultPlan.parse("kill@1")
+    assert plan.for_worker(0, 0) == (Fault(KILL, 1),)
+    assert plan.for_worker(0, 1) == ()  # the respawned worker is healthy
+
+
+def test_persistent_faults_arm_every_incarnation():
+    plan = FaultPlan.parse("kill@1!")
+    for incarnation in range(4):
+        assert plan.for_worker(0, incarnation) == (
+            Fault(KILL, 1, persistent=True),)
