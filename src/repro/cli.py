@@ -59,6 +59,8 @@ def _run_experiment(args: argparse.Namespace, *, trace: bool = False,
         executor=args.executor,
         transport=args.transport,
         fault_plan=args.fault_plan,
+        steal=not args.no_steal,
+        dispatch_timeout_s=args.dispatch_timeout_s,
         metrics_out=metrics_out,
         events_out=events_out,
     ))
@@ -308,6 +310,14 @@ def main(argv: list[str] | None = None) -> int:
                        help="inject deterministic worker faults on the "
                             "procs back-end, e.g. 'kill@3' or "
                             "'hang@2:w1,kill@1!' (see docs/fault-tolerance.md)")
+        p.add_argument("--no-steal", action="store_true", dest="no_steal",
+                       help="pin claimed payloads to the seat that batched "
+                            "them instead of letting idle seats steal from "
+                            "a straggler's deque (procs back-end)")
+        p.add_argument("--dispatch-timeout", type=float, default=60.0,
+                       dest="dispatch_timeout_s", metavar="SECONDS",
+                       help="per-payload reply deadline on the procs "
+                            "back-end (never scaled by batch size)")
 
     p_run = sub.add_parser("run", help="run one Huffman experiment")
     add_experiment_args(p_run)
@@ -414,8 +424,9 @@ def main(argv: list[str] | None = None) -> int:
     p_bench.add_argument("--seed", type=int, default=0)
     p_bench.add_argument("--blocks", type=int, default=64)
     p_bench.add_argument("--full", action="store_true",
-                         help="also run the live procs+shm wall-clock leg "
-                              "(slower; informational only)")
+                         help="more timed repeats for the live procs+shm "
+                              "wall-clock leg (slower, steadier numbers; "
+                              "the leg itself always runs and is gated)")
     p_bench.add_argument("--emit-bench-json", default=None,
                          dest="emit_bench_json",
                          help="write the machine-readable bench doc here "

@@ -120,9 +120,13 @@ class RunConfig:
     #: "hang@2:w1,kill@1!"). Requires executor="procs".
     fault_plan: str | None = None
     #: worker-supervisor knobs (process back-end only; ignored elsewhere).
-    #: Base per-payload reply deadline — a batch of N payloads gets N× this
-    #: before its worker is declared hung.
+    #: Per-payload reply deadline. Worker replies stream back one per
+    #: payload, so each reply gets this long — the deadline is never
+    #: scaled by batch size.
     dispatch_timeout_s: float = 60.0
+    #: allow idle seats to steal claimed-but-unshipped payloads from a
+    #: straggling seat's deque (process back-end only).
+    steal: bool = True
     #: worker deaths one task may cause/witness before it is quarantined.
     max_task_retries: int = 2
     #: base of the exponential backoff between re-dispatches.

@@ -245,6 +245,7 @@ def run_huffman(
                 live_opts.update(
                     store=store,
                     fault_plan=cfg.fault_plan,
+                    steal=cfg.steal,
                     dispatch_timeout_s=cfg.dispatch_timeout_s,
                     max_task_retries=cfg.max_task_retries,
                     retry_backoff_s=cfg.retry_backoff_s,

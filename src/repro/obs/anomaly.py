@@ -24,9 +24,16 @@ Detectors (thresholds in :class:`AnomalyThresholds`):
   faults); the run completed only because the supervisor kept respawning.
   The message carries the recovery tally (respawns, quarantined tasks,
   degraded seats).
-* **harvest loss** — any ``worker_harvest_lost`` event: a worker's final
-  metrics/events snapshot never arrived at shutdown, so worker-side
-  counters under-report this run.
+* **harvest loss** — any ``worker_harvest_lost`` event whose reason is
+  not ``"degraded"``: a worker's final metrics/events snapshot never
+  arrived at shutdown, so worker-side counters under-report this run.
+  (A degraded seat has no pipe *by design* — its loss is the worker-churn
+  detector's story, not a harvest failure.)
+* **straggling seat** — ``steal_k`` or more payloads stolen from one
+  seat's deque (``task_steal`` events): that worker ran so far behind
+  its peers that idle seats kept draining the backlog claimed on its
+  behalf. The run's throughput survived via stealing, but the seat
+  itself (CPU contention, swapping, a slow kernel mix) deserves a look.
 """
 
 from __future__ import annotations
@@ -56,6 +63,7 @@ class AnomalyThresholds:
     stall_floor_us: float = 50_000.0
     budget_frac: float = 0.8
     crash_k: int = 1
+    steal_k: int = 4
 
 
 def _coordinator_events(events: list[dict[str, Any]]) -> list[dict[str, Any]]:
@@ -166,10 +174,37 @@ def _detect_worker_churn(
     )
 
 
+def _detect_straggler(
+    events: list[dict[str, Any]], th: AnomalyThresholds
+) -> Anomaly | None:
+    steals = [e for e in events if e.get("kind") == "task_steal"]
+    if not steals:
+        return None
+    by_victim: dict[Any, int] = {}
+    for e in steals:
+        victim = e.get("from_worker")
+        by_victim[victim] = by_victim.get(victim, 0) + 1
+    victim, count = max(by_victim.items(), key=lambda kv: kv[1])
+    if count < th.steal_k:
+        return None
+    return Anomaly(
+        "straggler",
+        f"straggling seat: {count} payload(s) stolen from worker "
+        f"{victim}'s deque by idle seats ({len(steals)} steal(s) total) — "
+        "that worker ran far behind its peers and throughput survived on "
+        "work stealing, not on a balanced pool",
+        {"worker": victim, "stolen_from": count, "steals": len(steals),
+         "by_victim": {str(k): v for k, v in sorted(by_victim.items(),
+                                                    key=lambda kv: str(kv[0]))}},
+    )
+
+
 def _detect_harvest_loss(
     events: list[dict[str, Any]], th: AnomalyThresholds
 ) -> Anomaly | None:
-    lost = [e for e in events if e.get("kind") == "worker_harvest_lost"]
+    lost = [e for e in events
+            if e.get("kind") == "worker_harvest_lost"
+            and e.get("reason") != "degraded"]
     if not lost:
         return None
     workers = sorted({e.get("worker") for e in lost})
@@ -195,6 +230,7 @@ def detect_anomalies(
         _detect_misspec_burst(coord, th),
         _detect_ready_stall(coord, th),
         _detect_worker_churn(coord, th),
+        _detect_straggler(coord, th),
         _detect_harvest_loss(coord, th),
     ]
     if snapshot is not None:

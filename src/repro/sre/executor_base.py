@@ -3,12 +3,20 @@
 :class:`LiveExecutor` owns everything the threaded and process back-ends
 have in common: the runtime lock, the worker condition variable, the
 wall-clock µs time source, input open/close discipline, the drain protocol
-(``wait_idle``) and the coordinator worker loop that pairs
-``begin_task``/``finish_task`` around execution. Subclasses supply only the
-execution substrate through three hooks:
+(``wait_idle``) and the coordinator worker loop. Subclasses supply the
+execution substrate through a few hooks:
 
 * :meth:`_execute` — run one dispatched task's function (inline on the
   coordinator thread, or shipped to another address space);
+* :meth:`_acquire_work` — called under the lock to take the next unit of
+  work for a seat (base: pop the ready queues through the policy and
+  account the dispatch). Back-ends with seat-local backlogs (the process
+  executor's work-stealing deques) override this to drain or steal them;
+* :meth:`_dispatch_cycle` — run one acquired unit of work to completion.
+  The base implementation pairs one blocking :meth:`_execute` with one
+  :meth:`_finish_dispatch`; a streaming back-end overrides it to complete
+  *many* tasks per cycle, each the moment its reply lands, so completion
+  accounting is not coupled to a single blocking ``_execute`` call;
 * :meth:`_start_backend` / :meth:`_stop_backend` — bring auxiliary
   resources (worker processes, pipes) up and down around the coordinator
   threads.
@@ -260,14 +268,24 @@ class LiveExecutor:
     # dispatch bookkeeping (shared by the worker loop and batching
     # back-ends that take extra tasks mid-_execute)
     # ------------------------------------------------------------------
-    def _begin_dispatch(self, wid: int, task: Task) -> None:
-        """Account one task entering execution. Caller holds the lock."""
+    def _begin_dispatch(self, wid: int, task: Task, *,
+                        queued: bool = False) -> None:
+        """Account one task entering execution. Caller holds the lock.
+
+        ``queued=True`` accounts a task claimed into a seat-local backlog
+        (it counts as in flight — ``wait_idle`` must not declare the run
+        drained while it is pending) without notifying the substrate via
+        :meth:`_note_dispatch`; the back-end calls that itself when the
+        payload actually ships, possibly from a different seat after a
+        steal.
+        """
         self.runtime.begin_task(task, worker=wid)
         self.policy.notify_started(task)
         self._inflight += 1
         self._m_dispatched.inc()
         self._m_inflight.set(self._inflight)
-        self._note_dispatch(wid, task)
+        if not queued:
+            self._note_dispatch(wid, task)
 
     def _finish_dispatch(
         self,
@@ -313,30 +331,51 @@ class LiveExecutor:
         with self._cond:
             self._cond.notify_all()
 
+    def _acquire_work(self, wid: int) -> Any:
+        """Take the next unit of work for seat ``wid``; None when idle.
+
+        Called under the lock. The base implementation pops the ready
+        queues through the dispatch policy and accounts the dispatch;
+        back-ends with seat-local backlogs override this to also drain
+        their own deque or steal from a straggling seat's.
+        """
+        task = self.policy.select(
+            self.runtime.natural_queue, self.runtime.speculative_queue
+        )
+        if task is not None:
+            self._begin_dispatch(wid, task)
+        return task
+
+    def _dispatch_cycle(self, wid: int, task: Any) -> None:
+        """Run one acquired unit of work to completion (lock not held).
+
+        The base cycle is one blocking :meth:`_execute` paired with one
+        :meth:`_finish_dispatch`. Streaming back-ends override this to
+        complete several tasks per cycle as their replies land.
+        """
+        failure: BaseException | None = None
+        t_exec0 = self._clock()
+        if task.abort_requested:
+            outputs: dict[str, Any] = {}
+        else:
+            try:
+                outputs = self._execute(wid, task)
+            except Exception as exc:
+                failure = exc
+                outputs = {}
+        self._finish_dispatch(wid, task, outputs, failure,
+                              wall_us=self._clock() - t_exec0)
+
     def _worker_loop(self, wid: int) -> None:
         while True:
             with self._cond:
-                task = None
+                work = None
                 while not self._stop:
-                    task = self.policy.select(
-                        self.runtime.natural_queue, self.runtime.speculative_queue
-                    )
-                    if task is not None:
+                    work = self._acquire_work(wid)
+                    if work is not None:
                         break
                     self._cond.wait(self.POLL_S)
-                if self._stop and task is None:
+                if self._stop and work is None:
                     return
-                self._begin_dispatch(wid, task)
             # Compute outside the lock so task bodies overlap.
-            failure: BaseException | None = None
-            t_exec0 = self._clock()
-            if task.abort_requested:
-                outputs: dict[str, Any] = {}
-            else:
-                try:
-                    outputs = self._execute(wid, task)
-                except Exception as exc:
-                    failure = exc
-                    outputs = {}
-            self._finish_dispatch(wid, task, outputs, failure,
-                                  wall_us=self._clock() - t_exec0)
+            self._dispatch_cycle(wid, work)

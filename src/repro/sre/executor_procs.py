@@ -24,11 +24,23 @@ Two transport refinements keep the pipe off the critical path:
   check counts the *referenced* bytes (``Task.payload_footprint``), not
   the handle bytes, and ``procs_payload_bytes_avoided`` accounts what
   stayed off the wire.
-* **batching** — when the ready queues hold more work than there are idle
-  workers, small payloads ride along in one pipe message (one header +
-  payload frames, one reply list), amortising syscalls and wakeups across
-  kernels. Batching never starves parallelism: extras are taken only
-  while every idle worker still has a task left in the queues.
+* **batching with streaming replies** — when the ready queues hold more
+  work than there are idle seats, small payloads ride along in one pipe
+  message (one header + payload frames), amortising syscalls and wakeups
+  across kernels. The worker replies **once per payload**, not once per
+  batch, and the coordinator completes each task the moment its reply
+  lands — a fast batch-mate's result (often the histogram a verification
+  check is waiting on) is never held hostage behind a slow member's body.
+  Batching never starves parallelism: extras are claimed only while every
+  idle seat still has a task left in the queues.
+* **work-stealing deques** — claimed-but-unshipped work parks in a
+  per-seat deque instead of being pinned to the seat that batched it. An
+  idle coordinator (empty queues, empty own deque) steals half of the
+  deepest victim deque, from its tail, and ships the stolen payloads down
+  its *own* worker's pipe (``task_steal`` events, ``procs_tasks_stolen``).
+  A straggling worker therefore delays only the payloads already in its
+  pipe, never the backlog claimed on its behalf. ``steal=False`` disables
+  stealing (RunConfig/CLI knob).
 
 Three classes of task never leave the coordinator:
 
@@ -79,6 +91,7 @@ import multiprocessing.connection
 import pickle
 import time
 import traceback
+from collections import deque
 from typing import Any
 
 import threading
@@ -119,11 +132,12 @@ DEFAULT_BATCH_MAX = 8
 #: alone so a long transfer never delays unrelated small kernels.
 DEFAULT_BATCH_BYTES = 64 * 1024
 
-#: Base per-payload dispatch deadline (seconds). A batch of N payloads
-#: gets N × this before the supervisor declares the worker hung — generous
-#: against slow kernels and loaded machines, tight enough that a wedged
-#: worker cannot stall a run forever. Configurable per run
-#: (``RunConfig.dispatch_timeout_s``).
+#: Per-payload reply deadline (seconds). Replies stream back one per
+#: payload, so each reply gets this long — the deadline is **never**
+#: scaled by batch size, and a wedged worker is detected within one
+#: deadline however deep its pipe. Generous against slow kernels and
+#: loaded machines, tight enough that a wedged worker cannot stall a run
+#: forever. Configurable per run (``RunConfig.dispatch_timeout_s``).
 DEFAULT_DISPATCH_TIMEOUT_S = 60.0
 
 #: How long the stop path waits for each worker's final metrics/events
@@ -132,8 +146,11 @@ DEFAULT_HARVEST_TIMEOUT_S = 2.0
 
 #: Worker wire protocol: reply status tags and the stop sentinel. One
 #: request is a pickled frame count followed by that many payload frames;
-#: the reply is one pickled list of ``(status, payload)`` pairs, aligned
-#: with the request frames.
+#: the worker replies **once per payload** with a ``(seq, status, payload)``
+#: triple, where ``seq`` counts payloads *received* (not replied) across
+#: the worker's whole incarnation — so a swallowed payload (injected drop)
+#: desynchronises the stream and the supervisor detects it as a protocol
+#: violation or a hang instead of silently misattributing later replies.
 _OK = "ok"
 _ERR = "error"
 _SKIPPED = "abort-skipped"
@@ -145,7 +162,7 @@ _STOP = b"\x00__sre_stop__"
 def _process_main(conn, abort_flags, wid: int, fault_plan=None,
                   incarnation: int = 0) -> None:
     """Worker-process loop: receive payload batches, observe abort flags,
-    reply once per batch.
+    reply once per payload as each body finishes (streaming replies).
 
     Module-level so it imports cleanly under any multiprocessing start
     method. The worker owns no runtime state — it is a pure payload engine.
@@ -193,6 +210,7 @@ def _process_main(conn, abort_flags, wid: int, fault_plan=None,
         "procs_worker_shm_attached",
         "shared-memory segments a worker had attached at shutdown",
         labelnames=("worker",)).labels(worker=w)
+    seq = 0  # payloads *received* this incarnation; replies are tagged with it
     while True:
         try:
             head = conn.recv_bytes()
@@ -212,12 +230,16 @@ def _process_main(conn, abort_flags, wid: int, fault_plan=None,
             blobs = [conn.recv_bytes() for _ in range(n)]
         except (EOFError, OSError):
             return
+        base = seq
+        seq += len(blobs)
         if injector.on_batch():
-            # Injected drop: swallow the batch without replying. The
-            # supervisor's deadline fires and treats this worker as hung.
+            # Injected drop: swallow the batch without replying, but keep
+            # counting its payloads in ``seq`` — the next reply arrives
+            # out of sequence (protocol violation) or never (hang), and
+            # the supervisor recovers either way instead of misattributing
+            # later replies to the swallowed payloads.
             continue
-        replies: list[tuple[str, Any]] = []
-        for blob in blobs:
+        for i, blob in enumerate(blobs):
             if abort_flags[wid]:
                 # Destroy signal observed before launch: skip the body.
                 # The coordinator re-runs any batch member that was not
@@ -225,49 +247,59 @@ def _process_main(conn, abort_flags, wid: int, fault_plan=None,
                 m_skips.inc()
                 events.emit("worker_exec", status="abort-skipped",
                             wire_bytes=len(blob))
-                replies.append((_SKIPPED, None))
-                continue
-            t0 = time.perf_counter()
+                status, payload = _SKIPPED, None
+            else:
+                t0 = time.perf_counter()
+                try:
+                    outputs = Task.run_payload(blob)
+                except SegmentGone as exc:
+                    m_gone.inc()
+                    events.emit("worker_exec", status="segment-gone",
+                                wire_bytes=len(blob))
+                    status, payload = _GONE, str(exc)
+                except BaseException:
+                    m_errors.inc()
+                    events.emit("worker_exec", status="error",
+                                wire_bytes=len(blob))
+                    status, payload = _ERR, traceback.format_exc()
+                else:
+                    dur_us = (time.perf_counter() - t0) * 1e6
+                    m_tasks.inc()
+                    m_body_us.observe(dur_us)
+                    events.emit("worker_exec", status="ok", dur_us=dur_us,
+                                wire_bytes=len(blob))
+                    status, payload = _OK, outputs
+            # Stream this payload's reply immediately — never hold a fast
+            # result hostage to a slow batch-mate still waiting its turn.
             try:
-                outputs = Task.run_payload(blob)
-            except SegmentGone as exc:
-                m_gone.inc()
-                events.emit("worker_exec", status="segment-gone",
-                            wire_bytes=len(blob))
-                replies.append((_GONE, str(exc)))
-                continue
-            except BaseException:
-                m_errors.inc()
-                events.emit("worker_exec", status="error",
-                            wire_bytes=len(blob))
-                replies.append((_ERR, traceback.format_exc()))
-                continue
-            dur_us = (time.perf_counter() - t0) * 1e6
-            m_tasks.inc()
-            m_body_us.observe(dur_us)
-            events.emit("worker_exec", status="ok", dur_us=dur_us,
-                        wire_bytes=len(blob))
-            replies.append((_OK, outputs))
-        try:
-            conn.send(replies)
-        except Exception:
-            # Some output refused to pickle: degrade only the offending
-            # replies to errors, keep the rest of the batch intact.
-            safe: list[tuple[str, Any]] = []
-            for status, payload in replies:
-                if status == _OK:
-                    try:
-                        pickle.dumps(payload, protocol=PAYLOAD_PROTOCOL)
-                    except Exception as exc:
-                        status, payload = _ERR, (
-                            "task outputs could not cross the process "
-                            f"boundary: {exc!r}")
-                safe.append((status, payload))
-            conn.send(safe)
+                conn.send((base + i + 1, status, payload))
+            except (BrokenPipeError, InterruptedError, OSError):
+                return  # coordinator went away; nothing left to tell it
+            except Exception as exc:
+                # The output refused to pickle (Connection.send pickles
+                # fully before writing, so the pipe is still clean):
+                # degrade just this reply to an error.
+                try:
+                    conn.send((base + i + 1, _ERR, (
+                        "task outputs could not cross the process "
+                        f"boundary: {exc!r}")))
+                except (BrokenPipeError, OSError):  # pragma: no cover
+                    return
 
 
 class _WorkerCrash(RuntimeError):
     """A worker process reported a payload failure (carries its traceback)."""
+
+
+class _Claimed:
+    """A deque'd ``(task, blob)`` pair popped by ``_acquire_work`` —
+    already serialized and accounted in flight, not yet shipped."""
+
+    __slots__ = ("task", "blob")
+
+    def __init__(self, task: Task, blob: bytes) -> None:
+        self.task = task
+        self.blob = blob
 
 
 # ---------------------------------------------------------------------------
@@ -342,9 +374,17 @@ class RetryPolicy:
 # ---------------------------------------------------------------------------
 
 class _Slot:
-    """One worker seat: its current process, pipe and spawn history."""
+    """One worker seat: its current process, pipe and spawn history.
 
-    __slots__ = ("wid", "proc", "conn", "incarnation", "respawns", "degraded")
+    ``sent`` / ``recvd`` track the per-payload reply stream for the
+    current incarnation: payload frames shipped down the pipe vs replies
+    received back. A reply whose sequence number is not ``recvd + 1`` (or
+    exceeds ``sent``) is a protocol violation — the worker swallowed or
+    duplicated a payload — and the seat is recovered like a crash.
+    """
+
+    __slots__ = ("wid", "proc", "conn", "incarnation", "respawns", "degraded",
+                 "sent", "recvd")
 
     def __init__(self, wid: int) -> None:
         self.wid = wid
@@ -353,6 +393,8 @@ class _Slot:
         self.incarnation = -1  # first _spawn makes it 0
         self.respawns = 0
         self.degraded = False
+        self.sent = 0
+        self.recvd = 0
 
 
 class WorkerSupervisor:
@@ -361,11 +403,16 @@ class WorkerSupervisor:
     Every pipe interaction the executor used to do blindly goes through
     here so physical failure has exactly one detection point:
 
-    * :meth:`dispatch` sends a batch and awaits the aligned reply under a
-      deadline, watching the worker's ``Process.sentinel`` the whole time
-      — a dead worker raises :class:`~repro.errors.WorkerLost` with cause
-      ``"crash"`` immediately (no timeout wait), a silent one raises with
-      cause ``"hang"`` when the deadline passes.
+    * :meth:`send` ships payload frames down the seat's pipe without
+      waiting, and :meth:`recv_reply` awaits exactly **one** per-payload
+      reply under a fresh per-payload deadline, watching the worker's
+      ``Process.sentinel`` the whole time — a dead worker raises
+      :class:`~repro.errors.WorkerLost` with cause ``"crash"``
+      immediately (no timeout wait), a silent one raises with cause
+      ``"hang"`` when the deadline passes, and an out-of-sequence reply
+      raises with cause ``"protocol"``. :meth:`dispatch` composes the
+      two as an incremental reader (a generator), yielding each reply
+      the moment it lands instead of holding a whole batch hostage.
     * :meth:`note_lost` accounts a failure (``worker_crash`` event,
       ``procs_worker_crashes{cause}``) and guarantees the process is dead.
     * :meth:`respawn` brings up a fresh process on the same seat —
@@ -434,6 +481,8 @@ class WorkerSupervisor:
         child.close()
         slot.proc = proc
         slot.conn = parent
+        slot.sent = 0   # the reply stream restarts with each incarnation
+        slot.recvd = 0
 
     def start(self) -> None:
         for slot in self._slots:
@@ -452,25 +501,41 @@ class WorkerSupervisor:
         return self._slots[wid].proc
 
     # -- dispatch ------------------------------------------------------
-    def dispatch(self, wid: int, frames: list[bytes],
-                 timeout_s: float) -> list[tuple[str, Any]]:
-        """Ship one batch to seat ``wid`` and await its aligned reply.
+    def send(self, wid: int, frames: list[bytes]) -> None:
+        """Ship one pipe message of payload frames to seat ``wid``.
 
-        Raises :class:`~repro.errors.WorkerLost` when the worker dies
-        (``"crash"``), exceeds the deadline (``"hang"``) or replies out of
-        protocol (``"protocol"`` — treated like a hang by recovery).
+        Returns as soon as the frames are written — replies stream back
+        one per payload through :meth:`recv_reply`. Raises
+        :class:`~repro.errors.WorkerLost` on a degraded seat
+        (``"degraded"``) or a broken pipe (``"crash"``).
+        """
+        slot = self._slots[wid]
+        if slot.degraded or slot.proc is None:
+            raise WorkerLost(wid, "degraded")
+        try:
+            slot.conn.send_bytes(pickle.dumps(len(frames),
+                                              protocol=PAYLOAD_PROTOCOL))
+            for frame in frames:
+                slot.conn.send_bytes(frame)
+        except (BrokenPipeError, OSError):
+            raise WorkerLost(wid, "crash",
+                             exitcode=slot.proc.exitcode) from None
+        slot.sent += len(frames)
+
+    def recv_reply(self, wid: int, timeout_s: float) -> tuple[str, Any]:
+        """Await exactly one per-payload ``(status, payload)`` reply.
+
+        The deadline is **per payload** — never scaled by batch size —
+        so a wedged worker is detected within one ``timeout_s`` whatever
+        the depth of its pipe. Raises :class:`~repro.errors.WorkerLost`
+        when the worker dies (``"crash"``), exceeds the deadline
+        (``"hang"``) or replies out of sequence (``"protocol"`` —
+        treated like a hang by recovery).
         """
         slot = self._slots[wid]
         if slot.degraded or slot.proc is None:
             raise WorkerLost(wid, "degraded")
         conn, proc = slot.conn, slot.proc
-        try:
-            conn.send_bytes(pickle.dumps(len(frames),
-                                         protocol=PAYLOAD_PROTOCOL))
-            for frame in frames:
-                conn.send_bytes(frame)
-        except (BrokenPipeError, OSError):
-            raise WorkerLost(wid, "crash", exitcode=proc.exitcode) from None
         deadline = time.monotonic() + timeout_s
         while True:
             remaining = deadline - time.monotonic()
@@ -480,20 +545,39 @@ class WorkerSupervisor:
                 [conn, proc.sentinel], timeout=remaining)
             if conn in ready:
                 try:
-                    replies = conn.recv()
+                    reply = conn.recv()
                 except (EOFError, OSError):
                     raise WorkerLost(wid, "crash",
                                      exitcode=proc.exitcode) from None
-                if (not isinstance(replies, list)
-                        or len(replies) != len(frames)):
+                if not (isinstance(reply, tuple) and len(reply) == 3):
                     raise WorkerLost(wid, "protocol")
-                return replies
+                seq, status, payload = reply
+                if seq != slot.recvd + 1 or seq > slot.sent:
+                    # The worker swallowed or duplicated a payload (e.g.
+                    # an injected drop): the stream is desynchronised and
+                    # no later reply can be trusted.
+                    raise WorkerLost(wid, "protocol")
+                slot.recvd = seq
+                return status, payload
             if proc.sentinel in ready:
                 # Dead — but a reply may have raced the death into the
                 # pipe; drain it before declaring the dispatch lost.
                 if conn.poll(0):
                     continue
                 raise WorkerLost(wid, "crash", exitcode=proc.exitcode)
+
+    def dispatch(self, wid: int, frames: list[bytes], timeout_s: float):
+        """Ship one batch and yield its replies as each one lands.
+
+        A generator: ``send`` happens immediately, then one
+        :meth:`recv_reply` per frame is yielded under a fresh per-payload
+        deadline. Consuming it incrementally is the whole point — the
+        caller completes each task the moment its reply arrives instead
+        of waiting for the slowest batch member.
+        """
+        self.send(wid, frames)
+        for _ in frames:
+            yield self.recv_reply(wid, timeout_s)
 
     # -- failure handling ----------------------------------------------
     def note_lost(self, wid: int, lost: WorkerLost,
@@ -587,7 +671,11 @@ class WorkerSupervisor:
         live = [s for s in self._slots if s.conn is not None]
         for slot in self._slots:
             if slot.conn is None:
-                self._harvest_lost(slot.wid, "dead")
+                # A degraded seat has no pipe *by design* — it was never
+                # lost at shutdown, and conflating it with a harvest death
+                # would trip the crash detectors twice for one failure.
+                self._harvest_lost(
+                    slot.wid, "degraded" if slot.degraded else "dead")
                 continue
             try:
                 slot.conn.send_bytes(_STOP)
@@ -638,10 +726,15 @@ class ProcessExecutor(LiveExecutor):
         batch_max: most tasks shipped in one pipe message (1 disables
             batching).
         batch_bytes: only payloads at or below this wire size are batched.
+        steal: allow idle seats to steal claimed-but-unshipped work from
+            a straggling seat's deque (half the deque, from its tail).
+            Disable to pin every claimed task to the seat that batched it
+            (useful for A/B-ing straggler behaviour).
         start_method: multiprocessing start method; default prefers
             ``fork`` (cheap, inherits imports) where available.
-        dispatch_timeout_s: base per-payload reply deadline; a batch of N
-            payloads gets N × this before its worker is declared hung.
+        dispatch_timeout_s: per-payload reply deadline. Replies stream
+            back one per payload, so each gets this long — the deadline
+            is never scaled by batch size.
         max_task_retries: worker deaths one task may cause/witness before
             it is quarantined (fails through the ``task_failed`` path).
         retry_backoff_s: base of the exponential re-dispatch backoff.
@@ -666,6 +759,7 @@ class ProcessExecutor(LiveExecutor):
         payload_budget: int = DEFAULT_PAYLOAD_BUDGET,
         batch_max: int = DEFAULT_BATCH_MAX,
         batch_bytes: int = DEFAULT_BATCH_BYTES,
+        steal: bool = True,
         start_method: str | None = None,
         dispatch_timeout_s: float = DEFAULT_DISPATCH_TIMEOUT_S,
         max_task_retries: int = 2,
@@ -685,6 +779,7 @@ class ProcessExecutor(LiveExecutor):
         self.payload_budget = payload_budget
         self.batch_max = batch_max
         self.batch_bytes = batch_bytes
+        self.steal = steal
         self.dispatch_timeout_s = dispatch_timeout_s
         if start_method is not None:
             self._ctx = multiprocessing.get_context(start_method)
@@ -701,8 +796,22 @@ class ProcessExecutor(LiveExecutor):
         self.retry_policy = RetryPolicy(max_retries=max_task_retries,
                                         backoff_s=retry_backoff_s)
         self._store = store
-        #: all tasks currently in flight on each worker (a batch is a list).
+        #: all tasks currently in a worker's pipe, by seat. Only *shipped*
+        #: payloads live here (the abort-flag relay targets the worker's
+        #: address space); claimed-but-unshipped work lives in _deques.
         self._current: list[list[Task]] = [[] for _ in range(workers)]
+        #: per-seat deques of claimed-but-unshipped (task, blob) pairs.
+        #: Appended only by the owning seat; idle seats steal from the
+        #: tail under the lock.
+        self._deques: list[deque[tuple[Task, bytes]]] = [
+            deque() for _ in range(workers)]
+        #: seats currently inside a dispatch cycle (lock-protected); the
+        #: batching guard computes idleness from this, not from the
+        #: in-flight *task* count.
+        self._busy: list[bool] = [False] * workers
+        #: each busy seat's current dispatch_stream event seq — the causal
+        #: parent for task_steal events against that seat.
+        self._stream_seq: list[int | None] = [None] * workers
         #: Introspection counters (coordinator-lock protected). Mirrored as
         #: registry metrics (procs_tasks_shipped / _inline / payload_bytes)
         #: so exporters see them without touching executor internals.
@@ -735,6 +844,14 @@ class ProcessExecutor(LiveExecutor):
         self._m_quarantined = m.counter(
             "procs_tasks_quarantined",
             "tasks failed permanently after repeatedly losing their worker")
+        self._m_stolen = m.counter(
+            "procs_tasks_stolen",
+            "claimed payloads stolen from a straggling seat's deque by an "
+            "idle seat")
+        self._m_stream_depth = m.histogram(
+            "procs_reply_stream_depth",
+            "payloads still unanswered in a seat's pipe when one streamed "
+            "reply landed")
         #: Budget-pressure pair for the anomaly detectors: configured cap
         #: vs the largest footprint actually shipped.
         m.gauge("procs_payload_budget_bytes",
@@ -828,43 +945,59 @@ class ProcessExecutor(LiveExecutor):
         self._m_inline.inc()
         return task.run()
 
+    def _idle_seats(self) -> int:
+        """Seats not currently inside a dispatch cycle. Lock held.
+
+        This is the batching guard's notion of "idle": a *seat* with no
+        work, not ``n_workers - inflight`` — that subtraction compares
+        in-flight *tasks* (a batch is many) against worker *seats*, so
+        one in-flight batch of 4 on a 2-seat pool yields -2 "idle seats"
+        and the guard over-batches forever after.
+        """
+        return sum(1 for busy in self._busy if not busy)
+
     def _take_extras(
         self, wid: int
     ) -> tuple[list[tuple[Task, bytes]], list[Task], list[tuple[Task, PlatformError]]]:
-        """Pop extra ready tasks to ride along in this worker's batch.
+        """Claim extra ready tasks into this seat's dispatch stream.
 
-        Called under the lock. Extras are taken only while the ready
-        queues hold more tasks than there are idle workers — batching
+        Called under the lock. Extras are claimed only while the ready
+        queues hold more tasks than there are idle *seats* — batching
         amortises pipe traffic without ever serialising work an idle
-        worker could overlap. Control/unpicklable extras are returned for
-        inline execution (they were already accounted as dispatched);
-        budget violators are returned as failures.
+        seat could overlap. Shippable claims are accounted in flight
+        (``queued=True`` — no ``_note_dispatch`` yet) and parked in the
+        seat's deque by the caller, where an idle seat may steal them;
+        control/unpicklable extras are returned for prompt inline
+        execution; budget violators are returned as failures.
         """
         shippable: list[tuple[Task, bytes]] = []
         inline: list[Task] = []
         failed: list[tuple[Task, PlatformError]] = []
-        while len(shippable) + 1 < self.batch_max:
+        limit = 2 * self.batch_max - 1  # one pipe window + one deque refill
+        while len(shippable) < limit:
             nat = self.runtime.natural_queue
             spec = self.runtime.speculative_queue
-            idle = self.n_workers - self._inflight
-            if len(nat) + len(spec) <= idle:
+            if len(nat) + len(spec) <= self._idle_seats():
                 break
             extra = self.policy.select(nat, spec)
             if extra is None:
                 break
-            self._begin_dispatch(wid, extra)
-            blob = None if extra.abort_requested else self._serialize_or_none(extra)
-            if blob is None:
+            if extra.abort_requested or extra.control:
+                self._begin_dispatch(wid, extra)
                 inline.append(extra)
                 continue
-            if len(blob) > self.batch_bytes:
-                # Too big to ride along; run it inline rather than delaying
-                # the batch (it was already popped and accounted).
+            self._begin_dispatch(wid, extra, queued=True)
+            blob = self._serialize_or_none(extra)
+            if blob is None or len(blob) > self.batch_bytes:
+                # Unpicklable, or too big to ride along: run it inline
+                # rather than delaying the stream (already accounted).
+                self._note_dispatch(wid, extra)
                 inline.append(extra)
                 continue
             try:
                 self._check_budget(extra, blob)
             except PlatformError as exc:
+                self._note_dispatch(wid, extra)
                 failed.append((extra, exc))
                 continue
             shippable.append((extra, blob))
@@ -904,36 +1037,35 @@ class ProcessExecutor(LiveExecutor):
     # ------------------------------------------------------------------
     # remote dispatch + crash recovery
     # ------------------------------------------------------------------
-    def _ship(self, wid: int, pairs: list[tuple[Task, bytes]]
-              ) -> list[tuple[str, Any]]:
-        """One dispatch attempt: send the batch, await the aligned reply.
+    def _account_shipped(self, pairs: list[tuple[Task, bytes]]) -> None:
+        """Book wire accounting for one sent pipe message.
 
-        Accounting (shipped counts, wire bytes, batch stats) happens on a
-        *successful* round trip; a lost worker raises
-        :class:`~repro.errors.WorkerLost` before anything is booked, so
-        retries account each real delivery exactly once.
+        Accounting happens at *send* time: a re-dispatch after a crash
+        puts real bytes on the wire again and is counted again — the
+        counters measure pipe traffic, not unique payloads.
         """
-        frames = [blob for _, blob in pairs]
-        timeout_s = self.dispatch_timeout_s * len(frames)
-        replies = self.supervisor.dispatch(wid, frames, timeout_s)
-        wire = sum(len(f) for f in frames)
-        avoided = sum(t.referenced_bytes() for t, _ in pairs)
+        wire = sum(len(b) for _t, b in pairs)
+        avoided = sum(t.referenced_bytes() for t, _b in pairs)
         with self._cond:
-            self.tasks_shipped += len(frames)
+            self.tasks_shipped += len(pairs)
             self.payload_bytes += wire
             self.payload_bytes_avoided += avoided
-            if len(frames) > 1:
+            if len(pairs) > 1:
                 self.batches += 1
-        self._m_shipped.inc(len(frames))
+        self._m_shipped.inc(len(pairs))
         self._m_payload_bytes.inc(wire)
         if avoided:
             self._m_bytes_avoided.inc(avoided)
-        if len(frames) > 1:
+        if len(pairs) > 1:
             self._m_batches.inc()
-            self._m_batched.inc(len(frames) - 1)
-        for task, _ in pairs:
-            task.drop_payload_cache()
-        return replies
+            self._m_batched.inc(len(pairs) - 1)
+
+    def _ship_one(self, wid: int, task: Task, blob: bytes
+                  ) -> tuple[str, Any]:
+        """One single-payload round trip (the crash re-dispatch path)."""
+        self.supervisor.send(wid, [blob])
+        self._account_shipped([(task, blob)])
+        return self.supervisor.recv_reply(wid, self.dispatch_timeout_s)
 
     def _quarantine(self, task: Task) -> tuple[str, Any]:
         """Give up on a payload that keeps killing workers.
@@ -1007,97 +1139,242 @@ class ProcessExecutor(LiveExecutor):
                 version=task.tags.get("spec_version"),
                 worker=wid, attempt=attempt, backoff_s=delay or None)
             try:
-                return self._ship(wid, [(task, blob)])[0]
+                return self._ship_one(wid, task, blob)
             except WorkerLost as lost:
                 self._handle_worker_lost(wid, lost, [task])
 
-    def _dispatch_batch(self, wid: int, pairs: list[tuple[Task, bytes]]
-                        ) -> list[tuple[str, Any]]:
-        """Ship a batch with full crash recovery; never raises
-        :class:`~repro.errors.WorkerLost`.
+    def _resolve_reply(self, wid: int, task: Task, status: str, payload: Any,
+                       *, wall_us: float | None = None) -> None:
+        """Turn one wire reply into a task completion — the per-payload
+        analogue of the old whole-batch resolution, stamped with the
+        task's *own* wall time (send → its reply), not the batch's."""
+        task.drop_payload_cache()
+        outputs: dict[str, Any] = {}
+        failure: BaseException | None = None
+        if status == _OK:
+            outputs = payload
+        elif status == _ERR:
+            failure = _WorkerCrash(payload)
+        else:  # _SKIPPED / _GONE
+            outputs, failure = self._rerun_or_reap(task)
+        self._finish_dispatch(wid, task, outputs, failure, wall_us=wall_us)
 
-        The happy path is one pipe round trip. When the worker is lost
-        mid-batch, the members are re-dispatched **singly** (after the
-        seat respawns) so a poisonous payload cannot take innocent
-        batch-mates down with it a second time; each member resolves to a
-        normal wire reply — possibly a quarantine error — keeping the
-        reply list aligned with the batch whatever happened underneath.
+    def _recover_stream(self, wid: int, lost: WorkerLost,
+                        fifo: deque[tuple[Task, bytes, float]]) -> None:
+        """Recover every payload the lost worker still owed a reply for.
+
+        Accounts the crash (the ``worker_crash`` causal root), respawns
+        or degrades the seat, then re-dispatches the pending window
+        **singly** so a poisonous payload cannot take innocent pipe-mates
+        down a second time. Each pending task resolves to a normal
+        completion — possibly a quarantine failure — whatever happened
+        underneath.
         """
-        if not self.supervisor.alive(wid):
-            return [self._reply_inline(t) if not t.abort_requested
-                    else (_SKIPPED, None) for t, _ in pairs]
-        try:
-            return self._ship(wid, pairs)
-        except WorkerLost as lost:
-            crash_seq = self._handle_worker_lost(wid, lost,
-                                                 [t for t, _ in pairs])
+        pending = list(fifo)
+        fifo.clear()
+        crash_seq = self._handle_worker_lost(
+            wid, lost, [t for t, _b, _ts in pending])
         with self.runtime.events.cause(crash_seq):
-            return [self._redispatch(wid, task, blob)
-                    for task, blob in pairs]
+            for task, blob, _t_sent in pending:
+                t0 = self._clock()
+                status, payload = self._redispatch(wid, task, blob)
+                self._resolve_reply(wid, task, status, payload,
+                                    wall_us=self._clock() - t0)
 
-    def _execute(self, wid: int, task: Task) -> dict[str, Any]:
-        """Run one task: ship its payload (plus ready small extras) to
-        worker ``wid``, or run inline.
+    # ------------------------------------------------------------------
+    # work acquisition: own deque -> ready queues -> steal
+    # ------------------------------------------------------------------
+    def _acquire_work(self, wid: int) -> Any:
+        """Take work for seat ``wid``: its own deque first, then the
+        ready queues, then — both empty — steal from a straggling seat.
 
-        Control tasks and closure-captured payloads run on the coordinator
-        (see the module docstring); everything else is serialized, checked
-        against ``payload_budget`` (wire + referenced shared bytes), sent
-        down worker ``wid``'s pipe — batched with extra small ready
-        payloads when the queues are deeper than the idle-worker count —
-        and the reply awaited under the supervisor's deadline: the
-        coordinator thread blocks in an I/O wait, not in bytecode, which
-        is what lets pure-Python kernels overlap, and a worker that dies
-        or hangs under the batch is recovered (respawn + re-dispatch)
-        instead of stranding the run. Raises
-        :class:`~repro.errors.PlatformError` on budget violation and
-        re-raises worker-side failures as :class:`_WorkerCrash`.
+        Called under the lock. Queue pops are accounted ``queued=True``:
+        the task counts as in flight immediately (``wait_idle`` must not
+        drain under it) but ``_note_dispatch`` — the abort-flag relay
+        into the worker's address space — only happens when the payload
+        actually ships, possibly from a different seat after a steal.
         """
-        blob = self._serialize_or_none(task)
-        if blob is None:
-            return self._run_inline(task)
-        self._check_budget(task, blob)
-        if not self.supervisor.alive(wid):
-            return self._run_inline(task)
-        extras: list[tuple[Task, bytes]] = []
-        inline_extras: list[Task] = []
-        failed_extras: list[tuple[Task, PlatformError]] = []
-        if self.batch_max > 1 and len(blob) <= self.batch_bytes:
+        dq = self._deques[wid]
+        if dq:
+            self._busy[wid] = True
+            return _Claimed(*dq.popleft())
+        task = self.policy.select(
+            self.runtime.natural_queue, self.runtime.speculative_queue)
+        if task is not None:
+            self._begin_dispatch(wid, task, queued=True)
+            self._busy[wid] = True
+            return task
+        if self.steal and self._steal_into(wid):
+            self._busy[wid] = True
+            return _Claimed(*dq.popleft())
+        return None
+
+    def _steal_into(self, wid: int) -> bool:
+        """Steal half of the deepest victim deque into seat ``wid``'s.
+
+        Called under the lock. Steals from the victim's **tail** — the
+        victim keeps draining its head undisturbed — preserving claim
+        order among the stolen tasks. Each theft is a ``task_steal``
+        event causally rooted in the victim's ``dispatch_stream``.
+        """
+        victim, depth = -1, 0
+        for vid, vdq in enumerate(self._deques):
+            if vid != wid and len(vdq) > depth:
+                victim, depth = vid, len(vdq)
+        if depth == 0:
+            return False
+        vdq = self._deques[victim]
+        stolen = [vdq.pop() for _ in range((depth + 1) // 2)]
+        stolen.reverse()
+        cause = self._stream_seq[victim]
+        for task, _blob in stolen:
+            self._m_stolen.inc()
+            self.runtime.events.emit(
+                "task_steal", task=task.name,
+                version=task.tags.get("spec_version"),
+                cause=cause, worker=wid, from_worker=victim)
+        self._deques[wid].extend(stolen)
+        return True
+
+    # ------------------------------------------------------------------
+    # the streaming dispatch cycle
+    # ------------------------------------------------------------------
+    def _dispatch_cycle(self, wid: int, work: Any) -> None:
+        """Drive one acquired unit of work — and everything claimed or
+        stolen along the way — to completion."""
+        try:
+            if isinstance(work, _Claimed):
+                self._run_stream(wid, (work.task, work.blob))
+            else:
+                self._run_primary(wid, work)
+        finally:
             with self._cond:
-                extras, inline_extras, failed_extras = self._take_extras(wid)
+                self._busy[wid] = False
+                self._stream_seq[wid] = None
+                self._cond.notify_all()
 
-        pairs = [(task, blob)] + extras
+    def _run_primary(self, wid: int, task: Task) -> None:
+        """Resolve a task popped straight off the ready queues.
 
-        # Extras that could not ship, and the budget violators, resolve on
-        # the coordinator before the batch blocks this thread in the wait.
-        for extra, exc in failed_extras:
-            self._finish_dispatch(wid, extra, {}, exc)
-        for extra in inline_extras:
-            self._finish_inline_extra(wid, extra)
-
+        Control tasks and closure-captured payloads run inline on the
+        coordinator (see the module docstring); budget violators fail;
+        everything else enters the streaming dispatch path.
+        """
         t0 = self._clock()
-        replies = self._dispatch_batch(wid, pairs)
-        batch_wall = self._clock() - t0
-        for (extra, _b), (status, payload) in zip(extras, replies[1:]):
+        if task.abort_requested:
+            self._finish_dispatch(wid, task, {}, None,
+                                  wall_us=self._clock() - t0)
+            return
+        blob = self._serialize_or_none(task)
+        if blob is not None:
+            try:
+                self._check_budget(task, blob)
+            except PlatformError as exc:
+                self._finish_dispatch(wid, task, {}, exc,
+                                      wall_us=self._clock() - t0)
+                return
+        if blob is None or not self.supervisor.alive(wid):
             outputs: dict[str, Any] = {}
             failure: BaseException | None = None
-            if status == _OK:
-                outputs = payload
-            elif status == _ERR:
-                failure = _WorkerCrash(payload)
-            else:  # _SKIPPED / _GONE
-                outputs, failure = self._rerun_or_reap(extra)
-            self._finish_dispatch(wid, extra, outputs, failure,
-                                  wall_us=batch_wall)
+            try:
+                outputs = self._run_inline(task)
+            except Exception as exc:
+                failure = exc
+            self._finish_dispatch(wid, task, outputs, failure,
+                                  wall_us=self._clock() - t0)
+            return
+        self._run_stream(wid, (task, blob))
 
-        status, payload = replies[0]
-        if status == _ERR:
-            raise _WorkerCrash(payload)
-        if status in (_SKIPPED, _GONE):
-            outputs, failure = self._rerun_or_reap(task)
-            if failure is not None:
-                raise failure
-            return outputs
-        return payload
+    def _run_stream(self, wid: int, head: tuple[Task, bytes]) -> None:
+        """The streaming dispatch cycle for seat ``wid``.
+
+        Repeatedly: top up the pipe window (at most ``batch_max``
+        unanswered payloads) from the seat's deque — claiming extra
+        ready work on the first pass, while the queues are deeper than
+        the idle seats — then await exactly **one** reply and complete
+        its task the moment it lands. A fast payload's completion (and
+        the speculation check it feeds) is therefore never held hostage
+        by a slow pipe-mate; a lost worker recovers just the in-pipe
+        window, and claimed-but-unshipped work stays stealable in the
+        deque the whole time. The cycle ends when the window and the
+        deque are both empty.
+        """
+        fifo: deque[tuple[Task, bytes, float]] = deque()  # in-pipe window
+        claim = self.batch_max > 1 and len(head[1]) <= self.batch_bytes
+        pending_head: tuple[Task, bytes] | None = head
+        while True:
+            chunk: list[tuple[Task, bytes]] = []
+            reaped: list[Task] = []
+            inline_extras: list[Task] = []
+            failed_extras: list[tuple[Task, PlatformError]] = []
+            with self._cond:
+                dq = self._deques[wid]
+                if pending_head is not None:
+                    dq.appendleft(pending_head)
+                    pending_head = None
+                if claim:
+                    shippable, inline_extras, failed_extras = \
+                        self._take_extras(wid)
+                    dq.extend(shippable)
+                    claim = False
+                while dq and len(fifo) + len(chunk) < self.batch_max:
+                    task, blob = dq.popleft()
+                    if task.abort_requested:
+                        reaped.append(task)
+                        continue
+                    self._note_dispatch(wid, task)
+                    chunk.append((task, blob))
+                drained = not dq
+            # Claims that cannot ship resolve on the coordinator before
+            # this thread blocks in the reply wait.
+            for extra, exc in failed_extras:
+                self._finish_dispatch(wid, extra, {}, exc)
+            for extra in inline_extras:
+                self._finish_inline_extra(wid, extra)
+            for task in reaped:
+                self._finish_dispatch(wid, task, {}, None)
+            if chunk:
+                if not self.supervisor.alive(wid):
+                    # Seat degraded mid-run: the coordinator is the
+                    # execution substrate of last resort.
+                    for task, _blob in chunk:
+                        t0 = self._clock()
+                        status, payload = ((_SKIPPED, None)
+                                           if task.abort_requested
+                                           else self._reply_inline(task))
+                        self._resolve_reply(wid, task, status, payload,
+                                            wall_us=self._clock() - t0)
+                else:
+                    announce = self._stream_seq[wid] is None
+                    try:
+                        self.supervisor.send(wid, [b for _t, b in chunk])
+                    except WorkerLost as lost:
+                        now = self._clock()
+                        fifo.extend((t, b, now) for t, b in chunk)
+                        self._recover_stream(wid, lost, fifo)
+                        continue
+                    now = self._clock()
+                    fifo.extend((t, b, now) for t, b in chunk)
+                    self._account_shipped(chunk)
+                    if announce:
+                        self._stream_seq[wid] = self.runtime.events.emit(
+                            "dispatch_stream", worker=wid,
+                            payloads=len(chunk),
+                            queued=len(self._deques[wid]))
+            if not fifo:
+                if drained:
+                    return
+                continue
+            try:
+                status, payload = self.supervisor.recv_reply(
+                    wid, self.dispatch_timeout_s)
+            except WorkerLost as lost:
+                self._recover_stream(wid, lost, fifo)
+                continue
+            task, blob, t_sent = fifo.popleft()
+            self._m_stream_depth.observe(len(fifo) + 1)
+            self._resolve_reply(wid, task, status, payload,
+                                wall_us=self._clock() - t_sent)
 
 
 register_executor("procs", ProcessExecutor)

@@ -85,6 +85,11 @@ def _encoded_stream(executor: str, fault_plan=None, **procs_opts):
     ("hang@1", {"dispatch_timeout_s": 0.5}),
     ("drop@1:w1", {"dispatch_timeout_s": 0.5}),
     ("delay@1:0.2", {}),
+    # A straggling seat with a small pipe window parks most of its claimed
+    # backlog in its deque, where the healthy seat steals it — and the
+    # same chaos with stealing disabled must *also* converge, just slower.
+    ("delay@1:0.6", {"batch_max": 2}),
+    ("delay@1:0.6", {"batch_max": 2, "steal": False}),
 ])
 def test_chaos_output_byte_identical_and_leak_free(fault, opts):
     reference = _encoded_stream("sim")[:2]

@@ -191,20 +191,22 @@ def test_worker_observes_abort_flag_before_launch(tmp_path):
     marker = tmp_path / "ran"
     task = Task("skipped", partial(_touch, str(marker)))
     _send_batch(parent, [task.serialize_payload()])
-    [(status, payload)] = parent.recv()
-    assert status == _SKIPPED
+    seq, status, payload = parent.recv()
+    assert (seq, status) == (1, _SKIPPED)
     assert not marker.exists()  # the body never ran
     flags[0] = 0
     _send_batch(parent, [task.serialize_payload()])
-    [(status, payload)] = parent.recv()
+    seq, status, payload = parent.recv()
+    assert seq == 2  # the reply stream counts across batches
     assert status == _OK and payload == {"out": "ran"}
     parent.send_bytes(b"\x00__sre_stop__")
     proc.join(timeout=10.0)
     assert proc.exitcode == 0
 
 
-def test_worker_executes_batches_with_one_reply(tmp_path):
-    """Many payloads in one pipe message come back as one aligned reply."""
+def test_worker_streams_one_reply_per_payload(tmp_path):
+    """Many payloads in one pipe message come back as one sequenced reply
+    *each*, in payload order — the streaming wire protocol."""
     import multiprocessing
 
     ctx = multiprocessing.get_context("fork")
@@ -215,9 +217,10 @@ def test_worker_executes_batches_with_one_reply(tmp_path):
     child.close()
     tasks = [Task(f"b{i}", partial(_identity, i)) for i in range(5)]
     _send_batch(parent, [t.serialize_payload() for t in tasks])
-    replies = parent.recv()
-    assert [status for status, _ in replies] == [_OK] * 5
-    assert [payload["out"] for _, payload in replies] == list(range(5))
+    replies = [parent.recv() for _ in range(5)]
+    assert [seq for seq, _, _ in replies] == [1, 2, 3, 4, 5]
+    assert [status for _, status, _ in replies] == [_OK] * 5
+    assert [payload["out"] for _, _, payload in replies] == list(range(5))
     parent.send_bytes(b"\x00__sre_stop__")
     proc.join(timeout=10.0)
     assert proc.exitcode == 0

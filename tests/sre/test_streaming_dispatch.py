@@ -1,0 +1,219 @@
+"""Streaming dispatch on the process pool: per-payload completion,
+per-payload wall attribution, and work-stealing deques.
+
+This is the head-of-line regression suite. Before replies streamed one
+per payload, a batch's fast members waited on its slowest member twice
+over: their *replies* were held until the whole batch resolved, and the
+backlog claimed into the seat's batch was pinned there even while other
+seats idled. The tests here fail (by hanging into their waits) against
+whole-batch dispatch.
+
+Task functions are module-level so payloads pickle and genuinely ship;
+cross-process rendezvous uses files, as in test_executor_procs.py.
+"""
+
+import os
+import time
+from functools import partial
+
+import pytest
+
+from repro.obs.events import EventLog
+from repro.obs.metrics import MetricsRegistry
+from repro.sre.executor_procs import ProcessExecutor, _Claimed
+from repro.sre.runtime import Runtime
+from repro.sre.task import Task, TaskState
+
+pytestmark = [pytest.mark.procs, pytest.mark.threaded]
+
+
+def _identity(i):
+    return {"out": i}
+
+
+def _sleep_identity(seconds, i):
+    time.sleep(seconds)
+    return {"out": i}
+
+
+def _touch_then_wait(touch_path, wait_path, timeout_s=20.0):
+    """Signal 'started' by creating touch_path, then block on wait_path."""
+    with open(touch_path, "w") as fh:
+        fh.write("started")
+    deadline = time.monotonic() + timeout_s
+    while not os.path.exists(wait_path):
+        if time.monotonic() > deadline:
+            return {"out": "timeout"}
+        time.sleep(0.005)
+    return {"out": "released"}
+
+
+def _wait_until(predicate, timeout_s=10.0):
+    deadline = time.monotonic() + timeout_s
+    while not predicate():
+        if time.monotonic() > deadline:
+            return False
+        time.sleep(0.005)
+    return True
+
+
+# ---------------------------------------------------------------------------
+# head-of-line: a fast batch-mate completes while a slow member runs
+# ---------------------------------------------------------------------------
+
+def test_fast_batch_mate_completes_while_slow_member_still_runs(tmp_path):
+    """The regression itself: 'fast' and 'slow' share one pipe message on
+    the only seat; 'fast' executes first and its reply must complete it
+    while 'slow' is still inside its body. Whole-batch replies hold the
+    fast result hostage and this test times out."""
+    started = tmp_path / "started"
+    release = tmp_path / "release"
+    rt = Runtime()
+    ex = ProcessExecutor(rt, workers=1)
+    fast = rt.add_task(Task("fast", partial(_identity, 1)))
+    slow = rt.add_task(
+        Task("slow", partial(_touch_then_wait, str(started), str(release))))
+    ex.start()
+    ex.close_input()
+    assert _wait_until(started.exists)  # the slow body is executing
+    assert ex.batches >= 1              # ...so both rode one pipe message
+    assert _wait_until(lambda: fast.state is TaskState.DONE)
+    assert slow.state is TaskState.RUNNING  # still held by the worker
+    release.write_text("go")
+    assert ex.wait_idle(timeout=60.0)
+    ex.shutdown()
+    assert fast.outputs == {"out": 1}
+    assert slow.outputs == {"out": "released"}
+
+
+def test_wall_time_is_attributed_per_payload():
+    """``exec_task_wall_us`` stamps each payload with its *own* send→reply
+    time: a fast rider batched ahead of a sleeping mate must not inherit
+    the sleeper's wall clock."""
+    rt = Runtime()
+    ex = ProcessExecutor(rt, workers=1)
+    rt.add_task(Task("fast", partial(_identity, 1), kind="rider"))
+    rt.add_task(Task("slow", partial(_sleep_identity, 0.5, 2), kind="sleeper"))
+    ex.run(timeout=60.0)
+    assert ex.batches >= 1  # both genuinely shared a pipe message
+    hist = rt.metrics.histogram("exec_task_wall_us", labelnames=("kind",))
+    rider_us = hist.labels(kind="rider").sum()
+    sleeper_us = hist.labels(kind="sleeper").sum()
+    assert sleeper_us >= 400_000  # the sleeper owns its 0.5 s
+    assert rider_us < sleeper_us / 4  # the rider does not
+
+
+# ---------------------------------------------------------------------------
+# work stealing: idle seats drain a straggler's deque
+# ---------------------------------------------------------------------------
+
+def test_idle_seat_steals_backlog_from_straggling_seat(tmp_path):
+    """Seat B blocks on its own gated head; seat A blocks on a gated head
+    with a backlog of fast payloads claimed into its deque. Releasing B
+    leaves it idle with empty queues, so it must steal A's backlog and
+    finish it while A's gate is still closed."""
+    start_b, gate_b = tmp_path / "start_b", tmp_path / "gate_b"
+    start_a, gate_a = tmp_path / "start_a", tmp_path / "gate_a"
+    registry = MetricsRegistry()
+    events = EventLog("steal-test")
+    rt = Runtime(metrics=registry, events=events)
+    ex = ProcessExecutor(rt, workers=2)
+    ex.start()
+    # Occupy one seat first, so the wave below is claimed by the other.
+    ex.submit(rt.add_task, Task(
+        "slow_b", partial(_touch_then_wait, str(start_b), str(gate_b))))
+    assert _wait_until(start_b.exists)
+    fasts = []
+
+    def _add_wave():
+        rt.add_task(Task(
+            "slow_a", partial(_touch_then_wait, str(start_a), str(gate_a))))
+        for i in range(20):
+            fasts.append(rt.add_task(Task(f"f{i}", partial(_identity, i))))
+
+    ex.submit(_add_wave)  # one lock hold: only the idle seat can claim it
+    assert _wait_until(start_a.exists)  # seat A's head is executing
+    gate_b.write_text("go")  # seat B drains the queue, goes idle, steals
+    assert _wait_until(lambda: registry.value("procs_tasks_stolen") > 0)
+    # Stolen work completes while the straggler is still gated: only a
+    # theft can finish a payload claimed behind slow_a's closed gate.
+    assert _wait_until(
+        lambda: any(t.state is TaskState.DONE for t in fasts))
+    assert not gate_a.exists()
+    gate_a.write_text("go")
+    ex.close_input()
+    assert ex.wait_idle(timeout=60.0)
+    ex.shutdown()
+    assert {t.outputs["out"] for t in fasts} == set(range(20))
+    steals = [e for e in events.events() if e["kind"] == "task_steal"]
+    assert steals
+    assert registry.value("procs_tasks_stolen") == len(steals)
+    assert all(e["worker"] != e["from_worker"] for e in steals)
+    # Each theft is causally rooted in the victim's dispatch_stream.
+    streams = {e["seq"] for e in events.events()
+               if e["kind"] == "dispatch_stream"}
+    assert all(e.get("cause") in streams for e in steals)
+
+
+def test_acquire_work_steals_half_only_when_enabled():
+    """White-box: an idle seat with empty queues steals ⌈half⌉ of the
+    deepest victim deque (order preserved) — unless ``steal=False``."""
+    for steal in (True, False):
+        registry = MetricsRegistry()
+        events = EventLog("steal-unit")
+        rt = Runtime(metrics=registry, events=events)
+        ex = ProcessExecutor(rt, workers=2, steal=steal)
+        for i in range(5):
+            rt.add_task(Task(f"t{i}", partial(_identity, i)))
+        with ex._cond:
+            head = ex._acquire_work(1)  # seat 1 takes t0, marks itself busy
+            ex._busy[0] = True  # no idle seat: the claim sweeps the queue
+            shippable, inline, failed = ex._take_extras(1)
+            ex._deques[1].extend(shippable)
+            ex._busy[0] = False
+            assert head.name == "t0" and not inline and not failed
+            assert [t.name for t, _ in ex._deques[1]] == [
+                "t1", "t2", "t3", "t4"]
+            got = ex._acquire_work(0)
+        if steal:
+            assert isinstance(got, _Claimed) and got.task.name == "t3"
+            assert [t.name for t, _ in ex._deques[0]] == ["t4"]
+            assert [t.name for t, _ in ex._deques[1]] == ["t1", "t2"]
+            assert registry.value("procs_tasks_stolen") == 2
+            kinds = [e["kind"] for e in events.events()]
+            assert kinds.count("task_steal") == 2
+        else:
+            assert got is None
+            assert len(ex._deques[1]) == 4
+            assert registry.value("procs_tasks_stolen") == 0
+
+
+# ---------------------------------------------------------------------------
+# the batching guard counts idle *seats*, not n_workers - inflight tasks
+# ---------------------------------------------------------------------------
+
+def test_extras_leave_one_task_per_idle_seat():
+    """Regression: the old guard compared the queue depth against
+    ``n_workers - inflight``, where inflight counts *tasks* — one batch
+    of extras drove it negative and the claim swept the whole queue,
+    starving every idle seat. The fixed guard counts idle seats."""
+    rt = Runtime()
+    ex = ProcessExecutor(rt, workers=3)
+    for i in range(6):
+        rt.add_task(Task(f"t{i}", partial(_identity, i)))
+    with ex._cond:
+        primary = ex._acquire_work(0)
+        shippable, inline, failed = ex._take_extras(0)
+    assert primary.name == "t0" and not inline and not failed
+    # 5 queued, 2 idle seats: claim exactly 3, leave one per idle seat.
+    assert [t.name for t, _ in shippable] == ["t1", "t2", "t3"]
+    assert len(rt.natural_queue) == 2
+
+
+def test_idle_seats_counts_seats_not_inflight_tasks():
+    rt = Runtime()
+    ex = ProcessExecutor(rt, workers=2)
+    ex._busy[0] = True
+    ex._inflight = 5  # one seat holding a deep batch
+    # n_workers - inflight would answer -3 here; there is one idle seat.
+    assert ex._idle_seats() == 1

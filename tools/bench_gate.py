@@ -7,11 +7,14 @@ Compares a freshly produced bench document (``repro bench
 lives in the *baseline*'s ``"gate"`` object, so loosening or tightening
 the gate is a reviewed change to a committed file, not a CI-config edit.
 
-Only deterministic simulated-clock metrics should ever be gated;
-wall-clock numbers vary with the host and belong in the informational
-section of the doc. Exits 0 when every gated metric is within bounds
-(improvements always pass), 1 on any regression past its threshold,
-2 on malformed input.
+Deterministic simulated-clock metrics take tight thresholds; a
+wall-clock metric may be gated only with a deliberately *loose*
+threshold (it varies with the host — the gate is for catastrophes like
+a serialized worker pool, not noise). A zero baseline admits no
+relative change, so any movement in the regressing direction fails
+outright (0 rollbacks -> 12 must never slip through as "+0.0%").
+Exits 0 when every gated metric is within bounds (improvements always
+pass), 1 on any regression past its threshold, 2 on malformed input.
 
 Usage::
 
@@ -50,7 +53,17 @@ def compare(baseline: dict, current: dict) -> list[str]:
         higher = spec.get("higher_is_better", True)
         max_reg = float(spec["max_regression"])
         if base == 0:
-            change = 0.0
+            # A zero baseline admits no relative change: any movement in
+            # the regressing direction is infinitely worse than baseline
+            # (e.g. gated `rollbacks` going 0 -> 12 must FAIL, not pass
+            # with a silent 0.0% "change"); movement the other way is an
+            # unbounded improvement.
+            if cur == base:
+                change = 0.0
+            else:
+                worse = (cur < base) if higher else (cur > base)
+                change = float("-inf" if higher else "inf") if worse \
+                    else float("inf" if higher else "-inf")
         else:
             change = (cur - base) / abs(base)
         regression = -change if higher else change

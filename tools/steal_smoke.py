@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Deterministic work-stealing smoke for CI.
+
+Reproduces the straggler scenario end-to-end on real worker processes:
+seat B blocks inside a gated payload; seat A blocks on its *own* gated
+head with a backlog of fast payloads claimed into its deque. Releasing
+B's gate leaves B idle with empty ready queues, so it must steal A's
+backlog (half the deque, from the tail) and finish it while A is still
+gated. The script prints every ``task_steal`` event it observed — CI
+greps for them — and exits non-zero unless stealing fired and every
+payload completed with correct output.
+
+Usage::
+
+    python tools/steal_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+import time
+from functools import partial
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.obs.events import EventLog  # noqa: E402
+from repro.obs.metrics import MetricsRegistry  # noqa: E402
+from repro.sre.executor_procs import ProcessExecutor  # noqa: E402
+from repro.sre.runtime import Runtime  # noqa: E402
+from repro.sre.task import Task, TaskState  # noqa: E402
+
+N_FAST = 20
+
+
+def _identity(i):
+    return {"out": i}
+
+
+def _touch_then_wait(touch_path, wait_path, timeout_s=30.0):
+    with open(touch_path, "w") as fh:
+        fh.write("started")
+    deadline = time.monotonic() + timeout_s
+    while not os.path.exists(wait_path):
+        if time.monotonic() > deadline:
+            return {"out": "timeout"}
+        time.sleep(0.005)
+    return {"out": "released"}
+
+
+def _wait_until(predicate, timeout_s=30.0):
+    deadline = time.monotonic() + timeout_s
+    while not predicate():
+        if time.monotonic() > deadline:
+            return False
+        time.sleep(0.005)
+    return True
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-steal-smoke-") as td:
+        start_b, gate_b = os.path.join(td, "sb"), os.path.join(td, "gb")
+        start_a, gate_a = os.path.join(td, "sa"), os.path.join(td, "ga")
+        registry = MetricsRegistry()
+        events = EventLog("steal-smoke")
+        rt = Runtime(metrics=registry, events=events)
+        ex = ProcessExecutor(rt, workers=2)
+        ex.start()
+        ex.submit(rt.add_task, Task(
+            "slow_b", partial(_touch_then_wait, start_b, gate_b)))
+        if not _wait_until(lambda: os.path.exists(start_b)):
+            print("steal smoke: FAILED — seat B never started", flush=True)
+            return 1
+        fasts: list[Task] = []
+
+        def _add_wave():
+            rt.add_task(Task(
+                "slow_a", partial(_touch_then_wait, start_a, gate_a)))
+            for i in range(N_FAST):
+                fasts.append(rt.add_task(Task(f"f{i}",
+                                              partial(_identity, i))))
+
+        ex.submit(_add_wave)
+        if not _wait_until(lambda: os.path.exists(start_a)):
+            print("steal smoke: FAILED — seat A never started", flush=True)
+            return 1
+        with open(gate_b, "w") as fh:
+            fh.write("go")
+        stolen_in_time = _wait_until(
+            lambda: registry.value("procs_tasks_stolen") > 0)
+        rescued_in_time = stolen_in_time and _wait_until(
+            lambda: any(t.state is TaskState.DONE for t in fasts))
+        with open(gate_a, "w") as fh:
+            fh.write("go")
+        ex.close_input()
+        drained = ex.wait_idle(timeout=60.0)
+        ex.shutdown()
+        ex.raise_errors()
+
+    steals = [e for e in events.events() if e["kind"] == "task_steal"]
+    for e in steals:
+        print(f"task_steal task={e.get('task')} worker={e.get('worker')} "
+              f"from_worker={e.get('from_worker')} cause={e.get('cause')}")
+    outputs = {t.outputs.get("out") for t in fasts}
+    problems = []
+    if not stolen_in_time:
+        problems.append("no task_steal fired while the straggler was gated")
+    if not rescued_in_time:
+        problems.append("no stolen payload completed before the gate opened")
+    if not drained:
+        problems.append("run did not drain")
+    if outputs != set(range(N_FAST)):
+        problems.append(f"outputs wrong: {sorted(outputs)!r}")
+    if problems:
+        print("steal smoke: FAILED — " + "; ".join(problems))
+        return 1
+    print(f"steal smoke: passed ({len(steals)} task_steal event(s), "
+          f"{N_FAST} payloads correct, straggler backlog rescued)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
