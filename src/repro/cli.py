@@ -8,6 +8,8 @@ Subcommands::
     repro stats [--json] [--out FILE]                       # run + metrics dump
     repro trace --executor threads -o trace.json            # run + chrome trace
     repro explain run.events.jsonl [--version N]            # rollback post-mortem
+    repro replay run.events.jsonl                           # deterministic replay
+    repro replay run.events.jsonl --force-policy aggressive --diff  # counterfactual
     repro top run.metrics.json [--once]                     # live text dashboard
     repro bench [--emit-bench-json BENCH_huffman.json]      # perf baseline
     repro executors                                         # threads-vs-procs table
@@ -31,7 +33,7 @@ from repro.experiments import claims as claims_mod
 from repro.experiments import fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, resources
 from repro.experiments.runner import RunConfig, run_huffman
 
-__all__ = ["main"]
+__all__ = ["main", "build_parser"]
 
 _FIGURES = {
     "fig2": fig2, "fig3": fig3, "fig4": fig4, "fig5": fig5, "fig6": fig6,
@@ -269,7 +271,54 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: list[str] | None = None) -> int:
+def _cmd_replay(args: argparse.Namespace) -> int:
+    """Deterministically re-execute a recorded run (or a counterfactual)."""
+    from repro.errors import ReplayDivergence, ReplayError
+    from repro.obs.events import EventSchemaError
+    from repro.sre.replay import render_diff, replay_path
+
+    force = {k: v for k, v in {
+        "policy": args.force_policy,
+        "tolerance": args.force_tolerance,
+        "step": args.force_step,
+        "executor": args.force_executor,
+    }.items() if v is not None}
+    try:
+        res = replay_path(args.events, force=force or None,
+                          events_out=args.events_out)
+    except ReplayDivergence as exc:
+        print(f"replay DIVERGED: {exc}")
+        return 1
+    except (ReplayError, EventSchemaError, OSError) as exc:
+        print(f"replay failed: {exc}")
+        return 1
+    rec = res.recorded
+    rep = res.replayed
+    if res.counterfactual:
+        forced = ", ".join(f"{k}={v}" for k, v in sorted(force.items()))
+        print(f"counterfactual replay of {args.events} (forcing {forced})")
+        print(render_diff(rec, rep))
+    else:
+        print(f"replay_ok  : {args.events}")
+        print(f"schedule   : {len(res.schedule)} gated decisions, "
+              f"schedule_match={res.schedule_match}")
+        print(f"outcome    : {rep.outcome}  (recorded: {rec.outcome})")
+        print(f"output sha : {rep.output_sha256}")
+        if args.diff:
+            print()
+            print(render_diff(rec, rep, labels=("recorded", "replayed")))
+    if args.events_out is not None:
+        print(f"replay event log written to {args.events_out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the ``repro`` argument parser.
+
+    Exposed separately from :func:`main` so tooling (e.g.
+    ``tools/check_doc_links.py``) can introspect the registered
+    subcommand names without running anything.
+    """
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Tolerant value speculation in coarse-grain streaming "
@@ -405,6 +454,40 @@ def main(argv: list[str] | None = None) -> int:
                                 "version")
     p_explain.set_defaults(fn=_cmd_explain)
 
+    p_replay = sub.add_parser(
+        "replay",
+        help="deterministically re-execute a recorded run from its event "
+             "log (time-travel debugging; see docs/replay.md)")
+    p_replay.add_argument("events",
+                          help="*.events.jsonl file from `repro run "
+                               "--events-out` (must carry the log_header "
+                               "schema record)")
+    p_replay.add_argument("--force-policy", default=None, dest="force_policy",
+                          choices=["nonspec", "conservative", "aggressive",
+                                   "balanced", "fcfs"],
+                          help="counterfactual: re-run under this dispatch "
+                               "policy instead of the recorded one")
+    p_replay.add_argument("--force-tolerance", type=float, default=None,
+                          dest="force_tolerance",
+                          help="counterfactual: re-run with this error "
+                               "tolerance")
+    p_replay.add_argument("--force-step", type=int, default=None,
+                          dest="force_step",
+                          help="counterfactual: re-run with this speculation "
+                               "step")
+    p_replay.add_argument("--force-executor", default=None,
+                          dest="force_executor",
+                          help="counterfactual: re-run on this executor "
+                               "back-end")
+    p_replay.add_argument("--diff", action="store_true",
+                          help="print the recorded-vs-replayed cascade "
+                               "delta table (rollbacks, wasted µs, shm "
+                               "churn); implied for counterfactual runs")
+    p_replay.add_argument("--events-out", default=None, dest="events_out",
+                          help="also record the replayed run's event log "
+                               "to this path")
+    p_replay.set_defaults(fn=_cmd_replay)
+
     p_top = sub.add_parser(
         "top",
         help="live text dashboard over a metrics snapshot file")
@@ -459,6 +542,11 @@ def main(argv: list[str] | None = None) -> int:
     p_list = sub.add_parser("list", help="list figures and options")
     p_list.set_defaults(fn=_cmd_list)
 
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
     args = parser.parse_args(argv)
     return args.fn(args)
 

@@ -20,6 +20,7 @@ when to speculate (speculation frequency / step size), when to verify
 :class:`~repro.core.rollback.RollbackEngine`.
 """
 
+from repro.core.decisions import DecisionSource, LiveDecisionSource
 from repro.core.frequency import (
     EveryK,
     FullVerification,
@@ -41,6 +42,8 @@ from repro.core.tolerance import (
 from repro.core.wait import WaitBuffer
 
 __all__ = [
+    "DecisionSource",
+    "LiveDecisionSource",
     "EveryK",
     "FullVerification",
     "Optimistic",

@@ -1,0 +1,155 @@
+"""The decision/execution seam: every speculation *decision* is injectable.
+
+The :class:`~repro.core.manager.SpeculationManager` mixes two concerns
+that this module pulls apart:
+
+* **execution** — spawning predictors, wiring checks, rolling back,
+  committing: mechanical consequences that live in the manager's
+  ``_process_*`` / ``_speculate`` / ``_launch_check`` machinery;
+* **decisions** — *whether* to speculate at an update, *whether* to
+  verify, *whether* a check error is acceptable, *whether* to
+  re-speculate after a failure, and *when* each asynchronous callback
+  (prediction ready, check verdict) is processed.
+
+A :class:`DecisionSource` owns the second concern. The default
+:class:`LiveDecisionSource` delegates every predicate to the run's
+:class:`~repro.core.spec.SpeculationSpec` policies (interval /
+verification / tolerance) and passes callbacks straight through — live
+runs behave exactly as before. The replay subsystem
+(:mod:`repro.sre.replay`) substitutes a ``ReplayDirector`` that answers
+every predicate from a recorded event log and *re-orders* callback
+delivery to match the recorded schedule — deterministic replay without
+the manager knowing it is being replayed. A future distributed
+coordinator slots into the same seam (ROADMAP item 2).
+
+Delivery hooks receive the manager explicitly so one source can, in
+principle, serve several speculation domains (the live source is
+stateless); sources that cannot (the replay director) enforce
+exclusivity in :meth:`DecisionSource.bind`.
+
+See docs/replay.md for the full seam contract.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (manager imports us)
+    from repro.core.manager import SpeculationManager
+    from repro.core.spec import SpecVersion, SpeculationSpec
+
+__all__ = ["DecisionSource", "LiveDecisionSource"]
+
+
+class DecisionSource:
+    """Answers the speculation protocol's decision points.
+
+    Two families of methods:
+
+    * ``on_*`` **delivery hooks** — called by the manager at each
+      asynchronous entry point (update offered, prediction completed,
+      check verdict arrived, ...). The default implementations forward
+      to the manager's ``_process_*`` immediately; a source may defer,
+      re-order or drop deliveries (that is how replay forces the
+      recorded schedule). Hooks run on the executor's coordinating
+      thread under the runtime lock, so sources need no locking of
+      their own.
+    * **predicates** — pure decisions consulted from inside the
+      ``_process_*`` handlers. They must not mutate manager state.
+    """
+
+    # -- lifecycle ------------------------------------------------------
+    def bind(self, manager: "SpeculationManager") -> None:
+        """Called once by each manager that adopts this source."""
+
+    # -- delivery hooks (default: pass straight through) ----------------
+    def on_update(self, manager: "SpeculationManager", index: int, value: Any) -> None:
+        manager._process_update(index, value)
+
+    def on_final(self, manager: "SpeculationManager", value: Any) -> None:
+        manager._process_final(value)
+
+    def on_prediction_ready(
+        self, manager: "SpeculationManager", version: "SpecVersion",
+        outputs: dict[str, Any],
+    ) -> None:
+        manager._process_prediction_ready(version, outputs)
+
+    def on_verdict(
+        self, manager: "SpeculationManager", version: "SpecVersion",
+        index: int, ref_value: Any, outs: dict[str, Any],
+    ) -> None:
+        manager._process_verdict(version, index, ref_value, outs)
+
+    def on_final_ready(
+        self, manager: "SpeculationManager", ref_value: Any,
+        outs: dict[str, Any],
+    ) -> None:
+        manager._process_final_ready(ref_value, outs)
+
+    def on_final_verdict(
+        self, manager: "SpeculationManager", version: "SpecVersion",
+        outs: dict[str, Any],
+    ) -> None:
+        manager._process_final_verdict(version, outs)
+
+    # -- predicates -----------------------------------------------------
+    def speculate_at(
+        self, manager: "SpeculationManager", index: int, had_rollback: bool
+    ) -> bool:
+        """Start a new speculation version at this update?"""
+        raise NotImplementedError
+
+    def check_at(
+        self, manager: "SpeculationManager", version: "SpecVersion", index: int
+    ) -> bool:
+        """Launch a verification check against the active version here?"""
+        raise NotImplementedError
+
+    def accept(
+        self, manager: "SpeculationManager", version: "SpecVersion",
+        index: int | None, error: float, *, final: bool = False,
+    ) -> bool:
+        """Is this check error tolerable (check passes)?"""
+        raise NotImplementedError
+
+    def respeculate_after_failure(
+        self, manager: "SpeculationManager", version: "SpecVersion", index: int
+    ) -> bool:
+        """After a failed check + rollback, re-speculate immediately?"""
+        raise NotImplementedError
+
+
+class LiveDecisionSource(DecisionSource):
+    """The production source: every decision comes from the run's spec.
+
+    This is behaviour-preserving by construction — each predicate is the
+    exact expression the manager used inline before the seam existed.
+    Stateless with respect to the manager, so a single instance may
+    serve several speculation domains.
+    """
+
+    def __init__(self, spec: "SpeculationSpec") -> None:
+        self.spec = spec
+
+    def speculate_at(
+        self, manager: "SpeculationManager", index: int, had_rollback: bool
+    ) -> bool:
+        return self.spec.interval.is_opportunity(index, had_rollback)
+
+    def check_at(
+        self, manager: "SpeculationManager", version: "SpecVersion", index: int
+    ) -> bool:
+        return self.spec.verification.check_at(index)
+
+    def accept(
+        self, manager: "SpeculationManager", version: "SpecVersion",
+        index: int | None, error: float, *, final: bool = False,
+    ) -> bool:
+        return self.spec.tolerance.accepts(error)
+
+    def respeculate_after_failure(
+        self, manager: "SpeculationManager", version: "SpecVersion", index: int
+    ) -> bool:
+        return (self.spec.verification.respeculate_on_failure
+                or self.spec.interval.is_opportunity(index, had_rollback=True))

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.core.decisions import DecisionSource, LiveDecisionSource
 from repro.core.rollback import RollbackEngine
 from repro.core.spec import SpecVersion, SpeculationSpec
 from repro.core.stats import SpeculationStats
@@ -48,6 +49,13 @@ class SpeculationManager:
     the executor's coordinating thread (under the runtime lock for live
     executors), so no extra synchronisation is needed here.
 
+    Decisions and execution are separated (docs/replay.md): each entry
+    point routes through the manager's
+    :class:`~repro.core.decisions.DecisionSource` (``self.decisions``),
+    which answers every *whether* and controls every *when*. The live
+    default reproduces the spec's policies verbatim; the replay director
+    substitutes a recorded schedule.
+
     Accounting is double-entry by design: the per-run
     :class:`~repro.core.stats.SpeculationStats` dataclass (returned in
     every ``PipelineResult.spec_stats``) and the always-on registry
@@ -57,9 +65,26 @@ class SpeculationManager:
     agree, so exporter output can be trusted to match the figures.
     """
 
-    def __init__(self, runtime: Runtime, spec: SpeculationSpec) -> None:
+    def __init__(
+        self,
+        runtime: Runtime,
+        spec: SpeculationSpec,
+        decisions: DecisionSource | None = None,
+    ) -> None:
         self.runtime = runtime
         self.spec = spec
+        #: The decision/execution seam (docs/replay.md): every *whether*
+        #: (speculate? check? accept? re-speculate?) and every *when*
+        #: (callback delivery order) is answered here. Resolution order:
+        #: explicit argument, then ``runtime.decisions`` (how the replay
+        #: director and the experiment runner inject one without the
+        #: pipelines knowing), then the live spec-driven default.
+        self.decisions: DecisionSource = (
+            decisions
+            if decisions is not None
+            else getattr(runtime, "decisions", None) or LiveDecisionSource(spec)
+        )
+        self.decisions.bind(self)
         self.engine = RollbackEngine(runtime, spec.barrier)
         self.stats = SpeculationStats()
         m = runtime.metrics
@@ -120,20 +145,31 @@ class SpeculationManager:
             if self._final_seen:
                 raise SpeculationError("final update offered twice")
             self._final_seen = True
-            self._handle_final(value)
+            self.decisions.on_final(self, value)
             return
         if self._final_seen:
             raise SpeculationError("update offered after the final update")
         if self.finalized:  # pragma: no cover - defensive; implies final seen
             return
+        self.decisions.on_update(self, index, value)
+
+    def _process_update(self, index: int, value: Any) -> None:
+        """Handle one delivered (non-final) update.
+
+        Split from :meth:`offer_update` so a :class:`DecisionSource` can
+        defer delivery; a deferred update may legitimately land after
+        the run finalized, hence the re-check.
+        """
+        if self.finalized:
+            return
         version = self.active_version
         if version is None or not version.active:
-            if self.spec.interval.is_opportunity(index, self._had_rollback):
+            if self.decisions.speculate_at(self, index, self._had_rollback):
                 self._speculate(index, value)
         elif (
             version.value is not None
             and index > version.created_index
-            and self.spec.verification.check_at(index)
+            and self.decisions.check_at(self, version, index)
         ):
             self._launch_check(version, index, value)
 
@@ -172,12 +208,15 @@ class SpeculationManager:
         ptask.control = True
         version.prediction_task = version.register(ptask)
         ptask.on_complete.append(
-            lambda _task, outs, v=version: self._prediction_ready(v, outs)
+            lambda _task, outs, v=version: self.decisions.on_prediction_ready(
+                self, v, outs)
         )
         with events.cause(version.predict_seq):
             self.runtime.add_task(ptask)
 
-    def _prediction_ready(self, version: SpecVersion, outputs: dict[str, Any]) -> None:
+    def _process_prediction_ready(
+        self, version: SpecVersion, outputs: dict[str, Any]
+    ) -> None:
         if not version.active or self.finalized:
             return
         if "out" not in outputs:
@@ -214,14 +253,15 @@ class SpeculationManager:
             cost_hint=self.spec.check_cost_hint,
         )
         check.on_complete.append(
-            lambda _task, outs, v=version, i=index, r=ref_value: self._on_verdict(v, i, r, outs)
+            lambda _task, outs, v=version, i=index, r=ref_value:
+                self.decisions.on_verdict(self, v, i, r, outs)
         )
         with self.runtime.events.cause(version.launch_seq):
             self.runtime.add_task(candidate)
             self.runtime.add_task(check)
         self.runtime.connect(candidate, "out", check, "candidate")
 
-    def _on_verdict(
+    def _process_verdict(
         self, version: SpecVersion, index: int, ref_value: Any, outs: dict[str, Any]
     ) -> None:
         error = outs["error"]
@@ -234,7 +274,7 @@ class SpeculationManager:
             return
         events = self.runtime.events
         margin = getattr(self.spec.tolerance, "margin", None)
-        if self.spec.tolerance.accepts(error):
+        if self.decisions.accept(self, version, index, error):
             self.stats.checks_passed += 1
             self._m_check_pass.inc()
             self.runtime.trace.record(
@@ -256,8 +296,7 @@ class SpeculationManager:
             index=index, error=error, tolerance=margin)
         with events.cause(fail_seq):
             self._rollback(version)
-            if (self.spec.verification.respeculate_on_failure
-                    or self.spec.interval.is_opportunity(index, had_rollback=True)):
+            if self.decisions.respeculate_after_failure(self, version, index):
                 self._speculate(index, ref_value, predicted=outs["candidate"])
 
     def _rollback(self, version: SpecVersion) -> None:
@@ -273,15 +312,16 @@ class SpeculationManager:
     # ------------------------------------------------------------------
     # final decision
     # ------------------------------------------------------------------
-    def _handle_final(self, value: Any) -> None:
+    def _process_final(self, value: Any) -> None:
         ftask = self.spec.predictor(value, f"{self.spec.name}:final")
         ftask.control = True
         ftask.on_complete.append(
-            lambda _task, outs, v=value: self._final_ready(v, outs)
+            lambda _task, outs, v=value: self.decisions.on_final_ready(
+                self, v, outs)
         )
         self.runtime.add_task(ftask)
 
-    def _final_ready(self, ref_value: Any, outs: dict[str, Any]) -> None:
+    def _process_final_ready(self, ref_value: Any, outs: dict[str, Any]) -> None:
         self.final_value = outs.get("out")
         version = self.active_version
         if version is None or not version.active or version.value is None:
@@ -304,11 +344,12 @@ class SpeculationManager:
             cost_hint=self.spec.check_cost_hint,
         )
         check.on_complete.append(
-            lambda _task, c_outs, v=version: self._final_verdict(v, c_outs)
+            lambda _task, c_outs, v=version: self.decisions.on_final_verdict(
+                self, v, c_outs)
         )
         self.runtime.add_task(check)
 
-    def _final_verdict(self, version: SpecVersion, outs: dict[str, Any]) -> None:
+    def _process_final_verdict(self, version: SpecVersion, outs: dict[str, Any]) -> None:
         error = outs["error"]
         self.stats.checks += 1
         self.stats.check_errors.append(error)
@@ -319,7 +360,8 @@ class SpeculationManager:
             return
         events = self.runtime.events
         margin = getattr(self.spec.tolerance, "margin", None)
-        if version.active and self.spec.tolerance.accepts(error):
+        if version.active and self.decisions.accept(
+                self, version, None, error, final=True):
             self.stats.checks_passed += 1
             self._m_check_pass.inc()
             pass_seq = events.emit(

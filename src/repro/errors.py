@@ -74,6 +74,42 @@ class ObservabilityError(ReproError):
     """Raised for metrics/exporter misuse (type clashes, bad snapshots)."""
 
 
+class EventSchemaError(ObservabilityError):
+    """An event log's schema header is missing or from another build.
+
+    Raised by :func:`repro.obs.events.read_event_log` so ``repro
+    explain`` / ``repro replay`` reject incompatible logs with one clear
+    sentence instead of misreading them.
+    """
+
+
+class ReplayError(ReproError):
+    """Raised when a recorded run cannot be replayed at all (no
+    ``run_config`` in the header, custom byte workload, ...)."""
+
+
+class ReplayDivergence(ReplayError):
+    """Replay of a recorded schedule diverged from the recording.
+
+    Points at the *first* recorded event seq where live reality and the
+    recorded decision disagree — a check error that no longer matches,
+    a decision gate that was never reached, a different final outcome or
+    output digest. Loud by design: a replay that silently drifts is
+    worse than no replay.
+
+    Attributes:
+        seq: seq of the first mismatched recorded event (None when the
+            mismatch is not tied to one event, e.g. an output digest).
+        detail: human-readable description of the mismatch.
+    """
+
+    def __init__(self, detail: str, seq: int | None = None) -> None:
+        at = f" at recorded seq {seq}" if seq is not None else ""
+        super().__init__(f"replay diverged{at}: {detail}")
+        self.seq = seq
+        self.detail = detail
+
+
 class TransportError(ReproError):
     """Raised for shared-memory transport misuse (double release, ...)."""
 

@@ -21,6 +21,7 @@ gets a value object it can stamp into exports and sweep over.
 
 from __future__ import annotations
 
+import hashlib
 import warnings
 from dataclasses import dataclass, replace
 
@@ -84,6 +85,9 @@ class RunReport:
     events: EventLog | None = None
     #: human-readable anomaly warnings (repro.obs.anomaly detectors).
     warnings: list[str] | None = None
+    #: sha256 of the assembled compressed output (populated when events
+    #: are on) — the byte-identity oracle `repro replay` verifies against.
+    output_sha256: str | None = None
 
     @property
     def latencies(self) -> np.ndarray:
@@ -143,6 +147,7 @@ def run_huffman(
     config: RunConfig | None = None,
     *,
     metrics: MetricsRegistry | None = None,
+    decisions: object | None = None,
     **kwargs,
 ) -> RunReport:
     """Run one Huffman encoding experiment on a chosen executor back-end.
@@ -160,6 +165,10 @@ def run_huffman(
         metrics: a registry to record into (one is created otherwise);
             pass a shared registry to aggregate several runs. A runtime
             resource, not a run parameter — hence not part of RunConfig.
+        decisions: optional :class:`~repro.core.decisions.DecisionSource`
+            injected into the runtime — the seam `repro replay` uses to
+            force a recorded schedule. Like ``metrics``, a runtime
+            resource rather than a run parameter.
         **kwargs: deprecated bare-keyword form; folded into a RunConfig
             with a one-time DeprecationWarning.
 
@@ -200,14 +209,18 @@ def run_huffman(
     )
 
     registry = metrics if metrics is not None else MetricsRegistry()
+    # The header meta makes the JSONL self-describing enough to replay:
+    # the full run parameterisation rides along with the events.
     events = EventLog(capacity=cfg.events_capacity, path=cfg.events_out,
-                      enabled=cfg.events)
+                      enabled=cfg.events,
+                      meta={"app": "huffman", "run_config": cfg.to_dict()})
     runtime = Runtime(
         trace=TraceRecorder(enabled=cfg.trace),
         metrics=registry,
         events=events,
         depth_first=cfg.depth_first,
         control_first=cfg.control_first,
+        decisions=decisions,
     )
     store: BlockStore | None = None
     if cfg.transport == "shm":
@@ -278,6 +291,20 @@ def run_huffman(
         # Post-run anomaly scan: detectors emit anomaly_* events (before
         # the JSONL sink closes) and produce the report's warnings.
         run_warnings = scan_run(events, registry)
+        # Terminal run_result event: outcome + output digest, the oracle
+        # replay compares against for byte-identity.
+        output_sha: str | None = None
+        if cfg.events:
+            packed, total_bits = pipeline.assemble()
+            output_sha = hashlib.sha256(packed.tobytes()).hexdigest()
+            manager = getattr(pipeline, "manager", None)
+            events.emit(
+                "run_result",
+                outcome=manager.outcome if manager is not None else None,
+                compressed_bits=int(total_bits),
+                output_sha256=output_sha,
+                roundtrip_ok=ok,
+            )
     finally:
         # Each cleanup in its own finally clause: a raising store.close()
         # must not eat the final metrics snapshot or the event sink flush.
@@ -316,4 +343,5 @@ def run_huffman(
         run_config=cfg,
         events=events if cfg.events else None,
         warnings=run_warnings,
+        output_sha256=output_sha,
     )

@@ -60,10 +60,13 @@ from repro.obs.exporters import (
     write_metrics,
 )
 from repro.obs.events import (
+    EVENTS_SCHEMA,
+    EVENTS_SCHEMA_VERSION,
     EventLog,
     children_of,
     index_by_seq,
     load_events_jsonl,
+    read_event_log,
     walk_to_root,
 )
 from repro.obs.anomaly import Anomaly, AnomalyThresholds, detect_anomalies, scan_run
@@ -81,10 +84,13 @@ __all__ = [
     "to_json_snapshot",
     "to_prometheus_text",
     "write_metrics",
+    "EVENTS_SCHEMA",
+    "EVENTS_SCHEMA_VERSION",
     "EventLog",
     "children_of",
     "index_by_seq",
     "load_events_jsonl",
+    "read_event_log",
     "walk_to_root",
     "Anomaly",
     "AnomalyThresholds",

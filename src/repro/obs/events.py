@@ -49,16 +49,28 @@ from collections import deque
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator
 
+from repro.errors import EventSchemaError
 from repro.obs.metrics import MONOTONIC_CLOCK
 
 __all__ = [
+    "EVENTS_SCHEMA",
+    "EVENTS_SCHEMA_VERSION",
     "EventLog",
     "default_clock",
     "load_events_jsonl",
+    "read_event_log",
     "index_by_seq",
     "children_of",
     "walk_to_root",
 ]
+
+#: Schema identifier stamped into the ``log_header`` record of every
+#: JSONL sink. Bump :data:`EVENTS_SCHEMA_VERSION` whenever an event kind
+#: or field changes meaning in a way replay/explain must not silently
+#: misread — readers reject mismatched logs with a clear error instead
+#: of drifting.
+EVENTS_SCHEMA = "repro.events"
+EVENTS_SCHEMA_VERSION = 1
 
 
 def default_clock() -> float:
@@ -92,6 +104,16 @@ class EventLog:
     enabled:
         When False, :meth:`emit` is a near-no-op returning ``0`` and no
         state is kept — for overhead measurements and opt-outs.
+    meta:
+        JSON-safe dict embedded in the sink's ``log_header`` record
+        (e.g. the run's ``RunConfig.to_dict()``) — what makes a recorded
+        log self-describing enough to replay. Ignored without ``path``.
+
+    When ``path`` is given the first line written is a ``log_header``
+    record at ``seq 0`` carrying :data:`EVENTS_SCHEMA` /
+    :data:`EVENTS_SCHEMA_VERSION` (and ``meta``);
+    :func:`read_event_log` validates it so logs from older builds fail
+    loudly instead of obscurely.
     """
 
     def __init__(
@@ -102,6 +124,7 @@ class EventLog:
         path: str | None = None,
         clock: Callable[[], float] | None = None,
         enabled: bool = True,
+        meta: dict[str, Any] | None = None,
     ) -> None:
         self.run_id = run_id if run_id is not None else new_run_id()
         self.enabled = enabled
@@ -112,6 +135,18 @@ class EventLog:
         self._local = threading.local()
         self._path = path
         self._file = open(path, "w", encoding="utf-8") if path else None
+        if self._file is not None:
+            header: dict[str, Any] = {
+                "kind": "log_header",
+                "schema": EVENTS_SCHEMA,
+                "schema_version": EVENTS_SCHEMA_VERSION,
+                "run_id": self.run_id,
+                "seq": 0,
+                "t": self._clock(),
+            }
+            if meta:
+                header["meta"] = meta
+            self._file.write(json.dumps(header, default=str) + "\n")
 
     # ------------------------------------------------------------------
     # clock
@@ -264,14 +299,64 @@ class EventLog:
 
 
 def load_events_jsonl(path: str) -> list[dict[str, Any]]:
-    """Load an ``*.events.jsonl`` file written by an :class:`EventLog`."""
+    """Load the *events* of an ``*.events.jsonl`` file (header skipped).
+
+    Raw access with no schema validation: ``log_header`` records are
+    dropped so pre-header logs and current ones read identically. Use
+    :func:`read_event_log` when you need the header (replay does) or
+    want version mismatches rejected loudly.
+    """
     events: list[dict[str, Any]] = []
     with open(path, "r", encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
             if line:
-                events.append(json.loads(line))
+                record = json.loads(line)
+                if record.get("kind") != "log_header":
+                    events.append(record)
     return events
+
+
+def read_event_log(
+    path: str, *, require_header: bool = True
+) -> tuple[dict[str, Any] | None, list[dict[str, Any]]]:
+    """Load and validate an event log; returns ``(header, events)``.
+
+    The first record must be a ``log_header`` stamped by this build's
+    :class:`EventLog` (see :data:`EVENTS_SCHEMA_VERSION`). Raises
+    :class:`~repro.errors.EventSchemaError` when the header is missing
+    (unless ``require_header=False``, for tools like ``repro explain``
+    that degrade gracefully on old logs) or when the schema/version
+    doesn't match what this build reads — the "log from another build"
+    failure becomes one clear sentence instead of a KeyError three
+    layers down.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        records = [json.loads(line) for line in fh if line.strip()]
+    if not records or records[0].get("kind") != "log_header":
+        if require_header:
+            raise EventSchemaError(
+                f"{path}: no log_header record on line 1 — this log predates "
+                f"schema v{EVENTS_SCHEMA_VERSION} (or was not written by an "
+                "EventLog). Re-record it with this build, or use "
+                "load_events_jsonl for raw access."
+            )
+        return None, [r for r in records if r.get("kind") != "log_header"]
+    header = records[0]
+    schema = header.get("schema")
+    version = header.get("schema_version")
+    if schema != EVENTS_SCHEMA:
+        raise EventSchemaError(
+            f"{path}: schema {schema!r} is not {EVENTS_SCHEMA!r} — "
+            "not a repro event log"
+        )
+    if version != EVENTS_SCHEMA_VERSION:
+        raise EventSchemaError(
+            f"{path}: written with event schema v{version}, but this build "
+            f"reads v{EVENTS_SCHEMA_VERSION} — re-record the run with this "
+            "build (event kinds/fields changed meaning between versions)"
+        )
+    return header, records[1:]
 
 
 def index_by_seq(events: list[dict[str, Any]]) -> dict[int, dict[str, Any]]:

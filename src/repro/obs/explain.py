@@ -32,7 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.obs.events import children_of, index_by_seq, load_events_jsonl, walk_to_root
+from repro.obs.events import children_of, index_by_seq, read_event_log, walk_to_root
 
 __all__ = ["RollbackCascade", "CrashCascade", "build_cascades",
            "build_crash_cascades", "format_cascades",
@@ -354,5 +354,11 @@ def explain_events(events: list[dict[str, Any]],
 
 
 def explain_path(path: str, version: int | None = None) -> str:
-    """Build and render the cascade report for an ``*.events.jsonl`` file."""
-    return explain_events(load_events_jsonl(path), version)
+    """Build and render the cascade report for an ``*.events.jsonl`` file.
+
+    Degrades gracefully on header-less (pre-schema) logs — cascades need
+    no header — but rejects logs stamped with a *different* schema
+    version with a clear :class:`~repro.errors.EventSchemaError`.
+    """
+    _header, events = read_event_log(path, require_header=False)
+    return explain_events(events, version)

@@ -46,6 +46,16 @@ from repro.sre.executor_base import LiveExecutor
 from repro.sre.executor_sim import SimulatedExecutor
 from repro.sre.executor_threads import ThreadedExecutor
 from repro.sre.executor_procs import ProcessExecutor
+from repro.sre.replay import (
+    CascadeSummary,
+    DecisionSchedule,
+    ReplayDirector,
+    ReplayResult,
+    decision_signature,
+    extract_schedule,
+    render_diff,
+    replay_path,
+)
 
 __all__ = [
     "DFG",
@@ -72,4 +82,12 @@ __all__ = [
     "register_executor",
     "make_executor",
     "executor_names",
+    "CascadeSummary",
+    "DecisionSchedule",
+    "ReplayDirector",
+    "ReplayResult",
+    "decision_signature",
+    "extract_schedule",
+    "render_diff",
+    "replay_path",
 ]

@@ -48,8 +48,15 @@ class Runtime:
         depth_first: bool = True,
         control_first: bool = True,
         track_memory: bool = True,
+        decisions: object | None = None,
     ) -> None:
         self.graph = DFG()
+        #: Optional :class:`~repro.core.decisions.DecisionSource` adopted
+        #: by any SpeculationManager built over this runtime (the seam
+        #: the replay director injects through — docs/replay.md). The
+        #: runtime itself never consults it; typed loosely because sre/
+        #: must not depend on core/.
+        self.decisions = decisions
         self.trace = trace if trace is not None else TraceRecorder(enabled=False)
         #: Always-on counter surface (see docs/observability.md). Traces can
         #: be disabled wholesale for big sweeps; these counters are cheap

@@ -230,3 +230,81 @@ def test_bench_emits_gateable_doc(tmp_path, capsys):
          "--current", str(path)], capture_output=True, text=True)
     assert proc.returncode == 0, proc.stdout + proc.stderr
     assert "bench gate: passed" in proc.stdout
+
+
+def test_replay_faithful_roundtrip(tmp_path, capsys):
+    path = tmp_path / "run.events.jsonl"
+    main(["run", "--blocks", "24", "--tolerance", "0",
+          "--events-out", str(path)])
+    capsys.readouterr()
+    assert main(["replay", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "replay_ok" in out
+    assert "schedule_match=True" in out
+    assert "output sha" in out
+
+
+def test_replay_counterfactual_prints_diff(tmp_path, capsys):
+    path = tmp_path / "run.events.jsonl"
+    main(["run", "--blocks", "24", "--tolerance", "0",
+          "--events-out", str(path)])
+    capsys.readouterr()
+    assert main(["replay", str(path), "--force-policy", "aggressive",
+                 "--diff"]) == 0
+    out = capsys.readouterr().out
+    assert "counterfactual" in out and "policy=aggressive" in out
+    assert "rollbacks" in out and "wasted us" in out
+    assert "replay_ok" not in out  # counterfactuals don't claim fidelity
+
+
+def test_replay_rejects_headerless_log(tmp_path, capsys):
+    path = tmp_path / "old.jsonl"
+    path.write_text('{"kind": "task_spawn", "seq": 1}\n')
+    assert main(["replay", str(path)]) == 1
+    assert "no log_header" in capsys.readouterr().out
+
+
+def test_replay_reports_divergence_with_seq(tmp_path, capsys):
+    import json as _json
+    path = tmp_path / "run.events.jsonl"
+    main(["run", "--blocks", "24", "--tolerance", "0",
+          "--events-out", str(path)])
+    capsys.readouterr()
+    lines = path.read_text().splitlines()
+    for i, line in enumerate(lines):
+        e = _json.loads(line)
+        if e.get("kind") in ("check_pass", "check_fail") \
+                and e.get("error") is not None:
+            e["error"] += 1.0
+            lines[i] = _json.dumps(e)
+            break
+    path.write_text("\n".join(lines) + "\n")
+    assert main(["replay", str(path)]) == 1
+    out = capsys.readouterr().out
+    assert "DIVERGED" in out and "seq" in out
+
+
+def test_replay_events_out_rerecords(tmp_path, capsys):
+    src = tmp_path / "run.events.jsonl"
+    dst = tmp_path / "replayed.events.jsonl"
+    main(["run", "--blocks", "24", "--tolerance", "0",
+          "--events-out", str(src)])
+    capsys.readouterr()
+    assert main(["replay", str(src), "--events-out", str(dst)]) == 0
+    assert dst.exists()
+    assert main(["replay", str(dst)]) == 0  # the re-recording replays too
+
+
+def test_docstring_subcommands_exist():
+    """Every `repro <sub>` the CLI docstring advertises is registered."""
+    import re
+    import repro.cli as cli
+    parser = cli.build_parser()
+    sub = next(a for a in parser._actions
+               if isinstance(a.choices, dict) and "run" in a.choices)
+    known = set(sub.choices)
+    advertised = set(re.findall(r"^\s*repro ([a-z][a-z0-9_]*)", cli.__doc__,
+                                re.MULTILINE))
+    assert advertised, "CLI docstring lists no subcommands?"
+    missing = advertised - known
+    assert not missing, f"docstring advertises unknown subcommands: {missing}"

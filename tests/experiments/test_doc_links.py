@@ -1,0 +1,70 @@
+"""Unit tests for tools/check_doc_links.py — in particular the
+``repro <subcommand>`` verification added with the replay PR: docs must
+not advertise CLI commands that ``repro.cli.build_parser()`` does not
+register, and the scan must only look inside code spans and fenced
+blocks (prose mentioning "repro reproduces X" is not a CLI example).
+"""
+
+import importlib.util
+import pathlib
+
+_TOOL = (pathlib.Path(__file__).resolve().parents[2]
+         / "tools" / "check_doc_links.py")
+_spec = importlib.util.spec_from_file_location("check_doc_links", _TOOL)
+check_doc_links = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_doc_links)
+
+_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def test_known_subcommands_match_cli():
+    known = check_doc_links.known_subcommands(_ROOT)
+    for name in ("run", "explain", "replay", "top", "bench", "list"):
+        assert name in known
+
+
+def _check(tmp_path, text, known=frozenset({"run", "replay"})):
+    md = tmp_path / "doc.md"
+    md.write_text(text)
+    return check_doc_links.check_subcommands(md, set(known))
+
+
+def test_fenced_block_subcommands_checked(tmp_path):
+    errors = _check(tmp_path, "```bash\nrepro run --blocks 4\n"
+                              "repro replai x.jsonl\n```\n")
+    assert len(errors) == 1
+    assert "replai" in errors[0] and ":3:" in errors[0]
+
+
+def test_inline_code_spans_checked(tmp_path):
+    assert _check(tmp_path, "Use `repro run` here.\n") == []
+    errors = _check(tmp_path, "Use `repro explian` here.\n")
+    assert len(errors) == 1 and "explian" in errors[0]
+
+
+def test_prose_outside_code_is_ignored(tmp_path):
+    # not a CLI example: no backticks, no fence
+    assert _check(tmp_path, "The repro project reproduces a paper.\n") == []
+
+
+def test_python_m_and_module_spellings(tmp_path):
+    text = ("```bash\npython -m repro run --blocks 4\n"
+            "python -m repro.cli replay x.jsonl\n```\n")
+    assert _check(tmp_path, text) == []
+    errors = _check(tmp_path, "```bash\npython -m repro.cli frobnicate\n```\n")
+    assert len(errors) == 1
+
+
+def test_python_imports_in_code_not_flagged(tmp_path):
+    text = ("```python\nfrom repro import RunConfig\n"
+            "from repro import run_huffman\nimport repro\n```\n")
+    assert _check(tmp_path, text) == []
+
+
+def test_repo_docs_are_currently_clean():
+    known = check_doc_links.known_subcommands(_ROOT)
+    errors = []
+    for md in check_doc_links.iter_markdown(_ROOT):
+        errors.extend(check_doc_links.check_subcommands(md, known))
+        errors.extend(check_doc_links.check_file(md))
+    assert errors == []

@@ -1,0 +1,102 @@
+"""The event-log schema header: stamping, validation, compatibility.
+
+Every JSONL sink must open with a ``log_header`` record (schema name +
+version + run metadata) so that a log file is self-describing and
+``read_event_log`` can reject foreign or future-version files with a
+clear error instead of a confusing downstream failure. ``load_events_jsonl``
+stays the raw accessor: it skips the header and never validates.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import EventSchemaError
+from repro.obs.events import (
+    EVENTS_SCHEMA,
+    EVENTS_SCHEMA_VERSION,
+    EventLog,
+    load_events_jsonl,
+    read_event_log,
+)
+
+
+def _record(tmp_path, meta=None):
+    path = tmp_path / "run.events.jsonl"
+    log = EventLog(run_id="cafe0001", path=str(path), meta=meta)
+    log.emit("task_spawn", task="a")
+    log.emit("task_done", task="a")
+    log.close()
+    return path
+
+
+def test_jsonl_sink_stamps_header_first(tmp_path):
+    path = _record(tmp_path)
+    first = json.loads(path.read_text().splitlines()[0])
+    assert first["kind"] == "log_header"
+    assert first["schema"] == EVENTS_SCHEMA
+    assert first["schema_version"] == EVENTS_SCHEMA_VERSION
+    assert first["run_id"] == "cafe0001"
+    assert first["seq"] == 0
+
+
+def test_header_carries_meta(tmp_path):
+    path = _record(tmp_path, meta={"app": "huffman", "run_config": {"seed": 7}})
+    header, events = read_event_log(path)
+    assert header["meta"]["app"] == "huffman"
+    assert header["meta"]["run_config"] == {"seed": 7}
+    assert [e["kind"] for e in events] == ["task_spawn", "task_done"]
+
+
+def test_read_event_log_separates_header_from_events(tmp_path):
+    header, events = read_event_log(_record(tmp_path))
+    assert header["kind"] == "log_header"
+    assert all(e["kind"] != "log_header" for e in events)
+
+
+def test_load_events_jsonl_skips_header(tmp_path):
+    events = load_events_jsonl(_record(tmp_path))
+    assert [e["kind"] for e in events] == ["task_spawn", "task_done"]
+
+
+def test_headerless_file_rejected(tmp_path):
+    path = tmp_path / "old.jsonl"
+    path.write_text('{"kind": "task_spawn", "seq": 1}\n')
+    with pytest.raises(EventSchemaError, match="no log_header"):
+        read_event_log(path)
+
+
+def test_headerless_file_allowed_when_not_required(tmp_path):
+    path = tmp_path / "old.jsonl"
+    path.write_text('{"kind": "task_spawn", "seq": 1}\n')
+    header, events = read_event_log(path, require_header=False)
+    assert header is None
+    assert [e["kind"] for e in events] == ["task_spawn"]
+
+
+def test_wrong_schema_rejected(tmp_path):
+    path = tmp_path / "foreign.jsonl"
+    path.write_text(json.dumps({
+        "kind": "log_header", "schema": "someone.else", "schema_version": 1,
+        "seq": 0}) + "\n")
+    with pytest.raises(EventSchemaError, match="schema"):
+        read_event_log(path)
+
+
+def test_future_version_rejected_even_if_header_optional(tmp_path):
+    path = tmp_path / "future.jsonl"
+    path.write_text(json.dumps({
+        "kind": "log_header", "schema": EVENTS_SCHEMA,
+        "schema_version": EVENTS_SCHEMA_VERSION + 1, "seq": 0}) + "\n")
+    with pytest.raises(EventSchemaError, match="version"):
+        read_event_log(path)
+    with pytest.raises(EventSchemaError, match="version"):
+        read_event_log(path, require_header=False)
+
+
+def test_ring_does_not_contain_header(tmp_path):
+    path = tmp_path / "run.events.jsonl"
+    log = EventLog(run_id="cafe0002", path=str(path))
+    log.emit("task_spawn", task="a")
+    log.close()
+    assert all(e["kind"] != "log_header" for e in log.events())

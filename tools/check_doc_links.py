@@ -3,9 +3,13 @@
 
 Scans every tracked ``*.md`` file for ``[text](target)`` links and verifies
 that each relative target exists on disk (anchors and external URLs are
-skipped; an anchor-only link like ``(#section)`` is ignored). Exits
-non-zero listing every broken link, so CI catches docs drifting from the
-tree — renamed files, deleted examples, typo'd paths.
+skipped; an anchor-only link like ``(#section)`` is ignored). Also scans
+code spans and fenced blocks for ``repro <subcommand>`` invocations and
+verifies each named subcommand is actually registered in
+``repro.cli.build_parser()`` — so docs can't advertise commands the CLI
+doesn't have (or lose one in a rename). Exits non-zero listing every
+broken link / unknown subcommand, so CI catches docs drifting from the
+tree — renamed files, deleted examples, typo'd paths, stale CLI examples.
 
 Usage::
 
@@ -32,6 +36,58 @@ def iter_markdown(root: pathlib.Path):
             yield path
 
 
+# `repro <sub>` / `python -m repro <sub>` inside code spans or fenced
+# blocks. `repro.cli <sub>` covers `python -m repro.cli run` spellings.
+_SUBCMD = re.compile(r"\brepro(?:\.cli)?\s+([a-z][a-z0-9_-]*)")
+_INLINE_CODE = re.compile(r"`([^`]+)`")
+# words that follow a bare `repro` token without being subcommands
+# (python import syntax inside code spans).
+_NOT_SUBCOMMANDS = {"import", "package", "module", "script"}
+
+
+def known_subcommands(root: pathlib.Path) -> set[str]:
+    """The subcommand names ``repro.cli.build_parser()`` registers."""
+    import argparse
+
+    sys.path.insert(0, str(root / "src"))
+    try:
+        from repro.cli import build_parser
+        parser = build_parser()
+    finally:
+        sys.path.pop(0)
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return set(action.choices)
+    raise AssertionError("repro.cli.build_parser() has no subparsers")
+
+
+def _code_texts(path: pathlib.Path):
+    """Yield (lineno, code_text) for fenced-block lines and inline spans."""
+    in_fence = False
+    for n, line in enumerate(path.read_text().splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            yield n, line
+        else:
+            for m in _INLINE_CODE.finditer(line):
+                yield n, m.group(1)
+
+
+def check_subcommands(path: pathlib.Path, known: set[str]) -> list[str]:
+    errors = []
+    for n, text in _code_texts(path):
+        for m in _SUBCMD.finditer(text):
+            name = m.group(1)
+            if name in known or name in _NOT_SUBCOMMANDS:
+                continue
+            errors.append(
+                f"{path}:{n}: unknown `repro {name}` subcommand "
+                f"(not registered in repro.cli.build_parser())")
+    return errors
+
+
 def check_file(path: pathlib.Path) -> list[str]:
     errors = []
     for n, line in enumerate(path.read_text().splitlines(), start=1):
@@ -49,15 +105,23 @@ def check_file(path: pathlib.Path) -> list[str]:
 
 def main(argv: list[str]) -> int:
     root = pathlib.Path(argv[1]) if len(argv) > 1 else pathlib.Path(".")
+    try:
+        known = known_subcommands(root)
+    except ImportError as exc:  # running outside the repo root
+        print(f"warning: cannot import repro.cli ({exc}); "
+              "skipping subcommand checks", file=sys.stderr)
+        known = None
     errors = []
     n_files = 0
     for md in iter_markdown(root):
         n_files += 1
         errors.extend(check_file(md))
+        if known is not None:
+            errors.extend(check_subcommands(md, known))
     for err in errors:
         print(err, file=sys.stderr)
     print(f"checked {n_files} markdown files: "
-          f"{'OK' if not errors else f'{len(errors)} broken link(s)'}")
+          f"{'OK' if not errors else f'{len(errors)} problem(s)'}")
     return 1 if errors else 0
 
 
