@@ -5,13 +5,13 @@ representative workload, quantifying the paper's qualitative scheduling
 arguments (§III-A) on our model.
 """
 
-from repro.experiments.runner import run_huffman
+from repro.experiments.runner import RunConfig, run_huffman
 from repro.platforms import CellPlatform
 
 
 def _txt(policy="balanced", **kw):
-    return run_huffman(workload="txt", n_blocks=256, policy=policy, step=1,
-                       seed=0, **kw)
+    return run_huffman(config=RunConfig(workload="txt", n_blocks=256,
+                                     policy=policy, step=1, seed=0, **kw))
 
 
 def test_ablation_depth_first_vs_fcfs(benchmark, capsys):
@@ -64,10 +64,10 @@ def test_ablation_cell_prefetch_depth(benchmark, capsys):
         out = {}
         for slots in (1, 4):
             plat = CellPlatform(slots=slots)
-            out[slots] = run_huffman(
+            out[slots] = run_huffman(config=RunConfig(
                 workload="txt", n_blocks=256, platform=plat,
                 policy="conservative", step=1, seed=0,
-            )
+            ))
         return out
 
     out = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -16,6 +16,7 @@ Usage::
     python examples/filter_speculation.py
 """
 
+from repro.experiments.config import RunConfig
 from repro.filterapp import FilterDesignProblem
 from repro.filterapp.runner import run_filter_experiment
 from repro.metrics.report import ascii_chart, render_table
@@ -36,11 +37,12 @@ def main() -> None:
         ("tight tolerance (rolls back)", dict(step=1, verify_k=2, tolerance=0.005)),
     ]
     for label, kw in configs:
-        report = run_filter_experiment(n_blocks=48, seed=0, **kw)
+        report = run_filter_experiment(
+            config=RunConfig.for_app("filter", n_blocks=48, seed=0, **kw))
         rows.append([
-            label, report.outcome, f"{report.avg_latency:,.0f}",
-            f"{report.completion_time:,.0f}", str(report.rollbacks),
-            f"{report.response_error:.3f}",
+            label, report.result.outcome, f"{report.avg_latency:,.0f}",
+            f"{report.completion_time:,.0f}", str(report.extras["rollbacks"]),
+            f"{report.extras['response_error']:.3f}",
         ])
         curves[label] = report.latencies
     print(render_table(

@@ -15,6 +15,7 @@ Usage::
 
 import sys
 
+from repro.experiments.config import RunConfig
 from repro.kmeansapp import run_kmeans_experiment
 from repro.metrics.report import ascii_chart, render_table
 
@@ -30,11 +31,12 @@ def main() -> None:
          dict(step=1, verify_k=2, drift_blocks=n_blocks // 3, tolerance=0.02)),
     ]
     for label, kw in configs:
-        report = run_kmeans_experiment(n_blocks=n_blocks, seed=0, **kw)
+        report = run_kmeans_experiment(
+            config=RunConfig.for_app("kmeans", n_blocks=n_blocks, seed=0, **kw))
         rows.append([
-            label, report.outcome, f"{report.avg_latency:,.0f}",
-            f"{report.completion_time:,.0f}", str(report.rollbacks),
-            f"{report.inertia:.3f}",
+            label, report.result.outcome, f"{report.avg_latency:,.0f}",
+            f"{report.completion_time:,.0f}", str(report.extras["rollbacks"]),
+            f"{report.extras['inertia']:.3f}",
         ])
         curves[label] = report.latencies
     print(render_table(

@@ -164,39 +164,41 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_filter(args: argparse.Namespace) -> int:
-    from repro.filterapp.runner import run_filter_experiment
-    report = run_filter_experiment(
+    from repro.experiments.jobs import run_job
+    report = run_job(RunConfig.for_app(
+        "filter",
         n_blocks=args.blocks,
         speculative=not args.nonspec,
         step=args.step,
         tolerance=args.tolerance,
         seed=args.seed,
-    )
-    print(f"outcome       : {report.outcome}")
+    ))
+    print(f"outcome       : {report.result.outcome}")
     print(f"avg latency   : {report.avg_latency:,.0f} µs")
     print(f"runtime       : {report.completion_time:,.0f} µs")
-    print(f"rollbacks     : {report.rollbacks}")
-    print(f"response error: {report.response_error:.4f}")
-    print(f"output        : {'ok' if report.output_ok else 'FAILED'}")
+    print(f"rollbacks     : {report.extras['rollbacks']}")
+    print(f"response error: {report.extras['response_error']:.4f}")
+    print(f"output        : {'ok' if report.extras['output_ok'] else 'FAILED'}")
     return 0
 
 
 def _cmd_kmeans(args: argparse.Namespace) -> int:
-    from repro.kmeansapp import run_kmeans_experiment
-    report = run_kmeans_experiment(
+    from repro.experiments.jobs import run_job
+    report = run_job(RunConfig.for_app(
+        "kmeans",
         n_blocks=args.blocks,
         speculative=not args.nonspec,
         step=args.step,
         tolerance=args.tolerance,
         drift_blocks=args.drift,
         seed=args.seed,
-    )
-    print(f"outcome     : {report.outcome}")
+    ))
+    print(f"outcome     : {report.result.outcome}")
     print(f"avg latency : {report.avg_latency:,.0f} µs")
     print(f"runtime     : {report.completion_time:,.0f} µs")
-    print(f"rollbacks   : {report.rollbacks}")
-    print(f"inertia     : {report.inertia:.4f}")
-    print(f"labels      : {'ok' if report.labels_ok else 'FAILED'}")
+    print(f"rollbacks   : {report.extras['rollbacks']}")
+    print(f"inertia     : {report.extras['inertia']:.4f}")
+    print(f"labels      : {'ok' if report.extras['labels_ok'] else 'FAILED'}")
     return 0
 
 
@@ -309,6 +311,124 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             print(render_diff(rec, rep, labels=("recorded", "replayed")))
     if args.events_out is not None:
         print(f"replay event log written to {args.events_out}")
+    return 0
+
+
+def _resolve_port(args: argparse.Namespace) -> int:
+    """--port wins; --port-file (written by `repro serve`) is the CI path."""
+    if args.port is not None:
+        return args.port
+    if args.port_file is not None:
+        with open(args.port_file, encoding="utf-8") as fh:
+            return int(fh.read().strip())
+    raise SystemExit("need --port or --port-file to find the daemon")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.serve.server import ServeSettings, SpeculationServer
+
+    settings = ServeSettings(
+        host=args.host,
+        port=args.port if args.port is not None else 0,
+        job_workers=args.job_workers,
+        max_tenant_jobs=args.max_tenant_jobs,
+        max_tenant_bytes=args.max_tenant_bytes,
+        queue_limit=args.queue_limit,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
+        max_lanes=args.max_lanes,
+        events_out=args.events_out,
+        port_file=args.port_file,
+    )
+    server = SpeculationServer(settings).start()
+    print(f"repro serve listening on {settings.host}:{server.port} "
+          f"(pid {os.getpid()})")
+    server.serve_until_shutdown()
+    print("repro serve stopped")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.client import JobRejected, ServeClient, ServeError
+
+    config: dict = {}
+    if args.config_json:
+        config.update(json.loads(args.config_json))
+    config.setdefault("app", args.app)
+    if args.app == "huffman":
+        config.setdefault("workload", args.workload)
+        config.setdefault("executor", args.executor)
+        config.setdefault("transport", args.transport)
+        if args.workers is not None:
+            config.setdefault("workers", args.workers)
+    if args.blocks is not None:
+        config.setdefault("n_blocks", args.blocks)
+    if args.nonspec:
+        config.setdefault("speculative", False)
+    config.setdefault("seed", args.seed)
+    with ServeClient(args.host, port=_resolve_port(args)) as client:
+        try:
+            job_id = client.submit(config, tenant=args.tenant)
+        except JobRejected as exc:
+            print(f"rejected ({exc.reason}): {exc}")
+            return 1
+        if args.no_wait:
+            print(job_id)
+            return 0
+        try:
+            report = client.result(job_id, wait=True, timeout_s=args.timeout)
+        except ServeError as exc:
+            print(f"{job_id} failed: {exc}")
+            return 1
+    print(f"job        : {job_id}  (tenant {args.tenant})")
+    print(f"label      : {report['label']}")
+    print(f"outcome    : {report['outcome']}")
+    print(f"output sha : {report['output_sha256']}")
+    print(f"avg latency: {report['avg_latency']:.1f} us   "
+          f"completion: {report['completion_time']:.1f} us")
+    for key, value in sorted((report.get("extras") or {}).items()):
+        if key == "live_arrivals_us":
+            value = f"[{len(value)} arrivals]"
+        print(f"{key:<11}: {value}")
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.client import ServeClient
+
+    with ServeClient(args.host, port=_resolve_port(args)) as client:
+        if args.shutdown:
+            client.shutdown()
+            print("shutdown requested")
+            return 0
+        rows = client.jobs()
+        stats = client.stats() if args.stats else None
+    if not rows:
+        print("no jobs")
+    for row in rows:
+        line = (f"{row['job_id']:<10} {row['tenant']:<12} "
+                f"{row['app']:<8} {row['state']:<8}")
+        if "latency_s" in row:
+            line += f" {row['latency_s']:.3f}s"
+        if "error" in row:
+            line += f"  {row['error']}"
+        print(line)
+    if stats is not None:
+        adm = stats["admission"]
+        print(f"\ninflight: {adm['inflight_total']}/{adm['queue_limit']}")
+        for tenant, t in adm["tenants"].items():
+            print(f"  {tenant:<12} jobs={t['inflight_jobs']} "
+                  f"bytes={t['inflight_bytes']} breaker={t['breaker']} "
+                  f"rejections={t['rejections']}")
+        for lane in stats["lanes"]:
+            print(f"  lane {lane['tenant']}/{lane['workers']}w "
+                  f"in_use={lane['in_use']} served={lane['jobs_served']}")
+        print(f"  store refs={stats['store']['live_refs']} "
+              f"segments={stats['store']['live_segments']}")
     return 0
 
 
@@ -541,6 +661,91 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_list = sub.add_parser("list", help="list figures and options")
     p_list.set_defaults(fn=_cmd_list)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-lived speculation service: warm worker pools + shm "
+             "arenas, jobs over a local socket (see docs/service.md)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=None,
+                         help="listen port (default: ephemeral; see "
+                              "--port-file)")
+    p_serve.add_argument("--port-file", default=None, dest="port_file",
+                         help="write the bound port here once listening "
+                              "(the CI / scripting rendezvous)")
+    p_serve.add_argument("--job-workers", type=int, default=2,
+                         dest="job_workers",
+                         help="concurrent running jobs daemon-wide")
+    p_serve.add_argument("--max-tenant-jobs", type=int, default=2,
+                         dest="max_tenant_jobs",
+                         help="per-tenant bulkhead: concurrent jobs")
+    p_serve.add_argument("--max-tenant-bytes", type=int, default=64 << 20,
+                         dest="max_tenant_bytes",
+                         help="per-tenant bulkhead: in-flight payload bytes")
+    p_serve.add_argument("--queue-limit", type=int, default=8,
+                         dest="queue_limit",
+                         help="daemon-wide in-flight cap (backpressure past "
+                              "it: submissions get queue_full)")
+    p_serve.add_argument("--breaker-threshold", type=int, default=2,
+                         dest="breaker_threshold",
+                         help="consecutive worker-killing failures that "
+                              "open a tenant's circuit breaker")
+    p_serve.add_argument("--breaker-cooldown", type=float, default=30.0,
+                         dest="breaker_cooldown", metavar="SECONDS",
+                         help="open-breaker cooldown before one half-open "
+                              "probe job is admitted")
+    p_serve.add_argument("--max-lanes", type=int, default=4,
+                         dest="max_lanes",
+                         help="warm worker-pool lanes kept alive (excess "
+                              "procs jobs run cold)")
+    p_serve.add_argument("--events-out", default=None, dest="events_out",
+                         help="write the daemon's lifecycle event log "
+                              "(JSONL) to this path")
+    p_serve.set_defaults(fn=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit one job to a running `repro serve` daemon")
+    p_submit.add_argument("--host", default="127.0.0.1")
+    p_submit.add_argument("--port", type=int, default=None)
+    p_submit.add_argument("--port-file", default=None, dest="port_file",
+                          help="read the daemon port from this file "
+                               "(written by `repro serve --port-file`)")
+    p_submit.add_argument("--tenant", default="default")
+    p_submit.add_argument("--app", default="huffman",
+                          choices=["huffman", "filter", "kmeans"])
+    p_submit.add_argument("--workload", default="txt",
+                          choices=["txt", "bmp", "pdf", "markov"])
+    p_submit.add_argument("--blocks", type=int, default=None)
+    p_submit.add_argument("--executor", default="sim",
+                          help="huffman only: sim, threads or procs (procs "
+                               "runs on a warm daemon lane)")
+    p_submit.add_argument("--transport", default="pickle",
+                          choices=["pickle", "shm"],
+                          help="shm uses the daemon's warm arenas")
+    p_submit.add_argument("--workers", type=int, default=None)
+    p_submit.add_argument("--nonspec", action="store_true")
+    p_submit.add_argument("--seed", type=int, default=0)
+    p_submit.add_argument("--config-json", default=None, dest="config_json",
+                          help="raw RunConfig keywords as JSON (wins over "
+                               "the flags above)")
+    p_submit.add_argument("--no-wait", action="store_true", dest="no_wait",
+                          help="print the job id and exit instead of "
+                               "waiting for the result")
+    p_submit.add_argument("--timeout", type=float, default=120.0,
+                          help="seconds to wait for the result")
+    p_submit.set_defaults(fn=_cmd_submit)
+
+    p_jobs = sub.add_parser(
+        "jobs", help="inspect (or shut down) a running `repro serve` daemon")
+    p_jobs.add_argument("--host", default="127.0.0.1")
+    p_jobs.add_argument("--port", type=int, default=None)
+    p_jobs.add_argument("--port-file", default=None, dest="port_file")
+    p_jobs.add_argument("--stats", action="store_true",
+                        help="also print admission / breaker / lane / "
+                             "arena state")
+    p_jobs.add_argument("--shutdown", action="store_true",
+                        help="ask the daemon to stop")
+    p_jobs.set_defaults(fn=_cmd_jobs)
 
     return parser
 

@@ -9,5 +9,15 @@ DESIGN.md §4 for the index and EXPERIMENTS.md for paper-vs-measured results.
 
 from repro.experiments.runner import RunReport, run_huffman
 from repro.experiments.config import ExperimentScale, QUICK, PAPER, RunConfig
+from repro.experiments.jobs import (
+    JOBS,
+    JobResources,
+    job_names,
+    register_job,
+    run_job,
+)
 
-__all__ = ["RunReport", "RunConfig", "run_huffman", "ExperimentScale", "QUICK", "PAPER"]
+__all__ = [
+    "RunReport", "RunConfig", "run_huffman", "ExperimentScale", "QUICK",
+    "PAPER", "JOBS", "JobResources", "job_names", "register_job", "run_job",
+]

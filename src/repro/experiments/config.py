@@ -60,25 +60,47 @@ def active_scale() -> ExperimentScale:
 
 _UNSET = object()
 
+#: Per-app conventional defaults applied by :meth:`RunConfig.for_app` —
+#: the geometry the standalone filter/kmeans runners shipped with before
+#: the unified Job API.
+_APP_DEFAULTS: dict[str, dict[str, object]] = {
+    "huffman": {},
+    "filter": {"n_blocks": 64, "step": 2, "verify_k": 4, "tolerance": 0.02},
+    "kmeans": {"n_blocks": 48, "step": 2, "verify_k": 4, "tolerance": 0.05},
+}
+
 
 @dataclass(frozen=True)
 class RunConfig:
-    """All parameters of one :func:`~repro.experiments.runner.run_huffman` run.
+    """All parameters of one job run — the single config object for every
+    registered application (huffman, filter, kmeans, ...).
 
-    The primary way to invoke the runner::
+    The primary way to invoke a runner::
 
         from repro.experiments import RunConfig, run_huffman
         report = run_huffman(config=RunConfig(workload="txt", n_blocks=64,
                                               executor="procs",
                                               transport="shm"))
 
+    or, app-generically, through the jobs registry::
+
+        from repro.experiments.jobs import run_job
+        report = run_job(RunConfig.for_app("kmeans", n_blocks=24))
+
     Frozen so a config can be shared between sweep points, stamped into
     exported metrics (see :meth:`to_dict`) and compared for equality.
     Fields accepting either a registry name or an instance (``platform``,
     ``io``, ``policy``, ``verification``) keep the permissive types the
-    bare keywords always had.
+    bare keywords always had. App-specific geometry fields
+    (``block_samples``/``iterations`` for filter,
+    ``block_points``/``n_clusters``/``dim``/``drift_blocks`` for kmeans)
+    are ignored by apps that don't use them; :meth:`for_app` fills the
+    per-app defaults the standalone runners used to carry.
     """
 
+    #: application name — resolved through repro.experiments.jobs.JOBS,
+    #: so application-registered job kinds work here too.
+    app: str = "huffman"
     workload: object = "txt"          # name or raw bytes
     n_blocks: int | None = None
     block_size: int = 4096
@@ -136,10 +158,20 @@ class RunConfig:
     max_worker_respawns: int = 3
     #: shutdown grace per worker for the final metrics/events harvest.
     harvest_timeout_s: float = 2.0
+    #: filter app: samples per signal block / design iterations.
+    block_samples: int = 4096
+    iterations: int = 24
+    #: kmeans app: points per block and mixture geometry.
+    block_points: int = 512
+    n_clusters: int = 8
+    dim: int = 4
+    drift_blocks: int = 0
 
     def __post_init__(self) -> None:
         from repro.errors import ExperimentError
 
+        if not isinstance(self.app, str) or not self.app:
+            raise ExperimentError("app must be a job name string")
         if self.transport not in ("pickle", "shm"):
             raise ExperimentError(
                 f"unknown transport {self.transport!r}; choose 'pickle' or 'shm'")
@@ -172,7 +204,7 @@ class RunConfig:
 
     @classmethod
     def from_kwargs(cls, **kwargs: object) -> "RunConfig":
-        """Build a config from bare ``run_huffman`` keywords.
+        """Build a config from bare keywords.
 
         Raises :class:`~repro.errors.ExperimentError` for unknown names,
         listing the valid ones — the error a typo'd keyword used to get
@@ -184,9 +216,24 @@ class RunConfig:
         unknown = sorted(set(kwargs) - valid)
         if unknown:
             raise ExperimentError(
-                f"unknown run_huffman parameter(s): {', '.join(unknown)}; "
+                f"unknown RunConfig parameter(s): {', '.join(unknown)}; "
                 f"valid: {', '.join(sorted(valid))}")
         return cls(**kwargs)  # type: ignore[arg-type]
+
+    @classmethod
+    def for_app(cls, app: str, **kwargs: object) -> "RunConfig":
+        """Build a config with the app's conventional defaults filled in.
+
+        The standalone filter/kmeans runners historically defaulted to a
+        different geometry than huffman (fewer blocks, wider step, looser
+        tolerance); those defaults live in :data:`_APP_DEFAULTS` now that
+        one RunConfig serves every app. Explicit keywords always win.
+        Apps without a defaults entry (application-registered job kinds)
+        just get the dataclass defaults.
+        """
+        base: dict[str, object] = dict(_APP_DEFAULTS.get(app, {}))
+        base.update(kwargs)
+        return cls.from_kwargs(app=app, **base)
 
     def to_dict(self) -> dict[str, object]:
         """JSON-safe summary of the run parameters.

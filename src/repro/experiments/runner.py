@@ -1,53 +1,55 @@
 """One-call experiment runner: workload → pipeline → run → report.
 
-:func:`run_huffman` is the public entry point used by the examples, the
-figure modules and the benchmark harness. It wires a workload, an I/O
-arrival model, a platform and a pipeline configuration onto an executor
-back-end (resolved through :mod:`repro.sre.registry`), runs to quiescence,
-verifies the compressed output round-trips, and returns a
-:class:`RunReport`.
+:func:`run_huffman` is the huffman entry point used by the examples, the
+figure modules and the benchmark harness, and the runner registered as
+the ``"huffman"`` job kind (see :mod:`repro.experiments.jobs`). It wires
+a workload, an I/O arrival model, a platform and a pipeline configuration
+onto an executor back-end (resolved through :mod:`repro.sre.registry`),
+runs to quiescence, verifies the compressed output round-trips, and
+returns a :class:`~repro.experiments.jobs.RunReport`.
 
-The primary calling convention is a frozen
+The only calling convention is a frozen
 :class:`~repro.experiments.config.RunConfig`::
 
     report = run_huffman(config=RunConfig(workload="txt", n_blocks=64,
                                           executor="procs", transport="shm"))
 
-Bare keywords (``run_huffman(workload="txt", n_blocks=64)``) still work as
-a deprecation shim — they are folded into a RunConfig with a one-time
-warning — so every pre-existing call site keeps running while new code
-gets a value object it can stamp into exports and sweep over.
+(The bare-keyword deprecation shim from the pre-RunConfig era is gone;
+``RunConfig.from_kwargs(**kw)`` is the one-line migration for callers
+that still hold keyword dicts.)
+
+Besides the synthetic ``disk``/``socket`` arrival models, ``io="live"``
+feeds real blocks as they arrive: the runner pulls from
+``resources.block_source`` (e.g. the serve daemon's socket drain) and
+timestamps each arrival with a
+:class:`~repro.iomodels.socket.LiveArrivals` recorder — the paper's §V-A
+tunnelled-socket scenario measured for real instead of simulated.
 """
 
 from __future__ import annotations
 
 import hashlib
-import warnings
-from dataclasses import dataclass, replace
-
-import numpy as np
+from dataclasses import replace
 
 from repro.errors import ExperimentError
 from repro.experiments.config import RunConfig
-from repro.huffman.pipeline import HuffmanConfig, HuffmanPipeline, PipelineResult
+from repro.experiments.jobs import JobResources, RunReport, register_job
+from repro.huffman.pipeline import HuffmanConfig, HuffmanPipeline
 from repro.iomodels import ArrivalModel, DiskModel, SocketModel
-from repro.metrics.summary import RunSummary, summarize_run
+from repro.iomodels.socket import LiveArrivals
+from repro.metrics.summary import summarize_run
 from repro.obs.anomaly import scan_run
 from repro.obs.events import EventLog
 from repro.obs.exporters import PeriodicSnapshotWriter
 from repro.obs.metrics import MetricsRegistry
-from repro.platforms import Platform, get_platform
+from repro.platforms import get_platform
 from repro.sim.rng import make_rng
 from repro.sim.trace import TraceRecorder
 from repro.sre.registry import make_executor
 from repro.sre.runtime import Runtime
 from repro.sre.shm import BlockStore
-from repro.workloads import get_workload
 
 __all__ = ["RunConfig", "RunReport", "run_huffman", "split_blocks"]
-
-#: one-time flag for the bare-keyword deprecation warning.
-_warned_kwargs = False
 
 
 def split_blocks(data: bytes, block_size: int) -> list[bytes]:
@@ -59,54 +61,6 @@ def split_blocks(data: bytes, block_size: int) -> list[bytes]:
     return [data[i : i + block_size] for i in range(0, len(data), block_size)]
 
 
-@dataclass
-class RunReport:
-    """Everything one experiment run produces."""
-
-    label: str
-    result: PipelineResult
-    summary: RunSummary
-    utilisation: float
-    roundtrip_ok: bool | None
-    config: HuffmanConfig
-    platform_name: str
-    policy: str
-    workers: int
-    #: populated when run_huffman(..., trace=True): the full runtime trace.
-    trace: object | None = None
-    #: the run's MetricsRegistry (always populated): counters, gauges and
-    #: histograms from every layer — export with repro.obs.exporters.
-    metrics: MetricsRegistry | None = None
-    #: the full run parameterisation — makes the report (and any metrics
-    #: export stamped with run_config.to_dict()) self-describing.
-    run_config: RunConfig | None = None
-    #: the run's flight recorder (see docs/flight-recorder.md): the ring
-    #: of structured events with causal IDs; None when events=False.
-    events: EventLog | None = None
-    #: human-readable anomaly warnings (repro.obs.anomaly detectors).
-    warnings: list[str] | None = None
-    #: sha256 of the assembled compressed output (populated when events
-    #: are on) — the byte-identity oracle `repro replay` verifies against.
-    output_sha256: str | None = None
-
-    @property
-    def latencies(self) -> np.ndarray:
-        """Per-element latency series (the paper's main y-axis)."""
-        return self.result.latencies
-
-    @property
-    def arrivals(self) -> np.ndarray:
-        return self.result.arrivals
-
-    @property
-    def avg_latency(self) -> float:
-        return self.result.avg_latency
-
-    @property
-    def completion_time(self) -> float:
-        return self.result.completion_time
-
-
 def _resolve_io(io) -> ArrivalModel:
     if isinstance(io, ArrivalModel):
         return io
@@ -115,45 +69,21 @@ def _resolve_io(io) -> ArrivalModel:
         return DiskModel()
     if name == "socket":
         return SocketModel()
-    raise ExperimentError(f"unknown io model {io!r}; choose 'disk' or 'socket'")
-
-
-def _coerce_config(config: RunConfig | None, kwargs: dict) -> RunConfig:
-    """Resolve the calling convention: RunConfig object or bare keywords."""
-    global _warned_kwargs
-    if config is not None:
-        if kwargs:
-            raise ExperimentError(
-                "pass either config=RunConfig(...) or bare keywords, not both "
-                f"(got config plus {sorted(kwargs)})"
-            )
-        if not isinstance(config, RunConfig):
-            raise ExperimentError(
-                f"config must be a RunConfig, got {type(config).__name__}"
-            )
-        return config
-    if kwargs and not _warned_kwargs:
-        _warned_kwargs = True
-        warnings.warn(
-            "calling run_huffman with bare keywords is deprecated; "
-            "pass config=RunConfig(...) instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-    return RunConfig.from_kwargs(**kwargs)
+    raise ExperimentError(
+        f"unknown io model {io!r}; choose 'disk', 'socket' or 'live'")
 
 
 def run_huffman(
-    config: RunConfig | None = None,
+    config: RunConfig,
     *,
     metrics: MetricsRegistry | None = None,
     decisions: object | None = None,
-    **kwargs,
+    resources: JobResources | None = None,
 ) -> RunReport:
     """Run one Huffman encoding experiment on a chosen executor back-end.
 
     Args:
-        config: a :class:`RunConfig` describing the run — the primary
+        config: a :class:`RunConfig` describing the run — the only
             calling convention. See RunConfig for every field: workload,
             geometry, platform, speculation knobs, ``executor`` (any name
             registered with :mod:`repro.sre.registry` — "sim" runs on
@@ -169,34 +99,65 @@ def run_huffman(
             injected into the runtime — the seam `repro replay` uses to
             force a recorded schedule. Like ``metrics``, a runtime
             resource rather than a run parameter.
-        **kwargs: deprecated bare-keyword form; folded into a RunConfig
-            with a one-time DeprecationWarning.
+        resources: optional :class:`~repro.experiments.jobs.JobResources`
+            — warm executor factory, caller-owned shm store, live block
+            source. The seam the `repro serve` daemon threads its
+            long-lived pool and arenas through.
 
     Returns a :class:`RunReport`; ``report.metrics`` carries the registry
     and ``report.run_config`` the resolved configuration.
     """
-    cfg = _coerce_config(config, kwargs)
+    if not isinstance(config, RunConfig):
+        raise ExperimentError(
+            f"config must be a RunConfig, got {type(config).__name__} — "
+            "bare keywords are no longer accepted; build one with "
+            "RunConfig(...) or RunConfig.from_kwargs(**kw)")
+    cfg = config
+    if cfg.app != "huffman":
+        raise ExperimentError(
+            f"run_huffman got config.app={cfg.app!r}; dispatch other apps "
+            "through repro.experiments.jobs.run_job")
     if cfg.policy == "nonspec":
         # Shorthand used throughout the figures: the paper's baseline run.
         cfg = replace(cfg, speculative=False, policy="conservative")
 
+    live_feed = isinstance(cfg.io, str) and cfg.io == "live"
     rng = make_rng(cfg.seed)
-    if isinstance(cfg.workload, str):
+    if live_feed:
+        # Blocks arrive from the caller's source (serve socket drain);
+        # nothing to synthesise. n_blocks sizes the pipeline up-front.
+        if cfg.executor == "sim":
+            raise ExperimentError(
+                "io='live' feeds wall-clock arrivals; it requires a live "
+                "executor (threads/procs), not 'sim'")
+        if resources is None or resources.block_source is None:
+            raise ExperimentError(
+                "io='live' requires resources.block_source (an iterable "
+                "of block bytes, e.g. the serve daemon's stream drain)")
         if cfg.n_blocks is None:
-            raise ExperimentError("n_blocks is required with a named workload")
-        data = get_workload(cfg.workload).generate(cfg.n_blocks * cfg.block_size, rng)
-        workload_name = cfg.workload
+            raise ExperimentError("n_blocks is required with io='live'")
+        blocks: list[bytes] | None = None
+        data: bytes | None = None
+        n_blocks = cfg.n_blocks
+        workload_name = "live"
     else:
-        data = bytes(cfg.workload)
-        workload_name = "custom"
-    blocks = split_blocks(data, cfg.block_size)
-    if cfg.n_blocks is not None and len(blocks) != cfg.n_blocks:
-        raise ExperimentError(
-            f"data yields {len(blocks)} blocks, expected {cfg.n_blocks}"
-        )
+        if isinstance(cfg.workload, str):
+            if cfg.n_blocks is None:
+                raise ExperimentError("n_blocks is required with a named workload")
+            data = get_workload_data(cfg.workload, cfg.n_blocks * cfg.block_size, rng)
+            workload_name = cfg.workload
+        else:
+            data = bytes(cfg.workload)
+            workload_name = "custom"
+        blocks = split_blocks(data, cfg.block_size)
+        if cfg.n_blocks is not None and len(blocks) != cfg.n_blocks:
+            raise ExperimentError(
+                f"data yields {len(blocks)} blocks, expected {cfg.n_blocks}"
+            )
+        n_blocks = len(blocks)
 
     plat = get_platform(cfg.platform) if isinstance(cfg.platform, str) else cfg.platform
-    io_model = _resolve_io(cfg.io)
+    io_model = None if live_feed else _resolve_io(cfg.io)
     hconfig = HuffmanConfig(
         block_size=cfg.block_size,
         reduce_ratio=cfg.reduce_ratio,
@@ -223,24 +184,31 @@ def run_huffman(
         decisions=decisions,
     )
     store: BlockStore | None = None
+    owns_store = True
     if cfg.transport == "shm":
         # The shared-memory transport works under every back-end (local
         # resolution is a cache hit); it pays off on "procs", where block
         # bytes stop crossing the coordinator→worker pipes.
-        store = BlockStore(metrics=registry, events=events)
+        if resources is not None and resources.store is not None:
+            store = resources.store  # warm arenas owned by the daemon
+            owns_store = False
+        else:
+            store = BlockStore(metrics=registry, events=events)
     writer = None
     if cfg.metrics_out is not None:
         writer = PeriodicSnapshotWriter(
             registry, cfg.metrics_out, interval_s=cfg.metrics_interval_s,
             meta=cfg.to_dict(),
         ).start()
+    live_arrivals: LiveArrivals | None = None
+    pipeline: HuffmanPipeline | None = None
     try:
         if cfg.executor == "sim":
             engine = make_executor(
                 "sim", runtime, platform=plat, policy=cfg.policy, workers=cfg.workers
             )
-            pipeline = HuffmanPipeline(runtime, hconfig, len(blocks), store=store)
-            arrivals = io_model.arrival_times(len(blocks), rng)
+            pipeline = HuffmanPipeline(runtime, hconfig, n_blocks, store=store)
+            arrivals = io_model.arrival_times(n_blocks, rng)
             for index, (when, block) in enumerate(zip(arrivals, blocks)):
                 engine.sim.schedule_at(
                     float(when),
@@ -250,32 +218,57 @@ def run_huffman(
         else:
             import time as _time
 
-            live_opts: dict[str, object] = {}
-            if cfg.executor == "procs":
-                # Supervisor / fault-injection knobs are specific to the
-                # process back-end; other registered back-ends would
-                # reject the keywords.
-                live_opts.update(
-                    store=store,
-                    fault_plan=cfg.fault_plan,
-                    steal=cfg.steal,
-                    dispatch_timeout_s=cfg.dispatch_timeout_s,
-                    max_task_retries=cfg.max_task_retries,
-                    retry_backoff_s=cfg.retry_backoff_s,
-                    max_worker_respawns=cfg.max_worker_respawns,
-                    harvest_timeout_s=cfg.harvest_timeout_s,
+            if resources is not None and resources.executor_factory is not None:
+                # Warm path: the caller (serve daemon) builds the executor
+                # around an already-started worker pool.
+                engine = resources.executor_factory(runtime)
+            else:
+                live_opts: dict[str, object] = {}
+                if cfg.executor == "procs":
+                    # Supervisor / fault-injection knobs are specific to the
+                    # process back-end; other registered back-ends would
+                    # reject the keywords.
+                    live_opts.update(
+                        store=store,
+                        fault_plan=cfg.fault_plan,
+                        steal=cfg.steal,
+                        dispatch_timeout_s=cfg.dispatch_timeout_s,
+                        max_task_retries=cfg.max_task_retries,
+                        retry_backoff_s=cfg.retry_backoff_s,
+                        max_worker_respawns=cfg.max_worker_respawns,
+                        harvest_timeout_s=cfg.harvest_timeout_s,
+                    )
+                engine = make_executor(
+                    cfg.executor, runtime, policy=cfg.policy,
+                    workers=cfg.workers if cfg.workers is not None else 4,
+                    **live_opts,
                 )
-            engine = make_executor(
-                cfg.executor, runtime, policy=cfg.policy,
-                workers=cfg.workers if cfg.workers is not None else 4,
-                **live_opts,
-            )
-            pipeline = HuffmanPipeline(runtime, hconfig, len(blocks), store=store)
+            pipeline = HuffmanPipeline(runtime, hconfig, n_blocks, store=store)
             engine.start()
-            for index, block in enumerate(blocks):
-                engine.submit(pipeline.feed_block, index, block)
-                if cfg.feed_gap_s:
-                    _time.sleep(cfg.feed_gap_s)
+            if live_feed:
+                live_arrivals = (resources.arrivals
+                                 if resources.arrivals is not None
+                                 else LiveArrivals())
+                received: list[bytes] = []
+                for index, block in enumerate(resources.block_source):
+                    if index >= n_blocks:
+                        raise ExperimentError(
+                            f"live source produced more than the declared "
+                            f"{n_blocks} blocks")
+                    block = bytes(block)
+                    live_arrivals.record(index)
+                    received.append(block)
+                    engine.submit(pipeline.feed_block, index, block)
+                if len(received) != n_blocks:
+                    raise ExperimentError(
+                        f"live source produced {len(received)} blocks, "
+                        f"declared {n_blocks}")
+                data = b"".join(received)
+            else:
+                for index, block in enumerate(blocks):
+                    engine.submit(pipeline.feed_block, index, block)
+                    if cfg.feed_gap_s:
+                        _time.sleep(cfg.feed_gap_s)
             engine.close_input()
             if not engine.wait_idle(timeout=600.0):
                 raise ExperimentError("live executor did not drain within 600s")
@@ -310,7 +303,12 @@ def run_huffman(
         # must not eat the final metrics snapshot or the event sink flush.
         try:
             if store is not None:
-                store.close()  # releases leftover refs, unlinks segments
+                if owns_store:
+                    store.close()  # releases leftover refs, unlinks segments
+                elif pipeline is not None:
+                    # Caller-owned warm arenas: the close sweep never runs,
+                    # so this run drains its own leftover refs instead.
+                    pipeline.release_store_refs()
         finally:
             try:
                 if writer is not None:
@@ -328,6 +326,9 @@ def run_huffman(
         n_workers = cfg.workers if cfg.workers is not None else plat.default_workers
     else:
         n_workers = engine.n_workers
+    extras: dict[str, object] = {}
+    if live_arrivals is not None:
+        extras["live_arrivals_us"] = live_arrivals.times_us()
     return RunReport(
         label=run_label,
         result=result,
@@ -338,10 +339,22 @@ def run_huffman(
         platform_name=plat.name,
         policy=cfg.policy,
         workers=n_workers,
+        app="huffman",
         trace=runtime.trace if cfg.trace else None,
         metrics=registry,
         run_config=cfg,
         events=events if cfg.events else None,
         warnings=run_warnings,
         output_sha256=output_sha,
+        extras=extras,
     )
+
+
+def get_workload_data(name: str, size: int, rng) -> bytes:
+    """Generate ``size`` bytes of the named workload (registry lookup)."""
+    from repro.workloads import get_workload
+
+    return get_workload(name).generate(size, rng)
+
+
+register_job("huffman", run_huffman)

@@ -156,6 +156,10 @@ class HuffmanPipeline:
         #: store closes — histograms are tiny and shared by every pass).
         self.block_refs: dict[int, BlockRef] = {}
         self.hist_refs: dict[int, BlockRef] = {}
+        #: every ref this run ever put (blocks, hists, trees) — the
+        #: population :meth:`release_store_refs` drains on a caller-owned
+        #: store, where ``BlockStore.close``'s leftover sweep never runs.
+        self._all_refs: list[BlockRef] = []
         self._reduce_tasks: dict[int, Task] = {}
         self._reduce_group_have: dict[int, int] = defaultdict(int)
         self._builders: list[_SecondPassBuilder] = []
@@ -216,6 +220,7 @@ class HuffmanPipeline:
             ref = self.store.put(arr)
             if ref is not None:
                 self.block_refs[index] = ref
+                self._all_refs.append(ref)
         task = make_count_task(index, arr, ref)
         task.on_complete.append(self._count_done)
         self.runtime.add_task(task, self.st_first)
@@ -234,6 +239,7 @@ class HuffmanPipeline:
             href = self.store.put(hist)
             if href is not None:
                 self.hist_refs[index] = href
+                self._all_refs.append(href)
         # Step size 0: speculate on the very first partial value available —
         # the first block's count histogram, before any reduce completes.
         if (
@@ -414,6 +420,26 @@ class HuffmanPipeline:
         packed, total_bits = self.assemble()
         return decode_stream(packed, total_bits, self.committed_tree) == bytes(original)
 
+    def release_store_refs(self) -> None:
+        """Release every shared-memory reference this run still holds.
+
+        The one-shot path sweeps leftovers in ``BlockStore.close``; a run
+        on a *caller-owned* store (the serve daemon's warm arenas) must
+        drain its own refs instead, so the arenas go back to the pool
+        empty. Call only at quiescence — once the executor has drained,
+        every remaining count on this run's refs belongs to this run
+        (including version-held acquires on the same blocks).
+        """
+        if self.store is None:
+            return
+        for ref in self._all_refs:
+            count = self.store.refcount(ref)
+            if count:
+                self.store.release(ref, reason="drain", n=count)
+        self._all_refs.clear()
+        self.block_refs.clear()
+        self.hist_refs.clear()
+
 
 class _SecondPassBuilder:
     """Builds one second pass (offset chain + encodes) for one tree.
@@ -438,6 +464,8 @@ class _SecondPassBuilder:
         self.tree_ref = None
         if pipeline.store is not None:
             self.tree_ref = pipeline.store.put(tree)
+            if self.tree_ref is not None:
+                pipeline._all_refs.append(self.tree_ref)
             if self.tree_ref is not None and version is not None:
                 # The version owns its tree copy: the ref is dropped with
                 # the version's fate (commit or rollback), so a dead

@@ -9,6 +9,7 @@ arrival process; these models generate arrival timestamps.
 
 from repro.iomodels.base import ArrivalModel, TraceArrivals
 from repro.iomodels.disk import DiskModel
-from repro.iomodels.socket import SocketModel
+from repro.iomodels.socket import LiveArrivals, SocketModel
 
-__all__ = ["ArrivalModel", "TraceArrivals", "DiskModel", "SocketModel"]
+__all__ = ["ArrivalModel", "TraceArrivals", "DiskModel", "LiveArrivals",
+           "SocketModel"]

@@ -6,15 +6,26 @@ transfer for a 4 MB file — thousands of µs per 4 KB block), making the
 encoder latency essentially free *if* speculation keeps up with arrivals —
 and making rollbacks brutally visible, since re-encoding has to wait for no
 one while fresh blocks trickle in.
+
+Two modes live here:
+
+* :class:`SocketModel` *simulates* that arrival process (jittered
+  schedule) for the deterministic figures.
+* :class:`LiveArrivals` records the *real* thing: the serve daemon (or
+  any streaming caller) stamps each block as it lands off the wire, and
+  the recorded schedule doubles as an :class:`ArrivalModel` — replay a
+  measured live stream through the simulated executor afterwards.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import ExperimentError
 from repro.iomodels.base import ArrivalModel, jittered_schedule
+from repro.obs.metrics import MONOTONIC_CLOCK
 
-__all__ = ["SocketModel"]
+__all__ = ["LiveArrivals", "SocketModel"]
 
 
 class SocketModel(ArrivalModel):
@@ -34,3 +45,54 @@ class SocketModel(ArrivalModel):
         return self._finalize(
             jittered_schedule(n_blocks, self.start_us, self.per_block_us, self.jitter, rng)
         )
+
+
+class LiveArrivals(ArrivalModel):
+    """Timestamps of real block arrivals (µs, monotonic, zero-based).
+
+    The live arrival mode of the paper's §V-A scenario: whoever drains the
+    wire calls :meth:`record` the instant block ``index`` lands, and the
+    stamps accumulate on the monotonic clock every metric timer uses.
+    Stamps are relative to the first recorded block, so the schedule is a
+    drop-in :class:`ArrivalModel`: feed the same recorder back as
+    ``RunConfig(io=recorder)`` to re-run a *measured* live stream through
+    the simulated executor deterministically.
+    """
+
+    def __init__(self) -> None:
+        self._t0: float | None = None
+        self._times: list[float] = []
+
+    def record(self, index: int, t_us: float | None = None) -> float:
+        """Stamp block ``index``'s arrival; returns the relative stamp (µs).
+
+        Blocks must be recorded in order (the wire delivers them in
+        order); ``t_us`` overrides the clock for deterministic tests.
+        """
+        if index != len(self._times):
+            raise ExperimentError(
+                f"live arrivals must be recorded in order: got block "
+                f"{index}, expected {len(self._times)}")
+        now = MONOTONIC_CLOCK() * 1e6 if t_us is None else float(t_us)
+        if self._t0 is None:
+            self._t0 = now
+        stamp = max(0.0, now - self._t0)
+        if self._times and stamp < self._times[-1]:
+            stamp = self._times[-1]  # clock ties under coarse timers
+        self._times.append(stamp)
+        return stamp
+
+    @property
+    def n_recorded(self) -> int:
+        return len(self._times)
+
+    def times_us(self) -> list[float]:
+        """The recorded schedule so far (relative µs, non-decreasing)."""
+        return list(self._times)
+
+    def arrival_times(self, n_blocks: int, rng=None) -> np.ndarray:
+        if n_blocks != len(self._times):
+            raise ExperimentError(
+                f"recorded {len(self._times)} live arrivals, "
+                f"{n_blocks} blocks requested")
+        return self._finalize(np.asarray(self._times, dtype=np.float64))

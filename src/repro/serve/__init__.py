@@ -1,0 +1,34 @@
+"""Long-lived speculation service: the `repro serve` daemon.
+
+One process keeps the expensive substrate warm across jobs — worker
+pools (:class:`~repro.sre.executor_procs.WorkerSupervisor` lanes),
+shared-memory arenas (:class:`~repro.sre.shm.BlockStore`) and the
+daemon's metrics registry — while tenants submit huffman / filter /
+kmeans jobs over a local socket and get back the same
+:class:`~repro.experiments.jobs.RunReport` summary a one-shot run
+produces, byte-identical output digest included.
+
+Layers (see docs/service.md):
+
+* :mod:`repro.serve.wire` — length-prefixed JSON framing.
+* :mod:`repro.serve.admission` — per-tenant bulkheads, queue-depth
+  admission control, and the crash circuit breaker.
+* :mod:`repro.serve.warm` — warm worker-pool lanes keyed by pool
+  signature, leased to jobs and kept running between them.
+* :mod:`repro.serve.server` — the socket server, job table and job
+  worker threads.
+
+The client side lives in :mod:`repro.client`.
+"""
+
+from repro.serve.admission import AdmissionController, TenantBreaker
+from repro.serve.server import ServeSettings, SpeculationServer
+from repro.serve.warm import LanePool
+
+__all__ = [
+    "AdmissionController",
+    "LanePool",
+    "ServeSettings",
+    "SpeculationServer",
+    "TenantBreaker",
+]

@@ -1,0 +1,231 @@
+"""Admission control for the serve daemon: bulkheads and circuit breakers.
+
+Three independent gates decide whether a submitted job may enter the
+daemon, each mapped to a distinct rejection ``reason`` so clients can
+tell "back off" from "you are quarantined":
+
+* **Per-tenant bulkhead** — a tenant may hold at most
+  ``max_tenant_jobs`` jobs in flight (queued + running) and at most
+  ``max_tenant_bytes`` of estimated payload bytes. One tenant flooding
+  the daemon cannot starve the others of job slots or arena space.
+  Rejections: ``tenant_busy``, ``tenant_bytes``.
+* **Queue-depth admission control** — the daemon-wide in-flight count
+  is capped at ``queue_limit``; past it every tenant gets ``queue_full``
+  backpressure rather than unbounded queueing (the client retries with
+  backoff).
+* **Crash circuit breaker** — a tenant whose jobs keep *killing
+  workers* (not merely failing: crash-type failures, detected by the
+  server from the job's ``procs_worker_crashes`` /
+  ``procs_tasks_quarantined`` counters) trips an open breaker after
+  ``breaker_threshold`` consecutive crashes. Open means instant
+  ``circuit_open`` rejection — the poisonous payloads stop reaching
+  worker seats, whose respawn budgets are a finite resource. After
+  ``breaker_cooldown_s`` the breaker goes **half-open**: exactly one
+  probe job is admitted; success closes the breaker, another crash
+  reopens it (and restarts the cooldown).
+
+Everything takes an injectable ``clock`` so tests drive the breaker
+through its state machine without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["AdmissionController", "TenantBreaker"]
+
+
+class TenantBreaker:
+    """Closed / open / half-open circuit breaker for one tenant.
+
+    Counts *consecutive* crash-type failures: any success resets the
+    count, so a tenant that occasionally loses a worker to a loaded
+    machine never trips — only a payload that reliably kills its worker
+    does.
+    """
+
+    def __init__(self, *, threshold: int = 2, cooldown_s: float = 30.0,
+                 clock=time.monotonic) -> None:
+        if threshold < 1:
+            raise ValueError("breaker threshold must be >= 1")
+        if cooldown_s <= 0:
+            raise ValueError("breaker cooldown must be positive")
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._crashes = 0
+        self._opened_at = 0.0
+        self._probe_out = False
+        self.opens = 0  # lifetime open transitions (for stats/metrics)
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """May one more job from this tenant enter right now?"""
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if self._state == "open":
+                if self._clock() - self._opened_at >= self.cooldown_s:
+                    self._state = "half_open"
+                    self._probe_out = True
+                    return True  # the single probe
+                return False
+            # half_open: one probe at a time
+            if self._probe_out:
+                return False
+            self._probe_out = True
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._crashes = 0
+            self._probe_out = False
+            self._state = "closed"
+
+    def record_crash(self) -> None:
+        with self._lock:
+            self._probe_out = False
+            if self._state == "half_open":
+                self._trip()
+                return
+            self._crashes += 1
+            if self._crashes >= self.threshold:
+                self._trip()
+
+    def _trip(self) -> None:
+        self._state = "open"
+        self._crashes = 0
+        self._opened_at = self._clock()
+        self.opens += 1
+
+
+@dataclass
+class _TenantState:
+    breaker: TenantBreaker
+    inflight_jobs: int = 0
+    inflight_bytes: int = 0
+    rejections: dict[str, int] = field(default_factory=dict)
+
+
+class AdmissionController:
+    """All three gates behind one ``admit`` / ``release`` pair.
+
+    ``admit`` charges the tenant's bulkhead and the global queue depth
+    atomically and returns ``None`` on success or the rejection reason
+    (``circuit_open`` / ``tenant_busy`` / ``tenant_bytes`` /
+    ``queue_full``). Every admitted job must be balanced by exactly one
+    ``release`` with the same byte estimate, crash verdict attached.
+    """
+
+    REASONS = ("circuit_open", "tenant_busy", "tenant_bytes", "queue_full")
+
+    def __init__(self, *, max_tenant_jobs: int = 2,
+                 max_tenant_bytes: int = 64 << 20,
+                 queue_limit: int = 8,
+                 breaker_threshold: int = 2,
+                 breaker_cooldown_s: float = 30.0,
+                 clock=time.monotonic) -> None:
+        if max_tenant_jobs < 1 or queue_limit < 1:
+            raise ValueError("job limits must be >= 1")
+        if max_tenant_bytes < 1:
+            raise ValueError("max_tenant_bytes must be >= 1")
+        self.max_tenant_jobs = max_tenant_jobs
+        self.max_tenant_bytes = max_tenant_bytes
+        self.queue_limit = queue_limit
+        self._breaker_threshold = breaker_threshold
+        self._breaker_cooldown_s = breaker_cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._tenants: dict[str, _TenantState] = {}
+        self._inflight_total = 0
+
+    def _tenant(self, tenant: str) -> _TenantState:
+        state = self._tenants.get(tenant)
+        if state is None:
+            state = self._tenants[tenant] = _TenantState(
+                breaker=TenantBreaker(
+                    threshold=self._breaker_threshold,
+                    cooldown_s=self._breaker_cooldown_s,
+                    clock=self._clock))
+        return state
+
+    def admit(self, tenant: str, est_bytes: int) -> str | None:
+        """Try to admit one job; None on success, else the reason."""
+        with self._lock:
+            state = self._tenant(tenant)
+            reason = self._check(state, est_bytes)
+            if reason is not None:
+                state.rejections[reason] = state.rejections.get(reason, 0) + 1
+                return reason
+            # breaker.allow() mutates (open -> half_open probe), so it
+            # runs last: a bulkhead rejection must not consume the probe.
+            if not state.breaker.allow():
+                state.rejections["circuit_open"] = (
+                    state.rejections.get("circuit_open", 0) + 1)
+                return "circuit_open"
+            state.inflight_jobs += 1
+            state.inflight_bytes += est_bytes
+            self._inflight_total += 1
+            return None
+
+    def _check(self, state: _TenantState, est_bytes: int) -> str | None:
+        if state.breaker.state == "open" and not self._cooled(state.breaker):
+            return "circuit_open"
+        if state.inflight_jobs >= self.max_tenant_jobs:
+            return "tenant_busy"
+        if state.inflight_bytes + est_bytes > self.max_tenant_bytes:
+            return "tenant_bytes"
+        if self._inflight_total >= self.queue_limit:
+            return "queue_full"
+        return None
+
+    def _cooled(self, breaker: TenantBreaker) -> bool:
+        return self._clock() - breaker._opened_at >= breaker.cooldown_s
+
+    def release(self, tenant: str, est_bytes: int, *,
+                crash: bool = False, success: bool = True) -> None:
+        """Balance one ``admit``; feeds the breaker its verdict.
+
+        ``crash=True`` means the job died by killing workers (breaker
+        food); a plain failure (bad config caught late, assertion) is
+        ``success=False, crash=False`` and leaves the breaker alone.
+        """
+        with self._lock:
+            state = self._tenant(tenant)
+            state.inflight_jobs = max(0, state.inflight_jobs - 1)
+            state.inflight_bytes = max(0, state.inflight_bytes - est_bytes)
+            self._inflight_total = max(0, self._inflight_total - 1)
+            if crash:
+                state.breaker.record_crash()
+            elif success:
+                state.breaker.record_success()
+
+    def breaker_state(self, tenant: str) -> str:
+        with self._lock:
+            return self._tenant(tenant).breaker.state
+
+    def stats(self) -> dict:
+        """JSON-safe snapshot for the ``stats`` op and tests."""
+        with self._lock:
+            return {
+                "inflight_total": self._inflight_total,
+                "queue_limit": self.queue_limit,
+                "tenants": {
+                    name: {
+                        "inflight_jobs": s.inflight_jobs,
+                        "inflight_bytes": s.inflight_bytes,
+                        "breaker": s.breaker.state,
+                        "breaker_opens": s.breaker.opens,
+                        "rejections": dict(s.rejections),
+                    }
+                    for name, s in sorted(self._tenants.items())
+                },
+            }

@@ -1,0 +1,561 @@
+"""The `repro serve` daemon: socket server, job table, job workers.
+
+One :class:`SpeculationServer` owns the warm substrate — a
+:class:`~repro.serve.warm.LanePool` of started worker supervisors, one
+shared :class:`~repro.sre.shm.BlockStore` arena set, and the daemon
+metrics registry / flight recorder — and runs submitted jobs through the
+unified :func:`repro.experiments.jobs.run_job` seam, so a served job is
+*the same code path* as a one-shot run and must produce the same
+``output_sha256``.
+
+Protocol (see :mod:`repro.serve.wire` for framing): each request frame
+carries ``op`` plus op-specific keys, each gets exactly one reply frame.
+
+=============  =====================================================
+op             meaning
+=============  =====================================================
+``ping``       liveness + daemon identity
+``submit``     admit one job (``tenant``, ``config``); replies with
+               ``job_id`` or a rejection ``reason`` (one of
+               ``circuit_open`` / ``tenant_busy`` / ``tenant_bytes``
+               / ``queue_full`` / ``bad_config``)
+``block``      one streamed block for an ``io="live"`` job
+``close_stream``  end of a live job's block stream
+``status``     non-blocking job state
+``result``     job state; ``wait=true`` blocks up to ``timeout_s``
+``jobs``       the job table
+``stats``      admission, breaker, lane and store snapshot
+``shutdown``   ack, then stop the daemon
+=============  =====================================================
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ExperimentError, TransportError
+from repro.experiments.config import RunConfig
+from repro.experiments.jobs import JobResources, RunReport, run_job
+from repro.obs.events import EventLog
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.admission import AdmissionController
+from repro.serve.warm import LanePool, WarmLane
+from repro.serve.wire import decode_blob, recv_frame, send_frame
+from repro.sre.executor_procs import ProcessExecutor
+from repro.sre.runtime import Runtime
+from repro.sre.shm import BlockStore
+
+__all__ = ["Job", "ServeSettings", "SpeculationServer"]
+
+_EOF = object()  # live-stream terminator
+
+
+@dataclass
+class ServeSettings:
+    """Every knob of the daemon, CLI-mappable and test-injectable."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; read the bound port back from .port
+    #: job worker threads — the daemon-wide running-job parallelism.
+    job_workers: int = 2
+    max_tenant_jobs: int = 2
+    max_tenant_bytes: int = 64 << 20
+    queue_limit: int = 8
+    breaker_threshold: int = 2
+    breaker_cooldown_s: float = 30.0
+    max_lanes: int = 4
+    #: respawn budget per warm lane (per seat), mirroring the one-shot
+    #: ``max_worker_respawns`` knob.
+    lane_max_respawns: int = 3
+    #: seconds a live job's block_source waits for the next streamed block.
+    stream_timeout_s: float = 60.0
+    #: JSONL path for the daemon's own flight recorder (lifecycle events).
+    events_out: str | None = None
+    #: written with the bound port once listening — CI's rendezvous.
+    port_file: str | None = None
+
+
+@dataclass
+class Job:
+    """One submitted job's row in the table."""
+
+    id: str
+    tenant: str
+    config: RunConfig
+    est_bytes: int
+    state: str = "queued"  # queued -> running -> done | failed
+    submitted_mono: float = 0.0
+    started_mono: float = 0.0
+    finished_mono: float = 0.0
+    error: str | None = None
+    reject_reason: str | None = None
+    summary: dict | None = None
+    metrics: MetricsRegistry | None = None
+    done: threading.Event = field(default_factory=threading.Event)
+    stream_q: "queue.Queue | None" = None
+    stream_closed: bool = False
+
+    def row(self) -> dict:
+        """JSON-safe table row (status / jobs ops)."""
+        out = {
+            "job_id": self.id,
+            "tenant": self.tenant,
+            "app": self.config.app,
+            "state": self.state,
+        }
+        if self.state in ("done", "failed") and self.finished_mono:
+            out["latency_s"] = round(
+                self.finished_mono - self.submitted_mono, 6)
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+def _json_safe(value: Any) -> Any:
+    """Recursively coerce report extras into JSON-representable types."""
+    import numpy as np
+
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return [_json_safe(v) for v in value.tolist()]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def _summarize(report: RunReport) -> dict:
+    """The slice of a RunReport that crosses the wire.
+
+    Full traces / metric registries stay daemon-side (export them via
+    ``metrics_out`` / ``events_out`` in the job config); the summary
+    carries everything the byte-identity and latency comparisons need.
+    """
+    return _json_safe({
+        "label": report.label,
+        "app": report.app,
+        "outcome": report.result.outcome,
+        "output_sha256": report.output_sha256,
+        "roundtrip_ok": report.roundtrip_ok,
+        "avg_latency": report.avg_latency,
+        "completion_time": report.completion_time,
+        "utilisation": report.utilisation,
+        "policy": report.policy,
+        "workers": report.workers,
+        "platform": report.platform_name,
+        "warnings": report.warnings or [],
+        "extras": report.extras,
+    })
+
+
+class SpeculationServer:
+    """The daemon. ``start()`` binds and spins threads; ``stop()`` tears
+    everything down (lanes harvested, arenas unlinked, sinks flushed)."""
+
+    def __init__(self, settings: ServeSettings | None = None) -> None:
+        self.settings = settings or ServeSettings()
+        s = self.settings
+        self.metrics = MetricsRegistry()
+        self.events = EventLog(path=s.events_out,
+                               meta={"app": "serve"})
+        #: daemon-side runtime: the home for lane supervisors between
+        #: jobs and the registry serve_* instruments live on.
+        self.runtime = Runtime(metrics=self.metrics, events=self.events,
+                               track_memory=False)
+        self.admission = AdmissionController(
+            max_tenant_jobs=s.max_tenant_jobs,
+            max_tenant_bytes=s.max_tenant_bytes,
+            queue_limit=s.queue_limit,
+            breaker_threshold=s.breaker_threshold,
+            breaker_cooldown_s=s.breaker_cooldown_s)
+        self.lanes = LanePool(home_runtime=self.runtime,
+                              max_lanes=s.max_lanes,
+                              max_respawns=s.lane_max_respawns)
+        #: warm shm arenas, shared across jobs and tenants (per-tenant
+        #: *byte budgets* bound each tenant's slice); jobs with
+        #: ``transport="shm"`` borrow it via JobResources.store and the
+        #: runner leaves it open.
+        self.store = BlockStore(metrics=self.metrics, events=self.events)
+        m = self.metrics
+        self._m_submitted = m.counter(
+            "serve_jobs_submitted", "jobs accepted into the table",
+            labelnames=("tenant", "app"))
+        self._m_rejected = m.counter(
+            "serve_jobs_rejected", "submissions refused at admission",
+            labelnames=("tenant", "reason"))
+        self._m_finished = m.counter(
+            "serve_jobs_finished", "jobs that reached a terminal state",
+            labelnames=("tenant", "app", "state"))
+        self._m_breaker_opens = m.counter(
+            "serve_breaker_opens", "tenant circuit-breaker open transitions",
+            labelnames=("tenant",))
+        self._lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}
+        self._job_seq = 0
+        self._run_q: "queue.Queue[Job | None]" = queue.Queue()
+        self._threads: list[threading.Thread] = []
+        self._listener: socket.socket | None = None
+        self._started_mono = 0.0
+        self.shutdown_requested = threading.Event()
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        if self._listener is None:
+            raise ExperimentError("server is not started")
+        return self._listener.getsockname()[1]
+
+    def start(self) -> "SpeculationServer":
+        s = self.settings
+        self._listener = socket.create_server(
+            (s.host, s.port), backlog=16, reuse_port=False)
+        self._listener.settimeout(0.2)  # accept loop polls the stop flag
+        self._started_mono = time.monotonic()
+        for i in range(s.job_workers):
+            t = threading.Thread(target=self._job_worker,
+                                 name=f"serve-job-{i}", daemon=True)
+            t.start()
+            self._threads.append(t)
+        t = threading.Thread(target=self._accept_loop,
+                             name="serve-accept", daemon=True)
+        t.start()
+        self._threads.append(t)
+        self.events.emit("serve_start", host=s.host, port=self.port,
+                         job_workers=s.job_workers)
+        if s.port_file:
+            with open(s.port_file, "w", encoding="utf-8") as fh:
+                fh.write(str(self.port))
+        return self
+
+    def stop(self) -> None:
+        if self._stopping:
+            return
+        self._stopping = True
+        self.shutdown_requested.set()
+        for _ in range(self.settings.job_workers):
+            self._run_q.put(None)
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        for t in self._threads:
+            t.join(timeout=10.0)
+        # Lanes first (their harvest emits into daemon metrics/events),
+        # then arenas, then the event sink — mirror runner.py's ordering.
+        try:
+            self.lanes.close()
+        finally:
+            try:
+                self.store.close()
+            finally:
+                self.events.emit("serve_stop")
+                self.events.close()
+
+    def serve_until_shutdown(self) -> None:
+        """Block until a ``shutdown`` op (or KeyboardInterrupt), then stop."""
+        try:
+            while not self.shutdown_requested.wait(timeout=0.5):
+                pass
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            pass
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self.shutdown_requested.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:  # listener closed under us: shutting down
+                return
+            t = threading.Thread(target=self._serve_conn, args=(conn,),
+                                 name="serve-conn", daemon=True)
+            t.start()
+
+    def _serve_conn(self, conn: socket.socket) -> None:
+        with conn:
+            while True:
+                try:
+                    req = recv_frame(conn)
+                except TransportError:
+                    return  # peer sent garbage or died mid-frame
+                if req is None:
+                    return
+                try:
+                    reply = self._handle(req)
+                except Exception as exc:  # noqa: BLE001 - reply, don't die
+                    reply = {"ok": False, "error": f"{type(exc).__name__}: "
+                                                   f"{exc}"}
+                try:
+                    send_frame(conn, reply)
+                except (TransportError, OSError):
+                    return
+                if req.get("op") == "shutdown":
+                    self.shutdown_requested.set()
+                    return
+
+    def _handle(self, req: dict) -> dict:
+        op = req.get("op")
+        handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) \
+            else None
+        if handler is None or (isinstance(op, str) and op.startswith("_")):
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        return handler(req)
+
+    # ------------------------------------------------------------------
+    # ops
+    # ------------------------------------------------------------------
+    def _op_ping(self, req: dict) -> dict:
+        import os
+
+        return {"ok": True, "op": "ping", "pid": os.getpid(),
+                "uptime_s": round(time.monotonic() - self._started_mono, 3)}
+
+    def _op_submit(self, req: dict) -> dict:
+        tenant = str(req.get("tenant") or "default")
+        raw = req.get("config")
+        if not isinstance(raw, dict):
+            return {"ok": False, "reason": "bad_config",
+                    "error": "submit requires a 'config' object"}
+        raw = dict(raw)
+        app = str(raw.pop("app", "huffman"))
+        blob = raw.pop("workload_b64", None)
+        if blob is not None:
+            raw["workload"] = decode_blob(blob)
+        try:
+            cfg = RunConfig.for_app(app, **raw)
+        except (ExperimentError, TypeError) as exc:
+            self._m_rejected.labels(tenant=tenant, reason="bad_config").inc()
+            self.events.emit("job_reject", tenant=tenant,
+                             reason="bad_config", detail=str(exc))
+            return {"ok": False, "reason": "bad_config", "error": str(exc)}
+        est_bytes = self._estimate_bytes(cfg)
+        reason = self.admission.admit(tenant, est_bytes)
+        if reason is not None:
+            self._m_rejected.labels(tenant=tenant, reason=reason).inc()
+            self.events.emit("job_reject", tenant=tenant, reason=reason,
+                             app=cfg.app, est_bytes=est_bytes)
+            return {"ok": False, "reason": reason,
+                    "error": f"admission refused: {reason}"}
+        with self._lock:
+            self._job_seq += 1
+            job = Job(id=f"job-{self._job_seq}", tenant=tenant, config=cfg,
+                      est_bytes=est_bytes,
+                      submitted_mono=time.monotonic())
+            if isinstance(cfg.io, str) and cfg.io == "live":
+                job.stream_q = queue.Queue()
+            self._jobs[job.id] = job
+        self._m_submitted.labels(tenant=tenant, app=cfg.app).inc()
+        self.events.emit("job_submit", tenant=tenant, app=cfg.app,
+                         job=job.id, est_bytes=est_bytes)
+        self._run_q.put(job)
+        return {"ok": True, "job_id": job.id}
+
+    @staticmethod
+    def _estimate_bytes(cfg: RunConfig) -> int:
+        """Payload-byte estimate the tenant bulkhead charges."""
+        if isinstance(cfg.workload, (bytes, bytearray)):
+            return len(cfg.workload)
+        if cfg.n_blocks is not None:
+            return int(cfg.n_blocks) * int(cfg.block_size)
+        return 0
+
+    def _get_job(self, req: dict) -> Job | None:
+        job_id = req.get("job_id")
+        with self._lock:
+            return self._jobs.get(job_id) if isinstance(job_id, str) else None
+
+    def _op_block(self, req: dict) -> dict:
+        job = self._get_job(req)
+        if job is None:
+            return {"ok": False, "reason": "unknown_job",
+                    "error": f"unknown job {req.get('job_id')!r}"}
+        if job.stream_q is None:
+            return {"ok": False, "error": f"{job.id} is not a live-stream "
+                                          "job (io != 'live')"}
+        if job.stream_closed or job.done.is_set():
+            return {"ok": False, "error": f"{job.id} stream already closed"}
+        data = decode_blob(str(req.get("data_b64", "")))
+        job.stream_q.put(data)
+        return {"ok": True, "job_id": job.id, "index": req.get("index")}
+
+    def _op_close_stream(self, req: dict) -> dict:
+        job = self._get_job(req)
+        if job is None:
+            return {"ok": False, "reason": "unknown_job",
+                    "error": f"unknown job {req.get('job_id')!r}"}
+        if job.stream_q is None:
+            return {"ok": False, "error": f"{job.id} is not a live-stream job"}
+        if not job.stream_closed:
+            job.stream_closed = True
+            job.stream_q.put(_EOF)
+        return {"ok": True, "job_id": job.id}
+
+    def _op_status(self, req: dict) -> dict:
+        job = self._get_job(req)
+        if job is None:
+            return {"ok": False, "reason": "unknown_job",
+                    "error": f"unknown job {req.get('job_id')!r}"}
+        return {"ok": True, **job.row()}
+
+    def _op_result(self, req: dict) -> dict:
+        job = self._get_job(req)
+        if job is None:
+            return {"ok": False, "reason": "unknown_job",
+                    "error": f"unknown job {req.get('job_id')!r}"}
+        if req.get("wait"):
+            timeout = float(req.get("timeout_s", 60.0))
+            if not job.done.wait(timeout=timeout):
+                return {"ok": False, "reason": "timeout",
+                        "error": f"{job.id} still {job.state} after "
+                                 f"{timeout}s", **job.row()}
+        out = {"ok": True, **job.row()}
+        if job.summary is not None:
+            out["report"] = job.summary
+        return out
+
+    def _op_jobs(self, req: dict) -> dict:
+        with self._lock:
+            rows = [j.row() for j in self._jobs.values()]
+        return {"ok": True, "jobs": rows}
+
+    def _op_stats(self, req: dict) -> dict:
+        return {"ok": True,
+                "admission": self.admission.stats(),
+                "lanes": self.lanes.stats(),
+                "store": {"live_refs": self.store.live_refs,
+                          "live_segments": self.store.live_segments}}
+
+    def _op_shutdown(self, req: dict) -> dict:
+        self.events.emit("serve_shutdown_requested")
+        return {"ok": True, "op": "shutdown"}
+
+    # ------------------------------------------------------------------
+    # job execution
+    # ------------------------------------------------------------------
+    def _job_worker(self) -> None:
+        while True:
+            job = self._run_q.get()
+            if job is None:
+                return
+            self._run_one(job)
+
+    def _stream_source(self, job: Job):
+        declared = job.config.n_blocks or 0
+        for _ in range(declared):
+            try:
+                item = job.stream_q.get(timeout=self.settings.stream_timeout_s)
+            except queue.Empty:
+                raise ExperimentError(
+                    f"{job.id}: no streamed block for "
+                    f"{self.settings.stream_timeout_s}s") from None
+            if item is _EOF:
+                return
+            yield item
+
+    def _run_one(self, job: Job) -> None:
+        cfg = job.config
+        job.state = "running"
+        job.started_mono = time.monotonic()
+        self.events.emit("job_start", tenant=job.tenant, app=cfg.app,
+                         job=job.id,
+                         queued_s=round(job.started_mono
+                                        - job.submitted_mono, 6))
+        registry = MetricsRegistry()
+        job.metrics = registry
+        lane: WarmLane | None = None
+        crash = False
+        try:
+            resources = JobResources()
+            if cfg.transport == "shm":
+                resources.store = self.store
+            if job.stream_q is not None:
+                resources.block_source = self._stream_source(job)
+            if cfg.executor == "procs":
+                workers = cfg.workers if cfg.workers is not None else 4
+                lane = self.lanes.lease(job.tenant, workers, cfg.fault_plan)
+                if lane is not None:
+                    resources.executor_factory = self._factory(cfg, lane)
+            report = run_job(cfg, metrics=registry, resources=resources)
+            job.summary = _summarize(report)
+            job.state = "done"
+        except Exception as exc:  # noqa: BLE001 - job fails, daemon lives
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.state = "failed"
+            crash = self._looks_like_crash(registry)
+        finally:
+            job.finished_mono = time.monotonic()
+            if lane is not None:
+                self.lanes.release(lane, poisoned=crash)
+            before = self.admission.breaker_state(job.tenant)
+            self.admission.release(job.tenant, job.est_bytes,
+                                   crash=crash, success=job.state == "done")
+            after = self.admission.breaker_state(job.tenant)
+            if crash and after == "open" and before != "open":
+                self._m_breaker_opens.labels(tenant=job.tenant).inc()
+                self.events.emit("breaker_open", tenant=job.tenant,
+                                 job=job.id)
+            self._m_finished.labels(tenant=job.tenant, app=cfg.app,
+                                    state=job.state).inc()
+            self.events.emit("job_done" if job.state == "done"
+                             else "job_failed",
+                             tenant=job.tenant, app=cfg.app, job=job.id,
+                             error=job.error,
+                             run_s=round(job.finished_mono
+                                         - job.started_mono, 6))
+            job.done.set()
+
+    def _factory(self, cfg: RunConfig, lane: WarmLane):
+        """Executor factory closing over a leased warm lane."""
+        store = self.store if cfg.transport == "shm" else None
+
+        def build(runtime: Runtime) -> ProcessExecutor:
+            return ProcessExecutor(
+                runtime,
+                policy=cfg.policy if cfg.policy != "nonspec"
+                else "conservative",
+                workers=lane.workers,
+                supervisor=lane.supervisor,
+                store=store,
+                steal=cfg.steal,
+                dispatch_timeout_s=cfg.dispatch_timeout_s,
+                max_task_retries=cfg.max_task_retries,
+                retry_backoff_s=cfg.retry_backoff_s,
+            )
+
+        return build
+
+    @staticmethod
+    def _looks_like_crash(registry: MetricsRegistry) -> bool:
+        """Did this job's failure involve killing workers?
+
+        Breaker food is crash-type failure only: the job's own registry
+        shows worker deaths (``procs_worker_crashes``) or tasks
+        quarantined after repeated deaths. A clean ExperimentError (bad
+        geometry, failed verification) never trips the breaker.
+        """
+        crashes = registry.get("procs_worker_crashes")
+        if crashes is not None and any(
+                s["value"] > 0 for s in crashes.snapshot_series()):
+            return True
+        quarantined = registry.get("procs_tasks_quarantined")
+        return quarantined is not None and any(
+            s["value"] > 0 for s in quarantined.snapshot_series())

@@ -1,0 +1,106 @@
+"""Length-prefixed JSON framing for the serve protocol.
+
+Every message on a serve connection — request or reply — is one frame:
+
+    +----------------+----------------------------+
+    | 4-byte BE len  |  UTF-8 JSON object (len B) |
+    +----------------+----------------------------+
+
+JSON keeps the protocol debuggable (``nc`` + a hand-built prefix gets
+you a session) and version-tolerant (unknown keys are ignored). Binary
+block payloads ride inside the JSON as base64 under ``data_b64`` —
+measured overhead is ~33% on the wire, irrelevant next to the shm
+transport that carries the bytes from the daemon to its workers.
+
+The frame length is capped (:data:`MAX_FRAME_BYTES`) so a corrupt or
+hostile prefix cannot make the daemon allocate gigabytes.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import socket
+import struct
+
+from repro.errors import TransportError
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "decode_blob",
+    "encode_blob",
+    "recv_frame",
+    "send_frame",
+]
+
+_LEN = struct.Struct(">I")
+
+#: Largest frame either side will accept: a 16 MiB block base64-expands
+#: to ~22 MiB; 64 MiB leaves generous headroom without letting a bad
+#: prefix turn into an allocation bomb.
+MAX_FRAME_BYTES = 64 << 20
+
+
+def encode_blob(data: bytes) -> str:
+    """Binary payload -> the ``data_b64`` JSON representation."""
+    return base64.b64encode(bytes(data)).decode("ascii")
+
+
+def decode_blob(text: str) -> bytes:
+    """Inverse of :func:`encode_blob`; raises TransportError on garbage."""
+    try:
+        return base64.b64decode(text, validate=True)
+    except (ValueError, TypeError) as exc:
+        raise TransportError(f"invalid base64 block payload: {exc}") from None
+
+
+def send_frame(sock: socket.socket, obj: dict) -> None:
+    """Serialise ``obj`` and write one frame (atomic via ``sendall``)."""
+    try:
+        body = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise TransportError(f"unserialisable frame: {exc}") from None
+    if len(body) > MAX_FRAME_BYTES:
+        raise TransportError(
+            f"frame of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte cap")
+    sock.sendall(_LEN.pack(len(body)) + body)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes; None on clean EOF at a frame boundary."""
+    chunks: list[bytes] = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(min(n - got, 1 << 16))
+        if not chunk:
+            if got == 0:
+                return None
+            raise TransportError(
+                f"connection closed mid-frame ({got}/{n} bytes)")
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> dict | None:
+    """Read one frame; returns the decoded object or None on clean EOF."""
+    header = _recv_exact(sock, _LEN.size)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise TransportError(
+            f"peer announced a {length}-byte frame (cap "
+            f"{MAX_FRAME_BYTES}); refusing to allocate")
+    body = _recv_exact(sock, length)
+    if body is None:  # pragma: no cover - EOF race after header
+        raise TransportError("connection closed between header and body")
+    try:
+        obj = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise TransportError(f"malformed frame body: {exc}") from None
+    if not isinstance(obj, dict):
+        raise TransportError(
+            f"frame must be a JSON object, got {type(obj).__name__}")
+    return obj

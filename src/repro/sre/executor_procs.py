@@ -443,12 +443,15 @@ class WorkerSupervisor:
             raise SchedulingError("harvest_timeout_s must be positive")
         self._ctx = ctx
         self.n_workers = workers
-        self.runtime = runtime
         self.fault_plan = fault_plan
         self.max_respawns = max_respawns
         self.harvest_timeout_s = harvest_timeout_s
         self.abort_flags = ctx.Array("b", workers, lock=False)
         self._slots = [_Slot(wid) for wid in range(workers)]
+        self._bind_runtime(runtime)
+
+    def _bind_runtime(self, runtime: Runtime) -> None:
+        self.runtime = runtime
         m = runtime.metrics
         self._m_crashes = m.counter(
             "procs_worker_crashes",
@@ -465,6 +468,20 @@ class WorkerSupervisor:
             "workers whose final metrics/events snapshot could not be "
             "harvested at shutdown",
             labelnames=("reason",))
+
+    def rebind(self, runtime: Runtime) -> None:
+        """Re-point a warm supervisor at a fresh per-job runtime.
+
+        A long-lived supervisor (see ``ProcessExecutor(supervisor=...)``)
+        outlives any single run: each new job brings its own
+        :class:`~repro.sre.runtime.Runtime` with a fresh metrics registry
+        and event log, so crash/respawn accounting must land in the job
+        that witnessed it. Also clears any abort flags a previous job
+        left raised so the new job's first batch is not skipped.
+        """
+        self._bind_runtime(runtime)
+        for wid in range(self.n_workers):
+            self.abort_flags[wid] = 0
 
     # -- lifecycle -----------------------------------------------------
     def _spawn(self, slot: _Slot) -> None:
@@ -748,6 +765,16 @@ class ProcessExecutor(LiveExecutor):
             transport is active — quarantined tasks force-release the
             blocks they pinned (``shm_release{reason="crash"}``) so a
             crashed payload cannot leak segments.
+        supervisor: an externally-owned, already-*started*
+            :class:`WorkerSupervisor` to run on instead of spawning a
+            fresh pool. The executor rebinds it to this runtime on start
+            (:meth:`WorkerSupervisor.rebind`) and leaves it **running**
+            on stop — the caller owns its lifecycle (``start``/``stop``),
+            which is how ``repro serve`` keeps worker processes warm
+            across jobs. ``workers`` must match the supervisor's seat
+            count, and ``fault_plan``/``max_worker_respawns``/
+            ``harvest_timeout_s`` are the supervisor's own (per-lane)
+            settings, not per-job ones.
     """
 
     def __init__(
@@ -768,6 +795,7 @@ class ProcessExecutor(LiveExecutor):
         harvest_timeout_s: float = DEFAULT_HARVEST_TIMEOUT_S,
         fault_plan: FaultPlan | str | None = None,
         store: "shm.BlockStore | None" = None,
+        supervisor: WorkerSupervisor | None = None,
     ) -> None:
         super().__init__(runtime, policy=policy, workers=workers)
         if payload_budget < 1:
@@ -788,11 +816,20 @@ class ProcessExecutor(LiveExecutor):
                 self._ctx = multiprocessing.get_context("fork")
             except ValueError:  # pragma: no cover - non-POSIX
                 self._ctx = multiprocessing.get_context()
-        self.supervisor = WorkerSupervisor(
-            self._ctx, workers, runtime=runtime,
-            fault_plan=FaultPlan.parse(fault_plan),
-            max_respawns=max_worker_respawns,
-            harvest_timeout_s=harvest_timeout_s)
+        if supervisor is not None:
+            if supervisor.n_workers != workers:
+                raise SchedulingError(
+                    f"external supervisor has {supervisor.n_workers} seats, "
+                    f"executor wants workers={workers}")
+            self.supervisor = supervisor
+            self._owns_supervisor = False
+        else:
+            self.supervisor = WorkerSupervisor(
+                self._ctx, workers, runtime=runtime,
+                fault_plan=FaultPlan.parse(fault_plan),
+                max_respawns=max_worker_respawns,
+                harvest_timeout_s=harvest_timeout_s)
+            self._owns_supervisor = True
         self.retry_policy = RetryPolicy(max_retries=max_task_retries,
                                         backoff_s=retry_backoff_s)
         self._store = store
@@ -876,10 +913,20 @@ class ProcessExecutor(LiveExecutor):
         from multiprocessing import resource_tracker
 
         resource_tracker.ensure_running()
-        self.supervisor.start()
+        if self._owns_supervisor:
+            self.supervisor.start()
+        else:
+            # Warm pool: the processes are already up — just re-point
+            # their accounting at this job's runtime and clear stale
+            # abort flags from the previous job.
+            self.supervisor.rebind(self.runtime)
 
     def _stop_backend(self) -> None:
-        self.supervisor.stop()
+        if self._owns_supervisor:
+            self.supervisor.stop()
+        # A borrowed supervisor keeps running: its owner (e.g. the serve
+        # daemon's warm lane) stops it — and harvests the workers' final
+        # metrics/events snapshots — at daemon shutdown.
 
     # ------------------------------------------------------------------
     # abort-flag relay (coordinator -> worker address space)

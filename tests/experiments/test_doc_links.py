@@ -19,7 +19,8 @@ _ROOT = pathlib.Path(__file__).resolve().parents[2]
 
 def test_known_subcommands_match_cli():
     known = check_doc_links.known_subcommands(_ROOT)
-    for name in ("run", "explain", "replay", "top", "bench", "list"):
+    for name in ("run", "explain", "replay", "top", "bench", "list",
+                 "serve", "submit", "jobs"):
         assert name in known
 
 

@@ -4,8 +4,13 @@ import numpy as np
 import pytest
 
 from repro.errors import ExperimentError
+from repro.experiments.config import RunConfig
 from repro.experiments.runner import run_huffman, split_blocks
 from repro.iomodels import TraceArrivals
+
+
+def _run(metrics=None, **kw):
+    return run_huffman(config=RunConfig(**kw), metrics=metrics)
 
 
 def test_split_blocks():
@@ -22,11 +27,11 @@ def test_split_blocks_validation():
 
 def test_named_workload_requires_n_blocks():
     with pytest.raises(ExperimentError):
-        run_huffman(workload="txt")
+        _run(workload="txt")
 
 
 def test_run_report_fields():
-    r = run_huffman(workload="txt", n_blocks=32, policy="balanced", seed=0)
+    r = _run(workload="txt", n_blocks=32, policy="balanced", seed=0)
     assert r.result.n_blocks == 32
     assert r.latencies.shape == (32,)
     assert r.arrivals.shape == (32,)
@@ -34,18 +39,19 @@ def test_run_report_fields():
     assert 0.0 < r.utilisation <= 1.0
     assert r.platform_name == "x86"
     assert r.workers == 16
+    assert r.app == "huffman"
     assert r.summary.avg_latency_us == pytest.approx(r.avg_latency)
 
 
 def test_nonspec_policy_shorthand():
-    r = run_huffman(workload="txt", n_blocks=32, policy="nonspec", seed=0)
+    r = _run(workload="txt", n_blocks=32, policy="nonspec", seed=0)
     assert r.result.outcome == "non_speculative"
     assert r.result.spec_stats == {}
 
 
 def test_same_seed_reproduces_exactly():
-    a = run_huffman(workload="bmp", n_blocks=48, policy="balanced", seed=7)
-    b = run_huffman(workload="bmp", n_blocks=48, policy="balanced", seed=7)
+    a = _run(workload="bmp", n_blocks=48, policy="balanced", seed=7)
+    b = _run(workload="bmp", n_blocks=48, policy="balanced", seed=7)
     assert np.array_equal(a.latencies, b.latencies)
     assert a.completion_time == b.completion_time
     assert a.result.spec_stats == b.result.spec_stats
@@ -55,62 +61,59 @@ def test_different_seed_changes_data_not_schedule():
     """Service times depend on block *sizes*, not byte values, so two TXT
     seeds produce identical deterministic schedules — but different bytes,
     hence different compressed output."""
-    a = run_huffman(workload="txt", n_blocks=32, seed=1)
-    b = run_huffman(workload="txt", n_blocks=32, seed=2)
+    a = _run(workload="txt", n_blocks=32, seed=1)
+    b = _run(workload="txt", n_blocks=32, seed=2)
     assert a.result.compressed_bits != b.result.compressed_bits
     assert np.array_equal(a.latencies, b.latencies)
 
 
 def test_raw_bytes_workload():
     data = b"raw bytes workload " * 800
-    r = run_huffman(workload=data, block_size=1024, policy="balanced", seed=0)
+    r = _run(workload=data, block_size=1024, policy="balanced", seed=0)
     assert r.result.n_blocks == len(data) // 1024 + 1
     assert r.roundtrip_ok
 
 
 def test_custom_arrival_model():
     times = [float(i * 100) for i in range(16)]
-    r = run_huffman(
-        workload="txt", n_blocks=16, io=TraceArrivals(times), seed=0,
-    )
+    r = _run(workload="txt", n_blocks=16, io=TraceArrivals(times), seed=0)
     assert np.array_equal(r.arrivals, np.array(times))
 
 
 def test_unknown_io_rejected():
     with pytest.raises(ExperimentError):
-        run_huffman(workload="txt", n_blocks=8, io="carrier-pigeon")
+        _run(workload="txt", n_blocks=8, io="carrier-pigeon")
 
 
 def test_cell_platform_runs():
-    r = run_huffman(workload="txt", n_blocks=32, platform="cell", seed=0)
+    r = _run(workload="txt", n_blocks=32, platform="cell", seed=0)
     assert r.platform_name == "cell"
     assert r.roundtrip_ok
 
 
 def test_workers_override():
-    r = run_huffman(workload="txt", n_blocks=32, workers=2, seed=0)
+    r = _run(workload="txt", n_blocks=32, workers=2, seed=0)
     assert r.workers == 2
 
 
 def test_block_size_validated_against_cell_cap():
     from repro.errors import PlatformError
     with pytest.raises(PlatformError):
-        run_huffman(workload="txt", n_blocks=4, block_size=64 * 1024,
-                    platform="cell", seed=0)
+        _run(workload="txt", n_blocks=4, block_size=64 * 1024,
+             platform="cell", seed=0)
 
 
 def test_label_override():
-    r = run_huffman(workload="txt", n_blocks=8, label="custom-label", seed=0)
+    r = _run(workload="txt", n_blocks=8, label="custom-label", seed=0)
     assert r.label == "custom-label"
     assert r.summary.label == "custom-label"
 
 
 # ---------------------------------------------------------------------------
-# RunConfig calling convention + the bare-keyword deprecation shim
+# RunConfig is the only calling convention (bare-keyword shim removed)
 # ---------------------------------------------------------------------------
 
-def test_config_object_is_primary_convention():
-    from repro.experiments.config import RunConfig
+def test_config_object_is_the_convention():
     cfg = RunConfig(workload="txt", n_blocks=8, seed=0)
     r = run_huffman(config=cfg)
     assert r.roundtrip_ok
@@ -118,10 +121,9 @@ def test_config_object_is_primary_convention():
     assert r.run_config.to_dict()["workload"] == "txt"
 
 
-def test_config_plus_kwargs_rejected():
-    from repro.experiments.config import RunConfig
-    with pytest.raises(ExperimentError, match="not both"):
-        run_huffman(config=RunConfig(workload="txt", n_blocks=8), seed=1)
+def test_bare_kwargs_rejected():
+    with pytest.raises(TypeError):
+        run_huffman(workload="txt", n_blocks=8)
 
 
 def test_config_must_be_runconfig():
@@ -129,32 +131,11 @@ def test_config_must_be_runconfig():
         run_huffman(config={"workload": "txt", "n_blocks": 8})
 
 
-def test_bare_kwargs_warn_once_then_stay_silent():
-    import warnings
-
-    from repro.experiments import runner
-
-    old_flag = runner._warned_kwargs
-    runner._warned_kwargs = False
-    try:
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            run_huffman(workload="txt", n_blocks=8, seed=0)
-            run_huffman(workload="txt", n_blocks=8, seed=1)
-        deprecations = [w for w in caught
-                        if issubclass(w.category, DeprecationWarning)
-                        and "run_huffman" in str(w.message)]
-        assert len(deprecations) == 1
-    finally:
-        runner._warned_kwargs = old_flag
-
-
-def test_bare_kwargs_still_produce_run_config():
-    r = run_huffman(workload="txt", n_blocks=8, seed=0)
-    assert r.run_config is not None
-    assert r.run_config.n_blocks == 8
-
-
-def test_bare_kwargs_typo_rejected_with_vocabulary():
+def test_from_kwargs_typo_rejected_with_vocabulary():
     with pytest.raises(ExperimentError, match="n_blocks"):
-        run_huffman(workload="txt", n_blockz=8)
+        RunConfig.from_kwargs(workload="txt", n_blockz=8)
+
+
+def test_wrong_app_rejected():
+    with pytest.raises(ExperimentError, match="run_job"):
+        run_huffman(config=RunConfig(app="kmeans", n_blocks=8))

@@ -82,9 +82,9 @@ def test_property_never_better_than_optimal(data):
 
 def test_pipeline_with_length_limited_trees():
     """The full speculative pipeline runs with package-merge trees."""
-    from repro.experiments.runner import run_huffman
-    r = run_huffman(workload="txt", n_blocks=32, policy="balanced", step=1,
-                    seed=0)
+    from repro.experiments.runner import RunConfig, run_huffman
+    r = run_huffman(config=RunConfig(workload="txt", n_blocks=32,
+                                     policy="balanced", step=1, seed=0))
     # rebuild the config with a limit via raw pipeline machinery
     import numpy as np
     from repro.huffman.pipeline import HuffmanConfig, HuffmanPipeline

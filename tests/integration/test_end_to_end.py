@@ -8,7 +8,11 @@ records quantitatively.
 import numpy as np
 import pytest
 
-from repro.experiments.runner import run_huffman
+from repro.experiments.runner import RunConfig, run_huffman
+
+
+def _run(**kw):
+    return run_huffman(config=RunConfig(**kw))
 
 pytestmark = pytest.mark.slow
 
@@ -19,12 +23,12 @@ N_PDF = 512
 
 @pytest.fixture(scope="module")
 def txt_nonspec():
-    return run_huffman(workload="txt", n_blocks=N_TXT, policy="nonspec", seed=0)
+    return _run(workload="txt", n_blocks=N_TXT, policy="nonspec", seed=0)
 
 
 @pytest.fixture(scope="module")
 def txt_balanced():
-    return run_huffman(workload="txt", n_blocks=N_TXT, policy="balanced",
+    return _run(workload="txt", n_blocks=N_TXT, policy="balanced",
                        step=1, seed=0)
 
 
@@ -37,9 +41,9 @@ def test_txt_speculation_reduces_latency_and_runtime(txt_nonspec, txt_balanced):
 
 
 def test_txt_optimistic_has_minimal_check_overhead(txt_balanced):
-    opt = run_huffman(workload="txt", n_blocks=N_TXT, policy="balanced",
+    opt = _run(workload="txt", n_blocks=N_TXT, policy="balanced",
                       verification="optimistic", step=1, seed=0)
-    full = run_huffman(workload="txt", n_blocks=N_TXT, policy="balanced",
+    full = _run(workload="txt", n_blocks=N_TXT, policy="balanced",
                        verification="full", step=1, seed=0)
     # "The small difference ... indicates that checking has a relatively low
     # impact on performance" (§V-B).
@@ -48,10 +52,10 @@ def test_txt_optimistic_has_minimal_check_overhead(txt_balanced):
 
 
 def test_bmp_small_step_rolls_back_large_step_does_not():
-    small = run_huffman(workload="bmp", n_blocks=N_BMP, policy="balanced",
+    small = _run(workload="bmp", n_blocks=N_BMP, policy="balanced",
                         step=1, seed=0)
     # quick scale halves the file, so the knee sits at ~half the paper's 8
-    large = run_huffman(workload="bmp", n_blocks=N_BMP, policy="balanced",
+    large = _run(workload="bmp", n_blocks=N_BMP, policy="balanced",
                         step=8, seed=0)
     assert small.result.spec_stats["rollbacks"] >= 1
     assert large.result.spec_stats["rollbacks"] == 0
@@ -59,10 +63,10 @@ def test_bmp_small_step_rolls_back_large_step_does_not():
 
 
 def test_pdf_rollbacks_hurt_aggressive_most():
-    nonspec = run_huffman(workload="pdf", n_blocks=N_PDF, policy="nonspec", seed=0)
-    aggressive = run_huffman(workload="pdf", n_blocks=N_PDF, policy="aggressive",
+    nonspec = _run(workload="pdf", n_blocks=N_PDF, policy="nonspec", seed=0)
+    aggressive = _run(workload="pdf", n_blocks=N_PDF, policy="aggressive",
                              step=1, seed=0)
-    conservative = run_huffman(workload="pdf", n_blocks=N_PDF,
+    conservative = _run(workload="pdf", n_blocks=N_PDF,
                                policy="conservative", step=1, seed=0)
     assert aggressive.result.spec_stats["rollbacks"] >= 1
     # conservative only burns idle resources: stays close to non-spec
@@ -71,9 +75,9 @@ def test_pdf_rollbacks_hurt_aggressive_most():
 
 
 def test_pdf_optimistic_catastrophic_on_rollback():
-    opt = run_huffman(workload="pdf", n_blocks=N_PDF, policy="balanced",
+    opt = _run(workload="pdf", n_blocks=N_PDF, policy="balanced",
                       verification="optimistic", step=1, seed=0)
-    baseline = run_huffman(workload="pdf", n_blocks=N_PDF, policy="balanced",
+    baseline = _run(workload="pdf", n_blocks=N_PDF, policy="balanced",
                            verification="every_k", step=1, seed=0)
     assert opt.result.outcome == "recompute"
     assert opt.avg_latency > baseline.avg_latency
@@ -83,7 +87,7 @@ def test_pdf_tolerance_ordering():
     """Fig. 9: 2% detects the drift late and loses; 5% never rolls back and
     wins, at a small compression cost."""
     runs = {
-        tol: run_huffman(workload="pdf", n_blocks=N_PDF, policy="balanced",
+        tol: _run(workload="pdf", n_blocks=N_PDF, policy="balanced",
                          step=1, tolerance=tol, seed=0)
         for tol in (0.01, 0.02, 0.05)
     }
@@ -106,7 +110,7 @@ def test_cell_conservative_starves_speculation():
         return starts[0].time
 
     runs = {
-        (plat, pol): run_huffman(workload="txt", n_blocks=N_TXT, platform=plat,
+        (plat, pol): _run(workload="txt", n_blocks=N_TXT, platform=plat,
                                  policy=pol, step=1, seed=0, trace=True)
         for plat in ("x86", "cell") for pol in ("balanced", "conservative")
     }
@@ -123,7 +127,7 @@ def test_cell_conservative_starves_speculation():
 
 
 def test_socket_latency_negligible_vs_transfer_txt():
-    r = run_huffman(workload="txt", n_blocks=128, io="socket",
+    r = _run(workload="txt", n_blocks=128, io="socket",
                     policy="balanced", step=1, reduce_ratio=8,
                     offset_fanout=8, seed=0)
     transfer = r.arrivals[-1]
@@ -134,7 +138,7 @@ def test_more_cpus_reduce_latency_under_slow_io():
     from repro.iomodels import SocketModel
     lat = {}
     for cpus in (2, 4, 8):
-        r = run_huffman(workload="txt", n_blocks=128,
+        r = _run(workload="txt", n_blocks=128,
                         io=SocketModel(per_block_us=300.0, jitter=0.0),
                         policy="balanced", step=1, reduce_ratio=8,
                         offset_fanout=8, workers=cpus, seed=0)
@@ -148,7 +152,7 @@ def test_compression_output_identical_to_reference_when_recomputed():
     from repro.huffman.reference import reference_compress
     from repro.workloads import get_workload
     data = get_workload("pdf").generate(64 * 4096, seed=3)
-    r = run_huffman(workload=data, policy="balanced", step=1,
+    r = _run(workload=data, policy="balanced", step=1,
                     verification="optimistic", seed=3)
     if r.result.outcome == "recompute":
         _, ref_bits, _ = reference_compress(data)
@@ -159,7 +163,7 @@ def test_socket_pdf_rollback_plateau():
     """Fig. 7b's signature: after the rollback, every block already on hand
     is re-encoded almost instantly — a flat plateau in completion times —
     and later blocks track their arrivals again."""
-    r = run_huffman(workload="pdf", n_blocks=256, io="socket",
+    r = _run(workload="pdf", n_blocks=256, io="socket",
                     policy="balanced", step=1, reduce_ratio=8,
                     offset_fanout=8, seed=0)
     if r.result.spec_stats.get("rollbacks", 0) == 0:

@@ -3,8 +3,13 @@
 import numpy as np
 import pytest
 
+from repro.experiments.config import RunConfig
 from repro.filterapp import FilterDesignProblem, frequency_response
 from repro.filterapp.runner import run_filter_experiment
+
+
+def _run(**kw):
+    return run_filter_experiment(config=RunConfig.for_app("filter", **kw))
 
 
 # ----------------------------------------------------------------- solver
@@ -43,38 +48,38 @@ def test_problem_validation():
 
 # ----------------------------------------------------------------- pipeline
 def test_speculative_filter_run_commits():
-    report = run_filter_experiment(n_blocks=24, iterations=24, step=4,
+    report = _run(n_blocks=24, iterations=24, step=4,
                                    tolerance=0.05, seed=0)
-    assert report.outcome == "commit"
-    assert report.output_ok
-    assert report.speculations >= 1
+    assert report.result.outcome == "commit"
+    assert report.extras["output_ok"]
+    assert report.extras["speculations"] >= 1
 
 
 def test_speculation_beats_nonspec_latency():
-    spec = run_filter_experiment(n_blocks=24, step=4, tolerance=0.05, seed=0)
-    nonspec = run_filter_experiment(n_blocks=24, speculative=False, seed=0)
-    assert nonspec.outcome == "non_speculative"
+    spec = _run(n_blocks=24, step=4, tolerance=0.05, seed=0)
+    nonspec = _run(n_blocks=24, speculative=False, seed=0)
+    assert nonspec.result.outcome == "non_speculative"
     assert spec.avg_latency < nonspec.avg_latency
-    assert nonspec.output_ok
+    assert nonspec.extras["output_ok"]
 
 
 def test_too_early_speculation_rolls_back():
     """Speculating on iteration 1 with a tight tolerance: the coefficients
     are still moving, so checks fail and the run recovers."""
-    report = run_filter_experiment(n_blocks=24, step=1, verify_k=2,
+    report = _run(n_blocks=24, step=1, verify_k=2,
                                    tolerance=0.005, seed=0)
-    assert report.rollbacks >= 1
-    assert report.output_ok
-    assert report.outcome in ("commit", "recompute")
+    assert report.extras["rollbacks"] >= 1
+    assert report.extras["output_ok"]
+    assert report.result.outcome in ("commit", "recompute")
 
 
 def test_committed_quality_within_tolerance_of_final():
     problem_final = FilterDesignProblem(iterations=24)
     final_err = problem_final.response_error(problem_final.solve()[-1])
-    report = run_filter_experiment(n_blocks=16, step=8, tolerance=0.05, seed=0)
-    if report.outcome == "commit":
+    report = _run(n_blocks=16, step=8, tolerance=0.05, seed=0)
+    if report.result.outcome == "commit":
         # committed (possibly early) coefficients are close to final quality
-        assert report.response_error < final_err + 0.10
+        assert report.extras["response_error"] < final_err + 0.10
 
 
 def test_ordered_arrival_enforced():

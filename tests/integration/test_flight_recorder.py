@@ -12,7 +12,7 @@ metrics (double-entry: event log vs metrics surface).
 
 import pytest
 
-from repro.experiments.runner import run_huffman
+from repro.experiments.runner import RunConfig, run_huffman
 from repro.obs.events import index_by_seq, load_events_jsonl, walk_to_root
 from repro.obs.explain import build_cascades, explain_events
 
@@ -27,7 +27,7 @@ def _run(executor, **kw):
     cfg = dict(_FORCED, **kw)
     if executor != "sim":
         cfg.update(_LIVE, executor=executor)
-    return run_huffman(**cfg)
+    return run_huffman(config=RunConfig(**cfg))
 
 
 def _assert_causal_closure(events):
@@ -106,7 +106,7 @@ def test_explain_totals_match_engine_and_shm_metrics():
 
 def test_events_jsonl_sink_round_trips(tmp_path):
     path = tmp_path / "run.events.jsonl"
-    report = run_huffman(**_FORCED, events_out=str(path))
+    report = run_huffman(config=RunConfig(**_FORCED, events_out=str(path)))
     on_disk = load_events_jsonl(str(path))
     in_memory = report.events.events()
     assert [e["seq"] for e in on_disk] == [e["seq"] for e in in_memory]
@@ -114,7 +114,7 @@ def test_events_jsonl_sink_round_trips(tmp_path):
 
 
 def test_events_disabled_keeps_run_working():
-    report = run_huffman(**_FORCED, events=False)
+    report = run_huffman(config=RunConfig(**_FORCED, events=False))
     assert report.roundtrip_ok
     assert report.events is None
     assert report.warnings == []

@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.errors import ExperimentError
+from repro.experiments.config import RunConfig
 from repro.kmeansapp import KMeansModel, gaussian_mixture_stream, run_kmeans_experiment
+
+
+def _run(**kw):
+    return run_kmeans_experiment(config=RunConfig.for_app("kmeans", **kw))
 
 
 # ----------------------------------------------------------------- kernels
@@ -77,36 +82,36 @@ def test_model_validation():
 
 # ----------------------------------------------------------------- pipeline
 def test_speculative_run_commits_and_labels_verified():
-    report = run_kmeans_experiment(n_blocks=24, step=2, seed=0)
-    assert report.outcome == "commit"
-    assert report.labels_ok
-    assert report.speculations >= 1
+    report = _run(n_blocks=24, step=2, seed=0)
+    assert report.result.outcome == "commit"
+    assert report.extras["labels_ok"]
+    assert report.extras["speculations"] >= 1
 
 
 def test_speculation_slashes_latency():
-    spec = run_kmeans_experiment(n_blocks=24, step=2, seed=0)
-    nonspec = run_kmeans_experiment(n_blocks=24, speculative=False, seed=0)
+    spec = _run(n_blocks=24, step=2, seed=0)
+    nonspec = _run(n_blocks=24, speculative=False, seed=0)
     assert spec.avg_latency < 0.3 * nonspec.avg_latency
 
 
 def test_tolerance_bounds_inertia_excess():
-    spec = run_kmeans_experiment(n_blocks=24, step=2, tolerance=0.05, seed=0)
-    nonspec = run_kmeans_experiment(n_blocks=24, speculative=False, seed=0)
-    if spec.outcome == "commit":
+    spec = _run(n_blocks=24, step=2, tolerance=0.05, seed=0)
+    nonspec = _run(n_blocks=24, speculative=False, seed=0)
+    if spec.result.outcome == "commit":
         # clustering quality within ~the tolerance band of the full fit
-        assert spec.inertia <= nonspec.inertia * 1.15
+        assert spec.extras["inertia"] <= nonspec.extras["inertia"] * 1.15
 
 
 def test_drifting_stream_rolls_back():
-    report = run_kmeans_experiment(n_blocks=24, step=1, verify_k=2,
+    report = _run(n_blocks=24, step=1, verify_k=2,
                                    drift_blocks=10, tolerance=0.02, seed=0)
-    assert report.rollbacks >= 1
-    assert report.labels_ok
-    assert report.outcome in ("commit", "recompute")
+    assert report.extras["rollbacks"] >= 1
+    assert report.extras["labels_ok"]
+    assert report.result.outcome in ("commit", "recompute")
 
 
 def test_tight_tolerance_recomputes_or_rolls_back():
-    report = run_kmeans_experiment(n_blocks=24, step=1, verify_k=2,
+    report = _run(n_blocks=24, step=1, verify_k=2,
                                    drift_blocks=10, tolerance=1e-6, seed=0)
-    assert report.rollbacks >= 1 or report.outcome == "recompute"
-    assert report.labels_ok
+    assert report.extras["rollbacks"] >= 1 or report.result.outcome == "recompute"
+    assert report.extras["labels_ok"]

@@ -11,11 +11,15 @@ import json
 
 import pytest
 
-from repro.experiments.runner import run_huffman
+from repro.experiments.runner import RunConfig, run_huffman
 from repro.metrics.traceview import ascii_gantt, to_chrome_trace
 from repro.obs.exporters import load_json_snapshot
 
 pytestmark = pytest.mark.slow
+
+
+def _run(metrics=None, **kw):
+    return run_huffman(config=RunConfig(**kw), metrics=metrics)
 
 _LIVE = dict(workload="txt", n_blocks=24, seed=3, workers=2,
              feed_gap_s=0.0005, trace=True)
@@ -45,9 +49,9 @@ def _assert_trace_roundtrips(report):
 @pytest.mark.parametrize("executor", ["sim", "threads", "procs"])
 def test_metrics_match_spec_stats_per_executor(executor):
     if executor == "sim":
-        report = run_huffman(workload="txt", n_blocks=24, seed=3, trace=True)
+        report = _run(workload="txt", n_blocks=24, seed=3, trace=True)
     else:
-        report = run_huffman(executor=executor, **_LIVE)
+        report = _run(executor=executor, **_LIVE)
     assert report.roundtrip_ok
     _assert_spec_counters_match(report)
     _assert_trace_roundtrips(report)
@@ -58,7 +62,7 @@ def test_task_accounting_per_executor(executor):
     """Completed-task counters and latency histograms populate everywhere."""
     kwargs = dict(_LIVE, executor=executor) if executor != "sim" else dict(
         workload="txt", n_blocks=24, seed=3, trace=True)
-    report = run_huffman(**kwargs)
+    report = _run(**kwargs)
     reg = report.metrics
     completed = (reg.value("sre_tasks_completed", speculative="yes")
                  + reg.value("sre_tasks_completed", speculative="no"))
@@ -75,8 +79,8 @@ def test_procs_nonspec_counters_equal_sim():
     """Cross-process aggregation: the procs coordinator's merged registry
     counts exactly the tasks a sim run counts (nonspec runs are
     deterministic in task population across back-ends)."""
-    sim = run_huffman(workload="txt", n_blocks=24, seed=3, speculative=False)
-    procs = run_huffman(workload="txt", n_blocks=24, seed=3,
+    sim = _run(workload="txt", n_blocks=24, seed=3, speculative=False)
+    procs = _run(workload="txt", n_blocks=24, seed=3,
                         speculative=False, executor="procs", workers=2,
                         feed_gap_s=0.0005)
     for name, labels in (
@@ -91,7 +95,7 @@ def test_procs_nonspec_counters_equal_sim():
 def test_procs_worker_counters_are_harvested():
     """Worker-process registries come home over the pipe on shutdown:
     the per-worker task counters must sum to the payloads shipped."""
-    report = run_huffman(workload="txt", n_blocks=24, seed=3,
+    report = _run(workload="txt", n_blocks=24, seed=3,
                          executor="procs", workers=2, feed_gap_s=0.0005)
     reg = report.metrics
     shipped = reg.value("procs_tasks_shipped")
@@ -110,10 +114,10 @@ def test_procs_worker_counters_are_harvested():
 
 
 def test_metrics_out_writes_final_snapshot(tmp_path):
-    """run_huffman(metrics_out=...) leaves a loadable snapshot on disk that
+    """A metrics_out run leaves a loadable snapshot on disk that
     agrees with the in-memory registry's final state."""
     path = tmp_path / "run.metrics.json"
-    report = run_huffman(workload="txt", n_blocks=16, seed=0,
+    report = _run(workload="txt", n_blocks=16, seed=0,
                          metrics_out=str(path))
     on_disk = load_json_snapshot(path.read_text())
     # self-describing export: the run's parameters ride along
@@ -126,7 +130,7 @@ def test_shared_registry_aggregates_runs():
     """Passing one registry to several runs accumulates their counters."""
     from repro.obs.metrics import MetricsRegistry
     reg = MetricsRegistry()
-    run_huffman(workload="txt", n_blocks=16, seed=0, metrics=reg)
+    _run(workload="txt", n_blocks=16, seed=0, metrics=reg)
     once = reg.value("blocks_committed")
-    run_huffman(workload="txt", n_blocks=16, seed=1, metrics=reg)
+    _run(workload="txt", n_blocks=16, seed=1, metrics=reg)
     assert reg.value("blocks_committed") == 2 * once == 32

@@ -7,15 +7,19 @@ with the real check schedule.
 
 import pytest
 
-from repro.experiments.runner import run_huffman
+from repro.experiments.runner import RunConfig, run_huffman
 
 pytestmark = pytest.mark.slow
 
 
+def _run(**kw):
+    return run_huffman(config=RunConfig(**kw))
+
+
 def test_paper_scale_txt_balanced():
-    spec = run_huffman(workload="txt", n_blocks=1024, policy="balanced",
+    spec = _run(workload="txt", n_blocks=1024, policy="balanced",
                        step=1, seed=0)
-    nonspec = run_huffman(workload="txt", n_blocks=1024, policy="nonspec",
+    nonspec = _run(workload="txt", n_blocks=1024, policy="nonspec",
                           seed=0)
     assert spec.result.outcome == "commit"
     assert spec.result.spec_stats["rollbacks"] == 0
@@ -27,7 +31,7 @@ def test_paper_scale_txt_balanced():
 
 
 def test_paper_scale_pdf_rolls_back_and_recovers():
-    report = run_huffman(workload="pdf", n_blocks=1024, policy="balanced",
+    report = _run(workload="pdf", n_blocks=1024, policy="balanced",
                          step=1, seed=0)
     assert report.result.spec_stats["rollbacks"] >= 1
     assert report.result.outcome == "commit"  # calibrated drift converges

@@ -73,13 +73,14 @@ def test_threaded_nonspeculative():
 def test_threaded_matches_simulated_output_bits():
     """Same data, same config: the threaded and simulated executors commit
     the same tree and therefore the same compressed size."""
-    from repro.experiments.runner import run_huffman
+    from repro.experiments.runner import RunConfig, run_huffman
     rng = np.random.default_rng(2)
     data = bytes(rng.choice(np.arange(97, 123, dtype=np.uint8), 32 * BLOCK))
     pipe_t, result_t = _run_threaded(data)
-    sim = run_huffman(workload=data, block_size=BLOCK, reduce_ratio=4,
-                      offset_fanout=8, policy="balanced", step=1,
-                      verify_k=2, seed=0)
+    sim = run_huffman(config=RunConfig(workload=data, block_size=BLOCK,
+                                       reduce_ratio=4, offset_fanout=8,
+                                       policy="balanced", step=1,
+                                       verify_k=2, seed=0))
     assert sim.result.outcome == "commit"
     if result_t.outcome == "commit":
         # both committed the same (final-equivalent) tree on stationary data

@@ -55,9 +55,10 @@ def test_ascii_gantt_empty():
 
 
 def test_export_from_real_run():
-    from repro.experiments.runner import run_huffman
-    report = run_huffman(workload="txt", n_blocks=32, policy="balanced",
-                         step=1, seed=0, trace=True)
+    from repro.experiments.runner import RunConfig, run_huffman
+    report = run_huffman(config=RunConfig(workload="txt", n_blocks=32,
+                                          policy="balanced", step=1, seed=0,
+                                          trace=True))
     doc = json.loads(to_chrome_trace(report.trace))
     kinds = {e["tid"] for e in doc["traceEvents"]}
     assert {"count", "reduce", "tree", "offset", "encode"} <= kinds

@@ -54,9 +54,10 @@ def test_empty_trace():
 
 
 def test_from_real_run_depth_never_negative():
-    from repro.experiments.runner import run_huffman
-    r = run_huffman(workload="bmp", n_blocks=48, policy="balanced", step=1,
-                    seed=0, trace=True)
+    from repro.experiments.runner import RunConfig, run_huffman
+    r = run_huffman(config=RunConfig(workload="bmp", n_blocks=48,
+                                     policy="balanced", step=1,
+                                     seed=0, trace=True))
     times, depths = ready_depth_series(r.trace)
     assert np.all(depths >= 0)
     usage = worker_time_breakdown(r.trace)

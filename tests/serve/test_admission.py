@@ -1,0 +1,170 @@
+"""Admission gates: bulkheads, queue backpressure, the crash breaker.
+
+Everything runs on an injected fake clock — the breaker walks its whole
+closed → open → half-open → closed state machine without sleeping.
+"""
+
+import pytest
+
+from repro.serve.admission import AdmissionController, TenantBreaker
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+# ----------------------------------------------------------------------
+# TenantBreaker
+# ----------------------------------------------------------------------
+def test_breaker_closed_allows_and_success_resets():
+    b = TenantBreaker(threshold=2, cooldown_s=10.0, clock=FakeClock())
+    assert b.state == "closed"
+    assert b.allow()
+    b.record_crash()
+    b.record_success()  # consecutive-crash count resets
+    b.record_crash()
+    assert b.state == "closed"  # 1 < threshold again
+
+
+def test_breaker_opens_at_threshold():
+    b = TenantBreaker(threshold=2, cooldown_s=10.0, clock=FakeClock())
+    b.record_crash()
+    b.record_crash()
+    assert b.state == "open"
+    assert not b.allow()
+    assert b.opens == 1
+
+
+def test_breaker_half_open_probe_lifecycle():
+    clock = FakeClock()
+    b = TenantBreaker(threshold=1, cooldown_s=10.0, clock=clock)
+    b.record_crash()
+    assert b.state == "open"
+    clock.advance(9.9)
+    assert not b.allow()  # still cooling
+    clock.advance(0.2)
+    assert b.allow()  # the half-open probe
+    assert b.state == "half_open"
+    assert not b.allow()  # only one probe at a time
+    b.record_success()
+    assert b.state == "closed"
+    assert b.allow()
+
+
+def test_breaker_probe_crash_reopens():
+    clock = FakeClock()
+    b = TenantBreaker(threshold=1, cooldown_s=10.0, clock=clock)
+    b.record_crash()
+    clock.advance(10.1)
+    assert b.allow()
+    b.record_crash()  # the probe crashed too
+    assert b.state == "open"
+    assert b.opens == 2
+    assert not b.allow()  # cooldown restarted
+    clock.advance(10.1)
+    assert b.allow()
+
+
+def test_breaker_validation():
+    with pytest.raises(ValueError):
+        TenantBreaker(threshold=0)
+    with pytest.raises(ValueError):
+        TenantBreaker(cooldown_s=0)
+
+
+# ----------------------------------------------------------------------
+# AdmissionController
+# ----------------------------------------------------------------------
+def _ctl(**kw):
+    defaults = dict(max_tenant_jobs=2, max_tenant_bytes=1000, queue_limit=3,
+                    breaker_threshold=2, breaker_cooldown_s=10.0,
+                    clock=FakeClock())
+    defaults.update(kw)
+    return AdmissionController(**defaults)
+
+
+def test_admit_and_release_balance():
+    ctl = _ctl()
+    assert ctl.admit("a", 100) is None
+    assert ctl.stats()["tenants"]["a"]["inflight_jobs"] == 1
+    ctl.release("a", 100)
+    stats = ctl.stats()["tenants"]["a"]
+    assert stats["inflight_jobs"] == 0
+    assert stats["inflight_bytes"] == 0
+
+
+def test_tenant_job_bulkhead():
+    ctl = _ctl()
+    assert ctl.admit("a", 1) is None
+    assert ctl.admit("a", 1) is None
+    assert ctl.admit("a", 1) == "tenant_busy"
+    # another tenant is unaffected
+    assert ctl.admit("b", 1) is None
+
+
+def test_tenant_byte_bulkhead():
+    ctl = _ctl(max_tenant_jobs=10, queue_limit=10)
+    assert ctl.admit("a", 800) is None
+    assert ctl.admit("a", 300) == "tenant_bytes"
+    assert ctl.admit("a", 200) is None  # exactly at the budget
+    assert ctl.admit("b", 900) is None
+
+
+def test_queue_full_backpressure():
+    ctl = _ctl(max_tenant_jobs=10, queue_limit=3)
+    for tenant in ("a", "b", "c"):
+        assert ctl.admit(tenant, 1) is None
+    assert ctl.admit("d", 1) == "queue_full"
+    ctl.release("a", 1)
+    assert ctl.admit("d", 1) is None
+
+
+def test_crash_releases_open_the_breaker():
+    clock = FakeClock()
+    ctl = _ctl(clock=clock)
+    for _ in range(2):
+        assert ctl.admit("evil", 1) is None
+        ctl.release("evil", 1, crash=True, success=False)
+    assert ctl.breaker_state("evil") == "open"
+    assert ctl.admit("evil", 1) == "circuit_open"
+    # healthy neighbour sails through
+    assert ctl.admit("good", 1) is None
+    # cooldown -> exactly one half-open probe
+    clock.advance(10.1)
+    assert ctl.admit("evil", 1) is None
+    assert ctl.admit("evil", 1) == "circuit_open"
+    ctl.release("evil", 1, crash=False, success=True)
+    assert ctl.breaker_state("evil") == "closed"
+
+
+def test_plain_failure_does_not_feed_the_breaker():
+    ctl = _ctl()
+    for _ in range(5):
+        assert ctl.admit("a", 1) is None
+        ctl.release("a", 1, crash=False, success=False)
+    assert ctl.breaker_state("a") == "closed"
+
+
+def test_rejection_reasons_counted_in_stats():
+    ctl = _ctl()
+    ctl.admit("a", 1)
+    ctl.admit("a", 1)
+    ctl.admit("a", 1)  # tenant_busy
+    ctl.admit("a", 1)  # tenant_busy
+    assert ctl.stats()["tenants"]["a"]["rejections"] == {"tenant_busy": 2}
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        AdmissionController(max_tenant_jobs=0)
+    with pytest.raises(ValueError):
+        AdmissionController(queue_limit=0)
+    with pytest.raises(ValueError):
+        AdmissionController(max_tenant_bytes=0)

@@ -1,0 +1,231 @@
+"""The serve daemon end to end: served == one-shot, isolation holds.
+
+The acceptance bar for `repro serve`:
+
+* a served job produces the **byte-identical** ``output_sha256`` a
+  one-shot run of the same config produces (same code path, warm or
+  cold);
+* the warm substrate leaks nothing — after jobs drain, the daemon's
+  shared BlockStore holds zero refs;
+* one tenant's worker-killing payloads trip *its* breaker and poison
+  *its* lane while a concurrent healthy tenant completes normally.
+"""
+
+import threading
+
+import pytest
+
+from repro.client import JobRejected, ServeClient, ServeError
+from repro.experiments.config import RunConfig
+from repro.experiments.jobs import run_job
+from repro.serve.server import ServeSettings, SpeculationServer
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture()
+def server(request):
+    settings = getattr(request, "param", None) or ServeSettings(job_workers=2)
+    srv = SpeculationServer(settings).start()
+    yield srv
+    srv.stop()
+
+
+@pytest.fixture()
+def client(server):
+    with ServeClient(port=server.port) as c:
+        yield c
+
+
+_HUFF = {"app": "huffman", "workload": "txt", "n_blocks": 16,
+         "executor": "procs", "workers": 2, "transport": "shm", "seed": 0}
+_KMEANS = {"app": "kmeans", "n_blocks": 16, "seed": 0}
+
+
+def _one_shot_sha(config: dict) -> str:
+    cfg = dict(config)
+    return run_job(RunConfig.for_app(cfg.pop("app"), **cfg)).output_sha256
+
+
+def test_ping(client):
+    reply = client.ping()
+    assert reply["ok"] and reply["pid"] > 0
+
+
+def test_two_tenants_mixed_apps_byte_identical_and_no_leaks(server, client):
+    """Tenants submit huffman (warm procs+shm) and kmeans (sim)
+    concurrently; each served output is byte-identical to its one-shot
+    equivalent and the warm arenas end the day empty."""
+    jobs = {
+        "alice": client.submit(_KMEANS, tenant="alice"),
+        "bob": client.submit(_HUFF, tenant="bob"),
+    }
+    reports = {t: client.result(j, timeout_s=180.0) for t, j in jobs.items()}
+    assert reports["alice"]["output_sha256"] == _one_shot_sha(_KMEANS)
+    assert reports["bob"]["output_sha256"] == _one_shot_sha(_HUFF)
+    assert reports["alice"]["app"] == "kmeans"
+    assert reports["bob"]["app"] == "huffman"
+    assert server.store.live_refs == 0
+    stats = client.stats()
+    assert stats["store"]["live_refs"] == 0
+    assert stats["admission"]["inflight_total"] == 0
+
+
+def test_warm_lane_reused_across_jobs(server, client):
+    """The second procs job of a tenant rides the first job's worker
+    pool — asserted through the lane-reuse counter, not timing."""
+    for _ in range(2):
+        job = client.submit(_HUFF, tenant="bob")
+        client.result(job, timeout_s=180.0)
+    assert server.metrics.value("serve_lane_spawns") == 1
+    assert server.metrics.value("serve_lane_reuses") == 1
+    (lane,) = server.lanes.stats()
+    assert lane["jobs_served"] == 2 and not lane["in_use"]
+
+
+def test_served_equals_one_shot_across_seeds(server, client):
+    """Spot-check determinism through the service for sim configs."""
+    for seed in (0, 7):
+        cfg = dict(_KMEANS, seed=seed)
+        job = client.submit(cfg, tenant="alice")
+        assert client.result(job)["output_sha256"] == _one_shot_sha(cfg)
+
+
+@pytest.mark.parametrize("server", [ServeSettings(
+    job_workers=2, breaker_threshold=1, breaker_cooldown_s=600.0,
+)], indirect=True)
+def test_breaker_quarantines_crash_tenant_healthy_tenant_unaffected(
+        server, client):
+    """The §V resilience scenario: a tenant whose payloads kill workers
+    is circuit-broken after one crash-failure; a concurrent healthy
+    tenant's job completes byte-identical to its sim one-shot."""
+    evil_cfg = {"app": "huffman", "workload": "txt", "n_blocks": 4,
+                "executor": "procs", "workers": 1, "seed": 0,
+                "fault_plan": "kill@1!", "max_task_retries": 1,
+                "retry_backoff_s": 0.0, "max_worker_respawns": 1}
+    evil_job = client.submit(evil_cfg, tenant="evil")
+    good_job = client.submit(_KMEANS, tenant="good")
+    # The poisoned job fails (its tasks are quarantined after repeated
+    # worker deaths); the failure is crash-type and feeds the breaker.
+    with pytest.raises(ServeError, match="failed"):
+        client.result(evil_job, timeout_s=180.0)
+    assert client.status(evil_job)["state"] == "failed"
+    assert server.admission.breaker_state("evil") == "open"
+    assert server.metrics.value("serve_breaker_opens", tenant="evil") == 1
+    # Its lane was poisoned (dead/degraded seats) and dropped.
+    assert server.metrics.value("serve_lane_drops") == 1
+    assert server.lanes.stats() == []
+    # Further submissions are refused instantly.
+    with pytest.raises(JobRejected) as exc:
+        client.submit(evil_cfg, tenant="evil")
+    assert exc.value.reason == "circuit_open"
+    # The healthy neighbour never noticed.
+    report = client.result(good_job, timeout_s=180.0)
+    assert report["output_sha256"] == _one_shot_sha(_KMEANS)
+    assert server.admission.breaker_state("good") == "closed"
+    assert server.store.live_refs == 0
+
+
+def test_plain_failure_does_not_open_breaker(server, client):
+    """A job that fails cleanly at run time (bad geometry — no worker
+    was harmed) never feeds the breaker, however often it happens."""
+    bad = {"app": "huffman", "workload": "txt", "n_blocks": 16,
+           "executor": "sim", "block_size": -1}
+    for _ in range(3):
+        job = client.submit(bad, tenant="clumsy")
+        with pytest.raises(ServeError, match="failed"):
+            client.result(job, timeout_s=60.0)
+    assert server.admission.breaker_state("clumsy") == "closed"
+    # a malformed config dict is refused before admission, also breaker-free
+    with pytest.raises(JobRejected) as exc:
+        client.submit({"app": "huffman", "n_blockz": 8}, tenant="clumsy")
+    assert exc.value.reason == "bad_config"
+    assert server.admission.breaker_state("clumsy") == "closed"
+
+
+@pytest.mark.parametrize("server", [ServeSettings(
+    job_workers=1, max_tenant_jobs=1, queue_limit=2, stream_timeout_s=60.0,
+)], indirect=True)
+def test_bulkhead_and_queue_backpressure(server, client):
+    """A held-open live job occupies its tenant's bulkhead slot; the
+    tenant gets tenant_busy, and once the global queue fills other
+    tenants get queue_full — until the slot frees."""
+    live = {"app": "huffman", "io": "live", "n_blocks": 4,
+            "executor": "threads", "workers": 2, "verify_roundtrip": False}
+    held = client.submit(live, tenant="alice")
+    with pytest.raises(JobRejected) as exc:
+        client.submit(_KMEANS, tenant="alice")
+    assert exc.value.reason == "tenant_busy"
+    queued = client.submit(_KMEANS, tenant="bob")  # fills the global queue
+    with pytest.raises(JobRejected) as exc:
+        client.submit(_KMEANS, tenant="carol")
+    assert exc.value.reason == "queue_full"
+    # Feed the held job; completion frees the slots again.
+    for i in range(4):
+        client.send_block(held, i, bytes([i]) * 4096)
+    client.close_stream(held)
+    assert client.result(held, timeout_s=120.0)["outcome"]
+    assert client.result(queued, timeout_s=120.0)["output_sha256"]
+    assert client.submit(_KMEANS, tenant="carol")  # admitted now
+
+
+def test_live_streaming_job_records_real_arrivals(server, client):
+    """io='live': blocks pushed over the socket drive the pipeline and
+    the run records their real (monotonic) arrival schedule."""
+    blocks = [bytes([65 + i]) * 4096 for i in range(6)]
+    job = client.submit({"app": "huffman", "io": "live", "n_blocks": 6,
+                         "executor": "threads", "workers": 2},
+                        tenant="alice")
+    for i, block in enumerate(blocks):
+        client.send_block(job, i, block)
+    client.close_stream(job)
+    report = client.result(job, timeout_s=120.0)
+    assert report["roundtrip_ok"] is True
+    arrivals = report["extras"]["live_arrivals_us"]
+    assert len(arrivals) == 6
+    assert arrivals == sorted(arrivals)
+    assert report["label"].startswith("live/")
+
+
+def test_concurrent_submitters_from_threads(server):
+    """Two client threads (separate connections) hammer the daemon;
+    every admitted job completes with the right per-seed digest."""
+    results: dict[str, list] = {"a": [], "b": []}
+
+    def drive(tenant: str, seeds: list[int]) -> None:
+        with ServeClient(port=server.port) as c:
+            for seed in seeds:
+                job = c.submit(dict(_KMEANS, seed=seed), tenant=tenant)
+                results[tenant].append(
+                    (seed, c.result(job, timeout_s=120.0)["output_sha256"]))
+
+    threads = [threading.Thread(target=drive, args=("a", [0, 1])),
+               threading.Thread(target=drive, args=("b", [2, 3]))]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=180.0)
+    for tenant, rows in results.items():
+        assert len(rows) == 2, f"{tenant} did not finish"
+        for seed, sha in rows:
+            assert sha == _one_shot_sha(dict(_KMEANS, seed=seed))
+
+
+def test_unknown_ops_and_jobs_fail_cleanly(client):
+    with pytest.raises(ServeError, match="unknown job"):
+        client.status("job-999")
+    with pytest.raises(ServeError, match="unknown op"):
+        client._checked({"op": "frobnicate"})
+    with pytest.raises(ServeError, match="unknown op"):
+        client._checked({"op": "_op_ping"})  # no private-handler reach
+
+
+def test_jobs_table_rows(server, client):
+    job = client.submit(_KMEANS, tenant="alice")
+    client.result(job)
+    rows = client.jobs()
+    assert [r["job_id"] for r in rows] == [job]
+    (row,) = rows
+    assert row["state"] == "done"
+    assert row["tenant"] == "alice"
+    assert row["latency_s"] > 0

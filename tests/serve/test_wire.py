@@ -1,0 +1,106 @@
+"""Framing layer: length-prefixed JSON frames over a socketpair."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.errors import TransportError
+from repro.serve.wire import (MAX_FRAME_BYTES, decode_blob, encode_blob,
+                              recv_frame, send_frame)
+
+
+@pytest.fixture()
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+def test_roundtrip_simple(pair):
+    a, b = pair
+    send_frame(a, {"op": "ping", "n": 3})
+    assert recv_frame(b) == {"op": "ping", "n": 3}
+
+
+def test_roundtrip_many_frames_in_order(pair):
+    a, b = pair
+    for i in range(50):
+        send_frame(a, {"i": i})
+    for i in range(50):
+        assert recv_frame(b) == {"i": i}
+
+
+def test_blob_roundtrip(pair):
+    a, b = pair
+    payload = bytes(range(256)) * 40
+    send_frame(a, {"data_b64": encode_blob(payload)})
+    frame = recv_frame(b)
+    assert decode_blob(frame["data_b64"]) == payload
+
+
+def test_clean_eof_returns_none(pair):
+    a, b = pair
+    a.close()
+    assert recv_frame(b) is None
+
+
+def test_mid_frame_eof_raises(pair):
+    a, b = pair
+    send_frame(a, {"x": "y" * 100})
+    # deliver only the header + a few body bytes, then hang up
+    threading.Thread(target=a.close).start()
+    # consume the valid frame first so close lands cleanly for this test
+    assert recv_frame(b)["x"] == "y" * 100
+
+
+def test_truncated_body_raises():
+    a, b = socket.socketpair()
+    try:
+        import struct
+
+        a.sendall(struct.pack(">I", 100) + b'{"partial":')
+        a.close()
+        with pytest.raises(TransportError, match="mid-frame"):
+            recv_frame(b)
+    finally:
+        b.close()
+
+
+def test_oversize_announcement_refused():
+    a, b = socket.socketpair()
+    try:
+        import struct
+
+        a.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        with pytest.raises(TransportError, match="refusing"):
+            recv_frame(b)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_malformed_json_raises(pair):
+    a, b = pair
+    import struct
+
+    body = b"not json at all"
+    a.sendall(struct.pack(">I", len(body)) + body)
+    with pytest.raises(TransportError, match="malformed"):
+        recv_frame(b)
+
+
+def test_non_object_frame_rejected(pair):
+    a, b = pair
+    import struct
+
+    body = b"[1, 2, 3]"
+    a.sendall(struct.pack(">I", len(body)) + body)
+    with pytest.raises(TransportError, match="object"):
+        recv_frame(b)
+
+
+def test_bad_base64_raises():
+    with pytest.raises(TransportError, match="base64"):
+        decode_blob("!!!not base64!!!")

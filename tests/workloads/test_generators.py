@@ -196,8 +196,9 @@ def test_markov_deterministic_and_registered():
 
 
 def test_markov_roundtrips_through_pipeline():
-    from repro.experiments.runner import run_huffman
-    r = run_huffman(workload="markov", n_blocks=32, reduce_ratio=4,
-                    policy="balanced", step=1, seed=0)
+    from repro.experiments.runner import RunConfig, run_huffman
+    r = run_huffman(config=RunConfig(workload="markov", n_blocks=32,
+                                     reduce_ratio=4, policy="balanced",
+                                     step=1, seed=0))
     assert r.roundtrip_ok
     assert r.result.outcome == "commit"  # stationary marginal: no rollback

@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Warm-daemon latency bench: the acceptance number for `repro serve`.
+
+The point of the long-lived service is that the second job on a warm
+lane skips the entire substrate start-up — forking worker processes,
+connecting pipes, creating shm arenas. This script measures exactly
+that gap for one procs+shm huffman config:
+
+* **one-shot wall time** — `run_job` cold, everything built and torn
+  down, averaged over a few runs;
+* **warm submit→result latency** — the same config through a running
+  `SpeculationServer`: job 1 pays the lane spawn, jobs 2..N ride the
+  warm pool; their client-observed submit→result latency is the number
+  that must sit well below the one-shot wall time.
+
+Exits non-zero unless (a) every served digest equals the one-shot
+digest (byte-identity) and (b) the mean warm latency beats the mean
+one-shot wall time.
+
+Usage::
+
+    python tools/serve_bench.py [--blocks 32] [--workers 2] [--runs 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import statistics
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.client import ServeClient  # noqa: E402
+from repro.experiments.config import RunConfig  # noqa: E402
+from repro.experiments.jobs import run_job  # noqa: E402
+from repro.serve.server import ServeSettings, SpeculationServer  # noqa: E402
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--blocks", type=int, default=32)
+    ap.add_argument("--workers", type=int, default=2)
+    ap.add_argument("--runs", type=int, default=3,
+                    help="one-shot runs and warm jobs to average over")
+    args = ap.parse_args()
+
+    raw = {"workload": "txt", "n_blocks": args.blocks, "executor": "procs",
+           "workers": args.workers, "transport": "shm", "seed": 0}
+    cfg = RunConfig.for_app("huffman", **raw)
+
+    one_shot_s: list[float] = []
+    for _ in range(args.runs):
+        t0 = time.monotonic()
+        report = run_job(cfg)
+        one_shot_s.append(time.monotonic() - t0)
+    expected_sha = report.output_sha256
+
+    warm_s: list[float] = []
+    shas: list[str] = []
+    server = SpeculationServer(ServeSettings(job_workers=1)).start()
+    try:
+        with ServeClient(port=server.port) as client:
+            # job 1 pays the lane spawn; not part of the warm sample
+            t0 = time.monotonic()
+            first = client.result(client.submit(dict(raw, app="huffman"),
+                                                tenant="bench"),
+                                  timeout_s=300.0)
+            cold_s = time.monotonic() - t0
+            shas.append(first["output_sha256"])
+            for _ in range(args.runs):
+                t0 = time.monotonic()
+                rep = client.result(client.submit(dict(raw, app="huffman"),
+                                                  tenant="bench"),
+                                    timeout_s=300.0)
+                warm_s.append(time.monotonic() - t0)
+                shas.append(rep["output_sha256"])
+        reuses = server.metrics.value("serve_lane_reuses")
+    finally:
+        server.stop()
+
+    one_shot = statistics.mean(one_shot_s)
+    warm = statistics.mean(warm_s)
+    print(f"one-shot run_job wall time : {one_shot * 1e3:8.1f} ms "
+          f"(n={len(one_shot_s)})")
+    print(f"served job 1 (lane spawn)  : {cold_s * 1e3:8.1f} ms")
+    print(f"warm submit->result latency: {warm * 1e3:8.1f} ms "
+          f"(n={len(warm_s)}, lane reuses {reuses})")
+    print(f"warm / one-shot            : {warm / one_shot:8.2f}x")
+
+    problems = []
+    if any(sha != expected_sha for sha in shas):
+        problems.append("served digest diverged from one-shot digest")
+    if reuses < args.runs:
+        problems.append(f"expected {args.runs} lane reuses, saw {reuses}")
+    if warm >= one_shot:
+        problems.append(f"warm latency {warm * 1e3:.1f} ms did not beat "
+                        f"one-shot {one_shot * 1e3:.1f} ms")
+    if problems:
+        print("serve bench: FAILED — " + "; ".join(problems))
+        return 1
+    print(f"serve bench: passed (warm jobs skip pool start-up, "
+          f"{(1 - warm / one_shot) * 100:.0f}% below one-shot)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
