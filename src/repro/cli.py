@@ -112,7 +112,20 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
 
 def _cmd_top(args: argparse.Namespace) -> int:
-    """Live dashboard over a (periodically rewritten) metrics snapshot."""
+    """Live dashboard over a snapshot file or a live serve daemon."""
+    if args.serve:
+        from repro.obs.top import run_top_serve
+        host, _, port = args.serve.rpartition(":")
+        try:
+            port_num = int(port)
+        except ValueError:
+            raise SystemExit(
+                f"--serve wants HOST:PORT (got {args.serve!r})") from None
+        return run_top_serve(host or "127.0.0.1", port_num,
+                             once=args.once, interval_s=args.interval)
+    if args.snapshot is None:
+        raise SystemExit("repro top needs a snapshot file "
+                         "or --serve HOST:PORT")
     from repro.obs.top import run_top
     return run_top(args.snapshot, once=args.once, interval_s=args.interval)
 
@@ -150,8 +163,38 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_serve(args: argparse.Namespace) -> int:
+    """Fetch a served job's distributed trace and render/export it."""
+    import json as json_mod
+
+    from repro.client import ServeClient
+    from repro.metrics.traceview import spans_to_chrome_trace
+    from repro.obs.spans import render_span_tree
+
+    if not args.job:
+        raise SystemExit("repro trace --serve requires --job JOB_ID")
+    with ServeClient(args.host, port=_resolve_port(args)) as client:
+        doc = client.trace(args.job)
+    spans = doc.get("spans") or []
+    print(f"{args.job}  trace {doc.get('trace_id')}  "
+          f"state {doc.get('state')}  spans {len(spans)}")
+    for line in render_span_tree(spans):
+        print(line)
+    if args.spans_json is not None:
+        pathlib.Path(args.spans_json).write_text(
+            json_mod.dumps(doc, indent=2) + "\n")
+        print(f"span list written to {args.spans_json}")
+    if args.out is not None:
+        pathlib.Path(args.out).write_text(spans_to_chrome_trace(spans))
+        print(f"chrome trace written to {args.out} "
+              "(open in chrome://tracing or ui.perfetto.dev)")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Run one experiment and export its trace (Chrome JSON and/or Gantt)."""
+    if args.serve:
+        return _cmd_trace_serve(args)
     from repro.metrics.traceview import ascii_gantt, to_chrome_trace
     report = _run_experiment(args, trace=True)
     if args.out is not None:
@@ -340,6 +383,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         breaker_cooldown_s=args.breaker_cooldown,
         max_lanes=args.max_lanes,
         events_out=args.events_out,
+        metrics_out=args.metrics_out,
+        metrics_interval_s=args.metrics_interval_s,
         port_file=args.port_file,
     )
     server = SpeculationServer(settings).start()
@@ -527,6 +572,23 @@ def build_parser() -> argparse.ArgumentParser:
                               "(omitted: print the ASCII gantt)")
     p_trace.add_argument("--gantt", action="store_true",
                          help="also print the ASCII gantt when writing a file")
+    p_trace.add_argument("--serve", action="store_true",
+                         help="fetch a served job's distributed trace from "
+                              "a running daemon instead of running an "
+                              "experiment (needs --job and --port/"
+                              "--port-file; see docs/tracing.md)")
+    p_trace.add_argument("--job", default=None,
+                         help="job id to trace (with --serve)")
+    p_trace.add_argument("--host", default="127.0.0.1",
+                         help="daemon host (with --serve)")
+    p_trace.add_argument("--port", type=int, default=None,
+                         help="daemon port (with --serve)")
+    p_trace.add_argument("--port-file", default=None, dest="port_file",
+                         help="read the daemon port from this file "
+                              "(with --serve)")
+    p_trace.add_argument("--spans-json", default=None, dest="spans_json",
+                         help="with --serve: also write the raw span list "
+                              "(JSON) to this path")
     p_trace.set_defaults(fn=_cmd_trace)
 
     p_filter = sub.add_parser("filter", help="run the Fig. 1 filter application")
@@ -610,11 +672,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_top = sub.add_parser(
         "top",
-        help="live text dashboard over a metrics snapshot file")
-    p_top.add_argument("snapshot",
+        help="live text dashboard over a metrics snapshot file or a "
+             "running serve daemon")
+    p_top.add_argument("snapshot", nargs="?", default=None,
                        help="JSON snapshot kept fresh by `repro run "
                             "--metrics-out run.metrics.json` (long runs "
-                            "rewrite it periodically)")
+                            "rewrite it periodically); omit with --serve")
+    p_top.add_argument("--serve", default=None, metavar="HOST:PORT",
+                       help="poll a live daemon's stats op instead of a "
+                            "file: per-tenant job rates, breaker states, "
+                            "lane occupancy, stage p50/p95")
     p_top.add_argument("--once", action="store_true",
                        help="print a single frame and exit (CI / scripting)")
     p_top.add_argument("--interval", type=float, default=1.0,
@@ -701,6 +768,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--events-out", default=None, dest="events_out",
                          help="write the daemon's lifecycle event log "
                               "(JSONL) to this path")
+    p_serve.add_argument("--metrics-out", default=None, dest="metrics_out",
+                         help="write the daemon-wide metrics snapshot here "
+                              "periodically (.json → JSON, else Prometheus "
+                              "text); `repro top FILE` can tail it")
+    p_serve.add_argument("--metrics-interval-s", type=float, default=5.0,
+                         dest="metrics_interval_s", metavar="SECONDS",
+                         help="seconds between --metrics-out snapshots")
     p_serve.set_defaults(fn=_cmd_serve)
 
     p_submit = sub.add_parser(

@@ -15,6 +15,12 @@ admission ``reason`` (``circuit_open`` / ``tenant_busy`` /
 implement backoff-and-retry against backpressure without string
 matching. The connection is serialised by a lock — a ServeClient is
 safe to share across threads, with requests interleaving whole frames.
+
+Every frame carries a W3C-style ``traceparent`` header; :meth:`submit`
+mints a fresh trace per job, so the daemon's stage spans, flight-recorder
+events and worker-side ``worker_exec`` events all share that job's
+trace id (:mod:`repro.obs.spans`). Fetch the assembled span tree with
+:meth:`trace`.
 """
 
 from __future__ import annotations
@@ -23,7 +29,9 @@ import socket
 import threading
 
 from repro.errors import ExperimentError
-from repro.serve.wire import encode_blob, recv_frame, send_frame
+from repro.obs.spans import TraceContext
+from repro.serve.wire import TRACEPARENT_KEY, encode_blob, recv_frame, \
+    send_frame
 
 __all__ = ["JobRejected", "ServeClient", "ServeError"]
 
@@ -49,6 +57,10 @@ class ServeClient:
         self._sock = socket.create_connection((host, port),
                                               timeout=timeout_s)
         self._lock = threading.Lock()
+        #: active trace context; re-minted per submit so each job gets
+        #: its own trace id. Follow-up ops (block/result/...) reuse the
+        #: last submit's context.
+        self._trace = TraceContext.mint()
 
     def __enter__(self) -> "ServeClient":
         return self
@@ -65,6 +77,7 @@ class ServeClient:
     # ------------------------------------------------------------------
     def _call(self, req: dict) -> dict:
         with self._lock:
+            req.setdefault(TRACEPARENT_KEY, self._trace.to_traceparent())
             send_frame(self._sock, req)
             reply = recv_frame(self._sock)
         if reply is None:
@@ -97,6 +110,7 @@ class ServeClient:
         config = dict(config)
         if workload is not None:
             config["workload_b64"] = encode_blob(workload)
+        self._trace = TraceContext.mint()  # one trace per job
         reply = self._checked({"op": "submit", "tenant": tenant,
                                "config": config})
         return reply["job_id"]
@@ -132,6 +146,16 @@ class ServeClient:
 
     def jobs(self) -> list[dict]:
         return self._checked({"op": "jobs"})["jobs"]
+
+    def trace(self, job_id: str) -> dict:
+        """A job's assembled trace: ``{"trace_id", "state", "spans"}``.
+
+        ``spans`` is a flat list of span dicts (assemble a tree with
+        :func:`repro.obs.spans.span_tree`); for a running job the open
+        stage spans appear with ``t1_us`` null.
+        """
+        reply = self._checked({"op": "trace", "job_id": job_id})
+        return {k: v for k, v in reply.items() if k != "ok"}
 
     def stats(self) -> dict:
         reply = self._checked({"op": "stats"})

@@ -134,12 +134,19 @@ class JobResources:
         A :class:`~repro.iomodels.socket.LiveArrivals` recorder to stamp
         live arrivals into; one is created when omitted. The recorded
         schedule lands in ``report.extras["live_arrivals_us"]``.
+    ``trace``
+        A :class:`~repro.obs.spans.TraceContext` (the serve daemon's
+        execute-span context). The runner stamps it onto the job's event
+        log, so every event of the run — and, through the dispatch batch
+        headers, every worker-side ``worker_exec`` event — carries the
+        submitting request's ``trace_id``.
     """
 
     executor_factory: Callable[..., Any] | None = None
     store: Any | None = None
     block_source: Any | None = None
     arrivals: Any | None = None
+    trace: Any | None = None
 
 
 @dataclass

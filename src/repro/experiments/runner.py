@@ -175,6 +175,9 @@ def run_huffman(
     events = EventLog(capacity=cfg.events_capacity, path=cfg.events_out,
                       enabled=cfg.events,
                       meta={"app": "huffman", "run_config": cfg.to_dict()})
+    if resources is not None and resources.trace is not None:
+        # Served job: every event of this run joins the submit's trace.
+        events.set_trace_context(resources.trace)
     runtime = Runtime(
         trace=TraceRecorder(enabled=cfg.trace),
         metrics=registry,

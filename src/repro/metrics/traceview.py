@@ -11,16 +11,22 @@ Both operate purely on trace records, so they work identically for every
 executor back-end — ``sim`` (virtual µs), ``threads`` and ``procs`` (wall
 µs): pass ``trace=True`` to ``run_huffman`` (or ``--trace-out`` /
 ``repro trace`` on the CLI) and feed the resulting recorder here.
+
+:func:`spans_to_chrome_trace` does the same for a served job's
+*distributed trace* (the flat span list the ``trace`` op returns, see
+:mod:`repro.obs.spans`): daemon stage spans render in one process lane,
+worker-clock ``worker_exec`` leaves in another — their monotonic clocks
+share no epoch, so mixing them in one lane would draw nonsense overlaps.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Iterable
+from typing import Any, Iterable
 
 from repro.sim.trace import TraceRecorder
 
-__all__ = ["to_chrome_trace", "ascii_gantt"]
+__all__ = ["to_chrome_trace", "spans_to_chrome_trace", "ascii_gantt"]
 
 _INSTANT_KINDS = ("speculate", "check_pass", "check_fail", "rollback",
                   "commit", "recompute", "undo")
@@ -86,6 +92,44 @@ def to_chrome_trace(trace: TraceRecorder) -> str:
                 "s": "g",
                 "args": dict(rec.detail),
             })
+    return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"})
+
+
+#: span attrs that become Chrome ``args`` when present.
+_SPAN_ARG_KEYS = ("tenant", "outcome", "state", "status", "worker", "task",
+                  "job", "trace_id", "span_id", "parent_id")
+
+
+def spans_to_chrome_trace(spans: list[dict[str, Any]]) -> str:
+    """Serialise a served job's span list to Chrome trace-event JSON.
+
+    Daemon-clock spans land in pid 1 with one thread lane per span name
+    (job / admission / queue / lane_lease / execute / stream / result);
+    worker-clock leaves land in pid 2, one lane per worker. Open spans
+    (``t1_us`` null — a still-running job) render as zero-width markers
+    at their start time rather than being dropped.
+    """
+    events: list[dict] = []
+    for span in spans:
+        t0 = float(span.get("t0_us") or 0.0)
+        t1 = span.get("t1_us")
+        dur = max(float(t1) - t0, 0.001) if t1 is not None else 0.001
+        worker_clock = span.get("clock") == "worker"
+        args = {k: span[k] for k in _SPAN_ARG_KEYS
+                if span.get(k) is not None}
+        if t1 is None:
+            args["open"] = True
+        events.append({
+            "name": str(span.get("name", "span")),
+            "cat": "worker" if worker_clock else "serve",
+            "ph": "X",
+            "ts": t0,
+            "dur": dur,
+            "pid": 2 if worker_clock else 1,
+            "tid": (f"worker-{span.get('worker', '?')}" if worker_clock
+                    else str(span.get("name", "span"))),
+            "args": args,
+        })
     return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"})
 
 

@@ -23,10 +23,14 @@ Three pieces:
   walkable graph (docs/flight-recorder.md).
 * :mod:`repro.obs.explain` / :mod:`repro.obs.top` — post-mortem rollback
   cascade reconstruction (`repro explain`) and the live text dashboard
-  (`repro top`).
+  (`repro top`; with ``--serve`` it polls a live daemon's ``stats`` op).
 * :mod:`repro.obs.anomaly` — threshold detectors (mis-speculation burst,
-  ready-queue stall, payload-budget pressure) feeding
+  ready-queue stall, payload-budget pressure, breaker flap, ...) feeding
   ``RunReport.warnings``.
+* :mod:`repro.obs.spans` — distributed tracing for the serve path:
+  W3C-style ``traceparent`` propagation, a :class:`Tracer` whose spans
+  double-enter into the flight recorder and stage-latency histograms,
+  and span-tree assembly/rendering (docs/tracing.md).
 
 Quickstart::
 
@@ -50,6 +54,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    histogram_quantile,
     merge_snapshots,
 )
 from repro.obs.exporters import (
@@ -71,12 +76,22 @@ from repro.obs.events import (
 )
 from repro.obs.anomaly import Anomaly, AnomalyThresholds, detect_anomalies, scan_run
 from repro.obs.explain import build_cascades, explain_events, explain_path
+from repro.obs.spans import (
+    Span,
+    TraceContext,
+    Tracer,
+    format_traceparent,
+    parse_traceparent,
+    render_span_tree,
+    span_tree,
+)
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "histogram_quantile",
     "merge_snapshots",
     "DEFAULT_LATENCY_BUCKETS_US",
     "PeriodicSnapshotWriter",
@@ -99,4 +114,11 @@ __all__ = [
     "build_cascades",
     "explain_events",
     "explain_path",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "format_traceparent",
+    "parse_traceparent",
+    "render_span_tree",
+    "span_tree",
 ]

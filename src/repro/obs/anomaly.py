@@ -34,6 +34,14 @@ Detectors (thresholds in :class:`AnomalyThresholds`):
   its peers that idle seats kept draining the backlog claimed on its
   behalf. The run's throughput survived via stealing, but the seat
   itself (CPU contention, swapping, a slow kernel mix) deserves a look.
+* **breaker flap** — one tenant's circuit breaker opened ``flap_k`` or
+  more times within ``flap_window_us`` (``breaker_open`` events from a
+  serve daemon's log): the tenant is crash-looping — its cooldown
+  expires, a half-open probe admits another job, that job crashes the
+  workers again. Back the tenant off instead of letting it burn a warm
+  lane per cooldown. The serve daemon runs the same check inline (its
+  ``stats`` op surfaces the warning live); this detector is the offline
+  twin for recorded event logs.
 """
 
 from __future__ import annotations
@@ -64,6 +72,8 @@ class AnomalyThresholds:
     budget_frac: float = 0.8
     crash_k: int = 1
     steal_k: int = 4
+    flap_k: int = 3
+    flap_window_us: float = 60e6
 
 
 def _coordinator_events(events: list[dict[str, Any]]) -> list[dict[str, Any]]:
@@ -199,6 +209,43 @@ def _detect_straggler(
     )
 
 
+def _detect_breaker_flap(
+    events: list[dict[str, Any]], th: AnomalyThresholds
+) -> Anomaly | None:
+    opens_by_tenant: dict[str, list[float]] = {}
+    for e in events:
+        if e.get("kind") == "breaker_open" and "t" in e:
+            opens_by_tenant.setdefault(str(e.get("tenant")), []).append(e["t"])
+    worst: tuple[int, float, str] | None = None  # (count, burst_us, tenant)
+    for tenant, times in opens_by_tenant.items():
+        if len(times) < th.flap_k:
+            continue
+        times.sort()
+        # Sliding window: the tightest k-open burst for this tenant.
+        for i in range(len(times) - th.flap_k + 1):
+            burst = times[i + th.flap_k - 1] - times[i]
+            if burst > th.flap_window_us:
+                continue
+            count = sum(1 for t in times
+                        if times[i] <= t <= times[i] + th.flap_window_us)
+            if worst is None or count > worst[0]:
+                worst = (count, burst, tenant)
+            break
+    if worst is None:
+        return None
+    count, burst, tenant = worst
+    return Anomaly(
+        "breaker_flap",
+        f"breaker flap: tenant {tenant!r} circuit opened {count}x within "
+        f"{burst:.0f} µs (threshold {th.flap_k} in "
+        f"{th.flap_window_us:.0f} µs) — the tenant is crash-looping "
+        "through half-open probes; back it off instead of burning a warm "
+        "lane per cooldown",
+        {"tenant": tenant, "opens": count, "burst_us": burst,
+         "window_us": th.flap_window_us},
+    )
+
+
 def _detect_harvest_loss(
     events: list[dict[str, Any]], th: AnomalyThresholds
 ) -> Anomaly | None:
@@ -232,6 +279,7 @@ def detect_anomalies(
         _detect_worker_churn(coord, th),
         _detect_straggler(coord, th),
         _detect_harvest_loss(coord, th),
+        _detect_breaker_flap(coord, th),
     ]
     if snapshot is not None:
         found.append(_detect_budget_pressure(snapshot, th))

@@ -132,6 +132,7 @@ class EventLog:
         self._lock = threading.Lock()
         self._ring: deque[dict[str, Any]] = deque(maxlen=max(1, capacity))
         self._seq = 0
+        self._trace: Any = None
         self._local = threading.local()
         self._path = path
         self._file = open(path, "w", encoding="utf-8") if path else None
@@ -153,6 +154,26 @@ class EventLog:
 
     def set_clock(self, clock: Callable[[], float]) -> None:
         self._clock = clock
+
+    # ------------------------------------------------------------------
+    # trace context (repro.obs.spans)
+
+    @property
+    def trace_context(self) -> Any:
+        """The active :class:`~repro.obs.spans.TraceContext`, or None."""
+        return self._trace
+
+    def set_trace_context(self, ctx: Any) -> None:
+        """Stamp ``trace_id`` onto every subsequently emitted event.
+
+        Set by the job runners from ``JobResources.trace`` (the serve
+        daemon's execute-span context) and by worker processes from the
+        traceparent carried in the dispatch batch header — so every
+        event of a served job, on either side of the process boundary,
+        joins the same distributed trace. ``None`` clears the context
+        (a warm lane must not leak one job's trace onto the next).
+        """
+        self._trace = ctx
 
     # ------------------------------------------------------------------
     # cause context
@@ -210,6 +231,8 @@ class EventLog:
         for key, value in data.items():
             if value is not None:
                 event[key] = value
+        if self._trace is not None:
+            event.setdefault("trace_id", self._trace.trace_id)
         with self._lock:
             self._seq += 1
             event["seq"] = self._seq

@@ -43,6 +43,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "histogram_quantile",
     "merge_snapshots",
     "DEFAULT_LATENCY_BUCKETS_US",
     "MONOTONIC_CLOCK",
@@ -656,3 +657,35 @@ def merge_snapshots(a: Mapping[str, Any], b: Mapping[str, Any]) -> dict[str, Any
         "namespace": a.get("namespace", b.get("namespace", "repro")),
         "metrics": [by_name[k] for k in sorted(by_name)],
     }
+
+
+def histogram_quantile(bounds: Sequence[float], counts: Sequence[float],
+                       q: float) -> float | None:
+    """Estimate the ``q``-quantile of one histogram series.
+
+    ``bounds`` / ``counts`` are the :meth:`Histogram.snapshot_series`
+    shape: non-cumulative counts with the implicit +Inf bucket last
+    (``len(counts) == len(bounds) + 1``). Linear interpolation within
+    the winning bucket, Prometheus-style; observations in the +Inf
+    bucket clamp to the highest finite bound (there is no upper edge to
+    interpolate toward). Returns ``None`` for an empty series.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ObservabilityError(f"quantile must be in [0, 1], got {q}")
+    total = sum(counts)
+    if total <= 0:
+        return None
+    rank = q * total
+    seen = 0.0
+    for i, count in enumerate(counts):
+        if count <= 0:
+            continue
+        if seen + count >= rank:
+            if i >= len(bounds):  # +Inf bucket: clamp to the last edge
+                return float(bounds[-1]) if bounds else None
+            lo = float(bounds[i - 1]) if i > 0 else 0.0
+            hi = float(bounds[i])
+            frac = (rank - seen) / count
+            return lo + (hi - lo) * min(max(frac, 0.0), 1.0)
+        seen += count
+    return float(bounds[-1]) if bounds else None

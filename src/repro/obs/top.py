@@ -10,6 +10,15 @@ exits (CI smoke / scripting).
 
 Throughput is a *delta* between successive polls of the file; the first
 frame (and ``--once``) shows totals only.
+
+Two sources, one dashboard:
+
+* **file mode** (:func:`run_top`) tails a snapshot file; when the
+  snapshot carries ``serve_*`` series (a daemon's ``--metrics-out``),
+  per-tenant job counts and stage-latency percentiles render too;
+* **serve mode** (:func:`run_top_serve`, ``repro top --serve``) polls a
+  live daemon's ``stats`` op — job table, per-tenant rates and breaker
+  states, lane-pool occupancy, stage p50/p95 and anomaly warnings.
 """
 
 from __future__ import annotations
@@ -19,8 +28,17 @@ import time
 from typing import Any
 
 from repro.errors import ObservabilityError
+from repro.obs.metrics import histogram_quantile
 
-__all__ = ["sample_snapshot", "derive_stats", "render_frame", "run_top"]
+__all__ = [
+    "sample_snapshot",
+    "derive_stats",
+    "derive_serve_stats",
+    "render_frame",
+    "render_serve_frame",
+    "run_top",
+    "run_top_serve",
+]
 
 _CLEAR = "\x1b[2J\x1b[H"
 
@@ -57,12 +75,65 @@ def _total(doc: dict[str, Any], name: str) -> float:
     return sum(float(s.get("value", 0.0)) for s in _series(doc, name))
 
 
+def derive_serve_stats(doc: dict[str, Any]) -> dict[str, Any] | None:
+    """The ``serve_*`` slice of a snapshot; None when the document has no
+    serve series at all (a plain one-shot run's snapshot).
+
+    ``tenants`` maps tenant -> submitted/done/failed/rejected totals;
+    ``stages`` maps ``(tenant, stage)`` -> p50/p95/count derived from the
+    ``serve_job_stage_us`` histogram via :func:`histogram_quantile`.
+    """
+    names = {m.get("name") for m in doc.get("metrics", ())}
+    if not any(str(n).startswith("serve_") for n in names):
+        return None
+    tenants: dict[str, dict[str, float]] = {}
+
+    def bump(tenant: str, key: str, value: float) -> None:
+        row = tenants.setdefault(tenant, {"submitted": 0.0, "done": 0.0,
+                                          "failed": 0.0, "rejected": 0.0})
+        row[key] += value
+
+    for s in _series(doc, "serve_jobs_submitted"):
+        bump(str(s.get("labels", {}).get("tenant", "?")), "submitted",
+             float(s.get("value", 0.0)))
+    for s in _series(doc, "serve_jobs_finished"):
+        labels = s.get("labels", {})
+        bump(str(labels.get("tenant", "?")),
+             "done" if labels.get("state") == "done" else "failed",
+             float(s.get("value", 0.0)))
+    for s in _series(doc, "serve_jobs_rejected"):
+        bump(str(s.get("labels", {}).get("tenant", "?")), "rejected",
+             float(s.get("value", 0.0)))
+    stages: dict[tuple[str, str], dict[str, float | None]] = {}
+    for s in _series(doc, "serve_job_stage_us"):
+        labels = s.get("labels", {})
+        bounds, counts = s.get("bounds"), s.get("counts")
+        if not bounds or not counts:
+            continue
+        stages[(str(labels.get("tenant", "?")),
+                str(labels.get("stage", "?")))] = {
+            "p50": histogram_quantile(bounds, counts, 0.5),
+            "p95": histogram_quantile(bounds, counts, 0.95),
+            "count": float(s.get("count", 0.0)),
+        }
+    return {"tenants": tenants, "stages": stages,
+            "breaker_opens": _total(doc, "serve_breaker_opens")}
+
+
 def derive_stats(doc: dict[str, Any]) -> dict[str, Any]:
-    """Pull the dashboard quantities out of one snapshot document."""
+    """Pull the dashboard quantities out of one snapshot document.
+
+    Snapshots from a serve daemon additionally carry a ``"serve"`` key
+    (see :func:`derive_serve_stats`) so the dashboard shows tenant/stage
+    rows instead of silently rendering all-zero run counters.
+    """
     checks_pass = _value(doc, "spec_checks", verdict="pass")
     checks_fail = _value(doc, "spec_checks", verdict="fail")
     checks = checks_pass + checks_fail
+    serve = derive_serve_stats(doc)
+    extra = {"serve": serve} if serve is not None else {}
     return {
+        **extra,
         "blocks_committed": _total(doc, "blocks_committed"),
         "tasks_completed": _total(doc, "sre_tasks_completed"),
         "ready_natural": _value(doc, "sre_ready_depth", queue="natural"),
@@ -118,7 +189,127 @@ def render_frame(
     lines.append(f"shm resident {stats['shm_resident'] / 1024:.0f} KiB "
                  f"({stats['shm_segments']:.0f} segment(s))   "
                  f"payload sent {stats['payload_bytes'] / 1024:.0f} KiB")
+    if stats.get("serve"):
+        lines.extend(_serve_lines(stats["serve"]))
     return "\n".join(lines)
+
+
+def _fmt_us(value: float | None) -> str:
+    """Human µs: '87 µs', '12.3 ms', '1.84 s'."""
+    if value is None:
+        return "n/a"
+    if value < 1_000:
+        return f"{value:.0f} µs"
+    if value < 1_000_000:
+        return f"{value / 1_000:.1f} ms"
+    return f"{value / 1_000_000:.2f} s"
+
+
+def _serve_lines(serve: dict[str, Any]) -> list[str]:
+    lines = []
+    for tenant, row in sorted(serve["tenants"].items()):
+        lines.append(f"serve [{tenant}]  submitted {row['submitted']:.0f}  "
+                     f"done {row['done']:.0f}  failed {row['failed']:.0f}  "
+                     f"rejected {row['rejected']:.0f}")
+    for (tenant, stage), pct in sorted(serve["stages"].items()):
+        if pct["p50"] is None:
+            continue
+        lines.append(f"  {tenant}/{stage:<10} p50 {_fmt_us(pct['p50']):>9}"
+                     f"  p95 {_fmt_us(pct['p95']):>9}  n {pct['count']:.0f}")
+    if serve.get("breaker_opens"):
+        lines.append(f"serve breaker opens {serve['breaker_opens']:.0f}")
+    return lines
+
+
+def render_serve_frame(
+    stats: dict[str, Any],
+    prev: dict[str, Any] | None = None,
+    dt_s: float | None = None,
+    *,
+    target: str = "",
+) -> str:
+    """One live-daemon dashboard frame from a ``stats`` op reply."""
+    lines = [f"repro top — serve {target or 'daemon'}"
+             f"  up {float(stats.get('uptime_s', 0.0)):.0f}s"]
+    jobs = stats.get("jobs") or {}
+    jobs_text = "  ".join(f"{state} {count}"
+                          for state, count in sorted(jobs.items()))
+    lines.append(f"jobs         {jobs_text or 'none yet'}")
+    doc = stats.get("metrics") or {}
+    serve = derive_serve_stats(doc) or {"tenants": {}, "stages": {},
+                                        "breaker_opens": 0.0}
+    prev_serve = derive_serve_stats((prev or {}).get("metrics") or {}) \
+        if prev is not None else None
+    admission = (stats.get("admission") or {}).get("tenants", {})
+    for tenant, row in sorted(serve["tenants"].items()):
+        line = (f"tenant {tenant:<12} done {row['done']:.0f}  "
+                f"failed {row['failed']:.0f}  "
+                f"rejected {row['rejected']:.0f}")
+        if prev_serve is not None and dt_s:
+            before = prev_serve["tenants"].get(tenant, {})
+            rate = (row["done"] - before.get("done", 0.0)) / dt_s
+            line += f"  rate {rate:5.2f} jobs/s"
+        breaker = admission.get(tenant, {}).get("breaker")
+        if breaker:
+            line += f"  breaker {breaker}"
+        lines.append(line)
+    lanes = stats.get("lanes") or []
+    busy = sum(1 for lane in lanes if lane.get("in_use"))
+    lane_text = "  ".join(
+        f"[{lane.get('tenant')}:{lane.get('workers')}w"
+        f"{'*' if lane.get('in_use') else ''} "
+        f"{lane.get('jobs_served', 0)}j]" for lane in lanes)
+    lines.append(f"lanes        {busy}/{len(lanes)} in use"
+                 + (f"   {lane_text}" if lane_text else ""))
+    store = stats.get("store") or {}
+    lines.append(f"store        refs {store.get('live_refs', 0)}  "
+                 f"segments {store.get('live_segments', 0)}")
+    for (tenant, stage), pct in sorted(serve["stages"].items()):
+        if pct["p50"] is None:
+            continue
+        lines.append(f"stage {tenant}/{stage:<10} "
+                     f"p50 {_fmt_us(pct['p50']):>9}  "
+                     f"p95 {_fmt_us(pct['p95']):>9}  n {pct['count']:.0f}")
+    for warning in stats.get("warnings") or []:
+        lines.append(f"!! {warning}")
+    return "\n".join(lines)
+
+
+def run_top_serve(host: str, port: int, *, once: bool = False,
+                  interval_s: float = 1.0,
+                  max_frames: int | None = None) -> int:
+    """Live-daemon dashboard loop: poll the ``stats`` op, render frames.
+
+    Same contract as :func:`run_top` — ``once`` prints a single frame,
+    ``max_frames`` bounds the loop for tests — but the source is a
+    daemon connection, so frames never go stale between polls.
+    """
+    from repro.client import ServeClient  # here to keep import cost off
+
+    target = f"{host}:{port}"
+    with ServeClient(host, port=port) as client:
+        if once:
+            print(render_serve_frame(client.stats(), target=target))
+            return 0
+        prev: dict[str, Any] | None = None
+        prev_t = 0.0
+        frames = 0
+        try:
+            while max_frames is None or frames < max_frames:
+                stats = client.stats()
+                now = time.monotonic()
+                frame = render_serve_frame(
+                    stats, prev, now - prev_t if prev else None,
+                    target=target)
+                print(_CLEAR + frame, flush=True)
+                prev, prev_t = stats, now
+                frames += 1
+                if max_frames is not None and frames >= max_frames:
+                    break
+                time.sleep(interval_s)
+        except KeyboardInterrupt:
+            pass
+    return 0
 
 
 def run_top(path: str, *, once: bool = False, interval_s: float = 1.0,

@@ -14,6 +14,12 @@ transport that carries the bytes from the daemon to its workers.
 
 The frame length is capped (:data:`MAX_FRAME_BYTES`) so a corrupt or
 hostile prefix cannot make the daemon allocate gigabytes.
+
+Trace context rides on the same frames: any request may carry a W3C-style
+``traceparent`` string under :data:`TRACEPARENT_KEY` (see
+:mod:`repro.obs.spans`). The server parses it tolerantly — a missing or
+malformed value simply mints a fresh trace — so old clients keep working
+against tracing servers and vice versa.
 """
 
 from __future__ import annotations
@@ -27,6 +33,7 @@ from repro.errors import TransportError
 
 __all__ = [
     "MAX_FRAME_BYTES",
+    "TRACEPARENT_KEY",
     "decode_blob",
     "encode_blob",
     "recv_frame",
@@ -34,6 +41,10 @@ __all__ = [
 ]
 
 _LEN = struct.Struct(">I")
+
+#: Frame key carrying W3C trace context (``00-<trace>-<span>-01``) on
+#: requests. Optional on every op; unknown to old servers, ignored there.
+TRACEPARENT_KEY = "traceparent"
 
 #: Largest frame either side will accept: a 16 MiB block base64-expands
 #: to ~22 MiB; 64 MiB leaves generous headroom without letting a bad

@@ -105,6 +105,7 @@ from repro.errors import (
 )
 from repro.obs.events import EventLog
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import parse_traceparent
 from repro.sre import shm
 from repro.sre.executor_base import LiveExecutor
 from repro.sre.policies import DispatchPolicy
@@ -157,6 +158,11 @@ _SKIPPED = "abort-skipped"
 _GONE = "segment-gone"
 _METRICS = "metrics"
 _STOP = b"\x00__sre_stop__"
+#: Mid-lifetime harvest request: the worker ships its metrics/events
+#: interval home like on ``_STOP``, then resets its local registry and
+#: event log and keeps serving. The per-job accounting seam for warm
+#: lanes (``WorkerSupervisor.harvest``).
+_FLUSH = b"\x00__sre_flush__"
 
 
 def _process_main(conn, abort_flags, wid: int, fault_plan=None,
@@ -184,52 +190,88 @@ def _process_main(conn, abort_flags, wid: int, fault_plan=None,
     :mod:`repro.testing.faults`): the injector fires *before* a batch's
     payloads run, so an injected kill/hang/drop always leaves the batch
     unacknowledged — exactly the wreckage the supervisor must clean up.
+
+    The batch header is ``(frame_count, traceparent)`` — the coordinator
+    forwards the active span context of the job it is running, and the
+    worker stamps that trace id onto every event it emits until the next
+    batch says otherwise (:meth:`EventLog.set_trace_context`), so merged
+    ``worker_exec`` events join the job's distributed trace. A bare-int
+    header (no trace) is accepted too. ``_FLUSH`` triggers a mid-lifetime
+    harvest: the worker ships its interval snapshot exactly like on
+    ``_STOP`` but then resets its registry/log and keeps serving — how a
+    warm lane's workers account per job instead of per daemon lifetime.
     """
-    metrics = MetricsRegistry()
-    events = EventLog(run_id=f"w{wid}")
     injector = FaultInjector(fault_plan, wid, incarnation)
     w = str(wid)
-    m_tasks = metrics.counter(
-        "procs_worker_tasks", "payloads executed in worker processes",
-        labelnames=("worker",)).labels(worker=w)
-    m_errors = metrics.counter(
-        "procs_worker_errors", "payloads that raised in worker processes",
-        labelnames=("worker",)).labels(worker=w)
-    m_skips = metrics.counter(
-        "procs_worker_abort_skips",
-        "payloads skipped because the destroy signal landed first",
-        labelnames=("worker",)).labels(worker=w)
-    m_gone = metrics.counter(
-        "procs_worker_segment_gone",
-        "payloads bounced because a shared segment was already reclaimed",
-        labelnames=("worker",)).labels(worker=w)
-    m_body_us = metrics.histogram(
-        "procs_worker_body_us", "payload body wall time in worker (µs)",
-        labelnames=("worker",)).labels(worker=w)
-    m_attached = metrics.gauge(
-        "procs_worker_shm_attached",
-        "shared-memory segments a worker had attached at shutdown",
-        labelnames=("worker",)).labels(worker=w)
+
+    def _fresh_state():
+        """Registry + event log + bound instruments for one harvest
+        interval (worker start -> first flush, flush -> flush, ... ->
+        stop)."""
+        metrics = MetricsRegistry()
+        events = EventLog(run_id=f"w{wid}")
+        m_tasks = metrics.counter(
+            "procs_worker_tasks", "payloads executed in worker processes",
+            labelnames=("worker",)).labels(worker=w)
+        m_errors = metrics.counter(
+            "procs_worker_errors", "payloads that raised in worker processes",
+            labelnames=("worker",)).labels(worker=w)
+        m_skips = metrics.counter(
+            "procs_worker_abort_skips",
+            "payloads skipped because the destroy signal landed first",
+            labelnames=("worker",)).labels(worker=w)
+        m_gone = metrics.counter(
+            "procs_worker_segment_gone",
+            "payloads bounced because a shared segment was already reclaimed",
+            labelnames=("worker",)).labels(worker=w)
+        m_body_us = metrics.histogram(
+            "procs_worker_body_us", "payload body wall time in worker (µs)",
+            labelnames=("worker",)).labels(worker=w)
+        m_attached = metrics.gauge(
+            "procs_worker_shm_attached",
+            "shared-memory segments a worker had attached at shutdown",
+            labelnames=("worker",)).labels(worker=w)
+        return (metrics, events, m_tasks, m_errors, m_skips, m_gone,
+                m_body_us, m_attached)
+
+    (metrics, events, m_tasks, m_errors, m_skips, m_gone,
+     m_body_us, m_attached) = _fresh_state()
     seq = 0  # payloads *received* this incarnation; replies are tagged with it
     while True:
         try:
             head = conn.recv_bytes()
         except (EOFError, OSError):
             return
-        if head == _STOP:
+        if head in (_STOP, _FLUSH):
             m_attached.set(len(shm.attached_segments()))
             try:
                 conn.send((_METRICS, {"metrics": metrics.snapshot(),
                                       "events": events.events()}))
             except (BrokenPipeError, OSError):  # pragma: no cover - defensive
-                pass
-            shm.detach_all()
-            return
+                if head == _STOP:
+                    shm.detach_all()
+                return
+            if head == _STOP:
+                shm.detach_all()
+                return
+            # Flush: clean slate for the next interval. The reply-seq
+            # counter is NOT reset — it tracks the pipe stream, which
+            # outlives harvest intervals.
+            trace_ctx = events.trace_context
+            (metrics, events, m_tasks, m_errors, m_skips, m_gone,
+             m_body_us, m_attached) = _fresh_state()
+            events.set_trace_context(trace_ctx)
+            continue
         try:
-            n = pickle.loads(head)
+            header = pickle.loads(head)
+            if isinstance(header, tuple):
+                n, traceparent = header
+            else:  # bare-count header from a trace-less dispatcher
+                n, traceparent = header, None
             blobs = [conn.recv_bytes() for _ in range(n)]
         except (EOFError, OSError):
             return
+        events.set_trace_context(parse_traceparent(traceparent))
         base = seq
         seq += len(blobs)
         if injector.on_batch():
@@ -529,8 +571,14 @@ class WorkerSupervisor:
         slot = self._slots[wid]
         if slot.degraded or slot.proc is None:
             raise WorkerLost(wid, "degraded")
+        # The batch header carries the active span context of whatever
+        # job this supervisor is currently bound to, so worker-side
+        # events join its distributed trace (None when untraced).
+        ctx = self.runtime.events.trace_context
+        header = (len(frames),
+                  ctx.to_traceparent() if ctx is not None else None)
         try:
-            slot.conn.send_bytes(pickle.dumps(len(frames),
+            slot.conn.send_bytes(pickle.dumps(header,
                                               protocol=PAYLOAD_PROTOCOL))
             for frame in frames:
                 slot.conn.send_bytes(frame)
@@ -566,6 +614,18 @@ class WorkerSupervisor:
                 except (EOFError, OSError):
                     raise WorkerLost(wid, "crash",
                                      exitcode=proc.exitcode) from None
+                if (isinstance(reply, tuple) and len(reply) == 2
+                        and reply[0] == _METRICS):
+                    # A flush-harvest snapshot that lost the race with its
+                    # deadline (see harvest()): fold it in late instead of
+                    # poisoning the reply stream — it carries no task
+                    # payload and does not advance the reply seq.
+                    if reply[1]:
+                        self.runtime.metrics.merge_snapshot(
+                            reply[1]["metrics"])
+                        self.runtime.events.merge_worker(
+                            wid, reply[1]["events"])
+                    continue
                 if not (isinstance(reply, tuple) and len(reply) == 3):
                     raise WorkerLost(wid, "protocol")
                 seq, status, payload = reply
@@ -663,6 +723,49 @@ class WorkerSupervisor:
         self._m_degraded.inc()
         self.runtime.events.emit("worker_degraded", worker=slot.wid,
                                  reason=reason, respawns=slot.respawns)
+
+    # -- harvests ------------------------------------------------------
+    def harvest(self) -> None:
+        """Mid-lifetime harvest: pull each live worker's metrics/events
+        interval home *now*, without stopping anything.
+
+        The per-job accounting seam for warm lanes: a borrowed
+        supervisor's :meth:`ProcessExecutor._stop_backend` calls this
+        once the coordinator threads have joined (pipes quiet), so
+        worker-side counters and ``worker_exec`` events land in the
+        runtime of the job that produced them instead of waiting for
+        daemon shutdown — and served jobs report their workers' trace
+        just like one-shot runs do. Each worker gets the ``_FLUSH``
+        sentinel and ``harvest_timeout_s`` to reply; one that cannot is
+        accounted (``worker_harvest_lost{reason="flush-timeout"}``) and
+        its interval rides along with the next successful harvest
+        (:meth:`recv_reply` folds a late snapshot in instead of
+        treating it as a protocol violation).
+        """
+        flushed: list[_Slot] = []
+        for slot in self._slots:
+            if slot.conn is None or slot.degraded:
+                continue  # degraded/dead seats have no interval to ship
+            try:
+                slot.conn.send_bytes(_FLUSH)
+                flushed.append(slot)
+            except (BrokenPipeError, OSError):
+                self._harvest_lost(slot.wid, "dead")
+        for slot in flushed:
+            try:
+                if slot.conn.poll(self.harvest_timeout_s):
+                    status, payload = slot.conn.recv()
+                    if status == _METRICS and payload:
+                        self.runtime.metrics.merge_snapshot(
+                            payload["metrics"])
+                        self.runtime.events.merge_worker(
+                            slot.wid, payload["events"])
+                    else:  # pragma: no cover - protocol noise
+                        self._harvest_lost(slot.wid, "protocol")
+                else:
+                    self._harvest_lost(slot.wid, "flush-timeout")
+            except (EOFError, OSError):
+                self._harvest_lost(slot.wid, "dead")
 
     # -- shutdown harvest ----------------------------------------------
     def _harvest_lost(self, wid: int, reason: str) -> None:
@@ -924,9 +1027,14 @@ class ProcessExecutor(LiveExecutor):
     def _stop_backend(self) -> None:
         if self._owns_supervisor:
             self.supervisor.stop()
-        # A borrowed supervisor keeps running: its owner (e.g. the serve
-        # daemon's warm lane) stops it — and harvests the workers' final
-        # metrics/events snapshots — at daemon shutdown.
+        else:
+            # A borrowed supervisor keeps running — its owner (e.g. the
+            # serve daemon's warm lane) stops it at daemon shutdown —
+            # but this job's worker-side metrics/events come home *now*:
+            # the coordinator threads have joined, the pipes are quiet,
+            # and the flush harvest folds each worker's interval into
+            # this job's runtime before the lane is rebound home.
+            self.supervisor.harvest()
 
     # ------------------------------------------------------------------
     # abort-flag relay (coordinator -> worker address space)

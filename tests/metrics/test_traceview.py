@@ -105,3 +105,43 @@ def test_startless_spans_reach_ascii_gantt():
     tr.record(10.0, "task_done", "count:0", task_kind="count")
     out = ascii_gantt(tr, width=20)
     assert "count" in out
+
+
+# ----------------------------------------------------------------------
+# served-job span export (spans_to_chrome_trace)
+# ----------------------------------------------------------------------
+def _served_spans():
+    return [
+        {"name": "job", "trace_id": "t" * 32, "span_id": "j",
+         "parent_id": None, "t0_us": 0.0, "t1_us": 100.0, "dur_us": 100.0,
+         "tenant": "alice", "state": "done"},
+        {"name": "execute", "trace_id": "t" * 32, "span_id": "e",
+         "parent_id": "j", "t0_us": 10.0, "t1_us": 90.0, "dur_us": 80.0},
+        {"name": "worker_exec", "trace_id": "t" * 32, "span_id": "w-1-5",
+         "parent_id": "e", "t0_us": 3.0, "t1_us": 8.0, "dur_us": 5.0,
+         "clock": "worker", "worker": 1, "status": "ok"},
+        {"name": "queue", "trace_id": "t" * 32, "span_id": "q",
+         "parent_id": "j", "t0_us": 1.0, "t1_us": None, "dur_us": 0.0},
+    ]
+
+
+def test_spans_to_chrome_trace_splits_daemon_and_worker_clocks():
+    from repro.metrics.traceview import spans_to_chrome_trace
+    doc = json.loads(spans_to_chrome_trace(_served_spans()))
+    events = {e["name"]: e for e in doc["traceEvents"]}
+    assert events["job"]["pid"] == 1 and events["job"]["tid"] == "job"
+    assert events["job"]["cat"] == "serve"
+    assert events["job"]["args"]["tenant"] == "alice"
+    # worker-clock leaves get their own process group, one lane per worker
+    leaf = events["worker_exec"]
+    assert leaf["pid"] == 2 and leaf["tid"] == "worker-1"
+    assert leaf["cat"] == "worker"
+    assert leaf["dur"] == 5.0
+
+
+def test_spans_to_chrome_trace_marks_open_spans():
+    from repro.metrics.traceview import spans_to_chrome_trace
+    doc = json.loads(spans_to_chrome_trace(_served_spans()))
+    queue = next(e for e in doc["traceEvents"] if e["name"] == "queue")
+    assert queue["dur"] == 0.001
+    assert queue["args"]["open"] is True

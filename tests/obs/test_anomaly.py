@@ -1,5 +1,7 @@
 """Unit tests for the end-of-run anomaly detectors."""
 
+import pytest
+
 from repro.obs.anomaly import AnomalyThresholds, detect_anomalies, scan_run
 from repro.obs.events import EventLog
 from repro.obs.metrics import MetricsRegistry
@@ -189,6 +191,52 @@ def test_steal_threshold_is_tunable():
     th = AnomalyThresholds(steal_k=1)
     (anomaly,) = detect_anomalies(_bracket() + _steals(1), thresholds=th)
     assert anomaly.kind == "straggler"
+
+
+# ----------------------------------------------------------------------
+# breaker flap (serve daemon event logs)
+# ----------------------------------------------------------------------
+def _opens(times, tenant="alice"):
+    return [_ev("breaker_open", t, tenant=tenant) for t in times]
+
+
+def test_breaker_flap_flags_tight_burst():
+    events = _bracket(0.0, 120e6) + _opens([1e6, 2e6, 3e6])
+    (anomaly,) = detect_anomalies(events)
+    assert anomaly.kind == "breaker_flap"
+    assert anomaly.data["tenant"] == "alice"
+    assert anomaly.data["opens"] == 3
+    assert anomaly.data["burst_us"] == pytest.approx(2e6)
+    assert "crash-looping" in anomaly.message
+
+
+def test_breaker_opens_spread_past_window_are_quiet():
+    # 3 opens but 70 s apart pairwise: no 60 s window holds all three
+    events = _bracket(0.0, 300e6) + _opens([0.0, 70e6, 140e6])
+    assert detect_anomalies(events) == []
+
+
+def test_breaker_opens_split_across_tenants_are_quiet():
+    events = _bracket(0.0, 120e6) \
+        + _opens([1e6, 2e6]) + _opens([1e6, 2e6], tenant="bob")
+    assert detect_anomalies(events) == []
+
+
+def test_breaker_flap_reports_worst_tenant():
+    events = _bracket(0.0, 120e6) \
+        + _opens([1e6, 2e6, 3e6]) \
+        + _opens([1e6, 2e6, 3e6, 4e6], tenant="bob")
+    (anomaly,) = detect_anomalies(events)
+    assert anomaly.data["tenant"] == "bob"
+    assert anomaly.data["opens"] == 4
+
+
+def test_breaker_flap_thresholds_are_tunable():
+    events = _bracket(0.0, 120e6) + _opens([1e6, 2e6])
+    assert detect_anomalies(events) == []
+    th = AnomalyThresholds(flap_k=2)
+    (anomaly,) = detect_anomalies(events, thresholds=th)
+    assert anomaly.kind == "breaker_flap"
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,198 @@
+"""Unit tests for spans / trace-context propagation (repro.obs.spans)."""
+
+import pytest
+
+from repro.obs.events import EventLog
+from repro.obs.metrics import histogram_quantile
+from repro.obs.spans import (
+    Span,
+    TraceContext,
+    Tracer,
+    format_traceparent,
+    parse_traceparent,
+    render_span_tree,
+    span_tree,
+)
+
+
+# ----------------------------------------------------------------------
+# traceparent round-trip and tolerant parse
+# ----------------------------------------------------------------------
+def test_mint_produces_w3c_shaped_ids():
+    ctx = TraceContext.mint()
+    assert len(ctx.trace_id) == 32 and len(ctx.span_id) == 16
+    assert set(ctx.trace_id + ctx.span_id) <= set("0123456789abcdef")
+
+
+def test_traceparent_round_trip():
+    ctx = TraceContext.mint()
+    header = ctx.to_traceparent()
+    assert header == f"00-{ctx.trace_id}-{ctx.span_id}-01"
+    assert parse_traceparent(header) == ctx
+
+
+def test_parse_tolerates_case_and_whitespace():
+    ctx = TraceContext.mint()
+    header = f"  {format_traceparent(ctx).upper()}  "
+    assert parse_traceparent(header) == ctx
+
+
+@pytest.mark.parametrize("garbage", [
+    None, 17, b"00-aa-bb-01", "", "traceparent",
+    "01-" + "a" * 32 + "-" + "b" * 16 + "-01",   # unknown version
+    "00-" + "a" * 31 + "-" + "b" * 16 + "-01",   # short trace id
+    "00-" + "a" * 32 + "-" + "b" * 15 + "-01",   # short span id
+    "00-" + "g" * 32 + "-" + "b" * 16 + "-01",   # non-hex
+])
+def test_parse_returns_none_on_garbage(garbage):
+    # a malformed header must never fail a submit — it starts a fresh trace
+    assert parse_traceparent(garbage) is None
+
+
+def test_child_keeps_trace_id_and_changes_span_id():
+    root = TraceContext.mint()
+    child = root.child()
+    assert child.trace_id == root.trace_id
+    assert child.span_id != root.span_id
+
+
+# ----------------------------------------------------------------------
+# Tracer: spans, double-entry, cause edges
+# ----------------------------------------------------------------------
+def _tracer(times):
+    log = EventLog("r")
+    clock = iter([float(t) for t in times])
+    log.set_clock(clock.__next__)
+    tracer = Tracer(events=log, clock=iter(
+        [float(t) for t in times]).__next__)
+    return tracer, log
+
+
+def test_span_timing_and_attrs():
+    tracer = Tracer(clock=iter([10.0, 35.0]).__next__)
+    span = tracer.start("admission", tenant="alice", skipped=None)
+    assert span.dur_us == 0.0            # still open
+    tracer.end(span, outcome="accepted")
+    assert span.t0_us == 10.0 and span.t1_us == 35.0
+    assert span.dur_us == 25.0
+    assert span.attrs == {"tenant": "alice", "outcome": "accepted"}
+
+
+def test_parent_may_be_context_or_span():
+    tracer = Tracer(clock=iter([0.0, 1.0, 2.0, 3.0]).__next__)
+    root_ctx = TraceContext.mint()
+    parent = tracer.start("job", parent=root_ctx)
+    child = tracer.start("queue", parent=parent)
+    assert parent.trace_id == root_ctx.trace_id
+    assert parent.parent_id == root_ctx.span_id
+    assert child.trace_id == root_ctx.trace_id
+    assert child.parent_id == parent.span_id
+
+
+def test_double_entry_into_flight_recorder_with_cause_edges():
+    tracer, log = _tracer([0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0])
+    parent = tracer.start("job")
+    child = tracer.start("execute", parent=parent)
+    tracer.end(child, status="ok")
+    tracer.end(parent)
+    kinds = [(e["kind"], e["span"]) for e in log.events()]
+    assert kinds == [("span_start", "job"), ("span_start", "execute"),
+                     ("span_end", "execute"), ("span_end", "job")]
+    start_job, start_exec, end_exec, end_job = log.events()
+    # child's start hangs off the parent's start; ends point at own start
+    assert start_exec["cause"] == start_job["seq"]
+    assert end_exec["cause"] == start_exec["seq"]
+    assert end_job["cause"] == start_job["seq"]
+    assert {e["trace_id"] for e in log.events()} == {parent.trace_id}
+    assert end_exec["status"] == "ok"
+    assert end_exec["dur_us"] == child.dur_us
+
+
+def test_end_sink_receives_span_dict():
+    sink = []
+    tracer = Tracer(clock=iter([0.0, 4.0]).__next__)
+    span = tracer.start("result", tenant="bob")
+    tracer.end(span, sink=sink.append)
+    (row,) = sink
+    assert row["name"] == "result" and row["tenant"] == "bob"
+    assert row["dur_us"] == 4.0
+    assert row["span_id"] == span.span_id
+    assert row["parent_id"] is None
+
+
+def test_span_scope_context_manager_records_errors():
+    sink = []
+    tracer = Tracer(clock=iter([0.0, 1.0, 2.0, 3.0]).__next__)
+    with tracer.span("fine", sink=sink.append):
+        pass
+    with pytest.raises(RuntimeError):
+        with tracer.span("broken", sink=sink.append):
+            raise RuntimeError("boom")
+    fine, broken = sink
+    assert "error" not in fine
+    assert "RuntimeError" in broken["error"]
+
+
+# ----------------------------------------------------------------------
+# span_tree / render_span_tree
+# ----------------------------------------------------------------------
+def _spans():
+    return [
+        {"name": "job", "span_id": "j", "parent_id": "root",
+         "t0_us": 0.0, "t1_us": 100.0, "dur_us": 100.0},
+        {"name": "admission", "span_id": "a", "parent_id": "j",
+         "t0_us": 0.0, "t1_us": 10.0, "dur_us": 10.0, "tenant": "alice"},
+        {"name": "execute", "span_id": "e", "parent_id": "j",
+         "t0_us": 10.0, "t1_us": 90.0, "dur_us": 80.0},
+        {"name": "worker_exec", "span_id": "w", "parent_id": "e",
+         "t0_us": 5.0, "t1_us": 60.0, "dur_us": 55.0, "clock": "worker",
+         "worker": 1},
+    ]
+
+
+def test_span_tree_assembles_children_and_orphan_roots():
+    (root,) = span_tree(_spans())
+    # the submit-context parent lives client-side: "job" becomes the root
+    assert root["name"] == "job"
+    assert [c["name"] for c in root["children"]] == ["admission", "execute"]
+    (leaf,) = root["children"][1]["children"]
+    assert leaf["name"] == "worker_exec"
+
+
+def test_span_tree_partial_list_still_renders():
+    spans = [s for s in _spans() if s["span_id"] != "j"]
+    roots = span_tree(spans)
+    assert [r["name"] for r in roots] == ["admission", "execute"]
+
+
+def test_render_span_tree_indents_and_labels():
+    lines = list(render_span_tree(_spans()))
+    assert lines[0].startswith("job")
+    assert lines[1].startswith("  admission")
+    assert "[tenant=alice]" in lines[1]
+    assert lines[3].startswith("    worker_exec")
+    assert "[worker=1]" in lines[3]
+
+
+# ----------------------------------------------------------------------
+# histogram_quantile (the SLO math the stage histograms feed)
+# ----------------------------------------------------------------------
+def test_quantile_interpolates_within_bucket():
+    # 10 observations uniform in (0, 100]
+    assert histogram_quantile([100.0], [10.0, 0.0], 0.5) == pytest.approx(50.0)
+    assert histogram_quantile([50.0, 100.0], [5.0, 5.0, 0.0], 0.95) \
+        == pytest.approx(95.0)
+
+
+def test_quantile_clamps_inf_bucket_to_last_edge():
+    assert histogram_quantile([100.0], [0.0, 3.0], 0.99) == 100.0
+
+
+def test_quantile_empty_series_is_none():
+    assert histogram_quantile([100.0], [0.0, 0.0], 0.5) is None
+
+
+def test_quantile_rejects_out_of_range_q():
+    from repro.errors import ObservabilityError
+    with pytest.raises(ObservabilityError):
+        histogram_quantile([100.0], [1.0, 0.0], 1.5)

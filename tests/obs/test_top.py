@@ -6,7 +6,14 @@ import pytest
 
 from repro.errors import ObservabilityError
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.top import derive_stats, render_frame, run_top, sample_snapshot
+from repro.obs.top import (
+    derive_serve_stats,
+    derive_stats,
+    render_frame,
+    render_serve_frame,
+    run_top,
+    sample_snapshot,
+)
 
 
 def _doc(*, blocks=10, tasks=40, passes=3, fails=1, meta=None):
@@ -96,3 +103,105 @@ def test_run_top_loop_bounded_by_max_frames(tmp_path, capsys, monkeypatch):
     # second frame switches from totals to throughput deltas
     assert out.count("repro top") == 2
     assert "throughput" in out
+
+
+# ----------------------------------------------------------------------
+# serve-side stats (daemon snapshots and the live `--serve` dashboard)
+# ----------------------------------------------------------------------
+def _serve_doc(*, done=3, failed=1, rejected=2, opens=0):
+    reg = MetricsRegistry("serve")
+    sub = reg.counter("serve_jobs_submitted", "jobs",
+                      labelnames=("tenant", "app"))
+    sub.labels(tenant="alice", app="huffman").inc(done + failed)
+    fin = reg.counter("serve_jobs_finished", "finished",
+                      labelnames=("tenant", "app", "state"))
+    fin.labels(tenant="alice", app="huffman", state="done").inc(done)
+    fin.labels(tenant="alice", app="huffman", state="failed").inc(failed)
+    rej = reg.counter("serve_jobs_rejected", "rejected",
+                      labelnames=("tenant", "reason"))
+    rej.labels(tenant="alice", reason="queue_full").inc(rejected)
+    if opens:
+        reg.counter("serve_breaker_opens", "opens",
+                    labelnames=("tenant",)).labels(tenant="alice").inc(opens)
+    stage = reg.histogram("serve_job_stage_us", "stage latency",
+                          labelnames=("stage", "tenant"),
+                          buckets=(100.0, 1_000.0, 10_000.0))
+    for _ in range(10):
+        stage.labels(stage="execute", tenant="alice").observe(500.0)
+    return dict(reg.snapshot())
+
+
+def test_derive_serve_stats_none_without_serve_series():
+    assert derive_serve_stats(_doc()) is None
+    assert derive_serve_stats({"metrics": []}) is None
+
+
+def test_derive_serve_stats_tenant_and_stage_rollups():
+    serve = derive_serve_stats(_serve_doc(done=3, failed=1, rejected=2,
+                                          opens=4))
+    assert serve["tenants"]["alice"] == {
+        "submitted": 4.0, "done": 3.0, "failed": 1.0, "rejected": 2.0}
+    assert serve["breaker_opens"] == 4.0
+    pct = serve["stages"][("alice", "execute")]
+    assert pct["count"] == 10.0
+    # all 10 observations landed in the (100, 1000] bucket
+    assert 100.0 < pct["p50"] <= 1_000.0
+    assert 100.0 < pct["p95"] <= 1_000.0
+
+
+def test_derive_stats_surfaces_serve_slice():
+    stats = derive_stats(_serve_doc())
+    assert stats["serve"]["tenants"]["alice"]["done"] == 3.0
+    assert "serve" not in derive_stats(_doc())
+
+
+def test_render_frame_appends_serve_lines_for_daemon_snapshots():
+    text = render_frame(_serve_doc(opens=2), path="serve.metrics.json")
+    assert "serve [alice]  submitted 4  done 3  failed 1  rejected 2" in text
+    assert "alice/execute" in text and "p95" in text
+    assert "serve breaker opens 2" in text
+
+
+def _stats_reply(**kw):
+    return {
+        "uptime_s": 12.5,
+        "jobs": {"done": 3, "failed": 1},
+        "metrics": _serve_doc(),
+        "admission": {"tenants": {"alice": {"breaker": "open"}}},
+        "lanes": [{"tenant": "alice", "workers": 2, "in_use": True,
+                   "jobs_served": 5},
+                  {"tenant": "bob", "workers": 2, "in_use": False,
+                   "jobs_served": 1}],
+        "store": {"live_refs": 4, "live_segments": 2},
+        "warnings": [],
+        **kw,
+    }
+
+
+def test_render_serve_frame_shows_tenants_lanes_and_percentiles():
+    text = render_serve_frame(_stats_reply(), target="127.0.0.1:7070")
+    assert "repro top — serve 127.0.0.1:7070  up 12s" in text
+    assert "jobs         done 3  failed 1" in text
+    assert "tenant alice" in text and "done 3" in text
+    assert "breaker open" in text
+    assert "lanes        1/2 in use" in text
+    assert "[alice:2w* 5j]" in text
+    assert "store        refs 4  segments 2" in text
+    assert "stage alice/execute" in text and "p50" in text
+
+
+def test_render_serve_frame_rate_deltas_and_warnings():
+    prev = _stats_reply()
+    cur = _stats_reply(metrics=_serve_doc(done=7),
+                       warnings=["breaker_flap: tenant 'alice' ..."])
+    text = render_serve_frame(cur, prev, dt_s=2.0)
+    assert "rate  2.00 jobs/s" in text
+    assert "!! breaker_flap" in text
+
+
+def test_render_serve_frame_tolerates_empty_daemon():
+    # a daemon polled before its first job: no metrics series, no lanes
+    text = render_serve_frame({"uptime_s": 0.0, "jobs": {},
+                               "metrics": {"metrics": []}})
+    assert "jobs         none yet" in text
+    assert "lanes        0/0 in use" in text

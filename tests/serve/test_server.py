@@ -229,3 +229,26 @@ def test_jobs_table_rows(server, client):
     assert row["state"] == "done"
     assert row["tenant"] == "alice"
     assert row["latency_s"] > 0
+
+
+def test_metrics_out_publishes_serve_snapshots(tmp_path):
+    """`repro serve --metrics-out` keeps a snapshot fresh while the daemon
+    runs and leaves a final post-harvest snapshot behind on stop — the
+    file `repro top` tails."""
+    from repro.obs.exporters import load_json_snapshot
+    from repro.obs.top import derive_serve_stats
+
+    path = tmp_path / "serve.metrics.json"
+    srv = SpeculationServer(ServeSettings(
+        job_workers=1, metrics_out=str(path),
+        metrics_interval_s=0.05)).start()
+    try:
+        with ServeClient(port=srv.port) as c:
+            c.result(c.submit(_KMEANS, tenant="alice"))
+    finally:
+        srv.stop()
+    doc = load_json_snapshot(path.read_text())
+    serve = derive_serve_stats(doc)
+    assert serve is not None
+    assert serve["tenants"]["alice"]["done"] == 1.0
+    assert serve["stages"][("alice", "execute")]["count"] == 1.0

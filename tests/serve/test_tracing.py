@@ -1,0 +1,147 @@
+"""End-to-end distributed tracing through the serve daemon.
+
+The acceptance bar for the trace spine:
+
+* every job gets its own trace — two tenants submitting concurrently
+  never share a trace id, and no span of one job leaks into the
+  other's assembled trace;
+* every ``span_start`` / ``span_end`` the daemon records carries the
+  owning job's trace id, so the flight recorder and the ``trace`` op
+  tell the same story;
+* a procs job's trace reaches *inside* the worker processes: the
+  ``worker_exec`` leaves stamped from the dispatch batch header join
+  the submit's trace and hang off the execute span;
+* the daemon-clock stage spans tile the job span — their summed
+  duration accounts for (nearly) all of submit→result wall time.
+"""
+
+import pytest
+
+from repro.client import ServeClient
+from repro.obs.spans import span_tree
+from repro.serve.server import ServeSettings, SpeculationServer
+
+pytestmark = pytest.mark.slow
+
+_HUFF = {"app": "huffman", "workload": "txt", "n_blocks": 8,
+         "executor": "procs", "workers": 2, "transport": "shm", "seed": 0}
+_KMEANS = {"app": "kmeans", "n_blocks": 8, "seed": 0}
+
+_DAEMON_STAGES = {"admission", "queue", "lane_lease", "execute", "result"}
+
+
+@pytest.fixture()
+def server():
+    srv = SpeculationServer(ServeSettings(job_workers=2)).start()
+    yield srv
+    srv.stop()
+
+
+@pytest.fixture()
+def client(server):
+    with ServeClient(port=server.port) as c:
+        yield c
+
+
+def _trace_of(client, job_id):
+    doc = client.trace(job_id)
+    assert doc["state"] == "done"
+    return doc
+
+
+def test_two_tenants_get_disjoint_traces(server, client):
+    jobs = {
+        "alice": client.submit(_HUFF, tenant="alice"),
+        "bob": client.submit(_KMEANS, tenant="bob"),
+    }
+    for job in jobs.values():
+        client.result(job, timeout_s=180.0)
+    traces = {t: _trace_of(client, j) for t, j in jobs.items()}
+
+    # one trace per job, never shared
+    assert traces["alice"]["trace_id"] != traces["bob"]["trace_id"]
+    for tenant, doc in traces.items():
+        assert doc["tenant"] == tenant
+        assert len(doc["trace_id"]) == 32
+        # every span of the job belongs to the job's trace...
+        assert {s["trace_id"] for s in doc["spans"]} == {doc["trace_id"]}
+        # ...and spans that name a tenant name the right one
+        assert {s["tenant"] for s in doc["spans"]
+                if s.get("tenant") is not None} == {tenant}
+
+    # no span leaks across jobs
+    ids = {t: {s["span_id"] for s in doc["spans"]}
+           for t, doc in traces.items()}
+    assert not ids["alice"] & ids["bob"]
+
+    # every span event the daemon recorded carries one of the two trace
+    # ids — the flight recorder and the trace op agree on lineage
+    trace_ids = {doc["trace_id"] for doc in traces.values()}
+    span_events = [e for e in server.events.events()
+                   if e["kind"] in ("span_start", "span_end")]
+    assert span_events
+    assert {e["trace_id"] for e in span_events} <= trace_ids
+
+
+def test_procs_trace_reaches_worker_processes(server, client):
+    job = client.submit(_HUFF, tenant="alice")
+    client.result(job, timeout_s=180.0)
+    doc = _trace_of(client, job)
+    names = {s["name"] for s in doc["spans"]}
+    assert _DAEMON_STAGES <= names
+
+    # worker-side leaves joined the same trace, one per executed payload
+    leaves = [s for s in doc["spans"] if s["name"] == "worker_exec"]
+    assert leaves
+    assert all(s["clock"] == "worker" for s in leaves)
+    assert all(s["trace_id"] == doc["trace_id"] for s in leaves)
+    assert {s["worker"] for s in leaves} <= {0, 1}
+
+    # tree shape: job at the root, worker leaves under execute
+    (root,) = span_tree(doc["spans"])
+    assert root["name"] == "job"
+    by_name = {c["name"]: c for c in root["children"]}
+    assert set(by_name) >= _DAEMON_STAGES
+    execute = by_name["execute"]
+    assert {c["name"] for c in execute["children"]} == {"worker_exec"}
+    assert len(execute["children"]) == len(leaves)
+
+
+def test_sim_job_trace_has_no_lane_lease_stage(server, client):
+    # lanes exist for procs only; a sim job's trace must not fabricate one
+    job = client.submit(_KMEANS, tenant="bob")
+    client.result(job)
+    names = {s["name"] for s in _trace_of(client, job)["spans"]}
+    assert "lane_lease" not in names
+    assert {"admission", "queue", "execute", "result", "job"} <= names
+
+
+def test_warm_stage_spans_tile_the_job_span(server, client):
+    # first job pays the lane spawn; the second (warm) job's stage spans
+    # must account for nearly all of its submit→result wall time
+    client.result(client.submit(_HUFF, tenant="alice"), timeout_s=180.0)
+    job = client.submit(_HUFF, tenant="alice")
+    client.result(job, timeout_s=180.0)
+    doc = _trace_of(client, job)
+    spans = {s["name"]: s for s in doc["spans"]
+             if s.get("clock") != "worker"}
+    (lease,) = [s for s in doc["spans"] if s["name"] == "lane_lease"]
+    assert lease["outcome"] == "warm"
+    job_dur = spans["job"]["dur_us"]
+    stage_sum = sum(spans[name]["dur_us"] for name in _DAEMON_STAGES)
+    assert job_dur > 0
+    assert stage_sum / job_dur > 0.9
+    assert stage_sum <= job_dur * 1.001
+
+
+def test_trace_of_unknown_job_is_refused(client):
+    from repro.client import ServeError
+    with pytest.raises(ServeError):
+        client.trace("job-nope")
+
+
+def test_submit_reply_and_job_rows_carry_trace_id(server, client):
+    job = client.submit(_KMEANS, tenant="bob")
+    client.result(job)
+    (row,) = [r for r in client.jobs() if r["job_id"] == job]
+    assert row["trace_id"] == _trace_of(client, job)["trace_id"]

@@ -7,9 +7,14 @@ skipped; an anchor-only link like ``(#section)`` is ignored). Also scans
 code spans and fenced blocks for ``repro <subcommand>`` invocations and
 verifies each named subcommand is actually registered in
 ``repro.cli.build_parser()`` — so docs can't advertise commands the CLI
-doesn't have (or lose one in a rename). Exits non-zero listing every
-broken link / unknown subcommand, so CI catches docs drifting from the
-tree — renamed files, deleted examples, typo'd paths, stale CLI examples.
+doesn't have (or lose one in a rename). For each recognised subcommand
+the ``--flags`` on the same line are checked against the subparser's
+registered option strings too (``repro top --serve``, ``repro trace
+--spans-json`` and friends must really exist; flags on continuation
+lines after a ``\\`` are not checked). Exits non-zero listing every
+broken link / unknown subcommand / unknown flag, so CI catches docs
+drifting from the tree — renamed files, deleted examples, typo'd paths,
+stale CLI examples.
 
 Usage::
 
@@ -45,8 +50,13 @@ _INLINE_CODE = re.compile(r"`([^`]+)`")
 _NOT_SUBCOMMANDS = {"import", "package", "module", "script"}
 
 
-def known_subcommands(root: pathlib.Path) -> set[str]:
-    """The subcommand names ``repro.cli.build_parser()`` registers."""
+def known_subcommands(root: pathlib.Path) -> dict[str, set[str]]:
+    """``repro.cli.build_parser()``'s subcommands and their options.
+
+    Maps each subcommand name to its registered option strings
+    (``{"--once", "--serve", ...}``). Callers that only care about the
+    names can treat the mapping as a set of names.
+    """
     import argparse
 
     sys.path.insert(0, str(root / "src"))
@@ -57,7 +67,10 @@ def known_subcommands(root: pathlib.Path) -> set[str]:
         sys.path.pop(0)
     for action in parser._actions:
         if isinstance(action, argparse._SubParsersAction):
-            return set(action.choices)
+            return {
+                name: {opt for a in sub._actions for opt in a.option_strings}
+                for name, sub in action.choices.items()
+            }
     raise AssertionError("repro.cli.build_parser() has no subparsers")
 
 
@@ -75,16 +88,43 @@ def _code_texts(path: pathlib.Path):
                 yield n, m.group(1)
 
 
-def check_subcommands(path: pathlib.Path, known: set[str]) -> list[str]:
+#: a long option in example text; ``--flag=value`` matches just the flag.
+_FLAG = re.compile(r"--[a-z][a-z0-9-]*")
+
+
+def check_subcommands(
+    path: pathlib.Path, known: "set[str] | dict[str, set[str]]"
+) -> list[str]:
+    """Flag unknown subcommands — and, when ``known`` is the mapping from
+    :func:`known_subcommands`, unknown ``--flags`` for known ones."""
+    flags = known if isinstance(known, dict) else None
     errors = []
     for n, text in _code_texts(path):
-        for m in _SUBCMD.finditer(text):
+        matches = list(_SUBCMD.finditer(text))
+        for i, m in enumerate(matches):
             name = m.group(1)
-            if name in known or name in _NOT_SUBCOMMANDS:
+            if name in _NOT_SUBCOMMANDS:
                 continue
-            errors.append(
-                f"{path}:{n}: unknown `repro {name}` subcommand "
-                f"(not registered in repro.cli.build_parser())")
+            if name not in known:
+                errors.append(
+                    f"{path}:{n}: unknown `repro {name}` subcommand "
+                    f"(not registered in repro.cli.build_parser())")
+                continue
+            if flags is None:
+                continue
+            # Options between this invocation and the next one (or end of
+            # line); continuation lines after a backslash aren't seen.
+            end = matches[i + 1].start() if i + 1 < len(matches) \
+                else len(text)
+            segment = text[m.end():end]
+            # A shell comment or pipeline hands off to another command
+            # whose flags aren't ours to validate.
+            segment = re.split(r"[#|;]|&&", segment, maxsplit=1)[0]
+            for fm in _FLAG.finditer(segment):
+                if fm.group(0) not in flags[name]:
+                    errors.append(
+                        f"{path}:{n}: `repro {name}` has no "
+                        f"{fm.group(0)} option")
     return errors
 
 
