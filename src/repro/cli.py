@@ -61,6 +61,8 @@ def _run_experiment(args: argparse.Namespace, *, trace: bool = False,
         executor=args.executor,
         transport=args.transport,
         fault_plan=args.fault_plan,
+        pool=args.pool,
+        workers=args.workers,
         steal=not args.no_steal,
         dispatch_timeout_s=args.dispatch_timeout_s,
         metrics_out=metrics_out,
@@ -395,6 +397,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker_pool(args: argparse.Namespace) -> int:
+    import os
+    import signal
+
+    from repro.sre.worker_pool import PoolSettings, WorkerPoolServer
+
+    settings = PoolSettings(
+        host=args.host,
+        port=args.port if args.port is not None else 0,
+        port_file=args.port_file,
+        fault_plan=args.fault_plan,
+        max_respawns=args.max_respawns,
+        harvest_timeout_s=args.harvest_timeout_s,
+        max_workers=args.max_workers,
+        events_out=args.events_out,
+    )
+    server = WorkerPoolServer(settings).start()
+    # SIGTERM (plain `kill`, CI teardown) must stop the pool cleanly so
+    # buffered event/metric sinks flush — same exit path as the shutdown op.
+    signal.signal(signal.SIGTERM,
+                  lambda *_: server.shutdown_requested.set())
+    print(f"repro worker-pool listening on {settings.host}:{server.port} "
+          f"(pid {os.getpid()})")
+    server.serve_until_shutdown()
+    print("repro worker-pool stopped")
+    return 0
+
+
 def _cmd_submit(args: argparse.Namespace) -> int:
     import json
 
@@ -519,10 +549,16 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--verify-k", type=int, default=8, dest="verify_k")
         p.add_argument("--tolerance", type=float, default=0.01)
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--workers", type=int, default=None,
+                       help="worker seats for the live back-ends "
+                            "(threads/procs/dist)")
+        p.add_argument("--pool", default=None, metavar="HOST:PORT",
+                       help="remote worker-pool rendezvous for the dist "
+                            "back-end (a running `repro worker-pool`)")
         p.add_argument("--fault", default=None, dest="fault_plan",
                        metavar="PLAN",
                        help="inject deterministic worker faults on the "
-                            "procs back-end, e.g. 'kill@3' or "
+                            "procs/dist back-ends, e.g. 'kill@3' or "
                             "'hang@2:w1,kill@1!' (see docs/fault-tolerance.md)")
         p.add_argument("--no-steal", action="store_true", dest="no_steal",
                        help="pin claimed payloads to the seat that batched "
@@ -776,6 +812,40 @@ def build_parser() -> argparse.ArgumentParser:
                          dest="metrics_interval_s", metavar="SECONDS",
                          help="seconds between --metrics-out snapshots")
     p_serve.set_defaults(fn=_cmd_serve)
+
+    p_pool = sub.add_parser(
+        "worker-pool",
+        help="host a worker pool for the dist back-end: a "
+             "WorkerSupervisor behind a TCP socket (see "
+             "docs/distributed.md)")
+    p_pool.add_argument("--host", default="127.0.0.1")
+    p_pool.add_argument("--port", type=int, default=None,
+                        help="listen port (default: ephemeral; see "
+                             "--port-file)")
+    p_pool.add_argument("--port-file", default=None, dest="port_file",
+                        help="write the bound port here once listening "
+                             "(the CI / scripting rendezvous)")
+    p_pool.add_argument("--fault", default=None, dest="fault_plan",
+                        metavar="PLAN",
+                        help="default chaos plan armed on every attached "
+                             "session's workers when the coordinator "
+                             "ships none, e.g. 'kill@3' (see "
+                             "docs/fault-tolerance.md)")
+    p_pool.add_argument("--max-workers", type=int, default=16,
+                        dest="max_workers",
+                        help="cap on seats one attach may request")
+    p_pool.add_argument("--max-respawns", type=int, default=3,
+                        dest="max_respawns",
+                        help="replacement processes per seat before it "
+                             "degrades")
+    p_pool.add_argument("--harvest-timeout", type=float, default=2.0,
+                        dest="harvest_timeout_s", metavar="SECONDS",
+                        help="shutdown grace per worker for the final "
+                             "metrics/events harvest")
+    p_pool.add_argument("--events-out", default=None, dest="events_out",
+                        help="write the pool's lifecycle event log "
+                             "(JSONL) to this path")
+    p_pool.set_defaults(fn=_cmd_worker_pool)
 
     p_submit = sub.add_parser(
         "submit", help="submit one job to a running `repro serve` daemon")

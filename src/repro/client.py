@@ -54,6 +54,10 @@ class ServeClient:
 
     def __init__(self, host: str = "127.0.0.1", *, port: int,
                  timeout_s: float = 120.0) -> None:
+        #: per-call reply deadline; a daemon that stops replying surfaces
+        #: as a typed ServeError instead of wedging the caller (and every
+        #: other thread sharing this client) in recv_frame forever.
+        self.timeout_s = timeout_s
         self._sock = socket.create_connection((host, port),
                                               timeout=timeout_s)
         self._lock = threading.Lock()
@@ -78,8 +82,13 @@ class ServeClient:
     def _call(self, req: dict) -> dict:
         with self._lock:
             req.setdefault(TRACEPARENT_KEY, self._trace.to_traceparent())
-            send_frame(self._sock, req)
-            reply = recv_frame(self._sock)
+            try:
+                send_frame(self._sock, req)
+                reply = recv_frame(self._sock)
+            except TimeoutError:  # socket.timeout on the unbounded recv
+                raise ServeError(
+                    f"daemon timed out (no reply to {req.get('op')!r} "
+                    f"within {self.timeout_s}s)") from None
         if reply is None:
             raise ServeError("daemon closed the connection")
         return reply

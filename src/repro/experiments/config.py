@@ -137,10 +137,14 @@ class RunConfig:
     events: bool = True
     events_out: str | None = None
     events_capacity: int = 65536
-    #: deterministic fault-injection plan for the process back-end (see
-    #: repro.testing.faults for the grammar, e.g. "kill@3" or
-    #: "hang@2:w1,kill@1!"). Requires executor="procs".
+    #: deterministic fault-injection plan for the process-pool back-ends
+    #: (see repro.testing.faults for the grammar, e.g. "kill@3" or
+    #: "hang@2:w1,kill@1!"). Requires executor="procs" or "dist"; with
+    #: "dist" the plan ships to the remote pool at attach and arms there.
     fault_plan: str | None = None
+    #: remote worker-pool address ("host:port") for executor="dist" —
+    #: the rendezvous with a running `repro worker-pool`.
+    pool: str | None = None
     #: worker-supervisor knobs (process back-end only; ignored elsewhere).
     #: Per-payload reply deadline. Worker replies stream back one per
     #: payload, so each reply gets this long — the deadline is never
@@ -194,13 +198,26 @@ class RunConfig:
         if self.retry_backoff_s < 0:
             raise ExperimentError("retry_backoff_s must be >= 0")
         if self.fault_plan is not None:
-            if self.executor != "procs":
+            if self.executor not in ("procs", "dist"):
                 raise ExperimentError(
                     "fault_plan injects worker-process faults; it requires "
-                    "executor='procs'")
+                    "executor='procs' or executor='dist'")
             from repro.testing.faults import FaultPlan
 
             FaultPlan.parse(self.fault_plan)  # validates the spec grammar
+        if self.executor == "dist" and self.pool is None:
+            raise ExperimentError(
+                "executor='dist' needs pool='host:port' — the address of "
+                "a running `repro worker-pool`")
+        if self.pool is not None:
+            if self.executor != "dist":
+                raise ExperimentError(
+                    "pool= is the dist back-end's rendezvous; it requires "
+                    "executor='dist'")
+            host, sep, port = str(self.pool).rpartition(":")
+            if not sep or not host or not port.isdigit():
+                raise ExperimentError(
+                    f"pool must be 'host:port', got {self.pool!r}")
 
     @classmethod
     def from_kwargs(cls, **kwargs: object) -> "RunConfig":

@@ -227,10 +227,10 @@ def run_huffman(
                 engine = resources.executor_factory(runtime)
             else:
                 live_opts: dict[str, object] = {}
-                if cfg.executor == "procs":
+                if cfg.executor in ("procs", "dist"):
                     # Supervisor / fault-injection knobs are specific to the
-                    # process back-end; other registered back-ends would
-                    # reject the keywords.
+                    # process-pool back-ends; other registered back-ends
+                    # would reject the keywords.
                     live_opts.update(
                         store=store,
                         fault_plan=cfg.fault_plan,
@@ -241,6 +241,8 @@ def run_huffman(
                         max_worker_respawns=cfg.max_worker_respawns,
                         harvest_timeout_s=cfg.harvest_timeout_s,
                     )
+                if cfg.executor == "dist":
+                    live_opts.update(pool=cfg.pool)
                 engine = make_executor(
                     cfg.executor, runtime, policy=cfg.policy,
                     workers=cfg.workers if cfg.workers is not None else 4,

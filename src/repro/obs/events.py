@@ -253,17 +253,36 @@ class EventLog:
         timestamps are kept verbatim and flagged ``clock="worker"``
         because the worker's monotonic clock shares no epoch with ours.
         """
-        if not self.enabled or not worker_events:
+        self._merge_foreign(worker_events, tags={"worker": worker},
+                            seq_key="worker_seq")
+
+    def merge_remote(self, origin: str, remote_events: list[dict]) -> None:
+        """Fold a remote pool's event batch into this log.
+
+        Like :meth:`merge_worker`, but for a whole remote worker pool
+        (see :mod:`repro.sre.executor_dist`): events arrive already
+        aggregated across that pool's workers, so existing ``worker`` /
+        ``worker_seq`` attribution is preserved rather than overwritten.
+        The batch is tagged ``origin=<origin>`` (the pool address) and
+        its foreign seqs survive as ``remote_seq``; a ``clock`` already
+        stamped by the pool's own merge is kept.
+        """
+        self._merge_foreign(remote_events, tags={"origin": origin},
+                            seq_key="remote_seq")
+
+    def _merge_foreign(self, foreign: list[dict], *, tags: dict,
+                       seq_key: str) -> None:
+        if not self.enabled or not foreign:
             return
         with self._lock:
             remap: dict[int, int] = {}
-            for src in worker_events:
+            for src in foreign:
                 self._seq += 1
                 event = dict(src)
                 old_seq = event.get("seq")
                 if old_seq is not None:
                     remap[old_seq] = self._seq
-                    event["worker_seq"] = old_seq
+                    event[seq_key] = old_seq
                 old_cause = event.get("cause")
                 if old_cause is not None:
                     if old_cause in remap:
@@ -272,8 +291,8 @@ class EventLog:
                         del event["cause"]
                 event["seq"] = self._seq
                 event["run_id"] = self.run_id
-                event["worker"] = worker
-                event["clock"] = "worker"
+                event.update(tags)
+                event.setdefault("clock", "worker")
                 self._ring.append(event)
                 if self._file is not None:
                     self._file.write(json.dumps(event, default=str) + "\n")

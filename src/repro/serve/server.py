@@ -108,6 +108,10 @@ class ServeSettings:
     flap_k: int = 3
     #: ...within this window flags the tenant as flapping.
     flap_window_s: float = 60.0
+    #: per-connection idle timeout: a peer that stays silent this long is
+    #: disconnected, so an idle (or slow-loris) client cannot pin a
+    #: handler thread in ``recv_frame`` forever. None disables.
+    conn_idle_timeout_s: float | None = 300.0
     #: written with the bound port once listening — CI's rendezvous.
     port_file: str | None = None
 
@@ -269,6 +273,10 @@ class SpeculationServer:
         self._job_seq = 0
         self._run_q: "queue.Queue[Job | None]" = queue.Queue()
         self._threads: list[threading.Thread] = []
+        #: live connections -> their handler threads; stop() closes every
+        #: socket here so no handler outlives the daemon.
+        self._conns: dict[socket.socket, threading.Thread] = {}
+        self._conns_lock = threading.Lock()
         self._listener: socket.socket | None = None
         self._started_mono = 0.0
         self.shutdown_requested = threading.Event()
@@ -321,7 +329,19 @@ class SpeculationServer:
                 self._listener.close()
             except OSError:  # pragma: no cover - defensive
                 pass
-        for t in self._threads:
+        # Wake every live handler: a silent peer would otherwise pin its
+        # thread in recv_frame past shutdown. SHUT_RDWR delivers EOF to a
+        # blocked recv where close() alone may not.
+        with self._conns_lock:
+            conns = list(self._conns.items())
+        for conn, _t in conns:
+            for closer in (lambda: conn.shutdown(socket.SHUT_RDWR),
+                           conn.close):
+                try:
+                    closer()
+                except OSError:
+                    pass
+        for t in self._threads + [t for _c, t in conns]:
             t.join(timeout=10.0)
         # Lanes first (their harvest emits into daemon metrics/events),
         # then arenas, then the event sink — mirror runner.py's ordering.
@@ -358,31 +378,48 @@ class SpeculationServer:
                 continue
             except OSError:  # listener closed under us: shutting down
                 return
+            conn.settimeout(self.settings.conn_idle_timeout_s)
             t = threading.Thread(target=self._serve_conn, args=(conn,),
                                  name="serve-conn", daemon=True)
+            with self._conns_lock:
+                self._conns[conn] = t
             t.start()
 
     def _serve_conn(self, conn: socket.socket) -> None:
-        with conn:
-            while True:
-                try:
-                    req = recv_frame(conn)
-                except TransportError:
-                    return  # peer sent garbage or died mid-frame
-                if req is None:
-                    return
-                try:
-                    reply = self._handle(req)
-                except Exception as exc:  # noqa: BLE001 - reply, don't die
-                    reply = {"ok": False, "error": f"{type(exc).__name__}: "
-                                                   f"{exc}"}
-                try:
-                    send_frame(conn, reply)
-                except (TransportError, OSError):
-                    return
-                if req.get("op") == "shutdown":
-                    self.shutdown_requested.set()
-                    return
+        try:
+            with conn:
+                self._serve_conn_loop(conn)
+        finally:
+            with self._conns_lock:
+                self._conns.pop(conn, None)
+
+    def _serve_conn_loop(self, conn: socket.socket) -> None:
+        while True:
+            try:
+                req = recv_frame(conn)
+            except socket.timeout:
+                self.events.emit("serve_conn_closed", reason="idle_timeout")
+                return  # idle peer evicted (conn_idle_timeout_s)
+            except (TransportError, OSError):
+                return  # peer sent garbage, died mid-frame, or stop()
+                # closed the socket under us
+            if req is None:
+                return
+            self._serve_req(conn, req)
+            if req.get("op") == "shutdown":
+                self.shutdown_requested.set()
+                return
+
+    def _serve_req(self, conn: socket.socket, req: dict) -> None:
+        try:
+            reply = self._handle(req)
+        except Exception as exc:  # noqa: BLE001 - reply, don't die
+            reply = {"ok": False, "error": f"{type(exc).__name__}: "
+                                           f"{exc}"}
+        try:
+            send_frame(conn, reply)
+        except (TransportError, OSError):
+            pass
 
     def _handle(self, req: dict) -> dict:
         op = req.get("op")

@@ -15,6 +15,12 @@ transport that carries the bytes from the daemon to its workers.
 The frame length is capped (:data:`MAX_FRAME_BYTES`) so a corrupt or
 hostile prefix cannot make the daemon allocate gigabytes.
 
+The same framing carries the distributed executor's traffic: a ``repro
+worker-pool`` daemon (:mod:`repro.sre.worker_pool`) speaks these frames
+for its control and seat connections, with task payload bytes riding
+base64 in ``frames``/``payload_b64`` and pushed shared-memory blocks in
+``data_b64`` chunks.
+
 Trace context rides on the same frames: any request may carry a W3C-style
 ``traceparent`` string under :data:`TRACEPARENT_KEY` (see
 :mod:`repro.obs.spans`). The server parses it tolerantly — a missing or

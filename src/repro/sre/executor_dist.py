@@ -1,0 +1,684 @@
+"""Distributed executor: the process back-end's coordinator, with its
+worker pool on the far side of a TCP connection.
+
+:class:`DistExecutor` *is* :class:`~repro.sre.executor_procs.ProcessExecutor`
+— same batching, work-stealing, retry/quarantine and streaming-reply
+machinery — constructed with an injected supervisor whose seats live in a
+remote ``repro worker-pool`` daemon (:mod:`repro.sre.worker_pool`).
+:class:`RemotePool` duck-types the ``WorkerSupervisor`` seam
+(``send``/``recv_reply``/``note_lost``/``respawn``/``abort_flags``/...)
+over :mod:`repro.serve.wire` length-prefixed JSON frames, so the
+coordinator cannot tell pipes from sockets.
+
+What changes at the seam:
+
+* **Transport** — payload frames ride base64 in ``batch`` frames; the
+  streamed one-reply-per-payload protocol is preserved verbatim
+  (``seq``/``status``/``payload_b64``), so per-payload deadlines and
+  head-of-line behaviour match the local back-end.
+* **shm** — shared memory cannot cross hosts, so the
+  :class:`~repro.sre.shm.BlockRef` seam is re-keyed through a chunked
+  block push: before a batch ships, every referenced segment is
+  materialised on the pool (attached natively when the pool shares the
+  coordinator's host — still zero-copy — or created and filled through
+  ``chunk`` ops otherwise), after which the refs resolve remotely exactly
+  as they do locally.
+* **Crash/hang recovery** — the supervisor's respawn state machine
+  generalises to *reconnect with a bumped incarnation*: one seat
+  connection carries exactly one worker incarnation, any
+  :class:`~repro.errors.WorkerLost` in either direction poisons the
+  connection, and ``respawn`` opens a fresh one (the pool recycles the
+  seat's worker if it held in-flight state). Stale frames die with the
+  old socket, which is what keeps reply sequences unambiguous.
+* **Abort flags** — a write to ``abort_flags[wid]`` becomes a control-op
+  round trip on value *transitions*; the raise path is timed into the
+  ``dist_abort_rtt_us`` histogram (the cross-host cost of tolerant
+  speculation's destroy signal).
+* **Pool loss** — a heartbeat thread probes the control connection; if
+  the pool dies wholesale every seat degrades and the run completes
+  coordinator-inline, same contract as a seat exhausting its respawn
+  budget.
+
+See ``docs/distributed.md`` for the wire protocol and a worked
+post-mortem of a killed remote worker.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import threading
+import time
+from typing import Any
+
+from repro.errors import SchedulingError, SegmentGone, TransportError, WorkerLost
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.wire import (TRACEPARENT_KEY, decode_blob, encode_blob,
+                              recv_frame, send_frame)
+from repro.sre import shm
+from repro.sre.executor_procs import (DEFAULT_BATCH_BYTES, DEFAULT_BATCH_MAX,
+                                      DEFAULT_DISPATCH_TIMEOUT_S,
+                                      DEFAULT_HARVEST_TIMEOUT_S,
+                                      DEFAULT_PAYLOAD_BUDGET, ProcessExecutor)
+from repro.sre.registry import register_executor
+from repro.sre.runtime import Runtime
+from repro.sre.task import PAYLOAD_PROTOCOL
+from repro.testing.faults import FaultPlan
+
+__all__ = ["RemotePool", "DistExecutor"]
+
+#: abort relays are small fixed-size control ops — µs-scale on loopback,
+#: ms-scale across real links; buckets cover both regimes.
+_ABORT_RTT_BUCKETS = (50.0, 100.0, 200.0, 500.0, 1e3, 2e3, 5e3,
+                      1e4, 5e4, 1e5, 1e6)
+
+
+def _close(sock: socket.socket | None) -> None:
+    if sock is None:
+        return
+    try:
+        sock.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
+    try:
+        sock.close()
+    except OSError:  # pragma: no cover - defensive
+        pass
+
+
+class _RemoteAbortFlags:
+    """``abort_flags`` shim: looks like the supervisor's shared byte
+    array, but a write that *changes* a seat's value relays it to the
+    pool as an ``abort`` control op (reads stay local — the coordinator
+    is the only writer, so its shadow copy is authoritative)."""
+
+    def __init__(self, pool: "RemotePool") -> None:
+        self._pool = pool
+        self._values = [0] * pool.n_workers
+
+    def __getitem__(self, wid: int) -> int:
+        return self._values[wid]
+
+    def __setitem__(self, wid: int, value: int) -> None:
+        value = 1 if value else 0
+        if self._values[wid] == value:
+            return  # no transition: nothing to relay
+        self._values[wid] = value
+        self._pool._send_abort(wid, value)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def clear(self) -> None:
+        self._values = [0] * len(self._values)
+
+
+class _Seat:
+    """Coordinator-side per-seat connection state. Each seat is driven by
+    exactly one coordinator thread (ProcessExecutor's per-seat dispatch
+    loop), so no lock is needed beyond the pool-wide ones."""
+
+    __slots__ = ("wid", "sock", "sent", "recvd", "incarnation",
+                 "respawns", "degraded")
+
+    def __init__(self, wid: int) -> None:
+        self.wid = wid
+        self.sock: socket.socket | None = None
+        self.sent = 0   # the reply stream restarts with each incarnation
+        self.recvd = 0
+        self.incarnation = 0
+        self.respawns = 0
+        self.degraded = False
+
+
+class RemotePool:
+    """A remote ``repro worker-pool`` session, speaking the
+    ``WorkerSupervisor`` interface.
+
+    Args:
+        address: ``"host:port"`` of a running pool daemon.
+        workers: seats to attach (bounded by the pool's ``max_workers``).
+        runtime: the job runtime — crash/respawn events and dist metrics
+            land here, and the pool's own snapshot merges in at detach.
+        fault_plan: chaos plan shipped to the pool at attach and armed on
+            the *remote* workers (``None`` defers to the pool's default).
+        dispatch_timeout_s: per-payload reply deadline, enforced on the
+            pool side (where hangs are detected) — the coordinator waits
+            ``net_margin_s`` longer so the pool's ``lost`` relay wins the
+            race against the coordinator's own timeout.
+        max_respawns: reconnect budget per seat before it degrades.
+        heartbeat_s: control-connection probe interval (0 disables).
+        connect_timeout_s: TCP connect/handshake deadline.
+        chunk_bytes: block-push granularity for cross-host segments.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        *,
+        workers: int = 4,
+        runtime: Runtime,
+        fault_plan: FaultPlan | str | None = None,
+        dispatch_timeout_s: float = DEFAULT_DISPATCH_TIMEOUT_S,
+        max_respawns: int = 3,
+        harvest_timeout_s: float = DEFAULT_HARVEST_TIMEOUT_S,
+        heartbeat_s: float = 5.0,
+        connect_timeout_s: float = 10.0,
+        net_margin_s: float = 2.0,
+        chunk_bytes: int = 1 << 20,
+    ) -> None:
+        host, sep, port = address.rpartition(":")
+        if not sep or not host or not port.isdigit():
+            raise SchedulingError(
+                f"pool address must be 'host:port', got {address!r}")
+        self.address = address
+        self._host, self._port = host, int(port)
+        self.n_workers = workers
+        self.fault_plan = FaultPlan.parse(fault_plan)
+        self.dispatch_timeout_s = dispatch_timeout_s
+        self.max_respawns = max_respawns
+        self.harvest_timeout_s = harvest_timeout_s
+        self.heartbeat_s = heartbeat_s
+        self.connect_timeout_s = connect_timeout_s
+        self.net_margin_s = net_margin_s
+        self.chunk_bytes = chunk_bytes
+        self.runtime = runtime
+        self.session: str | None = None
+        self.abort_flags = _RemoteAbortFlags(self)
+        self._seats = [_Seat(w) for w in range(workers)]
+        self._ctl: socket.socket | None = None
+        self._ctl_lock = threading.RLock()
+        #: pool-wide loss flag: set when the control connection dies
+        #: (heartbeat failure, abort-relay failure, detach error). Seats
+        #: refuse to reconnect past it and degrade instead.
+        self._lost = False
+        #: segment name -> True if the pool *created* a copy (chunks must
+        #: be pushed for its blocks), False if it attached natively.
+        self._pushed_segments: dict[str, bool] = {}
+        self._pushed_blocks: set[tuple[str, int]] = set()
+        self._push_lock = threading.Lock()
+        self._hb_stop = threading.Event()
+        self._hb_thread: threading.Thread | None = None
+        self._stopped = False
+        self._bind_runtime(runtime)
+
+    # ------------------------------------------------------------------
+    # runtime binding (metrics live in whatever runtime drives the job)
+    # ------------------------------------------------------------------
+    def _bind_runtime(self, runtime: Runtime) -> None:
+        self.runtime = runtime
+        m: MetricsRegistry = runtime.metrics
+        self._m_abort_rtt = m.histogram(
+            "dist_abort_rtt_us",
+            "round-trip of one cross-host abort-flag raise, microseconds",
+            buckets=_ABORT_RTT_BUCKETS)
+        self._m_heartbeats = m.counter(
+            "dist_heartbeats", "pool heartbeat probes", labelnames=("outcome",))
+        self._m_seat_lost = m.counter(
+            "dist_seat_lost", "seat connections poisoned by a worker loss",
+            labelnames=("cause",))
+        self._m_reconnects = m.counter(
+            "dist_seat_reconnects",
+            "seat reconnects with a bumped incarnation (remote respawns)")
+        self._m_degraded = m.gauge(
+            "dist_seats_degraded",
+            "seats fallen back to coordinator-inline execution")
+        self._m_batches = m.counter(
+            "dist_batches_sent", "batch frames shipped to the pool")
+        self._m_replies = m.counter(
+            "dist_replies", "streamed per-payload replies received")
+        self._m_blocks_pushed = m.counter(
+            "dist_blocks_pushed",
+            "shared-memory blocks pushed to the pool over the wire")
+        self._m_push_bytes = m.counter(
+            "dist_block_push_bytes", "bytes of pushed block chunks")
+        self._m_segments = m.counter(
+            "dist_segments_materialized",
+            "segments materialised on the pool",
+            labelnames=("mode",))  # native (same-host attach) | copy
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def connect(self) -> None:
+        """Attach: control connection + one seat connection per worker."""
+        ctl = socket.create_connection((self._host, self._port),
+                                       timeout=self.connect_timeout_s)
+        self._ctl = ctl
+        plan = self.fault_plan
+        send_frame(ctl, {
+            "op": "attach", "workers": self.n_workers,
+            "fault": plan.spec() if plan is not None else None,
+            "dispatch_timeout_s": self.dispatch_timeout_s,
+        })
+        reply = recv_frame(ctl)
+        if reply is None or not reply.get("ok"):
+            err = (reply or {}).get("error", "pool closed the connection")
+            _close(ctl)
+            self._ctl = None
+            raise SchedulingError(
+                f"worker pool at {self.address} refused attach: {err}")
+        self.session = reply["session"]
+        self.runtime.events.emit(
+            "remote_pool_attach", pool=self.address, session=self.session,
+            workers=self.n_workers, pool_pid=reply.get("pid"))
+        for seat in self._seats:
+            self._connect_seat(seat)
+            if seat.degraded:
+                self._degrade(seat, "attach refused")
+        if self.heartbeat_s > 0:
+            self._hb_thread = threading.Thread(
+                target=self._heartbeat_loop, name="dist-heartbeat",
+                daemon=True)
+            self._hb_thread.start()
+
+    def _connect_seat(self, seat: _Seat) -> None:
+        sock = socket.create_connection((self._host, self._port),
+                                        timeout=self.connect_timeout_s)
+        send_frame(sock, {"op": "seat", "session": self.session,
+                          "wid": seat.wid,
+                          "incarnation": seat.incarnation})
+        reply = recv_frame(sock)
+        if reply is None:
+            _close(sock)
+            raise TransportError("pool closed the seat handshake")
+        if not reply.get("ok"):
+            _close(sock)
+            seat.degraded = True  # pool-side seat is out of respawns
+            return
+        sock.settimeout(None)  # recv_reply applies per-call deadlines
+        seat.sock = sock
+        seat.sent = 0
+        seat.recvd = 0
+
+    def start(self) -> None:
+        self.connect()
+
+    def stop(self) -> None:
+        self.detach()
+
+    def detach(self) -> None:
+        """Tear the session down and fold the pool's metrics/events home."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self._hb_stop.set()
+        if self._hb_thread is not None:
+            self._hb_thread.join(timeout=self.heartbeat_s + 5.0)
+        snapshot = None
+        with self._ctl_lock:
+            if self._ctl is not None and not self._lost:
+                try:
+                    # Generous deadline: detach stops every remote worker
+                    # and runs the final flush harvest before replying.
+                    reply = self._ctl_call(
+                        {"op": "detach"},
+                        timeout_s=60.0 + self.harvest_timeout_s
+                        * self.n_workers)
+                    if reply.get("ok") and reply.get("snapshot_b64"):
+                        snapshot = pickle.loads(
+                            decode_blob(reply["snapshot_b64"]))
+                except (TransportError, OSError, pickle.PickleError):
+                    self._lost = True
+            _close(self._ctl)
+            self._ctl = None
+        for seat in self._seats:
+            _close(seat.sock)
+            seat.sock = None
+        if snapshot is not None:
+            self.runtime.metrics.merge_snapshot(snapshot["metrics"])
+            self.runtime.events.merge_remote(self.address,
+                                             snapshot["events"])
+        self.runtime.events.emit(
+            "remote_pool_detach", pool=self.address, session=self.session,
+            snapshot=snapshot is not None)
+
+    def rebind(self, runtime: Runtime) -> None:
+        """Re-point accounting at a new job's runtime (warm-pool parity)."""
+        self._bind_runtime(runtime)
+        self.abort_flags.clear()
+
+    def harvest(self) -> None:
+        """No-op: remote worker intervals come home in the detach
+        snapshot; there is no mid-run flush channel."""
+
+    # -- introspection parity ------------------------------------------
+    def alive(self, wid: int) -> bool:
+        return not self._seats[wid].degraded
+
+    def pids(self) -> list[int | None]:
+        return [None] * self.n_workers  # processes live on the pool host
+
+    def process(self, wid: int) -> None:
+        return None
+
+    # ------------------------------------------------------------------
+    # dispatch seam
+    # ------------------------------------------------------------------
+    def send(self, wid: int, frames: list[bytes]) -> None:
+        """Ship one batch frame to seat ``wid``'s connection.
+
+        Mirrors ``WorkerSupervisor.send``: raises ``WorkerLost``
+        (``"degraded"``/``"crash"``) and stamps the batch with the active
+        trace context so pool-side worker events join the job's trace.
+        """
+        seat = self._seats[wid]
+        if self._lost and not seat.degraded:
+            self._degrade(seat, "pool lost")
+        if seat.degraded or seat.sock is None:
+            raise WorkerLost(wid, "degraded")
+        try:
+            self._push_payload_blocks(frames)
+        except (TransportError, OSError):
+            raise WorkerLost(wid, "crash") from None
+        ctx = self.runtime.events.trace_context
+        try:
+            send_frame(seat.sock, {
+                "op": "batch", "n": len(frames),
+                "frames": [encode_blob(f) for f in frames],
+                TRACEPARENT_KEY:
+                    ctx.to_traceparent() if ctx is not None else None,
+            })
+        except (TransportError, OSError):
+            raise WorkerLost(wid, "crash") from None
+        seat.sent += len(frames)
+        self._m_batches.inc()
+
+    def recv_reply(self, wid: int, timeout_s: float) -> tuple[str, Any]:
+        """Await exactly one streamed per-payload reply from seat ``wid``.
+
+        The pool enforces ``timeout_s`` against the worker and relays the
+        loss; the coordinator waits ``net_margin_s`` longer so the relay
+        (which names the true cause: crash vs hang vs protocol) wins the
+        race. A socket-level timeout here therefore means the *pool side*
+        went quiet — surfaced as a hang.
+        """
+        seat = self._seats[wid]
+        if seat.degraded or seat.sock is None:
+            raise WorkerLost(wid, "degraded")
+        seat.sock.settimeout(timeout_s + self.net_margin_s)
+        try:
+            reply = recv_frame(seat.sock)
+        except TimeoutError:  # before OSError: socket.timeout subclasses it
+            raise WorkerLost(wid, "hang") from None
+        except TransportError:
+            raise WorkerLost(wid, "protocol") from None
+        except OSError:
+            raise WorkerLost(wid, "crash") from None
+        if reply is None:
+            raise WorkerLost(wid, "crash")
+        if "lost" in reply:
+            # The pool detected the loss first and already respawned (or
+            # degraded) its local worker; our reconnect syncs with it.
+            raise WorkerLost(wid, str(reply["lost"]),
+                             exitcode=reply.get("exitcode"))
+        seq = reply.get("seq")
+        if seq != seat.recvd + 1 or seq > seat.sent:
+            raise WorkerLost(wid, "protocol")
+        seat.recvd = seq
+        self._m_replies.inc()
+        try:
+            payload = pickle.loads(decode_blob(reply["payload_b64"]))
+        except Exception:  # noqa: BLE001 - undecodable reply == protocol loss
+            raise WorkerLost(wid, "protocol") from None
+        return str(reply.get("status")), payload
+
+    # ------------------------------------------------------------------
+    # failure handling: one incarnation per connection
+    # ------------------------------------------------------------------
+    def note_lost(self, wid: int, lost: WorkerLost,
+                  inflight: list[str]) -> int:
+        """Account a loss and poison the seat connection.
+
+        Closing the socket is the remote analogue of "guarantees the
+        process is dead": whatever the old incarnation still had in
+        flight can never reach the reply stream again.
+        """
+        seat = self._seats[wid]
+        _close(seat.sock)
+        seat.sock = None
+        self._m_seat_lost.labels(cause=lost.cause).inc()
+        return self.runtime.events.emit(
+            "worker_crash", worker=wid, reason=lost.cause,
+            exitcode=lost.exitcode, incarnation=seat.incarnation,
+            inflight=len(inflight), tasks=inflight[:8] or None,
+            pool=self.address)
+
+    def respawn(self, wid: int) -> bool:
+        """Reconnect seat ``wid`` with a bumped incarnation.
+
+        The pool recycles its local worker if the dead connection left
+        in-flight state behind, so a successful reconnect always lands on
+        a clean reply stream. Returns False (and degrades the seat to
+        coordinator-inline execution) when the budget is exhausted, the
+        pool is lost, or the pool refuses the seat.
+        """
+        seat = self._seats[wid]
+        if seat.degraded:
+            return False
+        if seat.respawns >= self.max_respawns:
+            self._degrade(seat, "respawn budget exhausted")
+            return False
+        if self._lost:
+            self._degrade(seat, "pool lost")
+            return False
+        seat.respawns += 1
+        seat.incarnation += 1
+        try:
+            self._connect_seat(seat)
+        except (TransportError, OSError):
+            self._degrade(seat, "reconnect failed")
+            return False
+        if seat.degraded or seat.sock is None:
+            self._degrade(seat, "pool refused seat")
+            return False
+        self._m_reconnects.inc()
+        self.runtime.events.emit(
+            "worker_respawn", worker=wid, incarnation=seat.incarnation,
+            respawns=seat.respawns, pool=self.address)
+        return True
+
+    def _degrade(self, seat: _Seat, why: str) -> None:
+        if seat.degraded and seat.sock is None:
+            return
+        seat.degraded = True
+        _close(seat.sock)
+        seat.sock = None
+        self._m_degraded.inc()
+        self.runtime.events.emit("worker_degraded", worker=seat.wid,
+                                 reason=why, pool=self.address)
+
+    def _mark_lost(self, why: str) -> None:
+        if self._lost:
+            return
+        self._lost = True
+        self.runtime.events.emit("remote_pool_lost", pool=self.address,
+                                 session=self.session, reason=why)
+
+    # ------------------------------------------------------------------
+    # control channel: heartbeat + abort relay
+    # ------------------------------------------------------------------
+    def _ctl_call(self, obj: dict, timeout_s: float) -> dict:
+        """One control-op round trip. Caller holds ``_ctl_lock``."""
+        if self._ctl is None:
+            raise TransportError("control connection is closed")
+        self._ctl.settimeout(timeout_s)
+        send_frame(self._ctl, obj)
+        reply = recv_frame(self._ctl)
+        if reply is None:
+            raise TransportError("pool closed the control connection")
+        return reply
+
+    def _send_abort(self, wid: int, value: int) -> None:
+        """Relay one abort-flag transition to the pool (cross-host
+        destroy propagation). Raises are timed into ``dist_abort_rtt_us``;
+        a failed relay marks the pool lost (the flag would otherwise be
+        silently ignored and a doomed task would run to completion)."""
+        with self._ctl_lock:
+            if self._ctl is None or self._lost or self._stopped:
+                return
+            t0 = time.perf_counter()
+            try:
+                self._ctl_call({"op": "abort", "wid": wid, "value": value},
+                               timeout_s=self.connect_timeout_s)
+            except (TransportError, OSError):
+                self._mark_lost("abort relay failed")
+                return
+            if value:
+                self._m_abort_rtt.observe(
+                    (time.perf_counter() - t0) * 1e6)
+
+    def _heartbeat_loop(self) -> None:
+        while not self._hb_stop.wait(timeout=self.heartbeat_s):
+            with self._ctl_lock:
+                if self._stopped or self._lost or self._ctl is None:
+                    return
+                try:
+                    self._ctl_call({"op": "heartbeat"},
+                                   timeout_s=self.connect_timeout_s)
+                except (TransportError, OSError):
+                    self._m_heartbeats.labels(outcome="lost").inc()
+                    self._mark_lost("heartbeat failed")
+                    return
+            self._m_heartbeats.labels(outcome="ok").inc()
+
+    # ------------------------------------------------------------------
+    # block push: the BlockRef seam, re-keyed over the wire
+    # ------------------------------------------------------------------
+    def _push_payload_blocks(self, frames: list[bytes]) -> None:
+        """Materialise every segment/block the batch references on the
+        pool before the batch ships, so its refs resolve remotely.
+
+        Same-host pools attach the segment natively (zero bytes moved);
+        cross-host pools get a created copy filled by ``chunk`` ops. A
+        segment that vanishes mid-push is skipped — the worker's own
+        ``segment-gone`` path reruns those payloads inline, exactly as it
+        does for a locally-released segment.
+        """
+        for frame in frames:
+            if b"BlockRef" not in frame:
+                continue  # cheap negative: no pickled refs inside
+            try:
+                obj = pickle.loads(frame)
+            except Exception:  # noqa: BLE001 - worker will report it
+                continue
+            for ref in shm.iter_refs(obj):
+                self._push_block(ref)
+
+    def _push_block(self, ref: "shm.BlockRef") -> None:
+        with self._push_lock:
+            if ref.key in self._pushed_blocks:
+                return
+            created = self._pushed_segments.get(ref.segment)
+            if created is None:
+                created = self._push_segment(ref.segment)
+                if created is None:
+                    self._pushed_blocks.add(ref.key)  # gone: worker reruns
+                    return
+            if not created:  # native same-host attach: nothing to move
+                self._pushed_blocks.add(ref.key)
+                return
+            try:
+                data = shm.read_block(ref.segment, ref.offset, ref.length)
+            except SegmentGone:
+                self._pushed_blocks.add(ref.key)
+                return
+            for off in range(0, len(data), self.chunk_bytes):
+                chunk = data[off:off + self.chunk_bytes]
+                with self._ctl_lock:
+                    if self._ctl is None or self._lost:
+                        return
+                    try:
+                        self._ctl_call(
+                            {"op": "chunk", "segment": ref.segment,
+                             "offset": ref.offset + off,
+                             "data_b64": encode_blob(chunk)},
+                            timeout_s=self.connect_timeout_s)
+                    except (TransportError, OSError):
+                        self._mark_lost("block push failed")
+                        return
+                self._m_push_bytes.inc(len(chunk))
+            self._m_blocks_pushed.inc()
+            self._pushed_blocks.add(ref.key)
+
+    def _push_segment(self, name: str) -> bool | None:
+        """Materialise ``name`` on the pool; True=copy, False=native
+        attach, None=segment already gone locally."""
+        try:
+            size = shm.segment_size(name)
+        except SegmentGone:
+            return None
+        with self._ctl_lock:
+            if self._ctl is None or self._lost:
+                raise TransportError("pool lost")
+            reply = self._ctl_call({"op": "segment", "name": name,
+                                    "size": size},
+                                   timeout_s=self.connect_timeout_s)
+        if not reply.get("ok"):
+            raise TransportError(
+                f"pool refused segment {name!r}: {reply.get('error')}")
+        created = bool(reply.get("created"))
+        self._pushed_segments[name] = created
+        self._m_segments.labels(mode="copy" if created else "native").inc()
+        return created
+
+
+class DistExecutor(ProcessExecutor):
+    """The ``"dist"`` back-end: ProcessExecutor over a :class:`RemotePool`.
+
+    Args:
+        pool: ``"host:port"`` of a running ``repro worker-pool``.
+        fault_plan: shipped to the pool at attach and armed on the remote
+            workers — :mod:`repro.testing.faults` maps onto sockets
+            verbatim (drop/delay/hang/kill all exercise the reconnect
+            path instead of the pipe path).
+        heartbeat_s: pool liveness probe interval.
+        Everything else: identical to :class:`ProcessExecutor` — same
+        policies, batching, stealing, retry/quarantine semantics.
+    """
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        *,
+        pool: str,
+        policy: Any = "conservative",
+        workers: int = 4,
+        payload_budget: int = DEFAULT_PAYLOAD_BUDGET,
+        batch_max: int = DEFAULT_BATCH_MAX,
+        batch_bytes: int = DEFAULT_BATCH_BYTES,
+        steal: bool = True,
+        dispatch_timeout_s: float = DEFAULT_DISPATCH_TIMEOUT_S,
+        max_task_retries: int = 2,
+        retry_backoff_s: float = 0.05,
+        max_worker_respawns: int = 3,
+        harvest_timeout_s: float = DEFAULT_HARVEST_TIMEOUT_S,
+        fault_plan: FaultPlan | str | None = None,
+        store: "shm.BlockStore | None" = None,
+        heartbeat_s: float = 5.0,
+    ) -> None:
+        remote = RemotePool(
+            pool, workers=workers, runtime=runtime, fault_plan=fault_plan,
+            dispatch_timeout_s=dispatch_timeout_s,
+            max_respawns=max_worker_respawns,
+            harvest_timeout_s=harvest_timeout_s, heartbeat_s=heartbeat_s)
+        super().__init__(
+            runtime, policy=policy, workers=workers,
+            payload_budget=payload_budget, batch_max=batch_max,
+            batch_bytes=batch_bytes, steal=steal,
+            dispatch_timeout_s=dispatch_timeout_s,
+            max_task_retries=max_task_retries,
+            retry_backoff_s=retry_backoff_s,
+            max_worker_respawns=max_worker_respawns,
+            harvest_timeout_s=harvest_timeout_s,
+            store=store, supervisor=remote)
+        self.pool = remote
+
+    def _start_backend(self) -> None:
+        self.pool.connect()
+
+    def _stop_backend(self) -> None:
+        self.pool.detach()
+
+
+register_executor("dist", DistExecutor)

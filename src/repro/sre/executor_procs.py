@@ -467,6 +467,17 @@ class WorkerSupervisor:
       metrics/events snapshot home; a worker that cannot (dead seat, or
       the poll expires on a loaded machine) is *accounted* —
       ``worker_harvest_lost`` event + counter — never silently dropped.
+
+    This interface — ``send``/``recv_reply``/``note_lost``/``respawn``/
+    ``abort_flags``/``alive``/``rebind``/``start``/``stop``/``harvest``
+    plus the ``n_workers``/``fault_plan``/``max_respawns``/
+    ``harvest_timeout_s`` attributes — is the **supervisor seam**:
+    :class:`ProcessExecutor` funnels every worker interaction through it
+    and accepts any duck-typed implementation via ``supervisor=``. The
+    distributed back-end's :class:`~repro.sre.executor_dist.RemotePool`
+    implements the same seam over TCP, where "the process is dead"
+    becomes "the seat connection is closed" and respawn becomes
+    reconnect-with-bumped-incarnation.
     """
 
     def __init__(

@@ -1,7 +1,8 @@
 """Executor registry — one name-to-factory table for every back-end.
 
-The three executors (simulated, threaded, process-pool) share one runtime
-contract but historically were constructed by hand at every call site
+The four executors (simulated, threaded, process-pool, distributed) share
+one runtime contract but historically were constructed by hand at every
+call site
 (runner, CLI, benches), each site hard-coding the name→class mapping and
 its own error message. The registry centralises that: back-end modules
 self-register at import time, and :func:`make_executor` is the single
@@ -49,8 +50,17 @@ def register_executor(name: str, factory: Callable[..., Any]) -> None:
     EXECUTORS[name] = factory
 
 
+def _load_builtins() -> None:
+    # Import for side effects: the built-in back-ends self-register when
+    # their modules load, but a caller may reach the registry before any
+    # executor module was imported (e.g. straight from repro.sre.registry).
+    from repro.sre import (executor_dist, executor_procs,  # noqa: F401
+                           executor_sim, executor_threads)
+
+
 def executor_names() -> tuple[str, ...]:
     """Registered back-end names, sorted (for listings and errors)."""
+    _load_builtins()
     return tuple(sorted(EXECUTORS))
 
 
@@ -67,11 +77,7 @@ def make_executor(name: str, runtime: Any, **opts: Any) -> Any:
     Raises:
         SchedulingError: unknown name; the message lists the choices.
     """
-    # Import for side effects: the built-in back-ends self-register when
-    # their modules load, but a caller may reach make_executor before any
-    # executor module was imported (e.g. straight from repro.sre.registry).
-    from repro.sre import executor_procs, executor_sim, executor_threads  # noqa: F401
-
+    _load_builtins()
     try:
         factory = EXECUTORS[name]
     except KeyError:

@@ -43,7 +43,7 @@ import itertools
 import os
 import pickle
 import threading
-from multiprocessing import shared_memory
+from multiprocessing import resource_tracker, shared_memory
 from typing import Any, Callable, Iterable, Iterator
 
 import numpy as np
@@ -57,9 +57,14 @@ __all__ = [
     "attached_segments",
     "detach_all",
     "iter_refs",
+    "materialize_segment",
+    "read_block",
     "referenced_bytes",
+    "release_segment",
     "resolve",
+    "segment_size",
     "swap_in",
+    "write_block",
 ]
 
 #: Pickle protocol for objects stored as pickled segments.
@@ -211,6 +216,106 @@ def detach_all() -> int:
             _attached.discard(name)
         _objects.clear()
     return closed
+
+
+# ---------------------------------------------------------------------------
+# Remote materialisation: the dist back-end's chunked-stream transport
+# lands block bytes here, keyed through the same (segment, offset)
+# vocabulary BlockRef already speaks — a remote worker then resolves an
+# unmodified BlockRef against the materialised copy.
+# ---------------------------------------------------------------------------
+
+
+def segment_size(name: str) -> int:
+    """Byte size of a segment known to this process (the push header)."""
+    with _cache_lock:
+        seg = _segments.get(name)
+    if seg is None:
+        raise SegmentGone(f"segment {name!r} is not mapped in this process")
+    return seg.size
+
+
+def materialize_segment(name: str, size: int) -> bool:
+    """Ensure segment ``name`` exists in this address space.
+
+    Attach when the name already resolves (the pool shares the
+    coordinator's host — zero-copy fast path); otherwise create it with
+    ``size`` bytes so pushed block chunks have somewhere to land.
+    Returns True when the segment was created here — the caller owns
+    unlinking it (see :func:`release_segment`).
+    """
+    with _cache_lock:
+        if name in _segments:
+            return False
+    try:
+        _segment_for(name)
+        return False
+    except SegmentGone:
+        pass
+    seg = shared_memory.SharedMemory(name=name, create=True, size=size)
+    with _cache_lock:
+        existing = _segments.get(name)
+        if existing is not None:  # pragma: no cover - creation race
+            seg.close()
+            seg.unlink()
+            return False
+        _segments[name] = seg
+    return True
+
+
+def read_block(segment: str, offset: int, length: int) -> bytes:
+    """Raw bytes of one block — what the coordinator pushes for a ref."""
+    seg = _segment_for(segment)
+    if offset < 0 or offset + length > seg.size:
+        raise SegmentGone(
+            f"block [{offset}, {offset + length}) outside segment "
+            f"{segment!r} ({seg.size} B)")
+    return bytes(seg.buf[offset:offset + length])
+
+
+def write_block(segment: str, offset: int, data: bytes) -> None:
+    """Copy one pushed chunk into a materialised segment at ``offset``."""
+    seg = _segment_for(segment)
+    if offset < 0 or offset + len(data) > seg.size:
+        raise SegmentGone(
+            f"chunk [{offset}, {offset + len(data)}) outside segment "
+            f"{segment!r} ({seg.size} B)")
+    seg.buf[offset:offset + len(data)] = data
+
+
+def release_segment(name: str, *, unlink: bool = False) -> None:
+    """Drop this process's mapping of ``name``; optionally unlink it.
+
+    The dist pool calls this at session teardown for every segment it
+    materialised (``unlink=True`` for created copies, False for same-host
+    attachments). Unknown names are tolerated no-ops.
+    """
+    with _cache_lock:
+        seg = _segments.pop(name, None)
+        was_attached = name in _attached
+        _attached.discard(name)
+        for key in [k for k in _objects if k[0] == name]:
+            del _objects[key]
+    if seg is None:
+        return
+    try:
+        seg.close()
+    except BufferError:  # pragma: no cover - live views exported
+        _zombies.append(seg)
+        return
+    if unlink:
+        try:
+            seg.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+    elif was_attached:
+        # CPython < 3.13 registers attached segments with the resource
+        # tracker as if this process owned them; drop the bogus claim so
+        # the owner's unlink doesn't trigger a leak warning at our exit.
+        try:
+            resource_tracker.unregister(seg._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker already gone
+            pass
 
 
 # ---------------------------------------------------------------------------

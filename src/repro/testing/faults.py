@@ -1,4 +1,4 @@
-"""Deterministic fault injection for the process back-end.
+"""Deterministic fault injection for the process and dist back-ends.
 
 A :class:`FaultPlan` describes *physical* failures to inject into worker
 processes — the failures the :class:`~repro.sre.executor_procs.WorkerSupervisor`
@@ -11,6 +11,14 @@ The plan is a **pure value**: picklable (it rides to workers inside the
 deterministic — a fault fires at the *Nth batch dispatch* observed by one
 worker slot, counted in that worker's own address space, so no wall-clock
 or scheduling race decides whether chaos happens.
+
+The plan crosses the wire unchanged: ``repro run --executor dist --fault
+kill@3`` ships the spec string to the remote ``repro worker-pool`` at
+attach (and ``repro worker-pool --fault ...`` sets a pool-side default),
+where it arms on the *remote* workers verbatim — same grammar, same
+batch-counted determinism — so every chaos scenario below also exercises
+the coordinator's reconnect-with-bumped-incarnation path instead of the
+local pipe path.
 
 Spec grammar (``repro run --fault ...``)::
 
